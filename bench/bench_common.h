@@ -1,0 +1,48 @@
+// Shared helpers for the figure-regeneration benches.
+//
+// Every bench prints (a) the experiment header with the paper reference and
+// the parameters in force, (b) a paper-style series table on stdout, and
+// (c) a machine-readable CSV next to the binary (./<bench>.csv) for
+// replotting.  Values are computed with the lumped-CTMC engine unless the
+// bench says otherwise; EXPERIMENTS.md records paper-vs-measured per figure.
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ahs/study.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace bench {
+
+inline void print_header(const std::string& figure,
+                         const std::string& what,
+                         const std::string& params) {
+  std::cout << "==========================================================\n"
+            << figure << " — " << what << "\n"
+            << "(Hamouda, Kaâniche, Kanoun: \"Safety Modeling and Evaluation"
+               " of Automated Highway Systems\", DSN 2009)\n"
+            << params << "\n"
+            << "==========================================================\n";
+}
+
+/// Formats an unsafety value the way the paper's log-scale plots read.
+inline std::string fmt(double v) { return util::format_sci(v, 4); }
+
+/// Writes a CSV (header + rows) into ./results/ for external replotting.
+inline void write_csv(const std::string& name,
+                      const std::vector<std::string>& header,
+                      const std::vector<std::vector<std::string>>& rows) {
+  std::filesystem::create_directories("results");
+  const std::string path = "results/" + name;
+  util::CsvWriter csv(path);
+  csv.write_row(header);
+  for (const auto& r : rows) csv.write_row(r);
+  std::cout << "series written to " << path << "\n";
+}
+
+}  // namespace bench

@@ -1,0 +1,59 @@
+// Extension bench: sensitivity of S(t) to the maneuver-duration law.
+//
+// The paper assumes exponential maneuver times "to facilitate sensitivity
+// analyses" (§4.1).  The discrete-event engine supports general
+// distributions, so the assumption itself can be tested: same means, four
+// different laws.  Less-variable execution times shorten the long right
+// tail during which a maneuvering vehicle is exposed to a second failure,
+// so unsafety should decrease from exponential → uniform → Erlang-3 →
+// deterministic.
+#include "ahs/lumped.h"
+#include "ahs/study.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace ahs;
+  std::cout << "==========================================================\n"
+               "Extension: maneuver-duration distribution sensitivity\n"
+               "n = 2, lambda = 1e-2/h (elevated so simulation converges),\n"
+               "30 000 replications per law, identical means 1/mu\n"
+               "==========================================================\n";
+
+  Parameters base;
+  base.max_per_platoon = 2;
+  base.base_failure_rate = 1e-2;
+
+  const std::vector<double> times = {6.0};
+  {
+    LumpedModel exact(base);
+    std::cout << "exact CTMC reference (exponential law): S(6h) = "
+              << bench::fmt(exact.unsafety({6.0})[0]) << "\n\n";
+  }
+
+  util::Table t({"maneuver-time law", "S(6h)", "95% +-"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (ManeuverTimeModel law :
+       {ManeuverTimeModel::kExponential, ManeuverTimeModel::kUniform,
+        ManeuverTimeModel::kErlang3, ManeuverTimeModel::kDeterministic}) {
+    Parameters p = base;
+    p.maneuver_time_model = law;
+    StudyOptions so;
+    so.engine = Engine::kSimulation;
+    so.min_replications = 30000;
+    so.max_replications = 30000;
+    const auto c = unsafety_curve(p, times, so);
+    std::vector<std::string> row = {to_string(law),
+                                    bench::fmt(c.unsafety[0]),
+                                    bench::fmt(c.half_width[0])};
+    t.add_row(row);
+    csv_rows.push_back(row);
+  }
+  std::cout << t
+            << "\nexpected ordering (same mean, decreasing variance):\n"
+               "  exponential >= uniform >= erlang3 >= deterministic —\n"
+               "  the paper's exponential assumption is mildly\n"
+               "  conservative for the unsafety measure.\n";
+  bench::write_csv("bench_distributions.csv", {"law", "S_6h", "ci"},
+                   csv_rows);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Extension bench: elasticities of S(6 h) — the paper's §4 sensitivity
+// study condensed to one comparable number per parameter
+// (∂ln S / ∂ln θ, exact lumped-CTMC central differences).
+#include "ahs/sensitivity.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace ahs;
+  Parameters p;
+  p.max_per_platoon = 6;  // small enough that 26 solves stay quick
+  p.base_failure_rate = 1e-5;
+
+  std::cout << "==========================================================\n"
+               "Extension: unsafety elasticities  e = dln S(6h) / dln theta\n"
+               "n = 6, lambda = 1e-5/h, strategy DD\n"
+               "==========================================================\n";
+
+  const auto es = unsafety_elasticities(p, 6.0, 0.05);
+  util::Table t({"parameter", "value", "elasticity"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const auto& e : es) {
+    std::vector<std::string> row = {to_string(e.param),
+                                    util::format_sci(e.value, 3),
+                                    util::format_fixed(e.elasticity, 3)};
+    t.add_row(row);
+    csv_rows.push_back(row);
+  }
+  std::cout << t;
+  std::cout
+      << "\nreadings (cross-checks of the paper's qualitative findings):\n"
+         "  * e(lambda) ~ +2: catastrophes need two concurrent failures\n"
+         "    (Fig 11's two-orders-per-decade sensitivity);\n"
+         "  * e(mu all) ~ -1: overlap windows shrink linearly with\n"
+         "    maneuver speed;\n"
+         "  * e(q_intrinsic) ~ -1.8: steep per percent, but q can only\n"
+         "    move 2% before hitting 1.0, so escalation contributes a few\n"
+         "    percent of S in total (consistent with bench_ablation's\n"
+         "    q = 1 run);\n"
+         "  * occupancy knobs (join/leave/change/transit) are an order\n"
+         "    below the failure/maneuver knobs — the dynamics matter\n"
+         "    mostly through how full the highway is (Fig 13's 'same\n"
+         "    order of magnitude').\n";
+  bench::write_csv("bench_elasticities.csv",
+                   {"parameter", "value", "elasticity"}, csv_rows);
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Engine microbenchmarks (google-benchmark): SAN flattening, discrete-event
+// stepping on a small net and on the full AHS model, state-space
+// generation, and uniformization.
+#include <benchmark/benchmark.h>
+
+#include "ahs/lumped.h"
+#include "ahs/system_model.h"
+#include "ctmc/state_space.h"
+#include "ctmc/uniformization.h"
+#include "san/composition.h"
+#include "sim/executor.h"
+
+namespace {
+
+std::shared_ptr<san::AtomicModel> flipflop() {
+  auto m = std::make_shared<san::AtomicModel>("ff");
+  const auto up = m->place("up", 1);
+  const auto down = m->place("down");
+  m->timed_activity("fall")
+      .distribution(util::Distribution::Exponential(3.0))
+      .input_arc(up)
+      .output_arc(down);
+  m->timed_activity("rise")
+      .distribution(util::Distribution::Exponential(1.0))
+      .input_arc(down)
+      .output_arc(up);
+  return m;
+}
+
+void BM_FlattenAhsSystem(benchmark::State& state) {
+  ahs::Parameters p;
+  p.max_per_platoon = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto flat = ahs::build_system_model(p);
+    benchmark::DoNotOptimize(flat.marking_size());
+  }
+}
+BENCHMARK(BM_FlattenAhsSystem)->Arg(4)->Arg(10);
+
+void BM_ExecutorStepFlipflop(benchmark::State& state) {
+  const auto flat = san::flatten(flipflop());
+  sim::Executor exec(flat, util::Rng(1));
+  for (auto _ : state) {
+    if (!exec.step()) exec.reset();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecutorStepFlipflop);
+
+void BM_ExecutorStepAhs(benchmark::State& state) {
+  ahs::Parameters p;
+  p.max_per_platoon = static_cast<int>(state.range(0));
+  p.base_failure_rate = 1e-3;
+  const auto flat = ahs::build_system_model(p);
+  sim::Executor exec(flat, util::Rng(1));
+  for (auto _ : state) {
+    if (!exec.step()) exec.reset();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecutorStepAhs)->Arg(2)->Arg(10);
+
+void BM_AhsReplicationTo10h(benchmark::State& state) {
+  ahs::Parameters p;
+  p.max_per_platoon = 10;
+  p.base_failure_rate = 1e-5;
+  const auto flat = ahs::build_system_model(p);
+  util::Rng master(7);
+  sim::Executor exec(flat, master);
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    exec.reset(master.split(rep++));
+    exec.run_until(10.0);
+    benchmark::DoNotOptimize(exec.events());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AhsReplicationTo10h);
+
+void BM_LumpedBuild(benchmark::State& state) {
+  ahs::Parameters p;
+  p.max_per_platoon = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ahs::LumpedModel m(p);
+    benchmark::DoNotOptimize(m.num_states());
+  }
+}
+BENCHMARK(BM_LumpedBuild)->Arg(4)->Arg(10);
+
+void BM_LumpedUnsafety6h(benchmark::State& state) {
+  ahs::Parameters p;
+  p.max_per_platoon = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ahs::LumpedModel m(p);
+    benchmark::DoNotOptimize(m.unsafety({6.0})[0]);
+  }
+}
+BENCHMARK(BM_LumpedUnsafety6h)->Arg(4)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_StateSpaceFlipflopChain(benchmark::State& state) {
+  // Chain of N independent flipflops via Rep (no sharing): 2^N states.
+  const auto rep =
+      san::Rep("r", san::Leaf(flipflop()),
+               static_cast<std::uint32_t>(state.range(0)), {});
+  const auto flat = san::flatten(rep);
+  for (auto _ : state) {
+    const auto space = ctmc::build_state_space(flat);
+    benchmark::DoNotOptimize(space.chain.num_states);
+  }
+}
+BENCHMARK(BM_StateSpaceFlipflopChain)->Arg(8)->Arg(12);
+
+void BM_Uniformization(benchmark::State& state) {
+  const auto rep = san::Rep("r", san::Leaf(flipflop()), 10, {});
+  const auto flat = san::flatten(rep);
+  const auto space = ctmc::build_state_space(flat);
+  const std::vector<double> reward(space.chain.num_states, 1.0);
+  const std::vector<double> times = {10.0};
+  for (auto _ : state) {
+    const auto sol = ctmc::solve_transient(space.chain, reward, times);
+    benchmark::DoNotOptimize(sol.expected_reward[0]);
+  }
+  state.SetLabel(std::to_string(space.chain.num_states) + " states");
+}
+BENCHMARK(BM_Uniformization)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Figure 11: S(t) versus trip duration for base failure rates
+// λ ∈ {1e-6, 1e-5, 1e-4}/h at n = 10.
+//
+// Paper shape to reproduce: unsafety is very sensitive to λ (paper: ×~175
+// from 1e-6 to 1e-5 and ×~40 from 1e-5 to 1e-4 at t = 6 h — i.e. roughly
+// two orders of magnitude per decade of λ); λ = 1e-7 gives ≈1e-13, which
+// the paper leaves off the plot and we print here because the CTMC engine
+// reaches it.
+#include "ahs/lumped.h"
+#include "bench_common.h"
+
+int main() {
+  ahs::Parameters base;
+  base.max_per_platoon = 10;
+  base.join_rate = 12.0;
+  base.leave_rate = 4.0;
+
+  bench::print_header(
+      "Figure 11", "unsafety S(t) vs trip duration for three failure rates",
+      "n = 10, join = 12/h, leave = 4/h, strategy DD");
+
+  const std::vector<double> times = ahs::trip_duration_grid();
+  const std::vector<double> lambdas = {1e-6, 1e-5, 1e-4};
+
+  std::vector<std::vector<double>> series;
+  for (double lam : lambdas) {
+    ahs::Parameters p = base;
+    p.base_failure_rate = lam;
+    series.push_back(ahs::LumpedModel(p).unsafety(times));
+  }
+
+  util::Table table(
+      {"t (h)", "S(t) 1e-6/h", "S(t) 1e-5/h", "S(t) 1e-4/h"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    std::vector<std::string> row = {util::format_fixed(times[i])};
+    for (std::size_t s = 0; s < lambdas.size(); ++s)
+      row.push_back(bench::fmt(series[s][i]));
+    table.add_row(row);
+    csv_rows.push_back(row);
+  }
+  std::cout << table;
+
+  const std::size_t t6 = 2;  // index of t = 6 h in the grid
+  std::cout << "\nshape checks at t = 6 h:\n"
+            << "  S(1e-5)/S(1e-6) = "
+            << util::format_fixed(series[1][t6] / series[0][t6], 1)
+            << " (paper: about 175)\n"
+            << "  S(1e-4)/S(1e-5) = "
+            << util::format_fixed(series[2][t6] / series[1][t6], 1)
+            << " (paper: about 40)\n";
+
+  // The paper's off-plot remark: λ = 1e-7 ⇒ unsafety ≈ 1e-13.
+  ahs::Parameters p7 = base;
+  p7.base_failure_rate = 1e-7;
+  const double s7 = ahs::LumpedModel(p7).unsafety({6.0})[0];
+  std::cout << "  lambda = 1e-7/h: S(6h) = " << bench::fmt(s7)
+            << " (paper: about 1e-13)\n";
+
+  bench::write_csv("bench_fig11.csv",
+                   {"t_hours", "S_lam1e6", "S_lam1e5", "S_lam1e4"},
+                   csv_rows);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Coordination study — which strategy should an AHS deploy?
+//
+// Sweeps the four Table 3 strategies across platoon sizes and reports the
+// unsafety at the chosen trip duration plus the system MTTF, ending with
+// the paper's design guidance (decentralized inter-platoon coordination,
+// platoons of at most ~10 vehicles).
+//
+//   $ ./coordination_study
+//   $ ./coordination_study --lambda 1e-4 --t 8
+#include <iostream>
+
+#include "ahs/lumped.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  util::Cli cli("coordination_study",
+                "compare AHS coordination strategies (Table 3 / Fig 14-15)");
+  auto lambda = cli.add_double("lambda", 1e-5, "base failure rate (/h)");
+  auto t = cli.add_double("t", 6.0, "trip duration (hours)");
+  auto sizes_arg = cli.add_string("sizes", "6,10,14",
+                                  "comma-separated platoon sizes");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    std::vector<int> sizes;
+    for (const auto& tok : util::split(*sizes_arg, ','))
+      sizes.push_back(static_cast<int>(util::parse_int(tok)));
+
+    std::cout << "unsafety S(" << *t << "h) and MTTF per strategy, lambda = "
+              << util::format_sci(*lambda, 2) << "/h\n\n";
+
+    for (int n : sizes) {
+      util::Table table({"strategy", "S(t)", "MTTF (h)", "vs DD"});
+      double dd = 0.0;
+      for (ahs::Strategy s : ahs::kAllStrategies) {
+        ahs::Parameters p;
+        p.max_per_platoon = n;
+        p.base_failure_rate = *lambda;
+        p.strategy = s;
+        ahs::LumpedModel m(p);
+        const double st = m.unsafety({*t})[0];
+        if (s == ahs::Strategy::kDD) dd = st;
+        table.add_row({ahs::to_string(s), util::format_sci(st, 4),
+                       util::format_sci(m.mean_time_to_unsafe(), 3),
+                       util::format_fixed(st / dd, 3)});
+      }
+      std::cout << "n = " << n << " vehicles/platoon\n" << table << "\n";
+    }
+
+    std::cout << "guidance (matching the paper's conclusions):\n"
+                 "  * decentralized inter-platoon coordination is safest —\n"
+                 "    centralized TIE-E escorts involve every vehicle ahead\n"
+                 "    of the faulty one, and any of them being faulty spoils\n"
+                 "    the maneuver;\n"
+                 "  * the intra-platoon model matters much less;\n"
+                 "  * the strategy gap widens with platoon size, one more\n"
+                 "    reason to keep platoons at ~10 vehicles or fewer.\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Quickstart: build a small stochastic activity network with the library's
+// builder API, then evaluate it three ways — discrete-event simulation,
+// exact CTMC transient solution, and steady-state batch means — and check
+// that they agree.
+//
+// The model is a tiny repairable system: two machines that fail
+// (exponential, rate 0.1/h) and one repair crew (exponential, rate 1.0/h,
+// one machine at a time).  The measure is the probability that both
+// machines are down.
+//
+//   $ ./quickstart
+#include <iostream>
+#include <memory>
+
+#include "ctmc/state_space.h"
+#include "ctmc/uniformization.h"
+#include "san/composition.h"
+#include "san/rewards.h"
+#include "sim/steady.h"
+#include "sim/transient.h"
+#include "util/string_util.h"
+
+int main() {
+  // 1. Declare the atomic model: places carry tokens, timed activities
+  //    move them, gates guard enabling.
+  auto machine = std::make_shared<san::AtomicModel>("machine");
+  const san::PlaceToken up = machine->place("up", 1);
+  const san::PlaceToken down = machine->place("down");
+  const san::PlaceToken crew = machine->place("crew");  // shared repair crew
+  machine->timed_activity("fail")
+      .distribution(util::Distribution::Exponential(0.1))
+      .input_arc(up)
+      .output_arc(down);
+  machine->timed_activity("repair")
+      .marking_rate([](const san::MarkingRef&) { return 1.0; })
+      .input_gate(
+          // The crew place holds 0 when idle; a repair may start only when
+          // no other repair runs (crew == 0) and this machine is down.
+          [down, crew](const san::MarkingRef& m) {
+            return m.get(down) > 0 && m.get(crew) == 0;
+          },
+          [down, crew](const san::MarkingRef& m) {
+            m.add(down, -1);
+            m.set(crew, 1);
+          })
+      .output_gate([up, crew](const san::MarkingRef& m) {
+        m.add(up, 1);
+        m.set(crew, 0);
+      });
+
+  // 2. Compose: two replicas sharing the crew (Rep), flattened to an
+  //    executable model.
+  const auto system =
+      san::Rep("plant", san::Leaf(machine), 2, {"crew"});
+  const san::FlatModel flat = san::flatten(system);
+  std::cout << flat.summary() << "\n\n";
+
+  // 3. Reward: both machines down = no replica has an `up` token.
+  const san::RewardFn both_down = [&] {
+    auto ups = san::replica_total(flat, "up");
+    return [ups](std::span<const std::int32_t> m) {
+      return ups(m) == 0.0 ? 1.0 : 0.0;
+    };
+  }();
+
+  const std::vector<double> times = {1.0, 5.0, 20.0};
+
+  // 4a. Exact transient solution: state space + uniformization.
+  const auto space = ctmc::build_state_space(flat);
+  const auto reward_vec = space.state_rewards(both_down);
+  const auto exact = ctmc::solve_transient(space.chain, reward_vec, times);
+  std::cout << "exact CTMC (" << space.chain.num_states << " states):\n";
+  for (std::size_t i = 0; i < times.size(); ++i)
+    std::cout << "  P(both down at t=" << times[i]
+              << "h) = " << util::format_sci(exact.expected_reward[i], 4)
+              << "\n";
+
+  // 4b. Terminating simulation with sequential stopping.
+  sim::TransientOptions topts;
+  topts.time_points = times;
+  topts.min_replications = 20000;
+  topts.max_replications = 200000;
+  topts.rel_half_width = 0.05;
+  topts.absorbing_indicator = false;  // the system is repairable
+  const auto mc = sim::estimate_transient(flat, both_down, topts);
+  std::cout << "simulation (" << mc.replications << " replications):\n";
+  for (std::size_t i = 0; i < times.size(); ++i)
+    std::cout << "  P(both down at t=" << times[i]
+              << "h) = " << util::format_sci(mc.mean(i), 4) << " +- "
+              << util::format_sci(mc.estimates[i].half_width, 2) << "\n";
+
+  // 4c. Steady state by batch means.
+  sim::SteadyOptions sopts;
+  sopts.warmup_time = 50.0;
+  sopts.batch_time = 200.0;
+  sopts.rel_half_width = 0.05;
+  const auto ss = sim::estimate_steady_state(flat, both_down, sopts);
+  std::cout << "steady state: P(both down) = "
+            << util::format_sci(ss.estimate.mean, 4) << " +- "
+            << util::format_sci(ss.estimate.half_width, 2) << " ("
+            << ss.batches << " batches)\n";
+
+  std::cout << "\nall three estimates should agree within the printed "
+               "confidence intervals.\n";
+  return 0;
+}

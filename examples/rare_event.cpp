@@ -1,0 +1,88 @@
+// Rare-event estimation demo: why the repository ships three engines.
+//
+// At realistic failure rates the paper's unsafety lives at 1e-9..1e-7 —
+// far below what plain Monte Carlo reaches at the paper's stated batch
+// counts.  This example estimates the same S(t) with:
+//   1. plain terminating simulation of the full SAN model,
+//   2. failure-biasing importance sampling, and
+//   3. the exact lumped CTMC (reference),
+// at a failure rate where all three are feasible, then shows the rates at
+// which each engine stops being practical.
+//
+//   $ ./rare_event
+#include <algorithm>
+#include <iostream>
+
+#include "ahs/lumped.h"
+#include "ahs/study.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+void compare_at(double lambda, bool run_plain) {
+  ahs::Parameters p;
+  p.max_per_platoon = 2;  // small highway so replications are cheap
+  p.base_failure_rate = lambda;
+  const std::vector<double> times = {6.0};
+
+  ahs::LumpedModel lumped(p);
+  const double exact = lumped.unsafety(times)[0];
+
+  util::Table table({"engine", "S(6h)", "95% half-width", "replications"});
+  table.add_row({"lumped CTMC (reference)", util::format_sci(exact, 4),
+                 "exact", "-"});
+
+  if (run_plain) {
+    ahs::StudyOptions mc;
+    mc.engine = ahs::Engine::kSimulation;
+    mc.min_replications = 40000;
+    mc.max_replications = 40000;
+    const auto r = ahs::unsafety_curve(p, times, mc);
+    table.add_row({"plain Monte Carlo", util::format_sci(r.unsafety[0], 4),
+                   util::format_sci(r.half_width[0], 2),
+                   std::to_string(r.replications)});
+  } else {
+    table.add_row({"plain Monte Carlo", "(hopeless: would need ~" +
+                       util::format_sci(100.0 / exact, 1) + " replications)",
+                   "-", "-"});
+  }
+
+  ahs::StudyOptions is;
+  is.engine = ahs::Engine::kSimulationIS;
+  is.min_replications = 40000;
+  is.max_replications = 40000;
+  // Aim for ~3 boosted failure events per replication: the catastrophic
+  // situations need >= 2 concurrent failures, and a boost far above that
+  // (or far below) degrades the estimator (see StudyOptions::failure_boost).
+  // Expected unboosted failures per path = vehicles * sum(multipliers) *
+  // lambda * horizon = 4 * 14 * lambda * 6.
+  is.failure_boost = std::max(1.0, 3.0 / (4 * 14 * lambda * 6.0));
+  is.fail_case_bias = 0.2;
+  const auto r = ahs::unsafety_curve(p, times, is);
+  table.add_row({"importance sampling (boost " +
+                     util::format_fixed(is.failure_boost, 0) + ")",
+                 util::format_sci(r.unsafety[0], 4),
+                 util::format_sci(r.half_width[0], 2),
+                 std::to_string(r.replications)});
+
+  std::cout << "lambda = " << util::format_sci(lambda, 1) << "/h\n"
+            << table << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "rare-event estimation of AHS unsafety (n = 2 vehicles per "
+               "platoon)\n\n";
+  compare_at(1e-2, true);   // plain MC still fine
+  compare_at(1e-3, true);   // plain MC marginal
+  compare_at(1e-4, false);  // plain MC hopeless; IS + CTMC carry on
+  std::cout
+      << "take-away: plain Monte Carlo loses the race around lambda ~ "
+         "1e-3/h;\nfailure-biasing importance sampling stretches the "
+         "simulator a further\n1-2 decades; the lumped CTMC covers the "
+         "paper's 1e-5..1e-7/h regime\n(and the 1e-13 probabilities the "
+         "paper mentions) exactly.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "ahs/configuration_model.h"
+
+namespace ahs {
+
+std::shared_ptr<san::AtomicModel> build_configuration_model(
+    const Parameters& params) {
+  params.validate();
+  auto model = std::make_shared<san::AtomicModel>("configuration");
+
+  // The paper's start_id token enables the initialization cascade; here the
+  // cascade budget is explicit: init_count starts at the full capacity
+  // (num_platoons * n; the paper's 2n) and id_trigger fires once per
+  // initial vehicle, then switches to serving IN tokens.
+  const san::PlaceToken init_count =
+      model->place("init_count", params.capacity());
+  const san::PlaceToken in = model->place("IN");
+  const san::PlaceToken ext_id = model->place("ext_id");
+  const san::PlaceToken joining = model->place("joining");
+  const san::PlaceToken placing = model->place("placing");
+
+  model->instant_activity("id_trigger")
+      .priority(8)
+      .input_gate(
+          [init_count, in, joining, placing](const san::MarkingRef& m) {
+            // Serialize: one vehicle at a time through the claim/JP
+            // pipeline.
+            if (m.get(joining) > 0 || m.get(placing) > 0) return false;
+            return m.get(init_count) > 0 || m.get(in) > 0;
+          },
+          [init_count, in, ext_id, joining](const san::MarkingRef& m) {
+            if (m.get(init_count) > 0) m.add(init_count, -1);
+            else m.add(in, -1);
+            m.add(ext_id, +1);
+            m.set(joining, 1);
+          });
+
+  return model;
+}
+
+}  // namespace ahs

@@ -1,0 +1,18 @@
+// The Configuration SAN submodel (Fig 8): initializes the vehicle
+// replicas (n per platoon, paper §3.2.4) through an initial budget of
+// capacity() id-assignment firings, and keeps assigning identities to runtime joiners
+// (IN tokens produced by Dynamicity's Join).  The paper's ext_id counter is
+// kept as a cumulative statistic.
+#pragma once
+
+#include <memory>
+
+#include "ahs/parameters.h"
+#include "san/atomic_model.h"
+
+namespace ahs {
+
+std::shared_ptr<san::AtomicModel> build_configuration_model(
+    const Parameters& params);
+
+}  // namespace ahs

@@ -1,0 +1,99 @@
+#include "ahs/coordination.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace ahs {
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kDD: return "DD";
+    case Strategy::kDC: return "DC";
+    case Strategy::kCD: return "CD";
+    case Strategy::kCC: return "CC";
+  }
+  return "?";
+}
+
+Strategy parse_strategy(const std::string& s) {
+  const std::string u = util::to_lower(s);
+  if (u == "dd") return Strategy::kDD;
+  if (u == "dc") return Strategy::kDC;
+  if (u == "cd") return Strategy::kCD;
+  if (u == "cc") return Strategy::kCC;
+  throw util::PreconditionError("unknown strategy '" + s +
+                                "' (expected DD, DC, CD, or CC)");
+}
+
+AssistantSet CoordinationPolicy::assistants(Maneuver m, int pos,
+                                            int platoon_size) const {
+  AHS_REQUIRE(platoon_size >= 1, "platoon size must be >= 1");
+  AHS_REQUIRE(pos >= 0 && pos < platoon_size, "position out of range");
+
+  std::set<int> positions;
+  bool neighbor = false;
+
+  auto add = [&](int p) {
+    if (p >= 0 && p < platoon_size && p != pos) positions.insert(p);
+  };
+
+  switch (m) {
+    case Maneuver::kTakeImmediateExitNormal:
+      // Exits without assistance (severity C).
+      break;
+    case Maneuver::kTakeImmediateExit:
+      // Split maneuver: the vehicles physically around the splitter.
+      add(pos - 1);
+      add(pos + 1);
+      break;
+    case Maneuver::kTakeImmediateExitEscorted:
+      // §2.2.1: the only maneuver whose participant set depends on the
+      // inter-platoon model.
+      neighbor = true;
+      if (inter_centralized()) {
+        for (int p = 0; p < pos; ++p) add(p);  // every vehicle ahead
+        add(pos + 1);                          // vehicle just behind
+      } else {
+        add(0);        // own platoon's leader
+        add(pos - 1);  // vehicle just in front
+        add(pos + 1);  // vehicle just behind
+      }
+      break;
+    case Maneuver::kGentleStop:
+    case Maneuver::kCrashStop:
+      // The faulty vehicle stops by itself; downstream traffic control is
+      // outside the platoon-coordination model.
+      break;
+    case Maneuver::kAidedStop:
+      // Stopped by the vehicle immediately ahead.
+      add(pos - 1);
+      break;
+  }
+
+  // Centralized intra-platoon coordination routes every maneuver through
+  // the leader (§2.2.2), adding it to the participant set.
+  if (intra_centralized()) add(0);
+
+  AssistantSet out;
+  out.own_platoon_positions.assign(positions.begin(), positions.end());
+  out.neighbor_leader = neighbor;
+  return out;
+}
+
+double CoordinationPolicy::assistant_count(Maneuver m,
+                                           double platoon_size) const {
+  const int size = std::max(1, static_cast<int>(std::lround(platoon_size)));
+  double total = 0.0;
+  for (int pos = 0; pos < size; ++pos) {
+    const AssistantSet set = assistants(m, pos, size);
+    total += static_cast<double>(set.own_platoon_positions.size()) +
+             (set.neighbor_leader ? 1.0 : 0.0);
+  }
+  return total / static_cast<double>(size);
+}
+
+}  // namespace ahs

@@ -1,0 +1,76 @@
+// Coordination strategies (Table 3) and their assistant-set model (§2.2).
+//
+// A recovery maneuver involves a set of *assisting* vehicles; the maneuver
+// can only succeed when every required assistant is itself healthy.  The
+// paper's comparison of strategies rests on how many vehicles each strategy
+// involves:
+//   * inter-platoon Centralized (TIE-E, §2.2.1): every vehicle ahead of the
+//     faulty one (incl. the leader), the vehicle just behind, and the leader
+//     of the neighbouring platoon;
+//   * inter-platoon Decentralized: only the two leaders plus the vehicles
+//     just in front of and behind the faulty vehicle;
+//   * intra-platoon Centralized (§2.2.2): the leader additionally
+//     coordinates every intra-platoon maneuver;
+//   * intra-platoon Decentralized: members react independently, so only the
+//     physically involved neighbours participate.
+//
+// Two interfaces are provided:
+//   * `assistant_count` — expected set size given a platoon size (used by
+//     the exchangeability-lumped CTMC);
+//   * `assistants` — the concrete position set for a vehicle at a given
+//     position (used by the full SAN model's gate predicates).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ahs/types.h"
+
+namespace ahs {
+
+/// The four strategies of Table 3 (inter-platoon model × intra-platoon
+/// model; D = decentralized, C = centralized).
+enum class Strategy { kDD = 0, kDC, kCD, kCC };
+
+inline constexpr std::array<Strategy, 4> kAllStrategies = {
+    Strategy::kDD, Strategy::kDC, Strategy::kCD, Strategy::kCC};
+
+const char* to_string(Strategy s);
+/// Parses "DD" / "DC" / "CD" / "CC" (case-insensitive); throws otherwise.
+Strategy parse_strategy(const std::string& s);
+
+/// Which vehicles, relative to the faulty one, a maneuver requires.
+struct AssistantSet {
+  /// Positions within the faulty vehicle's platoon (0 = leader), excluding
+  /// the faulty vehicle itself.  Positions outside the platoon are dropped
+  /// by the caller.
+  std::vector<int> own_platoon_positions;
+  /// True when the neighbouring platoon's leader must also assist.
+  bool neighbor_leader = false;
+};
+
+class CoordinationPolicy {
+ public:
+  explicit CoordinationPolicy(Strategy strategy) : strategy_(strategy) {}
+
+  Strategy strategy() const { return strategy_; }
+  bool inter_centralized() const {
+    return strategy_ == Strategy::kCD || strategy_ == Strategy::kCC;
+  }
+  bool intra_centralized() const {
+    return strategy_ == Strategy::kDC || strategy_ == Strategy::kCC;
+  }
+
+  /// Concrete assistant set for a faulty vehicle at position `pos`
+  /// (0-based; 0 = leader) in a platoon of `platoon_size` vehicles.
+  AssistantSet assistants(Maneuver m, int pos, int platoon_size) const;
+
+  /// Expected number of assistants for a maneuver in a platoon of the given
+  /// (possibly fractional, averaged) size — the lumped model's view.
+  double assistant_count(Maneuver m, double platoon_size) const;
+
+ private:
+  Strategy strategy_;
+};
+
+}  // namespace ahs

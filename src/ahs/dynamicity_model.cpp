@@ -1,0 +1,112 @@
+#include "ahs/dynamicity_model.h"
+
+#include <algorithm>
+#include <string>
+
+#include "ahs/model_common.h"
+
+namespace ahs {
+
+std::shared_ptr<san::AtomicModel> build_dynamicity_model(
+    const Parameters& params) {
+  params.validate();
+  auto model = std::make_shared<san::AtomicModel>("dynamicity");
+  const int n = params.max_per_platoon;
+  const int lanes = params.num_platoons;
+  const int cap = params.capacity();
+
+  const san::PlaceToken in = model->place("IN");
+  const san::PlaceToken out = model->place("OUT");
+  const san::PlaceToken placing = model->place("placing");
+  const san::PlaceToken leaving_direct = model->place("leaving_direct");
+  const san::PlaceToken leaving_transit = model->place("leaving_transit");
+  const san::PlaceToken platoons = model->extended_place("platoons", cap);
+  const san::PlaceToken active_m = model->extended_place("active_m", cap);
+
+  auto lane_ref = [platoons, n](int l) { return LaneRef{platoons, l, n}; };
+
+  // --- JP: place a claimed vehicle into a platoon (Fig 7's instantaneous
+  // activity; for the paper's two lanes the 50/50 split, generally uniform
+  // over lanes with room — a full lane forces the others).
+  {
+    auto jp = model->instant_activity("JP").priority(5).input_gate(
+        [placing](const san::MarkingRef& m) { return m.get(placing) > 0; });
+    for (int l = 0; l < lanes; ++l) {
+      jp.add_case([lane_ref, l, n](const san::MarkingRef& m) {
+        return lane_size(m, lane_ref(l)) < n ? 1.0 : 0.0;
+      });
+      jp.output_gate(
+          [placing, lane_ref, l](const san::MarkingRef& m) {
+            lane_append(m, lane_ref(l), m.get(placing));
+            m.set(placing, 0);
+          },
+          static_cast<std::size_t>(l));
+    }
+  }
+
+  // --- Join: a new vehicle arrives while a slot is free; infinite-server
+  // semantics (rate proportional to the OUT marking — see
+  // Parameters::join_rate).
+  const double join_rate = params.join_rate > 0 ? params.join_rate : 1e-12;
+  model->timed_activity("Join")
+      .marking_rate([out, join_rate](const san::MarkingRef& m) {
+        return join_rate * std::max(1, m.get(out));
+      })
+      .input_gate(
+          [out](const san::MarkingRef& m) { return m.get(out) > 0; },
+          [out](const san::MarkingRef& m) { m.add(out, -1); })
+      .output_arc(in);
+
+  // --- leave_l: a healthy vehicle voluntarily leaves lane l.  Lane 0 is
+  // adjacent to the exit (no transit); other lanes transit first (§4.1).
+  const double leave_rate =
+      params.leave_rate > 0 ? params.leave_rate : 1e-12;
+  for (int l = 0; l < lanes; ++l) {
+    const san::PlaceToken handoff = l == 0 ? leaving_direct : leaving_transit;
+    model->timed_activity("leave" + std::to_string(l + 1))
+        .distribution(util::Distribution::Exponential(leave_rate))
+        .input_gate(
+            [lane_ref, l, active_m, handoff](const san::MarkingRef& m) {
+              return m.get(handoff) == 0 &&
+                     lane_rearmost_healthy(m, lane_ref(l), active_m) >= 0;
+            },
+            [lane_ref, l, active_m, handoff](const san::MarkingRef& m) {
+              const LaneRef lane = lane_ref(l);
+              const int pos = lane_rearmost_healthy(m, lane, active_m);
+              const int vid = lane.get(m, pos);
+              lane_remove(m, lane, vid);
+              m.set(handoff, vid);
+            });
+  }
+
+  // --- ch_{l}_{m}: a healthy vehicle switches to an adjacent lane (rate
+  // 6/h per direction, §4.1); the mover joins the target platoon's tail.
+  const double change_rate =
+      params.change_rate > 0 ? params.change_rate : 1e-12;
+  for (int l = 0; l < lanes; ++l) {
+    for (int delta : {-1, 1}) {
+      const int target = l + delta;
+      if (target < 0 || target >= lanes) continue;
+      model
+          ->timed_activity("ch" + std::to_string(l + 1) + "_" +
+                           std::to_string(target + 1))
+          .distribution(util::Distribution::Exponential(change_rate))
+          .input_gate(
+              [lane_ref, l, target, n, active_m](const san::MarkingRef& m) {
+                return lane_size(m, lane_ref(target)) < n &&
+                       lane_rearmost_healthy(m, lane_ref(l), active_m) >= 0;
+              },
+              [lane_ref, l, target, active_m](const san::MarkingRef& m) {
+                const LaneRef from = lane_ref(l);
+                const int pos = lane_rearmost_healthy(m, from, active_m);
+                const int vid = from.get(m, pos);
+                lane_remove(m, from, vid);
+                lane_append(m, lane_ref(target), vid);
+              });
+    }
+  }
+
+  return model;
+}
+
+}  // namespace ahs

@@ -1,0 +1,18 @@
+// The Dynamicity SAN submodel (Fig 7): failure-free highway dynamics —
+// vehicles joining (Join → IN), leaving each platoon (leave1/leave2, with
+// platoon-2 leavers designated for the transit phase), switching platoons
+// (ch1/ch2), and the instantaneous JP placement choosing a platoon for a
+// newly claimed vehicle (50/50 when both have room, as in the paper).
+#pragma once
+
+#include <memory>
+
+#include "ahs/parameters.h"
+#include "san/atomic_model.h"
+
+namespace ahs {
+
+std::shared_ptr<san::AtomicModel> build_dynamicity_model(
+    const Parameters& params);
+
+}  // namespace ahs

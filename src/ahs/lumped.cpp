@@ -1,0 +1,325 @@
+#include "ahs/lumped.h"
+
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+
+#include "ctmc/stationary.h"
+#include "ctmc/uniformization.h"
+#include "util/error.h"
+
+namespace ahs {
+
+SeverityCounts LumpedState::severity() const {
+  SeverityCounts s;
+  for (std::size_t k = 0; k < kNumManeuvers; ++k) {
+    switch (maneuver_class(static_cast<Maneuver>(k))) {
+      case SeverityClass::kA: s.a += maneuvers[k]; break;
+      case SeverityClass::kB: s.b += maneuvers[k]; break;
+      case SeverityClass::kC: s.c += maneuvers[k]; break;
+    }
+  }
+  return s;
+}
+
+namespace {
+
+struct StateHash {
+  std::size_t operator()(const LumpedState& s) const {
+    std::size_t h = 1469598103934665603ull;
+    auto mix = [&h](int x) {
+      h ^= static_cast<std::size_t>(static_cast<unsigned>(x));
+      h *= 1099511628211ull;
+    };
+    for (int x : s.lanes) mix(x);
+    mix(s.nt);
+    for (int m : s.maneuvers) mix(m);
+    return h;
+  }
+};
+
+}  // namespace
+
+LumpedModel::LumpedModel(Parameters params) : params_(std::move(params)) {
+  params_.validate();
+  AHS_REQUIRE(
+      params_.maneuver_time_model == ManeuverTimeModel::kExponential,
+      "the lumped CTMC requires exponential maneuver times; use a "
+      "simulation engine for other distributions");
+  AHS_REQUIRE(params_.adjacency_radius == 0,
+              "the count-lumped model has no vehicle positions; use a "
+              "full-SAN engine for adjacency-scoped severity");
+}
+
+void LumpedModel::build() const {
+  if (built_) return;
+
+  const int n = params_.max_per_platoon;
+  const int num_lanes = params_.num_platoons;
+  const CoordinationPolicy policy(params_.strategy);
+
+  std::unordered_map<LumpedState, std::uint32_t, StateHash> index;
+  std::deque<std::uint32_t> frontier;
+  states_.clear();
+
+  auto intern = [&](const LumpedState& s) -> std::uint32_t {
+    const auto it = index.find(s);
+    if (it != index.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(states_.size());
+    index.emplace(s, id);
+    states_.push_back(s);
+    frontier.push_back(id);
+    return id;
+  };
+
+  LumpedState init;
+  for (int l = 0; l < num_lanes; ++l) init.lanes[l] = n;
+  const std::uint32_t init_id = intern(init);
+
+  // The absorbing UNSAFE state is appended after exploration; transitions
+  // into it are collected with a sentinel and patched afterwards.
+  constexpr std::uint32_t kUnsafeSentinel = UINT32_MAX;
+
+  std::vector<ctmc::Triplet> triplets;
+
+  // Adds an edge, routing catastrophic targets to the sentinel.
+  auto add_edge = [&](std::uint32_t from, const LumpedState& to,
+                      double rate) {
+    if (rate <= 0.0) return;
+    if (is_catastrophic(to.severity())) {
+      triplets.push_back({from, kUnsafeSentinel, rate});
+    } else {
+      triplets.push_back({from, intern(to), rate});
+    }
+  };
+
+  // Decrements the population holding a departing vehicle proportionally
+  // across lanes and transit.
+  auto add_departures = [&](std::uint32_t from, const LumpedState& base,
+                            double total_rate) {
+    const int nv = base.vehicles();
+    if (nv <= 0 || total_rate <= 0.0) return;
+    for (int l = 0; l < num_lanes; ++l) {
+      if (base.lanes[l] == 0) continue;
+      LumpedState next = base;
+      --next.lanes[l];
+      add_edge(from, next, total_rate * base.lanes[l] / nv);
+    }
+    if (base.nt > 0) {
+      LumpedState next = base;
+      --next.nt;
+      add_edge(from, next, total_rate * base.nt / nv);
+    }
+  };
+
+  while (!frontier.empty()) {
+    const std::uint32_t sid = frontier.front();
+    frontier.pop_front();
+    const LumpedState s = states_[sid];
+
+    const int nv = s.vehicles();
+    const int healthy = s.healthy();
+    AHS_ASSERT(healthy >= 0, "negative healthy-vehicle count");
+
+    // --- Failure-mode arrivals (per healthy vehicle).
+    if (healthy > 0) {
+      for (FailureMode fm : kAllFailureModes) {
+        if (!params_.enabled(fm)) continue;
+        LumpedState next = s;
+        ++next.maneuvers[stage(maneuver_for(fm))];
+        add_edge(sid, next, healthy * params_.failure_rate(fm));
+      }
+    }
+
+    // --- Maneuver completions.
+    // Success requires every assistant healthy; the availability of k
+    // assistants among the other nv−1 vehicles, of which `healthy` are
+    // healthy, is approximated by (healthy/(nv−1))^k (exchangeability).
+    const double avg_platoon = std::max(
+        1.0, static_cast<double>(s.platoon_vehicles()) / num_lanes);
+    for (std::size_t k = 0; k < kNumManeuvers; ++k) {
+      if (s.maneuvers[k] == 0) continue;
+      const auto m = static_cast<Maneuver>(k);
+      const double rate = s.maneuvers[k] * params_.maneuver_rate(m);
+      double need = policy.assistant_count(m, avg_platoon);
+      double avail = 1.0;
+      // A TIE-E escort needs a neighbouring platoon; a single-lane AHS has
+      // none (the full model's escort_lane returns -1 there).
+      if (m == Maneuver::kTakeImmediateExitEscorted && num_lanes < 2)
+        avail = 0.0;
+      if (avail > 0.0 && need > 0.0) {
+        if (nv <= 1) {
+          avail = 0.0;
+        } else {
+          const double frac =
+              std::min(1.0, static_cast<double>(healthy) /
+                                static_cast<double>(nv - 1));
+          avail = std::pow(frac, need);
+        }
+      }
+      const double q = params_.q_intrinsic * avail;
+
+      // Success: the vehicle exits the highway; its platoon membership is
+      // resolved proportionally.
+      LumpedState done = s;
+      --done.maneuvers[k];
+      if (q > 0.0) add_departures(sid, done, rate * q);
+
+      // Failure: escalate to the next stage, or leave as a free agent after
+      // a failed Aided Stop (v_KO — the vehicle is lost to the platoons but
+      // the event itself is not catastrophic).
+      const double fail_rate = rate * (1.0 - q);
+      if (fail_rate > 0.0) {
+        Maneuver next_m;
+        if (next_maneuver(m, next_m)) {
+          LumpedState next = done;
+          ++next.maneuvers[stage(next_m)];
+          add_edge(sid, next, fail_rate);
+        } else {
+          add_departures(sid, done, fail_rate);
+        }
+      }
+    }
+
+    // --- Voluntary leaves (healthy vehicles only).  Lane 0 exits
+    // directly; other lanes transit through the exit lane first, up to the
+    // truncation cap (see Parameters::max_transit).
+    if (healthy > 0) {
+      for (int l = 0; l < num_lanes; ++l) {
+        if (s.lanes[l] == 0) continue;
+        LumpedState next = s;
+        --next.lanes[l];
+        if (l > 0 &&
+            s.nt < std::min(params_.max_transit, params_.capacity()))
+          ++next.nt;
+        add_edge(sid, next, params_.leave_rate);
+      }
+    }
+
+    // --- Transit completion (healthy transit vehicles only — a transiting
+    // vehicle that failed stays until its maneuver resolves, as in the full
+    // model's exit_transit gate).
+    if (s.nt > 0 && healthy > 0) {
+      LumpedState next = s;
+      --next.nt;
+      add_edge(sid, next,
+               std::min(s.nt, healthy) * params_.transit_rate);
+    }
+
+    // --- Platoon changes between adjacent lanes.
+    if (healthy > 0) {
+      for (int l = 0; l < num_lanes; ++l) {
+        for (int delta : {-1, 1}) {
+          const int target = l + delta;
+          if (target < 0 || target >= num_lanes) continue;
+          if (s.lanes[l] == 0 || s.lanes[target] >= n) continue;
+          LumpedState next = s;
+          --next.lanes[l];
+          ++next.lanes[target];
+          add_edge(sid, next, params_.change_rate);
+        }
+      }
+    }
+
+    // --- Joins: rate join_rate per free slot (infinite-server semantics,
+    // see Parameters::join_rate); the paper's JP splits uniformly between
+    // platoons with room.
+    if (nv < params_.capacity()) {
+      const double total_join =
+          params_.join_rate * (params_.capacity() - nv);
+      int rooms = 0;
+      for (int l = 0; l < num_lanes; ++l)
+        if (s.lanes[l] < n) ++rooms;
+      if (rooms > 0) {
+        for (int l = 0; l < num_lanes; ++l) {
+          if (s.lanes[l] >= n) continue;
+          LumpedState next = s;
+          ++next.lanes[l];
+          add_edge(sid, next, total_join / rooms);
+        }
+      }
+    }
+  }
+
+  // Patch the sentinel to the actual UNSAFE index (last state).
+  unsafe_ = static_cast<std::uint32_t>(states_.size());
+  for (auto& t : triplets)
+    if (t.col == kUnsafeSentinel) t.col = unsafe_;
+
+  const auto total = static_cast<std::uint32_t>(states_.size() + 1);
+  chain_.num_states = total;
+  chain_.rates =
+      ctmc::CsrMatrix::from_triplets(total, total, std::move(triplets));
+  chain_.exit_rate.resize(total);
+  for (std::uint32_t i = 0; i < total; ++i)
+    chain_.exit_rate[i] = chain_.rates.row_sum(i);
+  chain_.initial.assign(total, 0.0);
+  chain_.initial[init_id] = 1.0;
+  chain_.validate();
+  built_ = true;
+}
+
+std::size_t LumpedModel::num_states() const {
+  build();
+  return chain_.num_states;
+}
+
+std::uint32_t LumpedModel::unsafe_state() const {
+  build();
+  return unsafe_;
+}
+
+const ctmc::MarkovChain& LumpedModel::chain() const {
+  build();
+  return chain_;
+}
+
+const LumpedState& LumpedModel::state(std::uint32_t s) const {
+  build();
+  AHS_REQUIRE(s < states_.size(), "state index out of range (or UNSAFE)");
+  return states_[s];
+}
+
+std::vector<double> LumpedModel::unsafety(std::span<const double> times) const {
+  build();
+  std::vector<double> reward(chain_.num_states, 0.0);
+  reward[unsafe_] = 1.0;
+  ctmc::UniformizationOptions opts;
+  opts.epsilon = 1e-14;
+  const auto sol = ctmc::solve_transient(chain_, reward, times, opts);
+  return sol.expected_reward;
+}
+
+double LumpedModel::mean_time_to_unsafe() const {
+  build();
+  // At realistic failure rates absorption takes ~1e6..1e9 hours while the
+  // safe dynamics mix within hours, so the time to UNSAFE is asymptotically
+  // Exponential(κ) with κ the quasi-stationary absorption hazard.
+  std::vector<bool> absorbing(chain_.num_states, false);
+  absorbing[unsafe_] = true;
+  const auto res = ctmc::quasi_stationary_absorption(chain_, absorbing);
+  AHS_ASSERT(res.absorption_rate > 0.0, "absorption rate must be positive");
+  return 1.0 / res.absorption_rate;
+}
+
+double LumpedModel::expected_maneuver_hours(double t) const {
+  build();
+  std::vector<double> reward(chain_.num_states, 0.0);
+  for (std::size_t i = 0; i < states_.size(); ++i)
+    reward[i] = states_[i].maneuvering();
+  const std::vector<double> times = {t};
+  const auto sol = ctmc::solve_accumulated(chain_, reward, times);
+  return sol.accumulated[0];
+}
+
+std::vector<double> LumpedModel::expected_vehicles(
+    std::span<const double> times) const {
+  build();
+  std::vector<double> reward(chain_.num_states, 0.0);
+  for (std::size_t i = 0; i < states_.size(); ++i)
+    reward[i] = states_[i].vehicles();
+  const auto sol = ctmc::solve_transient(chain_, reward, times);
+  return sol.expected_reward;
+}
+
+}  // namespace ahs

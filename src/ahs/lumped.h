@@ -1,0 +1,109 @@
+// Exchangeability-lumped CTMC of the multi-platoon AHS.
+//
+// The full SAN model (system_model.h) replicates one submodel per vehicle;
+// since the replicas are identical and every gate is symmetric under
+// vehicle permutation, the process lumps onto counts:
+//
+//   state = (lanes[0..L-1], nt, m[0..5])
+//     lanes[l] : vehicles in platoon l                     (0..n each)
+//     nt       : vehicles in exit transit (lanes >= 1 leave through the
+//                exit lane, §4.1)                          (0..max_transit)
+//     m[k]     : vehicles currently executing maneuver stage k
+//                (stage order TIE-N, TIE, TIE-E, GS, CS, AS)
+//
+// plus one absorbing UNSAFE state entered the instant the severity profile
+// (#class-A, #class-B, #class-C of ongoing maneuvers) satisfies Table 2.
+// S(t) is the transient probability of UNSAFE, solved by uniformization.
+//
+// Approximations relative to the full SAN (all second-order; quantified by
+// the cross-validation bench):
+//   * a maneuvering vehicle's platoon is not tracked — departures and
+//     assistant availability use proportional/average occupancy;
+//   * simultaneous multiple failure modes in one vehicle are not merged
+//     (probability O(λ²) per vehicle);
+//   * voluntary leaves/changes pick any vehicle while some platoon vehicle
+//     is healthy, rather than a healthy one specifically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ahs/parameters.h"
+#include "ahs/severity.h"
+#include "ctmc/chain.h"
+
+namespace ahs {
+
+/// The lumped state, exposed for tests and diagnostics.
+struct LumpedState {
+  std::array<int, Parameters::kMaxPlatoons> lanes{};
+  int nt = 0;
+  std::array<int, kNumManeuvers> maneuvers{};  ///< by escalation stage
+
+  int platoon_vehicles() const {
+    int v = 0;
+    for (int x : lanes) v += x;
+    return v;
+  }
+  int vehicles() const { return platoon_vehicles() + nt; }
+  int maneuvering() const {
+    int m = 0;
+    for (int x : maneuvers) m += x;
+    return m;
+  }
+  int healthy() const { return vehicles() - maneuvering(); }
+  SeverityCounts severity() const;
+
+  friend bool operator==(const LumpedState&, const LumpedState&) = default;
+};
+
+class LumpedModel {
+ public:
+  explicit LumpedModel(Parameters params);
+
+  const Parameters& parameters() const { return params_; }
+
+  /// The number of states including the absorbing UNSAFE state.
+  std::size_t num_states() const;
+
+  /// Index of the absorbing UNSAFE state.
+  std::uint32_t unsafe_state() const;
+
+  /// The underlying chain (built lazily on first use).
+  const ctmc::MarkovChain& chain() const;
+
+  /// The lumped state for index `s` (s != unsafe_state()).
+  const LumpedState& state(std::uint32_t s) const;
+
+  /// S(t) — probability the AHS has reached a catastrophic situation by
+  /// each time point (hours, strictly increasing).
+  std::vector<double> unsafety(std::span<const double> times) const;
+  std::vector<double> unsafety(std::initializer_list<double> times) const {
+    return unsafety(std::span<const double>(times.begin(), times.size()));
+  }
+
+  /// Mean time to the first catastrophic situation (hours) — the system
+  /// MTTF, reported by the extension benches.
+  double mean_time_to_unsafe() const;
+
+  /// Expected number of vehicles on the highway at each time point
+  /// (validation measure for the Dynamicity submodel).
+  std::vector<double> expected_vehicles(std::span<const double> times) const;
+
+  /// E[∫₀ᵗ (#ongoing maneuvers) du] — expected cumulative vehicle-hours
+  /// spent executing recovery maneuvers by time t (interval-of-time reward;
+  /// an operational-cost companion to S(t)).
+  double expected_maneuver_hours(double t) const;
+
+ private:
+  void build() const;
+
+  Parameters params_;
+  mutable bool built_ = false;
+  mutable ctmc::MarkovChain chain_;
+  mutable std::vector<LumpedState> states_;
+  mutable std::uint32_t unsafe_ = 0;
+};
+
+}  // namespace ahs

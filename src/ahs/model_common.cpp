@@ -1,0 +1,82 @@
+#include "ahs/model_common.h"
+
+#include "util/error.h"
+
+namespace ahs {
+
+const std::set<std::string>& shared_place_names() {
+  static const std::set<std::string> kNames = {
+      "IN",        "OUT",       "ext_id",          "joining",
+      "placing",   "leaving_direct", "leaving_transit", "platoons",
+      "active_m",  "class_A",   "class_B",         "class_C",
+      "KO_total",  "safe_exits", "ko_exits"};
+  return kNames;
+}
+
+int lane_find(const san::MarkingRef& m, const LaneRef& lane, int id) {
+  for (int p = 0; p < lane.capacity; ++p)
+    if (lane.get(m, p) == id) return p;
+  return -1;
+}
+
+int lane_size(const san::MarkingRef& m, const LaneRef& lane) {
+  int count = 0;
+  for (int p = 0; p < lane.capacity; ++p) {
+    if (lane.get(m, p) == 0) break;  // compacted: first zero ends the lane
+    ++count;
+  }
+  return count;
+}
+
+void lane_append(const san::MarkingRef& m, const LaneRef& lane, int id) {
+  for (int p = 0; p < lane.capacity; ++p) {
+    if (lane.get(m, p) == 0) {
+      lane.set(m, p, id);
+      return;
+    }
+  }
+  throw util::ModelError("lane_append: platoon is full");
+}
+
+void lane_remove(const san::MarkingRef& m, const LaneRef& lane, int id) {
+  bool found = false;
+  for (int p = 0; p < lane.capacity; ++p) {
+    if (!found && lane.get(m, p) == id) found = true;
+    if (found)
+      lane.set(m, p, p + 1 < lane.capacity ? lane.get(m, p + 1) : 0);
+  }
+}
+
+int lane_rearmost_healthy(const san::MarkingRef& m, const LaneRef& lane,
+                          san::PlaceToken active_m) {
+  const int size = lane_size(m, lane);
+  for (int p = size - 1; p >= 0; --p) {
+    const int id = lane.get(m, p);
+    if (id > 0 &&
+        m.get(active_m, static_cast<std::uint32_t>(id - 1)) == 0)
+      return p;
+  }
+  return -1;
+}
+
+int find_vehicle_lane(const san::MarkingRef& m, san::PlaceToken platoons,
+                      int num_platoons, int capacity, int id) {
+  for (int l = 0; l < num_platoons; ++l) {
+    const LaneRef lane{platoons, l, capacity};
+    if (lane_find(m, lane, id) >= 0) return l;
+  }
+  return -1;
+}
+
+int escort_lane(const san::MarkingRef& m, san::PlaceToken platoons,
+                int num_platoons, int capacity, int lane) {
+  for (int delta : {-1, 1}) {
+    const int l = lane + delta;
+    if (l < 0 || l >= num_platoons) continue;
+    const LaneRef neighbor{platoons, l, capacity};
+    if (lane_size(m, neighbor) > 0) return l;
+  }
+  return -1;
+}
+
+}  // namespace ahs

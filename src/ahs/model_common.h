@@ -1,0 +1,90 @@
+// Shared-place vocabulary and helpers used by all four SAN submodels.
+//
+// The submodels communicate exclusively through shared places, as in the
+// paper's Möbius model (Fig 9).  Naming and roles:
+//
+//   IN, OUT          join pipeline: OUT counts free vehicle slots; the
+//                    timed Join activity (Dynamicity) converts OUT into IN
+//                    at the join rate; Configuration's id_trigger converts
+//                    IN (or an initial budget) into a `joining` flag.
+//   ext_id           cumulative vehicle-id counter (statistics; the
+//                    paper's ID-assignment mechanism).
+//   joining          flag: one vehicle should claim a slot.
+//   placing          vehicle id awaiting platoon placement by JP.
+//   leaving_direct   vehicle id designated to leave from lane 0 (the
+//                    paper's platoon1: adjacent to the exit, no transit).
+//   leaving_transit  vehicle id designated to leave from a lane >= 1 (the
+//                    paper's platoon2: transits 3-4 min first, §4.1).
+//   platoons         extended place of size L·n (lane-major): slot
+//                    l·n + p holds the id of the vehicle at position p of
+//                    platoon l (0 = leader), 0 = empty, compacted per
+//                    lane.  For the paper's configuration L = 2 this is
+//                    exactly Fig 7's platoon1/platoon2 pair.
+//   active_m         extended place of length L·n; active_m[id-1] =
+//                    maneuver stage + 1 of vehicle `id` (0 = healthy) —
+//                    how a gate inspects the state of *adjacent* vehicles.
+//   class_A/B/C      counts of ongoing maneuvers by severity class (the
+//                    paper's Severity extended places).
+//   KO_total         absorbing unsafe flag (the S(t) measure).
+//   safe_exits       cumulative vehicles that left safely (v_OK).
+//   ko_exits         cumulative free-agent ejections after a failed AS
+//                    (v_KO).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "ahs/parameters.h"
+#include "san/atomic_model.h"
+
+namespace ahs {
+
+/// Names of every cross-submodel shared place.
+const std::set<std::string>& shared_place_names();
+
+/// View of one lane inside the lane-major `platoons` extended place.
+struct LaneRef {
+  san::PlaceToken platoons;
+  int lane;      ///< lane index in [0, num_platoons)
+  int capacity;  ///< n = max vehicles per platoon
+
+  std::uint32_t slot(int pos) const {
+    return static_cast<std::uint32_t>(lane * capacity + pos);
+  }
+  int get(const san::MarkingRef& m, int pos) const {
+    return m.get(platoons, slot(pos));
+  }
+  void set(const san::MarkingRef& m, int pos, int id) const {
+    m.set(platoons, slot(pos), id);
+  }
+};
+
+/// Position of `id` in the lane, or -1.
+int lane_find(const san::MarkingRef& m, const LaneRef& lane, int id);
+
+/// Number of occupied (leading) slots of the lane.
+int lane_size(const san::MarkingRef& m, const LaneRef& lane);
+
+/// Appends `id` to the first free slot; throws util::ModelError when full.
+void lane_append(const san::MarkingRef& m, const LaneRef& lane, int id);
+
+/// Removes `id` and compacts the lane; no-op when absent.
+void lane_remove(const san::MarkingRef& m, const LaneRef& lane, int id);
+
+/// Rearmost occupied position whose vehicle is healthy according to
+/// `active_m` (slot id-1 == 0), or -1 when none.
+int lane_rearmost_healthy(const san::MarkingRef& m, const LaneRef& lane,
+                          san::PlaceToken active_m);
+
+/// Lane index holding vehicle `id`, or -1 (free agent / transiting).
+int find_vehicle_lane(const san::MarkingRef& m, san::PlaceToken platoons,
+                      int num_platoons, int capacity, int id);
+
+/// The neighbouring lane whose platoon can escort a TIE-E from `lane`:
+/// the nearest adjacent lane with a non-empty platoon (left preferred),
+/// or -1 when no neighbour exists.
+int escort_lane(const san::MarkingRef& m, san::PlaceToken platoons,
+                int num_platoons, int capacity, int lane);
+
+}  // namespace ahs

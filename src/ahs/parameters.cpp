@@ -1,0 +1,83 @@
+#include "ahs/parameters.h"
+
+#include <sstream>
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace ahs {
+
+const char* to_string(ManeuverTimeModel m) {
+  switch (m) {
+    case ManeuverTimeModel::kExponential: return "exponential";
+    case ManeuverTimeModel::kDeterministic: return "deterministic";
+    case ManeuverTimeModel::kUniform: return "uniform";
+    case ManeuverTimeModel::kErlang3: return "erlang3";
+  }
+  return "?";
+}
+
+util::Distribution Parameters::maneuver_distribution(Maneuver m) const {
+  const double mu = maneuver_rate(m);
+  switch (maneuver_time_model) {
+    case ManeuverTimeModel::kExponential:
+      return util::Distribution::Exponential(mu);
+    case ManeuverTimeModel::kDeterministic:
+      return util::Distribution::Deterministic(1.0 / mu);
+    case ManeuverTimeModel::kUniform:
+      return util::Distribution::Uniform(0.5 / mu, 1.5 / mu);
+    case ManeuverTimeModel::kErlang3:
+      return util::Distribution::Erlang(3, 3.0 * mu);
+  }
+  throw util::InvariantError("unknown maneuver time model");
+}
+
+void Parameters::validate() const {
+  AHS_REQUIRE(max_per_platoon >= 1, "max_per_platoon must be >= 1");
+  AHS_REQUIRE(num_platoons >= 1 && num_platoons <= kMaxPlatoons,
+              "num_platoons must be in [1, " +
+                  std::to_string(kMaxPlatoons) + "]");
+  AHS_REQUIRE(base_failure_rate > 0.0, "base failure rate must be > 0");
+  for (double m : rate_multipliers)
+    AHS_REQUIRE(m > 0.0, "rate multipliers must be > 0");
+  for (double mu : maneuver_rates)
+    AHS_REQUIRE(mu > 0.0, "maneuver rates must be > 0");
+  AHS_REQUIRE(join_rate >= 0.0, "join rate must be >= 0");
+  AHS_REQUIRE(leave_rate >= 0.0, "leave rate must be >= 0");
+  AHS_REQUIRE(change_rate >= 0.0, "change rate must be >= 0");
+  AHS_REQUIRE(transit_rate > 0.0, "transit rate must be > 0");
+  AHS_REQUIRE(q_intrinsic > 0.0 && q_intrinsic <= 1.0,
+              "q_intrinsic must be in (0, 1]");
+  AHS_REQUIRE(max_transit >= 0, "max_transit must be >= 0");
+  bool any_mode = false;
+  for (bool e : failure_mode_enabled) any_mode |= e;
+  AHS_REQUIRE(any_mode, "at least one failure mode must be enabled");
+  AHS_REQUIRE(adjacency_radius >= 0, "adjacency_radius must be >= 0");
+}
+
+std::string Parameters::describe() const {
+  std::ostringstream os;
+  os << "n (max vehicles/platoon) = " << max_per_platoon << ", platoons = "
+     << num_platoons << '\n'
+     << "lambda (base failure rate) = "
+     << util::format_sci(base_failure_rate) << "/h\n"
+     << "failure rates:";
+  for (FailureMode fm : kAllFailureModes)
+    os << ' ' << to_string(fm) << '=' << util::format_sci(failure_rate(fm));
+  os << "\nmaneuver rates (/h):";
+  for (Maneuver m : kAllManeuvers)
+    os << ' ' << short_name(m) << '=' << util::format_fixed(maneuver_rate(m));
+  os << "\njoin = " << util::format_fixed(join_rate)
+     << "/h per free slot, leave = " << util::format_fixed(leave_rate)
+     << "/h per platoon, change = " << util::format_fixed(change_rate)
+     << "/h, transit = " << util::format_fixed(transit_rate, 2) << "/h\n"
+     << "q_intrinsic = " << util::format_fixed(q_intrinsic) << ", strategy = "
+     << to_string(strategy) << ", maneuver times "
+     << to_string(maneuver_time_model);
+  if (adjacency_radius > 0)
+    os << ", severity scope +-" << adjacency_radius << " positions";
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace ahs

@@ -1,0 +1,133 @@
+// All model parameters, with the defaults of §4.1.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "ahs/coordination.h"
+#include "util/distributions.h"
+#include "ahs/types.h"
+
+namespace ahs {
+
+/// Law of the maneuver execution times.  The paper assumes exponential
+/// stages (§4.1) so its model is a CTMC; the discrete-event engine also
+/// supports the physically more plausible alternatives below (same means),
+/// letting the exponential assumption itself be sensitivity-tested
+/// (`bench_distributions`).
+enum class ManeuverTimeModel {
+  kExponential,   ///< the paper's assumption (all engines)
+  kDeterministic, ///< fixed duration 1/μ (simulation engines only)
+  kUniform,       ///< Uniform[0.5/μ, 1.5/μ] (simulation engines only)
+  kErlang3,       ///< 3-stage Erlang, mean 1/μ (simulation engines only)
+};
+
+const char* to_string(ManeuverTimeModel m);
+
+/// Parameter set for one AHS study.  Rates are per hour; times in hours.
+struct Parameters {
+  /// Maximum number of vehicles per platoon (n).  The system holds up to
+  /// num_platoons · n vehicles.
+  int max_per_platoon = 10;
+
+  /// Number of platoons/lanes (the paper studies 2; its conclusion names
+  /// "highways composed of a larger number of platoons" as the natural
+  /// extension, which this implementation supports up to kMaxPlatoons).
+  /// Lane 0 is adjacent to the exit: lane-0 leavers exit directly, leavers
+  /// from other lanes first transit (§4.1's platoon-2 behaviour).
+  int num_platoons = 2;
+
+  static constexpr int kMaxPlatoons = 4;
+
+  /// Base failure rate λ (/h).  Per-mode rates are λ · multiplier with the
+  /// §4.1 multipliers (λ1=λ, λ2=λ3=λ4=2λ, λ5=3λ, λ6=4λ).
+  double base_failure_rate = 1e-5;
+  std::array<double, kNumFailureModes> rate_multipliers = {1, 2, 2, 2, 3, 4};
+
+  /// Per-mode enable switches.  All six modes are active by default (the
+  /// paper's model); validation studies disable modes to keep the exact
+  /// full-model CTMC tractable.
+  std::array<bool, kNumFailureModes> failure_mode_enabled = {true, true, true,
+                                                             true, true, true};
+
+  /// Maneuver execution rates (/h), indexed by Maneuver enumeration order
+  /// {TIE-N, TIE, TIE-E, GS, CS, AS}.  §4.1 bounds them to [15, 30]/h
+  /// (durations of 2–4 minutes); the defaults reflect relative complexity.
+  std::array<double, kNumManeuvers> maneuver_rates = {30, 25, 20, 25, 30, 15};
+
+  /// Distribution family of the maneuver execution times (means stay
+  /// 1/maneuver_rate).  Non-exponential choices are only valid with the
+  /// simulation engines.
+  ManeuverTimeModel maneuver_time_model = ManeuverTimeModel::kExponential;
+
+  /// Vehicle arrival rate per *free slot* (/h).  The paper's Join activity
+  /// is enabled by the OUT place; with Möbius' infinite-server idiom the
+  /// effective arrival rate is join_rate × (free slots), which is the only
+  /// reading consistent with Fig 13 (same-load curves trend together and a
+  /// higher load ρ = join/leave sits fuller).  At the §4.1 defaults the
+  /// system hovers near-full: expected free slots ≈ 2·leave/join ≈ 0.67.
+  double join_rate = 12.0;
+  /// Vehicles voluntarily leaving each platoon (/h per platoon).
+  double leave_rate = 4.0;
+  /// Vehicles switching platoons (/h per direction; §4.1 uses 6/h).
+  double change_rate = 6.0;
+
+  /// A platoon-2 vehicle leaving the highway transits through platoon 1's
+  /// lane for 3–4 minutes (§4.1); modeled as an exponential stage with this
+  /// rate (default 1 / 3.5 min ≈ 17.14/h).
+  double transit_rate = 60.0 / 3.5;
+
+  /// Intrinsic maneuver success probability, conditioned on every required
+  /// assistant being healthy.  The paper does not publish this value; 0.98
+  /// keeps recovery failures rare without making escalation negligible.
+  double q_intrinsic = 0.98;
+
+  /// Lumped-model truncation of the transit dimension: with the §4.1 rates
+  /// the expected transit occupancy is leave_rate/transit_rate ≈ 0.23, so
+  /// P(nt > 6) < 1e-5 of itself; beyond the cap a platoon-2 leaver exits
+  /// directly.  Keeps the uniformization rate (and solve time) flat in n.
+  int max_transit = 6;
+
+  /// Coordination strategy (Table 3).
+  Strategy strategy = Strategy::kDD;
+
+  /// Spatial scope of the Table 2 catastrophic-situation predicate.
+  /// 0 (default, the reproduction's reading of the paper): failures
+  /// anywhere in the multi-platoon neighbourhood count together.
+  /// r > 0: failures only combine when the faulty vehicles sit within r
+  /// positions of each other (own platoon and adjacent lanes) — the
+  /// stricter reading of §2.1.3's "small neighborhood in space"; transiting
+  /// free agents count toward every window.  Supported by the full-SAN
+  /// engines only (the count-lumped model has no positions).
+  int adjacency_radius = 0;
+
+  /// λ_i for a failure mode.
+  double failure_rate(FailureMode fm) const {
+    return base_failure_rate *
+           rate_multipliers[static_cast<std::size_t>(fm)];
+  }
+
+  bool enabled(FailureMode fm) const {
+    return failure_mode_enabled[static_cast<std::size_t>(fm)];
+  }
+
+  /// Maneuver-duration distribution with mean 1/maneuver_rate(m), per
+  /// maneuver_time_model.
+  util::Distribution maneuver_distribution(Maneuver m) const;
+
+  /// μ for a maneuver.
+  double maneuver_rate(Maneuver m) const {
+    return maneuver_rates[static_cast<std::size_t>(m)];
+  }
+
+  /// Total vehicle capacity num_platoons · n.
+  int capacity() const { return num_platoons * max_per_platoon; }
+
+  /// Throws util::PreconditionError on out-of-domain values.
+  void validate() const;
+
+  /// One line per parameter, for experiment logs.
+  std::string describe() const;
+};
+
+}  // namespace ahs

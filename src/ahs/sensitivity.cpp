@@ -1,0 +1,146 @@
+#include "ahs/sensitivity.h"
+
+#include <cmath>
+
+#include "ahs/lumped.h"
+#include "util/error.h"
+
+namespace ahs {
+
+const char* to_string(ScalarParam p) {
+  switch (p) {
+    case ScalarParam::kLambda: return "lambda";
+    case ScalarParam::kQIntrinsic: return "q_intrinsic";
+    case ScalarParam::kJoinRate: return "join_rate";
+    case ScalarParam::kLeaveRate: return "leave_rate";
+    case ScalarParam::kChangeRate: return "change_rate";
+    case ScalarParam::kTransitRate: return "transit_rate";
+    case ScalarParam::kMuAll: return "mu(all maneuvers)";
+    case ScalarParam::kMuTieN: return "mu(TIE-N)";
+    case ScalarParam::kMuTie: return "mu(TIE)";
+    case ScalarParam::kMuTieE: return "mu(TIE-E)";
+    case ScalarParam::kMuGs: return "mu(GS)";
+    case ScalarParam::kMuCs: return "mu(CS)";
+    case ScalarParam::kMuAs: return "mu(AS)";
+  }
+  return "?";
+}
+
+const std::vector<ScalarParam>& all_scalar_params() {
+  static const std::vector<ScalarParam> kAll = {
+      ScalarParam::kLambda,     ScalarParam::kQIntrinsic,
+      ScalarParam::kJoinRate,   ScalarParam::kLeaveRate,
+      ScalarParam::kChangeRate, ScalarParam::kTransitRate,
+      ScalarParam::kMuAll,      ScalarParam::kMuTieN,
+      ScalarParam::kMuTie,      ScalarParam::kMuTieE,
+      ScalarParam::kMuGs,       ScalarParam::kMuCs,
+      ScalarParam::kMuAs};
+  return kAll;
+}
+
+namespace {
+
+int maneuver_index(ScalarParam p) {
+  switch (p) {
+    case ScalarParam::kMuTieN: return 0;
+    case ScalarParam::kMuTie: return 1;
+    case ScalarParam::kMuTieE: return 2;
+    case ScalarParam::kMuGs: return 3;
+    case ScalarParam::kMuCs: return 4;
+    case ScalarParam::kMuAs: return 5;
+    default: return -1;
+  }
+}
+
+}  // namespace
+
+double get_scalar(const Parameters& params, ScalarParam p) {
+  switch (p) {
+    case ScalarParam::kLambda: return params.base_failure_rate;
+    case ScalarParam::kQIntrinsic: return params.q_intrinsic;
+    case ScalarParam::kJoinRate: return params.join_rate;
+    case ScalarParam::kLeaveRate: return params.leave_rate;
+    case ScalarParam::kChangeRate: return params.change_rate;
+    case ScalarParam::kTransitRate: return params.transit_rate;
+    case ScalarParam::kMuAll: return params.maneuver_rates[0];
+    default:
+      return params.maneuver_rates[static_cast<std::size_t>(
+          maneuver_index(p))];
+  }
+}
+
+void set_scalar(Parameters& params, ScalarParam p, double value) {
+  switch (p) {
+    case ScalarParam::kLambda:
+      params.base_failure_rate = value;
+      return;
+    case ScalarParam::kQIntrinsic:
+      params.q_intrinsic = value;
+      return;
+    case ScalarParam::kJoinRate:
+      params.join_rate = value;
+      return;
+    case ScalarParam::kLeaveRate:
+      params.leave_rate = value;
+      return;
+    case ScalarParam::kChangeRate:
+      params.change_rate = value;
+      return;
+    case ScalarParam::kTransitRate:
+      params.transit_rate = value;
+      return;
+    case ScalarParam::kMuAll: {
+      const double scale = value / params.maneuver_rates[0];
+      for (double& mu : params.maneuver_rates) mu *= scale;
+      return;
+    }
+    default:
+      params.maneuver_rates[static_cast<std::size_t>(maneuver_index(p))] =
+          value;
+      return;
+  }
+}
+
+std::vector<Elasticity> unsafety_elasticities(
+    const Parameters& params, double t,
+    const std::vector<ScalarParam>& which, double h) {
+  AHS_REQUIRE(t > 0.0, "evaluation time must be > 0");
+  AHS_REQUIRE(h > 0.0 && h < 0.5, "relative step must be in (0, 0.5)");
+  params.validate();
+
+  const double s0 = LumpedModel(params).unsafety({t})[0];
+  AHS_REQUIRE(s0 > 0.0, "unsafety is zero at the evaluation point");
+
+  std::vector<Elasticity> out;
+  out.reserve(which.size());
+  for (ScalarParam p : which) {
+    const double theta = get_scalar(params, p);
+    // q_intrinsic is capped at 1: fall back to a one-sided difference when
+    // the + step would leave the domain.
+    double up_factor = 1.0 + h;
+    double down_factor = 1.0 - h;
+    if (p == ScalarParam::kQIntrinsic && theta * up_factor > 1.0)
+      up_factor = 1.0;
+
+    Parameters up = params;
+    set_scalar(up, p, theta * up_factor);
+    Parameters down = params;
+    set_scalar(down, p, theta * down_factor);
+
+    const double s_up = up_factor == 1.0
+                            ? s0
+                            : LumpedModel(up).unsafety({t})[0];
+    const double s_down = LumpedModel(down).unsafety({t})[0];
+    const double dlns = std::log(s_up) - std::log(s_down);
+    const double dlntheta = std::log(up_factor) - std::log(down_factor);
+    out.push_back({p, theta, s0, dlns / dlntheta});
+  }
+  return out;
+}
+
+std::vector<Elasticity> unsafety_elasticities(const Parameters& params,
+                                              double t, double h) {
+  return unsafety_elasticities(params, t, all_scalar_params(), h);
+}
+
+}  // namespace ahs

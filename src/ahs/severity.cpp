@@ -1,0 +1,36 @@
+#include "ahs/severity.h"
+
+#include "util/error.h"
+
+namespace ahs {
+
+int catastrophic_situation(const SeverityCounts& s) {
+  AHS_REQUIRE(s.a >= 0 && s.b >= 0 && s.c >= 0,
+              "severity counts must be non-negative");
+  // ST1: at least two Class A failures.
+  if (s.a >= 2) return 1;
+  // ST2: at least one Class A AND {two B, or one B and one C, or three C}.
+  if (s.a >= 1 &&
+      (s.b >= 2 || (s.b >= 1 && s.c >= 1) || s.c >= 3))
+    return 2;
+  // ST3: at least four failures of class B or C.
+  if (s.b + s.c >= 4) return 3;
+  return 0;
+}
+
+bool is_catastrophic(const SeverityCounts& s) {
+  return catastrophic_situation(s) != 0;
+}
+
+std::vector<SeverityCounts> safe_profiles(int max_count) {
+  std::vector<SeverityCounts> out;
+  for (int a = 0; a <= max_count; ++a)
+    for (int b = 0; b <= max_count; ++b)
+      for (int c = 0; c <= max_count; ++c) {
+        const SeverityCounts s{a, b, c};
+        if (!is_catastrophic(s)) out.push_back(s);
+      }
+  return out;
+}
+
+}  // namespace ahs

@@ -1,0 +1,38 @@
+// The catastrophic-situation predicate of Table 2.
+//
+// The AHS reaches an unsafe state when the severity classes of the failures
+// concurrently affecting vehicles in the two-platoon neighbourhood match:
+//   ST1: at least two class-A failures;
+//   ST2: at least one class-A failure AND (two class-B, or one class-B and
+//        one class-C, or three class-C failures);
+//   ST3: at least four failures of class B or C.
+#pragma once
+
+#include <array>
+#include <vector>
+
+namespace ahs {
+
+/// Counts of *ongoing* maneuvers by severity class.
+struct SeverityCounts {
+  int a = 0;
+  int b = 0;
+  int c = 0;
+
+  friend bool operator==(const SeverityCounts&, const SeverityCounts&) =
+      default;
+};
+
+/// Which catastrophic situation (1–3) the counts satisfy; 0 if none.
+/// When several match, the lowest-numbered (most specific) is reported.
+int catastrophic_situation(const SeverityCounts& s);
+
+/// True iff the counts satisfy any of ST1–ST3.
+bool is_catastrophic(const SeverityCounts& s);
+
+/// All (a, b, c) profiles with each count <= max_count that are NOT
+/// catastrophic.  Used to bound the lumped model's state space and by the
+/// exhaustive property tests.
+std::vector<SeverityCounts> safe_profiles(int max_count = 8);
+
+}  // namespace ahs

@@ -1,0 +1,115 @@
+#include "ahs/severity_model.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "ahs/model_common.h"
+#include "ahs/severity.h"
+
+namespace ahs {
+
+namespace {
+
+/// Adjacency-scoped catastrophe check (Parameters::adjacency_radius > 0):
+/// for every vehicle, collect the severity classes of active maneuvers
+/// within ±radius positions in its own and the adjacent lanes (transiting
+/// free agents count everywhere) and evaluate Table 2 on that window.
+bool any_window_catastrophic(const san::MarkingRef& m,
+                             san::PlaceToken platoons,
+                             san::PlaceToken active_m, int num_platoons,
+                             int n, int radius) {
+  // Free agents: maneuvering vehicles absent from every lane.
+  SeverityCounts free_agents;
+  const int cap = num_platoons * n;
+  for (int id = 1; id <= cap; ++id) {
+    const int stage1 = m.get(active_m, static_cast<std::uint32_t>(id - 1));
+    if (stage1 == 0) continue;
+    if (find_vehicle_lane(m, platoons, num_platoons, n, id) >= 0) continue;
+    switch (maneuver_class(static_cast<Maneuver>(stage1 - 1))) {
+      case SeverityClass::kA: ++free_agents.a; break;
+      case SeverityClass::kB: ++free_agents.b; break;
+      case SeverityClass::kC: ++free_agents.c; break;
+    }
+  }
+
+  for (int lane = 0; lane < num_platoons; ++lane) {
+    const LaneRef center{platoons, lane, n};
+    const int size = lane_size(m, center);
+    for (int pos = 0; pos < size; ++pos) {
+      SeverityCounts window = free_agents;
+      for (int l = std::max(0, lane - 1);
+           l <= std::min(num_platoons - 1, lane + 1); ++l) {
+        const LaneRef lr{platoons, l, n};
+        const int lsize = lane_size(m, lr);
+        for (int p = std::max(0, pos - radius);
+             p <= std::min(lsize - 1, pos + radius); ++p) {
+          const int vid = lr.get(m, p);
+          const int stage1 =
+              m.get(active_m, static_cast<std::uint32_t>(vid - 1));
+          if (stage1 == 0) continue;
+          switch (maneuver_class(static_cast<Maneuver>(stage1 - 1))) {
+            case SeverityClass::kA: ++window.a; break;
+            case SeverityClass::kB: ++window.b; break;
+            case SeverityClass::kC: ++window.c; break;
+          }
+        }
+      }
+      if (is_catastrophic(window)) return true;
+    }
+  }
+  // No platoon vehicle anchors a window; free agents alone can still
+  // combine (they share the roadway).
+  return is_catastrophic(free_agents);
+}
+
+}  // namespace
+
+std::shared_ptr<san::AtomicModel> build_severity_model(
+    const Parameters& params) {
+  params.validate();
+  auto model = std::make_shared<san::AtomicModel>("severity");
+
+  const san::PlaceToken class_a = model->place("class_A");
+  const san::PlaceToken class_b = model->place("class_B");
+  const san::PlaceToken class_c = model->place("class_C");
+  const san::PlaceToken ko_total = model->place("KO_total");
+
+  san::Predicate catastrophic;
+  if (params.adjacency_radius == 0) {
+    // Global scope: the shared class counters are the whole story.
+    catastrophic = [class_a, class_b, class_c](const san::MarkingRef& m) {
+      const SeverityCounts s{m.get(class_a), m.get(class_b),
+                             m.get(class_c)};
+      return is_catastrophic(s);
+    };
+  } else {
+    const san::PlaceToken platoons =
+        model->extended_place("platoons", params.capacity());
+    const san::PlaceToken active_m =
+        model->extended_place("active_m", params.capacity());
+    const int lanes = params.num_platoons;
+    const int n = params.max_per_platoon;
+    const int radius = params.adjacency_radius;
+    catastrophic = [platoons, active_m, lanes, n,
+                    radius](const san::MarkingRef& m) {
+      return any_window_catastrophic(m, platoons, active_m, lanes, n,
+                                     radius);
+    };
+  }
+
+  // The paper's KO_allocation input gate + instantaneous to_KO.
+  model->instant_activity("to_KO")
+      .priority(10)
+      .input_gate(
+          [ko_total, catastrophic](const san::MarkingRef& m) {
+            return m.get(ko_total) == 0 && catastrophic(m);
+          },
+          nullptr)
+      .output_gate([ko_total](const san::MarkingRef& m) {
+        m.set(ko_total, 1);
+      });
+
+  return model;
+}
+
+}  // namespace ahs

@@ -1,0 +1,16 @@
+// The Severity SAN submodel (Fig 6): watches the shared class_A/B/C
+// counters of ongoing maneuvers and absorbs into KO_total the instant the
+// Table 2 predicate (ST1–ST3) is satisfied.
+#pragma once
+
+#include <memory>
+
+#include "ahs/parameters.h"
+#include "san/atomic_model.h"
+
+namespace ahs {
+
+std::shared_ptr<san::AtomicModel> build_severity_model(
+    const Parameters& params);
+
+}  // namespace ahs

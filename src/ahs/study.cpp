@@ -1,0 +1,142 @@
+#include "ahs/study.h"
+
+#include "ahs/lumped.h"
+#include "ahs/system_model.h"
+#include "ctmc/state_space.h"
+#include "ctmc/uniformization.h"
+#include "sim/transient.h"
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace ahs {
+
+const char* to_string(Engine e) {
+  switch (e) {
+    case Engine::kLumpedCtmc: return "lumped-ctmc";
+    case Engine::kSimulation: return "simulation";
+    case Engine::kSimulationIS: return "simulation-is";
+    case Engine::kFullCtmc: return "full-ctmc";
+  }
+  return "?";
+}
+
+Engine parse_engine(const std::string& s) {
+  const std::string u = util::to_lower(s);
+  if (u == "lumped-ctmc" || u == "lumped") return Engine::kLumpedCtmc;
+  if (u == "simulation" || u == "sim") return Engine::kSimulation;
+  if (u == "simulation-is" || u == "sim-is" || u == "is")
+    return Engine::kSimulationIS;
+  if (u == "full-ctmc" || u == "full") return Engine::kFullCtmc;
+  throw util::PreconditionError(
+      "unknown engine '" + s +
+      "' (expected lumped-ctmc, simulation, simulation-is, or full-ctmc)");
+}
+
+std::vector<double> trip_duration_grid() { return {2, 4, 6, 8, 10}; }
+
+namespace {
+
+UnsafetyCurve run_lumped(const Parameters& params,
+                         const std::vector<double>& times) {
+  LumpedModel model(params);
+  UnsafetyCurve curve;
+  curve.times = times;
+  curve.unsafety = model.unsafety(times);
+  curve.half_width.assign(times.size(), 0.0);
+  return curve;
+}
+
+UnsafetyCurve run_full_ctmc(const Parameters& params,
+                            const std::vector<double>& times,
+                            const StudyOptions& options) {
+  const san::FlatModel model = build_system_model(params);
+  const std::size_t ko = model.place_index("KO_total");
+  const std::uint32_t ko_slot = model.place_offset(ko);
+
+  ctmc::StateSpaceOptions ss_opts;
+  ss_opts.max_states = options.max_states;
+  ss_opts.absorbing = [ko_slot](std::span<const std::int32_t> m) {
+    return m[ko_slot] > 0;
+  };
+  // Pure statistics counters: unbounded, write-only — project them out so
+  // the state space stays finite (exact lumping).
+  ss_opts.ignore_places = {"ext_id", "safe_exits", "ko_exits"};
+  const ctmc::StateSpace space = ctmc::build_state_space(model, ss_opts);
+  const std::vector<double> reward = space.state_rewards(
+      [ko_slot](std::span<const std::int32_t> m) {
+        return m[ko_slot] > 0 ? 1.0 : 0.0;
+      });
+
+  ctmc::UniformizationOptions u_opts;
+  u_opts.epsilon = 1e-14;
+  const auto sol = ctmc::solve_transient(space.chain, reward, times, u_opts);
+
+  UnsafetyCurve curve;
+  curve.times = times;
+  curve.unsafety = sol.expected_reward;
+  curve.half_width.assign(times.size(), 0.0);
+  return curve;
+}
+
+UnsafetyCurve run_simulation(const Parameters& params,
+                             const std::vector<double>& times,
+                             const StudyOptions& options, bool importance) {
+  const san::FlatModel model = build_system_model(params);
+  const san::RewardFn reward = unsafety_reward(model);
+
+  sim::BiasPlan bias;
+  if (importance) {
+    bias.boost = options.failure_boost;
+    for (std::size_t i = 1; i <= kNumFailureModes; ++i)
+      bias.boosted.insert("L" + std::to_string(i));
+    // Push each maneuver's failure case toward fail_case_bias.
+    for (std::size_t k = 1; k <= kNumManeuvers; ++k)
+      bias.case_bias["M" + std::to_string(k)] = {
+          1.0 - options.fail_case_bias, options.fail_case_bias};
+  }
+
+  sim::TransientOptions t_opts;
+  t_opts.time_points = times;
+  t_opts.min_replications = options.min_replications;
+  t_opts.max_replications = options.max_replications;
+  t_opts.rel_half_width = options.rel_half_width;
+  t_opts.confidence = options.confidence;
+  t_opts.seed = options.seed;
+  t_opts.absorbing_indicator = true;
+  t_opts.bias = importance ? &bias : nullptr;
+
+  const sim::TransientResult result =
+      sim::estimate_transient(model, reward, t_opts);
+
+  UnsafetyCurve curve;
+  curve.times = times;
+  for (const auto& ci : result.estimates) {
+    curve.unsafety.push_back(ci.mean);
+    curve.half_width.push_back(ci.half_width);
+  }
+  curve.replications = result.replications;
+  curve.converged = result.converged;
+  return curve;
+}
+
+}  // namespace
+
+UnsafetyCurve unsafety_curve(const Parameters& params,
+                             const std::vector<double>& times,
+                             const StudyOptions& options) {
+  params.validate();
+  AHS_REQUIRE(!times.empty(), "need at least one time point");
+  switch (options.engine) {
+    case Engine::kLumpedCtmc:
+      return run_lumped(params, times);
+    case Engine::kFullCtmc:
+      return run_full_ctmc(params, times, options);
+    case Engine::kSimulation:
+      return run_simulation(params, times, options, false);
+    case Engine::kSimulationIS:
+      return run_simulation(params, times, options, true);
+  }
+  throw util::InvariantError("unknown engine");
+}
+
+}  // namespace ahs

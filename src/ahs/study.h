@@ -1,0 +1,68 @@
+// High-level experiment driver: computes the paper's unsafety measure S(t)
+// for a parameter set with a choice of engine.
+//
+//   kLumpedCtmc     exchangeability-lumped CTMC + uniformization (exact up
+//                   to the lumping approximations; reaches 1e-13 — the
+//                   engine behind every figure bench);
+//   kSimulation     terminating simulation of the full SAN model, the
+//                   paper's §4.1 protocol (10k+ replications, 95 % / 0.1
+//                   relative CI); practical for λ ≳ 1e-3/h;
+//   kSimulationIS   same with failure biasing + maneuver-failure case
+//                   biasing; practical down to λ ≈ 1e-5/h;
+//   kFullCtmc       exact CTMC of the full SAN model (small n only).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ahs/parameters.h"
+#include "util/stats.h"
+
+namespace ahs {
+
+enum class Engine { kLumpedCtmc, kSimulation, kSimulationIS, kFullCtmc };
+
+const char* to_string(Engine e);
+Engine parse_engine(const std::string& s);
+
+struct StudyOptions {
+  Engine engine = Engine::kLumpedCtmc;
+
+  // Simulation-engine knobs (ignored by the CTMC engines).
+  std::uint64_t min_replications = 2'000;
+  std::uint64_t max_replications = 400'000;
+  double rel_half_width = 0.1;   ///< paper §4.1
+  double confidence = 0.95;      ///< paper §4.1
+  std::uint64_t seed = 42;
+  /// Failure-activity boost for kSimulationIS.  Choose it so the *expected
+  /// number of boosted failure events per replication* stays O(1–5):
+  /// overbiasing (hundreds of boosted failures per path) makes the
+  /// estimator's finite-sample distribution heavy-tailed and biased low.
+  /// A practical rule: boost ≈ target_failures /
+  /// (vehicles · Σλ_i · horizon).
+  double failure_boost = 50.0;
+  /// Biased maneuver-failure case probability for kSimulationIS.
+  double fail_case_bias = 0.2;
+
+  // Full-CTMC knob.
+  std::size_t max_states = 2'000'000;
+};
+
+struct UnsafetyCurve {
+  std::vector<double> times;      ///< hours
+  std::vector<double> unsafety;   ///< S(t)
+  /// CI half-widths (simulation engines only; 0 for CTMC engines).
+  std::vector<double> half_width;
+  std::uint64_t replications = 0;  ///< simulation engines only
+  bool converged = true;
+};
+
+/// Computes S(t) at the given times (hours, strictly increasing).
+UnsafetyCurve unsafety_curve(const Parameters& params,
+                             const std::vector<double>& times,
+                             const StudyOptions& options = {});
+
+/// Convenience: the paper's canonical trip-duration grid 2..10 h.
+std::vector<double> trip_duration_grid();
+
+}  // namespace ahs

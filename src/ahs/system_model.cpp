@@ -1,0 +1,33 @@
+#include "ahs/system_model.h"
+
+#include "ahs/configuration_model.h"
+#include "ahs/dynamicity_model.h"
+#include "ahs/model_common.h"
+#include "ahs/severity_model.h"
+#include "ahs/vehicle_model.h"
+#include "san/rewards.h"
+
+namespace ahs {
+
+san::CompositionPtr build_system_composition(const Parameters& params) {
+  params.validate();
+  const auto& shared = shared_place_names();
+  auto vehicles =
+      san::Rep("vehicles", san::Leaf(build_vehicle_model(params)),
+               static_cast<std::uint32_t>(params.capacity()), shared);
+  return san::Join("ahs",
+                   {vehicles, san::Leaf(build_configuration_model(params)),
+                    san::Leaf(build_dynamicity_model(params)),
+                    san::Leaf(build_severity_model(params))},
+                   shared);
+}
+
+san::FlatModel build_system_model(const Parameters& params) {
+  return san::flatten(build_system_composition(params));
+}
+
+san::RewardFn unsafety_reward(const san::FlatModel& model) {
+  return san::indicator_nonzero(model, "KO_total");
+}
+
+}  // namespace ahs

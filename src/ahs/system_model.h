@@ -1,0 +1,28 @@
+// The composed system model of Fig 9:
+//
+//   Join("ahs", { Rep("vehicles", One_vehicle, 2n, shared),
+//                 Configuration, Dynamicity, Severity }, shared)
+//
+// flattened into an executable san::FlatModel.  All timed activities are
+// exponential, so the model can be run by the discrete-event simulator
+// (with or without importance sampling) and, for small n, turned into an
+// exact CTMC by ctmc::build_state_space.
+#pragma once
+
+#include "ahs/parameters.h"
+#include "san/composition.h"
+#include "san/flat_model.h"
+#include "san/rewards.h"
+
+namespace ahs {
+
+/// Builds the composition tree (exposed for structural tests).
+san::CompositionPtr build_system_composition(const Parameters& params);
+
+/// Builds and flattens the full system model.
+san::FlatModel build_system_model(const Parameters& params);
+
+/// The unsafety reward (indicator of KO_total) for a flattened system model.
+san::RewardFn unsafety_reward(const san::FlatModel& model);
+
+}  // namespace ahs

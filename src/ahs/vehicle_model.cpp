@@ -1,0 +1,276 @@
+#include "ahs/vehicle_model.h"
+
+#include <string>
+
+#include "ahs/model_common.h"
+#include "ahs/severity.h"
+#include "util/error.h"
+
+namespace ahs {
+
+namespace {
+
+/// Everything a gate closure needs, captured once per model.
+struct VehicleContext {
+  Parameters params;
+  CoordinationPolicy policy{Strategy::kDD};
+
+  // Local places.
+  san::PlaceToken my_id, transiting;
+  std::array<san::PlaceToken, kNumFailureModes> cc;
+  std::array<san::PlaceToken, kNumManeuvers> sm;  // by escalation stage
+
+  // Shared places.
+  san::PlaceToken out, joining, placing, leaving_direct, leaving_transit;
+  san::PlaceToken platoons, active_m;
+  san::PlaceToken class_a, class_b, class_c, ko_total;
+  san::PlaceToken safe_exits, ko_exits;
+
+  san::PlaceToken class_place(Maneuver m) const {
+    switch (maneuver_class(m)) {
+      case SeverityClass::kA: return class_a;
+      case SeverityClass::kB: return class_b;
+      case SeverityClass::kC: return class_c;
+    }
+    throw util::InvariantError("unknown severity class");
+  }
+
+  int me(const san::MarkingRef& ref) const {
+    return static_cast<int>(ref.replica()) + 1;
+  }
+
+  /// Current maneuver stage of this vehicle: 0 = none, 1..6 = stage+1.
+  int current_stage(const san::MarkingRef& ref) const {
+    return ref.get(active_m, ref.replica());
+  }
+
+  /// Activates maneuver stage `k1` (1-based), preempting a lower stage.
+  void activate(const san::MarkingRef& ref, int k1) const {
+    const int cur = current_stage(ref);
+    if (cur >= k1) return;  // a higher/equal-priority maneuver runs already
+    if (cur > 0) {
+      ref.add(sm[cur - 1], -1);
+      ref.add(class_place(static_cast<Maneuver>(cur - 1)), -1);
+    }
+    ref.add(sm[k1 - 1], +1);
+    ref.add(class_place(static_cast<Maneuver>(k1 - 1)), +1);
+    ref.set(active_m, ref.replica(), k1);
+  }
+
+  /// Deactivates stage `k1` without replacement bookkeeping.
+  void deactivate(const san::MarkingRef& ref, int k1) const {
+    ref.add(sm[k1 - 1], -1);
+    ref.add(class_place(static_cast<Maneuver>(k1 - 1)), -1);
+    ref.set(active_m, ref.replica(), 0);
+  }
+
+  /// Clears the replica back to the idle pool and frees a slot.
+  void reset_and_free(const san::MarkingRef& ref) const {
+    for (auto p : cc) ref.set(p, 0);
+    ref.set(my_id, 0);
+    ref.set(transiting, 0);
+    ref.add(out, +1);
+  }
+
+  /// Removes this vehicle from whichever platoon holds it (no-op for
+  /// free agents / transiting vehicles).
+  void leave_platoons(const san::MarkingRef& ref) const {
+    const int id = me(ref);
+    for (int l = 0; l < params.num_platoons; ++l)
+      lane_remove(ref, LaneRef{platoons, l, params.max_per_platoon}, id);
+  }
+
+  /// Success probability of maneuver `m` for this vehicle, given the
+  /// coordination strategy and the health of the required assistants.
+  double success_probability(const san::MarkingRef& ref, Maneuver m) const {
+    const int id = me(ref);
+    const int n = params.max_per_platoon;
+    const int my_lane = find_vehicle_lane(ref, platoons,
+                                          params.num_platoons, n, id);
+    if (my_lane < 0) {
+      // Free agent (e.g. failed while transiting): no assistance available.
+      const AssistantSet solo = policy.assistants(m, 0, 1);
+      const bool needs_help =
+          !solo.own_platoon_positions.empty() || solo.neighbor_leader;
+      return needs_help ? 0.0 : params.q_intrinsic;
+    }
+    const LaneRef own{platoons, my_lane, n};
+    const int pos = lane_find(ref, own, id);
+    const int size = lane_size(ref, own);
+    const AssistantSet set = policy.assistants(m, pos, size);
+    for (int p : set.own_platoon_positions) {
+      const int vid = own.get(ref, p);
+      if (vid == 0) continue;  // compaction guarantees this only past `size`
+      if (ref.get(active_m, static_cast<std::uint32_t>(vid - 1)) != 0)
+        return 0.0;  // required assistant is itself recovering
+    }
+    if (set.neighbor_leader) {
+      const int nl = escort_lane(ref, platoons, params.num_platoons, n,
+                                 my_lane);
+      if (nl < 0) return 0.0;  // no neighbouring platoon to escort
+      const int leader = LaneRef{platoons, nl, n}.get(ref, 0);
+      if (ref.get(active_m, static_cast<std::uint32_t>(leader - 1)) != 0)
+        return 0.0;
+    }
+    return params.q_intrinsic;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<san::AtomicModel> build_vehicle_model(
+    const Parameters& params) {
+  params.validate();
+  auto model = std::make_shared<san::AtomicModel>("one_vehicle");
+  auto ctx = std::make_shared<VehicleContext>();
+  ctx->params = params;
+  ctx->policy = CoordinationPolicy(params.strategy);
+
+  const int cap = params.capacity();
+
+  // Local places.
+  ctx->my_id = model->place("my_id");
+  ctx->transiting = model->place("transiting");
+  for (std::size_t i = 0; i < kNumFailureModes; ++i)
+    ctx->cc[i] = model->place("CC" + std::to_string(i + 1));
+  for (std::size_t k = 0; k < kNumManeuvers; ++k)
+    ctx->sm[k] = model->place("SM" + std::to_string(k + 1));
+
+  // Shared places (merged with the other submodels by name).
+  ctx->out = model->place("OUT");
+  ctx->joining = model->place("joining");
+  ctx->placing = model->place("placing");
+  ctx->leaving_direct = model->place("leaving_direct");
+  ctx->leaving_transit = model->place("leaving_transit");
+  ctx->platoons = model->extended_place("platoons", cap);
+  ctx->active_m = model->extended_place("active_m", cap);
+  ctx->class_a = model->place("class_A");
+  ctx->class_b = model->place("class_B");
+  ctx->class_c = model->place("class_C");
+  ctx->ko_total = model->place("KO_total");
+  ctx->safe_exits = model->place("safe_exits");
+  ctx->ko_exits = model->place("ko_exits");
+
+  // --- claim: an idle replica adopts the joining vehicle's identity.
+  model->instant_activity("claim")
+      .priority(7)
+      .input_gate(
+          [ctx](const san::MarkingRef& m) {
+            return m.get(ctx->joining) > 0 && m.get(ctx->my_id) == 0;
+          },
+          [ctx](const san::MarkingRef& m) {
+            m.add(ctx->joining, -1);
+            const int id = ctx->me(m);
+            m.set(ctx->my_id, id);
+            for (auto cc : ctx->cc) m.set(cc, 1);
+            m.set(ctx->placing, id);
+          });
+
+  // --- voluntary leave from lane 0 (designated by Dynamicity).
+  model->instant_activity("voluntary_exit")
+      .priority(6)
+      .input_gate(
+          [ctx](const san::MarkingRef& m) {
+            return m.get(ctx->leaving_direct) == ctx->me(m) &&
+                   m.get(ctx->my_id) > 0;
+          },
+          [ctx](const san::MarkingRef& m) {
+            m.set(ctx->leaving_direct, 0);
+            ctx->reset_and_free(m);
+            m.add(ctx->safe_exits, +1);
+          });
+
+  // --- leavers from other lanes enter the transit phase first (§4.1).
+  model->instant_activity("start_transit")
+      .priority(6)
+      .input_gate(
+          [ctx](const san::MarkingRef& m) {
+            return m.get(ctx->leaving_transit) == ctx->me(m) &&
+                   m.get(ctx->my_id) > 0;
+          },
+          [ctx](const san::MarkingRef& m) {
+            m.set(ctx->leaving_transit, 0);
+            m.set(ctx->transiting, 1);
+          });
+
+  // --- transit completes: the vehicle leaves the highway (§4.1: 3–4 min).
+  model->timed_activity("exit_transit")
+      .distribution(util::Distribution::Exponential(params.transit_rate))
+      .input_gate(
+          [ctx](const san::MarkingRef& m) {
+            return m.get(ctx->transiting) > 0 && ctx->current_stage(m) == 0;
+          },
+          [ctx](const san::MarkingRef& m) {
+            ctx->reset_and_free(m);
+            m.add(ctx->safe_exits, +1);
+          });
+
+  // --- failure modes L1..L6 (Table 1).
+  for (std::size_t i = 0; i < kNumFailureModes; ++i) {
+    const auto fm = static_cast<FailureMode>(i);
+    if (!params.enabled(fm)) continue;
+    const int k1 = stage(maneuver_for(fm)) + 1;
+    model->timed_activity("L" + std::to_string(i + 1))
+        .distribution(util::Distribution::Exponential(params.failure_rate(fm)))
+        .input_gate(
+            [ctx, i](const san::MarkingRef& m) {
+              return m.get(ctx->my_id) > 0 && m.get(ctx->cc[i]) > 0 &&
+                     m.get(ctx->ko_total) == 0;
+            },
+            [ctx, i](const san::MarkingRef& m) { m.add(ctx->cc[i], -1); })
+        .output_gate([ctx, k1](const san::MarkingRef& m) {
+          ctx->activate(m, k1);
+        });
+  }
+
+  // --- maneuver executions M1..M6 (one per escalation stage).
+  for (std::size_t k = 0; k < kNumManeuvers; ++k) {
+    const auto m_enum = static_cast<Maneuver>(k);
+    const int k1 = static_cast<int>(k) + 1;
+    auto act =
+        model->timed_activity("M" + std::to_string(k1))
+            .distribution(params.maneuver_distribution(m_enum))
+            .input_gate([ctx, k](const san::MarkingRef& m) {
+              return m.get(ctx->sm[k]) > 0 && m.get(ctx->ko_total) == 0;
+            });
+    // Case 0: success — the vehicle exits the highway safely.
+    act.add_case([ctx, m_enum](const san::MarkingRef& m) {
+      return ctx->success_probability(m, m_enum);
+    });
+    // Case 1: failure — escalate, or eject as free agent after AS.
+    act.add_case([ctx, m_enum](const san::MarkingRef& m) {
+      return 1.0 - ctx->success_probability(m, m_enum);
+    });
+    act.output_gate(
+        [ctx, k1](const san::MarkingRef& m) {
+          ctx->deactivate(m, k1);
+          ctx->leave_platoons(m);
+          ctx->reset_and_free(m);
+          m.add(ctx->safe_exits, +1);
+        },
+        /*case_idx=*/0);
+    if (k + 1 < kNumManeuvers) {
+      act.output_gate(
+          [ctx, k1](const san::MarkingRef& m) {
+            ctx->deactivate(m, k1);
+            ctx->activate(m, k1 + 1);
+          },
+          /*case_idx=*/1);
+    } else {
+      // Failed Aided Stop: the vehicle becomes a free agent (v_KO); the
+      // platoons continue without it and the slot is eventually refilled.
+      act.output_gate(
+          [ctx, k1](const san::MarkingRef& m) {
+            ctx->deactivate(m, k1);
+            ctx->leave_platoons(m);
+            ctx->reset_and_free(m);
+            m.add(ctx->ko_exits, +1);
+          },
+          /*case_idx=*/1);
+    }
+  }
+
+  return model;
+}
+
+}  // namespace ahs

@@ -1,0 +1,36 @@
+// The One_vehicle SAN submodel (Fig 5), replicated 2n times.
+//
+// Behaviour per replica:
+//   * claim        — on the shared `joining` flag, an idle replica adopts
+//                    identity replica+1, arms its six failure modes
+//                    (places CC1..CC6) and requests platoon placement.
+//   * L1..L6       — timed failure-mode occurrences (rates λ_i).  A firing
+//                    activates the associated maneuver unless a
+//                    higher-priority maneuver is already running; a running
+//                    lower-priority maneuver is preempted (§2.1.1/§2.1.2).
+//   * M1..M6       — timed maneuver executions (rates μ), one per
+//                    escalation stage, with success/failure cases.  Success
+//                    requires every assistant demanded by the coordination
+//                    strategy to be healthy (checked against the shared
+//                    `active_m` place) plus an intrinsic Bernoulli
+//                    q_intrinsic; failure escalates along Fig 2's chain;
+//                    a failed Aided Stop ejects the vehicle as a free agent
+//                    (v_KO).
+//   * voluntary_exit / start_transit / exit_transit — the Dynamicity
+//                    submodel designates leavers through the shared
+//                    leaving1/leaving2 places; platoon-2 leavers transit
+//                    (3–4 min) before freeing their slot (§4.1).
+#pragma once
+
+#include <memory>
+
+#include "ahs/parameters.h"
+#include "san/atomic_model.h"
+
+namespace ahs {
+
+/// Builds the One_vehicle atomic model for the given parameters.
+std::shared_ptr<san::AtomicModel> build_vehicle_model(
+    const Parameters& params);
+
+}  // namespace ahs

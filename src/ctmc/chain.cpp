@@ -1,0 +1,42 @@
+#include "ctmc/chain.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ctmc {
+
+double MarkovChain::max_exit_rate() const {
+  double m = 0.0;
+  for (double r : exit_rate) m = std::max(m, r);
+  return m;
+}
+
+void MarkovChain::validate() const {
+  if (rates.rows() != num_states || rates.cols() != num_states)
+    throw util::ModelError("rate matrix dimensions disagree with num_states");
+  if (exit_rate.size() != num_states)
+    throw util::ModelError("exit_rate size disagrees with num_states");
+  if (initial.size() != num_states)
+    throw util::ModelError("initial distribution size disagrees");
+  double total = 0.0;
+  for (double p : initial) {
+    if (p < 0.0) throw util::ModelError("negative initial probability");
+    total += p;
+  }
+  if (std::abs(total - 1.0) > 1e-9)
+    throw util::ModelError("initial distribution sums to " +
+                           std::to_string(total));
+  for (std::uint32_t s = 0; s < num_states; ++s) {
+    const auto vals = rates.row_values(s);
+    double sum = 0.0;
+    for (double v : vals) {
+      if (v < 0.0) throw util::ModelError("negative transition rate");
+      sum += v;
+    }
+    if (std::abs(sum - exit_rate[s]) > 1e-9 * std::max(1.0, sum))
+      throw util::ModelError("exit_rate inconsistent with rate rows");
+  }
+}
+
+}  // namespace ctmc

@@ -1,0 +1,27 @@
+// A finite continuous-time Markov chain in the form the solvers consume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ctmc/sparse.h"
+
+namespace ctmc {
+
+/// Off-diagonal rates in CSR; the diagonal is implied (−exit_rate).
+/// Absorbing states simply have an empty row.
+struct MarkovChain {
+  std::uint32_t num_states = 0;
+  CsrMatrix rates;                ///< rates[i][j] = transition rate i→j (i≠j)
+  std::vector<double> exit_rate;  ///< row sums of `rates`
+  std::vector<double> initial;    ///< initial distribution, sums to 1
+
+  /// Largest exit rate (uniformization constant base).
+  double max_exit_rate() const;
+
+  /// Checks structural sanity: dimensions agree, rates non-negative,
+  /// initial distribution sums to 1 within tolerance.  Throws.
+  void validate() const;
+};
+
+}  // namespace ctmc

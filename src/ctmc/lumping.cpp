@@ -1,0 +1,170 @@
+#include "ctmc/lumping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace ctmc {
+
+namespace {
+
+/// Renumbers arbitrary block labels to dense 0..m-1.
+std::uint32_t normalize(std::vector<std::uint32_t>& blocks) {
+  std::map<std::uint32_t, std::uint32_t> remap;
+  for (std::uint32_t& b : blocks) {
+    const auto [it, inserted] =
+        remap.emplace(b, static_cast<std::uint32_t>(remap.size()));
+    b = it->second;
+  }
+  return static_cast<std::uint32_t>(remap.size());
+}
+
+}  // namespace
+
+LumpingResult lump_ordinary(const MarkovChain& chain,
+                            const std::vector<std::uint32_t>&
+                                initial_partition,
+                            const LumpingOptions& options) {
+  const std::uint32_t n = chain.num_states;
+  AHS_REQUIRE(initial_partition.size() == n,
+              "initial partition size mismatch");
+  AHS_REQUIRE(options.tolerance >= 0.0, "tolerance must be >= 0");
+
+  LumpingResult res;
+  res.block_of = initial_partition;
+  std::uint32_t m = normalize(res.block_of);
+
+  // Refinement loop: recompute each state's signature — the vector of
+  // rate sums into every current block — and split blocks whose members
+  // disagree.  Repeat until no split occurs.
+  std::vector<double> sums(m, 0.0);
+  bool changed = true;
+  while (changed) {
+    AHS_REQUIRE(++res.passes <= options.max_passes,
+                "lumping refinement did not converge");
+    changed = false;
+
+    // signature[s]: sorted (block, rate) pairs with near-equal rates
+    // quantized through the comparator below.
+    std::vector<std::vector<std::pair<std::uint32_t, double>>> signature(n);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      sums.assign(m, 0.0);
+      const auto cols = chain.rates.row_cols(s);
+      const auto vals = chain.rates.row_values(s);
+      for (std::size_t k = 0; k < cols.size(); ++k)
+        sums[res.block_of[cols[k]]] += vals[k];
+      // Exclude the state's own block: ordinary lumpability constrains
+      // only the rates *leaving* the block (within-block moves collapse).
+      for (std::uint32_t b = 0; b < m; ++b)
+        if (b != res.block_of[s] && sums[b] > 0.0)
+          signature[s].emplace_back(b, sums[b]);
+    }
+
+    auto equal_sig = [&](std::uint32_t a, std::uint32_t b) {
+      const auto& sa = signature[a];
+      const auto& sb = signature[b];
+      if (sa.size() != sb.size()) return false;
+      for (std::size_t i = 0; i < sa.size(); ++i) {
+        if (sa[i].first != sb[i].first) return false;
+        const double x = sa[i].second, y = sb[i].second;
+        if (std::abs(x - y) >
+            options.tolerance * std::max({1.0, std::abs(x), std::abs(y)}))
+          return false;
+      }
+      return true;
+    };
+
+    // Within each block, group states by signature equality.
+    std::vector<std::vector<std::uint32_t>> members(m);
+    for (std::uint32_t s = 0; s < n; ++s)
+      members[res.block_of[s]].push_back(s);
+
+    std::uint32_t next_label = m;
+    for (std::uint32_t b = 0; b < m; ++b) {
+      auto& states = members[b];
+      if (states.size() <= 1) continue;
+      // Representative-based grouping (quadratic in block size in the
+      // worst case; blocks are small in the symmetric models this serves).
+      std::vector<std::uint32_t> reps;
+      std::vector<std::uint32_t> group_label;
+      for (std::uint32_t s : states) {
+        bool found = false;
+        for (std::size_t g = 0; g < reps.size(); ++g) {
+          if (equal_sig(s, reps[g])) {
+            if (group_label[g] != res.block_of[s]) {
+              res.block_of[s] = group_label[g];
+              changed = true;
+            }
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          reps.push_back(s);
+          // First group keeps the old label; later groups get fresh ones.
+          const std::uint32_t label =
+              reps.size() == 1 ? b : next_label++;
+          group_label.push_back(label);
+          if (label != res.block_of[s]) {
+            res.block_of[s] = label;
+            changed = true;
+          }
+        }
+      }
+    }
+    if (changed) {
+      m = normalize(res.block_of);
+      sums.assign(m, 0.0);
+    }
+  }
+
+  // Build the quotient from one representative per block.
+  res.num_blocks = m;
+  std::vector<std::uint32_t> rep(m, UINT32_MAX);
+  for (std::uint32_t s = 0; s < n; ++s)
+    if (rep[res.block_of[s]] == UINT32_MAX) rep[res.block_of[s]] = s;
+
+  std::vector<Triplet> triplets;
+  for (std::uint32_t b = 0; b < m; ++b) {
+    const std::uint32_t s = rep[b];
+    sums.assign(m, 0.0);
+    const auto cols = chain.rates.row_cols(s);
+    const auto vals = chain.rates.row_values(s);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      sums[res.block_of[cols[k]]] += vals[k];
+    for (std::uint32_t c = 0; c < m; ++c)
+      if (c != b && sums[c] > 0.0) triplets.push_back({b, c, sums[c]});
+  }
+  res.quotient.num_states = m;
+  res.quotient.rates = CsrMatrix::from_triplets(m, m, std::move(triplets));
+  res.quotient.exit_rate.resize(m);
+  for (std::uint32_t b = 0; b < m; ++b)
+    res.quotient.exit_rate[b] = res.quotient.rates.row_sum(b);
+  res.quotient.initial.assign(m, 0.0);
+  for (std::uint32_t s = 0; s < n; ++s)
+    res.quotient.initial[res.block_of[s]] += chain.initial[s];
+  res.quotient.validate();
+  return res;
+}
+
+LumpingResult lump_by_reward(const MarkovChain& chain,
+                             const std::vector<double>& reward,
+                             const LumpingOptions& options) {
+  AHS_REQUIRE(reward.size() == chain.num_states, "reward size mismatch");
+  // Group by quantized reward value.
+  std::map<long long, std::uint32_t> value_block;
+  std::vector<std::uint32_t> partition(chain.num_states);
+  for (std::uint32_t s = 0; s < chain.num_states; ++s) {
+    const auto key = static_cast<long long>(
+        std::llround(reward[s] / std::max(options.tolerance, 1e-12)));
+    const auto [it, inserted] = value_block.emplace(
+        key, static_cast<std::uint32_t>(value_block.size()));
+    partition[s] = it->second;
+  }
+  return lump_ordinary(chain, partition, options);
+}
+
+}  // namespace ctmc

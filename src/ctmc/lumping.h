@@ -1,0 +1,56 @@
+// Ordinary lumpability by partition refinement.
+//
+// A partition {B₁,…,B_m} of the state space is *ordinarily lumpable* when
+// every state of a block has the same total rate into every (other) block;
+// the quotient process is then a CTMC for any initial distribution, and
+// block probabilities are exact.  This is the formal device behind both
+// Möbius' Rep symmetry reduction and this repository's hand-lumped AHS
+// model (src/ahs/lumped.*): replicated submodels induce a permutation
+// symmetry whose orbits are a lumpable partition.
+//
+// `lump_ordinary` refines a caller-supplied initial partition (typically:
+// states grouped by reward value, so the measure is preserved) to the
+// coarsest lumpable partition finer than it, and returns the quotient
+// chain.  Complexity of this splitter-loop implementation is
+// O(iterations · nnz); fine for the ≤1e6-edge chains the test models
+// produce (Paige–Tarjan bookkeeping would be the next step for bigger
+// chains).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ctmc/chain.h"
+
+namespace ctmc {
+
+struct LumpingOptions {
+  /// Two rate sums are considered equal within this relative tolerance.
+  double tolerance = 1e-9;
+  /// Guard against pathological refinement loops.
+  std::uint64_t max_passes = 100000;
+};
+
+struct LumpingResult {
+  MarkovChain quotient;
+  /// block_of[s] = quotient state of original state s.
+  std::vector<std::uint32_t> block_of;
+  std::uint32_t num_blocks = 0;
+  std::uint64_t passes = 0;
+};
+
+/// Refines `initial_partition` (block ids, any labeling) to the coarsest
+/// ordinarily-lumpable partition refining it and builds the quotient.
+/// The quotient's initial distribution aggregates the original one.
+LumpingResult lump_ordinary(const MarkovChain& chain,
+                            const std::vector<std::uint32_t>&
+                                initial_partition,
+                            const LumpingOptions& options = {});
+
+/// Convenience: partition states by (quantized) reward value, refine, and
+/// lump — the reward is then exactly representable on the quotient.
+LumpingResult lump_by_reward(const MarkovChain& chain,
+                             const std::vector<double>& reward,
+                             const LumpingOptions& options = {});
+
+}  // namespace ctmc

@@ -1,0 +1,88 @@
+#include "ctmc/sparse.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace ctmc {
+
+CsrMatrix CsrMatrix::from_triplets(std::uint32_t rows, std::uint32_t cols,
+                                   std::vector<Triplet> triplets) {
+  for (const auto& t : triplets) {
+    AHS_REQUIRE(t.row < rows, "triplet row out of range");
+    AHS_REQUIRE(t.col < cols, "triplet column out of range");
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_.reserve(triplets.size());
+  m.val_.reserve(triplets.size());
+
+  std::size_t i = 0;
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    m.row_ptr_[r] = m.col_.size();
+    while (i < triplets.size() && triplets[i].row == r) {
+      const std::uint32_t c = triplets[i].col;
+      double v = 0.0;
+      while (i < triplets.size() && triplets[i].row == r &&
+             triplets[i].col == c) {
+        v += triplets[i].value;
+        ++i;
+      }
+      m.col_.push_back(c);
+      m.val_.push_back(v);
+    }
+  }
+  m.row_ptr_[rows] = m.col_.size();
+  return m;
+}
+
+std::span<const std::uint32_t> CsrMatrix::row_cols(std::uint32_t r) const {
+  AHS_REQUIRE(r < rows_, "row out of range");
+  return {col_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+std::span<const double> CsrMatrix::row_values(std::uint32_t r) const {
+  AHS_REQUIRE(r < rows_, "row out of range");
+  return {val_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+void CsrMatrix::left_multiply(std::span<const double> x,
+                              std::span<double> y) const {
+  AHS_REQUIRE(x.size() == rows_ && y.size() == cols_,
+              "left_multiply dimension mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      y[col_[k]] += xr * val_[k];
+  }
+}
+
+void CsrMatrix::right_multiply(std::span<const double> x,
+                               std::span<double> y) const {
+  AHS_REQUIRE(x.size() == cols_ && y.size() == rows_,
+              "right_multiply dimension mismatch");
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      acc += val_[k] * x[col_[k]];
+    y[r] = acc;
+  }
+}
+
+double CsrMatrix::row_sum(std::uint32_t r) const {
+  AHS_REQUIRE(r < rows_, "row out of range");
+  double s = 0.0;
+  for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) s += val_[k];
+  return s;
+}
+
+}  // namespace ctmc

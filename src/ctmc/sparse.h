@@ -1,0 +1,53 @@
+// Compressed-sparse-row matrices for Markov-chain numerics.
+//
+// The solvers only need row-major iteration and (row-vector × matrix)
+// products — distributions are propagated as x := x P — so the interface is
+// deliberately small.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ctmc {
+
+struct Triplet {
+  std::uint32_t row;
+  std::uint32_t col;
+  double value;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from triplets; duplicates (same row, col) are summed.
+  static CsrMatrix from_triplets(std::uint32_t rows, std::uint32_t cols,
+                                 std::vector<Triplet> triplets);
+
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return col_.size(); }
+
+  /// Entries of row r as parallel spans (columns, values).
+  std::span<const std::uint32_t> row_cols(std::uint32_t r) const;
+  std::span<const double> row_values(std::uint32_t r) const;
+
+  /// y := x * M  (x is a row vector of length rows(); y of length cols()).
+  void left_multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y := M * x  (column-vector product; x length cols(), y length rows()).
+  void right_multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Sum of row r's values.
+  double row_sum(std::uint32_t r) const;
+
+ private:
+  std::uint32_t rows_ = 0;
+  std::uint32_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::uint32_t> col_;
+  std::vector<double> val_;
+};
+
+}  // namespace ctmc

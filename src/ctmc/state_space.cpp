@@ -1,0 +1,180 @@
+#include "ctmc/state_space.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace ctmc {
+
+namespace {
+
+struct VecHash {
+  std::size_t operator()(const std::vector<std::int32_t>& v) const {
+    // FNV-1a over the raw words.
+    std::size_t h = 1469598103934665603ull;
+    for (std::int32_t x : v) {
+      h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(x));
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+using Marking = std::vector<std::int32_t>;
+
+class Generator {
+ public:
+  Generator(const san::FlatModel& model, const StateSpaceOptions& options)
+      : model_(model), opts_(options) {
+    AHS_REQUIRE(model_.all_exponential(),
+                "CTMC generation requires an all-exponential model");
+    for (const std::string& suffix : opts_.ignore_places) {
+      const auto indices = model_.place_indices(suffix);
+      AHS_REQUIRE(!indices.empty(),
+                  "ignore_places: no place matches '" + suffix + "'");
+      for (std::size_t pi : indices)
+        for (std::uint32_t k = 0; k < model_.place_size(pi); ++k)
+          ignored_slots_.push_back(model_.place_offset(pi) + k);
+    }
+    for (std::size_t i = 0; i < model_.activities().size(); ++i) {
+      if (model_.activities()[i].timed) timed_.push_back(i);
+      else instant_.push_back(i);
+    }
+    std::stable_sort(instant_.begin(), instant_.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return model_.activities()[a].priority >
+                              model_.activities()[b].priority;
+                     });
+  }
+
+  StateSpace run() {
+    StateSpace out;
+
+    std::vector<std::pair<Marking, double>> initial_dist;
+    eliminate_vanishing(model_.initial_marking(), 1.0, 0, initial_dist);
+
+    std::deque<std::uint32_t> frontier;
+    for (auto& [m, p] : initial_dist) {
+      const std::uint32_t s = intern(std::move(m), frontier);
+      initial_prob_[s] += p;
+    }
+
+    std::vector<Triplet> triplets;
+    while (!frontier.empty()) {
+      const std::uint32_t s = frontier.front();
+      frontier.pop_front();
+      // Copy: fire() mutates, and `states_` may reallocate during intern.
+      const Marking m = states_[s];
+      if (opts_.absorbing && opts_.absorbing(m)) continue;
+
+      for (std::size_t ai : timed_) {
+        Marking probe = m;
+        if (!model_.enabled(ai, probe)) continue;
+        const double rate = model_.exponential_rate(ai, probe);
+        std::vector<double> weights = model_.case_weights(ai, probe);
+        double total_w = 0.0;
+        for (double w : weights) total_w += w;
+        AHS_REQUIRE(total_w > 0.0,
+                    "activity '" + model_.activities()[ai].name +
+                        "' has zero total case weight in a reachable state");
+        for (std::size_t ci = 0; ci < weights.size(); ++ci) {
+          if (weights[ci] <= 0.0) continue;
+          Marking next = m;
+          model_.fire(ai, ci, next);
+          std::vector<std::pair<Marking, double>> tangibles;
+          eliminate_vanishing(std::move(next), 1.0, 0, tangibles);
+          const double branch = rate * weights[ci] / total_w;
+          for (auto& [tm, tp] : tangibles) {
+            const std::uint32_t to = intern(std::move(tm), frontier);
+            if (to == s) continue;  // CTMC self-loops are no-ops
+            triplets.push_back({s, to, branch * tp});
+          }
+        }
+      }
+    }
+
+    const auto n = static_cast<std::uint32_t>(states_.size());
+    out.chain.num_states = n;
+    out.chain.rates = CsrMatrix::from_triplets(n, n, std::move(triplets));
+    out.chain.exit_rate.resize(n);
+    for (std::uint32_t s = 0; s < n; ++s)
+      out.chain.exit_rate[s] = out.chain.rates.row_sum(s);
+    out.chain.initial.assign(n, 0.0);
+    for (const auto& [s, p] : initial_prob_) out.chain.initial[s] = p;
+    out.states = std::move(states_);
+    out.chain.validate();
+    return out;
+  }
+
+ private:
+  std::uint32_t intern(Marking m, std::deque<std::uint32_t>& frontier) {
+    for (std::uint32_t slot : ignored_slots_) m[slot] = 0;
+    const auto it = index_.find(m);
+    if (it != index_.end()) return it->second;
+    if (states_.size() >= opts_.max_states)
+      throw util::NumericalError(
+          "state space exceeds max_states = " +
+          std::to_string(opts_.max_states) +
+          " — raise StateSpaceOptions::max_states or shrink the model");
+    const auto id = static_cast<std::uint32_t>(states_.size());
+    index_.emplace(m, id);
+    states_.push_back(std::move(m));
+    frontier.push_back(id);
+    return id;
+  }
+
+  /// Depth-first elimination of instantaneous activity chains.  Appends
+  /// (tangible marking, probability) pairs scaled by `prob`.
+  void eliminate_vanishing(Marking m, double prob, std::size_t depth,
+                           std::vector<std::pair<Marking, double>>& out) {
+    if (depth > opts_.max_vanishing_depth)
+      throw util::ModelError(
+          "vanishing-marking chain exceeds max depth — instantaneous loop?");
+    for (std::size_t ai : instant_) {
+      if (!model_.enabled(ai, m)) continue;
+      std::vector<double> weights = model_.case_weights(ai, m);
+      double total_w = 0.0;
+      for (double w : weights) total_w += w;
+      AHS_REQUIRE(total_w > 0.0,
+                  "instantaneous activity '" + model_.activities()[ai].name +
+                      "' has zero total case weight");
+      for (std::size_t ci = 0; ci < weights.size(); ++ci) {
+        if (weights[ci] <= 0.0) continue;
+        Marking next = m;
+        model_.fire(ai, ci, next);
+        eliminate_vanishing(std::move(next), prob * weights[ci] / total_w,
+                            depth + 1, out);
+      }
+      return;  // only the highest-priority enabled activity fires
+    }
+    out.emplace_back(std::move(m), prob);  // tangible
+  }
+
+  const san::FlatModel& model_;
+  const StateSpaceOptions& opts_;
+  std::vector<std::uint32_t> ignored_slots_;
+  std::vector<std::size_t> timed_;
+  std::vector<std::size_t> instant_;
+  std::vector<Marking> states_;
+  std::unordered_map<Marking, std::uint32_t, VecHash> index_;
+  std::unordered_map<std::uint32_t, double> initial_prob_;
+};
+
+}  // namespace
+
+std::vector<double> StateSpace::state_rewards(
+    const std::function<double(std::span<const std::int32_t>)>& reward)
+    const {
+  std::vector<double> r(states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) r[i] = reward(states[i]);
+  return r;
+}
+
+StateSpace build_state_space(const san::FlatModel& model,
+                             const StateSpaceOptions& options) {
+  Generator gen(model, options);
+  return gen.run();
+}
+
+}  // namespace ctmc

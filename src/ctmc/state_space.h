@@ -1,0 +1,62 @@
+// State-space generation: all-exponential SAN → finite CTMC.
+//
+// Breadth-first exploration over tangible markings.  After each timed
+// completion the generator eliminates *vanishing* markings (markings with an
+// enabled instantaneous activity) by firing the highest-priority enabled
+// instantaneous activity and branching over its cases, accumulating case
+// probabilities — the standard vanishing-marking elimination of stochastic
+// Petri-net tools.  Probabilistic instantaneous branching (the paper's JP
+// activity chooses platoon 1 or 2 with probability ½ each) is therefore
+// handled exactly.
+//
+// An optional `absorbing` predicate truncates exploration: markings
+// satisfying it get no outgoing transitions.  This is how first-passage
+// measures such as the paper's S(t) are computed — `KO_total > 0` is
+// declared absorbing and S(t) is the transient probability of the absorbing
+// class.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ctmc/chain.h"
+#include "san/flat_model.h"
+
+namespace ctmc {
+
+struct StateSpaceOptions {
+  /// Exploration aborts (throws util::NumericalError) past this many
+  /// tangible states.
+  std::size_t max_states = 2'000'000;
+  /// Abort threshold for vanishing-marking chains (loop detection).
+  std::size_t max_vanishing_depth = 10'000;
+  /// Optional: markings where this returns true become absorbing.
+  std::function<bool(std::span<const std::int32_t>)> absorbing;
+  /// Place-name suffixes whose slots are zeroed before a marking is
+  /// interned.  ONLY sound for write-only statistics counters (places no
+  /// gate, arc, or rate reads — e.g. the AHS model's ext_id / safe_exits /
+  /// ko_exits); projecting those out is an exact lumping and keeps pure
+  /// counters from blowing up the state space.
+  std::vector<std::string> ignore_places;
+};
+
+struct StateSpace {
+  MarkovChain chain;
+  /// Tangible markings, indexed by state id.
+  std::vector<std::vector<std::int32_t>> states;
+
+  /// Evaluates a reward function over every state.
+  std::vector<double> state_rewards(
+      const std::function<double(std::span<const std::int32_t>)>& reward)
+      const;
+};
+
+/// Explores the reachable tangible state space and builds the CTMC.
+/// Requires model.all_exponential().
+StateSpace build_state_space(const san::FlatModel& model,
+                             const StateSpaceOptions& options = {});
+
+}  // namespace ctmc

@@ -1,0 +1,145 @@
+#include "ctmc/stationary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ctmc {
+
+StationaryResult solve_stationary(const MarkovChain& chain,
+                                  const StationaryOptions& options) {
+  const std::uint32_t n = chain.num_states;
+  const double unif_rate =
+      std::max(chain.max_exit_rate() * options.rate_factor, 1e-12);
+
+  std::vector<double> self_prob(n);
+  for (std::uint32_t s = 0; s < n; ++s)
+    self_prob[s] = 1.0 - chain.exit_rate[s] / unif_rate;
+
+  StationaryResult res;
+  std::vector<double> x = chain.initial, y(n);
+  for (std::uint64_t it = 0; it < options.max_iterations; ++it) {
+    chain.rates.left_multiply(x, y);
+    for (std::uint32_t s = 0; s < n; ++s)
+      y[s] = y[s] / unif_rate + x[s] * self_prob[s];
+    double diff = 0.0;
+    for (std::uint32_t s = 0; s < n; ++s) diff += std::abs(y[s] - x[s]);
+    x.swap(y);
+    ++res.iterations;
+    if (diff < options.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  // Renormalize against round-off drift.
+  double total = 0.0;
+  for (double p : x) total += p;
+  if (total > 0.0)
+    for (double& p : x) p /= total;
+  res.distribution = std::move(x);
+  return res;
+}
+
+QuasiStationaryResult quasi_stationary_absorption(
+    const MarkovChain& chain, const std::vector<bool>& absorbing,
+    const QuasiStationaryOptions& options) {
+  const std::uint32_t n = chain.num_states;
+  AHS_REQUIRE(absorbing.size() == n, "absorbing mask size mismatch");
+  const double unif_rate =
+      std::max(chain.max_exit_rate() * options.rate_factor, 1e-12);
+
+  std::vector<double> self_prob(n);
+  std::vector<bool> absorb(absorbing);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    self_prob[s] = 1.0 - chain.exit_rate[s] / unif_rate;
+    if (chain.exit_rate[s] <= 0.0) absorb[s] = true;
+  }
+
+  // Start from the initial distribution restricted to transient states.
+  std::vector<double> x(n, 0.0);
+  double mass = 0.0;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (!absorb[s]) {
+      x[s] = chain.initial[s];
+      mass += x[s];
+    }
+  }
+  AHS_REQUIRE(mass > 0.0, "initial distribution is entirely absorbing");
+  for (double& v : x) v /= mass;
+
+  QuasiStationaryResult res;
+  std::vector<double> y(n);
+  double prev_rate = -1.0;
+  for (std::uint64_t it = 0; it < options.max_iterations; ++it) {
+    chain.rates.left_multiply(x, y);
+    double absorbed = 0.0;
+    double kept = 0.0;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      y[s] = y[s] / unif_rate + x[s] * self_prob[s];
+      if (absorb[s]) {
+        absorbed += y[s];
+        y[s] = 0.0;
+      } else {
+        kept += y[s];
+      }
+    }
+    ++res.iterations;
+    if (kept <= 0.0) break;  // everything absorbed in one step
+    for (std::uint32_t s = 0; s < n; ++s) y[s] /= kept;
+    x.swap(y);
+    // Per uniformized step of mean length 1/Λ the absorbed fraction is
+    // `absorbed`, so the continuous-time hazard is absorbed · Λ.
+    const double rate = absorbed * unif_rate;
+    if (prev_rate >= 0.0 &&
+        std::abs(rate - prev_rate) <=
+            options.tolerance * std::max(rate, 1e-300)) {
+      res.absorption_rate = rate;
+      res.converged = true;
+      break;
+    }
+    prev_rate = rate;
+    res.absorption_rate = rate;
+  }
+  res.distribution = std::move(x);
+  return res;
+}
+
+AbsorptionResult mean_time_to_absorption(const MarkovChain& chain,
+                                         const AbsorptionOptions& options) {
+  const std::uint32_t n = chain.num_states;
+  AbsorptionResult res;
+  res.hitting_time.assign(n, 0.0);
+
+  // Gauss–Seidel sweeps over transient states:
+  //   h(s) = (1 + Σ rate(s→s') h(s')) / exit(s).
+  for (std::uint64_t it = 0; it < options.max_iterations; ++it) {
+    double max_change = 0.0;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (chain.exit_rate[s] <= 0.0) continue;  // absorbing: h = 0
+      const auto cols = chain.rates.row_cols(s);
+      const auto vals = chain.rates.row_values(s);
+      double acc = 1.0;
+      for (std::size_t k = 0; k < cols.size(); ++k)
+        acc += vals[k] * res.hitting_time[cols[k]];
+      const double h_new = acc / chain.exit_rate[s];
+      max_change = std::max(max_change,
+                            std::abs(h_new - res.hitting_time[s]) /
+                                std::max(1.0, std::abs(h_new)));
+      res.hitting_time[s] = h_new;
+    }
+    ++res.iterations;
+    if (max_change < options.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  double mean = 0.0;
+  for (std::uint32_t s = 0; s < n; ++s)
+    mean += chain.initial[s] * res.hitting_time[s];
+  res.mean_time = mean;
+  return res;
+}
+
+}  // namespace ctmc

@@ -1,0 +1,87 @@
+// Stationary and absorption analyses.
+//
+//  * `solve_stationary` — long-run distribution of an irreducible chain by
+//    power iteration on the uniformized DTMC.
+//  * `mean_time_to_absorption` — expected first-passage time into the
+//    absorbing class from the initial distribution, by Gauss–Seidel on the
+//    linear system (restricted to transient states):  exit(s)·h(s) −
+//    Σ_{s'} rate(s→s')·h(s') = 1.  For the AHS model this is the mean time
+//    to a catastrophic situation (the system's MTTF), a measure the paper
+//    lists as future work and that our benches report as an extension.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ctmc/chain.h"
+
+namespace ctmc {
+
+struct StationaryOptions {
+  double tolerance = 1e-12;     ///< L1 change per iteration
+  std::uint64_t max_iterations = 1'000'000;
+  double rate_factor = 1.02;
+};
+
+struct StationaryResult {
+  std::vector<double> distribution;
+  std::uint64_t iterations = 0;
+  bool converged = false;
+};
+
+/// Power iteration on P = I + Q/Λ from the chain's initial distribution.
+/// For a chain with absorbing states this converges to the absorption
+/// distribution.
+StationaryResult solve_stationary(const MarkovChain& chain,
+                                  const StationaryOptions& options = {});
+
+struct AbsorptionOptions {
+  double tolerance = 1e-12;
+  std::uint64_t max_iterations = 1'000'000;
+};
+
+struct AbsorptionResult {
+  /// h[s]: expected time to absorption starting from state s (0 for
+  /// absorbing states).
+  std::vector<double> hitting_time;
+  /// Σ_s initial[s] · h[s].
+  double mean_time = 0.0;
+  std::uint64_t iterations = 0;
+  bool converged = false;
+};
+
+/// Requires at least one absorbing state reachable from every transient
+/// state; diverging iterations (no absorbing state) hit max_iterations with
+/// converged = false.
+///
+/// NOTE: Gauss–Seidel converges at a rate governed by the absorption flow;
+/// for *rarely*-absorbing chains (the AHS at realistic failure rates, where
+/// absorption takes ~1e7 hours) use `quasi_stationary_absorption` instead.
+AbsorptionResult mean_time_to_absorption(const MarkovChain& chain,
+                                         const AbsorptionOptions& options = {});
+
+struct QuasiStationaryOptions {
+  double tolerance = 1e-10;  ///< relative change of the absorption rate
+  std::uint64_t max_iterations = 10'000'000;
+  double rate_factor = 1.02;
+};
+
+struct QuasiStationaryResult {
+  /// Quasi-stationary distribution over transient states (0 on absorbing).
+  std::vector<double> distribution;
+  /// Long-run hazard κ of absorption from the quasi-stationary regime.
+  /// When mixing is much faster than absorption (the dependability case),
+  /// the time to absorption is ≈ Exponential(κ), so MTTA ≈ 1/κ.
+  double absorption_rate = 0.0;
+  std::uint64_t iterations = 0;
+  bool converged = false;
+};
+
+/// Power iteration on the uniformized DTMC with renormalization over the
+/// transient states.  `absorbing[s]` marks the absorbing class (states with
+/// zero exit rate are treated as absorbing automatically).
+QuasiStationaryResult quasi_stationary_absorption(
+    const MarkovChain& chain, const std::vector<bool>& absorbing,
+    const QuasiStationaryOptions& options = {});
+
+}  // namespace ctmc

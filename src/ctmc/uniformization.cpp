@@ -1,0 +1,248 @@
+#include "ctmc/uniformization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ctmc {
+
+PoissonWindow poisson_window(double lambda, double epsilon) {
+  AHS_REQUIRE(lambda >= 0.0, "Poisson rate must be >= 0");
+  AHS_REQUIRE(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+  PoissonWindow w;
+  if (lambda == 0.0) {
+    w.left = w.right = 0;
+    w.weight = {1.0};
+    return w;
+  }
+  const auto mode = static_cast<std::uint64_t>(std::floor(lambda));
+  // log P(k) = -lambda + k log lambda - lgamma(k+1)
+  auto log_pmf = [lambda](std::uint64_t k) {
+    return -lambda + static_cast<double>(k) * std::log(lambda) -
+           std::lgamma(static_cast<double>(k) + 1.0);
+  };
+  const double log_mode = log_pmf(mode);
+
+  // Expand left and right until the *relative* tail terms are negligible.
+  // Work with weights scaled by exp(-log_mode) to avoid underflow.
+  std::vector<double> right_w;
+  double scaled = 1.0;  // mode term
+  std::uint64_t right = mode;
+  right_w.push_back(scaled);
+  const double cut = epsilon / 4.0;
+  while (true) {
+    ++right;
+    scaled *= lambda / static_cast<double>(right);
+    if (scaled < cut * 1e-4 && right > mode + 2) break;
+    right_w.push_back(scaled);
+    if (right > mode + 100000000)
+      throw util::NumericalError("Poisson window expansion runaway");
+  }
+
+  std::vector<double> left_w;  // mode-1 downwards
+  scaled = 1.0;
+  std::uint64_t left = mode;
+  while (left > 0) {
+    scaled *= static_cast<double>(left) / lambda;
+    --left;
+    if (scaled < cut * 1e-4 && left + 2 < mode) break;
+    left_w.push_back(scaled);
+  }
+
+  w.left = left + ((left == 0 && !left_w.empty() &&
+                    left_w.size() == mode)  // reached k = 0
+                       ? 0
+                       : (left_w.size() < mode ? 1 : 0));
+  // Simpler: recompute left boundary from sizes.
+  w.left = mode - left_w.size();
+  w.right = mode + right_w.size() - 1;
+
+  w.weight.resize(right_w.size() + left_w.size());
+  for (std::size_t i = 0; i < left_w.size(); ++i)
+    w.weight[left_w.size() - 1 - i] = left_w[i];
+  for (std::size_t i = 0; i < right_w.size(); ++i)
+    w.weight[left_w.size() + i] = right_w[i];
+
+  // Normalize: the true weights are weight[i] * exp(log_mode); dividing by
+  // the window total both normalizes and absorbs that factor (the discarded
+  // tail mass is within epsilon by construction).
+  (void)log_mode;
+  double total = 0.0;
+  for (double x : w.weight) total += x;
+  AHS_ASSERT(total > 0.0, "Poisson window has zero mass");
+  for (double& x : w.weight) x /= total;
+  return w;
+}
+
+AccumulatedSolution solve_accumulated(const MarkovChain& chain,
+                                      std::span<const double> reward,
+                                      std::span<const double> time_points,
+                                      const UniformizationOptions& options) {
+  AHS_REQUIRE(reward.size() == chain.num_states,
+              "reward vector size mismatch");
+  AHS_REQUIRE(!time_points.empty(), "need at least one time point");
+  double prev_t = 0.0;
+  for (double t : time_points) {
+    AHS_REQUIRE(t >= prev_t,
+                "time points must be non-decreasing and non-negative");
+    prev_t = t;
+  }
+
+  const std::uint32_t n = chain.num_states;
+  const double unif_rate =
+      std::max(chain.max_exit_rate() * options.rate_factor, 1e-12);
+  std::vector<double> self_prob(n);
+  for (std::uint32_t s = 0; s < n; ++s)
+    self_prob[s] = 1.0 - chain.exit_rate[s] / unif_rate;
+
+  auto dtmc_step = [&](const std::vector<double>& x, std::vector<double>& y) {
+    chain.rates.left_multiply(x, y);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      y[s] /= unif_rate;
+      y[s] += x[s] * self_prob[s];
+    }
+  };
+
+  AccumulatedSolution sol;
+  sol.time_points.assign(time_points.begin(), time_points.end());
+
+  std::vector<double> pi = chain.initial;
+  double pi_time = 0.0;
+  double total = 0.0;
+
+  std::vector<double> v(n), v_next(n), pi_next(n), pi_acc(n);
+  for (double t : time_points) {
+    const double dt = t - pi_time;
+    if (dt > 0.0) {
+      const PoissonWindow win =
+          poisson_window(unif_rate * dt, options.epsilon);
+      // Survival function of the Poisson count: P(N ≥ k+1).  Below the
+      // window it is ≈ 1; inside it decreases by the pmf weights; above
+      // it is ≈ 0.
+      v = pi;
+      std::fill(pi_acc.begin(), pi_acc.end(), 0.0);
+      double survival = 1.0;
+      double interval_acc = 0.0;
+      for (std::uint64_t k = 0; k <= win.right; ++k) {
+        if (k >= win.left) survival -= win.weight[k - win.left];
+        const double coeff = std::max(0.0, survival);
+        if (coeff > 0.0) {
+          double vr = 0.0;
+          for (std::uint32_t s = 0; s < n; ++s) vr += v[s] * reward[s];
+          interval_acc += coeff * vr;
+        }
+        // Advance the transient distribution weights alongside.
+        if (k >= win.left)
+          for (std::uint32_t s = 0; s < n; ++s)
+            pi_acc[s] += win.weight[k - win.left] * v[s];
+        ++sol.total_iterations;
+        if (k == win.right) break;
+        dtmc_step(v, v_next);
+        v.swap(v_next);
+      }
+      total += interval_acc / unif_rate;
+      pi = pi_acc;
+      double mass = 0.0;
+      for (double p : pi) mass += p;
+      if (mass > 0.0 && std::abs(mass - 1.0) < 1e-6)
+        for (double& p : pi) p /= mass;
+      pi_time = t;
+    }
+    sol.accumulated.push_back(total);
+  }
+  return sol;
+}
+
+TransientSolution solve_transient(const MarkovChain& chain,
+                                  std::span<const double> reward,
+                                  std::span<const double> time_points,
+                                  const UniformizationOptions& options) {
+  AHS_REQUIRE(reward.size() == chain.num_states,
+              "reward vector size mismatch");
+  AHS_REQUIRE(!time_points.empty(), "need at least one time point");
+  double prev_t = 0.0;
+  for (double t : time_points) {
+    AHS_REQUIRE(t >= prev_t,
+                "time points must be non-decreasing and non-negative");
+    prev_t = t;
+  }
+
+  const std::uint32_t n = chain.num_states;
+  const double lambda_max = chain.max_exit_rate();
+  // Λ must be positive even for an all-absorbing chain.
+  const double unif_rate = std::max(lambda_max * options.rate_factor, 1e-12);
+
+  // Uniformized DTMC step: y = x P where
+  //   P[i][j] = rates[i][j]/Λ (i≠j),  P[i][i] = 1 − exit[i]/Λ.
+  std::vector<double> self_prob(n);
+  for (std::uint32_t s = 0; s < n; ++s)
+    self_prob[s] = 1.0 - chain.exit_rate[s] / unif_rate;
+
+  auto dtmc_step = [&](const std::vector<double>& x, std::vector<double>& y) {
+    chain.rates.left_multiply(x, y);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      y[s] /= unif_rate;
+      y[s] += x[s] * self_prob[s];
+    }
+  };
+
+  TransientSolution sol;
+  sol.time_points.assign(time_points.begin(), time_points.end());
+
+  std::vector<double> pi = chain.initial;
+  double pi_time = 0.0;
+
+  std::vector<double> v = pi, v_next(n), acc(n);
+  for (double t : time_points) {
+    const double dt = t - pi_time;
+    if (dt > 0.0) {
+      const PoissonWindow win = poisson_window(unif_rate * dt,
+                                               options.epsilon);
+      std::fill(acc.begin(), acc.end(), 0.0);
+      v = pi;
+      double remaining = 1.0;
+      bool steady = false;
+      for (std::uint64_t k = 0; k <= win.right; ++k) {
+        if (k >= win.left) {
+          const double w = win.weight[k - win.left];
+          for (std::uint32_t s = 0; s < n; ++s) acc[s] += w * v[s];
+          remaining -= w;
+        }
+        ++sol.total_iterations;
+        if (k == win.right) break;
+        dtmc_step(v, v_next);
+        if (options.steady_state_tol > 0.0) {
+          double diff = 0.0;
+          for (std::uint32_t s = 0; s < n; ++s)
+            diff = std::max(diff, std::abs(v_next[s] - v[s]));
+          if (diff < options.steady_state_tol) {
+            steady = true;
+            v.swap(v_next);
+            break;
+          }
+        }
+        v.swap(v_next);
+      }
+      if (steady && remaining > 0.0) {
+        // The DTMC iterate has converged; the rest of the Poisson mass sees
+        // the same vector.
+        for (std::uint32_t s = 0; s < n; ++s) acc[s] += remaining * v[s];
+      }
+      pi = acc;
+      pi_time = t;
+      // Guard against accumulated round-off: renormalize gently.
+      double total = 0.0;
+      for (double p : pi) total += p;
+      if (total > 0.0 && std::abs(total - 1.0) < 1e-6)
+        for (double& p : pi) p /= total;
+    }
+    double expect = 0.0;
+    for (std::uint32_t s = 0; s < n; ++s) expect += pi[s] * reward[s];
+    sol.expected_reward.push_back(expect);
+    sol.distributions.push_back(pi);
+  }
+  return sol;
+}
+
+}  // namespace ctmc

@@ -1,0 +1,162 @@
+#include "san/atomic_model.h"
+
+#include "util/error.h"
+
+namespace san {
+
+ActivityDef& ActivityBuilder::def() { return model_->activities_[index_]; }
+
+ActivityBuilder& ActivityBuilder::distribution(util::Distribution d) {
+  AHS_REQUIRE(def().timed, "only timed activities have distributions");
+  def().dist = d;
+  def().rate_fn = nullptr;
+  return *this;
+}
+
+ActivityBuilder& ActivityBuilder::marking_rate(RateFn fn) {
+  AHS_REQUIRE(def().timed, "only timed activities have rates");
+  AHS_REQUIRE(fn != nullptr, "marking_rate requires a callable");
+  def().rate_fn = std::move(fn);
+  def().dist.reset();
+  return *this;
+}
+
+ActivityBuilder& ActivityBuilder::priority(int p) {
+  AHS_REQUIRE(!def().timed, "priority applies to instantaneous activities");
+  def().priority = p;
+  return *this;
+}
+
+ActivityBuilder& ActivityBuilder::input_gate(Predicate pred, GateFn fn) {
+  AHS_REQUIRE(pred != nullptr || fn != nullptr,
+              "input gate needs a predicate or a function");
+  if (pred) def().predicates.push_back(std::move(pred));
+  if (fn) def().input_fns.push_back(std::move(fn));
+  return *this;
+}
+
+ActivityBuilder& ActivityBuilder::input_arc(PlaceToken p, std::int32_t weight) {
+  AHS_REQUIRE(weight >= 1, "arc weight must be >= 1");
+  def().input_arcs.push_back({p, weight});
+  return *this;
+}
+
+void ActivityBuilder::ensure_case(std::size_t case_idx) {
+  if (def().cases.empty() && case_idx == 0) def().cases.emplace_back();
+  AHS_REQUIRE(case_idx < def().cases.size(),
+              "case index out of range; call add_case first");
+}
+
+std::size_t ActivityBuilder::add_case(double weight) {
+  AHS_REQUIRE(weight >= 0.0, "case weight must be >= 0");
+  CaseDef c;
+  c.weight = weight;
+  def().cases.push_back(std::move(c));
+  return def().cases.size() - 1;
+}
+
+std::size_t ActivityBuilder::add_case(CaseWeightFn weight_fn) {
+  AHS_REQUIRE(weight_fn != nullptr, "case weight function must be callable");
+  CaseDef c;
+  c.weight_fn = std::move(weight_fn);
+  def().cases.push_back(std::move(c));
+  return def().cases.size() - 1;
+}
+
+ActivityBuilder& ActivityBuilder::output_gate(GateFn fn, std::size_t case_idx) {
+  AHS_REQUIRE(fn != nullptr, "output gate function must be callable");
+  ensure_case(case_idx);
+  def().cases[case_idx].output_fns.push_back(std::move(fn));
+  return *this;
+}
+
+ActivityBuilder& ActivityBuilder::output_arc(PlaceToken p, std::int32_t weight,
+                                             std::size_t case_idx) {
+  AHS_REQUIRE(weight >= 1, "arc weight must be >= 1");
+  ensure_case(case_idx);
+  def().cases[case_idx].output_arcs.push_back({p, weight});
+  return *this;
+}
+
+AtomicModel::AtomicModel(std::string name) : name_(std::move(name)) {
+  AHS_REQUIRE(!name_.empty(), "atomic model needs a name");
+}
+
+PlaceToken AtomicModel::place(const std::string& name, std::int32_t initial) {
+  return extended_place(name, 1, initial);
+}
+
+PlaceToken AtomicModel::extended_place(const std::string& name,
+                                       std::uint32_t size,
+                                       std::int32_t initial) {
+  AHS_REQUIRE(!name.empty(), "place needs a name");
+  AHS_REQUIRE(size >= 1, "extended place needs at least one slot");
+  AHS_REQUIRE(initial >= 0, "initial marking must be >= 0");
+  for (const auto& p : places_)
+    AHS_REQUIRE(p.name != name,
+                "duplicate place '" + name + "' in model '" + name_ + "'");
+  places_.push_back({name, size, initial});
+  return PlaceToken{static_cast<std::uint32_t>(places_.size() - 1)};
+}
+
+PlaceToken AtomicModel::find_place(const std::string& name) const {
+  for (std::size_t i = 0; i < places_.size(); ++i)
+    if (places_[i].name == name)
+      return PlaceToken{static_cast<std::uint32_t>(i)};
+  throw util::ModelError("no place '" + name + "' in model '" + name_ + "'");
+}
+
+ActivityBuilder AtomicModel::timed_activity(const std::string& name) {
+  AHS_REQUIRE(!name.empty(), "activity needs a name");
+  ActivityDef def;
+  def.name = name;
+  def.timed = true;
+  activities_.push_back(std::move(def));
+  return ActivityBuilder(this, activities_.size() - 1);
+}
+
+ActivityBuilder AtomicModel::instant_activity(const std::string& name) {
+  AHS_REQUIRE(!name.empty(), "activity needs a name");
+  ActivityDef def;
+  def.name = name;
+  def.timed = false;
+  activities_.push_back(std::move(def));
+  return ActivityBuilder(this, activities_.size() - 1);
+}
+
+void AtomicModel::validate() const {
+  for (const auto& a : activities_) {
+    if (a.timed) {
+      if (!a.dist.has_value() && !a.rate_fn)
+        throw util::ModelError("timed activity '" + a.name + "' of model '" +
+                               name_ +
+                               "' has neither a distribution nor a rate");
+    }
+    auto check_arc = [&](const Arc& arc, const char* dir) {
+      if (!arc.place.valid() || arc.place.id >= places_.size())
+        throw util::ModelError(std::string(dir) + " arc of activity '" +
+                               a.name + "' references an undeclared place");
+      if (arc.weight < 1)
+        throw util::ModelError(std::string(dir) + " arc of activity '" +
+                               a.name + "' has non-positive weight");
+    };
+    for (const auto& arc : a.input_arcs) check_arc(arc, "input");
+    double fixed_weight_sum = 0.0;
+    bool any_fn = false;
+    for (const auto& c : a.cases) {
+      for (const auto& arc : c.output_arcs) check_arc(arc, "output");
+      if (c.weight_fn) any_fn = true;
+      else {
+        if (c.weight < 0.0)
+          throw util::ModelError("case of activity '" + a.name +
+                                 "' has negative weight");
+        fixed_weight_sum += c.weight;
+      }
+    }
+    if (!a.cases.empty() && !any_fn && fixed_weight_sum <= 0.0)
+      throw util::ModelError("activity '" + a.name +
+                             "' has cases but zero total case weight");
+  }
+}
+
+}  // namespace san

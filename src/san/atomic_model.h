@@ -1,0 +1,157 @@
+// Atomic SAN models — the building blocks that Rep/Join compose.
+//
+// An atomic model declares places (simple or extended), timed activities
+// (with a firing-delay distribution or a marking-dependent exponential
+// rate), instantaneous activities (with priorities), input gates (enabling
+// predicate + marking-update function), output gates (attached to a case),
+// and classic input/output arcs as conveniences.  The API mirrors the SAN
+// definitions of Sanders & Meyer [11] as implemented by Möbius, which is
+// the tool the paper used.
+//
+// Example — a two-place cycle with an exponential activity:
+//
+//   san::AtomicModel m("flipflop");
+//   auto up   = m.place("up", 1);          // one initial token
+//   auto down = m.place("down");
+//   m.timed_activity("fall")
+//       .distribution(util::Distribution::Exponential(2.0))
+//       .input_arc(up)
+//       .output_arc(down);
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "san/marking.h"
+#include "util/distributions.h"
+
+namespace san {
+
+/// Enabling predicate of an input gate.
+using Predicate = std::function<bool(const MarkingRef&)>;
+/// Marking-update function of an input or output gate.
+using GateFn = std::function<void(const MarkingRef&)>;
+/// Marking-dependent exponential rate.
+using RateFn = std::function<double(const MarkingRef&)>;
+/// Marking-dependent case weight (weights are normalized at completion).
+using CaseWeightFn = std::function<double(const MarkingRef&)>;
+
+/// An input or output arc: (place, weight), weight >= 1.  Input arcs require
+/// `weight` tokens in slot 0 and remove them on completion; output arcs add
+/// `weight` tokens to slot 0.  Arcs address slot 0 only; use gates for
+/// extended places.
+struct Arc {
+  PlaceToken place;
+  std::int32_t weight = 1;
+};
+
+struct CaseDef {
+  double weight = 1.0;                ///< fixed weight unless weight_fn set
+  CaseWeightFn weight_fn;             ///< optional marking-dependent weight
+  std::vector<GateFn> output_fns;     ///< output gates of this case
+  std::vector<Arc> output_arcs;       ///< output arcs of this case
+};
+
+struct ActivityDef {
+  std::string name;
+  bool timed = true;
+  int priority = 0;  ///< instantaneous only; larger fires first
+
+  /// Firing-delay distribution (timed).  Either `dist` or `rate_fn`.
+  std::optional<util::Distribution> dist;
+  RateFn rate_fn;  ///< marking-dependent exponential rate (timed)
+
+  std::vector<Predicate> predicates;  ///< input-gate predicates
+  std::vector<GateFn> input_fns;      ///< input-gate functions
+  std::vector<Arc> input_arcs;
+  std::vector<CaseDef> cases;  ///< empty means one trivial case
+};
+
+class AtomicModel;
+
+/// Fluent builder for one activity; returned by AtomicModel::*_activity.
+/// The handle stays valid while the AtomicModel is alive and no further
+/// activities are added.
+class ActivityBuilder {
+ public:
+  /// Sets the firing-delay distribution of a timed activity.
+  ActivityBuilder& distribution(util::Distribution d);
+  /// Sets a marking-dependent exponential rate (timed activities).
+  ActivityBuilder& marking_rate(RateFn fn);
+  /// Sets the priority of an instantaneous activity (default 0).
+  ActivityBuilder& priority(int p);
+  /// Adds an input gate: enabling predicate plus marking-update function
+  /// (either may be null to omit that half).
+  ActivityBuilder& input_gate(Predicate pred, GateFn fn = nullptr);
+  /// Adds an input arc (slot 0 of a place).
+  ActivityBuilder& input_arc(PlaceToken p, std::int32_t weight = 1);
+  /// Appends a case with a fixed weight; returns its index.
+  std::size_t add_case(double weight = 1.0);
+  /// Appends a case with a marking-dependent weight; returns its index.
+  std::size_t add_case(CaseWeightFn weight_fn);
+  /// Adds an output gate to case `case_idx` (case 0 is created on demand).
+  ActivityBuilder& output_gate(GateFn fn, std::size_t case_idx = 0);
+  /// Adds an output arc to case `case_idx`.
+  ActivityBuilder& output_arc(PlaceToken p, std::int32_t weight = 1,
+                              std::size_t case_idx = 0);
+
+ private:
+  friend class AtomicModel;
+  ActivityBuilder(AtomicModel* model, std::size_t index)
+      : model_(model), index_(index) {}
+  ActivityDef& def();
+  void ensure_case(std::size_t case_idx);
+
+  AtomicModel* model_;
+  std::size_t index_;
+};
+
+/// One atomic SAN.  Movable; composition holds models by shared_ptr.
+class AtomicModel {
+ public:
+  explicit AtomicModel(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Declares a simple place with the given initial marking (>= 0).
+  PlaceToken place(const std::string& name, std::int32_t initial = 0);
+
+  /// Declares an extended place with `size` slots, all initialized to
+  /// `initial` (paper: arrays such as `platoon1`, `class_A`).
+  PlaceToken extended_place(const std::string& name, std::uint32_t size,
+                            std::int32_t initial = 0);
+
+  /// Looks up a declared place by name; throws if absent.
+  PlaceToken find_place(const std::string& name) const;
+
+  /// Declares a timed activity.
+  ActivityBuilder timed_activity(const std::string& name);
+
+  /// Declares an instantaneous activity.
+  ActivityBuilder instant_activity(const std::string& name);
+
+  // --- Introspection (used by the flattener, validation, and dot export).
+  struct PlaceDef {
+    std::string name;
+    std::uint32_t size = 1;
+    std::int32_t initial = 0;
+  };
+  const std::vector<PlaceDef>& places() const { return places_; }
+  const std::vector<ActivityDef>& activities() const { return activities_; }
+
+  /// Structural checks: every timed activity has a distribution or rate
+  /// function, arcs reference declared places, weights positive, fixed case
+  /// weights non-negative with a positive sum.  Throws util::ModelError.
+  void validate() const;
+
+ private:
+  friend class ActivityBuilder;
+  std::string name_;
+  std::vector<PlaceDef> places_;
+  std::vector<ActivityDef> activities_;
+};
+
+}  // namespace san

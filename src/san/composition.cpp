@@ -1,0 +1,222 @@
+#include "san/composition.h"
+
+#include <map>
+
+#include "util/error.h"
+
+namespace san {
+
+CompositionPtr Leaf(std::shared_ptr<const AtomicModel> model) {
+  AHS_REQUIRE(model != nullptr, "Leaf requires a model");
+  model->validate();
+  auto node = std::shared_ptr<Composition>(new Composition());
+  node->kind_ = Composition::Kind::kLeaf;
+  node->name_ = model->name();
+  node->leaf_ = std::move(model);
+  return node;
+}
+
+CompositionPtr Rep(std::string name, CompositionPtr child, std::uint32_t count,
+                   std::set<std::string> shared) {
+  AHS_REQUIRE(child != nullptr, "Rep requires a child");
+  AHS_REQUIRE(count >= 1, "Rep count must be >= 1");
+  auto node = std::shared_ptr<Composition>(new Composition());
+  node->kind_ = Composition::Kind::kRep;
+  node->name_ = std::move(name);
+  node->child_ = std::move(child);
+  node->count_ = count;
+  node->shared_ = std::move(shared);
+  return node;
+}
+
+CompositionPtr Join(std::string name, std::vector<CompositionPtr> children,
+                    std::set<std::string> shared) {
+  AHS_REQUIRE(!children.empty(), "Join requires at least one child");
+  for (const auto& c : children)
+    AHS_REQUIRE(c != nullptr, "Join child must not be null");
+  auto node = std::shared_ptr<Composition>(new Composition());
+  node->kind_ = Composition::Kind::kJoin;
+  node->name_ = std::move(name);
+  node->children_ = std::move(children);
+  node->shared_ = std::move(shared);
+  return node;
+}
+
+std::size_t Composition::instance_count() const {
+  switch (kind_) {
+    case Kind::kLeaf:
+      return 1;
+    case Kind::kRep:
+      return static_cast<std::size_t>(count_) * child_->instance_count();
+    case Kind::kJoin: {
+      std::size_t total = 0;
+      for (const auto& c : children_) total += c->instance_count();
+      return total;
+    }
+  }
+  throw util::InvariantError("unknown composition kind");
+}
+
+namespace {
+
+/// A shared place being assembled.  Created (unbound) when a Rep/Join node
+/// declares the name shared; bound by the first leaf that declares a place
+/// with that name; later leaves must agree on size and initial marking.
+struct SharedSlot {
+  std::string flat_name;  ///< name the FlatPlace will carry
+  bool bound = false;
+  std::size_t place_index = 0;
+};
+
+using Env = std::map<std::string, std::shared_ptr<SharedSlot>>;
+
+class Flattener {
+ public:
+  FlatModel run(const CompositionPtr& root) {
+    Env env;
+    visit(root, env, "", 0);
+    FlatModelBuilderAccess::marking_size(model_) = next_slot_;
+    FlatModelBuilderAccess::index_names(model_);
+    model_.validate();
+    return std::move(model_);
+  }
+
+ private:
+  static std::string child_path(const std::string& path,
+                                const std::string& name) {
+    return path.empty() ? name : path + "/" + name;
+  }
+
+  void visit(const CompositionPtr& node, Env env, const std::string& path,
+             std::uint32_t replica) {
+    switch (node->kind()) {
+      case Composition::Kind::kLeaf:
+        visit_leaf(*node->leaf(), env, child_path(path, node->name()),
+                   replica);
+        return;
+      case Composition::Kind::kRep: {
+        const std::string my_path = child_path(path, node->name());
+        for (const std::string& name : node->shared())
+          declare_shared(env, name, my_path);
+        for (std::uint32_t i = 0; i < node->rep_count(); ++i)
+          visit(node->rep_child(), env,
+                my_path + "[" + std::to_string(i) + "]", i);
+        return;
+      }
+      case Composition::Kind::kJoin: {
+        const std::string my_path = child_path(path, node->name());
+        for (const std::string& name : node->shared())
+          declare_shared(env, name, my_path);
+        for (const auto& child : node->join_children())
+          visit(child, env, my_path, replica);
+        return;
+      }
+    }
+    throw util::InvariantError("unknown composition kind");
+  }
+
+  void declare_shared(Env& env, const std::string& name,
+                      const std::string& path) {
+    if (env.count(name)) return;  // already shared by an enclosing node
+    auto slot = std::make_shared<SharedSlot>();
+    slot->flat_name = child_path(path, name);
+    env.emplace(name, std::move(slot));
+  }
+
+  std::size_t add_place(const std::string& flat_name, std::uint32_t size,
+                        std::int32_t initial) {
+    FlatPlace p;
+    p.name = flat_name;
+    p.offset = next_slot_;
+    p.size = size;
+    p.initial = initial;
+    next_slot_ += size;
+    FlatModelBuilderAccess::places(model_).push_back(std::move(p));
+    return FlatModelBuilderAccess::places(model_).size() - 1;
+  }
+
+  void visit_leaf(const AtomicModel& model, Env& env, const std::string& path,
+                  std::uint32_t replica) {
+    const auto& places = model.places();
+    auto imap = std::make_shared<InstanceMap>();
+    imap->offset.resize(places.size());
+    imap->size.resize(places.size());
+    imap->replica = replica;
+
+    for (std::size_t pi = 0; pi < places.size(); ++pi) {
+      const auto& def = places[pi];
+      std::size_t global;
+      const auto it = env.find(def.name);
+      if (it != env.end()) {
+        SharedSlot& slot = *it->second;
+        if (!slot.bound) {
+          slot.place_index = add_place(slot.flat_name, def.size, def.initial);
+          slot.bound = true;
+        } else {
+          const FlatPlace& existing = FlatModelBuilderAccess::places(model_)[slot.place_index];
+          if (existing.size != def.size)
+            throw util::ModelError(
+                "shared place '" + def.name + "': size mismatch (" +
+                std::to_string(existing.size) + " vs " +
+                std::to_string(def.size) + ") at " + path);
+          if (existing.initial != def.initial)
+            throw util::ModelError(
+                "shared place '" + def.name + "': initial-marking mismatch (" +
+                std::to_string(existing.initial) + " vs " +
+                std::to_string(def.initial) + ") at " + path);
+        }
+        global = slot.place_index;
+      } else {
+        global = add_place(child_path(path, def.name), def.size, def.initial);
+      }
+      imap->offset[pi] = FlatModelBuilderAccess::places(model_)[global].offset;
+      imap->size[pi] = FlatModelBuilderAccess::places(model_)[global].size;
+    }
+
+    for (const auto& act : model.activities()) {
+      FlatActivity fa;
+      fa.name = child_path(path, act.name);
+      fa.source_name = act.name;
+      fa.timed = act.timed;
+      fa.priority = act.priority;
+      fa.dist = act.dist;
+      fa.rate_fn = act.rate_fn;
+      fa.predicates = act.predicates;
+      fa.input_fns = act.input_fns;
+      for (const auto& arc : act.input_arcs)
+        fa.input_arcs.push_back({imap->offset[arc.place.id], arc.weight});
+      if (act.cases.empty()) {
+        fa.cases.emplace_back();  // trivial single case
+      } else {
+        for (const auto& c : act.cases) {
+          FlatCase fc;
+          fc.weight = c.weight;
+          fc.weight_fn = c.weight_fn;
+          fc.output_fns = c.output_fns;
+          for (const auto& arc : c.output_arcs)
+            fc.output_arcs.push_back({imap->offset[arc.place.id], arc.weight});
+          fa.cases.push_back(std::move(fc));
+        }
+      }
+      fa.imap = imap;
+      FlatModelBuilderAccess::activities(model_).push_back(std::move(fa));
+    }
+  }
+
+  FlatModel model_;
+  std::uint32_t next_slot_ = 0;
+};
+
+}  // namespace
+
+FlatModel flatten(const CompositionPtr& root) {
+  AHS_REQUIRE(root != nullptr, "flatten requires a composition");
+  Flattener f;
+  return f.run(root);
+}
+
+FlatModel flatten(std::shared_ptr<const AtomicModel> model) {
+  return flatten(Leaf(std::move(model)));
+}
+
+}  // namespace san

@@ -1,0 +1,86 @@
+// Rep/Join composition of SAN models (Möbius composed-model trees).
+//
+// `Rep(name, child, count, shared)` instantiates `count` copies of `child`;
+// places of `child` whose names appear in `shared` are merged into a single
+// place visible to all replicas (and exported upward under their bare name).
+// `Join(name, children, shared)` instantiates each child once and merges
+// equally-named places listed in `shared` across children.  This mirrors
+// Fig 9 of the paper:
+//
+//   Join("system", {Rep("vehicles", one_vehicle, 2n, {...shared...}),
+//                   configuration, dynamicity, severity},
+//        {...shared...})
+//
+// A place is merged only if its declared size and initial marking agree in
+// every contributing leaf; mismatches throw util::ModelError.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "san/atomic_model.h"
+#include "san/flat_model.h"
+
+namespace san {
+
+class Composition;
+using CompositionPtr = std::shared_ptr<const Composition>;
+
+class Composition {
+ public:
+  enum class Kind { kLeaf, kRep, kJoin };
+
+  Kind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+
+  // Introspection used by the flattener and tests.
+  const std::shared_ptr<const AtomicModel>& leaf() const { return leaf_; }
+  const CompositionPtr& rep_child() const { return child_; }
+  std::uint32_t rep_count() const { return count_; }
+  const std::vector<CompositionPtr>& join_children() const {
+    return children_;
+  }
+  const std::set<std::string>& shared() const { return shared_; }
+
+  /// Total number of leaf instances this subtree will instantiate.
+  std::size_t instance_count() const;
+
+ private:
+  friend CompositionPtr Leaf(std::shared_ptr<const AtomicModel> model);
+  friend CompositionPtr Rep(std::string name, CompositionPtr child,
+                            std::uint32_t count,
+                            std::set<std::string> shared);
+  friend CompositionPtr Join(std::string name,
+                             std::vector<CompositionPtr> children,
+                             std::set<std::string> shared);
+  Composition() = default;
+
+  Kind kind_ = Kind::kLeaf;
+  std::string name_;
+  std::shared_ptr<const AtomicModel> leaf_;
+  CompositionPtr child_;
+  std::uint32_t count_ = 0;
+  std::vector<CompositionPtr> children_;
+  std::set<std::string> shared_;
+};
+
+/// Wraps an atomic model as a composition leaf.  The model is validated.
+CompositionPtr Leaf(std::shared_ptr<const AtomicModel> model);
+
+/// Replicates `child` `count` times (count >= 1), sharing the named places.
+CompositionPtr Rep(std::string name, CompositionPtr child,
+                   std::uint32_t count, std::set<std::string> shared);
+
+/// Joins children, merging equally-named places listed in `shared`.
+CompositionPtr Join(std::string name, std::vector<CompositionPtr> children,
+                    std::set<std::string> shared);
+
+/// Flattens a composition tree into an executable model.
+FlatModel flatten(const CompositionPtr& root);
+
+/// Convenience: flatten a single atomic model.
+FlatModel flatten(std::shared_ptr<const AtomicModel> model);
+
+}  // namespace san

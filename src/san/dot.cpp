@@ -1,0 +1,46 @@
+#include "san/dot.h"
+
+#include <sstream>
+
+namespace san {
+
+std::string to_dot(const AtomicModel& model) {
+  std::ostringstream os;
+  os << "digraph \"" << model.name() << "\" {\n";
+  os << "  rankdir=LR;\n  node [fontsize=10];\n";
+  const auto& places = model.places();
+  for (std::size_t i = 0; i < places.size(); ++i) {
+    os << "  p" << i << " [shape=circle, label=\"" << places[i].name;
+    if (places[i].size > 1) os << "[" << places[i].size << "]";
+    if (places[i].initial > 0) os << "\\n(" << places[i].initial << ")";
+    os << "\"];\n";
+  }
+  const auto& acts = model.activities();
+  for (std::size_t i = 0; i < acts.size(); ++i) {
+    const auto& a = acts[i];
+    os << "  a" << i << " [shape=rectangle, "
+       << (a.timed ? "style=filled, fillcolor=gray80, " : "height=0.1, ")
+       << "label=\"" << a.name << "\"];\n";
+    for (const auto& arc : a.input_arcs) {
+      os << "  p" << arc.place.id << " -> a" << i;
+      if (arc.weight > 1) os << " [label=\"" << arc.weight << "\"]";
+      os << ";\n";
+    }
+    for (std::size_t ci = 0; ci < a.cases.size(); ++ci) {
+      for (const auto& arc : a.cases[ci].output_arcs) {
+        os << "  a" << i << " -> p" << arc.place.id;
+        if (a.cases.size() > 1) os << " [label=\"case " << ci << "\"]";
+        os << ";\n";
+      }
+    }
+    const std::size_t gates = a.predicates.size() + a.input_fns.size();
+    if (gates > 0) {
+      os << "  g" << i << " [shape=triangle, label=\"" << gates
+         << " gate(s)\"];\n  g" << i << " -> a" << i << " [style=dotted];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace san

@@ -1,0 +1,16 @@
+// Graphviz export of atomic models, for documentation and model review.
+#pragma once
+
+#include <string>
+
+#include "san/atomic_model.h"
+
+namespace san {
+
+/// Renders the atomic model's net structure (places as circles, timed
+/// activities as thick bars, instantaneous as thin bars, arcs as edges) in
+/// Graphviz dot syntax.  Gate connectivity cannot be recovered from opaque
+/// callbacks, so gates are shown as attached triangles without place edges.
+std::string to_dot(const AtomicModel& model);
+
+}  // namespace san

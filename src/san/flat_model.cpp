@@ -1,0 +1,192 @@
+#include "san/flat_model.h"
+
+#include <sstream>
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace san {
+
+std::vector<std::int32_t> FlatModel::initial_marking() const {
+  std::vector<std::int32_t> m(marking_size_, 0);
+  for (const auto& p : places_)
+    for (std::uint32_t i = 0; i < p.size; ++i) m[p.offset + i] = p.initial;
+  return m;
+}
+
+void FlatModel::index_names() {
+  by_suffix_.clear();
+  for (std::size_t i = 0; i < places_.size(); ++i) {
+    // Index every path-component suffix: "a/b/c" -> "c", "b/c", "a/b/c".
+    const std::string& name = places_[i].name;
+    std::size_t pos = name.size();
+    while (true) {
+      const std::size_t slash = name.rfind('/', pos == 0 ? 0 : pos - 1);
+      if (slash == std::string::npos) {
+        by_suffix_[name].push_back(i);
+        break;
+      }
+      by_suffix_[name.substr(slash + 1)].push_back(i);
+      pos = slash;
+      if (slash == 0) break;
+    }
+  }
+}
+
+std::size_t FlatModel::place_index(const std::string& suffix) const {
+  const auto it = by_suffix_.find(suffix);
+  if (it == by_suffix_.end())
+    throw util::ModelError("no place matches suffix '" + suffix + "'");
+  if (it->second.size() != 1)
+    throw util::ModelError("place suffix '" + suffix + "' is ambiguous (" +
+                           std::to_string(it->second.size()) + " matches)");
+  return it->second.front();
+}
+
+std::vector<std::size_t> FlatModel::place_indices(
+    const std::string& suffix) const {
+  const auto it = by_suffix_.find(suffix);
+  if (it == by_suffix_.end()) return {};
+  return it->second;
+}
+
+std::uint32_t FlatModel::place_offset(std::size_t pi) const {
+  AHS_REQUIRE(pi < places_.size(), "place index out of range");
+  return places_[pi].offset;
+}
+
+std::uint32_t FlatModel::place_size(std::size_t pi) const {
+  AHS_REQUIRE(pi < places_.size(), "place index out of range");
+  return places_[pi].size;
+}
+
+bool FlatModel::enabled(std::size_t ai, std::span<std::int32_t> m) const {
+  const FlatActivity& a = activities_[ai];
+  for (const auto& arc : a.input_arcs)
+    if (m[arc.slot] < arc.weight) return false;
+  if (!a.predicates.empty()) {
+    const MarkingRef ref(m, a.imap.get());
+    for (const auto& pred : a.predicates)
+      if (!pred(ref)) return false;
+  }
+  return true;
+}
+
+double FlatModel::exponential_rate(std::size_t ai,
+                                   std::span<std::int32_t> m) const {
+  const FlatActivity& a = activities_[ai];
+  AHS_REQUIRE(a.timed, "instantaneous activities have no rate");
+  if (a.rate_fn) {
+    const MarkingRef ref(m, a.imap.get());
+    const double r = a.rate_fn(ref);
+    if (!(r > 0.0))
+      throw util::ModelError("activity '" + a.name +
+                             "': marking-dependent rate must be > 0, got " +
+                             std::to_string(r));
+    return r;
+  }
+  if (!a.dist->is_exponential())
+    throw util::ModelError("activity '" + a.name +
+                           "' is not exponential: " + a.dist->describe());
+  return a.dist->rate();
+}
+
+bool FlatModel::all_exponential() const {
+  for (const auto& a : activities_) {
+    if (!a.timed) continue;
+    if (a.rate_fn) continue;
+    if (!a.dist.has_value() || !a.dist->is_exponential()) return false;
+  }
+  return true;
+}
+
+std::vector<double> FlatModel::case_weights(std::size_t ai,
+                                            std::span<std::int32_t> m) const {
+  const FlatActivity& a = activities_[ai];
+  std::vector<double> w;
+  w.reserve(a.cases.size());
+  const MarkingRef ref(m, a.imap.get());
+  for (const auto& c : a.cases) {
+    double v = c.weight_fn ? c.weight_fn(ref) : c.weight;
+    if (v < 0.0)
+      throw util::ModelError("activity '" + a.name +
+                             "': negative case weight " + std::to_string(v));
+    w.push_back(v);
+  }
+  return w;
+}
+
+void FlatModel::fire(std::size_t ai, std::size_t ci,
+                     std::span<std::int32_t> m) const {
+  const FlatActivity& a = activities_[ai];
+  AHS_REQUIRE(ci < a.cases.size(), "case index out of range");
+  const MarkingRef ref(m, a.imap.get());
+  for (const auto& fn : a.input_fns) fn(ref);
+  for (const auto& arc : a.input_arcs) {
+    m[arc.slot] -= arc.weight;
+    if (m[arc.slot] < 0)
+      throw util::ModelError("activity '" + a.name +
+                             "' fired without input-arc tokens (place slot " +
+                             std::to_string(arc.slot) + ")");
+  }
+  const FlatCase& c = a.cases[ci];
+  for (const auto& fn : c.output_fns) fn(ref);
+  for (const auto& arc : c.output_arcs) m[arc.slot] += arc.weight;
+}
+
+double FlatModel::sample_delay(std::size_t ai, std::span<std::int32_t> m,
+                               util::Rng& rng) const {
+  const FlatActivity& a = activities_[ai];
+  AHS_REQUIRE(a.timed, "cannot sample a delay for an instantaneous activity");
+  if (a.rate_fn) {
+    const MarkingRef ref(m, a.imap.get());
+    const double r = a.rate_fn(ref);
+    if (!(r > 0.0))
+      throw util::ModelError("activity '" + a.name +
+                             "': marking-dependent rate must be > 0");
+    return rng.exponential(r);
+  }
+  return a.dist->sample(rng);
+}
+
+bool FlatModel::marking_dependent(std::size_t ai) const {
+  return activities_[ai].rate_fn != nullptr;
+}
+
+void FlatModel::validate() const {
+  for (const auto& a : activities_) {
+    if (a.cases.empty())
+      throw util::ModelError("flattened activity '" + a.name +
+                             "' has no cases");
+    if (a.timed && !a.dist.has_value() && !a.rate_fn)
+      throw util::ModelError("flattened timed activity '" + a.name +
+                             "' has no delay specification");
+    auto check = [&](const FlatArc& arc) {
+      if (arc.slot >= marking_size_)
+        throw util::ModelError("arc of '" + a.name +
+                               "' addresses slot out of range");
+    };
+    for (const auto& arc : a.input_arcs) check(arc);
+    for (const auto& c : a.cases)
+      for (const auto& arc : c.output_arcs) check(arc);
+    if (!a.imap)
+      throw util::ModelError("flattened activity '" + a.name +
+                             "' lacks an instance map");
+  }
+  std::size_t slots = 0;
+  for (const auto& p : places_) slots += p.size;
+  if (slots != marking_size_)
+    throw util::ModelError("place slots do not cover the marking vector");
+}
+
+std::string FlatModel::summary() const {
+  std::size_t timed = 0, instant = 0;
+  for (const auto& a : activities_) (a.timed ? timed : instant)++;
+  std::ostringstream os;
+  os << "FlatModel: " << places_.size() << " places (" << marking_size_
+     << " slots), " << timed << " timed + " << instant
+     << " instantaneous activities";
+  return os.str();
+}
+
+}  // namespace san

@@ -1,0 +1,146 @@
+// The flattened, executable form of a composed SAN.
+//
+// Flattening resolves Rep/Join place sharing into one global marking vector
+// and instantiates every activity of every leaf instance with an InstanceMap
+// that translates its atomic model's place tokens into global marking slots.
+// Both execution engines consume this form: the discrete-event simulator
+// (src/sim) and the CTMC state-space generator (src/ctmc).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "san/atomic_model.h"
+#include "san/marking.h"
+#include "util/rng.h"
+
+namespace san {
+
+/// A place of the flattened model.
+struct FlatPlace {
+  std::string name;       ///< hierarchical path, e.g. "sys/veh[3]/SM1"
+  std::uint32_t offset;   ///< first slot in the marking vector
+  std::uint32_t size;     ///< slot count (1 for simple places)
+  std::int32_t initial;   ///< initial value of every slot
+};
+
+/// An arc resolved to a global slot.
+struct FlatArc {
+  std::uint32_t slot;
+  std::int32_t weight;
+};
+
+struct FlatCase {
+  double weight = 1.0;
+  CaseWeightFn weight_fn;  ///< evaluated against the instance's MarkingRef
+  std::vector<GateFn> output_fns;
+  std::vector<FlatArc> output_arcs;
+};
+
+struct FlatActivity {
+  std::string name;         ///< hierarchical, e.g. "sys/veh[3]/L1"
+  std::string source_name;  ///< atomic-model activity name, e.g. "L1"
+  bool timed = true;
+  int priority = 0;
+
+  std::optional<util::Distribution> dist;
+  RateFn rate_fn;
+
+  std::vector<Predicate> predicates;
+  std::vector<GateFn> input_fns;
+  std::vector<FlatArc> input_arcs;
+  std::vector<FlatCase> cases;  ///< never empty after flattening
+
+  std::shared_ptr<const InstanceMap> imap;
+};
+
+class FlatModel {
+ public:
+  // --- Structure ---------------------------------------------------------
+  std::size_t marking_size() const { return marking_size_; }
+  const std::vector<FlatPlace>& places() const { return places_; }
+  const std::vector<FlatActivity>& activities() const { return activities_; }
+
+  /// Initial marking (instantaneous activities NOT yet stabilized; engines
+  /// do that themselves so they can account for probabilistic branching).
+  std::vector<std::int32_t> initial_marking() const;
+
+  /// Index of the unique place whose hierarchical name ends with `suffix`
+  /// (matching a whole path component boundary).  Throws if absent or
+  /// ambiguous.  Shared places keep short names, so `place_index("KO_total")`
+  /// finds the severity model's absorbing flag.
+  std::size_t place_index(const std::string& suffix) const;
+
+  /// First marking slot of place `pi`.
+  std::uint32_t place_offset(std::size_t pi) const;
+  std::uint32_t place_size(std::size_t pi) const;
+
+  /// All place indices whose names end with `suffix` (one per replica).
+  std::vector<std::size_t> place_indices(const std::string& suffix) const;
+
+  // --- Activity semantics (shared by both engines) ------------------------
+
+  /// True iff every input-gate predicate holds and every input arc is
+  /// covered in marking `m`.
+  bool enabled(std::size_t ai, std::span<std::int32_t> m) const;
+
+  /// Exponential rate of a timed activity in marking `m`.  Throws
+  /// util::ModelError for non-exponential activities (CTMC generation
+  /// requires an all-exponential model).
+  double exponential_rate(std::size_t ai, std::span<std::int32_t> m) const;
+
+  /// True iff all timed activities are exponential (fixed or
+  /// marking-dependent rate).
+  bool all_exponential() const;
+
+  /// Case weights of activity `ai` evaluated in marking `m` (normalized by
+  /// the caller).  Size equals cases().size().
+  std::vector<double> case_weights(std::size_t ai,
+                                   std::span<std::int32_t> m) const;
+
+  /// Applies the completion of case `ci` of activity `ai` to marking `m`:
+  /// input-gate functions, input arcs, then the case's output gates/arcs.
+  /// Case weights must have been evaluated beforehand (they see the marking
+  /// at completion start).
+  void fire(std::size_t ai, std::size_t ci, std::span<std::int32_t> m) const;
+
+  /// Samples a firing delay for timed activity `ai` in marking `m`.
+  double sample_delay(std::size_t ai, std::span<std::int32_t> m,
+                      util::Rng& rng) const;
+
+  /// True when the activity's delay distribution depends on the marking
+  /// (and must therefore be resampled when the marking changes).
+  bool marking_dependent(std::size_t ai) const;
+
+  /// Structural validation of the flattened model.
+  void validate() const;
+
+  /// Human-readable summary: place/activity counts, marking width.
+  std::string summary() const;
+
+ private:
+  friend struct FlatModelBuilderAccess;
+  std::vector<FlatPlace> places_;
+  std::vector<FlatActivity> activities_;
+  std::size_t marking_size_ = 0;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_suffix_;
+
+  void index_names();
+};
+
+/// Internal: gives the flattener write access to a FlatModel under
+/// construction.  Not part of the public API.
+struct FlatModelBuilderAccess {
+  static std::vector<FlatPlace>& places(FlatModel& m) { return m.places_; }
+  static std::vector<FlatActivity>& activities(FlatModel& m) {
+    return m.activities_;
+  }
+  static std::size_t& marking_size(FlatModel& m) { return m.marking_size_; }
+  static void index_names(FlatModel& m) { m.index_names(); }
+};
+
+}  // namespace san

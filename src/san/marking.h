@@ -1,0 +1,93 @@
+// Markings and the gate-side view of them.
+//
+// A SAN marking assigns a non-negative integer to every place.  Extended
+// places (Möbius arrays — the paper uses them for `class_A/B/C`, `platoon1`,
+// `platoon2`) are modeled as places with `size > 1` slots.  The flattened
+// system model stores all slots of all places in one contiguous
+// std::vector<int32_t>; gate callbacks see the marking through a MarkingRef
+// that translates the *local* place tokens of their atomic model into global
+// offsets via an InstanceMap.  This is what lets one gate function, written
+// once against the atomic model, serve every replica produced by Rep.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace san {
+
+/// Opaque handle to a place of an AtomicModel.  Only valid with the model
+/// that created it (and with MarkingRefs bound to instances of that model).
+struct PlaceToken {
+  std::uint32_t id = UINT32_MAX;
+  bool valid() const { return id != UINT32_MAX; }
+  friend bool operator==(PlaceToken a, PlaceToken b) { return a.id == b.id; }
+};
+
+/// Per-instance translation from local place ids to offsets in the flat
+/// marking vector.  Built by the flattener; shared by all activities of one
+/// leaf instance.
+struct InstanceMap {
+  std::vector<std::uint32_t> offset;  ///< local place id -> global slot
+  std::vector<std::uint32_t> size;    ///< local place id -> slot count
+  std::uint32_t replica = 0;          ///< replica index within enclosing Rep
+};
+
+/// Mutable view of the global marking as seen from one leaf instance.
+/// Bounds-checked; gate bugs surface as exceptions, not memory corruption.
+class MarkingRef {
+ public:
+  MarkingRef(std::span<std::int32_t> data, const InstanceMap* map)
+      : data_(data), map_(map) {}
+
+  /// Value of slot `idx` of place `p` (idx 0 for simple places).
+  std::int32_t get(PlaceToken p, std::uint32_t idx = 0) const {
+    return data_[slot(p, idx)];
+  }
+
+  /// Sets slot `idx` of place `p`.
+  void set(PlaceToken p, std::uint32_t idx, std::int32_t v) const {
+    data_[slot(p, idx)] = v;
+  }
+
+  /// Sets the single slot of a simple place.
+  void set(PlaceToken p, std::int32_t v) const { set(p, 0, v); }
+
+  /// Adds `delta` to slot `idx` of place `p`.
+  void add(PlaceToken p, std::uint32_t idx, std::int32_t delta) const {
+    data_[slot(p, idx)] += delta;
+  }
+
+  /// Adds `delta` to the single slot of a simple place.
+  void add(PlaceToken p, std::int32_t delta) const { add(p, 0, delta); }
+
+  /// Number of slots of place `p`.
+  std::uint32_t size(PlaceToken p) const {
+    AHS_REQUIRE(p.valid() && p.id < map_->size.size(), "bad place token");
+    return map_->size[p.id];
+  }
+
+  /// Sum over all slots of place `p` (handy for extended-place counters).
+  std::int32_t total(PlaceToken p) const {
+    std::int32_t s = 0;
+    for (std::uint32_t i = 0; i < size(p); ++i) s += get(p, i);
+    return s;
+  }
+
+  /// Replica index of this instance within its enclosing Rep (0 if none).
+  std::uint32_t replica() const { return map_->replica; }
+
+ private:
+  std::size_t slot(PlaceToken p, std::uint32_t idx) const {
+    AHS_REQUIRE(p.valid() && p.id < map_->offset.size(), "bad place token");
+    AHS_REQUIRE(idx < map_->size[p.id], "extended-place index out of range");
+    return map_->offset[p.id] + idx;
+  }
+
+  std::span<std::int32_t> data_;
+  const InstanceMap* map_;
+};
+
+}  // namespace san

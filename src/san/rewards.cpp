@@ -1,0 +1,49 @@
+#include "san/rewards.h"
+
+#include "util/error.h"
+
+namespace san {
+
+RewardFn indicator_nonzero(const FlatModel& model, const std::string& place) {
+  const std::size_t pi = model.place_index(place);
+  const std::uint32_t off = model.place_offset(pi);
+  return [off](std::span<const std::int32_t> m) {
+    return m[off] > 0 ? 1.0 : 0.0;
+  };
+}
+
+RewardFn place_value(const FlatModel& model, const std::string& place,
+                     std::uint32_t idx) {
+  const std::size_t pi = model.place_index(place);
+  AHS_REQUIRE(idx < model.place_size(pi), "slot index out of range");
+  const std::uint32_t off = model.place_offset(pi) + idx;
+  return [off](std::span<const std::int32_t> m) {
+    return static_cast<double>(m[off]);
+  };
+}
+
+RewardFn place_total(const FlatModel& model, const std::string& place) {
+  const std::size_t pi = model.place_index(place);
+  const std::uint32_t off = model.place_offset(pi);
+  const std::uint32_t size = model.place_size(pi);
+  return [off, size](std::span<const std::int32_t> m) {
+    double s = 0.0;
+    for (std::uint32_t i = 0; i < size; ++i) s += m[off + i];
+    return s;
+  };
+}
+
+RewardFn replica_total(const FlatModel& model, const std::string& suffix) {
+  const auto indices = model.place_indices(suffix);
+  AHS_REQUIRE(!indices.empty(), "no place matches suffix '" + suffix + "'");
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(indices.size());
+  for (std::size_t pi : indices) offsets.push_back(model.place_offset(pi));
+  return [offsets](std::span<const std::int32_t> m) {
+    double s = 0.0;
+    for (std::uint32_t off : offsets) s += m[off];
+    return s;
+  };
+}
+
+}  // namespace san

@@ -1,0 +1,34 @@
+// Reward variables over flattened models.
+//
+// A rate reward maps a marking to a real number; the engines evaluate it
+// at time instants (instant-of-time, the paper's S(t) = P[KO_total marked])
+// or integrate it over an interval (interval-of-time).  Helpers build the
+// common indicator rewards from place names.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "san/flat_model.h"
+
+namespace san {
+
+/// Rate reward evaluated on the global marking.
+using RewardFn = std::function<double(std::span<const std::int32_t>)>;
+
+/// 1 when slot 0 of the named place is positive, else 0.
+RewardFn indicator_nonzero(const FlatModel& model, const std::string& place);
+
+/// Value of slot `idx` of the named place.
+RewardFn place_value(const FlatModel& model, const std::string& place,
+                     std::uint32_t idx = 0);
+
+/// Sum over all slots of the named place (extended-place counters).
+RewardFn place_total(const FlatModel& model, const std::string& place);
+
+/// Sum of slot 0 across every place matching the suffix (one per replica) —
+/// e.g. the number of replicas currently holding a token in "v_OK".
+RewardFn replica_total(const FlatModel& model, const std::string& suffix);
+
+}  // namespace san

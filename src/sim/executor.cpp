@@ -1,0 +1,275 @@
+#include "sim/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/distributions.h"
+#include "util/error.h"
+
+namespace sim {
+
+namespace {
+constexpr double kNotScheduled = std::numeric_limits<double>::quiet_NaN();
+inline bool scheduled(double t) { return !std::isnan(t); }
+}  // namespace
+
+Executor::Executor(const san::FlatModel& model, util::Rng rng, Options opts)
+    : model_(model), rng_(rng), opts_(opts) {
+  const auto& acts = model_.activities();
+  bias_boost_.assign(acts.size(), 1.0);
+  bias_cases_.assign(acts.size(), nullptr);
+
+  for (std::size_t i = 0; i < acts.size(); ++i) {
+    if (acts[i].timed) timed_.push_back(i);
+    else instant_by_priority_.push_back(i);
+  }
+  std::stable_sort(instant_by_priority_.begin(), instant_by_priority_.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return acts[a].priority > acts[b].priority;
+                   });
+
+  if (opts_.bias != nullptr && opts_.bias->active()) {
+    AHS_REQUIRE(model_.all_exponential(),
+                "importance sampling requires an all-exponential model");
+    AHS_REQUIRE(opts_.bias->boost > 0.0, "bias boost must be > 0");
+    embedded_mode_ = true;
+    for (std::size_t i = 0; i < acts.size(); ++i) {
+      if (opts_.bias->boosted.count(acts[i].source_name))
+        bias_boost_[i] = opts_.bias->boost;
+      const auto it = opts_.bias->case_bias.find(acts[i].source_name);
+      if (it != opts_.bias->case_bias.end()) {
+        AHS_REQUIRE(it->second.size() == acts[i].cases.size(),
+                    "case_bias for '" + acts[i].source_name +
+                        "' must list one weight per case");
+        bias_cases_[i] = &it->second;
+      }
+    }
+  }
+
+  sched_.assign(acts.size(), kNotScheduled);
+  was_enabled_.assign(acts.size(), false);
+  reset();
+}
+
+void Executor::reset() {
+  marking_ = model_.initial_marking();
+  time_ = 0.0;
+  lr_ = 1.0;
+  events_ = 0;
+  std::fill(sched_.begin(), sched_.end(), kNotScheduled);
+  std::fill(was_enabled_.begin(), was_enabled_.end(), false);
+  stabilize_instantaneous();
+  if (!embedded_mode_) refresh_schedule();
+}
+
+void Executor::reset(util::Rng rng) {
+  rng_ = rng;
+  reset();
+}
+
+std::size_t Executor::choose_case(std::size_t ai) {
+  const auto& act = model_.activities()[ai];
+  if (act.cases.size() == 1) return 0;
+  const std::vector<double> w = model_.case_weights(ai, marking_);
+  if (embedded_mode_ && bias_cases_[ai] != nullptr) {
+    const std::vector<double>& bw = *bias_cases_[ai];
+    const std::size_t ci = util::sample_discrete(rng_, bw);
+    double tw = 0.0, tb = 0.0;
+    for (double x : w) tw += x;
+    for (double x : bw) tb += x;
+    AHS_REQUIRE(tw > 0.0, "true case weights sum to zero for '" + act.name +
+                              "'");
+    const double true_p = w[ci] / tw;
+    const double bias_p = bw[ci] / tb;
+    AHS_REQUIRE(bias_p > 0.0, "biased case with zero weight was sampled");
+    lr_ *= true_p / bias_p;
+    return ci;
+  }
+  return util::sample_discrete(rng_, w);
+}
+
+void Executor::stabilize_instantaneous() {
+  if (instant_by_priority_.empty()) return;
+  std::uint64_t firings = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t ai : instant_by_priority_) {
+      if (!model_.enabled(ai, marking_)) continue;
+      const std::size_t ci = choose_case(ai);
+      model_.fire(ai, ci, marking_);
+      if (on_fire) on_fire(ai, ci);
+      if (++firings > opts_.max_instant_firings)
+        throw util::ModelError(
+            "instantaneous-activity loop detected (more than " +
+            std::to_string(opts_.max_instant_firings) + " firings)");
+      progress = true;
+      break;  // restart the priority scan from the top
+    }
+  }
+}
+
+void Executor::refresh_schedule() {
+  for (std::size_t ai : timed_) {
+    const bool en = model_.enabled(ai, marking_);
+    if (en) {
+      const bool resample = !was_enabled_[ai] || model_.marking_dependent(ai);
+      if (resample || !scheduled(sched_[ai]))
+        sched_[ai] = time_ + model_.sample_delay(ai, marking_, rng_);
+    } else {
+      sched_[ai] = kNotScheduled;
+    }
+    was_enabled_[ai] = en;
+  }
+}
+
+std::optional<double> Executor::next_completion_time() {
+  if (embedded_mode_) {
+    // In embedded mode delays are drawn at step time; expose the expected
+    // next time only as "now" plus a fresh sample would be wrong, so report
+    // whether any activity is enabled by probing rates.
+    double total = 0.0;
+    for (std::size_t ai : timed_)
+      if (model_.enabled(ai, marking_))
+        total += model_.exponential_rate(ai, marking_);
+    if (total <= 0.0) return std::nullopt;
+    // The caller only uses this to decide whether to keep stepping; the
+    // actual jump time is sampled inside step().  Report current time.
+    return time_;
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t ai : timed_)
+    if (scheduled(sched_[ai])) best = std::min(best, sched_[ai]);
+  if (!std::isfinite(best)) return std::nullopt;
+  return best;
+}
+
+bool Executor::step_scheduled() {
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_ai = SIZE_MAX;
+  for (std::size_t ai : timed_) {
+    if (scheduled(sched_[ai]) && sched_[ai] < best) {
+      best = sched_[ai];
+      best_ai = ai;
+    }
+  }
+  if (best_ai == SIZE_MAX) return false;
+  time_ = best;
+  const std::size_t ci = choose_case(best_ai);
+  model_.fire(best_ai, ci, marking_);
+  if (on_fire) on_fire(best_ai, ci);
+  ++events_;
+  sched_[best_ai] = kNotScheduled;
+  was_enabled_[best_ai] = false;
+  stabilize_instantaneous();
+  refresh_schedule();
+  return true;
+}
+
+bool Executor::step_embedded() {
+  // Embedded-chain step: holding time from the true total rate, transition
+  // choice from boosted weights, likelihood ratio updated with the
+  // true/biased selection-probability quotient.
+  double total_rate = 0.0;
+  double total_weight = 0.0;
+  std::vector<std::pair<std::size_t, double>> enabled;  // (ai, rate)
+  enabled.reserve(timed_.size());
+  for (std::size_t ai : timed_) {
+    if (!model_.enabled(ai, marking_)) continue;
+    const double r = model_.exponential_rate(ai, marking_);
+    enabled.emplace_back(ai, r);
+    total_rate += r;
+    total_weight += r * bias_boost_[ai];
+  }
+  if (enabled.empty() || total_rate <= 0.0) return false;
+
+  time_ += rng_.exponential(total_rate);
+
+  double u = rng_.uniform01() * total_weight;
+  std::size_t pick = enabled.size() - 1;
+  for (std::size_t i = 0; i < enabled.size(); ++i) {
+    const double w = enabled[i].second * bias_boost_[enabled[i].first];
+    if (u < w) {
+      pick = i;
+      break;
+    }
+    u -= w;
+  }
+  const auto [ai, rate] = enabled[pick];
+  const double true_p = rate / total_rate;
+  const double bias_p = rate * bias_boost_[ai] / total_weight;
+  lr_ *= true_p / bias_p;
+
+  const std::size_t ci = choose_case(ai);
+  model_.fire(ai, ci, marking_);
+  if (on_fire) on_fire(ai, ci);
+  ++events_;
+  stabilize_instantaneous();
+  return true;
+}
+
+bool Executor::step() {
+  return embedded_mode_ ? step_embedded() : step_scheduled();
+}
+
+std::uint64_t Executor::run_until(double t_end,
+                                  const std::function<bool()>& stop) {
+  std::uint64_t fired = 0;
+  if (embedded_mode_) {
+    // Sample the jump first; if it lands beyond t_end we must NOT execute it
+    // — the marking at t_end is the pre-jump marking.  Because holding times
+    // are exponential (memoryless), discarding the overshooting sample and
+    // re-drawing on the next call is statistically exact.
+    while (true) {
+      double total_rate = 0.0;
+      for (std::size_t ai : timed_)
+        if (model_.enabled(ai, marking_))
+          total_rate += model_.exponential_rate(ai, marking_);
+      if (total_rate <= 0.0) break;
+      const double jump = time_ + rng_.exponential(total_rate);
+      if (jump > t_end) break;
+      // Re-do the step with the jump time fixed: choose the transition.
+      // (step_embedded would resample the time; inline the choice here.)
+      double total_weight = 0.0;
+      std::vector<std::pair<std::size_t, double>> enabled;
+      for (std::size_t ai : timed_) {
+        if (!model_.enabled(ai, marking_)) continue;
+        const double r = model_.exponential_rate(ai, marking_);
+        enabled.emplace_back(ai, r);
+        total_weight += r * bias_boost_[ai];
+      }
+      time_ = jump;
+      double u = rng_.uniform01() * total_weight;
+      std::size_t pick = enabled.size() - 1;
+      for (std::size_t i = 0; i < enabled.size(); ++i) {
+        const double w = enabled[i].second * bias_boost_[enabled[i].first];
+        if (u < w) {
+          pick = i;
+          break;
+        }
+        u -= w;
+      }
+      const auto [ai, rate] = enabled[pick];
+      lr_ *= (rate / total_rate) / (rate * bias_boost_[ai] / total_weight);
+      const std::size_t ci = choose_case(ai);
+      model_.fire(ai, ci, marking_);
+      if (on_fire) on_fire(ai, ci);
+      ++events_;
+      ++fired;
+      stabilize_instantaneous();
+      if (stop && stop()) break;
+    }
+    return fired;
+  }
+  while (true) {
+    const auto next = next_completion_time();
+    if (!next.has_value() || *next > t_end) break;
+    step();
+    ++fired;
+    if (stop && stop()) break;
+  }
+  return fired;
+}
+
+}  // namespace sim

@@ -1,0 +1,135 @@
+// Discrete-event execution of a flattened SAN.
+//
+// Semantics follow Möbius:
+//  * A timed activity samples its firing delay when it becomes enabled and
+//    keeps that sample while it stays enabled ("continue" policy); becoming
+//    disabled aborts the activation.  Activities with marking-dependent
+//    rates are resampled after every completion while enabled — with
+//    exponential delays this is distributionally exact and keeps the rate
+//    current.
+//  * Instantaneous activities fire as soon as they are enabled, higher
+//    priority first (ties: declaration order), until no instantaneous
+//    activity is enabled.  A stabilization that exceeds
+//    Options::max_instant_firings throws (an instantaneous loop is a
+//    modeling bug).
+//  * Case weights are evaluated on the marking at completion start, then the
+//    completion executes input gates, input arcs, and the chosen case's
+//    output gates/arcs, in that order.
+//
+// Importance sampling: with an all-exponential model the process is a CTMC,
+// so the executor can run the *embedded chain* with biased transition
+// selection ("failure biasing") while drawing holding times from the true
+// total rate.  The likelihood ratio of the path is tracked so estimators can
+// unbias.  This is what makes the paper's 1e-9..1e-13 unsafety levels
+// reachable by simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "san/flat_model.h"
+#include "util/rng.h"
+
+namespace sim {
+
+/// Importance-sampling plan.  Activities are matched by their atomic-model
+/// ("source") name, so one entry covers every replica.
+struct BiasPlan {
+  /// Selection-weight multiplier for boosted activities in the embedded
+  /// chain (> 0; 1 disables).  Classic failure biasing boosts the rare
+  /// failure-mode activities.
+  double boost = 1.0;
+  /// Source names of the boosted activities (e.g. {"L1",...,"L6"}).
+  std::set<std::string> boosted;
+  /// Per-activity biased case weights (e.g. push a maneuver's failure case
+  /// from 0.02 to 0.5).  Must have one weight per case, summing > 0.
+  std::map<std::string, std::vector<double>> case_bias;
+
+  bool active() const {
+    return (boost != 1.0 && !boosted.empty()) || !case_bias.empty();
+  }
+};
+
+class Executor {
+ public:
+  struct Options {
+    /// Non-null enables importance sampling (requires all_exponential()).
+    const BiasPlan* bias = nullptr;
+    /// Abort threshold for instantaneous-activity stabilization.
+    std::uint64_t max_instant_firings = 100000;
+  };
+
+  Executor(const san::FlatModel& model, util::Rng rng, Options opts);
+  Executor(const san::FlatModel& model, util::Rng rng)
+      : Executor(model, rng, Options{}) {}
+
+  /// Returns to the initial marking at time 0 and stabilizes instantaneous
+  /// activities.  Called by the constructor; call again between
+  /// replications (optionally with a fresh stream).
+  void reset();
+  void reset(util::Rng rng);
+
+  double time() const { return time_; }
+
+  /// Likelihood ratio of the path so far (1 without importance sampling).
+  double likelihood_ratio() const { return lr_; }
+
+  std::span<const std::int32_t> marking() const { return marking_; }
+
+  /// Completion time of the next timed activity, or nullopt if none is
+  /// enabled (the process is stuck / absorbed).
+  std::optional<double> next_completion_time();
+
+  /// Advances one timed completion (plus the instantaneous stabilization it
+  /// triggers).  Returns false if no timed activity is enabled.
+  bool step();
+
+  /// Fires events while the next completion is <= t_end.  The marking after
+  /// return is the marking holding at time t_end.  Returns the number of
+  /// timed completions executed.  `stop` (optional) is checked after every
+  /// completion; returning true halts early.
+  std::uint64_t run_until(double t_end,
+                          const std::function<bool()>& stop = nullptr);
+
+  /// Total timed completions since the last reset.
+  std::uint64_t events() const { return events_; }
+
+  /// Optional hook invoked after every completion (timed and instantaneous)
+  /// with (activity index, case index); used by the trace recorder.
+  std::function<void(std::size_t, std::size_t)> on_fire;
+
+ private:
+  void stabilize_instantaneous();
+  void refresh_schedule();
+  bool step_scheduled();
+  bool step_embedded();
+  std::size_t choose_case(std::size_t ai);
+
+  const san::FlatModel& model_;
+  util::Rng rng_;
+  Options opts_;
+
+  std::vector<std::int32_t> marking_;
+  double time_ = 0.0;
+  double lr_ = 1.0;
+  std::uint64_t events_ = 0;
+
+  // Scheduled-event state (standard mode).
+  std::vector<double> sched_;    ///< completion time; NaN = not activated
+  std::vector<bool> was_enabled_;
+
+  // Cached structure.
+  std::vector<std::size_t> timed_;
+  std::vector<std::size_t> instant_by_priority_;
+  std::vector<double> bias_boost_;  ///< per-activity selection multiplier
+  std::vector<const std::vector<double>*> bias_cases_;
+  bool embedded_mode_ = false;
+};
+
+}  // namespace sim

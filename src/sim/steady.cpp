@@ -1,0 +1,68 @@
+#include "sim/steady.h"
+
+#include "util/error.h"
+
+namespace sim {
+
+SteadyResult estimate_steady_state(const san::FlatModel& model,
+                                   const san::RewardFn& reward,
+                                   const SteadyOptions& options) {
+  AHS_REQUIRE(options.batch_time > 0.0, "batch_time must be > 0");
+  AHS_REQUIRE(options.min_batches >= 2, "need at least 2 batches");
+  AHS_REQUIRE(options.max_batches >= options.min_batches,
+              "max_batches < min_batches");
+
+  util::Rng rng(options.seed);
+  Executor exec(model, rng);
+
+  // Integrate the piecewise-constant reward between completions.
+  util::KahanSum integral;
+  double last_time = 0.0;
+  double last_reward = reward(exec.marking());
+  exec.on_fire = [&](std::size_t, std::size_t) {
+    const double now = exec.time();
+    integral.add(last_reward * (now - last_time));
+    last_time = now;
+    last_reward = reward(exec.marking());
+  };
+
+  auto advance_to = [&](double t) {
+    exec.run_until(t);
+    integral.add(last_reward * (t - last_time));
+    last_time = t;
+  };
+
+  // Warm-up.
+  advance_to(options.warmup_time);
+
+  util::BatchMeans batches(1);
+  SteadyResult result;
+  double t_cursor = options.warmup_time;
+  double integral_before = integral.value();
+  for (std::uint64_t b = 0; b < options.max_batches; ++b) {
+    t_cursor += options.batch_time;
+    advance_to(t_cursor);
+    const double batch_integral = integral.value() - integral_before;
+    integral_before = integral.value();
+    batches.push(batch_integral / options.batch_time);
+
+    if (batches.completed_batches() >= options.min_batches) {
+      const auto ci = batches.interval(options.confidence);
+      if (ci.converged(options.rel_half_width)) {
+        result.converged = true;
+        break;
+      }
+    }
+    // A dead model (no enabled activities) cannot produce further batches
+    // with different values; the integral still accumulates, so keep going —
+    // the estimate converges to the frozen reward immediately.
+  }
+
+  result.estimate = batches.interval(options.confidence);
+  result.batches = batches.completed_batches();
+  result.total_events = exec.events();
+  result.lag1_autocorrelation = batches.lag1_autocorrelation();
+  return result;
+}
+
+}  // namespace sim

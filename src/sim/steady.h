@@ -1,0 +1,43 @@
+// Steady-state estimation by the method of batch means over one long run.
+//
+// The paper's headline measure is transient, but steady-state rewards are
+// needed for the supporting analyses (expected number of active maneuvers,
+// mean platoon occupancy) and for validating the Dynamicity submodel against
+// closed-form birth–death results.
+#pragma once
+
+#include <cstdint>
+
+#include "san/rewards.h"
+#include "sim/executor.h"
+#include "util/stats.h"
+
+namespace sim {
+
+struct SteadyOptions {
+  /// Simulated time discarded before measurement starts.
+  double warmup_time = 10.0;
+  /// Length of one batch in simulated time.
+  double batch_time = 100.0;
+  std::uint64_t min_batches = 20;
+  std::uint64_t max_batches = 10'000;
+  double rel_half_width = 0.05;
+  double confidence = 0.95;
+  std::uint64_t seed = 42;
+};
+
+struct SteadyResult {
+  util::ConfidenceInterval estimate;
+  std::uint64_t batches = 0;
+  std::uint64_t total_events = 0;
+  double lag1_autocorrelation = 0.0;
+  bool converged = false;
+};
+
+/// Estimates the long-run time average of `reward` — each batch contributes
+/// (1/batch_time) * integral of reward over the batch.
+SteadyResult estimate_steady_state(const san::FlatModel& model,
+                                   const san::RewardFn& reward,
+                                   const SteadyOptions& options);
+
+}  // namespace sim

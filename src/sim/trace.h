@@ -1,0 +1,40 @@
+// Execution tracing: records (time, activity, case) tuples for debugging and
+// for the behavioural assertions in the integration tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/executor.h"
+
+namespace sim {
+
+struct TraceEvent {
+  double time;
+  std::string activity;  ///< hierarchical activity name
+  std::string source;    ///< atomic-model activity name
+  std::size_t case_index;
+};
+
+/// Attaches to an executor's on_fire hook and accumulates events.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(Executor& exec, const san::FlatModel& model);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Number of recorded completions of activities with this source name.
+  std::size_t count_source(const std::string& source_name) const;
+
+  /// Writes one line per event: "t=<time> <activity> case=<i>".
+  void dump(std::ostream& os) const;
+
+ private:
+  const san::FlatModel& model_;
+  Executor& exec_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace sim

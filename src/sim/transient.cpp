@@ -1,0 +1,141 @@
+#include "sim/transient.h"
+
+#include <memory>
+#include <thread>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace sim {
+
+namespace {
+
+/// Runs replication `rep` (stream split(rep+1)) and pushes one observation
+/// per time point into `stats`.
+void run_one_replication(Executor& exec, const san::RewardFn& reward,
+                         const TransientOptions& options, util::Rng& master,
+                         std::uint64_t rep,
+                         std::vector<util::RunningStat>& stats,
+                         std::uint64_t& events) {
+  exec.reset(master.split(rep + 1));
+  bool absorbed = false;
+  double absorbed_lr = 0.0;
+  for (std::size_t i = 0; i < options.time_points.size(); ++i) {
+    const double t = options.time_points[i];
+    if (!absorbed) {
+      if (options.absorbing_indicator) {
+        exec.run_until(t, [&] { return reward(exec.marking()) > 0.0; });
+        if (reward(exec.marking()) > 0.0 && exec.time() <= t) {
+          absorbed = true;
+          absorbed_lr = exec.likelihood_ratio();
+        }
+      } else {
+        exec.run_until(t);
+      }
+    }
+    if (absorbed) {
+      stats[i].push(absorbed_lr);
+    } else {
+      stats[i].push(reward(exec.marking()) * exec.likelihood_ratio());
+    }
+  }
+  events += exec.events();
+}
+
+}  // namespace
+
+TransientResult estimate_transient(const san::FlatModel& model,
+                                   const san::RewardFn& reward,
+                                   const TransientOptions& options) {
+  AHS_REQUIRE(!options.time_points.empty(), "need at least one time point");
+  double prev = 0.0;
+  for (double t : options.time_points) {
+    AHS_REQUIRE(t > prev, "time points must be strictly increasing and > 0");
+    prev = t;
+  }
+  AHS_REQUIRE(options.min_replications >= 2, "need at least 2 replications");
+  AHS_REQUIRE(options.max_replications >= options.min_replications,
+              "max_replications < min_replications");
+  AHS_REQUIRE(options.threads >= 1, "threads must be >= 1");
+
+  const std::size_t k = options.time_points.size();
+  const std::uint32_t workers = options.threads;
+
+  Executor::Options exec_opts;
+  exec_opts.bias = options.bias;
+
+  TransientResult result;
+  result.time_points = options.time_points;
+
+  std::vector<util::RunningStat> stats(k);
+  util::Rng master(options.seed);
+
+  // Per-worker state lives for the whole estimation; per round, worker w
+  // executes the replication indices { base + w, base + w + workers, ... }.
+  struct Worker {
+    std::unique_ptr<Executor> exec;
+    util::Rng master;
+    std::vector<util::RunningStat> stats;
+    std::uint64_t events = 0;
+  };
+  std::vector<Worker> pool;
+  pool.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    Worker wk;
+    wk.exec = std::make_unique<Executor>(model, master.split(0), exec_opts);
+    wk.master = util::Rng(options.seed);
+    wk.stats.resize(k);
+    pool.push_back(std::move(wk));
+  }
+
+  std::uint64_t done = 0;
+  bool converged = false;
+  while (done < options.max_replications && !converged) {
+    const std::uint64_t round = std::min<std::uint64_t>(
+        std::max<std::uint64_t>(options.check_every, workers),
+        options.max_replications - done);
+
+    auto run_worker = [&](std::uint32_t w) {
+      Worker& wk = pool[w];
+      for (std::uint64_t r = w; r < round; r += workers)
+        run_one_replication(*wk.exec, reward, options, wk.master, done + r,
+                            wk.stats, wk.events);
+    };
+
+    if (workers == 1) {
+      run_worker(0);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (std::uint32_t w = 0; w < workers; ++w)
+        threads.emplace_back(run_worker, w);
+      for (auto& t : threads) t.join();
+    }
+
+    // Merge worker accumulators into the global ones (workers keep only
+    // the current round's observations).
+    for (Worker& wk : pool) {
+      for (std::size_t i = 0; i < k; ++i) {
+        stats[i].merge(wk.stats[i]);
+        wk.stats[i].reset();
+      }
+      result.total_events += wk.events;
+      wk.events = 0;
+    }
+    done += round;
+
+    if (done >= options.min_replications) {
+      const auto ci = stats.back().interval(options.confidence);
+      if (ci.converged(options.rel_half_width)) converged = true;
+    }
+  }
+
+  result.replications = done;
+  result.converged = converged;
+  result.estimates.reserve(k);
+  for (const auto& s : stats)
+    result.estimates.push_back(s.interval(options.confidence));
+  return result;
+}
+
+}  // namespace sim

@@ -1,0 +1,148 @@
+#include "util/cli.h"
+
+#include <iostream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace util {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+std::shared_ptr<long long> Cli::add_int(const std::string& name,
+                                        long long default_value,
+                                        const std::string& help) {
+  AHS_REQUIRE(find(name) == nullptr, "duplicate option --" + name);
+  Option opt;
+  opt.name = name;
+  opt.help = help;
+  opt.kind = Kind::kInt;
+  opt.int_value = std::make_shared<long long>(default_value);
+  opt.default_repr = std::to_string(default_value);
+  options_.push_back(opt);
+  return opt.int_value;
+}
+
+std::shared_ptr<double> Cli::add_double(const std::string& name,
+                                        double default_value,
+                                        const std::string& help) {
+  AHS_REQUIRE(find(name) == nullptr, "duplicate option --" + name);
+  Option opt;
+  opt.name = name;
+  opt.help = help;
+  opt.kind = Kind::kDouble;
+  opt.double_value = std::make_shared<double>(default_value);
+  opt.default_repr = format_sci(default_value, 6);
+  options_.push_back(opt);
+  return opt.double_value;
+}
+
+std::shared_ptr<std::string> Cli::add_string(const std::string& name,
+                                             std::string default_value,
+                                             const std::string& help) {
+  AHS_REQUIRE(find(name) == nullptr, "duplicate option --" + name);
+  Option opt;
+  opt.name = name;
+  opt.help = help;
+  opt.kind = Kind::kString;
+  opt.string_value = std::make_shared<std::string>(std::move(default_value));
+  opt.default_repr = *opt.string_value;
+  options_.push_back(opt);
+  return opt.string_value;
+}
+
+std::shared_ptr<bool> Cli::add_flag(const std::string& name,
+                                    const std::string& help) {
+  AHS_REQUIRE(find(name) == nullptr, "duplicate option --" + name);
+  Option opt;
+  opt.name = name;
+  opt.help = help;
+  opt.kind = Kind::kBool;
+  opt.bool_value = std::make_shared<bool>(false);
+  opt.default_repr = "false";
+  options_.push_back(opt);
+  return opt.bool_value;
+}
+
+Cli::Option* Cli::find(const std::string& name) {
+  for (auto& o : options_)
+    if (o.name == name) return &o;
+  return nullptr;
+}
+
+void Cli::assign(Option& opt, const std::string& value) {
+  switch (opt.kind) {
+    case Kind::kInt:
+      *opt.int_value = parse_int(value);
+      break;
+    case Kind::kDouble:
+      *opt.double_value = parse_double(value);
+      break;
+    case Kind::kString:
+      *opt.string_value = value;
+      break;
+    case Kind::kBool: {
+      const std::string v = to_lower(value);
+      AHS_REQUIRE(v == "true" || v == "false" || v == "1" || v == "0",
+                  "boolean flag --" + opt.name + " takes true/false");
+      *opt.bool_value = (v == "true" || v == "1");
+      break;
+    }
+  }
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << help();
+      return false;
+    }
+    AHS_REQUIRE(starts_with(arg, "--"), "unexpected argument: " + arg);
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool have_value = false;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    } else {
+      name = arg;
+    }
+    Option* opt = find(name);
+    AHS_REQUIRE(opt != nullptr, "unknown option --" + name);
+    if (!have_value) {
+      if (opt->kind == Kind::kBool) {
+        *opt->bool_value = true;
+        continue;
+      }
+      AHS_REQUIRE(i + 1 < argc, "option --" + name + " needs a value");
+      value = argv[++i];
+    }
+    assign(*opt, value);
+  }
+  return true;
+}
+
+std::string Cli::help() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& opt : options_) {
+    os << "  --" << opt.name;
+    switch (opt.kind) {
+      case Kind::kInt: os << " <int>"; break;
+      case Kind::kDouble: os << " <float>"; break;
+      case Kind::kString: os << " <string>"; break;
+      case Kind::kBool: break;
+    }
+    os << "  (default " << opt.default_repr << ")\n      " << opt.help
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace util

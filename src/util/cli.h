@@ -1,0 +1,67 @@
+// Minimal declarative CLI-flag parser for the examples and bench binaries.
+//
+// Usage:
+//   util::Cli cli("platoon_safety", "Evaluate AHS unsafety S(t).");
+//   auto n    = cli.add_int("n", 10, "maximum vehicles per platoon");
+//   auto lam  = cli.add_double("lambda", 1e-5, "base failure rate (/h)");
+//   auto strat= cli.add_string("strategy", "DD", "DD|DC|CD|CC");
+//   cli.parse(argc, argv);            // throws on unknown/malformed flags
+//   use(*n, *lam, *strat);
+//
+// Flags are written `--name=value` or `--name value`; `--help` prints the
+// option table and returns false from parse().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace util {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Registers a flag; the returned shared_ptr holds the parsed value after
+  /// parse() (the default until then).
+  std::shared_ptr<long long> add_int(const std::string& name,
+                                     long long default_value,
+                                     const std::string& help);
+  std::shared_ptr<double> add_double(const std::string& name,
+                                     double default_value,
+                                     const std::string& help);
+  std::shared_ptr<std::string> add_string(const std::string& name,
+                                          std::string default_value,
+                                          const std::string& help);
+  std::shared_ptr<bool> add_flag(const std::string& name,
+                                 const std::string& help);
+
+  /// Parses argv.  Returns false if --help was requested (help text already
+  /// printed to stdout); throws util::PreconditionError on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  /// The generated help text.
+  std::string help() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct Option {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::shared_ptr<long long> int_value;
+    std::shared_ptr<double> double_value;
+    std::shared_ptr<std::string> string_value;
+    std::shared_ptr<bool> bool_value;
+    std::string default_repr;
+  };
+
+  Option* find(const std::string& name);
+  void assign(Option& opt, const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+};
+
+}  // namespace util

@@ -1,0 +1,33 @@
+#include "util/csv.h"
+
+#include "util/error.h"
+
+namespace util {
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path), os_(&file_) {
+  if (!file_) throw ModelError("cannot open CSV output file: " + path);
+}
+
+CsvWriter::CsvWriter(std::ostream& os) : os_(&os) {}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) *os_ << ',';
+    *os_ << escape(cells[i]);
+  }
+  *os_ << '\n';
+  ++rows_;
+}
+
+}  // namespace util

@@ -1,0 +1,34 @@
+// CSV output for bench series, so figures can be re-plotted externally.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace util {
+
+/// Writes rows of string cells as RFC-4180-ish CSV (quotes fields containing
+/// commas, quotes, or newlines).  The writer owns the output file.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing, truncating; throws util::ModelError on
+  /// failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Construction from an externally managed stream (used by tests).
+  explicit CsvWriter(std::ostream& os);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Number of rows written so far.
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ofstream file_;
+  std::ostream* os_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace util

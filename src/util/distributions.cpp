@@ -1,0 +1,136 @@
+#include "util/distributions.h"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace util {
+
+Distribution Distribution::Exponential(double rate) {
+  AHS_REQUIRE(rate > 0.0, "Exponential rate must be > 0");
+  return Distribution(DistKind::kExponential, rate, 0.0);
+}
+
+Distribution Distribution::Deterministic(double value) {
+  AHS_REQUIRE(value >= 0.0, "Deterministic delay must be >= 0");
+  return Distribution(DistKind::kDeterministic, value, 0.0);
+}
+
+Distribution Distribution::Uniform(double lo, double hi) {
+  AHS_REQUIRE(0.0 <= lo && lo <= hi, "Uniform requires 0 <= lo <= hi");
+  return Distribution(DistKind::kUniform, lo, hi);
+}
+
+Distribution Distribution::Erlang(int shape, double rate) {
+  AHS_REQUIRE(shape >= 1, "Erlang shape must be >= 1");
+  AHS_REQUIRE(rate > 0.0, "Erlang rate must be > 0");
+  return Distribution(DistKind::kErlang, static_cast<double>(shape), rate);
+}
+
+Distribution Distribution::Weibull(double shape, double scale) {
+  AHS_REQUIRE(shape > 0.0 && scale > 0.0, "Weibull parameters must be > 0");
+  return Distribution(DistKind::kWeibull, shape, scale);
+}
+
+Distribution Distribution::Lognormal(double mu, double sigma) {
+  AHS_REQUIRE(sigma >= 0.0, "Lognormal sigma must be >= 0");
+  return Distribution(DistKind::kLognormal, mu, sigma);
+}
+
+double Distribution::rate() const {
+  AHS_REQUIRE(is_exponential(), "rate() requires an exponential distribution");
+  return p0_;
+}
+
+double Distribution::mean() const {
+  switch (kind_) {
+    case DistKind::kExponential:
+      return 1.0 / p0_;
+    case DistKind::kDeterministic:
+      return p0_;
+    case DistKind::kUniform:
+      return 0.5 * (p0_ + p1_);
+    case DistKind::kErlang:
+      return p0_ / p1_;
+    case DistKind::kWeibull:
+      return p1_ * std::tgamma(1.0 + 1.0 / p0_);
+    case DistKind::kLognormal:
+      return std::exp(p0_ + 0.5 * p1_ * p1_);
+  }
+  throw InvariantError("unknown distribution kind");
+}
+
+double Distribution::sample(Rng& rng) const {
+  switch (kind_) {
+    case DistKind::kExponential:
+      return rng.exponential(p0_);
+    case DistKind::kDeterministic:
+      return p0_;
+    case DistKind::kUniform:
+      return rng.uniform(p0_, p1_);
+    case DistKind::kErlang: {
+      double sum = 0.0;
+      const int shape = static_cast<int>(p0_);
+      for (int i = 0; i < shape; ++i) sum += rng.exponential(p1_);
+      return sum;
+    }
+    case DistKind::kWeibull:
+      // Inverse CDF: scale * (-ln U)^(1/shape).
+      return p1_ * std::pow(-std::log(rng.uniform01_open_left()), 1.0 / p0_);
+    case DistKind::kLognormal: {
+      // Box–Muller; one variate per call keeps the stream usage simple and
+      // reproducible at a small constant-factor cost.
+      const double u1 = rng.uniform01_open_left();
+      const double u2 = rng.uniform01();
+      const double z = std::sqrt(-2.0 * std::log(u1)) *
+                       std::cos(2.0 * std::numbers::pi * u2);
+      return std::exp(p0_ + p1_ * z);
+    }
+  }
+  throw InvariantError("unknown distribution kind");
+}
+
+std::string Distribution::describe() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case DistKind::kExponential:
+      os << "Exp(rate=" << p0_ << ")";
+      break;
+    case DistKind::kDeterministic:
+      os << "Det(" << p0_ << ")";
+      break;
+    case DistKind::kUniform:
+      os << "Unif[" << p0_ << "," << p1_ << "]";
+      break;
+    case DistKind::kErlang:
+      os << "Erlang(k=" << static_cast<int>(p0_) << ",rate=" << p1_ << ")";
+      break;
+    case DistKind::kWeibull:
+      os << "Weibull(shape=" << p0_ << ",scale=" << p1_ << ")";
+      break;
+    case DistKind::kLognormal:
+      os << "Lognormal(mu=" << p0_ << ",sigma=" << p1_ << ")";
+      break;
+  }
+  return os.str();
+}
+
+std::size_t sample_discrete(Rng& rng, const std::vector<double>& weights) {
+  AHS_REQUIRE(!weights.empty(), "sample_discrete needs at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    AHS_REQUIRE(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  AHS_REQUIRE(total > 0.0, "at least one weight must be positive");
+  double u = rng.uniform01() * total;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    if (u < weights[i]) return i;
+    u -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace util

@@ -1,0 +1,86 @@
+// Random-variate distributions for timed-activity firing delays.
+//
+// The paper's model uses exponential activities exclusively (§4.1 assumes
+// constant occurrence rates), but the SAN engine supports the usual Möbius
+// distribution set so that extensions (deterministic maneuver durations,
+// Weibull wear-out failures, ...) can be studied without touching the engine.
+//
+// A Distribution is a small immutable value object.  `sample(rng)` draws a
+// variate; `rate()` is defined only for Exponential (used by the CTMC
+// generator, which requires an all-exponential model); `mean()` is defined
+// for all.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace util {
+
+enum class DistKind {
+  kExponential,
+  kDeterministic,
+  kUniform,
+  kErlang,
+  kWeibull,
+  kLognormal,
+};
+
+/// Immutable description of a delay distribution.
+class Distribution {
+ public:
+  /// Exponential with the given rate (> 0).  Mean = 1/rate.
+  static Distribution Exponential(double rate);
+  /// Point mass at `value` (>= 0).
+  static Distribution Deterministic(double value);
+  /// Uniform on [lo, hi], 0 <= lo <= hi.
+  static Distribution Uniform(double lo, double hi);
+  /// Erlang with `shape` (>=1) stages of rate `rate` (>0). Mean = shape/rate.
+  static Distribution Erlang(int shape, double rate);
+  /// Weibull with shape k > 0 and scale lambda > 0.
+  static Distribution Weibull(double shape, double scale);
+  /// Lognormal: log of the variate is Normal(mu, sigma), sigma >= 0.
+  static Distribution Lognormal(double mu, double sigma);
+
+  DistKind kind() const { return kind_; }
+
+  /// True iff the distribution is exponential (memoryless).
+  bool is_exponential() const { return kind_ == DistKind::kExponential; }
+
+  /// Rate of an exponential distribution.  Precondition: is_exponential().
+  double rate() const;
+
+  /// Expected value.
+  double mean() const;
+
+  /// Draws one variate.
+  double sample(Rng& rng) const;
+
+  /// Human-readable description, e.g. "Exp(rate=12)".
+  std::string describe() const;
+
+  /// Parameters in declaration order (for tests and serialization).
+  double param0() const { return p0_; }
+  double param1() const { return p1_; }
+
+  friend bool operator==(const Distribution& a, const Distribution& b) {
+    return a.kind_ == b.kind_ && a.p0_ == b.p0_ && a.p1_ == b.p1_;
+  }
+
+ private:
+  Distribution(DistKind kind, double p0, double p1)
+      : kind_(kind), p0_(p0), p1_(p1) {}
+
+  DistKind kind_;
+  double p0_;
+  double p1_;
+};
+
+/// Draws an index in [0, weights.size()) with probability proportional to
+/// weights[i].  Requires at least one strictly positive weight and no
+/// negative weights.
+std::size_t sample_discrete(Rng& rng, const std::vector<double>& weights);
+
+}  // namespace util

@@ -1,0 +1,74 @@
+// Error handling primitives shared by every library in this repository.
+//
+// Philosophy (C++ Core Guidelines E.2/E.3): throw exceptions for errors that
+// cannot be handled locally; use AHS_REQUIRE for precondition violations on
+// public APIs (programming errors by the caller) and AHS_ASSERT for internal
+// invariants.  Both throw rather than abort so that tests can exercise the
+// failure paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace util {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant is violated (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a model is structurally ill-formed (validation failures).
+class ModelError : public std::runtime_error {
+ public:
+  explicit ModelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a numerical routine fails to converge or receives
+/// out-of-domain inputs.
+class NumericalError : public std::runtime_error {
+ public:
+  explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace util
+
+/// Precondition check on a public API.  `msg` may use stream syntax pieces
+/// already formatted into a std::string.
+#define AHS_REQUIRE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::util::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Internal invariant check.
+#define AHS_ASSERT(expr, msg)                                            \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::util::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,42 @@
+// Leveled logging to stderr.  Intentionally tiny: the libraries in this repo
+// signal errors with exceptions; logging exists for progress reporting from
+// the long-running estimation loops and for optional trace output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are discarded.  Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits a line `[LEVEL] message` to stderr if `level >= threshold`.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace util
+
+#define AHS_LOG_DEBUG ::util::detail::LogLine(::util::LogLevel::kDebug)
+#define AHS_LOG_INFO ::util::detail::LogLine(::util::LogLevel::kInfo)
+#define AHS_LOG_WARN ::util::detail::LogLine(::util::LogLevel::kWarn)
+#define AHS_LOG_ERROR ::util::detail::LogLine(::util::LogLevel::kError)

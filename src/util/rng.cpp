@@ -1,0 +1,111 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // xoshiro's state must not be all-zero; splitmix64 makes that practically
+  // impossible, but guard anyway for the adversarial seed.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform01_open_left() {
+  return (static_cast<double>((*this)() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  AHS_REQUIRE(lo <= hi, "uniform bounds out of order");
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  AHS_REQUIRE(bound > 0, "bound must be positive");
+  // Lemire's method: multiply-shift with rejection to remove modulo bias.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double rate) {
+  AHS_REQUIRE(rate > 0.0, "exponential rate must be positive");
+  return -std::log(uniform01_open_left()) / rate;
+}
+
+Rng Rng::split(std::uint64_t idx) const {
+  // Hash (seed, idx) through two splitmix64 rounds to derive a child seed.
+  std::uint64_t sm = seed_ ^ (0xA0761D6478BD642Full + idx);
+  std::uint64_t child = splitmix64(sm);
+  sm ^= idx * 0xE7037ED1A0B428DBull;
+  child ^= splitmix64(sm);
+  return Rng(child);
+}
+
+void Rng::long_jump() {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x76E15D3EFEFDCBBFull, 0xC5004E441C522FB3ull, 0x77710069854EE241ull,
+      0x39109BB02ACBE635ull};
+  std::array<std::uint64_t, 4> t{};
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ull << b)) {
+        t[0] ^= s_[0];
+        t[1] ^= s_[1];
+        t[2] ^= s_[2];
+        t[3] ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_ = t;
+}
+
+}  // namespace util

@@ -1,0 +1,72 @@
+// Pseudo-random number generation.
+//
+// The simulation engine needs (a) a fast, high-quality 64-bit generator and
+// (b) *splittable* independent streams so that each replication — and each
+// replica submodel inside a replication — can draw from its own stream
+// without synchronization and with reproducible results regardless of
+// scheduling.  We implement xoshiro256++ (Blackman & Vigna) seeded through
+// splitmix64, with `jump()`-free stream derivation: a child stream is seeded
+// by hashing (parent seed, child index) through splitmix64, which is the
+// standard practical construction for independent streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace util {
+
+/// splitmix64 step; used for seeding and stream derivation.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256++ generator.  Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator from a single 64-bit value via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01();
+
+  /// Uniform double in (0, 1] — safe as input to -log() without clamping.
+  double uniform01_open_left();
+
+  /// Uniform double in [lo, hi).  Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  /// Requires bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponential variate with the given rate (> 0).
+  double exponential(double rate);
+
+  /// Derives an independent child stream; deterministic in (this seed, idx).
+  Rng split(std::uint64_t idx) const;
+
+  /// The seed this generator was constructed from (for reproducibility logs).
+  std::uint64_t seed() const { return seed_; }
+
+  /// Equivalent to 2^128 calls of operator(); used to partition one seed
+  /// into non-overlapping sequences.
+  void long_jump();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace util

@@ -1,0 +1,217 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace util {
+
+double inverse_normal_cdf(double p) {
+  AHS_REQUIRE(p > 0.0 && p < 1.0, "inverse_normal_cdf requires 0 < p < 1");
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  const double phigh = 1 - plow;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p <= phigh) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  }
+  q = std::sqrt(-2 * std::log(1 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+double normal_critical_value(double confidence) {
+  AHS_REQUIRE(confidence > 0.0 && confidence < 1.0,
+              "confidence must be in (0,1)");
+  // Common levels hard-coded for exactness in tests.
+  if (confidence == 0.90) return 1.6448536269514722;
+  if (confidence == 0.95) return 1.959963984540054;
+  if (confidence == 0.99) return 2.5758293035489004;
+  return inverse_normal_cdf(0.5 + confidence / 2.0);
+}
+
+double ConfidenceInterval::relative_half_width() const {
+  if (mean == 0.0) return std::numeric_limits<double>::infinity();
+  return half_width / std::abs(mean);
+}
+
+void RunningStat::push(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::std_error() const {
+  if (n_ < 2) return std::numeric_limits<double>::infinity();
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+ConfidenceInterval RunningStat::interval(double confidence) const {
+  ConfidenceInterval ci;
+  ci.mean = mean();
+  ci.confidence = confidence;
+  if (n_ >= 2) ci.half_width = normal_critical_value(confidence) * std_error();
+  return ci;
+}
+
+void RunningStat::reset() { *this = RunningStat(); }
+
+void ProportionStat::push(bool success) {
+  ++n_;
+  if (success) ++k_;
+}
+
+void ProportionStat::push_count(std::uint64_t successes,
+                                std::uint64_t trials) {
+  AHS_REQUIRE(successes <= trials, "successes cannot exceed trials");
+  n_ += trials;
+  k_ += successes;
+}
+
+double ProportionStat::proportion() const {
+  return n_ ? static_cast<double>(k_) / static_cast<double>(n_) : 0.0;
+}
+
+ConfidenceInterval ProportionStat::interval(double confidence) const {
+  ConfidenceInterval ci;
+  ci.confidence = confidence;
+  if (n_ == 0) return ci;
+  const double z = normal_critical_value(confidence);
+  const double n = static_cast<double>(n_);
+  const double p = proportion();
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2 * n)) / denom;
+  const double hw =
+      z * std::sqrt(p * (1 - p) / n + z2 / (4 * n * n)) / denom;
+  ci.mean = center;
+  ci.half_width = hw;
+  return ci;
+}
+
+BatchMeans::BatchMeans(std::uint64_t batch_size) : batch_size_(batch_size) {
+  AHS_REQUIRE(batch_size >= 1, "batch size must be >= 1");
+}
+
+void BatchMeans::push(double x) {
+  batch_sum_ += x;
+  if (++in_batch_ == batch_size_) {
+    const double m = batch_sum_ / static_cast<double>(batch_size_);
+    batches_.push(m);
+    means_.push_back(m);
+    in_batch_ = 0;
+    batch_sum_ = 0.0;
+  }
+}
+
+ConfidenceInterval BatchMeans::interval(double confidence) const {
+  return batches_.interval(confidence);
+}
+
+double BatchMeans::lag1_autocorrelation() const {
+  if (means_.size() < 3) return 0.0;
+  const double m = batches_.mean();
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < means_.size(); ++i) {
+    const double d = means_[i] - m;
+    den += d * d;
+    if (i + 1 < means_.size()) num += d * (means_[i + 1] - m);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  AHS_REQUIRE(hi > lo, "histogram range must be non-empty");
+  AHS_REQUIRE(bins >= 1, "histogram needs at least one bin");
+}
+
+void Histogram::push(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // fp edge guard
+  ++counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  AHS_REQUIRE(bin < counts_.size(), "bin out of range");
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + width_; }
+
+double Histogram::density(std::size_t bin) const {
+  AHS_REQUIRE(bin < counts_.size(), "bin out of range");
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) /
+         (static_cast<double>(total_) * width_);
+}
+
+void KahanSum::add(double x) {
+  const double y = x - c_;
+  const double t = sum_ + y;
+  c_ = (t - sum_) - y;
+  sum_ = t;
+}
+
+}  // namespace util

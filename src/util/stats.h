@@ -1,0 +1,161 @@
+// Online statistics for simulation output analysis.
+//
+// The paper's estimation protocol (§4.1): every plotted point is the mean of
+// at least 10 000 simulation batches, run until the 95 % confidence interval
+// is within a 0.1 relative half-width.  `RunningStat` is the Welford
+// accumulator behind that; `ConfidenceInterval` packages the normal-theory
+// interval; `BatchMeans` supports steady-state output analysis; `Histogram`
+// supports distribution diagnostics in tests and examples.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace util {
+
+/// Two-sided normal critical value for the given confidence level.
+/// Supported levels: 0.90, 0.95, 0.99 exactly; other levels are computed by
+/// rational approximation of the inverse normal CDF.
+double normal_critical_value(double confidence);
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// relative error < 1.15e-9).  Requires 0 < p < 1.
+double inverse_normal_cdf(double p);
+
+/// A confidence interval [mean - half_width, mean + half_width].
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = std::numeric_limits<double>::infinity();
+  double confidence = 0.95;
+
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+
+  /// half_width / |mean|; +inf when mean == 0.
+  double relative_half_width() const;
+
+  /// True when the interval is tighter than `rel` relative half-width.
+  bool converged(double rel) const { return relative_half_width() <= rel; }
+};
+
+/// Welford online mean/variance accumulator.  Numerically stable; O(1) push.
+class RunningStat {
+ public:
+  void push(double x);
+
+  /// Merges another accumulator (parallel reduction, Chan et al.).
+  void merge(const RunningStat& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean; +inf when fewer than two observations.
+  double std_error() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Normal-theory confidence interval on the mean.
+  ConfidenceInterval interval(double confidence = 0.95) const;
+
+  void reset();
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Specialized accumulator for Bernoulli observations (success indicators).
+/// Exact binomial bookkeeping; the interval uses the Wilson score, which
+/// behaves far better than Wald for the rare-event probabilities this
+/// repository estimates.
+class ProportionStat {
+ public:
+  void push(bool success);
+  void push_count(std::uint64_t successes, std::uint64_t trials);
+
+  std::uint64_t trials() const { return n_; }
+  std::uint64_t successes() const { return k_; }
+  double proportion() const;
+
+  /// Wilson score interval.
+  ConfidenceInterval interval(double confidence = 0.95) const;
+
+ private:
+  std::uint64_t n_ = 0;
+  std::uint64_t k_ = 0;
+};
+
+/// Non-overlapping batch means for steady-state output analysis.
+/// Observations are grouped into batches of `batch_size`; the batch means
+/// feed a RunningStat, from which the usual normal-theory CI follows.
+class BatchMeans {
+ public:
+  explicit BatchMeans(std::uint64_t batch_size);
+
+  void push(double x);
+
+  std::uint64_t batch_size() const { return batch_size_; }
+  std::uint64_t completed_batches() const { return batches_.count(); }
+  double mean() const { return batches_.mean(); }
+  ConfidenceInterval interval(double confidence = 0.95) const;
+
+  /// Lag-1 autocorrelation estimate across completed batch means; close to
+  /// zero indicates the batch size is large enough.
+  double lag1_autocorrelation() const;
+
+ private:
+  std::uint64_t batch_size_;
+  std::uint64_t in_batch_ = 0;
+  double batch_sum_ = 0.0;
+  RunningStat batches_;
+  std::vector<double> means_;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples land in
+/// underflow/overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void push(double x);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  /// Empirical density of a bin: count / (total * width).
+  double density(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Kahan compensated summation — used where long reward accumulations would
+/// otherwise lose precision (e.g. time-averaged rewards over 1e7 events).
+class KahanSum {
+ public:
+  void add(double x);
+  double value() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double c_ = 0.0;
+};
+
+}  // namespace util

@@ -1,0 +1,94 @@
+#include "util/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace util {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_sci(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", std::max(0, digits - 1), value);
+  return buf;
+}
+
+std::string format_fixed(double value, int max_decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", max_decimals, value);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+double parse_double(std::string_view s) {
+  const std::string t = trim(s);
+  AHS_REQUIRE(!t.empty(), "empty string is not a number");
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  AHS_REQUIRE(end == t.c_str() + t.size(),
+              "malformed floating-point value: '" + t + "'");
+  return v;
+}
+
+long long parse_int(std::string_view s) {
+  const std::string t = trim(s);
+  AHS_REQUIRE(!t.empty(), "empty string is not an integer");
+  long long v = 0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+  AHS_REQUIRE(ec == std::errc() && ptr == t.data() + t.size(),
+              "malformed integer: '" + t + "'");
+  return v;
+}
+
+}  // namespace util

@@ -1,0 +1,39 @@
+// Small string helpers shared by the output and CLI layers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace util {
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string trim(std::string_view s);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Lower-cases ASCII.
+std::string to_lower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Formats a double compactly in scientific notation with `digits`
+/// significant digits, e.g. 1.75e-07.
+std::string format_sci(double value, int digits = 3);
+
+/// Formats a double with fixed precision, trimming trailing zeros.
+std::string format_fixed(double value, int max_decimals = 6);
+
+/// Parses a double, throwing util::PreconditionError on malformed input.
+double parse_double(std::string_view s);
+
+/// Parses a non-negative integer, throwing on malformed input.
+long long parse_int(std::string_view s);
+
+}  // namespace util

@@ -1,0 +1,80 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace util {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i >= s.size()) return false;
+  bool digit_seen = false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '-' && c != '+') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  AHS_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  AHS_REQUIRE(cells.size() == headers_.size(),
+              "row width does not match header count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_cell = [&](const std::string& cell, std::size_t width,
+                       bool right) {
+    const std::size_t pad = width - cell.size();
+    if (right) os << std::string(pad, ' ') << cell;
+    else os << cell << std::string(pad, ' ');
+  };
+
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << "  ";
+    emit_cell(headers_[c], widths[c], false);
+  }
+  os << '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << "  ";
+    os << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      emit_cell(row[c], widths[c], looks_numeric(row[c]));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.render();
+}
+
+}  // namespace util

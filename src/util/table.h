@@ -1,0 +1,34 @@
+// Aligned console tables — the bench binaries print paper-style series with
+// these, so that `bench_fig*` output reads like the figure it regenerates.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace util {
+
+/// A simple column-aligned text table.  Columns are sized to the widest cell;
+/// numeric cells are right-aligned, text cells left-aligned.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  /// Renders with a header underline and two-space column gaps.
+  std::string render() const;
+
+  /// Renders to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace util

@@ -1,0 +1,125 @@
+// Unit tests for the SAN atomic-model builder and its validation.
+#include <gtest/gtest.h>
+
+#include "san/atomic_model.h"
+#include "san/composition.h"
+#include "util/error.h"
+
+namespace {
+
+TEST(AtomicModel, DeclaresPlacesWithInitialMarking) {
+  san::AtomicModel m("m");
+  const auto p = m.place("p", 3);
+  const auto q = m.extended_place("q", 4, 1);
+  EXPECT_EQ(m.places().size(), 2u);
+  EXPECT_EQ(m.places()[p.id].initial, 3);
+  EXPECT_EQ(m.places()[q.id].size, 4u);
+  EXPECT_EQ(m.places()[q.id].initial, 1);
+}
+
+TEST(AtomicModel, RejectsDuplicatePlaceNames) {
+  san::AtomicModel m("m");
+  m.place("p");
+  EXPECT_THROW(m.place("p"), util::PreconditionError);
+}
+
+TEST(AtomicModel, RejectsBadPlaceParameters) {
+  san::AtomicModel m("m");
+  EXPECT_THROW(m.place("", 0), util::PreconditionError);
+  EXPECT_THROW(m.extended_place("x", 0), util::PreconditionError);
+  EXPECT_THROW(m.place("y", -1), util::PreconditionError);
+}
+
+TEST(AtomicModel, FindPlaceByName) {
+  san::AtomicModel m("m");
+  const auto p = m.place("alpha");
+  EXPECT_EQ(m.find_place("alpha").id, p.id);
+  EXPECT_THROW(m.find_place("beta"), util::ModelError);
+}
+
+TEST(AtomicModel, TimedActivityRequiresDelaySpec) {
+  auto m = std::make_shared<san::AtomicModel>("m");
+  m->place("p", 1);
+  m->timed_activity("t");  // no distribution
+  EXPECT_THROW(m->validate(), util::ModelError);
+}
+
+TEST(AtomicModel, ValidModelPassesValidation) {
+  auto m = std::make_shared<san::AtomicModel>("m");
+  const auto p = m->place("p", 1);
+  const auto q = m->place("q");
+  m->timed_activity("t")
+      .distribution(util::Distribution::Exponential(1.0))
+      .input_arc(p)
+      .output_arc(q);
+  EXPECT_NO_THROW(m->validate());
+}
+
+TEST(AtomicModel, InstantActivityPriority) {
+  san::AtomicModel m("m");
+  m.place("p", 1);
+  auto b = m.instant_activity("i").priority(3);
+  (void)b;
+  EXPECT_EQ(m.activities()[0].priority, 3);
+  EXPECT_FALSE(m.activities()[0].timed);
+}
+
+TEST(AtomicModel, PriorityRejectedOnTimed) {
+  san::AtomicModel m("m");
+  auto b = m.timed_activity("t");
+  EXPECT_THROW(b.priority(1), util::PreconditionError);
+}
+
+TEST(AtomicModel, DistributionRejectedOnInstant) {
+  san::AtomicModel m("m");
+  auto b = m.instant_activity("i");
+  EXPECT_THROW(b.distribution(util::Distribution::Exponential(1.0)),
+               util::PreconditionError);
+}
+
+TEST(AtomicModel, CaseManagement) {
+  san::AtomicModel m("m");
+  const auto p = m.place("p");
+  auto b = m.timed_activity("t").distribution(
+      util::Distribution::Exponential(1.0));
+  EXPECT_EQ(b.add_case(0.3), 0u);
+  EXPECT_EQ(b.add_case(0.7), 1u);
+  b.output_arc(p, 1, 1);
+  EXPECT_EQ(m.activities()[0].cases.size(), 2u);
+  EXPECT_EQ(m.activities()[0].cases[1].output_arcs.size(), 1u);
+}
+
+TEST(AtomicModel, OutputGateOnImplicitCaseZero) {
+  san::AtomicModel m("m");
+  const auto p = m.place("p");
+  m.timed_activity("t")
+      .distribution(util::Distribution::Exponential(1.0))
+      .output_gate([p](const san::MarkingRef& ref) { ref.add(p, 1); });
+  EXPECT_EQ(m.activities()[0].cases.size(), 1u);
+}
+
+TEST(AtomicModel, ZeroTotalFixedCaseWeightFailsValidation) {
+  auto m = std::make_shared<san::AtomicModel>("m");
+  m->place("p", 1);
+  auto b = m->timed_activity("t").distribution(
+      util::Distribution::Exponential(1.0));
+  b.add_case(0.0);
+  b.add_case(0.0);
+  EXPECT_THROW(m->validate(), util::ModelError);
+}
+
+TEST(AtomicModel, ArcWeightMustBePositive) {
+  san::AtomicModel m("m");
+  const auto p = m.place("p");
+  auto b = m.timed_activity("t");
+  EXPECT_THROW(b.input_arc(p, 0), util::PreconditionError);
+  EXPECT_THROW(b.output_arc(p, -1), util::PreconditionError);
+}
+
+TEST(AtomicModel, InputGateNeedsSomething) {
+  san::AtomicModel m("m");
+  auto b = m.timed_activity("t");
+  EXPECT_THROW(b.input_gate(nullptr, nullptr), util::PreconditionError);
+}
+
+}  // namespace

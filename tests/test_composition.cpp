@@ -1,0 +1,146 @@
+// Tests for Rep/Join composition and flattening: place sharing, instance
+// maps, replica indices, name lookup, and sharing consistency checks.
+#include <gtest/gtest.h>
+
+#include "san/composition.h"
+#include "util/error.h"
+
+namespace {
+
+std::shared_ptr<san::AtomicModel> counter_model() {
+  auto m = std::make_shared<san::AtomicModel>("counter");
+  const auto local = m->place("local", 1);
+  const auto shared = m->place("pool", 0);
+  m->timed_activity("move")
+      .distribution(util::Distribution::Exponential(1.0))
+      .input_arc(local)
+      .output_arc(shared);
+  return m;
+}
+
+TEST(Composition, LeafFlattensToItsOwnPlaces) {
+  const auto flat = san::flatten(counter_model());
+  EXPECT_EQ(flat.places().size(), 2u);
+  EXPECT_EQ(flat.marking_size(), 2u);
+  EXPECT_EQ(flat.activities().size(), 1u);
+  const auto init = flat.initial_marking();
+  EXPECT_EQ(init[flat.place_offset(flat.place_index("local"))], 1);
+}
+
+TEST(Composition, RepDuplicatesUnsharedPlaces) {
+  auto rep = san::Rep("r", san::Leaf(counter_model()), 3, {"pool"});
+  const auto flat = san::flatten(rep);
+  // 3 local copies + 1 shared pool.
+  EXPECT_EQ(flat.places().size(), 4u);
+  EXPECT_EQ(flat.activities().size(), 3u);
+  EXPECT_EQ(flat.place_indices("local").size(), 3u);
+  EXPECT_EQ(flat.place_indices("pool").size(), 1u);
+}
+
+TEST(Composition, RepInstanceCountAndReplicaIndices) {
+  auto rep = san::Rep("r", san::Leaf(counter_model()), 4, {"pool"});
+  EXPECT_EQ(rep->instance_count(), 4u);
+  const auto flat = san::flatten(rep);
+  for (std::size_t i = 0; i < flat.activities().size(); ++i)
+    EXPECT_EQ(flat.activities()[i].imap->replica, i);
+}
+
+TEST(Composition, SharedPlaceIsTrulyShared) {
+  auto rep = san::Rep("r", san::Leaf(counter_model()), 2, {"pool"});
+  const auto flat = san::flatten(rep);
+  auto m = flat.initial_marking();
+  // Fire both replicas' activities; both should feed the same pool slot.
+  flat.fire(0, 0, m);
+  flat.fire(1, 0, m);
+  const auto pool_off = flat.place_offset(flat.place_index("pool"));
+  EXPECT_EQ(m[pool_off], 2);
+}
+
+TEST(Composition, JoinSharesAcrossModels) {
+  auto a = std::make_shared<san::AtomicModel>("a");
+  const auto ap = a->place("bus");
+  a->timed_activity("produce")
+      .distribution(util::Distribution::Exponential(1.0))
+      .output_arc(ap);
+  auto b = std::make_shared<san::AtomicModel>("b");
+  const auto bp = b->place("bus");
+  b->timed_activity("consume")
+      .distribution(util::Distribution::Exponential(1.0))
+      .input_arc(bp);
+
+  auto join = san::Join("j", {san::Leaf(a), san::Leaf(b)}, {"bus"});
+  const auto flat = san::flatten(join);
+  EXPECT_EQ(flat.place_indices("bus").size(), 1u);
+
+  auto m = flat.initial_marking();
+  EXPECT_FALSE(flat.enabled(1, m));  // consume disabled: bus empty
+  flat.fire(0, 0, m);                // produce
+  EXPECT_TRUE(flat.enabled(1, m));
+}
+
+TEST(Composition, JoinWithoutSharingKeepsPlacesSeparate) {
+  auto a = std::make_shared<san::AtomicModel>("a");
+  a->place("bus");
+  auto b = std::make_shared<san::AtomicModel>("b");
+  b->place("bus");
+  auto join = san::Join("j", {san::Leaf(a), san::Leaf(b)}, {});
+  const auto flat = san::flatten(join);
+  EXPECT_EQ(flat.place_indices("bus").size(), 2u);
+  EXPECT_THROW(flat.place_index("bus"), util::ModelError);  // ambiguous
+}
+
+TEST(Composition, SharedSizeMismatchThrows) {
+  auto a = std::make_shared<san::AtomicModel>("a");
+  a->extended_place("arr", 3);
+  auto b = std::make_shared<san::AtomicModel>("b");
+  b->extended_place("arr", 4);
+  auto join = san::Join("j", {san::Leaf(a), san::Leaf(b)}, {"arr"});
+  EXPECT_THROW(san::flatten(join), util::ModelError);
+}
+
+TEST(Composition, SharedInitialMismatchThrows) {
+  auto a = std::make_shared<san::AtomicModel>("a");
+  a->place("p", 1);
+  auto b = std::make_shared<san::AtomicModel>("b");
+  b->place("p", 2);
+  auto join = san::Join("j", {san::Leaf(a), san::Leaf(b)}, {"p"});
+  EXPECT_THROW(san::flatten(join), util::ModelError);
+}
+
+TEST(Composition, NestedRepInJoin) {
+  auto rep = san::Rep("r", san::Leaf(counter_model()), 2, {"pool"});
+  auto solo = std::make_shared<san::AtomicModel>("watcher");
+  const auto wp = solo->place("pool");
+  solo->timed_activity("drain")
+      .distribution(util::Distribution::Exponential(1.0))
+      .input_arc(wp);
+  auto join = san::Join("sys", {rep, san::Leaf(solo)}, {"pool"});
+  const auto flat = san::flatten(join);
+  // pool shared across replicas AND the watcher.
+  EXPECT_EQ(flat.place_indices("pool").size(), 1u);
+  EXPECT_EQ(flat.activities().size(), 3u);
+  EXPECT_EQ(flat.place_indices("local").size(), 2u);
+}
+
+TEST(Composition, RepRejectsZeroCount) {
+  EXPECT_THROW(san::Rep("r", san::Leaf(counter_model()), 0, {}),
+               util::PreconditionError);
+}
+
+TEST(Composition, PlaceSuffixLookupMatchesComponents) {
+  auto rep = san::Rep("r", san::Leaf(counter_model()), 1, {});
+  const auto flat = san::flatten(rep);
+  // Full path should also resolve.
+  EXPECT_NO_THROW(flat.place_index("r[0]/counter/local"));
+  // A partial component ("ounter/local") must NOT match.
+  EXPECT_THROW(flat.place_index("ounter/local"), util::ModelError);
+}
+
+TEST(Composition, ValidateSummary) {
+  auto rep = san::Rep("r", san::Leaf(counter_model()), 2, {"pool"});
+  const auto flat = san::flatten(rep);
+  EXPECT_NO_THROW(flat.validate());
+  EXPECT_NE(flat.summary().find("places"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Coordination-policy tests: strategy parsing, assistant sets per §2.2,
+// and the orderings the paper's Fig 14 rests on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ahs/coordination.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace ahs;
+
+TEST(Strategy, ParseRoundTrip) {
+  for (Strategy s : kAllStrategies)
+    EXPECT_EQ(parse_strategy(to_string(s)), s);
+  EXPECT_EQ(parse_strategy("dd"), Strategy::kDD);
+  EXPECT_THROW(parse_strategy("XX"), util::PreconditionError);
+}
+
+TEST(Strategy, CentralizationFlags) {
+  EXPECT_FALSE(CoordinationPolicy(Strategy::kDD).inter_centralized());
+  EXPECT_FALSE(CoordinationPolicy(Strategy::kDD).intra_centralized());
+  EXPECT_FALSE(CoordinationPolicy(Strategy::kDC).inter_centralized());
+  EXPECT_TRUE(CoordinationPolicy(Strategy::kDC).intra_centralized());
+  EXPECT_TRUE(CoordinationPolicy(Strategy::kCD).inter_centralized());
+  EXPECT_FALSE(CoordinationPolicy(Strategy::kCD).intra_centralized());
+  EXPECT_TRUE(CoordinationPolicy(Strategy::kCC).inter_centralized());
+  EXPECT_TRUE(CoordinationPolicy(Strategy::kCC).intra_centralized());
+}
+
+TEST(Assistants, TieEDecentralizedInterMatchesSection221) {
+  // "only the leaders of the two platoons and the vehicles just in front
+  // and behind the faulty vehicle" — faulty at position 4 of 8: own-platoon
+  // assistants {0, 3, 5} plus the neighbour leader.
+  const CoordinationPolicy dd(Strategy::kDD);
+  const auto set =
+      dd.assistants(Maneuver::kTakeImmediateExitEscorted, 4, 8);
+  EXPECT_EQ(set.own_platoon_positions, (std::vector<int>{0, 3, 5}));
+  EXPECT_TRUE(set.neighbor_leader);
+}
+
+TEST(Assistants, TieECentralizedInterInvolvesAllAhead) {
+  // "all the vehicles in front of the faulty vehicle (including the
+  // leader) and the vehicle just behind it" + neighbour leader.
+  const CoordinationPolicy cd(Strategy::kCD);
+  const auto set =
+      cd.assistants(Maneuver::kTakeImmediateExitEscorted, 4, 8);
+  EXPECT_EQ(set.own_platoon_positions, (std::vector<int>{0, 1, 2, 3, 5}));
+  EXPECT_TRUE(set.neighbor_leader);
+}
+
+TEST(Assistants, IntraCentralizedAddsLeaderEverywhere) {
+  const CoordinationPolicy dd(Strategy::kDD);
+  const CoordinationPolicy dc(Strategy::kDC);
+  for (Maneuver m : kAllManeuvers) {
+    const auto d = dd.assistants(m, 3, 6).own_platoon_positions;
+    const auto c = dc.assistants(m, 3, 6).own_platoon_positions;
+    EXPECT_TRUE(std::find(c.begin(), c.end(), 0) != c.end())
+        << short_name(m) << ": centralized intra must include the leader";
+    EXPECT_GE(c.size(), d.size());
+  }
+}
+
+TEST(Assistants, UnassistedManeuversUnderDD) {
+  const CoordinationPolicy dd(Strategy::kDD);
+  for (Maneuver m : {Maneuver::kTakeImmediateExitNormal,
+                     Maneuver::kGentleStop, Maneuver::kCrashStop}) {
+    const auto set = dd.assistants(m, 2, 5);
+    EXPECT_TRUE(set.own_platoon_positions.empty()) << short_name(m);
+    EXPECT_FALSE(set.neighbor_leader);
+  }
+}
+
+TEST(Assistants, AidedStopUsesVehicleAhead) {
+  const CoordinationPolicy dd(Strategy::kDD);
+  const auto set = dd.assistants(Maneuver::kAidedStop, 3, 5);
+  EXPECT_EQ(set.own_platoon_positions, (std::vector<int>{2}));
+  // The leader has no vehicle ahead.
+  const auto leader = dd.assistants(Maneuver::kAidedStop, 0, 5);
+  EXPECT_TRUE(leader.own_platoon_positions.empty());
+}
+
+TEST(Assistants, EdgePositionsClip) {
+  const CoordinationPolicy dd(Strategy::kDD);
+  // Last vehicle: no "behind".
+  const auto tail = dd.assistants(Maneuver::kTakeImmediateExit, 4, 5);
+  EXPECT_EQ(tail.own_platoon_positions, (std::vector<int>{3}));
+  // Singleton platoon: nothing to assist with.
+  const auto solo = dd.assistants(Maneuver::kTakeImmediateExit, 0, 1);
+  EXPECT_TRUE(solo.own_platoon_positions.empty());
+}
+
+TEST(Assistants, PositionValidation) {
+  const CoordinationPolicy dd(Strategy::kDD);
+  EXPECT_THROW(dd.assistants(Maneuver::kGentleStop, 5, 5),
+               util::PreconditionError);
+  EXPECT_THROW(dd.assistants(Maneuver::kGentleStop, 0, 0),
+               util::PreconditionError);
+}
+
+TEST(AssistantCount, CentralizedInterNeedsMoreForTieE) {
+  // The load-bearing fact behind Fig 14: centralized inter-platoon
+  // coordination involves more vehicles.
+  for (double size : {4.0, 8.0, 12.0}) {
+    const double dd = CoordinationPolicy(Strategy::kDD)
+                          .assistant_count(
+                              Maneuver::kTakeImmediateExitEscorted, size);
+    const double cd = CoordinationPolicy(Strategy::kCD)
+                          .assistant_count(
+                              Maneuver::kTakeImmediateExitEscorted, size);
+    EXPECT_GT(cd, dd) << "platoon size " << size;
+  }
+}
+
+TEST(AssistantCount, GrowsWithPlatoonSizeOnlyWhenCentralizedInter) {
+  const CoordinationPolicy dd(Strategy::kDD);
+  const CoordinationPolicy cd(Strategy::kCD);
+  const double dd4 =
+      dd.assistant_count(Maneuver::kTakeImmediateExitEscorted, 4);
+  const double dd12 =
+      dd.assistant_count(Maneuver::kTakeImmediateExitEscorted, 12);
+  const double cd4 =
+      cd.assistant_count(Maneuver::kTakeImmediateExitEscorted, 4);
+  const double cd12 =
+      cd.assistant_count(Maneuver::kTakeImmediateExitEscorted, 12);
+  EXPECT_NEAR(dd12, dd4, 0.8);  // decentralized: bounded participant set
+  EXPECT_GT(cd12, cd4 + 2.0);   // centralized: ~half the platoon ahead
+}
+
+TEST(AssistantCount, InterSwingOnTieEDominatesIntraSwing) {
+  // Switching the inter-platoon model D→C changes TIE-E's participant set
+  // far more than switching the intra-platoon model does for any maneuver;
+  // since TIE-E failures escalate into class A (the catastrophic path),
+  // this is the mechanism behind the paper's "inter-platoon strategy has
+  // more impact" finding — asserted at the unsafety level in test_lumped.
+  const double size = 10.0;
+  const double tie_e_swing =
+      CoordinationPolicy(Strategy::kCD)
+          .assistant_count(Maneuver::kTakeImmediateExitEscorted, size) -
+      CoordinationPolicy(Strategy::kDD)
+          .assistant_count(Maneuver::kTakeImmediateExitEscorted, size);
+  for (Maneuver m : kAllManeuvers) {
+    const double intra_swing =
+        CoordinationPolicy(Strategy::kDC).assistant_count(m, size) -
+        CoordinationPolicy(Strategy::kDD).assistant_count(m, size);
+    EXPECT_GT(tie_e_swing, intra_swing) << short_name(m);
+  }
+}
+
+}  // namespace

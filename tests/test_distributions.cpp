@@ -1,0 +1,137 @@
+// Unit tests for delay distributions: parameter validation, means,
+// sampling laws (moment checks), and discrete sampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/distributions.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using util::Distribution;
+
+double sample_mean(const Distribution& d, int n = 200000,
+                   std::uint64_t seed = 7) {
+  util::Rng rng(seed);
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  return sum / n;
+}
+
+TEST(Distributions, ExponentialMeanAndRate) {
+  const auto d = Distribution::Exponential(12.0);
+  EXPECT_TRUE(d.is_exponential());
+  EXPECT_DOUBLE_EQ(d.rate(), 12.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 1.0 / 12.0);
+  EXPECT_NEAR(sample_mean(d), 1.0 / 12.0, 5e-4);
+}
+
+TEST(Distributions, ExponentialRejectsBadRate) {
+  EXPECT_THROW(Distribution::Exponential(0.0), util::PreconditionError);
+  EXPECT_THROW(Distribution::Exponential(-3.0), util::PreconditionError);
+}
+
+TEST(Distributions, DeterministicIsExact) {
+  const auto d = Distribution::Deterministic(0.25);
+  util::Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(d.sample(rng), 0.25);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.25);
+  EXPECT_FALSE(d.is_exponential());
+  EXPECT_THROW(d.rate(), util::PreconditionError);
+}
+
+TEST(Distributions, DeterministicRejectsNegative) {
+  EXPECT_THROW(Distribution::Deterministic(-1.0), util::PreconditionError);
+}
+
+TEST(Distributions, UniformMoments) {
+  const auto d = Distribution::Uniform(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+  EXPECT_NEAR(sample_mean(d), 4.0, 0.02);
+  util::Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 6.0);
+  }
+}
+
+TEST(Distributions, UniformRejectsBadBounds) {
+  EXPECT_THROW(Distribution::Uniform(3.0, 2.0), util::PreconditionError);
+  EXPECT_THROW(Distribution::Uniform(-1.0, 2.0), util::PreconditionError);
+}
+
+TEST(Distributions, ErlangMeanAndShape) {
+  const auto d = Distribution::Erlang(4, 8.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.5);
+  EXPECT_NEAR(sample_mean(d), 0.5, 0.005);
+}
+
+TEST(Distributions, ErlangOneIsExponential) {
+  // Erlang(1, r) and Exp(r) have the same law; compare sample variances.
+  util::Rng rng(5);
+  util::RunningStat erl, expo;
+  const auto e1 = Distribution::Erlang(1, 5.0);
+  const auto e2 = Distribution::Exponential(5.0);
+  for (int i = 0; i < 100000; ++i) {
+    erl.push(e1.sample(rng));
+    expo.push(e2.sample(rng));
+  }
+  EXPECT_NEAR(erl.mean(), expo.mean(), 0.005);
+  EXPECT_NEAR(erl.variance(), expo.variance(), 0.01);
+}
+
+TEST(Distributions, ErlangRejectsBadParams) {
+  EXPECT_THROW(Distribution::Erlang(0, 1.0), util::PreconditionError);
+  EXPECT_THROW(Distribution::Erlang(2, 0.0), util::PreconditionError);
+}
+
+TEST(Distributions, WeibullMean) {
+  // shape 2, scale 3: mean = 3 * Gamma(1.5) ≈ 2.6587.
+  const auto d = Distribution::Weibull(2.0, 3.0);
+  EXPECT_NEAR(d.mean(), 3.0 * std::tgamma(1.5), 1e-12);
+  EXPECT_NEAR(sample_mean(d), d.mean(), 0.02);
+}
+
+TEST(Distributions, WeibullShapeOneIsExponential) {
+  const auto d = Distribution::Weibull(1.0, 0.5);  // Exp(rate 2)
+  EXPECT_NEAR(sample_mean(d), 0.5, 0.005);
+}
+
+TEST(Distributions, LognormalMean) {
+  const auto d = Distribution::Lognormal(0.0, 0.5);
+  EXPECT_NEAR(d.mean(), std::exp(0.125), 1e-12);
+  EXPECT_NEAR(sample_mean(d), d.mean(), 0.02);
+}
+
+TEST(Distributions, DescribeMentionsKind) {
+  EXPECT_NE(Distribution::Exponential(1).describe().find("Exp"),
+            std::string::npos);
+  EXPECT_NE(Distribution::Weibull(1, 1).describe().find("Weibull"),
+            std::string::npos);
+}
+
+TEST(SampleDiscrete, RespectsWeights) {
+  util::Rng rng(11);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[util::sample_discrete(rng, w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.75, 0.01);
+}
+
+TEST(SampleDiscrete, RejectsDegenerateInput) {
+  util::Rng rng(1);
+  EXPECT_THROW(util::sample_discrete(rng, {}), util::PreconditionError);
+  EXPECT_THROW(util::sample_discrete(rng, {0.0, 0.0}),
+               util::PreconditionError);
+  EXPECT_THROW(util::sample_discrete(rng, {1.0, -0.1}),
+               util::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Tests for the extension features: non-exponential maneuver times and
+// adjacency-scoped severity.
+#include <gtest/gtest.h>
+
+#include "ahs/lumped.h"
+#include "ahs/study.h"
+#include "ahs/system_model.h"
+#include "sim/executor.h"
+#include "sim/transient.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace ahs;
+
+TEST(ManeuverTimeModel, DistributionsShareTheMean) {
+  Parameters p;
+  for (Maneuver m : kAllManeuvers) {
+    const double mean = 1.0 / p.maneuver_rate(m);
+    for (ManeuverTimeModel law :
+         {ManeuverTimeModel::kExponential, ManeuverTimeModel::kDeterministic,
+          ManeuverTimeModel::kUniform, ManeuverTimeModel::kErlang3}) {
+      p.maneuver_time_model = law;
+      EXPECT_NEAR(p.maneuver_distribution(m).mean(), mean, 1e-12)
+          << to_string(law) << " " << short_name(m);
+    }
+  }
+}
+
+TEST(ManeuverTimeModel, NonExponentialModelStillSimulates) {
+  Parameters p;
+  p.max_per_platoon = 2;
+  p.base_failure_rate = 1e-2;
+  p.maneuver_time_model = ManeuverTimeModel::kDeterministic;
+  const auto flat = build_system_model(p);
+  EXPECT_FALSE(flat.all_exponential());
+  sim::Executor exec(flat, util::Rng(3));
+  exec.run_until(50.0);
+  EXPECT_GT(exec.events(), 100u);
+}
+
+TEST(ManeuverTimeModel, LumpedRejectsNonExponential) {
+  Parameters p;
+  p.maneuver_time_model = ManeuverTimeModel::kUniform;
+  EXPECT_THROW(LumpedModel m(p), util::PreconditionError);
+}
+
+TEST(ManeuverTimeModel, LowerVarianceIsNotLessSafeByMuch) {
+  // Same means: deterministic maneuvers must not be substantially WORSE
+  // than exponential ones (shorter overlap tail).  Statistical test at an
+  // elevated rate with a generous margin.
+  Parameters p;
+  p.max_per_platoon = 2;
+  p.base_failure_rate = 2e-2;
+  const std::vector<double> times = {6.0};
+  StudyOptions so;
+  so.engine = Engine::kSimulation;
+  so.min_replications = 15000;
+  so.max_replications = 15000;
+  const auto expo = unsafety_curve(p, times, so);
+  p.maneuver_time_model = ManeuverTimeModel::kDeterministic;
+  const auto det = unsafety_curve(p, times, so);
+  EXPECT_LT(det.unsafety[0],
+            expo.unsafety[0] + 3 * expo.half_width[0] + 3 * det.half_width[0]);
+}
+
+TEST(AdjacencySeverity, LumpedRejectsRadius) {
+  Parameters p;
+  p.adjacency_radius = 1;
+  EXPECT_THROW(LumpedModel m(p), util::PreconditionError);
+}
+
+TEST(AdjacencySeverity, WindowedScopeNeverExceedsGlobal) {
+  // Any window's counts are a subset of the global counts, so with the
+  // same seeds the windowed model can only absorb later.  Compare
+  // estimates statistically.
+  Parameters p;
+  p.max_per_platoon = 3;
+  p.base_failure_rate = 2e-2;
+  const std::vector<double> times = {6.0};
+  StudyOptions so;
+  so.engine = Engine::kSimulation;
+  so.min_replications = 10000;
+  so.max_replications = 10000;
+  const auto global = unsafety_curve(p, times, so);
+  p.adjacency_radius = 1;
+  const auto windowed = unsafety_curve(p, times, so);
+  EXPECT_LT(windowed.unsafety[0],
+            global.unsafety[0] + 3 * global.half_width[0]);
+  EXPECT_GT(windowed.unsafety[0], 0.0);
+}
+
+TEST(AdjacencySeverity, LargeRadiusEqualsGlobalScope) {
+  // A radius covering the whole platoon reproduces the global predicate
+  // exactly (same model, same seeds, same trajectories).
+  Parameters p;
+  p.max_per_platoon = 2;
+  p.base_failure_rate = 3e-2;
+  const std::vector<double> times = {4.0};
+  StudyOptions so;
+  so.engine = Engine::kSimulation;
+  so.min_replications = 5000;
+  so.max_replications = 5000;
+  so.seed = 77;
+  const auto global = unsafety_curve(p, times, so);
+  p.adjacency_radius = 100;  // window spans everything
+  const auto wide = unsafety_curve(p, times, so);
+  EXPECT_DOUBLE_EQ(wide.unsafety[0], global.unsafety[0]);
+}
+
+TEST(AdjacencySeverity, StudyValidatesEngineCompatibility) {
+  Parameters p;
+  p.adjacency_radius = 1;
+  StudyOptions so;
+  so.engine = Engine::kLumpedCtmc;
+  EXPECT_THROW(unsafety_curve(p, {6.0}, so), util::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// FlatModel semantics and error paths, plus executor bias-plan validation.
+#include <gtest/gtest.h>
+
+#include "san/composition.h"
+#include "sim/executor.h"
+#include "util/error.h"
+
+namespace {
+
+std::shared_ptr<san::AtomicModel> toy() {
+  auto m = std::make_shared<san::AtomicModel>("toy");
+  const auto a = m->place("a", 1);
+  const auto b = m->place("b");
+  m->timed_activity("t")
+      .distribution(util::Distribution::Exponential(2.0))
+      .input_arc(a)
+      .output_arc(b);
+  return m;
+}
+
+TEST(FlatModel, EnabledFollowsArcsAndGates) {
+  auto m = std::make_shared<san::AtomicModel>("gates");
+  const auto a = m->place("a", 1);
+  const auto flag = m->place("flag");
+  m->timed_activity("t")
+      .distribution(util::Distribution::Exponential(1.0))
+      .input_arc(a)
+      .input_gate([flag](const san::MarkingRef& r) {
+        return r.get(flag) > 0;
+      });
+  const auto flat = san::flatten(m);
+  auto mk = flat.initial_marking();
+  EXPECT_FALSE(flat.enabled(0, mk));  // gate blocks
+  mk[flat.place_offset(flat.place_index("flag"))] = 1;
+  EXPECT_TRUE(flat.enabled(0, mk));
+  mk[flat.place_offset(flat.place_index("a"))] = 0;
+  EXPECT_FALSE(flat.enabled(0, mk));  // arc blocks
+}
+
+TEST(FlatModel, FireWithoutTokensThrows) {
+  const auto flat = san::flatten(toy());
+  auto mk = flat.initial_marking();
+  mk[flat.place_offset(flat.place_index("a"))] = 0;
+  EXPECT_THROW(flat.fire(0, 0, mk), util::ModelError);
+}
+
+TEST(FlatModel, ExponentialRateChecksKind) {
+  auto m = std::make_shared<san::AtomicModel>("det");
+  const auto p = m->place("p", 1);
+  m->timed_activity("t")
+      .distribution(util::Distribution::Deterministic(1.0))
+      .input_arc(p);
+  const auto flat = san::flatten(m);
+  auto mk = flat.initial_marking();
+  EXPECT_THROW(flat.exponential_rate(0, mk), util::ModelError);
+  EXPECT_FALSE(flat.all_exponential());
+}
+
+TEST(FlatModel, MarkingDependentRateValidated) {
+  auto m = std::make_shared<san::AtomicModel>("bad");
+  const auto p = m->place("p", 1);
+  m->timed_activity("t")
+      .marking_rate([](const san::MarkingRef&) { return 0.0; })
+      .input_arc(p);
+  const auto flat = san::flatten(m);
+  auto mk = flat.initial_marking();
+  EXPECT_THROW(flat.exponential_rate(0, mk), util::ModelError);
+}
+
+TEST(FlatModel, NegativeCaseWeightRejectedAtEvaluation) {
+  auto m = std::make_shared<san::AtomicModel>("neg");
+  const auto p = m->place("p", 1);
+  auto act = m->timed_activity("t").distribution(
+      util::Distribution::Exponential(1.0));
+  act.input_arc(p);
+  act.add_case([](const san::MarkingRef&) { return -1.0; });
+  act.add_case(1.0);
+  const auto flat = san::flatten(m);
+  auto mk = flat.initial_marking();
+  EXPECT_THROW(flat.case_weights(0, mk), util::ModelError);
+}
+
+TEST(FlatModel, MarkingRefBoundsChecked) {
+  auto m = std::make_shared<san::AtomicModel>("bounds");
+  const auto arr = m->extended_place("arr", 3);
+  m->timed_activity("t")
+      .distribution(util::Distribution::Exponential(1.0))
+      .input_gate([arr](const san::MarkingRef& r) {
+        return r.get(arr, 7) > 0;  // out of range on purpose
+      });
+  const auto flat = san::flatten(m);
+  auto mk = flat.initial_marking();
+  EXPECT_THROW(flat.enabled(0, mk), util::PreconditionError);
+}
+
+TEST(FlatModel, InitialMarkingMatchesDeclarations) {
+  auto m = std::make_shared<san::AtomicModel>("init");
+  m->place("x", 3);
+  m->extended_place("y", 4, 2);
+  const auto flat = san::flatten(m);
+  const auto mk = flat.initial_marking();
+  EXPECT_EQ(mk[flat.place_offset(flat.place_index("x"))], 3);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    EXPECT_EQ(mk[flat.place_offset(flat.place_index("y")) + i], 2);
+}
+
+TEST(ExecutorBias, RequiresExponentialModel) {
+  auto m = std::make_shared<san::AtomicModel>("det");
+  const auto p = m->place("p", 1);
+  m->timed_activity("t")
+      .distribution(util::Distribution::Deterministic(1.0))
+      .input_arc(p);
+  const auto flat = san::flatten(m);
+  sim::BiasPlan bias;
+  bias.boost = 10.0;
+  bias.boosted = {"t"};
+  sim::Executor::Options opts;
+  opts.bias = &bias;
+  EXPECT_THROW(sim::Executor(flat, util::Rng(1), opts),
+               util::PreconditionError);
+}
+
+TEST(ExecutorBias, CaseBiasSizeValidated) {
+  auto m = std::make_shared<san::AtomicModel>("cases");
+  const auto p = m->place("p", 1);
+  auto act = m->timed_activity("t").distribution(
+      util::Distribution::Exponential(1.0));
+  act.input_arc(p);
+  act.add_case(0.5);
+  act.add_case(0.5);
+  const auto flat = san::flatten(m);
+  sim::BiasPlan bias;
+  bias.case_bias["t"] = {1.0};  // wrong arity
+  sim::Executor::Options opts;
+  opts.bias = &bias;
+  EXPECT_THROW(sim::Executor(flat, util::Rng(1), opts),
+               util::PreconditionError);
+}
+
+TEST(ExecutorBias, ZeroBoostRejected) {
+  const auto flat = san::flatten(toy());
+  sim::BiasPlan bias;
+  bias.boost = 0.0;
+  bias.boosted = {"t"};
+  sim::Executor::Options opts;
+  opts.bias = &bias;
+  EXPECT_THROW(sim::Executor(flat, util::Rng(1), opts),
+               util::PreconditionError);
+}
+
+TEST(ExecutorBias, InactivePlanRunsUnbiased) {
+  const auto flat = san::flatten(toy());
+  sim::BiasPlan bias;  // boost 1, nothing boosted: inactive
+  sim::Executor::Options opts;
+  opts.bias = &bias;
+  sim::Executor exec(flat, util::Rng(1), opts);
+  exec.step();
+  EXPECT_DOUBLE_EQ(exec.likelihood_ratio(), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Partition-refinement lumping tests: replica symmetry collapses, quotient
+// transients match the full chain, and non-lumpable partitions refine.
+#include <gtest/gtest.h>
+
+#include "ahs/system_model.h"
+#include "ctmc/lumping.h"
+#include "ctmc/state_space.h"
+#include "ctmc/uniformization.h"
+#include "san/composition.h"
+#include "san/rewards.h"
+#include "util/error.h"
+
+namespace {
+
+std::shared_ptr<san::AtomicModel> flipflop(double a, double b) {
+  auto m = std::make_shared<san::AtomicModel>("ff");
+  const auto up = m->place("up", 1);
+  const auto down = m->place("down");
+  m->timed_activity("fall")
+      .distribution(util::Distribution::Exponential(a))
+      .input_arc(up)
+      .output_arc(down);
+  m->timed_activity("rise")
+      .distribution(util::Distribution::Exponential(b))
+      .input_arc(down)
+      .output_arc(up);
+  return m;
+}
+
+TEST(Lumping, ReplicaSymmetryCollapsesToCounts) {
+  // N independent identical flipflops: 2^N states lump to N+1 (the count
+  // of "up" machines) when the initial partition groups by that count.
+  const int N = 6;
+  const auto rep = san::Rep("r", san::Leaf(flipflop(2.0, 1.0)),
+                            static_cast<std::uint32_t>(N), {});
+  const auto flat = san::flatten(rep);
+  const auto space = ctmc::build_state_space(flat);
+  ASSERT_EQ(space.chain.num_states, 1u << N);
+
+  const auto ups = san::replica_total(flat, "up");
+  const auto reward = space.state_rewards(ups);
+  const auto lump = ctmc::lump_by_reward(space.chain, reward);
+  EXPECT_EQ(lump.num_blocks, static_cast<std::uint32_t>(N + 1));
+
+  // Quotient transient matches the full chain.
+  const std::vector<double> times = {0.3, 1.0, 4.0};
+  const auto full = ctmc::solve_transient(space.chain, reward, times);
+  std::vector<double> qreward(lump.num_blocks, 0.0);
+  for (std::uint32_t s = 0; s < space.chain.num_states; ++s)
+    qreward[lump.block_of[s]] = reward[s];
+  const auto quot =
+      ctmc::solve_transient(lump.quotient, qreward, times);
+  for (std::size_t i = 0; i < times.size(); ++i)
+    EXPECT_NEAR(full.expected_reward[i], quot.expected_reward[i], 1e-10);
+}
+
+TEST(Lumping, AsymmetricRatesDoNotLump) {
+  // Two flipflops with different rates: grouping by up-count is NOT
+  // lumpable, so refinement must split back to (nearly) the full space.
+  auto a = flipflop(2.0, 1.0);
+  auto b = std::make_shared<san::AtomicModel>("ff2");
+  {
+    const auto up = b->place("up", 1);
+    const auto down = b->place("down");
+    b->timed_activity("fall")
+        .distribution(util::Distribution::Exponential(5.0))
+        .input_arc(up)
+        .output_arc(down);
+    b->timed_activity("rise")
+        .distribution(util::Distribution::Exponential(0.5))
+        .input_arc(down)
+        .output_arc(up);
+  }
+  const auto join = san::Join("j", {san::Leaf(a), san::Leaf(b)}, {});
+  const auto flat = san::flatten(join);
+  const auto space = ctmc::build_state_space(flat);
+  ASSERT_EQ(space.chain.num_states, 4u);
+  const auto reward = space.state_rewards(san::replica_total(flat, "up"));
+  const auto lump = ctmc::lump_by_reward(space.chain, reward);
+  EXPECT_EQ(lump.num_blocks, 4u);  // no symmetry to exploit
+}
+
+TEST(Lumping, IdentityPartitionIsFixedPoint) {
+  const auto flat = san::flatten(flipflop(1.0, 3.0));
+  const auto space = ctmc::build_state_space(flat);
+  std::vector<std::uint32_t> identity(space.chain.num_states);
+  for (std::uint32_t s = 0; s < space.chain.num_states; ++s)
+    identity[s] = s;
+  const auto lump = ctmc::lump_ordinary(space.chain, identity);
+  EXPECT_EQ(lump.num_blocks, space.chain.num_states);
+}
+
+TEST(Lumping, ValidatesInput) {
+  const auto flat = san::flatten(flipflop(1.0, 1.0));
+  const auto space = ctmc::build_state_space(flat);
+  EXPECT_THROW(ctmc::lump_ordinary(space.chain, {0u}),
+               util::PreconditionError);
+}
+
+TEST(Lumping, FullAhsModelExhibitsReplicaSymmetry) {
+  // The automated refinement must find at least the vehicle-exchange
+  // symmetry in the exact full-SAN chain (n = 1, two failure modes), and
+  // the quotient's unsafety curve must match the full chain's exactly —
+  // the formal justification for src/ahs/lumped.*.
+  ahs::Parameters p;
+  p.max_per_platoon = 1;
+  p.base_failure_rate = 1e-3;
+  p.failure_mode_enabled = {false, false, true, false, false, true};
+  const auto flat = ahs::build_system_model(p);
+  const auto ko_off = flat.place_offset(flat.place_index("KO_total"));
+
+  ctmc::StateSpaceOptions opts;
+  opts.ignore_places = {"ext_id", "safe_exits", "ko_exits"};
+  opts.absorbing = [ko_off](std::span<const std::int32_t> m) {
+    return m[ko_off] > 0;
+  };
+  const auto space = ctmc::build_state_space(flat, opts);
+
+  const auto reward = space.state_rewards(
+      [ko_off](std::span<const std::int32_t> m) {
+        return m[ko_off] > 0 ? 1.0 : 0.0;
+      });
+  const auto lump = ctmc::lump_by_reward(space.chain, reward);
+  EXPECT_LT(lump.num_blocks, space.chain.num_states)
+      << "replica exchange symmetry must collapse at least some states";
+
+  const std::vector<double> times = {2.0, 6.0};
+  const auto full = ctmc::solve_transient(space.chain, reward, times);
+  std::vector<double> qreward(lump.num_blocks, 0.0);
+  for (std::uint32_t s = 0; s < space.chain.num_states; ++s)
+    qreward[lump.block_of[s]] = reward[s];
+  const auto quot = ctmc::solve_transient(lump.quotient, qreward, times);
+  for (std::size_t i = 0; i < times.size(); ++i)
+    EXPECT_NEAR(quot.expected_reward[i] / full.expected_reward[i], 1.0,
+                1e-6);
+}
+
+}  // namespace

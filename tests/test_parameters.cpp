@@ -1,0 +1,70 @@
+// Parameter-set validation and derived quantities.
+#include <gtest/gtest.h>
+
+#include "ahs/parameters.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace ahs;
+
+TEST(Parameters, DefaultsMatchSection41) {
+  const Parameters p;
+  EXPECT_EQ(p.max_per_platoon, 10);
+  EXPECT_DOUBLE_EQ(p.base_failure_rate, 1e-5);
+  EXPECT_DOUBLE_EQ(p.join_rate, 12.0);
+  EXPECT_DOUBLE_EQ(p.leave_rate, 4.0);
+  EXPECT_DOUBLE_EQ(p.change_rate, 6.0);
+  EXPECT_EQ(p.capacity(), 20);
+  EXPECT_NO_THROW(p.validate());
+  // Maneuver rates inside the paper's [15, 30]/h band.
+  for (Maneuver m : kAllManeuvers) {
+    EXPECT_GE(p.maneuver_rate(m), 15.0);
+    EXPECT_LE(p.maneuver_rate(m), 30.0);
+  }
+  // Transit stage: 3–4 minutes => rate in [15, 20]/h.
+  EXPECT_GE(p.transit_rate, 15.0);
+  EXPECT_LE(p.transit_rate, 20.0);
+}
+
+TEST(Parameters, FailureRatesUseMultipliers) {
+  Parameters p;
+  p.base_failure_rate = 2e-6;
+  EXPECT_DOUBLE_EQ(p.failure_rate(FailureMode::kFM1), 2e-6);
+  EXPECT_DOUBLE_EQ(p.failure_rate(FailureMode::kFM5), 6e-6);
+  EXPECT_DOUBLE_EQ(p.failure_rate(FailureMode::kFM6), 8e-6);
+}
+
+TEST(Parameters, ValidationCatchesBadValues) {
+  Parameters p;
+  p.max_per_platoon = 0;
+  EXPECT_THROW(p.validate(), util::PreconditionError);
+  p = Parameters();
+  p.base_failure_rate = 0.0;
+  EXPECT_THROW(p.validate(), util::PreconditionError);
+  p = Parameters();
+  p.maneuver_rates[2] = -1.0;
+  EXPECT_THROW(p.validate(), util::PreconditionError);
+  p = Parameters();
+  p.q_intrinsic = 0.0;
+  EXPECT_THROW(p.validate(), util::PreconditionError);
+  p = Parameters();
+  p.q_intrinsic = 1.5;
+  EXPECT_THROW(p.validate(), util::PreconditionError);
+  p = Parameters();
+  p.failure_mode_enabled = {false, false, false, false, false, false};
+  EXPECT_THROW(p.validate(), util::PreconditionError);
+  p = Parameters();
+  p.max_transit = -1;
+  EXPECT_THROW(p.validate(), util::PreconditionError);
+}
+
+TEST(Parameters, DescribeMentionsKeyValues) {
+  const Parameters p;
+  const std::string d = p.describe();
+  EXPECT_NE(d.find("n (max vehicles/platoon) = 10"), std::string::npos);
+  EXPECT_NE(d.find("strategy = DD"), std::string::npos);
+  EXPECT_NE(d.find("TIE-E"), std::string::npos);
+}
+
+}  // namespace

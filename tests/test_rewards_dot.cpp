@@ -1,0 +1,73 @@
+// Reward-helper and Graphviz-export tests.
+#include <gtest/gtest.h>
+
+#include "san/composition.h"
+#include "san/dot.h"
+#include "san/rewards.h"
+#include "util/error.h"
+
+namespace {
+
+std::shared_ptr<san::AtomicModel> small_model() {
+  auto m = std::make_shared<san::AtomicModel>("small");
+  const auto a = m->place("a", 2);
+  const auto arr = m->extended_place("arr", 3, 1);
+  m->timed_activity("t")
+      .distribution(util::Distribution::Exponential(1.0))
+      .input_arc(a);
+  (void)arr;
+  return m;
+}
+
+TEST(Rewards, IndicatorNonzero) {
+  const auto flat = san::flatten(small_model());
+  const auto r = san::indicator_nonzero(flat, "a");
+  auto m = flat.initial_marking();
+  EXPECT_DOUBLE_EQ(r(m), 1.0);
+  m[flat.place_offset(flat.place_index("a"))] = 0;
+  EXPECT_DOUBLE_EQ(r(m), 0.0);
+}
+
+TEST(Rewards, PlaceValueAndTotal) {
+  const auto flat = san::flatten(small_model());
+  const auto m = flat.initial_marking();
+  EXPECT_DOUBLE_EQ(san::place_value(flat, "a")(m), 2.0);
+  EXPECT_DOUBLE_EQ(san::place_value(flat, "arr", 2)(m), 1.0);
+  EXPECT_DOUBLE_EQ(san::place_total(flat, "arr")(m), 3.0);
+  EXPECT_THROW(san::place_value(flat, "arr", 3), util::PreconditionError);
+  EXPECT_THROW(san::place_value(flat, "nope"), util::ModelError);
+}
+
+TEST(Rewards, ReplicaTotalSumsAcrossReplicas) {
+  const auto rep = san::Rep("r", san::Leaf(small_model()), 3, {});
+  const auto flat = san::flatten(rep);
+  const auto r = san::replica_total(flat, "a");
+  EXPECT_DOUBLE_EQ(r(flat.initial_marking()), 6.0);
+  EXPECT_THROW(san::replica_total(flat, "nope"), util::PreconditionError);
+}
+
+TEST(Dot, ExportsValidStructure) {
+  const auto model = small_model();
+  const std::string dot = san::to_dot(*model);
+  EXPECT_NE(dot.find("digraph \"small\""), std::string::npos);
+  EXPECT_NE(dot.find("arr[3]"), std::string::npos);  // extended place
+  EXPECT_NE(dot.find("p0 -> a0"), std::string::npos);  // input arc
+  EXPECT_EQ(dot.find("null"), std::string::npos);
+}
+
+TEST(Dot, ShowsCasesAndGates) {
+  auto m = std::make_shared<san::AtomicModel>("cases");
+  const auto p = m->place("p", 1);
+  const auto q = m->place("q");
+  auto act = m->timed_activity("t").distribution(
+      util::Distribution::Exponential(1.0));
+  act.input_gate([p](const san::MarkingRef& r) { return r.get(p) > 0; });
+  act.add_case(0.5);
+  act.add_case(0.5);
+  act.output_arc(q, 1, 1);
+  const std::string dot = san::to_dot(*m);
+  EXPECT_NE(dot.find("case 1"), std::string::npos);
+  EXPECT_NE(dot.find("gate"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Unit tests: RNG quality basics, stream independence, reproducibility.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+TEST(Rng, ReproducibleFromSeed) {
+  util::Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  util::Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, Uniform01InRange) {
+  util::Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01OpenLeftNeverZero) {
+  util::Rng rng(7);
+  for (int i = 0; i < 100000; ++i) EXPECT_GT(rng.uniform01_open_left(), 0.0);
+}
+
+TEST(Rng, Uniform01MeanAndVariance) {
+  util::Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform01();
+    sum += u;
+    sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, BelowIsUnbiased) {
+  util::Rng rng(13);
+  const std::uint64_t bound = 7;
+  std::vector<int> counts(bound, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(bound)];
+  for (std::uint64_t k = 0; k < bound; ++k)
+    EXPECT_NEAR(counts[k], n / static_cast<double>(bound), 400.0);
+}
+
+TEST(Rng, BelowRejectsZeroBound) {
+  util::Rng rng(1);
+  EXPECT_THROW(rng.below(0), util::PreconditionError);
+}
+
+TEST(Rng, ExponentialMean) {
+  util::Rng rng(17);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.005);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  util::Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), util::PreconditionError);
+  EXPECT_THROW(rng.exponential(-1.0), util::PreconditionError);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  util::Rng parent(99);
+  util::Rng c1 = parent.split(1);
+  util::Rng c2 = parent.split(2);
+  util::Rng c1_again = parent.split(1);
+  int equal12 = 0;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(c1(), c1_again());
+    if (c2() == 0) ++equal12;  // consume c2 too
+  }
+  util::Rng d1 = parent.split(1);
+  util::Rng d2 = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (d1() == d2()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  util::Rng rng(3);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, BernoulliFrequency) {
+  util::Rng rng(5);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, LongJumpDecorrelates) {
+  util::Rng a(42);
+  util::Rng b(42);
+  b.long_jump();
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformBoundsChecked) {
+  util::Rng rng(1);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), util::PreconditionError);
+  const double v = rng.uniform(3.0, 3.0);
+  EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Elasticity-driver tests: accessor round-trips and the signs/magnitudes
+#include <set>
+#include <cmath>
+// the model theory predicts.
+#include <gtest/gtest.h>
+
+#include "ahs/sensitivity.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace ahs;
+
+TEST(Sensitivity, ScalarAccessorsRoundTrip) {
+  Parameters p;
+  for (ScalarParam sp : all_scalar_params()) {
+    if (sp == ScalarParam::kMuAll) continue;  // anchor semantics below
+    const double v = get_scalar(p, sp);
+    Parameters q = p;
+    set_scalar(q, sp, v * 2.0);
+    EXPECT_DOUBLE_EQ(get_scalar(q, sp), v * 2.0) << to_string(sp);
+  }
+}
+
+TEST(Sensitivity, MuAllScalesEveryManeuver) {
+  Parameters p;
+  const auto before = p.maneuver_rates;
+  set_scalar(p, ScalarParam::kMuAll, get_scalar(p, ScalarParam::kMuAll) * 2);
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_DOUBLE_EQ(p.maneuver_rates[i], before[i] * 2);
+}
+
+TEST(Sensitivity, NamesAreUnique) {
+  std::set<std::string> names;
+  for (ScalarParam sp : all_scalar_params())
+    EXPECT_TRUE(names.insert(to_string(sp)).second);
+}
+
+TEST(Sensitivity, ElasticitySignsMatchTheory) {
+  Parameters p;
+  p.max_per_platoon = 3;
+  p.base_failure_rate = 1e-4;
+  const auto es = unsafety_elasticities(
+      p, 6.0,
+      {ScalarParam::kLambda, ScalarParam::kMuAll, ScalarParam::kQIntrinsic},
+      0.05);
+  ASSERT_EQ(es.size(), 3u);
+  // lambda: ~ +2 (two concurrent failures needed).
+  EXPECT_GT(es[0].elasticity, 1.5);
+  EXPECT_LT(es[0].elasticity, 2.5);
+  // mu: negative, roughly -1 (exposure window).
+  EXPECT_LT(es[1].elasticity, -0.5);
+  EXPECT_GT(es[1].elasticity, -1.6);
+  // q: negative (better maneuvers, fewer escalations).
+  EXPECT_LT(es[2].elasticity, 0.0);
+}
+
+TEST(Sensitivity, QAtBoundaryUsesOneSidedDifference) {
+  Parameters p;
+  p.max_per_platoon = 2;
+  p.base_failure_rate = 1e-3;
+  p.q_intrinsic = 1.0;
+  const auto es =
+      unsafety_elasticities(p, 6.0, {ScalarParam::kQIntrinsic}, 0.05);
+  ASSERT_EQ(es.size(), 1u);
+  EXPECT_LT(es[0].elasticity, 0.0);
+  EXPECT_TRUE(std::isfinite(es[0].elasticity));
+}
+
+TEST(Sensitivity, ValidatesInputs) {
+  Parameters p;
+  EXPECT_THROW(unsafety_elasticities(p, 0.0, {ScalarParam::kLambda}),
+               util::PreconditionError);
+  EXPECT_THROW(unsafety_elasticities(p, 6.0, {ScalarParam::kLambda}, 0.9),
+               util::PreconditionError);
+}
+
+}  // namespace

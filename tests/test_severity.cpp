@@ -1,0 +1,103 @@
+// Table 2 catastrophic-situation predicate: exhaustive case analysis plus
+// monotonicity properties.
+#include <gtest/gtest.h>
+
+#include "ahs/severity.h"
+#include "util/error.h"
+
+namespace {
+
+using ahs::SeverityCounts;
+
+TEST(Severity, ST1TwoClassA) {
+  EXPECT_EQ(ahs::catastrophic_situation({2, 0, 0}), 1);
+  EXPECT_EQ(ahs::catastrophic_situation({3, 0, 0}), 1);
+  EXPECT_EQ(ahs::catastrophic_situation({1, 0, 0}), 0);
+}
+
+TEST(Severity, ST2Combinations) {
+  EXPECT_EQ(ahs::catastrophic_situation({1, 2, 0}), 2);  // A + 2B
+  EXPECT_EQ(ahs::catastrophic_situation({1, 1, 1}), 2);  // A + B + C
+  EXPECT_EQ(ahs::catastrophic_situation({1, 0, 3}), 2);  // A + 3C
+  EXPECT_EQ(ahs::catastrophic_situation({1, 1, 0}), 0);
+  EXPECT_EQ(ahs::catastrophic_situation({1, 0, 2}), 0);
+  EXPECT_EQ(ahs::catastrophic_situation({0, 2, 0}), 0);
+}
+
+TEST(Severity, ST3FourBOrC) {
+  EXPECT_EQ(ahs::catastrophic_situation({0, 4, 0}), 3);
+  EXPECT_EQ(ahs::catastrophic_situation({0, 0, 4}), 3);
+  EXPECT_EQ(ahs::catastrophic_situation({0, 2, 2}), 3);
+  EXPECT_EQ(ahs::catastrophic_situation({0, 3, 0}), 0);
+  EXPECT_EQ(ahs::catastrophic_situation({0, 1, 2}), 0);
+}
+
+TEST(Severity, ZeroIsSafe) {
+  EXPECT_FALSE(ahs::is_catastrophic({0, 0, 0}));
+}
+
+TEST(Severity, NegativeCountsRejected) {
+  EXPECT_THROW(ahs::catastrophic_situation({-1, 0, 0}),
+               util::PreconditionError);
+}
+
+TEST(Severity, SafeProfilesEnumeration) {
+  // Within counts <= 8 the safe profiles are exactly: a <= 1; for a = 1
+  // additionally b <= 1, c <= 2, not (b >= 1 and c >= 1); for a = 0,
+  // b + c <= 3.  Count: 10 (a=0) + 4 (a=1) = 14.
+  const auto safe = ahs::safe_profiles(8);
+  EXPECT_EQ(safe.size(), 14u);
+  for (const auto& s : safe) {
+    EXPECT_LE(s.a, 1);
+    if (s.a == 0) {
+      EXPECT_LE(s.b + s.c, 3);
+    }
+    if (s.a == 1) {
+      EXPECT_LE(s.b, 1);
+      EXPECT_LE(s.c, 2);
+      EXPECT_FALSE(s.b >= 1 && s.c >= 1);
+    }
+  }
+}
+
+// Monotonicity: adding failures can never make a catastrophic profile safe.
+class SeverityMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeverityMonotone, AddingFailuresPreservesCatastrophe) {
+  const int idx = GetParam();
+  const SeverityCounts s{idx % 4, (idx / 4) % 5, (idx / 20) % 5};
+  if (!ahs::is_catastrophic(s)) return;
+  const SeverityCounts more_a{s.a + 1, s.b, s.c};
+  const SeverityCounts more_b{s.a, s.b + 1, s.c};
+  const SeverityCounts more_c{s.a, s.b, s.c + 1};
+  EXPECT_TRUE(ahs::is_catastrophic(more_a));
+  EXPECT_TRUE(ahs::is_catastrophic(more_b));
+  EXPECT_TRUE(ahs::is_catastrophic(more_c));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, SeverityMonotone,
+                         ::testing::Range(0, 100));
+
+// Escalation property: re-classing one failure from C to B, or B to A,
+// never turns a catastrophic profile safe (Fig 2's chain only increases
+// severity).
+class SeverityEscalation : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeverityEscalation, UpgradeKeepsCatastrophe) {
+  const int idx = GetParam();
+  const SeverityCounts s{idx % 4, (idx / 4) % 5, (idx / 20) % 5};
+  if (!ahs::is_catastrophic(s)) return;
+  if (s.c > 0) {
+    EXPECT_TRUE(ahs::is_catastrophic({s.a, s.b + 1, s.c - 1}))
+        << "C->B upgrade";
+  }
+  if (s.b > 0) {
+    EXPECT_TRUE(ahs::is_catastrophic({s.a + 1, s.b - 1, s.c}))
+        << "B->A upgrade";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, SeverityEscalation,
+                         ::testing::Range(0, 100));
+
+}  // namespace

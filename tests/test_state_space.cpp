@@ -1,0 +1,173 @@
+// State-space generation from SANs: tangible/vanishing elimination,
+// probabilistic instantaneous branching, absorbing truncation, and
+// end-to-end agreement of the generated CTMC with closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctmc/state_space.h"
+#include "ctmc/uniformization.h"
+#include "san/composition.h"
+#include "util/error.h"
+
+namespace {
+
+std::shared_ptr<san::AtomicModel> flipflop(double a, double b) {
+  auto m = std::make_shared<san::AtomicModel>("ff");
+  const auto up = m->place("up", 1);
+  const auto down = m->place("down");
+  m->timed_activity("fall")
+      .distribution(util::Distribution::Exponential(a))
+      .input_arc(up)
+      .output_arc(down);
+  m->timed_activity("rise")
+      .distribution(util::Distribution::Exponential(b))
+      .input_arc(down)
+      .output_arc(up);
+  return m;
+}
+
+TEST(StateSpace, FlipflopHasTwoStates) {
+  const auto flat = san::flatten(flipflop(3.0, 1.0));
+  const auto space = ctmc::build_state_space(flat);
+  EXPECT_EQ(space.chain.num_states, 2u);
+  EXPECT_DOUBLE_EQ(space.chain.exit_rate[0], 3.0);
+  // Transient solution must match the closed form.
+  const auto down_off = flat.place_offset(flat.place_index("down"));
+  const auto reward = space.state_rewards(
+      [down_off](std::span<const std::int32_t> m) {
+        return m[down_off] > 0 ? 1.0 : 0.0;
+      });
+  const std::vector<double> times = {0.5};
+  const auto sol = ctmc::solve_transient(space.chain, reward, times);
+  EXPECT_NEAR(sol.expected_reward[0], 0.75 * (1 - std::exp(-4 * 0.5)),
+              1e-10);
+}
+
+TEST(StateSpace, BirthDeathMatchesErlangB) {
+  // M/M/1/K queue, arrival 2, service 3, K = 4: stationary distribution is
+  // geometric-truncated; check state count (K+1) and generator row sums.
+  auto m = std::make_shared<san::AtomicModel>("mm1k");
+  const auto q = m->place("q", 0);
+  m->timed_activity("arrive")
+      .distribution(util::Distribution::Exponential(2.0))
+      .input_gate([q](const san::MarkingRef& r) { return r.get(q) < 4; })
+      .output_arc(q);
+  m->timed_activity("serve")
+      .distribution(util::Distribution::Exponential(3.0))
+      .input_arc(q);
+  const auto flat = san::flatten(m);
+  const auto space = ctmc::build_state_space(flat);
+  EXPECT_EQ(space.chain.num_states, 5u);
+}
+
+TEST(StateSpace, VanishingEliminationWithBranching) {
+  // Timed t fills `mid`; an instantaneous activity immediately splits the
+  // token 30/70 into a/b.  Tangible states must never contain a `mid`
+  // token, and the split rates must be 0.3 r and 0.7 r.
+  auto m = std::make_shared<san::AtomicModel>("branch");
+  const auto src = m->place("src", 1);
+  const auto mid = m->place("mid");
+  const auto a = m->place("a");
+  const auto b = m->place("b");
+  m->timed_activity("t")
+      .distribution(util::Distribution::Exponential(5.0))
+      .input_arc(src)
+      .output_arc(mid);
+  auto inst = m->instant_activity("split").input_arc(mid);
+  inst.add_case(0.3);
+  inst.add_case(0.7);
+  inst.output_arc(a, 1, 0);
+  inst.output_arc(b, 1, 1);
+  const auto flat = san::flatten(m);
+  const auto space = ctmc::build_state_space(flat);
+  ASSERT_EQ(space.chain.num_states, 3u);  // {src}, {a}, {b}
+  const auto mid_off = flat.place_offset(flat.place_index("mid"));
+  for (const auto& st : space.states) EXPECT_EQ(st[mid_off], 0);
+  // Initial state row: rates 1.5 and 3.5.
+  double total = 0.0;
+  for (double v : space.chain.rates.row_values(0)) total += v;
+  EXPECT_NEAR(total, 5.0, 1e-12);
+  EXPECT_NEAR(space.chain.exit_rate[0], 5.0, 1e-12);
+  const auto vals = space.chain.rates.row_values(0);
+  ASSERT_EQ(vals.size(), 2u);
+  const double lo = std::min(vals[0], vals[1]);
+  const double hi = std::max(vals[0], vals[1]);
+  EXPECT_NEAR(lo, 1.5, 1e-12);
+  EXPECT_NEAR(hi, 3.5, 1e-12);
+}
+
+TEST(StateSpace, AbsorbingPredicateTruncates) {
+  // Unbounded counter, truncated by declaring count >= 3 absorbing.
+  auto m = std::make_shared<san::AtomicModel>("counter");
+  const auto c = m->place("c", 0);
+  m->timed_activity("inc")
+      .distribution(util::Distribution::Exponential(1.0))
+      .output_arc(c);
+  const auto flat = san::flatten(m);
+  const auto c_off = flat.place_offset(flat.place_index("c"));
+  ctmc::StateSpaceOptions opts;
+  opts.absorbing = [c_off](std::span<const std::int32_t> mk) {
+    return mk[c_off] >= 3;
+  };
+  const auto space = ctmc::build_state_space(flat, opts);
+  EXPECT_EQ(space.chain.num_states, 4u);  // 0,1,2,3
+  EXPECT_DOUBLE_EQ(space.chain.exit_rate[3], 0.0);
+}
+
+TEST(StateSpace, MaxStatesGuard) {
+  auto m = std::make_shared<san::AtomicModel>("unbounded");
+  const auto c = m->place("c", 0);
+  m->timed_activity("inc")
+      .distribution(util::Distribution::Exponential(1.0))
+      .output_arc(c);
+  const auto flat = san::flatten(m);
+  ctmc::StateSpaceOptions opts;
+  opts.max_states = 100;
+  EXPECT_THROW(ctmc::build_state_space(flat, opts), util::NumericalError);
+}
+
+TEST(StateSpace, RequiresExponential) {
+  auto m = std::make_shared<san::AtomicModel>("det");
+  const auto p = m->place("p", 1);
+  m->timed_activity("t")
+      .distribution(util::Distribution::Deterministic(1.0))
+      .input_arc(p);
+  const auto flat = san::flatten(m);
+  EXPECT_THROW(ctmc::build_state_space(flat), util::PreconditionError);
+}
+
+TEST(StateSpace, SelfLoopsAreDropped) {
+  // An activity that does not change the marking must not create an edge.
+  auto m = std::make_shared<san::AtomicModel>("noop");
+  const auto p = m->place("p", 1);
+  m->timed_activity("spin")
+      .distribution(util::Distribution::Exponential(4.0))
+      .input_gate([p](const san::MarkingRef& r) { return r.get(p) > 0; });
+  const auto flat = san::flatten(m);
+  const auto space = ctmc::build_state_space(flat);
+  EXPECT_EQ(space.chain.num_states, 1u);
+  EXPECT_DOUBLE_EQ(space.chain.exit_rate[0], 0.0);
+}
+
+TEST(StateSpace, MarkingDependentRates) {
+  // Death process: rate = population; generator entries must follow.
+  auto m = std::make_shared<san::AtomicModel>("death");
+  const auto pop = m->place("pop", 3);
+  m->timed_activity("die")
+      .marking_rate([pop](const san::MarkingRef& r) {
+        return static_cast<double>(r.get(pop));
+      })
+      .input_gate([pop](const san::MarkingRef& r) { return r.get(pop) > 0; })
+      .input_arc(pop);
+  const auto flat = san::flatten(m);
+  const auto space = ctmc::build_state_space(flat);
+  ASSERT_EQ(space.chain.num_states, 4u);
+  const auto pop_off = flat.place_offset(flat.place_index("pop"));
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    const int k = space.states[s][pop_off];
+    EXPECT_DOUBLE_EQ(space.chain.exit_rate[s], static_cast<double>(k));
+  }
+}
+
+}  // namespace

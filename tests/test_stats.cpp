@@ -1,0 +1,172 @@
+// Unit tests for the statistics layer: Welford accumulators, merging,
+// confidence intervals, Wilson proportions, batch means, histograms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+TEST(RunningStat, MeanVarianceKnownSequence) {
+  util::RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.push(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyAndSingle) {
+  util::RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.push(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(s.std_error()));
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  util::Rng rng(9);
+  util::RunningStat all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01() * 10 - 3;
+    all.push(x);
+    (i % 2 ? a : b).push(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  util::RunningStat a, b;
+  a.push(1.0);
+  a.push(2.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(ConfidenceInterval, CoversTrueMeanAtNominalRate) {
+  // 500 experiments of 200 U(0,1) samples; the 95% CI should cover 0.5
+  // roughly 95% of the time.
+  util::Rng rng(21);
+  int covered = 0;
+  const int experiments = 500;
+  for (int e = 0; e < experiments; ++e) {
+    util::RunningStat s;
+    for (int i = 0; i < 200; ++i) s.push(rng.uniform01());
+    const auto ci = s.interval(0.95);
+    if (ci.lo() <= 0.5 && 0.5 <= ci.hi()) ++covered;
+  }
+  EXPECT_GE(covered, static_cast<int>(experiments * 0.91));
+  EXPECT_LE(covered, static_cast<int>(experiments * 0.99));
+}
+
+TEST(NormalCriticalValue, KnownQuantiles) {
+  EXPECT_NEAR(util::normal_critical_value(0.95), 1.959964, 1e-5);
+  EXPECT_NEAR(util::normal_critical_value(0.90), 1.644854, 1e-5);
+  EXPECT_NEAR(util::normal_critical_value(0.99), 2.575829, 1e-5);
+  EXPECT_NEAR(util::normal_critical_value(0.80), 1.281552, 1e-5);
+}
+
+TEST(InverseNormalCdf, SymmetryAndKnownValues) {
+  EXPECT_NEAR(util::inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(util::inverse_normal_cdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(util::inverse_normal_cdf(0.025), -1.959964, 1e-5);
+  EXPECT_THROW(util::inverse_normal_cdf(0.0), util::PreconditionError);
+  EXPECT_THROW(util::inverse_normal_cdf(1.0), util::PreconditionError);
+}
+
+TEST(ConfidenceInterval, RelativeHalfWidth) {
+  util::ConfidenceInterval ci;
+  ci.mean = 2.0;
+  ci.half_width = 0.1;
+  EXPECT_DOUBLE_EQ(ci.relative_half_width(), 0.05);
+  EXPECT_TRUE(ci.converged(0.1));
+  EXPECT_FALSE(ci.converged(0.01));
+  ci.mean = 0.0;
+  EXPECT_TRUE(std::isinf(ci.relative_half_width()));
+}
+
+TEST(ProportionStat, WilsonIntervalBasics) {
+  util::ProportionStat p;
+  p.push_count(50, 100);
+  EXPECT_DOUBLE_EQ(p.proportion(), 0.5);
+  const auto ci = p.interval(0.95);
+  EXPECT_NEAR(ci.mean, 0.5, 1e-9);  // symmetric at p = 0.5
+  EXPECT_GT(ci.half_width, 0.08);
+  EXPECT_LT(ci.half_width, 0.12);
+}
+
+TEST(ProportionStat, ZeroSuccessesStillInformative) {
+  util::ProportionStat p;
+  p.push_count(0, 1000);
+  const auto ci = p.interval(0.95);
+  EXPECT_GT(ci.mean, 0.0);  // Wilson center is pulled off zero
+  EXPECT_LT(ci.hi(), 0.01);
+}
+
+TEST(ProportionStat, RejectsInvalidCounts) {
+  util::ProportionStat p;
+  EXPECT_THROW(p.push_count(5, 4), util::PreconditionError);
+}
+
+TEST(BatchMeans, GroupsCorrectly) {
+  util::BatchMeans bm(10);
+  for (int i = 0; i < 95; ++i) bm.push(1.0);
+  EXPECT_EQ(bm.completed_batches(), 9u);  // 5 leftovers discarded so far
+  EXPECT_DOUBLE_EQ(bm.mean(), 1.0);
+}
+
+TEST(BatchMeans, IidDataHasLowAutocorrelation) {
+  util::Rng rng(33);
+  util::BatchMeans bm(50);
+  for (int i = 0; i < 50 * 200; ++i) bm.push(rng.uniform01());
+  EXPECT_LT(std::abs(bm.lag1_autocorrelation()), 0.2);
+}
+
+TEST(BatchMeans, RejectsZeroBatch) {
+  EXPECT_THROW(util::BatchMeans bm(0), util::PreconditionError);
+}
+
+TEST(Histogram, BinningAndDensity) {
+  util::Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.push(i + 0.5);
+  h.push(-1.0);
+  h.push(42.0);
+  EXPECT_EQ(h.total(), 12u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  for (std::size_t b = 0; b < 10; ++b) {
+    EXPECT_EQ(h.count(b), 1u);
+    EXPECT_DOUBLE_EQ(h.bin_hi(b) - h.bin_lo(b), 1.0);
+    EXPECT_NEAR(h.density(b), 1.0 / 12.0, 1e-12);
+  }
+}
+
+TEST(Histogram, RejectsBadRange) {
+  EXPECT_THROW(util::Histogram(1.0, 1.0, 5), util::PreconditionError);
+  EXPECT_THROW(util::Histogram(0.0, 1.0, 0), util::PreconditionError);
+}
+
+TEST(KahanSum, CompensatesSmallAdds) {
+  util::KahanSum k;
+  k.add(1e16);
+  for (int i = 0; i < 10000; ++i) k.add(1.0);
+  k.add(-1e16);
+  EXPECT_DOUBLE_EQ(k.value(), 10000.0);
+}
+
+}  // namespace

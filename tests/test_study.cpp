@@ -1,0 +1,90 @@
+// Study-driver tests: engine parsing, engine agreement on one configuration,
+// and option validation.
+#include <gtest/gtest.h>
+
+#include "ahs/study.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace ahs;
+
+TEST(Study, EngineParsing) {
+  EXPECT_EQ(parse_engine("lumped-ctmc"), Engine::kLumpedCtmc);
+  EXPECT_EQ(parse_engine("lumped"), Engine::kLumpedCtmc);
+  EXPECT_EQ(parse_engine("simulation"), Engine::kSimulation);
+  EXPECT_EQ(parse_engine("SIM"), Engine::kSimulation);
+  EXPECT_EQ(parse_engine("simulation-is"), Engine::kSimulationIS);
+  EXPECT_EQ(parse_engine("is"), Engine::kSimulationIS);
+  EXPECT_EQ(parse_engine("full-ctmc"), Engine::kFullCtmc);
+  EXPECT_THROW(parse_engine("magic"), util::PreconditionError);
+  for (Engine e : {Engine::kLumpedCtmc, Engine::kSimulation,
+                   Engine::kSimulationIS, Engine::kFullCtmc})
+    EXPECT_EQ(parse_engine(to_string(e)), e);
+}
+
+TEST(Study, TripDurationGridMatchesPaper) {
+  const auto grid = trip_duration_grid();
+  EXPECT_EQ(grid.front(), 2.0);
+  EXPECT_EQ(grid.back(), 10.0);
+  EXPECT_EQ(grid.size(), 5u);
+}
+
+TEST(Study, RequiresTimePoints) {
+  Parameters p;
+  EXPECT_THROW(unsafety_curve(p, {}, StudyOptions{}),
+               util::PreconditionError);
+}
+
+TEST(Study, LumpedEngineProducesExactCurve) {
+  Parameters p;
+  p.max_per_platoon = 2;
+  p.base_failure_rate = 1e-3;
+  const auto curve = unsafety_curve(p, {2.0, 6.0}, StudyOptions{});
+  EXPECT_EQ(curve.times.size(), 2u);
+  EXPECT_TRUE(curve.converged);
+  EXPECT_EQ(curve.replications, 0u);
+  EXPECT_DOUBLE_EQ(curve.half_width[0], 0.0);
+  EXPECT_GT(curve.unsafety[1], curve.unsafety[0]);
+}
+
+TEST(Study, SimulationAgreesWithLumpedAtHighRate) {
+  Parameters p;
+  p.max_per_platoon = 2;
+  p.base_failure_rate = 2e-2;
+  const std::vector<double> times = {4.0};
+  const auto exact = unsafety_curve(p, times, StudyOptions{});
+  StudyOptions so;
+  so.engine = Engine::kSimulation;
+  so.min_replications = 8000;
+  so.max_replications = 8000;
+  const auto sim = unsafety_curve(p, times, so);
+  EXPECT_GT(sim.replications, 0u);
+  // Lumping bias at this stress rate is ~25-30%; require same ballpark.
+  EXPECT_NEAR(sim.unsafety[0] / exact.unsafety[0], 1.0, 0.5);
+}
+
+TEST(Study, ImportanceSamplingReportsTighterRelativeCi) {
+  Parameters p;
+  p.max_per_platoon = 2;
+  p.base_failure_rate = 1e-3;
+  const std::vector<double> times = {6.0};
+  StudyOptions mc;
+  mc.engine = Engine::kSimulation;
+  mc.min_replications = 5000;
+  mc.max_replications = 5000;
+  StudyOptions is = mc;
+  is.engine = Engine::kSimulationIS;
+  is.failure_boost = 20.0;
+  const auto r_mc = unsafety_curve(p, times, mc);
+  const auto r_is = unsafety_curve(p, times, is);
+  // At 5000 replications plain MC has seen a handful of events at best;
+  // IS must produce a strictly positive estimate with a finite CI.
+  EXPECT_GT(r_is.unsafety[0], 0.0);
+  EXPECT_LT(r_is.half_width[0] / r_is.unsafety[0],
+            (r_mc.unsafety[0] > 0
+                 ? r_mc.half_width[0] / r_mc.unsafety[0] + 1.0
+                 : 1e9));
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+// Integration tests of the full SAN system model: structure, initial
+// configuration, and run-time invariants checked after every event of long
+// simulated histories at elevated failure rates.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ahs/model_common.h"
+#include "ahs/severity.h"
+#include "ahs/system_model.h"
+#include "sim/executor.h"
+
+namespace {
+
+using namespace ahs;
+
+Parameters fast_params(int n = 2, double lambda = 1e-2) {
+  Parameters p;
+  p.max_per_platoon = n;
+  p.base_failure_rate = lambda;
+  return p;
+}
+
+struct PlaceView {
+  const san::FlatModel& model;
+  std::uint32_t off;
+  std::uint32_t size;
+  PlaceView(const san::FlatModel& m, const std::string& name)
+      : model(m),
+        off(m.place_offset(m.place_index(name))),
+        size(m.place_size(m.place_index(name))) {}
+  int operator()(std::span<const std::int32_t> mk, std::uint32_t i = 0) const {
+    return mk[off + i];
+  }
+};
+
+TEST(SystemModel, StructureMatchesFig9) {
+  const Parameters p = fast_params(3);
+  const auto comp = build_system_composition(p);
+  // Rep(2n vehicles) + configuration + dynamicity + severity.
+  EXPECT_EQ(comp->kind(), san::Composition::Kind::kJoin);
+  EXPECT_EQ(comp->join_children().size(), 4u);
+  EXPECT_EQ(comp->instance_count(), 2u * 3u + 3u);
+  const auto flat = build_system_model(p);
+  // Shared places resolve uniquely.
+  for (const auto& name : shared_place_names())
+    EXPECT_NO_THROW(flat.place_index(name)) << name;
+  EXPECT_TRUE(flat.all_exponential());
+}
+
+TEST(SystemModel, InitialConfigurationFillsBothPlatoons) {
+  const Parameters p = fast_params(3);
+  const auto flat = build_system_model(p);
+  sim::Executor exec(flat, util::Rng(7));
+  const PlaceView lanes(flat, "platoons"), out(flat, "OUT"),
+      ko(flat, "KO_total"), ext(flat, "ext_id");
+  const auto mk = exec.marking();
+  std::set<int> ids;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    EXPECT_GT(lanes(mk, i), 0);
+    ids.insert(lanes(mk, i));
+  }
+  EXPECT_EQ(ids.size(), 6u) << "all six vehicles distinct";
+  EXPECT_EQ(out(mk), 0);
+  EXPECT_EQ(ko(mk), 0);
+  EXPECT_EQ(ext(mk), 6);
+}
+
+// The long-run invariant suite: checked after every completion.
+class SystemInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SystemInvariants, HoldOverLongHistories) {
+  const Parameters p = fast_params(2, 2e-2);
+  const auto flat = build_system_model(p);
+  sim::Executor exec(flat, util::Rng(GetParam()));
+  const PlaceView lanes(flat, "platoons"), out(flat, "OUT"),
+      active(flat, "active_m"), ca(flat, "class_A"), cb(flat, "class_B"),
+      cc(flat, "class_C"), ko(flat, "KO_total");
+  const int n = p.max_per_platoon;
+  const int cap = p.capacity();
+
+  // Replica-local places, one per vehicle slot.
+  std::vector<PlaceView> my_id, transiting;
+  std::vector<std::array<PlaceView, 6>> sm;
+  for (int r = 0; r < cap; ++r) {
+    const std::string base = "ahs/vehicles[" + std::to_string(r) + "]/one_vehicle/";
+    my_id.emplace_back(flat, base + "my_id");
+    transiting.emplace_back(flat, base + "transiting");
+    sm.push_back({PlaceView(flat, base + "SM1"), PlaceView(flat, base + "SM2"),
+                  PlaceView(flat, base + "SM3"), PlaceView(flat, base + "SM4"),
+                  PlaceView(flat, base + "SM5"),
+                  PlaceView(flat, base + "SM6")});
+  }
+
+  std::uint64_t checks = 0;
+  auto verify = [&] {
+    const auto mk = exec.marking();
+    ++checks;
+    // (1) Platoon arrays are compacted, within capacity, ids in range and
+    // globally unique.
+    std::set<int> seen;
+    for (int lane = 0; lane < 2; ++lane) {
+      bool ended = false;
+      for (int i = 0; i < n; ++i) {
+        const int id = lanes(mk, static_cast<std::uint32_t>(lane * n + i));
+        if (id == 0) {
+          ended = true;
+        } else {
+          ASSERT_FALSE(ended) << "platoon array not compacted";
+          ASSERT_GE(id, 1);
+          ASSERT_LE(id, cap);
+          ASSERT_TRUE(seen.insert(id).second) << "duplicate vehicle id";
+        }
+      }
+    }
+    // (2) Every platoon member is an active replica with matching my_id;
+    // every active replica is in exactly one platoon or transiting or
+    // mid-placement.
+    int on_highway = 0;
+    for (int r = 0; r < cap; ++r) {
+      const int id = my_id[r](mk);
+      if (id != 0) {
+        ASSERT_EQ(id, r + 1) << "identity must equal replica+1";
+        ++on_highway;
+      } else {
+        ASSERT_EQ(transiting[r](mk), 0);
+        for (const auto& s : sm[r]) ASSERT_EQ(s(mk), 0);
+      }
+    }
+    // (3) Slot conservation: active replicas + free slots + in-pipeline
+    // tokens = capacity.
+    const PlaceView in(flat, "IN"), joining(flat, "joining"),
+        placing(flat, "placing"), init_count(flat, "init_count");
+    const int pipeline = in(mk) + joining(mk) + (placing(mk) ? 1 : 0) +
+                         init_count(mk);
+    ASSERT_EQ(on_highway + out(mk) + pipeline, cap);
+    // (4) active_m mirrors the SM places, and severity counters mirror the
+    // active maneuvers by class.
+    SeverityCounts counts;
+    for (int r = 0; r < cap; ++r) {
+      int stage = 0;
+      for (int k = 0; k < 6; ++k) {
+        const int tokens = sm[r][k](mk);
+        ASSERT_GE(tokens, 0);
+        ASSERT_LE(tokens, 1);
+        if (tokens) {
+          ASSERT_EQ(stage, 0) << "at most one maneuver per vehicle";
+          stage = k + 1;
+        }
+      }
+      ASSERT_EQ(active(mk, r), stage);
+      if (stage > 0) {
+        switch (maneuver_class(static_cast<Maneuver>(stage - 1))) {
+          case SeverityClass::kA: ++counts.a; break;
+          case SeverityClass::kB: ++counts.b; break;
+          case SeverityClass::kC: ++counts.c; break;
+        }
+      }
+    }
+    ASSERT_EQ(ca(mk), counts.a);
+    ASSERT_EQ(cb(mk), counts.b);
+    ASSERT_EQ(cc(mk), counts.c);
+    // (5) KO_total set exactly when the severity profile is catastrophic
+    // (the marking is only observed *after* instantaneous stabilization).
+    ASSERT_EQ(ko(mk) > 0, is_catastrophic(counts) || ko(mk) > 0);
+    if (is_catastrophic(counts)) {
+      ASSERT_GT(ko(mk), 0);
+    }
+  };
+
+  verify();  // initial configuration
+  for (int step = 0; step < 4000; ++step) {
+    if (!exec.step()) break;
+    verify();
+  }
+  EXPECT_GT(checks, 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SystemInvariants,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(SystemModel, UnsafeStateIsAbsorbingForFailures) {
+  // After KO_total is set, no further failure-mode activity may fire.
+  const Parameters p = fast_params(2, 5e-2);
+  const auto flat = build_system_model(p);
+  const auto reward = unsafety_reward(flat);
+  util::Rng master(11);
+  bool reached = false;
+  for (int rep = 0; rep < 300 && !reached; ++rep) {
+    sim::Executor exec(flat, master.split(rep));
+    exec.run_until(50.0, [&] { return reward(exec.marking()) > 0; });
+    if (reward(exec.marking()) > 0) {
+      reached = true;
+      // Failure and maneuver activities must all be disabled now.
+      for (std::size_t ai = 0; ai < flat.activities().size(); ++ai) {
+        const auto& a = flat.activities()[ai];
+        if (a.source_name.size() == 2 &&
+            (a.source_name[0] == 'L' || a.source_name[0] == 'M')) {
+          std::vector<std::int32_t> m(exec.marking().begin(),
+                                      exec.marking().end());
+          EXPECT_FALSE(flat.enabled(ai, m)) << a.name;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(reached) << "elevated rates should reach KO within 300 reps";
+}
+
+TEST(SystemModel, VehiclesKeepCirculating) {
+  // Over a long window, exits and joins both happen (the Dynamicity loop
+  // works) and ext_id counts every join.
+  const Parameters p = fast_params(2, 1e-3);
+  const auto flat = build_system_model(p);
+  sim::Executor exec(flat, util::Rng(3));
+  exec.run_until(200.0);
+  const PlaceView ext(flat, "ext_id"), safe(flat, "safe_exits");
+  const auto mk = exec.marking();
+  EXPECT_GT(safe(mk), 100);
+  EXPECT_GE(ext(mk), safe(mk));
+}
+
+TEST(SystemModel, StrategyChangesAssistantCoupling) {
+  // Structural smoke test: the four strategies build distinct models that
+  // all pass validation and simulate.
+  for (Strategy s : kAllStrategies) {
+    Parameters p = fast_params(2, 1e-2);
+    p.strategy = s;
+    const auto flat = build_system_model(p);
+    EXPECT_NO_THROW(flat.validate());
+    sim::Executor exec(flat, util::Rng(1));
+    exec.run_until(5.0);
+    EXPECT_GT(exec.events(), 0u);
+  }
+}
+
+}  // namespace

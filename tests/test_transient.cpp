@@ -1,0 +1,226 @@
+// Transient-estimator tests: agreement with closed forms, sequential
+// stopping, absorbing fast path, and importance-sampling unbiasedness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "san/composition.h"
+#include "san/rewards.h"
+#include "sim/steady.h"
+#include "sim/transient.h"
+#include "util/error.h"
+
+namespace {
+
+// Pure-death absorption: P(absorbed by t) = 1 − e^{-rt}.
+std::shared_ptr<san::AtomicModel> absorber(double rate) {
+  auto m = std::make_shared<san::AtomicModel>("abs");
+  const auto alive = m->place("alive", 1);
+  const auto dead = m->place("dead");
+  m->timed_activity("die")
+      .distribution(util::Distribution::Exponential(rate))
+      .input_arc(alive)
+      .output_arc(dead);
+  return m;
+}
+
+TEST(Transient, MatchesExponentialAbsorption) {
+  const auto flat = san::flatten(absorber(0.5));
+  const auto reward = san::indicator_nonzero(flat, "dead");
+  sim::TransientOptions opts;
+  opts.time_points = {0.5, 1.0, 2.0};
+  opts.min_replications = 20000;
+  opts.max_replications = 20000;
+  opts.seed = 5;
+  const auto res = sim::estimate_transient(flat, reward, opts);
+  EXPECT_EQ(res.replications, 20000u);
+  for (std::size_t i = 0; i < opts.time_points.size(); ++i) {
+    const double exact = 1.0 - std::exp(-0.5 * opts.time_points[i]);
+    EXPECT_NEAR(res.mean(i), exact, 3.0 * res.estimates[i].half_width)
+        << "t=" << opts.time_points[i];
+  }
+}
+
+TEST(Transient, SequentialStoppingConverges) {
+  const auto flat = san::flatten(absorber(2.0));
+  const auto reward = san::indicator_nonzero(flat, "dead");
+  sim::TransientOptions opts;
+  opts.time_points = {1.0};
+  opts.min_replications = 100;
+  opts.max_replications = 1'000'000;
+  opts.rel_half_width = 0.05;
+  opts.check_every = 100;
+  const auto res = sim::estimate_transient(flat, reward, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.replications, 100000u);
+  EXPECT_TRUE(res.estimates[0].converged(0.05));
+}
+
+TEST(Transient, RejectsBadOptions) {
+  const auto flat = san::flatten(absorber(1.0));
+  const auto reward = san::indicator_nonzero(flat, "dead");
+  sim::TransientOptions opts;
+  EXPECT_THROW(sim::estimate_transient(flat, reward, opts),
+               util::PreconditionError);  // no time points
+  opts.time_points = {2.0, 1.0};
+  EXPECT_THROW(sim::estimate_transient(flat, reward, opts),
+               util::PreconditionError);  // not increasing
+}
+
+TEST(Transient, ImportanceSamplingIsUnbiasedOnRareAbsorption) {
+  // Rare absorption (rate 1e-4 against a fast competing cycle): plain MC
+  // at these replication counts sees almost nothing; IS must recover the
+  // closed form P(absorbed by t) ≈ int_0^t  p_fail(u) du with the failure
+  // exponential racing a fast recycle.
+  auto m = std::make_shared<san::AtomicModel>("rare");
+  const auto alive = m->place("alive", 1);
+  const auto dead = m->place("dead");
+  // Competing activities from `alive`: fail (1e-4) vs recycle (10).
+  m->timed_activity("fail")
+      .distribution(util::Distribution::Exponential(1e-4))
+      .input_arc(alive)
+      .output_arc(dead);
+  m->timed_activity("recycle")
+      .distribution(util::Distribution::Exponential(10.0))
+      .input_arc(alive)
+      .output_arc(alive);
+  const auto flat = san::flatten(m);
+  const auto reward = san::indicator_nonzero(flat, "dead");
+
+  // Exact: absorption hazard is constant 1e-4 (memoryless race), so
+  // P(absorbed by 5) = 1 − exp(-5e-4) ≈ 4.99875e-4.
+  const double exact = 1.0 - std::exp(-5e-4);
+
+  sim::BiasPlan bias;
+  bias.boost = 1e3;
+  bias.boosted = {"fail"};
+  sim::TransientOptions opts;
+  opts.time_points = {5.0};
+  opts.min_replications = 40000;
+  opts.max_replications = 40000;
+  opts.bias = &bias;
+  opts.seed = 19;
+  const auto res = sim::estimate_transient(flat, reward, opts);
+  EXPECT_NEAR(res.mean(0) / exact, 1.0, 0.1);
+  // And the CI must be far tighter than the plain-MC binomial CI would be.
+  EXPECT_LT(res.estimates[0].half_width, 0.3 * exact);
+}
+
+TEST(Transient, CaseBiasIsUnbiased) {
+  // Absorption requires the rare case (p = 1e-3) of a fast activity.
+  auto m = std::make_shared<san::AtomicModel>("rarecase");
+  const auto alive = m->place("alive", 1);
+  const auto dead = m->place("dead");
+  auto act = m->timed_activity("spin").distribution(
+      util::Distribution::Exponential(2.0));
+  act.input_arc(alive);
+  act.add_case(0.999);
+  act.add_case(0.001);
+  act.output_arc(alive, 1, 0);
+  act.output_arc(dead, 1, 1);
+  const auto flat = san::flatten(m);
+  const auto reward = san::indicator_nonzero(flat, "dead");
+  // Hazard = 2 * 0.001 = 2e-3; P(absorbed by 2) = 1 - exp(-4e-3).
+  const double exact = 1.0 - std::exp(-4e-3);
+
+  sim::BiasPlan bias;
+  bias.case_bias["spin"] = {0.6, 0.4};
+  sim::TransientOptions opts;
+  opts.time_points = {2.0};
+  opts.min_replications = 30000;
+  opts.max_replications = 30000;
+  opts.bias = &bias;
+  opts.seed = 23;
+  const auto res = sim::estimate_transient(flat, reward, opts);
+  EXPECT_NEAR(res.mean(0) / exact, 1.0, 0.1);
+}
+
+TEST(Steady, FlipflopOccupancy) {
+  // up->down rate 3, down->up rate 1: long-run P(down) = 0.75.
+  auto m = std::make_shared<san::AtomicModel>("ff");
+  const auto up = m->place("up", 1);
+  const auto down = m->place("down");
+  m->timed_activity("fall")
+      .distribution(util::Distribution::Exponential(3.0))
+      .input_arc(up)
+      .output_arc(down);
+  m->timed_activity("rise")
+      .distribution(util::Distribution::Exponential(1.0))
+      .input_arc(down)
+      .output_arc(up);
+  const auto flat = san::flatten(m);
+  const auto reward = san::indicator_nonzero(flat, "down");
+  sim::SteadyOptions opts;
+  opts.warmup_time = 20.0;
+  opts.batch_time = 50.0;
+  opts.min_batches = 30;
+  opts.max_batches = 2000;
+  opts.rel_half_width = 0.02;
+  const auto res = sim::estimate_steady_state(flat, reward, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.estimate.mean, 0.75, 0.03);
+  EXPECT_LT(std::abs(res.lag1_autocorrelation), 0.5);
+}
+
+TEST(Steady, RejectsBadOptions) {
+  const auto flat = san::flatten(absorber(1.0));
+  const auto reward = san::indicator_nonzero(flat, "dead");
+  sim::SteadyOptions opts;
+  opts.batch_time = 0.0;
+  EXPECT_THROW(sim::estimate_steady_state(flat, reward, opts),
+               util::PreconditionError);
+}
+
+}  // namespace
+
+// Appended: multithreaded estimation determinism and speed-path checks.
+#include "util/rng.h"
+
+namespace {
+
+TEST(Transient, ThreadCountDoesNotChangeTrajectories) {
+  auto model = std::make_shared<san::AtomicModel>("abs2");
+  const auto alive = model->place("alive", 1);
+  const auto dead = model->place("dead");
+  model->timed_activity("die")
+      .distribution(util::Distribution::Exponential(0.7))
+      .input_arc(alive)
+      .output_arc(dead);
+  const auto flat = san::flatten(model);
+  const auto reward = san::indicator_nonzero(flat, "dead");
+
+  sim::TransientOptions opts;
+  opts.time_points = {1.0, 2.0};
+  opts.min_replications = 4000;
+  opts.max_replications = 4000;
+  opts.seed = 99;
+
+  opts.threads = 1;
+  const auto seq = sim::estimate_transient(flat, reward, opts);
+  opts.threads = 4;
+  const auto par = sim::estimate_transient(flat, reward, opts);
+
+  ASSERT_EQ(seq.replications, par.replications);
+  for (std::size_t i = 0; i < 2; ++i) {
+    // Identical streams per replication => identical indicator sums; only
+    // the merge order differs, which for 0/1 observations is exact.
+    EXPECT_DOUBLE_EQ(seq.mean(i), par.mean(i));
+  }
+}
+
+TEST(Transient, ThreadsValidated) {
+  auto model = std::make_shared<san::AtomicModel>("abs3");
+  const auto alive = model->place("alive", 1);
+  model->timed_activity("die")
+      .distribution(util::Distribution::Exponential(1.0))
+      .input_arc(alive);
+  const auto flat = san::flatten(model);
+  const auto reward = san::place_value(flat, "alive");
+  sim::TransientOptions opts;
+  opts.time_points = {1.0};
+  opts.threads = 0;
+  EXPECT_THROW(sim::estimate_transient(flat, reward, opts),
+               util::PreconditionError);
+}
+
+}  // namespace

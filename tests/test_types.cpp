@@ -1,0 +1,82 @@
+// Table 1 encoding: failure modes, severities, maneuvers, escalation chain.
+#include <gtest/gtest.h>
+
+#include "ahs/types.h"
+
+namespace {
+
+using namespace ahs;
+
+TEST(Types, Table1Mapping) {
+  EXPECT_EQ(info(FailureMode::kFM1).maneuver, Maneuver::kAidedStop);
+  EXPECT_EQ(info(FailureMode::kFM2).maneuver, Maneuver::kCrashStop);
+  EXPECT_EQ(info(FailureMode::kFM3).maneuver, Maneuver::kGentleStop);
+  EXPECT_EQ(info(FailureMode::kFM4).maneuver,
+            Maneuver::kTakeImmediateExitEscorted);
+  EXPECT_EQ(info(FailureMode::kFM5).maneuver, Maneuver::kTakeImmediateExit);
+  EXPECT_EQ(info(FailureMode::kFM6).maneuver,
+            Maneuver::kTakeImmediateExitNormal);
+}
+
+TEST(Types, Table1Severities) {
+  EXPECT_EQ(info(FailureMode::kFM1).severity, SeverityClass::kA);
+  EXPECT_EQ(info(FailureMode::kFM2).severity, SeverityClass::kA);
+  EXPECT_EQ(info(FailureMode::kFM3).severity, SeverityClass::kA);
+  EXPECT_EQ(info(FailureMode::kFM4).severity, SeverityClass::kB);
+  EXPECT_EQ(info(FailureMode::kFM5).severity, SeverityClass::kB);
+  EXPECT_EQ(info(FailureMode::kFM6).severity, SeverityClass::kC);
+  EXPECT_STREQ(info(FailureMode::kFM1).severity_label, "A3");
+  EXPECT_STREQ(info(FailureMode::kFM6).severity_label, "C");
+}
+
+TEST(Types, RateMultipliersOfSection41) {
+  // λ6=4λ, λ5=3λ, λ4=λ3=λ2=2λ, λ1=λ.
+  EXPECT_DOUBLE_EQ(info(FailureMode::kFM1).rate_multiplier, 1.0);
+  EXPECT_DOUBLE_EQ(info(FailureMode::kFM2).rate_multiplier, 2.0);
+  EXPECT_DOUBLE_EQ(info(FailureMode::kFM3).rate_multiplier, 2.0);
+  EXPECT_DOUBLE_EQ(info(FailureMode::kFM4).rate_multiplier, 2.0);
+  EXPECT_DOUBLE_EQ(info(FailureMode::kFM5).rate_multiplier, 3.0);
+  EXPECT_DOUBLE_EQ(info(FailureMode::kFM6).rate_multiplier, 4.0);
+}
+
+TEST(Types, ManeuverClassMatchesTriggeringFailureSeverity) {
+  for (FailureMode fm : kAllFailureModes)
+    EXPECT_EQ(maneuver_class(maneuver_for(fm)), info(fm).severity)
+        << to_string(fm);
+}
+
+TEST(Types, EscalationChainEndsAtAidedStop) {
+  // TIE-N → TIE → TIE-E → GS → CS → AS → (none), and severity never
+  // decreases along the chain.
+  Maneuver m = Maneuver::kTakeImmediateExitNormal;
+  int hops = 0;
+  Maneuver next;
+  while (next_maneuver(m, next)) {
+    EXPECT_LE(static_cast<int>(maneuver_class(next)),
+              static_cast<int>(maneuver_class(m)))
+        << "severity must not decrease (A=0 < B=1 < C=2)";
+    m = next;
+    ++hops;
+  }
+  EXPECT_EQ(hops, 5);
+  EXPECT_EQ(m, Maneuver::kAidedStop);
+}
+
+TEST(Types, StageOrderMatchesEnum) {
+  EXPECT_EQ(stage(Maneuver::kTakeImmediateExitNormal), 0);
+  EXPECT_EQ(stage(Maneuver::kAidedStop), 5);
+}
+
+TEST(Types, ShortNames) {
+  EXPECT_STREQ(short_name(Maneuver::kTakeImmediateExitEscorted), "TIE-E");
+  EXPECT_STREQ(short_name(Maneuver::kGentleStop), "GS");
+  EXPECT_STREQ(short_name(Maneuver::kAidedStop), "AS");
+}
+
+TEST(Types, AllFailureModesCovered) {
+  EXPECT_EQ(failure_mode_table().size(), kNumFailureModes);
+  for (std::size_t i = 0; i < kNumFailureModes; ++i)
+    EXPECT_EQ(static_cast<std::size_t>(failure_mode_table()[i].mode), i);
+}
+
+}  // namespace

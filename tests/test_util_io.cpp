@@ -1,0 +1,151 @@
+// Unit tests for the string/table/CSV/CLI/logging helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+TEST(StringUtil, Split) {
+  EXPECT_EQ(util::split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(util::split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(util::split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtil, TrimAndLowerAndStartsWith) {
+  EXPECT_EQ(util::trim("  hi \t\n"), "hi");
+  EXPECT_EQ(util::trim("   "), "");
+  EXPECT_EQ(util::to_lower("AbC"), "abc");
+  EXPECT_TRUE(util::starts_with("--flag", "--"));
+  EXPECT_FALSE(util::starts_with("-", "--"));
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(util::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(util::join({}, ","), "");
+}
+
+TEST(StringUtil, FormatSci) {
+  EXPECT_EQ(util::format_sci(1.75e-7, 3), "1.75e-07");
+  EXPECT_EQ(util::format_sci(0.0, 2), "0.0e+00");
+}
+
+TEST(StringUtil, FormatFixedTrimsZeros) {
+  EXPECT_EQ(util::format_fixed(1.5), "1.5");
+  EXPECT_EQ(util::format_fixed(2.0), "2");
+  EXPECT_EQ(util::format_fixed(0.126, 2), "0.13");
+}
+
+TEST(StringUtil, ParseDouble) {
+  EXPECT_DOUBLE_EQ(util::parse_double(" 1e-5 "), 1e-5);
+  EXPECT_DOUBLE_EQ(util::parse_double("-2.5"), -2.5);
+  EXPECT_THROW(util::parse_double("abc"), util::PreconditionError);
+  EXPECT_THROW(util::parse_double("1.5x"), util::PreconditionError);
+  EXPECT_THROW(util::parse_double(""), util::PreconditionError);
+}
+
+TEST(StringUtil, ParseInt) {
+  EXPECT_EQ(util::parse_int("42"), 42);
+  EXPECT_EQ(util::parse_int("-7"), -7);
+  EXPECT_THROW(util::parse_int("4.2"), util::PreconditionError);
+  EXPECT_THROW(util::parse_int(""), util::PreconditionError);
+}
+
+TEST(Table, AlignsAndUnderlines) {
+  util::Table t({"name", "value"});
+  t.add_row({"x", "1.5"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("------"), std::string::npos);
+  // Numeric cells right-aligned: "   1.5" under "value".
+  EXPECT_NE(s.find(" 1.5"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  util::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), util::PreconditionError);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  std::ostringstream os;
+  util::CsvWriter csv(os);
+  csv.write_row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  EXPECT_EQ(os.str(),
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(Csv, BadPathThrows) {
+  EXPECT_THROW(util::CsvWriter("/nonexistent-dir/x.csv"), util::ModelError);
+}
+
+TEST(Cli, ParsesAllKinds) {
+  util::Cli cli("prog", "test");
+  auto i = cli.add_int("count", 1, "a count");
+  auto d = cli.add_double("rate", 0.5, "a rate");
+  auto s = cli.add_string("name", "x", "a name");
+  auto b = cli.add_flag("verbose", "a flag");
+  const char* argv[] = {"prog",  "--count=3",   "--rate", "2.5",
+                        "--name", "hello",      "--verbose"};
+  EXPECT_TRUE(cli.parse(7, argv));
+  EXPECT_EQ(*i, 3);
+  EXPECT_DOUBLE_EQ(*d, 2.5);
+  EXPECT_EQ(*s, "hello");
+  EXPECT_TRUE(*b);
+}
+
+TEST(Cli, DefaultsSurviveEmptyArgv) {
+  util::Cli cli("prog", "test");
+  auto i = cli.add_int("count", 7, "a count");
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(*i, 7);
+}
+
+TEST(Cli, RejectsUnknownAndMalformed) {
+  util::Cli cli("prog", "test");
+  cli.add_int("count", 1, "a count");
+  const char* bad1[] = {"prog", "--nope", "3"};
+  EXPECT_THROW(cli.parse(3, bad1), util::PreconditionError);
+  const char* bad2[] = {"prog", "--count", "xyz"};
+  EXPECT_THROW(cli.parse(3, bad2), util::PreconditionError);
+  const char* bad3[] = {"prog", "count=3"};
+  EXPECT_THROW(cli.parse(2, bad3), util::PreconditionError);
+  const char* bad4[] = {"prog", "--count"};
+  EXPECT_THROW(cli.parse(2, bad4), util::PreconditionError);
+}
+
+TEST(Cli, RejectsDuplicateOption) {
+  util::Cli cli("prog", "test");
+  cli.add_int("x", 1, "h");
+  EXPECT_THROW(cli.add_double("x", 1.0, "h"), util::PreconditionError);
+}
+
+TEST(Cli, HelpListsOptions) {
+  util::Cli cli("prog", "does things");
+  cli.add_int("count", 1, "how many");
+  const std::string h = cli.help();
+  EXPECT_NE(h.find("--count"), std::string::npos);
+  EXPECT_NE(h.find("how many"), std::string::npos);
+}
+
+TEST(Logging, LevelFilter) {
+  const auto old = util::log_level();
+  util::set_log_level(util::LogLevel::kError);
+  // Nothing observable to assert on stderr here beyond "does not crash";
+  // exercise the macros at both suppressed and passing levels.
+  AHS_LOG_DEBUG << "suppressed";
+  AHS_LOG_ERROR << "emitted to stderr";
+  util::set_log_level(old);
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+// White-box tests of the One_vehicle gate logic, driving individual
+// activities by hand through the FlatModel API:
+//  * failure -> maneuver activation and severity accounting,
+//  * priority: a higher-priority maneuver preempts a lower one, a lower
+//    arrival is absorbed (§2.1.1/§2.1.2),
+//  * escalation re-classes the severity contribution (Fig 2),
+//  * coordination coupling: a faulty assistant zeroes the success case.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ahs/system_model.h"
+#include "sim/executor.h"
+
+namespace {
+
+using namespace ahs;
+
+struct Rig {
+  Parameters params;
+  san::FlatModel flat;
+  std::vector<std::int32_t> mk;
+
+  explicit Rig(Parameters p) : params(p), flat(build_system_model(params)) {
+    // Stabilize the initial configuration through a throwaway executor.
+    sim::Executor exec(flat, util::Rng(1));
+    mk.assign(exec.marking().begin(), exec.marking().end());
+  }
+
+  std::size_t activity(const std::string& hier_suffix) const {
+    for (std::size_t i = 0; i < flat.activities().size(); ++i)
+      if (flat.activities()[i].name.ends_with(hier_suffix)) return i;
+    throw std::runtime_error("no activity " + hier_suffix);
+  }
+
+  int place(const std::string& suffix, std::uint32_t idx = 0) const {
+    const auto pi = flat.place_index(suffix);
+    return mk[flat.place_offset(pi) + idx];
+  }
+
+  void fire(const std::string& hier_suffix, std::size_t case_idx = 0) {
+    const std::size_t ai = activity(hier_suffix);
+    ASSERT_TRUE(flat.enabled(ai, mk)) << hier_suffix;
+    flat.fire(ai, case_idx, mk);
+  }
+
+  std::vector<double> weights(const std::string& hier_suffix) {
+    return flat.case_weights(activity(hier_suffix), mk);
+  }
+
+  /// Replica index (0-based) of the vehicle with id `vid`.
+  static std::string veh(int vid, const std::string& rest) {
+    return "vehicles[" + std::to_string(vid - 1) + "]/one_vehicle/" + rest;
+  }
+};
+
+Parameters small() {
+  Parameters p;
+  p.max_per_platoon = 2;
+  p.base_failure_rate = 1e-3;
+  return p;
+}
+
+TEST(VehicleGates, FailureActivatesManeuverAndSeverity) {
+  Rig rig(small());
+  // FM6 (class C) on vehicle 1 -> TIE-N (stage 1).
+  rig.fire(Rig::veh(1, "L6"));
+  EXPECT_EQ(rig.place("vehicles[0]/one_vehicle/SM1"), 1);
+  EXPECT_EQ(rig.place("class_C"), 1);
+  EXPECT_EQ(rig.place("active_m", 0), 1);
+  EXPECT_EQ(rig.place("vehicles[0]/one_vehicle/CC6"), 0);
+  EXPECT_EQ(rig.place("KO_total"), 0);
+}
+
+TEST(VehicleGates, HigherPriorityPreemptsLower) {
+  Rig rig(small());
+  rig.fire(Rig::veh(1, "L6"));  // TIE-N active (stage 1, class C)
+  rig.fire(Rig::veh(1, "L1"));  // FM1 -> AS (stage 6, class A) preempts
+  EXPECT_EQ(rig.place("vehicles[0]/one_vehicle/SM1"), 0);
+  EXPECT_EQ(rig.place("vehicles[0]/one_vehicle/SM6"), 1);
+  EXPECT_EQ(rig.place("class_C"), 0);
+  EXPECT_EQ(rig.place("class_A"), 1);
+  EXPECT_EQ(rig.place("active_m", 0), 6);
+}
+
+TEST(VehicleGates, LowerPriorityArrivalIsAbsorbed) {
+  Rig rig(small());
+  rig.fire(Rig::veh(1, "L1"));  // AS active (stage 6)
+  rig.fire(Rig::veh(1, "L6"));  // FM6 arrives -> absorbed
+  EXPECT_EQ(rig.place("vehicles[0]/one_vehicle/SM6"), 1);
+  EXPECT_EQ(rig.place("vehicles[0]/one_vehicle/SM1"), 0);
+  EXPECT_EQ(rig.place("class_A"), 1);
+  EXPECT_EQ(rig.place("class_C"), 0);
+  // The consumed failure mode cannot re-fire.
+  EXPECT_EQ(rig.place("vehicles[0]/one_vehicle/CC6"), 0);
+}
+
+TEST(VehicleGates, EscalationReclassesSeverity) {
+  Rig rig(small());
+  rig.fire(Rig::veh(1, "L4"));  // FM4 -> TIE-E (stage 3, class B)
+  EXPECT_EQ(rig.place("class_B"), 1);
+  // Maneuver fails (case 1): TIE-E -> GS (stage 4, class A).
+  rig.fire(Rig::veh(1, "M3"), 1);
+  EXPECT_EQ(rig.place("vehicles[0]/one_vehicle/SM3"), 0);
+  EXPECT_EQ(rig.place("vehicles[0]/one_vehicle/SM4"), 1);
+  EXPECT_EQ(rig.place("class_B"), 0);
+  EXPECT_EQ(rig.place("class_A"), 1);
+}
+
+TEST(VehicleGates, SuccessRemovesVehicleAndFreesSlot) {
+  Rig rig(small());
+  rig.fire(Rig::veh(1, "L6"));
+  const int out_before = rig.place("OUT");
+  rig.fire(Rig::veh(1, "M1"), 0);  // TIE-N succeeds
+  EXPECT_EQ(rig.place("vehicles[0]/one_vehicle/my_id"), 0);
+  EXPECT_EQ(rig.place("class_C"), 0);
+  EXPECT_EQ(rig.place("active_m", 0), 0);
+  EXPECT_EQ(rig.place("OUT"), out_before + 1);
+  EXPECT_EQ(rig.place("safe_exits"), 1);
+  // Vehicle 1 must have left the platoon arrays.
+  for (std::uint32_t i = 0; i < 4; ++i)
+    EXPECT_NE(rig.place("platoons", i), 1);
+}
+
+TEST(VehicleGates, FailedAidedStopEjectsFreeAgent) {
+  Rig rig(small());
+  rig.fire(Rig::veh(1, "L1"));     // AS active
+  rig.fire(Rig::veh(1, "M6"), 1);  // AS fails -> v_KO
+  EXPECT_EQ(rig.place("ko_exits"), 1);
+  EXPECT_EQ(rig.place("class_A"), 0);
+  EXPECT_EQ(rig.place("KO_total"), 0) << "a lone v_KO is not catastrophic";
+  EXPECT_EQ(rig.place("vehicles[0]/one_vehicle/my_id"), 0);
+}
+
+TEST(VehicleGates, FaultyAssistantZeroesSuccessCase) {
+  Rig rig(small());
+  // Vehicle at position 1 of some platoon runs AS, which needs the vehicle
+  // ahead (position 0).  Make the leader faulty first.
+  // Find which vehicles sit at positions 0 and 1 of lane 0.
+  const int leader = rig.place("platoons", 0);
+  const int follower = rig.place("platoons", 1);
+  ASSERT_GT(leader, 0);
+  ASSERT_GT(follower, 0);
+  rig.fire(Rig::veh(follower, "L1"));  // follower runs AS
+  auto w = rig.weights(Rig::veh(follower, "M6"));
+  EXPECT_NEAR(w[0], rig.params.q_intrinsic, 1e-12)
+      << "healthy leader: success weight = q";
+  rig.fire(Rig::veh(leader, "L6"));  // leader now faulty (TIE-N)
+  w = rig.weights(Rig::veh(follower, "M6"));
+  EXPECT_DOUBLE_EQ(w[0], 0.0) << "faulty assistant blocks the Aided Stop";
+  EXPECT_DOUBLE_EQ(w[1], 1.0);
+}
+
+TEST(VehicleGates, UnassistedManeuverIgnoresOthersUnderDD) {
+  Rig rig(small());
+  const int leader = rig.place("platoons", 0);
+  const int follower = rig.place("platoons", 1);
+  rig.fire(Rig::veh(follower, "L3"));  // GS needs no assistance under DD
+  rig.fire(Rig::veh(leader, "L6"));
+  const auto w = rig.weights(Rig::veh(follower, "M4"));
+  EXPECT_NEAR(w[0], rig.params.q_intrinsic, 1e-12);
+}
+
+TEST(VehicleGates, TwoClassAFailuresAreCatastrophic) {
+  Rig rig(small());
+  rig.fire(Rig::veh(1, "L1"));
+  EXPECT_EQ(rig.place("KO_total"), 0);
+  rig.fire(Rig::veh(2, "L2"));
+  // to_KO is instantaneous; fire it by checking enabling and firing.
+  std::size_t ko = rig.activity("severity/to_KO");
+  ASSERT_TRUE(rig.flat.enabled(ko, rig.mk));
+  rig.flat.fire(ko, 0, rig.mk);
+  EXPECT_EQ(rig.place("KO_total"), 1);
+}
+
+}  // namespace
