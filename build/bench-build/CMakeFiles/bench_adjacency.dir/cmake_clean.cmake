@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_adjacency"
+  "../bench/bench_adjacency.pdb"
+  "CMakeFiles/bench_adjacency.dir/bench_adjacency.cpp.o"
+  "CMakeFiles/bench_adjacency.dir/bench_adjacency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adjacency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

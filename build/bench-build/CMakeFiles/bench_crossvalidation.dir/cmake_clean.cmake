@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_crossvalidation"
+  "../bench/bench_crossvalidation.pdb"
+  "CMakeFiles/bench_crossvalidation.dir/bench_crossvalidation.cpp.o"
+  "CMakeFiles/bench_crossvalidation.dir/bench_crossvalidation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crossvalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

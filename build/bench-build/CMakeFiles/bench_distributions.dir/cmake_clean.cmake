@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_distributions"
+  "../bench/bench_distributions.pdb"
+  "CMakeFiles/bench_distributions.dir/bench_distributions.cpp.o"
+  "CMakeFiles/bench_distributions.dir/bench_distributions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_elasticities"
+  "../bench/bench_elasticities.pdb"
+  "CMakeFiles/bench_elasticities.dir/bench_elasticities.cpp.o"
+  "CMakeFiles/bench_elasticities.dir/bench_elasticities.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_elasticities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

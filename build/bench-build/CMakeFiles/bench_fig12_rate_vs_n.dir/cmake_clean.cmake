@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_rate_vs_n"
+  "../bench/bench_fig12_rate_vs_n.pdb"
+  "CMakeFiles/bench_fig12_rate_vs_n.dir/bench_fig12_rate_vs_n.cpp.o"
+  "CMakeFiles/bench_fig12_rate_vs_n.dir/bench_fig12_rate_vs_n.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_rate_vs_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_strategy"
+  "../bench/bench_fig14_strategy.pdb"
+  "CMakeFiles/bench_fig14_strategy.dir/bench_fig14_strategy.cpp.o"
+  "CMakeFiles/bench_fig14_strategy.dir/bench_fig14_strategy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

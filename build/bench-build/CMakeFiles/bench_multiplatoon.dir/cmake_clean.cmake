@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multiplatoon"
+  "../bench/bench_multiplatoon.pdb"
+  "CMakeFiles/bench_multiplatoon.dir/bench_multiplatoon.cpp.o"
+  "CMakeFiles/bench_multiplatoon.dir/bench_multiplatoon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiplatoon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

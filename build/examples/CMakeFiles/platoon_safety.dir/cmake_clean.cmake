@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platoon_safety.dir/platoon_safety.cpp.o"
+  "CMakeFiles/platoon_safety.dir/platoon_safety.cpp.o.d"
+  "platoon_safety"
+  "platoon_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platoon_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

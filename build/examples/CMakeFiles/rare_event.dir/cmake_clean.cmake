@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rare_event.dir/rare_event.cpp.o"
+  "CMakeFiles/rare_event.dir/rare_event.cpp.o.d"
+  "rare_event"
+  "rare_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rare_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ahs/configuration_model.cpp" "src/ahs/CMakeFiles/ahs_model.dir/configuration_model.cpp.o" "gcc" "src/ahs/CMakeFiles/ahs_model.dir/configuration_model.cpp.o.d"
+  "/root/repo/src/ahs/coordination.cpp" "src/ahs/CMakeFiles/ahs_model.dir/coordination.cpp.o" "gcc" "src/ahs/CMakeFiles/ahs_model.dir/coordination.cpp.o.d"
+  "/root/repo/src/ahs/dynamicity_model.cpp" "src/ahs/CMakeFiles/ahs_model.dir/dynamicity_model.cpp.o" "gcc" "src/ahs/CMakeFiles/ahs_model.dir/dynamicity_model.cpp.o.d"
+  "/root/repo/src/ahs/lumped.cpp" "src/ahs/CMakeFiles/ahs_model.dir/lumped.cpp.o" "gcc" "src/ahs/CMakeFiles/ahs_model.dir/lumped.cpp.o.d"
+  "/root/repo/src/ahs/model_common.cpp" "src/ahs/CMakeFiles/ahs_model.dir/model_common.cpp.o" "gcc" "src/ahs/CMakeFiles/ahs_model.dir/model_common.cpp.o.d"
+  "/root/repo/src/ahs/parameters.cpp" "src/ahs/CMakeFiles/ahs_model.dir/parameters.cpp.o" "gcc" "src/ahs/CMakeFiles/ahs_model.dir/parameters.cpp.o.d"
+  "/root/repo/src/ahs/sensitivity.cpp" "src/ahs/CMakeFiles/ahs_model.dir/sensitivity.cpp.o" "gcc" "src/ahs/CMakeFiles/ahs_model.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/ahs/severity.cpp" "src/ahs/CMakeFiles/ahs_model.dir/severity.cpp.o" "gcc" "src/ahs/CMakeFiles/ahs_model.dir/severity.cpp.o.d"
+  "/root/repo/src/ahs/severity_model.cpp" "src/ahs/CMakeFiles/ahs_model.dir/severity_model.cpp.o" "gcc" "src/ahs/CMakeFiles/ahs_model.dir/severity_model.cpp.o.d"
+  "/root/repo/src/ahs/study.cpp" "src/ahs/CMakeFiles/ahs_model.dir/study.cpp.o" "gcc" "src/ahs/CMakeFiles/ahs_model.dir/study.cpp.o.d"
+  "/root/repo/src/ahs/system_model.cpp" "src/ahs/CMakeFiles/ahs_model.dir/system_model.cpp.o" "gcc" "src/ahs/CMakeFiles/ahs_model.dir/system_model.cpp.o.d"
+  "/root/repo/src/ahs/types.cpp" "src/ahs/CMakeFiles/ahs_model.dir/types.cpp.o" "gcc" "src/ahs/CMakeFiles/ahs_model.dir/types.cpp.o.d"
+  "/root/repo/src/ahs/vehicle_model.cpp" "src/ahs/CMakeFiles/ahs_model.dir/vehicle_model.cpp.o" "gcc" "src/ahs/CMakeFiles/ahs_model.dir/vehicle_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/san/CMakeFiles/ahs_san.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ahs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmc/CMakeFiles/ahs_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ahs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

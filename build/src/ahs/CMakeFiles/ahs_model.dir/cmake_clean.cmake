@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahs_model.dir/configuration_model.cpp.o"
+  "CMakeFiles/ahs_model.dir/configuration_model.cpp.o.d"
+  "CMakeFiles/ahs_model.dir/coordination.cpp.o"
+  "CMakeFiles/ahs_model.dir/coordination.cpp.o.d"
+  "CMakeFiles/ahs_model.dir/dynamicity_model.cpp.o"
+  "CMakeFiles/ahs_model.dir/dynamicity_model.cpp.o.d"
+  "CMakeFiles/ahs_model.dir/lumped.cpp.o"
+  "CMakeFiles/ahs_model.dir/lumped.cpp.o.d"
+  "CMakeFiles/ahs_model.dir/model_common.cpp.o"
+  "CMakeFiles/ahs_model.dir/model_common.cpp.o.d"
+  "CMakeFiles/ahs_model.dir/parameters.cpp.o"
+  "CMakeFiles/ahs_model.dir/parameters.cpp.o.d"
+  "CMakeFiles/ahs_model.dir/sensitivity.cpp.o"
+  "CMakeFiles/ahs_model.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/ahs_model.dir/severity.cpp.o"
+  "CMakeFiles/ahs_model.dir/severity.cpp.o.d"
+  "CMakeFiles/ahs_model.dir/severity_model.cpp.o"
+  "CMakeFiles/ahs_model.dir/severity_model.cpp.o.d"
+  "CMakeFiles/ahs_model.dir/study.cpp.o"
+  "CMakeFiles/ahs_model.dir/study.cpp.o.d"
+  "CMakeFiles/ahs_model.dir/system_model.cpp.o"
+  "CMakeFiles/ahs_model.dir/system_model.cpp.o.d"
+  "CMakeFiles/ahs_model.dir/types.cpp.o"
+  "CMakeFiles/ahs_model.dir/types.cpp.o.d"
+  "CMakeFiles/ahs_model.dir/vehicle_model.cpp.o"
+  "CMakeFiles/ahs_model.dir/vehicle_model.cpp.o.d"
+  "libahs_model.a"
+  "libahs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ahs_model.
+# This may be replaced when dependencies are built.

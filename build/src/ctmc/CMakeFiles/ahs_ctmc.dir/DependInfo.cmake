@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctmc/chain.cpp" "src/ctmc/CMakeFiles/ahs_ctmc.dir/chain.cpp.o" "gcc" "src/ctmc/CMakeFiles/ahs_ctmc.dir/chain.cpp.o.d"
+  "/root/repo/src/ctmc/lumping.cpp" "src/ctmc/CMakeFiles/ahs_ctmc.dir/lumping.cpp.o" "gcc" "src/ctmc/CMakeFiles/ahs_ctmc.dir/lumping.cpp.o.d"
+  "/root/repo/src/ctmc/sparse.cpp" "src/ctmc/CMakeFiles/ahs_ctmc.dir/sparse.cpp.o" "gcc" "src/ctmc/CMakeFiles/ahs_ctmc.dir/sparse.cpp.o.d"
+  "/root/repo/src/ctmc/state_space.cpp" "src/ctmc/CMakeFiles/ahs_ctmc.dir/state_space.cpp.o" "gcc" "src/ctmc/CMakeFiles/ahs_ctmc.dir/state_space.cpp.o.d"
+  "/root/repo/src/ctmc/stationary.cpp" "src/ctmc/CMakeFiles/ahs_ctmc.dir/stationary.cpp.o" "gcc" "src/ctmc/CMakeFiles/ahs_ctmc.dir/stationary.cpp.o.d"
+  "/root/repo/src/ctmc/uniformization.cpp" "src/ctmc/CMakeFiles/ahs_ctmc.dir/uniformization.cpp.o" "gcc" "src/ctmc/CMakeFiles/ahs_ctmc.dir/uniformization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/san/CMakeFiles/ahs_san.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ahs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

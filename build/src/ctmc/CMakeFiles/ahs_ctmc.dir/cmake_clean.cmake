@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahs_ctmc.dir/chain.cpp.o"
+  "CMakeFiles/ahs_ctmc.dir/chain.cpp.o.d"
+  "CMakeFiles/ahs_ctmc.dir/lumping.cpp.o"
+  "CMakeFiles/ahs_ctmc.dir/lumping.cpp.o.d"
+  "CMakeFiles/ahs_ctmc.dir/sparse.cpp.o"
+  "CMakeFiles/ahs_ctmc.dir/sparse.cpp.o.d"
+  "CMakeFiles/ahs_ctmc.dir/state_space.cpp.o"
+  "CMakeFiles/ahs_ctmc.dir/state_space.cpp.o.d"
+  "CMakeFiles/ahs_ctmc.dir/stationary.cpp.o"
+  "CMakeFiles/ahs_ctmc.dir/stationary.cpp.o.d"
+  "CMakeFiles/ahs_ctmc.dir/uniformization.cpp.o"
+  "CMakeFiles/ahs_ctmc.dir/uniformization.cpp.o.d"
+  "libahs_ctmc.a"
+  "libahs_ctmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahs_ctmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

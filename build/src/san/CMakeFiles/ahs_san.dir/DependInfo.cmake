@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/san/atomic_model.cpp" "src/san/CMakeFiles/ahs_san.dir/atomic_model.cpp.o" "gcc" "src/san/CMakeFiles/ahs_san.dir/atomic_model.cpp.o.d"
+  "/root/repo/src/san/composition.cpp" "src/san/CMakeFiles/ahs_san.dir/composition.cpp.o" "gcc" "src/san/CMakeFiles/ahs_san.dir/composition.cpp.o.d"
+  "/root/repo/src/san/dot.cpp" "src/san/CMakeFiles/ahs_san.dir/dot.cpp.o" "gcc" "src/san/CMakeFiles/ahs_san.dir/dot.cpp.o.d"
+  "/root/repo/src/san/flat_model.cpp" "src/san/CMakeFiles/ahs_san.dir/flat_model.cpp.o" "gcc" "src/san/CMakeFiles/ahs_san.dir/flat_model.cpp.o.d"
+  "/root/repo/src/san/rewards.cpp" "src/san/CMakeFiles/ahs_san.dir/rewards.cpp.o" "gcc" "src/san/CMakeFiles/ahs_san.dir/rewards.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ahs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

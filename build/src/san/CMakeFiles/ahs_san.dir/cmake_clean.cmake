@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahs_san.dir/atomic_model.cpp.o"
+  "CMakeFiles/ahs_san.dir/atomic_model.cpp.o.d"
+  "CMakeFiles/ahs_san.dir/composition.cpp.o"
+  "CMakeFiles/ahs_san.dir/composition.cpp.o.d"
+  "CMakeFiles/ahs_san.dir/dot.cpp.o"
+  "CMakeFiles/ahs_san.dir/dot.cpp.o.d"
+  "CMakeFiles/ahs_san.dir/flat_model.cpp.o"
+  "CMakeFiles/ahs_san.dir/flat_model.cpp.o.d"
+  "CMakeFiles/ahs_san.dir/rewards.cpp.o"
+  "CMakeFiles/ahs_san.dir/rewards.cpp.o.d"
+  "libahs_san.a"
+  "libahs_san.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahs_san.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

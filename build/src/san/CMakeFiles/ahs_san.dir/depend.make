@@ -1,0 +1,2 @@
+# Empty dependencies file for ahs_san.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/executor.cpp" "src/sim/CMakeFiles/ahs_sim.dir/executor.cpp.o" "gcc" "src/sim/CMakeFiles/ahs_sim.dir/executor.cpp.o.d"
+  "/root/repo/src/sim/steady.cpp" "src/sim/CMakeFiles/ahs_sim.dir/steady.cpp.o" "gcc" "src/sim/CMakeFiles/ahs_sim.dir/steady.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/ahs_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/ahs_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/transient.cpp" "src/sim/CMakeFiles/ahs_sim.dir/transient.cpp.o" "gcc" "src/sim/CMakeFiles/ahs_sim.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/san/CMakeFiles/ahs_san.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ahs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

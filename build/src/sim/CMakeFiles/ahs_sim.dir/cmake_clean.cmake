@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahs_sim.dir/executor.cpp.o"
+  "CMakeFiles/ahs_sim.dir/executor.cpp.o.d"
+  "CMakeFiles/ahs_sim.dir/steady.cpp.o"
+  "CMakeFiles/ahs_sim.dir/steady.cpp.o.d"
+  "CMakeFiles/ahs_sim.dir/trace.cpp.o"
+  "CMakeFiles/ahs_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/ahs_sim.dir/transient.cpp.o"
+  "CMakeFiles/ahs_sim.dir/transient.cpp.o.d"
+  "libahs_sim.a"
+  "libahs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

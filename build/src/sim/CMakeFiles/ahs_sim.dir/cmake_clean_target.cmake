@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libahs_sim.a"
+)

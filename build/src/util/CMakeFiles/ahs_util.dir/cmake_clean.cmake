@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahs_util.dir/cli.cpp.o"
+  "CMakeFiles/ahs_util.dir/cli.cpp.o.d"
+  "CMakeFiles/ahs_util.dir/csv.cpp.o"
+  "CMakeFiles/ahs_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ahs_util.dir/distributions.cpp.o"
+  "CMakeFiles/ahs_util.dir/distributions.cpp.o.d"
+  "CMakeFiles/ahs_util.dir/logging.cpp.o"
+  "CMakeFiles/ahs_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ahs_util.dir/rng.cpp.o"
+  "CMakeFiles/ahs_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ahs_util.dir/stats.cpp.o"
+  "CMakeFiles/ahs_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ahs_util.dir/string_util.cpp.o"
+  "CMakeFiles/ahs_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/ahs_util.dir/table.cpp.o"
+  "CMakeFiles/ahs_util.dir/table.cpp.o.d"
+  "libahs_util.a"
+  "libahs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_atomic_model.cpp" "tests/CMakeFiles/ahs_tests.dir/test_atomic_model.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_atomic_model.cpp.o.d"
+  "/root/repo/tests/test_composition.cpp" "tests/CMakeFiles/ahs_tests.dir/test_composition.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_composition.cpp.o.d"
+  "/root/repo/tests/test_conformance.cpp" "tests/CMakeFiles/ahs_tests.dir/test_conformance.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_conformance.cpp.o.d"
+  "/root/repo/tests/test_coordination.cpp" "tests/CMakeFiles/ahs_tests.dir/test_coordination.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_coordination.cpp.o.d"
+  "/root/repo/tests/test_ctmc.cpp" "tests/CMakeFiles/ahs_tests.dir/test_ctmc.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_ctmc.cpp.o.d"
+  "/root/repo/tests/test_distributions.cpp" "tests/CMakeFiles/ahs_tests.dir/test_distributions.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_distributions.cpp.o.d"
+  "/root/repo/tests/test_executor.cpp" "tests/CMakeFiles/ahs_tests.dir/test_executor.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_executor.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/ahs_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_flat_model.cpp" "tests/CMakeFiles/ahs_tests.dir/test_flat_model.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_flat_model.cpp.o.d"
+  "/root/repo/tests/test_lumped.cpp" "tests/CMakeFiles/ahs_tests.dir/test_lumped.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_lumped.cpp.o.d"
+  "/root/repo/tests/test_lumping.cpp" "tests/CMakeFiles/ahs_tests.dir/test_lumping.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_lumping.cpp.o.d"
+  "/root/repo/tests/test_multiplatoon.cpp" "tests/CMakeFiles/ahs_tests.dir/test_multiplatoon.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_multiplatoon.cpp.o.d"
+  "/root/repo/tests/test_parameters.cpp" "tests/CMakeFiles/ahs_tests.dir/test_parameters.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_parameters.cpp.o.d"
+  "/root/repo/tests/test_rewards_dot.cpp" "tests/CMakeFiles/ahs_tests.dir/test_rewards_dot.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_rewards_dot.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/ahs_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_sensitivity.cpp" "tests/CMakeFiles/ahs_tests.dir/test_sensitivity.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_sensitivity.cpp.o.d"
+  "/root/repo/tests/test_severity.cpp" "tests/CMakeFiles/ahs_tests.dir/test_severity.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_severity.cpp.o.d"
+  "/root/repo/tests/test_state_space.cpp" "tests/CMakeFiles/ahs_tests.dir/test_state_space.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_state_space.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/ahs_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_study.cpp" "tests/CMakeFiles/ahs_tests.dir/test_study.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_study.cpp.o.d"
+  "/root/repo/tests/test_system_model.cpp" "tests/CMakeFiles/ahs_tests.dir/test_system_model.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_system_model.cpp.o.d"
+  "/root/repo/tests/test_transient.cpp" "tests/CMakeFiles/ahs_tests.dir/test_transient.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_transient.cpp.o.d"
+  "/root/repo/tests/test_types.cpp" "tests/CMakeFiles/ahs_tests.dir/test_types.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_types.cpp.o.d"
+  "/root/repo/tests/test_util_io.cpp" "tests/CMakeFiles/ahs_tests.dir/test_util_io.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_util_io.cpp.o.d"
+  "/root/repo/tests/test_vehicle_gates.cpp" "tests/CMakeFiles/ahs_tests.dir/test_vehicle_gates.cpp.o" "gcc" "tests/CMakeFiles/ahs_tests.dir/test_vehicle_gates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ahs/CMakeFiles/ahs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmc/CMakeFiles/ahs_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ahs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/san/CMakeFiles/ahs_san.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ahs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
