@@ -7,12 +7,18 @@
 // bench says otherwise; EXPERIMENTS.md records paper-vs-measured per figure.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "ahs/study.h"
+#include "ahs/sweep.h"
+#include "util/cli.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -43,6 +49,78 @@ inline void write_csv(const std::string& name,
   csv.write_row(header);
   for (const auto& r : rows) csv.write_row(r);
   std::cout << "series written to " << path << "\n";
+}
+
+/// Parses the flags shared by every sweep bench (currently --threads).
+/// Returns false when --help was requested — the caller should exit 0.
+inline bool parse_bench_flags(int argc, const char* const* argv,
+                              const std::string& program, unsigned& threads) {
+  util::Cli cli(program, "Regenerates the figure series (sweep engine).");
+  const auto t = cli.add_int(
+      "threads", 0, "sweep worker threads (0 = all cores, 1 = sequential)");
+  try {
+    if (!cli.parse(argc, argv)) return false;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::exit(2);
+  }
+  threads = *t < 0 ? 0u : static_cast<unsigned>(*t);
+  return true;
+}
+
+/// Prints the per-point wall-clock summary of a sweep and merges it into
+/// results/bench_timings.json — one single-line JSON record per bench, so a
+/// rerun of one bench replaces only its own record.
+inline void log_sweep_timings(const std::string& bench_name, unsigned threads,
+                              const std::vector<ahs::SweepPoint>& points,
+                              const ahs::SweepResult& result) {
+  auto secs = [](double s) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6f", s);
+    return std::string(buf);
+  };
+
+  std::cout << "\nsweep timing (threads="
+            << (threads == 0 ? "all" : std::to_string(threads))
+            << "): total " << secs(result.total_seconds) << " s\n";
+  std::ostringstream record;
+  record << "{\"bench\": \"" << bench_name << "\", \"threads\": " << threads
+         << ", \"total_seconds\": " << secs(result.total_seconds)
+         << ", \"points\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const bool hit = result.structure_cache_hit[i];
+    std::cout << "  " << points[i].label << ": "
+              << secs(result.point_seconds[i]) << " s ("
+              << (hit ? "structure cache hit" : "cold build") << ")\n";
+    record << (i ? ", " : "") << "{\"label\": \"" << points[i].label
+           << "\", \"seconds\": " << secs(result.point_seconds[i])
+           << ", \"structure_cache_hit\": " << (hit ? "true" : "false")
+           << "}";
+  }
+  record << "]}";
+
+  // Merge: keep every other bench's record line, replace ours.
+  std::filesystem::create_directories("results");
+  const std::string path = "results/bench_timings.json";
+  std::vector<std::string> records;
+  {
+    std::ifstream in(path);
+    std::string line;
+    const std::string own_tag = "{\"bench\": \"" + bench_name + "\"";
+    while (std::getline(in, line)) {
+      if (line.rfind("{\"bench\": ", 0) != 0) continue;  // header/footer
+      if (!line.empty() && line.back() == ',') line.pop_back();
+      if (line.rfind(own_tag, 0) == 0) continue;
+      records.push_back(line);
+    }
+  }
+  records.push_back(record.str());
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\"benches\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i)
+    out << records[i] << (i + 1 < records.size() ? "," : "") << "\n";
+  out << "]}\n";
+  std::cout << "timings merged into " << path << "\n";
 }
 
 }  // namespace bench

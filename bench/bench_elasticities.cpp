@@ -4,8 +4,12 @@
 #include "ahs/sensitivity.h"
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ahs;
+  unsigned threads = 0;
+  if (!bench::parse_bench_flags(argc, argv, "bench_elasticities", threads))
+    return 0;
+
   Parameters p;
   p.max_per_platoon = 6;  // small enough that 26 solves stay quick
   p.base_failure_rate = 1e-5;
@@ -15,7 +19,9 @@ int main() {
                "n = 6, lambda = 1e-5/h, strategy DD\n"
                "==========================================================\n";
 
-  const auto es = unsafety_elasticities(p, 6.0, 0.05);
+  SensitivityOptions options;
+  options.threads = threads;
+  const auto es = unsafety_elasticities(p, 6.0, all_scalar_params(), options);
   util::Table t({"parameter", "value", "elasticity"});
   std::vector<std::vector<std::string>> csv_rows;
   for (const auto& e : es) {

@@ -3,10 +3,16 @@
 //
 // Paper shape to reproduce: S grows with n at every λ, and the *relative*
 // effect of λ is larger for smaller platoons.
-#include "ahs/lumped.h"
+//
+// A 2-D sweep (n outer, λ inner): within each n the three λ points share a
+// structure, so 10 of the 15 points are structure-cache hits.
+#include "ahs/sweep.h"
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned threads = 0;
+  if (!bench::parse_bench_flags(argc, argv, "bench_fig12", threads)) return 0;
+
   ahs::Parameters base;
   base.join_rate = 12.0;
   base.leave_rate = 4.0;
@@ -19,16 +25,29 @@ int main() {
   const std::vector<double> lambdas = {1e-6, 1e-5, 1e-4};
   const std::vector<double> t6 = {6.0};
 
+  const ahs::GridAxis n_axis{
+      "n",
+      {10, 12, 14, 16, 18},
+      [](ahs::Parameters& p, double v) {
+        p.max_per_platoon = static_cast<int>(v);
+      }};
+  const ahs::GridAxis lambda_axis{
+      "lambda", lambdas,
+      [](ahs::Parameters& p, double v) { p.base_failure_rate = v; }};
+  const std::vector<ahs::SweepPoint> points =
+      ahs::make_grid(base, n_axis, lambda_axis);
+
+  ahs::SweepOptions opts;
+  opts.threads = threads;
+  const ahs::SweepResult sweep = ahs::run_sweep(points, t6, opts);
+
   util::Table table({"n", "S(6h) 1e-6/h", "S(6h) 1e-5/h", "S(6h) 1e-4/h"});
   std::vector<std::vector<std::string>> csv_rows;
   std::vector<std::vector<double>> values(lambdas.size());
-  for (int n : sizes) {
-    std::vector<std::string> row = {std::to_string(n)};
+  for (std::size_t ni = 0; ni < sizes.size(); ++ni) {
+    std::vector<std::string> row = {std::to_string(sizes[ni])};
     for (std::size_t l = 0; l < lambdas.size(); ++l) {
-      ahs::Parameters p = base;
-      p.max_per_platoon = n;
-      p.base_failure_rate = lambdas[l];
-      const double s = ahs::LumpedModel(p).unsafety(t6)[0];
+      const double s = sweep.curves[ni * lambdas.size() + l].unsafety[0];
       values[l].push_back(s);
       row.push_back(bench::fmt(s));
     }
@@ -54,5 +73,6 @@ int main() {
 
   bench::write_csv("bench_fig12.csv",
                    {"n", "S_lam1e6", "S_lam1e5", "S_lam1e4"}, csv_rows);
+  bench::log_sweep_timings("bench_fig12", threads, points, sweep);
   return 0;
 }

@@ -6,10 +6,16 @@
 // highest unsafety within a ρ group belongs to the highest join rate; a
 // higher ρ gives higher unsafety at a fixed leave rate, but the results
 // stay within the same order of magnitude.
-#include "ahs/lumped.h"
+//
+// All four (join, leave) points keep both rates nonzero, so they share one
+// structural fingerprint: one cold BFS, three cache hits.
+#include "ahs/sweep.h"
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned threads = 0;
+  if (!bench::parse_bench_flags(argc, argv, "bench_fig13", threads)) return 0;
+
   ahs::Parameters base;
   base.max_per_platoon = 8;
   base.base_failure_rate = 1e-5;
@@ -29,14 +35,18 @@ int main() {
       {24, 12, "rho=2 join=24 leave=12"},
   };
 
-  const std::vector<double> times = ahs::trip_duration_grid();
-  std::vector<std::vector<double>> series;
+  std::vector<ahs::SweepPoint> points;
   for (const auto& c : configs) {
-    ahs::Parameters p = base;
-    p.join_rate = c.join;
-    p.leave_rate = c.leave;
-    series.push_back(ahs::LumpedModel(p).unsafety(times));
+    ahs::SweepPoint pt{c.label, base};
+    pt.params.join_rate = c.join;
+    pt.params.leave_rate = c.leave;
+    points.push_back(std::move(pt));
   }
+
+  const std::vector<double> times = ahs::trip_duration_grid();
+  ahs::SweepOptions opts;
+  opts.threads = threads;
+  const ahs::SweepResult sweep = ahs::run_sweep(points, times, opts);
 
   std::vector<std::string> headers = {"t (h)"};
   for (const auto& c : configs) headers.push_back(c.label);
@@ -44,29 +54,33 @@ int main() {
   std::vector<std::vector<std::string>> csv_rows;
   for (std::size_t i = 0; i < times.size(); ++i) {
     std::vector<std::string> row = {util::format_fixed(times[i])};
-    for (const auto& s : series) row.push_back(bench::fmt(s[i]));
+    for (const auto& curve : sweep.curves)
+      row.push_back(bench::fmt(curve.unsafety[i]));
     table.add_row(row);
     csv_rows.push_back(row);
   }
   std::cout << table;
 
   const std::size_t t10 = times.size() - 1;
+  const auto& s = sweep.curves;
   std::cout << "\nshape checks at t = 10 h:\n"
             << "  within rho=1: S(join=12)/S(join=4) = "
-            << util::format_fixed(series[1][t10] / series[0][t10], 2)
+            << util::format_fixed(s[1].unsafety[t10] / s[0].unsafety[t10], 2)
             << " (paper: same-rho curves show similar trends, the highest\n"
                "   join rate marginally worst; here the same-rho curves are"
                " near-identical — see EXPERIMENTS.md)\n"
             << "  rho=2 vs rho=1 at leave=4: S = "
-            << bench::fmt(series[2][t10]) << " vs " << bench::fmt(series[0][t10])
+            << bench::fmt(s[2].unsafety[t10]) << " vs "
+            << bench::fmt(s[0].unsafety[t10])
             << " (paper: higher rho worse, same order of magnitude)\n"
             << "  rho=2 vs rho=1 at leave=12: S = "
-            << bench::fmt(series[3][t10]) << " vs "
-            << bench::fmt(series[1][t10]) << "\n";
+            << bench::fmt(s[3].unsafety[t10]) << " vs "
+            << bench::fmt(s[1].unsafety[t10]) << "\n";
 
   bench::write_csv("bench_fig13.csv",
                    {"t_hours", "r1_j4_l4", "r1_j12_l12", "r2_j8_l4",
                     "r2_j24_l12"},
                    csv_rows);
+  bench::log_sweep_timings("bench_fig13", threads, points, sweep);
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "ahs/lumped.h"
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
 #include <unordered_map>
@@ -38,7 +39,54 @@ struct StateHash {
   }
 };
 
+/// A transition rate as a sum of at most two (factor × coefficient) terms
+/// (maneuver-failure edges are count·μ − count·avail·μ·q; everything else
+/// is a single term).
+struct RateExpr {
+  std::array<LumpedStructure::Term, 2> terms{};
+  int count = 0;
+
+  static RateExpr single(LumpedStructure::Factor f, std::uint8_t index,
+                         double coeff) {
+    RateExpr e;
+    e.terms[0] = {0, 0, f, index, coeff};
+    e.count = 1;
+    return e;
+  }
+
+  RateExpr scaled(double s) const {
+    RateExpr e = *this;
+    for (int i = 0; i < e.count; ++i) e.terms[i].coeff *= s;
+    return e;
+  }
+
+  double value(const Parameters& params) const {
+    double v = 0.0;
+    for (int i = 0; i < count; ++i)
+      v += terms[i].coeff * LumpedStructure::factor_value(
+                                terms[i].factor, terms[i].index, params);
+    return v;
+  }
+};
+
 }  // namespace
+
+double LumpedStructure::factor_value(Factor f, std::uint8_t index,
+                                     const Parameters& params) {
+  switch (f) {
+    case Factor::kFailureRate:
+      return params.failure_rate(static_cast<FailureMode>(index));
+    case Factor::kManeuverRate:
+      return params.maneuver_rates[index];
+    case Factor::kManeuverRateQ:
+      return params.maneuver_rates[index] * params.q_intrinsic;
+    case Factor::kLeaveRate: return params.leave_rate;
+    case Factor::kTransitRate: return params.transit_rate;
+    case Factor::kChangeRate: return params.change_rate;
+    case Factor::kJoinRate: return params.join_rate;
+  }
+  throw util::InvariantError("unknown rate factor");
+}
 
 LumpedModel::LumpedModel(Parameters params) : params_(std::move(params)) {
   params_.validate();
@@ -51,71 +99,95 @@ LumpedModel::LumpedModel(Parameters params) : params_(std::move(params)) {
               "full-SAN engine for adjacency-scoped severity");
 }
 
-void LumpedModel::build() const {
-  if (built_) return;
+LumpedModel::LumpedModel(Parameters params,
+                         std::shared_ptr<const LumpedStructure> structure)
+    : LumpedModel(std::move(params)) {
+  if (structure != nullptr) {
+    AHS_REQUIRE(structure->fingerprint == params_.structural_fingerprint(),
+                "cached LumpedStructure does not match these parameters "
+                "(different structural fingerprint)");
+    structure_ = std::move(structure);
+  }
+}
 
-  const int n = params_.max_per_platoon;
-  const int num_lanes = params_.num_platoons;
-  const CoordinationPolicy policy(params_.strategy);
+std::shared_ptr<const LumpedStructure> explore_lumped_structure(
+    const Parameters& params) {
+  params.validate();
+  const int n = params.max_per_platoon;
+  const int num_lanes = params.num_platoons;
+  const CoordinationPolicy policy(params.strategy);
+
+  auto structure = std::make_shared<LumpedStructure>();
+  structure->fingerprint = params.structural_fingerprint();
 
   std::unordered_map<LumpedState, std::uint32_t, StateHash> index;
   std::deque<std::uint32_t> frontier;
-  states_.clear();
+  std::vector<LumpedState>& states = structure->states;
 
   auto intern = [&](const LumpedState& s) -> std::uint32_t {
     const auto it = index.find(s);
     if (it != index.end()) return it->second;
-    const auto id = static_cast<std::uint32_t>(states_.size());
+    const auto id = static_cast<std::uint32_t>(states.size());
     index.emplace(s, id);
-    states_.push_back(s);
+    states.push_back(s);
     frontier.push_back(id);
     return id;
   };
 
   LumpedState init;
   for (int l = 0; l < num_lanes; ++l) init.lanes[l] = n;
-  const std::uint32_t init_id = intern(init);
+  structure->initial_state = intern(init);
 
   // The absorbing UNSAFE state is appended after exploration; transitions
   // into it are collected with a sentinel and patched afterwards.
   constexpr std::uint32_t kUnsafeSentinel = UINT32_MAX;
 
-  std::vector<ctmc::Triplet> triplets;
+  using Factor = LumpedStructure::Factor;
+  std::vector<LumpedStructure::Term>& terms = structure->terms;
 
-  // Adds an edge, routing catastrophic targets to the sentinel.
+  // Adds an edge, routing catastrophic targets to the sentinel.  The edge
+  // is pruned when its rate under the exploring parameters is <= 0; every
+  // guard below depends only on quantities pinned by the structural
+  // fingerprint, so the same decision is reached for any parameter set the
+  // structure is later reused for.
   auto add_edge = [&](std::uint32_t from, const LumpedState& to,
-                      double rate) {
-    if (rate <= 0.0) return;
-    if (is_catastrophic(to.severity())) {
-      triplets.push_back({from, kUnsafeSentinel, rate});
-    } else {
-      triplets.push_back({from, intern(to), rate});
+                      const RateExpr& expr) {
+    if (expr.value(params) <= 0.0) return;
+    const std::uint32_t target =
+        is_catastrophic(to.severity()) ? kUnsafeSentinel : intern(to);
+    for (int i = 0; i < expr.count; ++i) {
+      LumpedStructure::Term t = expr.terms[i];
+      t.from = from;
+      t.to = target;
+      terms.push_back(t);
     }
   };
 
   // Decrements the population holding a departing vehicle proportionally
   // across lanes and transit.
   auto add_departures = [&](std::uint32_t from, const LumpedState& base,
-                            double total_rate) {
+                            const RateExpr& total_rate) {
     const int nv = base.vehicles();
-    if (nv <= 0 || total_rate <= 0.0) return;
+    if (nv <= 0) return;
     for (int l = 0; l < num_lanes; ++l) {
       if (base.lanes[l] == 0) continue;
       LumpedState next = base;
       --next.lanes[l];
-      add_edge(from, next, total_rate * base.lanes[l] / nv);
+      add_edge(from, next,
+               total_rate.scaled(static_cast<double>(base.lanes[l]) / nv));
     }
     if (base.nt > 0) {
       LumpedState next = base;
       --next.nt;
-      add_edge(from, next, total_rate * base.nt / nv);
+      add_edge(from, next,
+               total_rate.scaled(static_cast<double>(base.nt) / nv));
     }
   };
 
   while (!frontier.empty()) {
     const std::uint32_t sid = frontier.front();
     frontier.pop_front();
-    const LumpedState s = states_[sid];
+    const LumpedState s = states[sid];
 
     const int nv = s.vehicles();
     const int healthy = s.healthy();
@@ -124,10 +196,12 @@ void LumpedModel::build() const {
     // --- Failure-mode arrivals (per healthy vehicle).
     if (healthy > 0) {
       for (FailureMode fm : kAllFailureModes) {
-        if (!params_.enabled(fm)) continue;
+        if (!params.enabled(fm)) continue;
         LumpedState next = s;
         ++next.maneuvers[stage(maneuver_for(fm))];
-        add_edge(sid, next, healthy * params_.failure_rate(fm));
+        add_edge(sid, next,
+                 RateExpr::single(Factor::kFailureRate,
+                                  static_cast<std::uint8_t>(fm), healthy));
       }
     }
 
@@ -140,8 +214,8 @@ void LumpedModel::build() const {
     for (std::size_t k = 0; k < kNumManeuvers; ++k) {
       if (s.maneuvers[k] == 0) continue;
       const auto m = static_cast<Maneuver>(k);
-      const double rate = s.maneuvers[k] * params_.maneuver_rate(m);
-      double need = policy.assistant_count(m, avg_platoon);
+      const double count = s.maneuvers[k];
+      const double need = policy.assistant_count(m, avg_platoon);
       double avail = 1.0;
       // A TIE-E escort needs a neighbouring platoon; a single-lane AHS has
       // none (the full model's escort_lane returns -1 there).
@@ -157,27 +231,30 @@ void LumpedModel::build() const {
           avail = std::pow(frac, need);
         }
       }
-      const double q = params_.q_intrinsic * avail;
+      const auto ki = static_cast<std::uint8_t>(k);
 
-      // Success: the vehicle exits the highway; its platoon membership is
-      // resolved proportionally.
+      // Success (rate count·μ·q, q = q_intrinsic·avail): the vehicle exits
+      // the highway; its platoon membership is resolved proportionally.
       LumpedState done = s;
       --done.maneuvers[k];
-      if (q > 0.0) add_departures(sid, done, rate * q);
+      add_departures(
+          sid, done,
+          RateExpr::single(Factor::kManeuverRateQ, ki, count * avail));
 
-      // Failure: escalate to the next stage, or leave as a free agent after
-      // a failed Aided Stop (v_KO — the vehicle is lost to the platoons but
-      // the event itself is not catastrophic).
-      const double fail_rate = rate * (1.0 - q);
-      if (fail_rate > 0.0) {
-        Maneuver next_m;
-        if (next_maneuver(m, next_m)) {
-          LumpedState next = done;
-          ++next.maneuvers[stage(next_m)];
-          add_edge(sid, next, fail_rate);
-        } else {
-          add_departures(sid, done, fail_rate);
-        }
+      // Failure (rate count·μ·(1 − q) = count·μ − count·avail·μ·q_i):
+      // escalate to the next stage, or leave as a free agent after a failed
+      // Aided Stop (v_KO — the vehicle is lost to the platoons but the
+      // event itself is not catastrophic).
+      RateExpr fail = RateExpr::single(Factor::kManeuverRate, ki, count);
+      fail.terms[1] = {0, 0, Factor::kManeuverRateQ, ki, -count * avail};
+      fail.count = 2;
+      Maneuver next_m;
+      if (next_maneuver(m, next_m)) {
+        LumpedState next = done;
+        ++next.maneuvers[stage(next_m)];
+        add_edge(sid, next, fail);
+      } else {
+        add_departures(sid, done, fail);
       }
     }
 
@@ -189,10 +266,9 @@ void LumpedModel::build() const {
         if (s.lanes[l] == 0) continue;
         LumpedState next = s;
         --next.lanes[l];
-        if (l > 0 &&
-            s.nt < std::min(params_.max_transit, params_.capacity()))
+        if (l > 0 && s.nt < std::min(params.max_transit, params.capacity()))
           ++next.nt;
-        add_edge(sid, next, params_.leave_rate);
+        add_edge(sid, next, RateExpr::single(Factor::kLeaveRate, 0, 1.0));
       }
     }
 
@@ -203,7 +279,8 @@ void LumpedModel::build() const {
       LumpedState next = s;
       --next.nt;
       add_edge(sid, next,
-               std::min(s.nt, healthy) * params_.transit_rate);
+               RateExpr::single(Factor::kTransitRate, 0,
+                                std::min(s.nt, healthy)));
     }
 
     // --- Platoon changes between adjacent lanes.
@@ -216,7 +293,7 @@ void LumpedModel::build() const {
           LumpedState next = s;
           --next.lanes[l];
           ++next.lanes[target];
-          add_edge(sid, next, params_.change_rate);
+          add_edge(sid, next, RateExpr::single(Factor::kChangeRate, 0, 1.0));
         }
       }
     }
@@ -224,29 +301,51 @@ void LumpedModel::build() const {
     // --- Joins: rate join_rate per free slot (infinite-server semantics,
     // see Parameters::join_rate); the paper's JP splits uniformly between
     // platoons with room.
-    if (nv < params_.capacity()) {
-      const double total_join =
-          params_.join_rate * (params_.capacity() - nv);
+    if (nv < params.capacity()) {
       int rooms = 0;
       for (int l = 0; l < num_lanes; ++l)
         if (s.lanes[l] < n) ++rooms;
       if (rooms > 0) {
+        const double per_room =
+            static_cast<double>(params.capacity() - nv) / rooms;
         for (int l = 0; l < num_lanes; ++l) {
           if (s.lanes[l] >= n) continue;
           LumpedState next = s;
           ++next.lanes[l];
-          add_edge(sid, next, total_join / rooms);
+          add_edge(sid, next,
+                   RateExpr::single(Factor::kJoinRate, 0, per_room));
         }
       }
     }
   }
 
   // Patch the sentinel to the actual UNSAFE index (last state).
-  unsafe_ = static_cast<std::uint32_t>(states_.size());
-  for (auto& t : triplets)
-    if (t.col == kUnsafeSentinel) t.col = unsafe_;
+  structure->unsafe = static_cast<std::uint32_t>(states.size());
+  for (auto& t : terms)
+    if (t.to == kUnsafeSentinel) t.to = structure->unsafe;
 
-  const auto total = static_cast<std::uint32_t>(states_.size() + 1);
+  // Pre-sort by (from, to) so the numeric rebuild hands from_triplets
+  // already-ordered input (its sort then degenerates to a fast pass).
+  std::sort(terms.begin(), terms.end(),
+            [](const LumpedStructure::Term& a, const LumpedStructure::Term& b) {
+              return a.from != b.from ? a.from < b.from : a.to < b.to;
+            });
+  return structure;
+}
+
+void LumpedModel::build() const {
+  if (built_) return;
+  if (structure_ == nullptr) structure_ = explore_lumped_structure(params_);
+  const LumpedStructure& st = *structure_;
+
+  std::vector<ctmc::Triplet> triplets;
+  triplets.reserve(st.terms.size());
+  for (const LumpedStructure::Term& t : st.terms)
+    triplets.push_back(
+        {t.from, t.to,
+         t.coeff * LumpedStructure::factor_value(t.factor, t.index, params_)});
+
+  const auto total = static_cast<std::uint32_t>(st.states.size() + 1);
   chain_.num_states = total;
   chain_.rates =
       ctmc::CsrMatrix::from_triplets(total, total, std::move(triplets));
@@ -254,7 +353,7 @@ void LumpedModel::build() const {
   for (std::uint32_t i = 0; i < total; ++i)
     chain_.exit_rate[i] = chain_.rates.row_sum(i);
   chain_.initial.assign(total, 0.0);
-  chain_.initial[init_id] = 1.0;
+  chain_.initial[st.initial_state] = 1.0;
   chain_.validate();
   built_ = true;
 }
@@ -266,7 +365,7 @@ std::size_t LumpedModel::num_states() const {
 
 std::uint32_t LumpedModel::unsafe_state() const {
   build();
-  return unsafe_;
+  return structure_->unsafe;
 }
 
 const ctmc::MarkovChain& LumpedModel::chain() const {
@@ -274,18 +373,26 @@ const ctmc::MarkovChain& LumpedModel::chain() const {
   return chain_;
 }
 
-const LumpedState& LumpedModel::state(std::uint32_t s) const {
+std::shared_ptr<const LumpedStructure> LumpedModel::structure() const {
   build();
-  AHS_REQUIRE(s < states_.size(), "state index out of range (or UNSAFE)");
-  return states_[s];
+  return structure_;
 }
 
-std::vector<double> LumpedModel::unsafety(std::span<const double> times) const {
+const LumpedState& LumpedModel::state(std::uint32_t s) const {
+  build();
+  AHS_REQUIRE(s < structure_->states.size(),
+              "state index out of range (or UNSAFE)");
+  return structure_->states[s];
+}
+
+std::vector<double> LumpedModel::unsafety(std::span<const double> times,
+                                          util::ThreadPool* pool) const {
   build();
   std::vector<double> reward(chain_.num_states, 0.0);
-  reward[unsafe_] = 1.0;
+  reward[structure_->unsafe] = 1.0;
   ctmc::UniformizationOptions opts;
   opts.epsilon = 1e-14;
+  opts.pool = pool;
   const auto sol = ctmc::solve_transient(chain_, reward, times, opts);
   return sol.expected_reward;
 }
@@ -296,7 +403,7 @@ double LumpedModel::mean_time_to_unsafe() const {
   // safe dynamics mix within hours, so the time to UNSAFE is asymptotically
   // Exponential(κ) with κ the quasi-stationary absorption hazard.
   std::vector<bool> absorbing(chain_.num_states, false);
-  absorbing[unsafe_] = true;
+  absorbing[structure_->unsafe] = true;
   const auto res = ctmc::quasi_stationary_absorption(chain_, absorbing);
   AHS_ASSERT(res.absorption_rate > 0.0, "absorption rate must be positive");
   return 1.0 / res.absorption_rate;
@@ -304,9 +411,10 @@ double LumpedModel::mean_time_to_unsafe() const {
 
 double LumpedModel::expected_maneuver_hours(double t) const {
   build();
+  const std::vector<LumpedState>& states = structure_->states;
   std::vector<double> reward(chain_.num_states, 0.0);
-  for (std::size_t i = 0; i < states_.size(); ++i)
-    reward[i] = states_[i].maneuvering();
+  for (std::size_t i = 0; i < states.size(); ++i)
+    reward[i] = states[i].maneuvering();
   const std::vector<double> times = {t};
   const auto sol = ctmc::solve_accumulated(chain_, reward, times);
   return sol.accumulated[0];
@@ -315,9 +423,10 @@ double LumpedModel::expected_maneuver_hours(double t) const {
 std::vector<double> LumpedModel::expected_vehicles(
     std::span<const double> times) const {
   build();
+  const std::vector<LumpedState>& states = structure_->states;
   std::vector<double> reward(chain_.num_states, 0.0);
-  for (std::size_t i = 0; i < states_.size(); ++i)
-    reward[i] = states_[i].vehicles();
+  for (std::size_t i = 0; i < states.size(); ++i)
+    reward[i] = states[i].vehicles();
   const auto sol = ctmc::solve_transient(chain_, reward, times);
   return sol.expected_reward;
 }

@@ -26,12 +26,17 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "ahs/parameters.h"
 #include "ahs/severity.h"
 #include "ctmc/chain.h"
+
+namespace util {
+class ThreadPool;
+}
 
 namespace ahs {
 
@@ -58,11 +63,69 @@ struct LumpedState {
   friend bool operator==(const LumpedState&, const LumpedState&) = default;
 };
 
+/// Parameter-independent skeleton of the lumped CTMC: the reachable states,
+/// the absorbing UNSAFE index, and every transition decomposed into
+/// (state-derived coefficient × rate-parameter factor) terms.  Rebuilding
+/// the numeric generator for another parameter set with the same
+/// Parameters::structural_fingerprint is one O(#terms) pass — no BFS
+/// re-exploration, no hashing.  Immutable once explored; safe to share
+/// across threads.
+struct LumpedStructure {
+  /// Which rate parameter a term multiplies.
+  enum class Factor : std::uint8_t {
+    kFailureRate,    ///< params.failure_rate(FailureMode(index))
+    kManeuverRate,   ///< params.maneuver_rates[index]
+    kManeuverRateQ,  ///< params.maneuver_rates[index] · q_intrinsic
+    kLeaveRate,
+    kTransitRate,
+    kChangeRate,
+    kJoinRate,
+  };
+
+  /// One additive term of a transition rate.  A maneuver-failure edge
+  /// carries two terms (count·μ − count·avail·μ·q); everything else one.
+  struct Term {
+    std::uint32_t from;
+    std::uint32_t to;
+    Factor factor;
+    std::uint8_t index;  ///< failure mode / maneuver stage; 0 otherwise
+    double coeff;        ///< state-derived multiplicity (counts, shares)
+  };
+
+  std::uint64_t fingerprint = 0;  ///< Parameters::structural_fingerprint()
+  std::vector<LumpedState> states;
+  std::uint32_t initial_state = 0;
+  std::uint32_t unsafe = 0;  ///< == states.size(); appended absorbing state
+  std::vector<Term> terms;
+
+  /// Numeric value of a factor under `params`.
+  static double factor_value(Factor f, std::uint8_t index,
+                             const Parameters& params);
+};
+
+/// Explores the reachable lumped graph for `params` once.  The result is
+/// valid for every parameter set with the same structural fingerprint.
+std::shared_ptr<const LumpedStructure> explore_lumped_structure(
+    const Parameters& params);
+
 class LumpedModel {
  public:
   explicit LumpedModel(Parameters params);
 
+  /// Reuses a previously explored structure, skipping BFS exploration; the
+  /// structure's fingerprint must match params.structural_fingerprint()
+  /// (throws util::PreconditionError otherwise).  The numeric generator is
+  /// rebuilt from the structure's rate terms, so the resulting chain is
+  /// identical to a cold build for the same params.
+  LumpedModel(Parameters params,
+              std::shared_ptr<const LumpedStructure> structure);
+
   const Parameters& parameters() const { return params_; }
+
+  /// The structure backing this model (explored on first use if the model
+  /// was constructed without one).  Share it across same-fingerprint models
+  /// to skip their exploration.
+  std::shared_ptr<const LumpedStructure> structure() const;
 
   /// The number of states including the absorbing UNSAFE state.
   std::size_t num_states() const;
@@ -77,8 +140,11 @@ class LumpedModel {
   const LumpedState& state(std::uint32_t s) const;
 
   /// S(t) — probability the AHS has reached a catastrophic situation by
-  /// each time point (hours, strictly increasing).
-  std::vector<double> unsafety(std::span<const double> times) const;
+  /// each time point (hours, strictly increasing).  An optional pool
+  /// parallelizes the uniformization products (bitwise thread-count
+  /// independent; see UniformizationOptions::pool).
+  std::vector<double> unsafety(std::span<const double> times,
+                               util::ThreadPool* pool = nullptr) const;
   std::vector<double> unsafety(std::initializer_list<double> times) const {
     return unsafety(std::span<const double>(times.begin(), times.size()));
   }
@@ -101,9 +167,8 @@ class LumpedModel {
 
   Parameters params_;
   mutable bool built_ = false;
+  mutable std::shared_ptr<const LumpedStructure> structure_;
   mutable ctmc::MarkovChain chain_;
-  mutable std::vector<LumpedState> states_;
-  mutable std::uint32_t unsafe_ = 0;
 };
 
 }  // namespace ahs

@@ -32,6 +32,29 @@ util::Distribution Parameters::maneuver_distribution(Maneuver m) const {
   throw util::InvariantError("unknown maneuver time model");
 }
 
+std::uint64_t Parameters::structural_fingerprint() const {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(max_per_platoon));
+  mix(static_cast<std::uint64_t>(num_platoons));
+  mix(static_cast<std::uint64_t>(max_transit));
+  mix(static_cast<std::uint64_t>(strategy));
+  mix(static_cast<std::uint64_t>(maneuver_time_model));
+  mix(static_cast<std::uint64_t>(adjacency_radius));
+  std::uint64_t enabled_bits = 0;
+  for (std::size_t i = 0; i < kNumFailureModes; ++i)
+    if (failure_mode_enabled[i]) enabled_bits |= 1ull << i;
+  mix(enabled_bits);
+  mix(join_rate == 0.0 ? 1 : 0);
+  mix(leave_rate == 0.0 ? 1 : 0);
+  mix(change_rate == 0.0 ? 1 : 0);
+  mix(q_intrinsic == 1.0 ? 1 : 0);
+  return h;
+}
+
 void Parameters::validate() const {
   AHS_REQUIRE(max_per_platoon >= 1, "max_per_platoon must be >= 1");
   AHS_REQUIRE(num_platoons >= 1 && num_platoons <= kMaxPlatoons,

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <string>
 
 #include "ahs/coordination.h"
@@ -122,6 +123,15 @@ struct Parameters {
 
   /// Total vehicle capacity num_platoons · n.
   int capacity() const { return num_platoons * max_per_platoon; }
+
+  /// Hash of every determinant of the CTMC *structure* — which states are
+  /// reachable and which transitions carry nonzero rate: the integer sizes,
+  /// strategy, enabled failure modes, time model, the zero-pattern of the
+  /// optional rates (join/leave/change; validate() pins the rest positive),
+  /// and whether q_intrinsic sits at its boundary 1 (a q = 1 build prunes
+  /// escalation edges).  Parameter sets with equal fingerprints share the
+  /// same reachability graph, so the structure caches key on this value.
+  std::uint64_t structural_fingerprint() const;
 
   /// Throws util::PreconditionError on out-of-domain values.
   void validate() const;

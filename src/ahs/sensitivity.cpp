@@ -1,9 +1,12 @@
 #include "ahs/sensitivity.h"
 
 #include <cmath>
+#include <future>
+#include <memory>
 
 #include "ahs/lumped.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace ahs {
 
@@ -103,39 +106,98 @@ void set_scalar(Parameters& params, ScalarParam p, double value) {
 
 std::vector<Elasticity> unsafety_elasticities(
     const Parameters& params, double t,
-    const std::vector<ScalarParam>& which, double h) {
+    const std::vector<ScalarParam>& which,
+    const SensitivityOptions& options) {
+  const double h = options.h;
   AHS_REQUIRE(t > 0.0, "evaluation time must be > 0");
   AHS_REQUIRE(h > 0.0 && h < 0.5, "relative step must be in (0, 0.5)");
   params.validate();
 
-  const double s0 = LumpedModel(params).unsafety({t})[0];
-  AHS_REQUIRE(s0 > 0.0, "unsafety is zero at the evaluation point");
+  // One shared exploration covers the base point and every perturbed set
+  // whose fingerprint matches (rate-only perturbations — the common case);
+  // the rare structure-changing step (e.g. q stepping off its boundary 1)
+  // falls back to a cold build.
+  const std::shared_ptr<const LumpedStructure> structure =
+      explore_lumped_structure(params);
 
-  std::vector<Elasticity> out;
-  out.reserve(which.size());
+  // Job list: slot 0 is the base solve, then up/down per parameter (the
+  // up slot is skipped where a boundary forces a one-sided difference).
+  struct Job {
+    Parameters params;
+    double s = 0.0;
+  };
+  std::vector<Job> jobs;
+  jobs.push_back({params});
+  struct Diff {
+    double theta;
+    double up_factor, down_factor;
+    std::size_t up_job, down_job;  ///< up_job == 0 means "reuse s0"
+  };
+  std::vector<Diff> diffs;
+  diffs.reserve(which.size());
   for (ScalarParam p : which) {
     const double theta = get_scalar(params, p);
     // q_intrinsic is capped at 1: fall back to a one-sided difference when
     // the + step would leave the domain.
     double up_factor = 1.0 + h;
-    double down_factor = 1.0 - h;
+    const double down_factor = 1.0 - h;
     if (p == ScalarParam::kQIntrinsic && theta * up_factor > 1.0)
       up_factor = 1.0;
 
-    Parameters up = params;
-    set_scalar(up, p, theta * up_factor);
+    Diff d{theta, up_factor, down_factor, 0, 0};
+    if (up_factor != 1.0) {
+      Parameters up = params;
+      set_scalar(up, p, theta * up_factor);
+      d.up_job = jobs.size();
+      jobs.push_back({std::move(up)});
+    }
     Parameters down = params;
     set_scalar(down, p, theta * down_factor);
+    d.down_job = jobs.size();
+    jobs.push_back({std::move(down)});
+    diffs.push_back(d);
+  }
 
-    const double s_up = up_factor == 1.0
-                            ? s0
-                            : LumpedModel(up).unsafety({t})[0];
-    const double s_down = LumpedModel(down).unsafety({t})[0];
+  auto solve = [&](Job& job) {
+    const bool same_structure =
+        job.params.structural_fingerprint() == structure->fingerprint;
+    LumpedModel model = same_structure ? LumpedModel(job.params, structure)
+                                       : LumpedModel(job.params);
+    job.s = model.unsafety({t})[0];
+  };
+  if (options.threads == 1) {
+    for (Job& job : jobs) solve(job);
+  } else {
+    util::ThreadPool pool(options.threads);
+    std::vector<std::future<void>> futures;
+    futures.reserve(jobs.size());
+    for (Job& job : jobs)
+      futures.push_back(pool.submit([&solve, &job] { solve(job); }));
+    for (auto& f : futures) f.get();
+  }
+
+  const double s0 = jobs[0].s;
+  AHS_REQUIRE(s0 > 0.0, "unsafety is zero at the evaluation point");
+
+  std::vector<Elasticity> out;
+  out.reserve(which.size());
+  for (std::size_t i = 0; i < which.size(); ++i) {
+    const Diff& d = diffs[i];
+    const double s_up = d.up_job == 0 ? s0 : jobs[d.up_job].s;
+    const double s_down = jobs[d.down_job].s;
     const double dlns = std::log(s_up) - std::log(s_down);
-    const double dlntheta = std::log(up_factor) - std::log(down_factor);
-    out.push_back({p, theta, s0, dlns / dlntheta});
+    const double dlntheta = std::log(d.up_factor) - std::log(d.down_factor);
+    out.push_back({which[i], d.theta, s0, dlns / dlntheta});
   }
   return out;
+}
+
+std::vector<Elasticity> unsafety_elasticities(
+    const Parameters& params, double t,
+    const std::vector<ScalarParam>& which, double h) {
+  SensitivityOptions options;
+  options.h = h;
+  return unsafety_elasticities(params, t, which, options);
 }
 
 std::vector<Elasticity> unsafety_elasticities(const Parameters& params,

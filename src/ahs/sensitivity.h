@@ -53,10 +53,28 @@ struct Elasticity {
   double elasticity;  ///< ∂ln S / ∂ln θ
 };
 
+struct SensitivityOptions {
+  /// Relative finite-difference step.
+  double h = 0.05;
+  /// Worker threads for the up/down solves: 1 = sequential (default),
+  /// 0 = hardware concurrency.  The result is identical for any value —
+  /// each solve is independent and lands in a slot indexed by parameter.
+  unsigned threads = 1;
+};
+
 /// Elasticities of S(t) with respect to each parameter in `params`, by
-/// central differences with relative step `h` (each parameter costs two
-/// lumped-CTMC solves).  `params.q_intrinsic == 1` pins q at its boundary,
-/// so its elasticity is computed one-sidedly there.
+/// central differences with relative step `options.h` (each parameter costs
+/// two lumped-CTMC solves; perturbed sets reuse the base exploration
+/// whenever the perturbation preserves the structural fingerprint, and the
+/// 2·|which| solves fan out over options.threads).
+/// `params.q_intrinsic == 1` pins q at its boundary, so its elasticity is
+/// computed one-sidedly there.
+std::vector<Elasticity> unsafety_elasticities(
+    const Parameters& params, double t,
+    const std::vector<ScalarParam>& which,
+    const SensitivityOptions& options);
+
+/// Back-compat shims taking the step alone (sequential evaluation).
 std::vector<Elasticity> unsafety_elasticities(
     const Parameters& params, double t,
     const std::vector<ScalarParam>& which, double h = 0.05);

@@ -1,5 +1,8 @@
 #include "ahs/study.h"
 
+#include <bit>
+#include <utility>
+
 #include "ahs/lumped.h"
 #include "ahs/system_model.h"
 #include "ctmc/state_space.h"
@@ -34,42 +37,110 @@ Engine parse_engine(const std::string& s) {
 
 std::vector<double> trip_duration_grid() { return {2, 4, 6, 8, 10}; }
 
+std::shared_ptr<const LumpedStructure> StudyCache::find_lumped(
+    std::uint64_t fingerprint) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = lumped_.find(fingerprint);
+  return it == lumped_.end() ? nullptr : it->second;
+}
+
+void StudyCache::store_lumped(
+    std::shared_ptr<const LumpedStructure> structure) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lumped_.emplace(structure->fingerprint, std::move(structure));
+}
+
+std::shared_ptr<const StudyCache::FullStructure> StudyCache::find_full(
+    std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = full_.find(key);
+  return it == full_.end() ? nullptr : it->second;
+}
+
+void StudyCache::store_full(std::uint64_t key,
+                            std::shared_ptr<const FullStructure> structure) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  full_.emplace(key, std::move(structure));
+}
+
+std::uint64_t StudyCache::full_key(const Parameters& params) {
+  // The full-SAN maneuver activities put q_intrinsic in their case weights
+  // (success vs escalation), so two parameter sets share a skeleton only if
+  // q matches exactly — rebuild_rates rescales rates, not case splits.
+  std::uint64_t h = params.structural_fingerprint();
+  h ^= std::bit_cast<std::uint64_t>(params.q_intrinsic);
+  h *= 1099511628211ull;
+  return h;
+}
+
 namespace {
 
 UnsafetyCurve run_lumped(const Parameters& params,
-                         const std::vector<double>& times) {
-  LumpedModel model(params);
+                         const std::vector<double>& times,
+                         const StudyOptions& options, StudyCache* cache,
+                         bool* structure_cache_hit) {
+  std::shared_ptr<const LumpedStructure> structure;
+  if (cache) structure = cache->find_lumped(params.structural_fingerprint());
+  if (structure_cache_hit) *structure_cache_hit = structure != nullptr;
+
+  LumpedModel model =
+      structure ? LumpedModel(params, structure) : LumpedModel(params);
   UnsafetyCurve curve;
   curve.times = times;
-  curve.unsafety = model.unsafety(times);
+  curve.unsafety = model.unsafety(times, options.pool);
   curve.half_width.assign(times.size(), 0.0);
+  if (cache && !structure) cache->store_lumped(model.structure());
   return curve;
 }
 
 UnsafetyCurve run_full_ctmc(const Parameters& params,
                             const std::vector<double>& times,
-                            const StudyOptions& options) {
+                            const StudyOptions& options, StudyCache* cache,
+                            bool* structure_cache_hit) {
   const san::FlatModel model = build_system_model(params);
   const std::size_t ko = model.place_index("KO_total");
   const std::uint32_t ko_slot = model.place_offset(ko);
 
-  ctmc::StateSpaceOptions ss_opts;
-  ss_opts.max_states = options.max_states;
-  ss_opts.absorbing = [ko_slot](std::span<const std::int32_t> m) {
-    return m[ko_slot] > 0;
-  };
-  // Pure statistics counters: unbounded, write-only — project them out so
-  // the state space stays finite (exact lumping).
-  ss_opts.ignore_places = {"ext_id", "safe_exits", "ko_exits"};
-  const ctmc::StateSpace space = ctmc::build_state_space(model, ss_opts);
-  const std::vector<double> reward = space.state_rewards(
-      [ko_slot](std::span<const std::int32_t> m) {
-        return m[ko_slot] > 0 ? 1.0 : 0.0;
-      });
+  std::shared_ptr<const StudyCache::FullStructure> cached;
+  if (cache) cached = cache->find_full(StudyCache::full_key(params));
+  if (structure_cache_hit) *structure_cache_hit = cached != nullptr;
+
+  ctmc::MarkovChain chain;
+  const std::vector<double>* reward = nullptr;
+  std::vector<double> cold_reward;
+  if (cached) {
+    // Same skeleton, new rates: one pass over the cached arcs, no BFS.
+    chain = ctmc::rebuild_rates(model, cached->space);
+    reward = &cached->reward;
+  } else {
+    ctmc::StateSpaceOptions ss_opts;
+    ss_opts.max_states = options.max_states;
+    ss_opts.capture_structure = cache != nullptr;
+    ss_opts.absorbing = [ko_slot](std::span<const std::int32_t> m) {
+      return m[ko_slot] > 0;
+    };
+    // Pure statistics counters: unbounded, write-only — project them out so
+    // the state space stays finite (exact lumping).
+    ss_opts.ignore_places = {"ext_id", "safe_exits", "ko_exits"};
+    ctmc::StateSpace space = ctmc::build_state_space(model, ss_opts);
+    cold_reward = space.state_rewards(
+        [ko_slot](std::span<const std::int32_t> m) {
+          return m[ko_slot] > 0 ? 1.0 : 0.0;
+        });
+    chain = space.chain;
+    reward = &cold_reward;
+    if (cache) {
+      auto entry = std::make_shared<StudyCache::FullStructure>();
+      entry->space = std::move(space);
+      entry->reward = cold_reward;
+      cache->store_full(StudyCache::full_key(params), std::move(entry));
+    }
+  }
 
   ctmc::UniformizationOptions u_opts;
   u_opts.epsilon = 1e-14;
-  const auto sol = ctmc::solve_transient(space.chain, reward, times, u_opts);
+  u_opts.pool = options.pool;
+  const auto sol = ctmc::solve_transient(chain, *reward, times, u_opts);
 
   UnsafetyCurve curve;
   curve.times = times;
@@ -124,13 +195,22 @@ UnsafetyCurve run_simulation(const Parameters& params,
 UnsafetyCurve unsafety_curve(const Parameters& params,
                              const std::vector<double>& times,
                              const StudyOptions& options) {
+  return unsafety_curve(params, times, options, nullptr, nullptr);
+}
+
+UnsafetyCurve unsafety_curve(const Parameters& params,
+                             const std::vector<double>& times,
+                             const StudyOptions& options, StudyCache* cache,
+                             bool* structure_cache_hit) {
   params.validate();
   AHS_REQUIRE(!times.empty(), "need at least one time point");
+  if (structure_cache_hit) *structure_cache_hit = false;
   switch (options.engine) {
     case Engine::kLumpedCtmc:
-      return run_lumped(params, times);
+      return run_lumped(params, times, options, cache, structure_cache_hit);
     case Engine::kFullCtmc:
-      return run_full_ctmc(params, times, options);
+      return run_full_ctmc(params, times, options, cache,
+                           structure_cache_hit);
     case Engine::kSimulation:
       return run_simulation(params, times, options, false);
     case Engine::kSimulationIS:

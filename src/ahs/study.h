@@ -12,13 +12,24 @@
 //   kFullCtmc       exact CTMC of the full SAN model (small n only).
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ahs/parameters.h"
+#include "ctmc/state_space.h"
 #include "util/stats.h"
 
+namespace util {
+class ThreadPool;
+}
+
 namespace ahs {
+
+struct LumpedStructure;
 
 enum class Engine { kLumpedCtmc, kSimulation, kSimulationIS, kFullCtmc };
 
@@ -46,6 +57,48 @@ struct StudyOptions {
 
   // Full-CTMC knob.
   std::size_t max_states = 2'000'000;
+
+  /// Optional pool for the uniformization vector–matrix products (CTMC
+  /// engines only).  The solves are bitwise independent of the pool size;
+  /// see UniformizationOptions::pool.  Must not point at a pool whose
+  /// worker is executing this call (parallel_for would deadlock) — the
+  /// sweep engine therefore fans points out over its pool *instead of*
+  /// passing it down here.
+  util::ThreadPool* pool = nullptr;
+};
+
+/// Thread-safe cache of parameter-independent CTMC structure, shared across
+/// the points of a sweep.  The lumped engine keys on
+/// Parameters::structural_fingerprint(); the full-SAN engine additionally
+/// keys on the exact q_intrinsic bits because q is baked into its
+/// instantaneous case weights.  A hit skips BFS exploration entirely and
+/// rebuilds only the numeric rate entries.  Simulation engines ignore it.
+class StudyCache {
+ public:
+  /// Cached full-SAN skeleton plus the unsafety reward vector over its
+  /// states (both parameter-independent given the key).
+  struct FullStructure {
+    ctmc::StateSpace space;
+    std::vector<double> reward;
+  };
+
+  std::shared_ptr<const LumpedStructure> find_lumped(
+      std::uint64_t fingerprint) const;
+  void store_lumped(std::shared_ptr<const LumpedStructure> structure);
+
+  std::shared_ptr<const FullStructure> find_full(std::uint64_t key) const;
+  void store_full(std::uint64_t key,
+                  std::shared_ptr<const FullStructure> structure);
+
+  /// Cache key for the full-SAN engine under `params`.
+  static std::uint64_t full_key(const Parameters& params);
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const LumpedStructure>>
+      lumped_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const FullStructure>>
+      full_;
 };
 
 struct UnsafetyCurve {
@@ -61,6 +114,16 @@ struct UnsafetyCurve {
 UnsafetyCurve unsafety_curve(const Parameters& params,
                              const std::vector<double>& times,
                              const StudyOptions& options = {});
+
+/// As above, consulting (and populating) `cache` for the CTMC engines.  On
+/// return `*structure_cache_hit` (if non-null) says whether the state-space
+/// structure came from the cache; a hit produces a curve equal to a cold
+/// build for the same params.  Both pointers may be null; thread-safe for
+/// concurrent calls sharing one cache.
+UnsafetyCurve unsafety_curve(const Parameters& params,
+                             const std::vector<double>& times,
+                             const StudyOptions& options, StudyCache* cache,
+                             bool* structure_cache_hit = nullptr);
 
 /// Convenience: the paper's canonical trip-duration grid 2..10 h.
 std::vector<double> trip_duration_grid();

@@ -1,0 +1,138 @@
+#include "ahs/sweep.h"
+
+#include <chrono>
+#include <future>
+#include <unordered_set>
+
+#include "util/error.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace ahs {
+
+namespace {
+
+std::string axis_label(const GridAxis& axis, double v) {
+  return axis.name + "=" + util::format_sci(v);
+}
+
+/// The key under which two points share explored structure, or 0 for
+/// engines with no structure cache (each such point is its own group).
+std::uint64_t group_key(const Parameters& params, Engine engine) {
+  switch (engine) {
+    case Engine::kLumpedCtmc: return params.structural_fingerprint();
+    case Engine::kFullCtmc: return StudyCache::full_key(params);
+    case Engine::kSimulation:
+    case Engine::kSimulationIS: return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> make_grid(const Parameters& base,
+                                  const GridAxis& axis) {
+  AHS_REQUIRE(axis.set != nullptr, "grid axis needs a setter");
+  std::vector<SweepPoint> points;
+  points.reserve(axis.values.size());
+  for (double v : axis.values) {
+    SweepPoint p{axis_label(axis, v), base};
+    axis.set(p.params, v);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::vector<SweepPoint> make_grid(const Parameters& base,
+                                  const GridAxis& outer,
+                                  const GridAxis& inner) {
+  AHS_REQUIRE(outer.set != nullptr && inner.set != nullptr,
+              "grid axes need setters");
+  std::vector<SweepPoint> points;
+  points.reserve(outer.values.size() * inner.values.size());
+  for (double vo : outer.values) {
+    for (double vi : inner.values) {
+      SweepPoint p{axis_label(outer, vo) + "," + axis_label(inner, vi),
+                   base};
+      outer.set(p.params, vo);
+      inner.set(p.params, vi);
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+SweepResult run_sweep(const std::vector<SweepPoint>& points,
+                      const std::vector<double>& times,
+                      const SweepOptions& options) {
+  AHS_REQUIRE(options.study.pool == nullptr,
+              "SweepOptions::study.pool must be null — the sweep "
+              "parallelizes across points (see StudyOptions::pool)");
+  const auto sweep_start = std::chrono::steady_clock::now();
+
+  SweepResult result;
+  result.curves.resize(points.size());
+  result.structure_cache_hit.assign(points.size(), false);
+  result.point_seconds.assign(points.size(), 0.0);
+  if (points.empty()) return result;
+
+  const bool caching =
+      options.reuse_structure && (options.study.engine == Engine::kLumpedCtmc ||
+                                  options.study.engine == Engine::kFullCtmc);
+  StudyCache cache;
+
+  // Split the points into cold builds (the first point of each structure
+  // group — every point when not caching) and followers.  Running all cold
+  // builds to completion first guarantees every follower hits the cache.
+  std::vector<std::size_t> cold, followers;
+  std::unordered_set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (caching && !seen.insert(group_key(points[i].params,
+                                          options.study.engine)).second)
+      followers.push_back(i);
+    else
+      cold.push_back(i);
+  }
+
+  // vector<bool> packs bits, so concurrent writes to distinct indices would
+  // race; stage the hit flags in bytes.
+  std::vector<unsigned char> hits(points.size(), 0);
+  auto evaluate = [&](std::size_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    bool hit = false;
+    result.curves[i] =
+        unsafety_curve(points[i].params, times, options.study,
+                       caching ? &cache : nullptr, &hit);
+    hits[i] = hit ? 1 : 0;
+    result.point_seconds[i] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  };
+
+  if (options.threads == 1) {
+    for (std::size_t i : cold) evaluate(i);
+    for (std::size_t i : followers) evaluate(i);
+  } else {
+    util::ThreadPool pool(options.threads);
+    auto run_batch = [&](const std::vector<std::size_t>& batch) {
+      std::vector<std::future<void>> futures;
+      futures.reserve(batch.size());
+      for (std::size_t i : batch)
+        futures.push_back(pool.submit([&evaluate, i] { evaluate(i); }));
+      for (auto& f : futures) f.get();
+    };
+    run_batch(cold);
+    run_batch(followers);
+  }
+
+  for (std::size_t i = 0; i < points.size(); ++i)
+    result.structure_cache_hit[i] = hits[i] != 0;
+  result.total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+  return result;
+}
+
+}  // namespace ahs

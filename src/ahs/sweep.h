@@ -1,0 +1,90 @@
+// Parallel parameter-sweep engine: evaluates S(t) for a batch of parameter
+// sets concurrently on a util::ThreadPool, reusing the explored state-space
+// structure across points that differ only in rate values.
+//
+// Every figure bench is a sweep — fig 11 varies λ, fig 12 (n, λ), fig 13
+// the load (join, leave), fig 14 the strategy — so this is the layer where
+// wall-clock is won: the per-point CTMC solves are independent and the BFS
+// exploration is shared via StudyCache whenever the points' structural
+// fingerprints coincide.
+//
+// Determinism: each point is evaluated by thread-count-independent code
+// (the solver's optional internal parallelism is bitwise stable, and the
+// sweep never hands its own pool down into a point), and results land in
+// slots indexed by input order — so the output is point-for-point identical
+// to a sequential loop, for any thread count.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ahs/parameters.h"
+#include "ahs/study.h"
+
+namespace util {
+class ThreadPool;
+}
+
+namespace ahs {
+
+/// One sweep point: a full parameter set plus a label for logs/CSV.
+struct SweepPoint {
+  std::string label;
+  Parameters params;
+};
+
+/// One grid axis: a parameter name (for labels), its values, and a setter
+/// applying a value to a Parameters.
+struct GridAxis {
+  std::string name;
+  std::vector<double> values;
+  std::function<void(Parameters&, double)> set;
+};
+
+/// 1-D grid: `base` with axis.set applied for each value.  Labels are
+/// "name=value".
+std::vector<SweepPoint> make_grid(const Parameters& base,
+                                  const GridAxis& axis);
+
+/// 2-D grid in row-major order (outer varies slowest).  Labels are
+/// "outer=v1,inner=v2".
+std::vector<SweepPoint> make_grid(const Parameters& base,
+                                  const GridAxis& outer,
+                                  const GridAxis& inner);
+
+struct SweepOptions {
+  /// Engine + engine knobs for every point.  `study.pool` must stay null —
+  /// the sweep parallelizes across points, not inside them (see
+  /// StudyOptions::pool on why both at once would deadlock).
+  StudyOptions study;
+
+  /// Worker threads: 0 = hardware concurrency, 1 = sequential in the
+  /// calling thread (no pool is created).
+  unsigned threads = 0;
+
+  /// Share explored state-space structure across same-fingerprint points
+  /// (CTMC engines).  Off forces a cold BFS per point.
+  bool reuse_structure = true;
+};
+
+struct SweepResult {
+  /// curves[i] is the result for points[i] — same order, any thread count.
+  std::vector<UnsafetyCurve> curves;
+  /// Whether point i reused a cached structure (false for the first point
+  /// of each fingerprint group and for simulation engines).
+  std::vector<bool> structure_cache_hit;
+  /// Wall-clock seconds spent evaluating point i.
+  std::vector<double> point_seconds;
+  /// Wall-clock seconds for the whole sweep (includes scheduling).
+  double total_seconds = 0.0;
+};
+
+/// Evaluates S(t) at `times` for every point.  Cold structure builds (one
+/// per distinct fingerprint) run first, concurrently; the remaining points
+/// then run concurrently with guaranteed cache hits.
+SweepResult run_sweep(const std::vector<SweepPoint>& points,
+                      const std::vector<double>& times,
+                      const SweepOptions& options = {});
+
+}  // namespace ahs

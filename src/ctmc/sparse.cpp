@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace ctmc {
 
@@ -53,6 +54,44 @@ std::span<const double> CsrMatrix::row_values(std::uint32_t r) const {
   return {val_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
 }
 
+CsrMatrix CsrMatrix::transposed() const {
+  CsrMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(cols_ + 1, 0);
+  // Counting sort by column keeps each transposed row ordered by the
+  // original row index (the accumulation-order guarantee in the header).
+  for (std::uint32_t c : col_) ++t.row_ptr_[c + 1];
+  for (std::uint32_t c = 0; c < cols_; ++c) t.row_ptr_[c + 1] += t.row_ptr_[c];
+  t.col_.resize(col_.size());
+  t.val_.resize(val_.size());
+  std::vector<std::size_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::size_t slot = cursor[col_[k]]++;
+      t.col_[slot] = r;
+      t.val_[slot] = val_[k];
+    }
+  }
+  return t;
+}
+
+std::vector<std::uint32_t> CsrMatrix::row_blocks(std::size_t blocks) const {
+  std::vector<std::uint32_t> bounds;
+  bounds.reserve(blocks + 1);
+  bounds.push_back(0);
+  const std::size_t nnz = col_.size();
+  for (std::size_t b = 1; b < blocks; ++b) {
+    const std::size_t target = nnz * b / blocks;
+    const auto it = std::lower_bound(row_ptr_.begin(), row_ptr_.end(), target);
+    auto r = static_cast<std::uint32_t>(it - row_ptr_.begin());
+    r = std::max(r, bounds.back());  // keep boundaries monotone
+    bounds.push_back(std::min(r, rows_));
+  }
+  bounds.push_back(rows_);
+  return bounds;
+}
+
 void CsrMatrix::left_multiply(std::span<const double> x,
                               std::span<double> y) const {
   AHS_REQUIRE(x.size() == rows_ && y.size() == cols_,
@@ -76,6 +115,52 @@ void CsrMatrix::right_multiply(std::span<const double> x,
       acc += val_[k] * x[col_[k]];
     y[r] = acc;
   }
+}
+
+void CsrMatrix::left_multiply(std::span<const double> x, std::span<double> y,
+                              util::ThreadPool& pool) const {
+  AHS_REQUIRE(x.size() == rows_ && y.size() == cols_,
+              "left_multiply dimension mismatch");
+  const std::vector<std::uint32_t> bounds = row_blocks(pool.size() + 1);
+  const std::size_t blocks = bounds.size() - 1;
+  if (blocks <= 1) {
+    left_multiply(x, y);
+    return;
+  }
+  // Private scatter buffer per block, reduced in block order below.
+  std::vector<std::vector<double>> partial(blocks);
+  pool.parallel_for(0, blocks, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b = lo; b < hi; ++b) {
+      partial[b].assign(cols_, 0.0);
+      double* out = partial[b].data();
+      for (std::uint32_t r = bounds[b]; r < bounds[b + 1]; ++r) {
+        const double xr = x[r];
+        if (xr == 0.0) continue;
+        for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+          out[col_[k]] += xr * val_[k];
+      }
+    }
+  });
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t b = 0; b < blocks; ++b)
+    for (std::uint32_t c = 0; c < cols_; ++c) y[c] += partial[b][c];
+}
+
+void CsrMatrix::right_multiply(std::span<const double> x, std::span<double> y,
+                               util::ThreadPool& pool) const {
+  AHS_REQUIRE(x.size() == cols_ && y.size() == rows_,
+              "right_multiply dimension mismatch");
+  const std::vector<std::uint32_t> bounds = row_blocks(pool.size() + 1);
+  pool.parallel_for(0, bounds.size() - 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b = lo; b < hi; ++b) {
+      for (std::uint32_t r = bounds[b]; r < bounds[b + 1]; ++r) {
+        double acc = 0.0;
+        for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+          acc += val_[k] * x[col_[k]];
+        y[r] = acc;
+      }
+    }
+  });
 }
 
 double CsrMatrix::row_sum(std::uint32_t r) const {

@@ -2,12 +2,22 @@
 //
 // The solvers only need row-major iteration and (row-vector × matrix)
 // products — distributions are propagated as x := x P — so the interface is
-// deliberately small.
+// deliberately small.  Both products have row-partitioned parallel
+// overloads: blocks are balanced by nonzero count and fixed by the matrix
+// shape and pool size alone, so repeated runs are deterministic.  For
+// bitwise thread-count independence, multiply over the transpose:
+// transposed().right_multiply(x, y, pool) accumulates every output entry in
+// the same order as the sequential left_multiply, for any pool size — the
+// uniformization solver relies on exactly this.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
+
+namespace util {
+class ThreadPool;
+}
 
 namespace ctmc {
 
@@ -33,16 +43,39 @@ class CsrMatrix {
   std::span<const std::uint32_t> row_cols(std::uint32_t r) const;
   std::span<const double> row_values(std::uint32_t r) const;
 
+  /// Transposed copy.  Row r of the result holds column r of *this with
+  /// entries ordered by the original row index, so gather products over the
+  /// transpose reproduce left_multiply's scatter accumulation order exactly.
+  CsrMatrix transposed() const;
+
   /// y := x * M  (x is a row vector of length rows(); y of length cols()).
   void left_multiply(std::span<const double> x, std::span<double> y) const;
 
+  /// Parallel y := x * M over contiguous row blocks balanced by nonzeros.
+  /// Each block scatters into a private buffer; buffers are reduced in
+  /// block order, so the result is deterministic for a fixed pool size but
+  /// may differ from the sequential product in the last ulps (summation
+  /// order).  Prefer transposed().right_multiply for bitwise stability.
+  void left_multiply(std::span<const double> x, std::span<double> y,
+                     util::ThreadPool& pool) const;
+
   /// y := M * x  (column-vector product; x length cols(), y length rows()).
   void right_multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Parallel y := M * x, row-partitioned.  Every y[r] is written by exactly
+  /// one thread accumulating in column order — bitwise identical to the
+  /// sequential product for any pool size.
+  void right_multiply(std::span<const double> x, std::span<double> y,
+                      util::ThreadPool& pool) const;
 
   /// Sum of row r's values.
   double row_sum(std::uint32_t r) const;
 
  private:
+  /// Row boundaries of `blocks` contiguous partitions with roughly equal
+  /// nonzero counts (size blocks + 1, first 0, last rows_).
+  std::vector<std::uint32_t> row_blocks(std::size_t blocks) const;
+
   std::uint32_t rows_ = 0;
   std::uint32_t cols_ = 0;
   std::vector<std::size_t> row_ptr_;

@@ -61,6 +61,7 @@ class Generator {
     }
 
     std::vector<Triplet> triplets;
+    std::vector<StateSpace::SkeletonArc> skeleton;
     while (!frontier.empty()) {
       const std::uint32_t s = frontier.front();
       frontier.pop_front();
@@ -84,15 +85,21 @@ class Generator {
           model_.fire(ai, ci, next);
           std::vector<std::pair<Marking, double>> tangibles;
           eliminate_vanishing(std::move(next), 1.0, 0, tangibles);
-          const double branch = rate * weights[ci] / total_w;
+          const double branch_prob = weights[ci] / total_w;
           for (auto& [tm, tp] : tangibles) {
             const std::uint32_t to = intern(std::move(tm), frontier);
             if (to == s) continue;  // CTMC self-loops are no-ops
-            triplets.push_back({s, to, branch * tp});
+            triplets.push_back({s, to, rate * branch_prob * tp});
+            if (opts_.capture_structure)
+              skeleton.push_back({s, static_cast<std::uint32_t>(ai), to,
+                                  branch_prob * tp});
           }
         }
       }
     }
+    if (opts_.capture_structure)
+      out.skeleton = std::make_shared<const std::vector<StateSpace::SkeletonArc>>(
+          std::move(skeleton));
 
     const auto n = static_cast<std::uint32_t>(states_.size());
     out.chain.num_states = n;
@@ -175,6 +182,51 @@ StateSpace build_state_space(const san::FlatModel& model,
                              const StateSpaceOptions& options) {
   Generator gen(model, options);
   return gen.run();
+}
+
+MarkovChain rebuild_rates(const san::FlatModel& model,
+                          const StateSpace& cached) {
+  AHS_REQUIRE(cached.skeleton != nullptr,
+              "rebuild_rates requires a state space explored with "
+              "StateSpaceOptions::capture_structure");
+  AHS_REQUIRE(model.all_exponential(),
+              "rebuild_rates requires an all-exponential model");
+  const std::vector<StateSpace::SkeletonArc>& arcs = *cached.skeleton;
+
+  std::vector<Triplet> triplets;
+  triplets.reserve(arcs.size());
+  // Arcs are grouped by (from, activity); the rate is re-evaluated once per
+  // group in the cached source marking.
+  double rate = 0.0;
+  std::uint32_t cur_from = 0, cur_act = 0;
+  bool have_group = false;
+  for (const StateSpace::SkeletonArc& arc : arcs) {
+    if (!have_group || arc.from != cur_from || arc.activity != cur_act) {
+      have_group = true;
+      cur_from = arc.from;
+      cur_act = arc.activity;
+      Marking probe = cached.states[arc.from];
+      AHS_REQUIRE(model.enabled(arc.activity, probe),
+                  "rebuild_rates: cached transition disabled under the new "
+                  "parameters — the model structure differs; rebuild the "
+                  "state space instead");
+      rate = model.exponential_rate(arc.activity, probe);
+    }
+    triplets.push_back({arc.from, arc.to, rate * arc.weight});
+  }
+
+  const auto n = static_cast<std::uint32_t>(cached.states.size());
+  MarkovChain chain;
+  chain.num_states = n;
+  chain.rates = CsrMatrix::from_triplets(n, n, std::move(triplets));
+  chain.exit_rate.resize(n);
+  for (std::uint32_t s = 0; s < n; ++s)
+    chain.exit_rate[s] = chain.rates.row_sum(s);
+  // The initial distribution only involves instantaneous case weights, which
+  // the structural-equality precondition pins; reuse it unchanged.
+  chain.initial = cached.chain.initial;
+  chain.validate();
+  return chain;
 }
 
 }  // namespace ctmc

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -41,12 +42,30 @@ struct StateSpaceOptions {
   /// ko_exits); projecting those out is an exact lumping and keeps pure
   /// counters from blowing up the state space.
   std::vector<std::string> ignore_places;
+  /// Also record the exploration skeleton (StateSpace::skeleton) so a model
+  /// with identical structure but different exponential rates can be
+  /// re-evaluated via rebuild_rates without BFS re-exploration.
+  bool capture_structure = false;
 };
 
 struct StateSpace {
   MarkovChain chain;
   /// Tangible markings, indexed by state id.
   std::vector<std::vector<std::int32_t>> states;
+
+  /// One tangible transition contribution, with the source activity's
+  /// exponential rate factored out: the numeric rate is
+  /// rate(activity, states[from]) × weight, where weight folds the case
+  /// probability and the vanishing-chain elimination probability.  Arcs are
+  /// grouped by (from, activity) in exploration order.
+  struct SkeletonArc {
+    std::uint32_t from;
+    std::uint32_t activity;
+    std::uint32_t to;
+    double weight;
+  };
+  /// Present only when StateSpaceOptions::capture_structure was set.
+  std::shared_ptr<const std::vector<SkeletonArc>> skeleton;
 
   /// Evaluates a reward function over every state.
   std::vector<double> state_rewards(
@@ -58,5 +77,18 @@ struct StateSpace {
 /// Requires model.all_exponential().
 StateSpace build_state_space(const san::FlatModel& model,
                              const StateSpaceOptions& options = {});
+
+/// Rebuilds the generator of `cached` for a model whose *structure* —
+/// places, activities, gates, case weights, instantaneous behaviour — is
+/// identical to the one `cached` was explored from and whose timed
+/// activities differ only in their exponential rates (e.g. the same AHS
+/// system model at another failure rate λ).  Each timed activity's rate is
+/// re-evaluated in each cached source marking and the skeleton rescaled:
+/// one pass over the arcs, no hashing, no BFS.  Requires
+/// `cached.skeleton != nullptr` (explored with capture_structure); the
+/// caller owns the structural-equality precondition — rates that change
+/// which activities are *enabled* invalidate the cache.
+MarkovChain rebuild_rates(const san::FlatModel& model,
+                          const StateSpace& cached);
 
 }  // namespace ctmc

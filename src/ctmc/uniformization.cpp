@@ -4,8 +4,75 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace ctmc {
+
+namespace {
+
+/// Memoizes poisson_window within one solve: incremental time grids almost
+/// always step by a constant Δt, so consecutive intervals ask for the same
+/// Λ·Δt and the window (potentially thousands of weights) need not be
+/// recomputed.
+class PoissonMemo {
+ public:
+  explicit PoissonMemo(double epsilon) : epsilon_(epsilon) {}
+
+  const PoissonWindow& get(double lambda) {
+    if (!valid_ || lambda != lambda_) {
+      window_ = poisson_window(lambda, epsilon_);
+      lambda_ = lambda;
+      valid_ = true;
+    }
+    return window_;
+  }
+
+ private:
+  double epsilon_;
+  double lambda_ = 0.0;
+  bool valid_ = false;
+  PoissonWindow window_;
+};
+
+/// The uniformized DTMC step y := x P, P = I + Q/Λ, shared by both solvers.
+/// With a pool the product runs gather-style over the transposed rate
+/// matrix, row-partitioned; the transpose preserves the sequential
+/// accumulation order, so the result is bitwise identical for any pool
+/// size (including none).
+class DtmcStepper {
+ public:
+  DtmcStepper(const MarkovChain& chain, double unif_rate,
+              util::ThreadPool* pool)
+      : chain_(chain), unif_rate_(unif_rate), pool_(pool) {
+    const std::uint32_t n = chain.num_states;
+    self_prob_.resize(n);
+    for (std::uint32_t s = 0; s < n; ++s)
+      self_prob_[s] = 1.0 - chain.exit_rate[s] / unif_rate;
+    if (pool_ != nullptr) transposed_ = chain.rates.transposed();
+  }
+
+  void operator()(const std::vector<double>& x, std::vector<double>& y) const {
+    if (pool_ != nullptr) {
+      transposed_.right_multiply(x, y, *pool_);
+    } else {
+      chain_.rates.left_multiply(x, y);
+    }
+    const std::uint32_t n = chain_.num_states;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      y[s] /= unif_rate_;
+      y[s] += x[s] * self_prob_[s];
+    }
+  }
+
+ private:
+  const MarkovChain& chain_;
+  double unif_rate_;
+  util::ThreadPool* pool_;
+  std::vector<double> self_prob_;
+  CsrMatrix transposed_;
+};
+
+}  // namespace
 
 PoissonWindow poisson_window(double lambda, double epsilon) {
   AHS_REQUIRE(lambda >= 0.0, "Poisson rate must be >= 0");
@@ -17,10 +84,15 @@ PoissonWindow poisson_window(double lambda, double epsilon) {
     return w;
   }
   const auto mode = static_cast<std::uint64_t>(std::floor(lambda));
-  // log P(k) = -lambda + k log lambda - lgamma(k+1)
+  // log P(k) = -lambda + k log lambda - lgamma(k+1).  glibc's lgamma writes
+  // the global signgam, which races when sweeps solve concurrently; the
+  // argument k+1 is positive so Stirling via lgamma_r (reentrant) — or the
+  // identity lgamma(n) = Σ log — is required.  lgamma_r is POSIX and
+  // present on the toolchains this builds on.
   auto log_pmf = [lambda](std::uint64_t k) {
+    int sign = 0;
     return -lambda + static_cast<double>(k) * std::log(lambda) -
-           std::lgamma(static_cast<double>(k) + 1.0);
+           lgamma_r(static_cast<double>(k) + 1.0, &sign);
   };
   const double log_mode = log_pmf(mode);
 
@@ -92,17 +164,8 @@ AccumulatedSolution solve_accumulated(const MarkovChain& chain,
   const std::uint32_t n = chain.num_states;
   const double unif_rate =
       std::max(chain.max_exit_rate() * options.rate_factor, 1e-12);
-  std::vector<double> self_prob(n);
-  for (std::uint32_t s = 0; s < n; ++s)
-    self_prob[s] = 1.0 - chain.exit_rate[s] / unif_rate;
-
-  auto dtmc_step = [&](const std::vector<double>& x, std::vector<double>& y) {
-    chain.rates.left_multiply(x, y);
-    for (std::uint32_t s = 0; s < n; ++s) {
-      y[s] /= unif_rate;
-      y[s] += x[s] * self_prob[s];
-    }
-  };
+  const DtmcStepper dtmc_step(chain, unif_rate, options.pool);
+  PoissonMemo memo(options.epsilon);
 
   AccumulatedSolution sol;
   sol.time_points.assign(time_points.begin(), time_points.end());
@@ -115,8 +178,7 @@ AccumulatedSolution solve_accumulated(const MarkovChain& chain,
   for (double t : time_points) {
     const double dt = t - pi_time;
     if (dt > 0.0) {
-      const PoissonWindow win =
-          poisson_window(unif_rate * dt, options.epsilon);
+      const PoissonWindow& win = memo.get(unif_rate * dt);
       // Survival function of the Poisson count: P(N ≥ k+1).  Below the
       // window it is ≈ 1; inside it decreases by the pmf weights; above
       // it is ≈ 0.
@@ -172,20 +234,8 @@ TransientSolution solve_transient(const MarkovChain& chain,
   const double lambda_max = chain.max_exit_rate();
   // Λ must be positive even for an all-absorbing chain.
   const double unif_rate = std::max(lambda_max * options.rate_factor, 1e-12);
-
-  // Uniformized DTMC step: y = x P where
-  //   P[i][j] = rates[i][j]/Λ (i≠j),  P[i][i] = 1 − exit[i]/Λ.
-  std::vector<double> self_prob(n);
-  for (std::uint32_t s = 0; s < n; ++s)
-    self_prob[s] = 1.0 - chain.exit_rate[s] / unif_rate;
-
-  auto dtmc_step = [&](const std::vector<double>& x, std::vector<double>& y) {
-    chain.rates.left_multiply(x, y);
-    for (std::uint32_t s = 0; s < n; ++s) {
-      y[s] /= unif_rate;
-      y[s] += x[s] * self_prob[s];
-    }
-  };
+  const DtmcStepper dtmc_step(chain, unif_rate, options.pool);
+  PoissonMemo memo(options.epsilon);
 
   TransientSolution sol;
   sol.time_points.assign(time_points.begin(), time_points.end());
@@ -197,8 +247,7 @@ TransientSolution solve_transient(const MarkovChain& chain,
   for (double t : time_points) {
     const double dt = t - pi_time;
     if (dt > 0.0) {
-      const PoissonWindow win = poisson_window(unif_rate * dt,
-                                               options.epsilon);
+      const PoissonWindow& win = memo.get(unif_rate * dt);
       std::fill(acc.begin(), acc.end(), 0.0);
       v = pi;
       double remaining = 1.0;

@@ -18,6 +18,10 @@
 
 #include "ctmc/chain.h"
 
+namespace util {
+class ThreadPool;
+}
+
 namespace ctmc {
 
 struct UniformizationOptions {
@@ -27,6 +31,11 @@ struct UniformizationOptions {
   double rate_factor = 1.02;
   /// Steady-state detection tolerance on ‖πP^k − πP^{k-1}‖∞ (0 disables).
   double steady_state_tol = 1e-14;
+  /// Optional pool for the per-iteration matrix-vector products.  The solver
+  /// multiplies over the transposed DTMC row-partitioned, which accumulates
+  /// every output entry in the sequential order — results are bitwise
+  /// independent of the pool size.  nullptr = sequential.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct TransientSolution {

@@ -1,0 +1,85 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace util {
+
+unsigned ThreadPool::hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) workers = hardware_threads();
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    AHS_REQUIRE(!stop_, "submit on a stopping ThreadPool");
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min<std::size_t>(size() + 1, n);
+  if (chunks == 1) {
+    fn(begin, end);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks - 1);
+  const std::size_t per = n / chunks;
+  const std::size_t extra = n % chunks;  // first `extra` chunks get +1
+  std::size_t lo = begin;
+  std::size_t caller_lo = 0, caller_hi = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t hi = lo + per + (c < extra ? 1 : 0);
+    if (c == 0) {
+      caller_lo = lo;  // the caller runs the first chunk after enqueuing
+      caller_hi = hi;
+    } else {
+      futures.push_back(submit([&fn, lo, hi] { fn(lo, hi); }));
+    }
+    lo = hi;
+  }
+  fn(caller_lo, caller_hi);
+  for (auto& f : futures) f.get();  // rethrows the first chunk error
+}
+
+}  // namespace util

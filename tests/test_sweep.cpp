@@ -1,0 +1,183 @@
+// Sweep engine: grid construction, the determinism contract (parallel
+// output point-for-point bitwise identical to sequential), and structure
+// cache reuse (hit curves equal to cold builds).
+#include <gtest/gtest.h>
+
+#include "ahs/sweep.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace ahs;
+
+Parameters small_base() {
+  Parameters p;
+  p.max_per_platoon = 4;
+  p.base_failure_rate = 1e-4;
+  return p;
+}
+
+TEST(Sweep, MakeGrid1D) {
+  const GridAxis lambda{"lambda",
+                        {1e-5, 1e-4},
+                        [](Parameters& p, double v) {
+                          p.base_failure_rate = v;
+                        }};
+  const auto points = make_grid(small_base(), lambda);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].params.base_failure_rate, 1e-5);
+  EXPECT_EQ(points[1].params.base_failure_rate, 1e-4);
+  EXPECT_NE(points[0].label.find("lambda="), std::string::npos);
+  // Everything else untouched.
+  EXPECT_EQ(points[0].params.max_per_platoon, 4);
+}
+
+TEST(Sweep, MakeGrid2DRowMajor) {
+  const GridAxis n{"n", {3, 4}, [](Parameters& p, double v) {
+                     p.max_per_platoon = static_cast<int>(v);
+                   }};
+  const GridAxis lambda{"lambda",
+                        {1e-5, 1e-4, 1e-3},
+                        [](Parameters& p, double v) {
+                          p.base_failure_rate = v;
+                        }};
+  const auto points = make_grid(small_base(), n, lambda);
+  ASSERT_EQ(points.size(), 6u);
+  // Outer (n) varies slowest.
+  EXPECT_EQ(points[0].params.max_per_platoon, 3);
+  EXPECT_EQ(points[2].params.max_per_platoon, 3);
+  EXPECT_EQ(points[3].params.max_per_platoon, 4);
+  EXPECT_EQ(points[1].params.base_failure_rate, 1e-4);
+  EXPECT_EQ(points[4].params.base_failure_rate, 1e-4);
+}
+
+TEST(Sweep, GridAxisRequiresSetter) {
+  EXPECT_THROW(make_grid(small_base(), GridAxis{"x", {1.0}, nullptr}),
+               util::PreconditionError);
+}
+
+TEST(Sweep, EmptyPointListIsFine) {
+  const auto result = run_sweep({}, {1.0}, {});
+  EXPECT_TRUE(result.curves.empty());
+}
+
+TEST(Sweep, RejectsInnerPool) {
+  util::ThreadPool pool(1);
+  SweepOptions opts;
+  opts.study.pool = &pool;
+  const std::vector<SweepPoint> points = {{"p", small_base()}};
+  EXPECT_THROW(run_sweep(points, {1.0}, opts), util::PreconditionError);
+}
+
+TEST(Sweep, ParallelBitwiseIdenticalToSequential) {
+  // The acceptance contract: the parallel sweep's output is point-for-point
+  // identical to the sequential one — not approximately, bitwise.
+  const GridAxis lambda{"lambda",
+                        {1e-5, 1e-4, 1e-3, 5e-4},
+                        [](Parameters& p, double v) {
+                          p.base_failure_rate = v;
+                        }};
+  const auto points = make_grid(small_base(), lambda);
+  const std::vector<double> times = {2.0, 6.0, 10.0};
+
+  SweepOptions seq;
+  seq.threads = 1;
+  SweepOptions par;
+  par.threads = 8;
+  const SweepResult a = run_sweep(points, times, seq);
+  const SweepResult b = run_sweep(points, times, par);
+
+  ASSERT_EQ(a.curves.size(), points.size());
+  ASSERT_EQ(b.curves.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ASSERT_EQ(a.curves[i].unsafety.size(), times.size());
+    for (std::size_t t = 0; t < times.size(); ++t)
+      EXPECT_EQ(a.curves[i].unsafety[t], b.curves[i].unsafety[t])
+          << "point " << i << " time " << t;
+  }
+}
+
+TEST(Sweep, StructureCacheHitsMatchColdBuilds) {
+  // Same-fingerprint λ sweep: with reuse on, only the first point explores;
+  // every follower must flag a hit and agree with the cache-off run.
+  const GridAxis lambda{"lambda",
+                        {1e-5, 1e-4, 1e-3},
+                        [](Parameters& p, double v) {
+                          p.base_failure_rate = v;
+                        }};
+  const auto points = make_grid(small_base(), lambda);
+  const std::vector<double> times = {2.0, 6.0};
+
+  SweepOptions with_cache;
+  with_cache.threads = 2;
+  SweepOptions no_cache;
+  no_cache.threads = 2;
+  no_cache.reuse_structure = false;
+  const SweepResult cached = run_sweep(points, times, with_cache);
+  const SweepResult cold = run_sweep(points, times, no_cache);
+
+  int hits = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    hits += cached.structure_cache_hit[i] ? 1 : 0;
+    EXPECT_FALSE(cold.structure_cache_hit[i]);
+    for (std::size_t t = 0; t < times.size(); ++t)
+      EXPECT_NEAR(cached.curves[i].unsafety[t], cold.curves[i].unsafety[t],
+                  1e-12);
+  }
+  // One cold build per fingerprint group; all λ share one group.
+  EXPECT_EQ(hits, static_cast<int>(points.size()) - 1);
+}
+
+TEST(Sweep, MixedFingerprintsGroupCorrectly) {
+  // Two platoon sizes × two λ: exactly one cold build per size.
+  const GridAxis n{"n", {3, 4}, [](Parameters& p, double v) {
+                     p.max_per_platoon = static_cast<int>(v);
+                   }};
+  const GridAxis lambda{"lambda",
+                        {1e-4, 1e-3},
+                        [](Parameters& p, double v) {
+                          p.base_failure_rate = v;
+                        }};
+  const auto points = make_grid(small_base(), n, lambda);
+  SweepOptions opts;
+  opts.threads = 2;
+  const SweepResult result = run_sweep(points, {6.0}, opts);
+  int hits = 0;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    hits += result.structure_cache_hit[i] ? 1 : 0;
+  EXPECT_EQ(hits, 2);  // 4 points, 2 fingerprint groups
+  // Timing slots are populated.
+  ASSERT_EQ(result.point_seconds.size(), points.size());
+  for (double s : result.point_seconds) EXPECT_GE(s, 0.0);
+  EXPECT_GT(result.total_seconds, 0.0);
+}
+
+TEST(Sweep, SimulationEngineSweepMatchesSequential) {
+  // Simulation points carry their own seeded RNG, so the parallel sweep is
+  // reproducible there too (and never reports structure hits).
+  Parameters p = small_base();
+  p.base_failure_rate = 5e-3;
+  const GridAxis lambda{"lambda",
+                        {5e-3, 1e-2},
+                        [](Parameters& p2, double v) {
+                          p2.base_failure_rate = v;
+                        }};
+  const auto points = make_grid(p, lambda);
+  SweepOptions seq;
+  seq.threads = 1;
+  seq.study.engine = Engine::kSimulation;
+  seq.study.min_replications = 200;
+  seq.study.max_replications = 200;
+  SweepOptions par = seq;
+  par.threads = 4;
+  const SweepResult a = run_sweep(points, {2.0}, seq);
+  const SweepResult b = run_sweep(points, {2.0}, par);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(a.curves[i].unsafety[0], b.curves[i].unsafety[0]);
+    EXPECT_FALSE(a.structure_cache_hit[i]);
+    EXPECT_FALSE(b.structure_cache_hit[i]);
+  }
+}
+
+}  // namespace
