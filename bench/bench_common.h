@@ -68,6 +68,34 @@ inline bool parse_bench_flags(int argc, const char* const* argv,
   return true;
 }
 
+/// Merges one single-line JSON record (which must start with
+/// `{"bench": "<name>"`) into results/bench_timings.json, replacing any
+/// previous record of the same bench and keeping every other bench's line.
+inline void merge_timing_record(const std::string& bench_name,
+                                const std::string& record) {
+  std::filesystem::create_directories("results");
+  const std::string path = "results/bench_timings.json";
+  std::vector<std::string> records;
+  {
+    std::ifstream in(path);
+    std::string line;
+    const std::string own_tag = "{\"bench\": \"" + bench_name + "\"";
+    while (std::getline(in, line)) {
+      if (line.rfind("{\"bench\": ", 0) != 0) continue;  // header/footer
+      if (!line.empty() && line.back() == ',') line.pop_back();
+      if (line.rfind(own_tag, 0) == 0) continue;
+      records.push_back(line);
+    }
+  }
+  records.push_back(record);
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\"benches\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i)
+    out << records[i] << (i + 1 < records.size() ? "," : "") << "\n";
+  out << "]}\n";
+  std::cout << "timings merged into " << path << "\n";
+}
+
 /// Prints the per-point wall-clock summary of a sweep and merges it into
 /// results/bench_timings.json — one single-line JSON record per bench, so a
 /// rerun of one bench replaces only its own record.
@@ -98,29 +126,7 @@ inline void log_sweep_timings(const std::string& bench_name, unsigned threads,
            << "}";
   }
   record << "]}";
-
-  // Merge: keep every other bench's record line, replace ours.
-  std::filesystem::create_directories("results");
-  const std::string path = "results/bench_timings.json";
-  std::vector<std::string> records;
-  {
-    std::ifstream in(path);
-    std::string line;
-    const std::string own_tag = "{\"bench\": \"" + bench_name + "\"";
-    while (std::getline(in, line)) {
-      if (line.rfind("{\"bench\": ", 0) != 0) continue;  // header/footer
-      if (!line.empty() && line.back() == ',') line.pop_back();
-      if (line.rfind(own_tag, 0) == 0) continue;
-      records.push_back(line);
-    }
-  }
-  records.push_back(record.str());
-  std::ofstream out(path, std::ios::trunc);
-  out << "{\"benches\": [\n";
-  for (std::size_t i = 0; i < records.size(); ++i)
-    out << records[i] << (i + 1 < records.size() ? "," : "") << "\n";
-  out << "]}\n";
-  std::cout << "timings merged into " << path << "\n";
+  merge_timing_record(bench_name, record.str());
 }
 
 }  // namespace bench

@@ -20,6 +20,8 @@ std::shared_ptr<san::AtomicModel> build_configuration_model(
 
   model->instant_activity("id_trigger")
       .priority(8)
+      .reads({joining, placing, init_count, in})
+      .writes({init_count, in, ext_id, joining})
       .input_gate(
           [init_count, in, joining, placing](const san::MarkingRef& m) {
             // Serialize: one vehicle at a time through the claim/JP

@@ -29,8 +29,13 @@ std::shared_ptr<san::AtomicModel> build_dynamicity_model(
   // activity; for the paper's two lanes the 50/50 split, generally uniform
   // over lanes with room — a full lane forces the others).
   {
-    auto jp = model->instant_activity("JP").priority(5).input_gate(
-        [placing](const san::MarkingRef& m) { return m.get(placing) > 0; });
+    auto jp = model->instant_activity("JP")
+                  .priority(5)
+                  .reads({placing})
+                  .writes({platoons, placing})
+                  .input_gate([placing](const san::MarkingRef& m) {
+                    return m.get(placing) > 0;
+                  });
     for (int l = 0; l < lanes; ++l) {
       jp.add_case([lane_ref, l, n](const san::MarkingRef& m) {
         return lane_size(m, lane_ref(l)) < n ? 1.0 : 0.0;
@@ -52,6 +57,8 @@ std::shared_ptr<san::AtomicModel> build_dynamicity_model(
       .marking_rate([out, join_rate](const san::MarkingRef& m) {
         return join_rate * std::max(1, m.get(out));
       })
+      .reads({out})
+      .writes({out})
       .input_gate(
           [out](const san::MarkingRef& m) { return m.get(out) > 0; },
           [out](const san::MarkingRef& m) { m.add(out, -1); })
@@ -65,6 +72,8 @@ std::shared_ptr<san::AtomicModel> build_dynamicity_model(
     const san::PlaceToken handoff = l == 0 ? leaving_direct : leaving_transit;
     model->timed_activity("leave" + std::to_string(l + 1))
         .distribution(util::Distribution::Exponential(leave_rate))
+        .reads({handoff, platoons, active_m})
+        .writes({platoons, handoff})
         .input_gate(
             [lane_ref, l, active_m, handoff](const san::MarkingRef& m) {
               return m.get(handoff) == 0 &&
@@ -91,6 +100,8 @@ std::shared_ptr<san::AtomicModel> build_dynamicity_model(
           ->timed_activity("ch" + std::to_string(l + 1) + "_" +
                            std::to_string(target + 1))
           .distribution(util::Distribution::Exponential(change_rate))
+          .reads({platoons, active_m})
+          .writes({platoons})
           .input_gate(
               [lane_ref, l, target, n, active_m](const san::MarkingRef& m) {
                 return lane_size(m, lane_ref(target)) < n &&

@@ -75,6 +75,7 @@ std::shared_ptr<san::AtomicModel> build_severity_model(
   const san::PlaceToken ko_total = model->place("KO_total");
 
   san::Predicate catastrophic;
+  auto to_ko = model->instant_activity("to_KO").priority(10).writes({ko_total});
   if (params.adjacency_radius == 0) {
     // Global scope: the shared class counters are the whole story.
     catastrophic = [class_a, class_b, class_c](const san::MarkingRef& m) {
@@ -82,6 +83,7 @@ std::shared_ptr<san::AtomicModel> build_severity_model(
                              m.get(class_c)};
       return is_catastrophic(s);
     };
+    to_ko.reads({ko_total, class_a, class_b, class_c});
   } else {
     const san::PlaceToken platoons =
         model->extended_place("platoons", params.capacity());
@@ -95,11 +97,11 @@ std::shared_ptr<san::AtomicModel> build_severity_model(
       return any_window_catastrophic(m, platoons, active_m, lanes, n,
                                      radius);
     };
+    to_ko.reads({ko_total, platoons, active_m});
   }
 
   // The paper's KO_allocation input gate + instantaneous to_KO.
-  model->instant_activity("to_KO")
-      .priority(10)
+  to_ko
       .input_gate(
           [ko_total, catastrophic](const san::MarkingRef& m) {
             return m.get(ko_total) == 0 && catastrophic(m);

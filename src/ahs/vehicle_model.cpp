@@ -154,6 +154,9 @@ std::shared_ptr<san::AtomicModel> build_vehicle_model(
   // --- claim: an idle replica adopts the joining vehicle's identity.
   model->instant_activity("claim")
       .priority(7)
+      .reads({ctx->joining, ctx->my_id})
+      .writes({ctx->joining, ctx->my_id, ctx->cc[0], ctx->cc[1], ctx->cc[2],
+               ctx->cc[3], ctx->cc[4], ctx->cc[5], ctx->placing})
       .input_gate(
           [ctx](const san::MarkingRef& m) {
             return m.get(ctx->joining) > 0 && m.get(ctx->my_id) == 0;
@@ -169,6 +172,10 @@ std::shared_ptr<san::AtomicModel> build_vehicle_model(
   // --- voluntary leave from lane 0 (designated by Dynamicity).
   model->instant_activity("voluntary_exit")
       .priority(6)
+      .reads({ctx->leaving_direct, ctx->my_id})
+      .writes({ctx->leaving_direct, ctx->cc[0], ctx->cc[1], ctx->cc[2],
+               ctx->cc[3], ctx->cc[4], ctx->cc[5], ctx->my_id,
+               ctx->transiting, ctx->out, ctx->safe_exits})
       .input_gate(
           [ctx](const san::MarkingRef& m) {
             return m.get(ctx->leaving_direct) == ctx->me(m) &&
@@ -183,6 +190,8 @@ std::shared_ptr<san::AtomicModel> build_vehicle_model(
   // --- leavers from other lanes enter the transit phase first (§4.1).
   model->instant_activity("start_transit")
       .priority(6)
+      .reads({ctx->leaving_transit, ctx->my_id})
+      .writes({ctx->leaving_transit, ctx->transiting})
       .input_gate(
           [ctx](const san::MarkingRef& m) {
             return m.get(ctx->leaving_transit) == ctx->me(m) &&
@@ -196,6 +205,10 @@ std::shared_ptr<san::AtomicModel> build_vehicle_model(
   // --- transit completes: the vehicle leaves the highway (§4.1: 3–4 min).
   model->timed_activity("exit_transit")
       .distribution(util::Distribution::Exponential(params.transit_rate))
+      .reads({ctx->transiting, ctx->active_m})
+      .writes({ctx->cc[0], ctx->cc[1], ctx->cc[2], ctx->cc[3], ctx->cc[4],
+               ctx->cc[5], ctx->my_id, ctx->transiting, ctx->out,
+               ctx->safe_exits})
       .input_gate(
           [ctx](const san::MarkingRef& m) {
             return m.get(ctx->transiting) > 0 && ctx->current_stage(m) == 0;
@@ -212,6 +225,12 @@ std::shared_ptr<san::AtomicModel> build_vehicle_model(
     const int k1 = stage(maneuver_for(fm)) + 1;
     model->timed_activity("L" + std::to_string(i + 1))
         .distribution(util::Distribution::Exponential(params.failure_rate(fm)))
+        .reads({ctx->my_id, ctx->cc[i], ctx->ko_total})
+        // activate() may preempt whatever stage currently runs, so every
+        // stage place (and every class counter) is potentially written.
+        .writes({ctx->cc[i], ctx->sm[0], ctx->sm[1], ctx->sm[2], ctx->sm[3],
+                 ctx->sm[4], ctx->sm[5], ctx->class_a, ctx->class_b,
+                 ctx->class_c, ctx->active_m})
         .input_gate(
             [ctx, i](const san::MarkingRef& m) {
               return m.get(ctx->my_id) > 0 && m.get(ctx->cc[i]) > 0 &&
@@ -230,9 +249,18 @@ std::shared_ptr<san::AtomicModel> build_vehicle_model(
     auto act =
         model->timed_activity("M" + std::to_string(k1))
             .distribution(params.maneuver_distribution(m_enum))
+            .reads({ctx->sm[k], ctx->ko_total})
+            // Union over the success / escalate / eject cases; the success
+            // probability is a case weight and needs no read declaration.
+            .writes({ctx->sm[k], ctx->class_a, ctx->class_b, ctx->class_c,
+                     ctx->active_m, ctx->platoons, ctx->cc[0], ctx->cc[1],
+                     ctx->cc[2], ctx->cc[3], ctx->cc[4], ctx->cc[5],
+                     ctx->my_id, ctx->transiting, ctx->out, ctx->safe_exits,
+                     ctx->ko_exits})
             .input_gate([ctx, k](const san::MarkingRef& m) {
               return m.get(ctx->sm[k]) > 0 && m.get(ctx->ko_total) == 0;
             });
+    if (k + 1 < kNumManeuvers) act.writes({ctx->sm[k + 1]});
     // Case 0: success — the vehicle exits the highway safely.
     act.add_case([ctx, m_enum](const san::MarkingRef& m) {
       return ctx->success_probability(m, m_enum);

@@ -78,6 +78,20 @@ ActivityBuilder& ActivityBuilder::output_arc(PlaceToken p, std::int32_t weight,
   return *this;
 }
 
+ActivityBuilder& ActivityBuilder::reads(
+    std::initializer_list<PlaceToken> places) {
+  for (PlaceToken p : places) def().declared_reads.push_back(p);
+  def().reads_declared = true;
+  return *this;
+}
+
+ActivityBuilder& ActivityBuilder::writes(
+    std::initializer_list<PlaceToken> places) {
+  for (PlaceToken p : places) def().declared_writes.push_back(p);
+  def().writes_declared = true;
+  return *this;
+}
+
 AtomicModel::AtomicModel(std::string name) : name_(std::move(name)) {
   AHS_REQUIRE(!name_.empty(), "atomic model needs a name");
 }
@@ -156,6 +170,13 @@ void AtomicModel::validate() const {
     if (!a.cases.empty() && !any_fn && fixed_weight_sum <= 0.0)
       throw util::ModelError("activity '" + a.name +
                              "' has cases but zero total case weight");
+    auto check_token = [&](PlaceToken p, const char* what) {
+      if (!p.valid() || p.id >= places_.size())
+        throw util::ModelError(std::string(what) + " declaration of activity '" +
+                               a.name + "' references an undeclared place");
+    };
+    for (PlaceToken p : a.declared_reads) check_token(p, "reads");
+    for (PlaceToken p : a.declared_writes) check_token(p, "writes");
   }
 }
 

@@ -68,6 +68,14 @@ struct ActivityDef {
   std::vector<GateFn> input_fns;      ///< input-gate functions
   std::vector<Arc> input_arcs;
   std::vector<CaseDef> cases;  ///< empty means one trivial case
+
+  // Declared dependency sets (see ActivityBuilder::reads / writes).  Arcs
+  // are always derived automatically and need no declaration; these cover
+  // only what the opaque std::function callbacks touch.
+  std::vector<PlaceToken> declared_reads;   ///< places read by predicates/rate
+  std::vector<PlaceToken> declared_writes;  ///< places written by gate fns
+  bool reads_declared = false;
+  bool writes_declared = false;
 };
 
 class AtomicModel;
@@ -97,6 +105,26 @@ class ActivityBuilder {
   /// Adds an output arc to case `case_idx`.
   ActivityBuilder& output_arc(PlaceToken p, std::int32_t weight = 1,
                               std::size_t case_idx = 0);
+
+  /// Declares the complete set of places whose marking this activity's
+  /// input-gate predicates and marking-dependent rate function consult.
+  /// Input arcs are derived automatically and need not be listed.  Without
+  /// a declaration the dependency index (san::DependencyIndex) falls back
+  /// to "every place of this atomic model" — sound, because a MarkingRef
+  /// can only address places of its own model, but it couples replicas
+  /// through shared places and costs O(model) re-checks per event.
+  /// Case-weight functions need no declaration: weights are evaluated
+  /// fresh at every completion, so nothing about them is cached.
+  /// Multiple calls accumulate.  Validated against real trajectories by
+  /// sim::Executor::Options::check_dependencies.
+  ActivityBuilder& reads(std::initializer_list<PlaceToken> places);
+
+  /// Declares the complete set of places any of this activity's gate
+  /// functions (input-gate functions and every case's output gates) may
+  /// write.  Arcs are derived automatically.  Declare the union over all
+  /// cases and all conditional paths — over-approximation is safe,
+  /// omission is not.  Multiple calls accumulate.
+  ActivityBuilder& writes(std::initializer_list<PlaceToken> places);
 
  private:
   friend class AtomicModel;

@@ -185,6 +185,16 @@ class Flattener {
       fa.input_fns = act.input_fns;
       for (const auto& arc : act.input_arcs)
         fa.input_arcs.push_back({imap->offset[arc.place.id], arc.weight});
+      auto resolve_slots = [&imap](const std::vector<PlaceToken>& places,
+                                   std::vector<std::uint32_t>& out) {
+        for (PlaceToken p : places)
+          for (std::uint32_t i = 0; i < imap->size[p.id]; ++i)
+            out.push_back(imap->offset[p.id] + i);
+      };
+      fa.reads_declared = act.reads_declared;
+      fa.writes_declared = act.writes_declared;
+      resolve_slots(act.declared_reads, fa.declared_read_slots);
+      resolve_slots(act.declared_writes, fa.declared_write_slots);
       if (act.cases.empty()) {
         fa.cases.emplace_back();  // trivial single case
       } else {

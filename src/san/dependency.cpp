@@ -1,0 +1,136 @@
+#include "san/dependency.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace san {
+
+namespace {
+
+void sort_unique(std::vector<std::uint32_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+/// Every slot the activity's instance map can address — the sound
+/// fallback for undeclared callbacks (MarkingRef bounds-checks tokens
+/// against the map, so nothing outside is reachable).
+void append_instance_slots(const InstanceMap& imap,
+                           std::vector<std::uint32_t>& out) {
+  for (std::size_t p = 0; p < imap.offset.size(); ++p)
+    for (std::uint32_t i = 0; i < imap.size[p]; ++i)
+      out.push_back(imap.offset[p] + i);
+}
+
+}  // namespace
+
+DependencyIndex DependencyIndex::build(const FlatModel& model) {
+  DependencyIndex idx;
+  const auto& acts = model.activities();
+  const std::size_t n = acts.size();
+  idx.num_activities_ = n;
+  idx.num_slots_ = static_cast<std::uint32_t>(model.marking_size());
+  idx.reads_exact_.assign(n, 1);
+  idx.writes_exact_.assign(n, 1);
+
+  std::vector<std::vector<std::uint32_t>> reads(n), writes(n);
+  for (std::size_t ai = 0; ai < n; ++ai) {
+    const FlatActivity& a = acts[ai];
+
+    // --- Read set: arcs exactly; callbacks via declaration or fallback.
+    for (const auto& arc : a.input_arcs) reads[ai].push_back(arc.slot);
+    const bool has_read_fns = !a.predicates.empty() || a.rate_fn != nullptr;
+    if (has_read_fns) {
+      if (a.reads_declared) {
+        reads[ai].insert(reads[ai].end(), a.declared_read_slots.begin(),
+                         a.declared_read_slots.end());
+      } else {
+        append_instance_slots(*a.imap, reads[ai]);
+        idx.reads_exact_[ai] = 0;
+      }
+    }
+
+    // --- Write set: arcs exactly (union over cases); gate functions via
+    // declaration or fallback.
+    for (const auto& arc : a.input_arcs) writes[ai].push_back(arc.slot);
+    bool has_write_fns = !a.input_fns.empty();
+    for (const auto& c : a.cases) {
+      for (const auto& arc : c.output_arcs) writes[ai].push_back(arc.slot);
+      if (!c.output_fns.empty()) has_write_fns = true;
+    }
+    if (has_write_fns) {
+      if (a.writes_declared) {
+        writes[ai].insert(writes[ai].end(), a.declared_write_slots.begin(),
+                          a.declared_write_slots.end());
+      } else {
+        append_instance_slots(*a.imap, writes[ai]);
+        idx.writes_exact_[ai] = 0;
+      }
+    }
+
+    sort_unique(reads[ai]);
+    sort_unique(writes[ai]);
+  }
+
+  auto pack = [](const std::vector<std::vector<std::uint32_t>>& rows,
+                 std::vector<std::uint32_t>& off,
+                 std::vector<std::uint32_t>& data) {
+    off.assign(rows.size() + 1, 0);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      total += rows[i].size();
+      off[i + 1] = static_cast<std::uint32_t>(total);
+    }
+    data.reserve(total);
+    for (const auto& row : rows)
+      data.insert(data.end(), row.begin(), row.end());
+  };
+  pack(reads, idx.read_off_, idx.read_slots_);
+  pack(writes, idx.write_off_, idx.write_slots_);
+
+  // --- Invert: slot -> reading activities.
+  std::vector<std::vector<std::uint32_t>> readers(idx.num_slots_);
+  for (std::size_t ai = 0; ai < n; ++ai)
+    for (std::uint32_t s : reads[ai])
+      readers[s].push_back(static_cast<std::uint32_t>(ai));
+  pack(readers, idx.reader_off_, idx.reader_acts_);
+
+  // --- Compose: activity -> affected activities (dedup via stamp).
+  std::vector<std::vector<std::uint32_t>> affected(n);
+  std::vector<std::uint32_t> stamp(n, UINT32_MAX);
+  for (std::size_t ai = 0; ai < n; ++ai) {
+    auto& row = affected[ai];
+    const auto mark = static_cast<std::uint32_t>(ai);
+    stamp[ai] = mark;
+    row.push_back(mark);
+    for (std::uint32_t s : writes[ai])
+      for (std::uint32_t b : readers[s])
+        if (stamp[b] != mark) {
+          stamp[b] = mark;
+          row.push_back(b);
+        }
+    std::sort(row.begin(), row.end());
+  }
+  pack(affected, idx.affected_off_, idx.affected_acts_);
+
+  return idx;
+}
+
+std::string DependencyIndex::summary() const {
+  std::size_t read_total = read_slots_.size();
+  std::size_t write_total = write_slots_.size();
+  std::size_t affected_total = affected_acts_.size();
+  std::size_t read_fallbacks = 0, write_fallbacks = 0;
+  for (std::uint8_t e : reads_exact_) read_fallbacks += e == 0;
+  for (std::uint8_t e : writes_exact_) write_fallbacks += e == 0;
+  const double n = num_activities_ ? static_cast<double>(num_activities_) : 1.0;
+  std::ostringstream os;
+  os << "DependencyIndex: " << num_activities_ << " activities over "
+     << num_slots_ << " slots; avg reads " << read_total / n << ", avg writes "
+     << write_total / n << ", avg affected " << affected_total / n << "; "
+     << read_fallbacks << " read / " << write_fallbacks
+     << " write conservative fallbacks";
+  return os.str();
+}
+
+}  // namespace san

@@ -1,0 +1,105 @@
+// Static read/write dependency index of a flattened SAN.
+//
+// The locality insight behind SAN/Petri-net simulators (Sanders & Meyer's
+// SAN semantics; Möbius' enabling-dependency optimization): one activity
+// completion touches only a handful of marking slots, so only activities
+// whose *inputs* overlap those slots can change enablement, rate, or
+// schedule.  This index makes that precise and static:
+//
+//  * per-activity READ set — the slots whose value can affect the
+//    activity's enablement or (exponential) rate: input-arc slots exactly,
+//    plus the slots of the places declared with ActivityBuilder::reads()
+//    for its predicates/rate function.  Case-weight functions are excluded
+//    by design: weights are evaluated fresh on the marking at every
+//    completion, so no cached state depends on them.
+//  * per-activity WRITE set — the slots a completion can modify: input- and
+//    output-arc slots exactly (union over cases), plus the slots of the
+//    places declared with ActivityBuilder::writes() for its gate functions.
+//  * the inversion slot -> reading activities, and its composition
+//    `affected_by(a)` = { b : reads(b) ∩ writes(a) ≠ ∅ } ∪ {a} — the static
+//    superset of activities the executor must re-examine after `a` fires.
+//
+// Undeclared callbacks fall back to *every place of the owning atomic-model
+// instance* (all slots its InstanceMap can address).  This is sound — a
+// MarkingRef bounds-checks place tokens against the instance map, so a gate
+// cannot legally reach any other slot — and for replicated submodels it is
+// already far tighter than "all slots": a replica's instance map covers its
+// own places plus the shared ones, not its siblings'.  Declarations tighten
+// it further to O(1) per event in the replica count.
+//
+// Soundness of the declarations themselves is *checked, not trusted*:
+// sim::Executor::Options::check_dependencies replays every predicate
+// evaluation and completion through an instrumented MarkingRef and throws
+// on any access outside the declared sets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "san/flat_model.h"
+
+namespace san {
+
+class DependencyIndex {
+ public:
+  /// Builds the index for `model`.  O(total set size); the model must
+  /// outlive nothing — the index copies what it needs.
+  static DependencyIndex build(const FlatModel& model);
+
+  std::size_t num_activities() const { return num_activities_; }
+  std::uint32_t num_slots() const { return num_slots_; }
+
+  /// Slots whose value can affect activity `ai`'s enablement or rate
+  /// (sorted, unique).
+  std::span<const std::uint32_t> reads(std::size_t ai) const {
+    return csr(read_off_, read_slots_, ai);
+  }
+
+  /// Slots a completion of activity `ai` can modify (sorted, unique,
+  /// union over cases and conditional gate paths).
+  std::span<const std::uint32_t> writes(std::size_t ai) const {
+    return csr(write_off_, write_slots_, ai);
+  }
+
+  /// Activities whose read set contains `slot` (sorted, unique).
+  std::span<const std::uint32_t> readers_of_slot(std::uint32_t slot) const {
+    return csr(reader_off_, reader_acts_, slot);
+  }
+
+  /// Activities to re-examine after `ai` fires: every activity reading a
+  /// slot `ai` can write, plus `ai` itself (its activation always ends on
+  /// completion even when no written slot feeds back into its own reads).
+  std::span<const std::uint32_t> affected_by(std::size_t ai) const {
+    return csr(affected_off_, affected_acts_, ai);
+  }
+
+  /// False when the read (write) set fell back to the conservative
+  /// all-instance-places approximation for an undeclared callback.
+  bool reads_exact(std::size_t ai) const { return reads_exact_[ai] != 0; }
+  bool writes_exact(std::size_t ai) const { return writes_exact_[ai] != 0; }
+
+  /// Human-readable statistics: average set sizes, fallback counts.
+  std::string summary() const;
+
+ private:
+  static std::span<const std::uint32_t> csr(
+      const std::vector<std::uint32_t>& off,
+      const std::vector<std::uint32_t>& data, std::size_t i) {
+    return std::span<const std::uint32_t>(data.data() + off[i],
+                                          off[i + 1] - off[i]);
+  }
+
+  std::size_t num_activities_ = 0;
+  std::uint32_t num_slots_ = 0;
+
+  // CSR triples: offsets have num_activities_+1 (resp. num_slots_+1) entries.
+  std::vector<std::uint32_t> read_off_, read_slots_;
+  std::vector<std::uint32_t> write_off_, write_slots_;
+  std::vector<std::uint32_t> reader_off_, reader_acts_;
+  std::vector<std::uint32_t> affected_off_, affected_acts_;
+  std::vector<std::uint8_t> reads_exact_, writes_exact_;
+};
+
+}  // namespace san

@@ -60,24 +60,27 @@ std::uint32_t FlatModel::place_size(std::size_t pi) const {
   return places_[pi].size;
 }
 
-bool FlatModel::enabled(std::size_t ai, std::span<std::int32_t> m) const {
+bool FlatModel::enabled(std::size_t ai, std::span<std::int32_t> m,
+                        AccessLog* log) const {
   const FlatActivity& a = activities_[ai];
-  for (const auto& arc : a.input_arcs)
+  for (const auto& arc : a.input_arcs) {
+    if (log) log->reads.push_back(arc.slot);
     if (m[arc.slot] < arc.weight) return false;
+  }
   if (!a.predicates.empty()) {
-    const MarkingRef ref(m, a.imap.get());
+    const MarkingRef ref(m, a.imap.get(), log);
     for (const auto& pred : a.predicates)
       if (!pred(ref)) return false;
   }
   return true;
 }
 
-double FlatModel::exponential_rate(std::size_t ai,
-                                   std::span<std::int32_t> m) const {
+double FlatModel::exponential_rate(std::size_t ai, std::span<std::int32_t> m,
+                                   AccessLog* log) const {
   const FlatActivity& a = activities_[ai];
   AHS_REQUIRE(a.timed, "instantaneous activities have no rate");
   if (a.rate_fn) {
-    const MarkingRef ref(m, a.imap.get());
+    const MarkingRef ref(m, a.imap.get(), log);
     const double r = a.rate_fn(ref);
     if (!(r > 0.0))
       throw util::ModelError("activity '" + a.name +
@@ -116,13 +119,14 @@ std::vector<double> FlatModel::case_weights(std::size_t ai,
   return w;
 }
 
-void FlatModel::fire(std::size_t ai, std::size_t ci,
-                     std::span<std::int32_t> m) const {
+void FlatModel::fire(std::size_t ai, std::size_t ci, std::span<std::int32_t> m,
+                     AccessLog* log) const {
   const FlatActivity& a = activities_[ai];
   AHS_REQUIRE(ci < a.cases.size(), "case index out of range");
-  const MarkingRef ref(m, a.imap.get());
+  const MarkingRef ref(m, a.imap.get(), log);
   for (const auto& fn : a.input_fns) fn(ref);
   for (const auto& arc : a.input_arcs) {
+    if (log) log->writes.push_back(arc.slot);
     m[arc.slot] -= arc.weight;
     if (m[arc.slot] < 0)
       throw util::ModelError("activity '" + a.name +
@@ -131,7 +135,10 @@ void FlatModel::fire(std::size_t ai, std::size_t ci,
   }
   const FlatCase& c = a.cases[ci];
   for (const auto& fn : c.output_fns) fn(ref);
-  for (const auto& arc : c.output_arcs) m[arc.slot] += arc.weight;
+  for (const auto& arc : c.output_arcs) {
+    if (log) log->writes.push_back(arc.slot);
+    m[arc.slot] += arc.weight;
+  }
 }
 
 double FlatModel::sample_delay(std::size_t ai, std::span<std::int32_t> m,

@@ -56,6 +56,14 @@ struct FlatActivity {
   std::vector<FlatCase> cases;  ///< never empty after flattening
 
   std::shared_ptr<const InstanceMap> imap;
+
+  /// Declared dependency sets resolved to global marking slots (see
+  /// ActivityBuilder::reads / writes).  Meaningful only when the matching
+  /// flag is set; consumed by san::DependencyIndex.
+  std::vector<std::uint32_t> declared_read_slots;
+  std::vector<std::uint32_t> declared_write_slots;
+  bool reads_declared = false;
+  bool writes_declared = false;
 };
 
 class FlatModel {
@@ -85,13 +93,16 @@ class FlatModel {
   // --- Activity semantics (shared by both engines) ------------------------
 
   /// True iff every input-gate predicate holds and every input arc is
-  /// covered in marking `m`.
-  bool enabled(std::size_t ai, std::span<std::int32_t> m) const;
+  /// covered in marking `m`.  `log` (optional, for dependency validation)
+  /// records every slot consulted.
+  bool enabled(std::size_t ai, std::span<std::int32_t> m,
+               AccessLog* log = nullptr) const;
 
   /// Exponential rate of a timed activity in marking `m`.  Throws
   /// util::ModelError for non-exponential activities (CTMC generation
   /// requires an all-exponential model).
-  double exponential_rate(std::size_t ai, std::span<std::int32_t> m) const;
+  double exponential_rate(std::size_t ai, std::span<std::int32_t> m,
+                          AccessLog* log = nullptr) const;
 
   /// True iff all timed activities are exponential (fixed or
   /// marking-dependent rate).
@@ -105,8 +116,9 @@ class FlatModel {
   /// Applies the completion of case `ci` of activity `ai` to marking `m`:
   /// input-gate functions, input arcs, then the case's output gates/arcs.
   /// Case weights must have been evaluated beforehand (they see the marking
-  /// at completion start).
-  void fire(std::size_t ai, std::size_t ci, std::span<std::int32_t> m) const;
+  /// at completion start).  `log` records every slot the completion writes.
+  void fire(std::size_t ai, std::size_t ci, std::span<std::int32_t> m,
+            AccessLog* log = nullptr) const;
 
   /// Samples a firing delay for timed activity `ai` in marking `m`.
   double sample_delay(std::size_t ai, std::span<std::int32_t> m,

@@ -35,21 +35,39 @@ struct InstanceMap {
   std::uint32_t replica = 0;          ///< replica index within enclosing Rep
 };
 
+/// Records the global marking slots a gate/predicate/rate callback touched.
+/// Used by the dependency-index validator (Executor::Options::
+/// check_dependencies) to verify declared read/write sets against the
+/// accesses a real trajectory actually performs.
+struct AccessLog {
+  std::vector<std::uint32_t> reads;
+  std::vector<std::uint32_t> writes;
+  void clear() {
+    reads.clear();
+    writes.clear();
+  }
+};
+
 /// Mutable view of the global marking as seen from one leaf instance.
 /// Bounds-checked; gate bugs surface as exceptions, not memory corruption.
 class MarkingRef {
  public:
-  MarkingRef(std::span<std::int32_t> data, const InstanceMap* map)
-      : data_(data), map_(map) {}
+  MarkingRef(std::span<std::int32_t> data, const InstanceMap* map,
+             AccessLog* log = nullptr)
+      : data_(data), map_(map), log_(log) {}
 
   /// Value of slot `idx` of place `p` (idx 0 for simple places).
   std::int32_t get(PlaceToken p, std::uint32_t idx = 0) const {
-    return data_[slot(p, idx)];
+    const std::size_t s = slot(p, idx);
+    if (log_) log_->reads.push_back(static_cast<std::uint32_t>(s));
+    return data_[s];
   }
 
   /// Sets slot `idx` of place `p`.
   void set(PlaceToken p, std::uint32_t idx, std::int32_t v) const {
-    data_[slot(p, idx)] = v;
+    const std::size_t s = slot(p, idx);
+    if (log_) log_->writes.push_back(static_cast<std::uint32_t>(s));
+    data_[s] = v;
   }
 
   /// Sets the single slot of a simple place.
@@ -57,7 +75,9 @@ class MarkingRef {
 
   /// Adds `delta` to slot `idx` of place `p`.
   void add(PlaceToken p, std::uint32_t idx, std::int32_t delta) const {
-    data_[slot(p, idx)] += delta;
+    const std::size_t s = slot(p, idx);
+    if (log_) log_->writes.push_back(static_cast<std::uint32_t>(s));
+    data_[s] += delta;
   }
 
   /// Adds `delta` to the single slot of a simple place.
@@ -88,6 +108,7 @@ class MarkingRef {
 
   std::span<std::int32_t> data_;
   const InstanceMap* map_;
+  AccessLog* log_ = nullptr;
 };
 
 }  // namespace san

@@ -1,0 +1,61 @@
+#include "sim/event_heap.h"
+
+namespace sim {
+
+void EventHeap::sift_up(std::size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!less(e, heap_[parent])) break;
+    place(i, heap_[parent]);
+    i = parent;
+  }
+  place(i, e);
+}
+
+void EventHeap::sift_down(std::size_t i) {
+  const Entry e = heap_[i];
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && less(heap_[child + 1], heap_[child])) ++child;
+    if (!less(heap_[child], e)) break;
+    place(i, heap_[child]);
+    i = child;
+  }
+  place(i, e);
+}
+
+void EventHeap::push_or_update(std::size_t ai, double t) {
+  const std::uint32_t p = pos_[ai];
+  if (p == kAbsent) {
+    heap_.push_back({t, static_cast<std::uint32_t>(ai)});
+    sift_up(heap_.size() - 1);
+    return;
+  }
+  const double old = heap_[p].t;
+  heap_[p].t = t;
+  if (t < old) sift_up(p);
+  else if (t > old) sift_down(p);
+}
+
+void EventHeap::erase(std::size_t ai) {
+  const std::uint32_t p = pos_[ai];
+  if (p == kAbsent) return;
+  pos_[ai] = kAbsent;
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  if (p == heap_.size()) return;  // removed the tail entry
+  place(p, last);
+  // The moved entry may need to travel either way.
+  sift_down(p);
+  if (heap_[p].ai == last.ai) sift_up(p);
+}
+
+void EventHeap::clear() {
+  for (const Entry& e : heap_) pos_[e.ai] = kAbsent;
+  heap_.clear();
+}
+
+}  // namespace sim

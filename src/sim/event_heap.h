@@ -1,0 +1,64 @@
+// Indexed binary min-heap: the future-event list of the incremental
+// discrete-event engine.
+//
+// Keys are (completion time, activity index), ordered lexicographically so
+// that ties — possible with deterministic delay distributions — resolve to
+// the lowest activity index, exactly like a first-strict-minimum linear
+// scan over the schedule array (the full-rescan reference engine's rule).
+// A position table makes update/erase by activity index O(log n), replacing
+// the O(A) minimum scans of `step_scheduled` / `next_completion_time`.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sim {
+
+class EventHeap {
+ public:
+  /// Capacity is the activity-index universe [0, n).
+  explicit EventHeap(std::size_t n) : pos_(n, kAbsent) {}
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  bool contains(std::size_t ai) const { return pos_[ai] != kAbsent; }
+
+  /// Scheduled completion time of `ai`; requires contains(ai).
+  double time_of(std::size_t ai) const { return heap_[pos_[ai]].t; }
+
+  /// The minimum entry as (activity, time); requires !empty().
+  std::pair<std::size_t, double> top() const {
+    return {heap_.front().ai, heap_.front().t};
+  }
+
+  /// Inserts `ai` at time `t`, or reschedules it if already present.
+  void push_or_update(std::size_t ai, double t);
+
+  /// Removes `ai` if present (no-op otherwise).
+  void erase(std::size_t ai);
+
+  /// Removes every entry.
+  void clear();
+
+ private:
+  static constexpr std::uint32_t kAbsent = UINT32_MAX;
+  struct Entry {
+    double t;
+    std::uint32_t ai;
+  };
+  static bool less(const Entry& a, const Entry& b) {
+    return a.t < b.t || (a.t == b.t && a.ai < b.ai);
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void place(std::size_t i, Entry e) {
+    heap_[i] = e;
+    pos_[e.ai] = static_cast<std::uint32_t>(i);
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::uint32_t> pos_;  ///< activity -> heap slot, kAbsent if out
+};
+
+}  // namespace sim

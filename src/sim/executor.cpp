@@ -11,16 +11,30 @@ namespace sim {
 
 namespace {
 constexpr double kNotScheduled = std::numeric_limits<double>::quiet_NaN();
-inline bool scheduled(double t) { return !std::isnan(t); }
+inline bool is_scheduled(double t) { return !std::isnan(t); }
+
+/// Domain tag separating per-activity streams from per-replication streams
+/// (see util::Rng::split(idx, domain)).
+constexpr std::uint64_t kActivityStreamDomain = 0x414354ull;  // "ACT"
+
+bool contains_slot(std::span<const std::uint32_t> sorted, std::uint32_t s) {
+  return std::binary_search(sorted.begin(), sorted.end(), s);
+}
 }  // namespace
 
 Executor::Executor(const san::FlatModel& model, util::Rng rng, Options opts)
-    : model_(model), rng_(rng), opts_(opts) {
+    : model_(model),
+      rng_(rng),
+      opts_(opts),
+      heap_(model.activities().size()),
+      tree_rate_(model.activities().size()),
+      tree_weight_(model.activities().size()) {
   const auto& acts = model_.activities();
-  bias_boost_.assign(acts.size(), 1.0);
-  bias_cases_.assign(acts.size(), nullptr);
+  const std::size_t n = acts.size();
+  bias_boost_.assign(n, 1.0);
+  bias_cases_.assign(n, nullptr);
 
-  for (std::size_t i = 0; i < acts.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     if (acts[i].timed) timed_.push_back(i);
     else instant_by_priority_.push_back(i);
   }
@@ -28,13 +42,17 @@ Executor::Executor(const san::FlatModel& model, util::Rng rng, Options opts)
                    [&](std::size_t a, std::size_t b) {
                      return acts[a].priority > acts[b].priority;
                    });
+  instant_pos_.assign(n, UINT32_MAX);
+  for (std::size_t p = 0; p < instant_by_priority_.size(); ++p)
+    instant_pos_[instant_by_priority_[p]] = static_cast<std::uint32_t>(p);
+  instant_in_cand_.assign(instant_by_priority_.size(), 0);
 
   if (opts_.bias != nullptr && opts_.bias->active()) {
     AHS_REQUIRE(model_.all_exponential(),
                 "importance sampling requires an all-exponential model");
     AHS_REQUIRE(opts_.bias->boost > 0.0, "bias boost must be > 0");
     embedded_mode_ = true;
-    for (std::size_t i = 0; i < acts.size(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
       if (opts_.bias->boosted.count(acts[i].source_name))
         bias_boost_[i] = opts_.bias->boost;
       const auto it = opts_.bias->case_bias.find(acts[i].source_name);
@@ -47,8 +65,30 @@ Executor::Executor(const san::FlatModel& model, util::Rng rng, Options opts)
     }
   }
 
-  sched_.assign(acts.size(), kNotScheduled);
-  was_enabled_.assign(acts.size(), false);
+  dep_ = std::make_unique<san::DependencyIndex>(
+      san::DependencyIndex::build(model_));
+
+  // Split each affected_by set by activity kind once, so per-event
+  // propagation walks plain index lists.
+  aff_timed_off_.assign(n + 1, 0);
+  aff_inst_off_.assign(n + 1, 0);
+  for (std::size_t ai = 0; ai < n; ++ai) {
+    for (std::uint32_t b : dep_->affected_by(ai)) {
+      if (acts[b].timed) aff_timed_.push_back(b);
+      else aff_inst_pos_.push_back(instant_pos_[b]);
+    }
+    aff_timed_off_[ai + 1] = static_cast<std::uint32_t>(aff_timed_.size());
+    aff_inst_off_[ai + 1] = static_cast<std::uint32_t>(aff_inst_pos_.size());
+  }
+
+  sched_.assign(n, kNotScheduled);
+  was_enabled_.assign(n, false);
+  cached_rate_.assign(n, 0.0);
+  dirty_mark_.assign(n, 0);
+  dirty_.reserve(n);
+  scratch_rates_.assign(n, 0.0);
+  scratch_weights_.assign(n, 0.0);
+  act_rng_.reserve(n);
   reset();
 }
 
@@ -57,10 +97,30 @@ void Executor::reset() {
   time_ = 0.0;
   lr_ = 1.0;
   events_ = 0;
+
+  // Per-activity streams are a pure function of (replication stream,
+  // activity index), so trajectories do not depend on which activities an
+  // engine happens to re-examine.
+  const std::size_t n = model_.activities().size();
+  act_rng_.clear();
+  for (std::size_t ai = 0; ai < n; ++ai)
+    act_rng_.push_back(rng_.split(ai, kActivityStreamDomain));
+
   std::fill(sched_.begin(), sched_.end(), kNotScheduled);
   std::fill(was_enabled_.begin(), was_enabled_.end(), false);
-  stabilize_instantaneous();
-  if (!embedded_mode_) refresh_schedule();
+  heap_.clear();
+  dirty_.clear();
+  ++dirty_epoch_;
+  instant_cand_.clear();
+  std::fill(instant_in_cand_.begin(), instant_in_cand_.end(), 0);
+
+  stabilize_instantaneous(SIZE_MAX);
+  // The stabilization queued affected timed activities; the full (re)build
+  // below subsumes that.
+  dirty_.clear();
+  ++dirty_epoch_;
+  if (embedded_mode_) refresh_rates_full();
+  else refresh_schedule_full();
 }
 
 void Executor::reset(util::Rng rng) {
@@ -68,196 +128,303 @@ void Executor::reset(util::Rng rng) {
   reset();
 }
 
+bool Executor::enabled_checked(std::size_t ai) {
+  if (!opts_.check_dependencies) return model_.enabled(ai, marking_);
+  access_log_.clear();
+  const bool en = model_.enabled(ai, marking_, &access_log_);
+  verify_access(ai, /*is_fire=*/false);
+  return en;
+}
+
+double Executor::rate_checked(std::size_t ai) {
+  if (!opts_.check_dependencies) return model_.exponential_rate(ai, marking_);
+  access_log_.clear();
+  const double r = model_.exponential_rate(ai, marking_, &access_log_);
+  verify_access(ai, /*is_fire=*/false);
+  return r;
+}
+
+void Executor::verify_access(std::size_t ai, bool is_fire) {
+  const std::string& name = model_.activities()[ai].name;
+  if (is_fire) {
+    const auto declared = dep_->writes(ai);
+    for (std::uint32_t s : access_log_.writes)
+      if (!contains_slot(declared, s))
+        throw util::ModelError("dependency violation: completion of '" + name +
+                               "' wrote marking slot " + std::to_string(s) +
+                               " outside its declared write set");
+    return;
+  }
+  if (!access_log_.writes.empty())
+    throw util::ModelError("dependency violation: predicate/rate of '" + name +
+                           "' modified the marking (slot " +
+                           std::to_string(access_log_.writes.front()) + ")");
+  const auto declared = dep_->reads(ai);
+  for (std::uint32_t s : access_log_.reads)
+    if (!contains_slot(declared, s))
+      throw util::ModelError("dependency violation: predicate/rate of '" +
+                             name + "' read marking slot " + std::to_string(s) +
+                             " outside its declared read set");
+}
+
 std::size_t Executor::choose_case(std::size_t ai) {
   const auto& act = model_.activities()[ai];
   if (act.cases.size() == 1) return 0;
+  // Case choices draw from the activity's own stream so both engines
+  // consume replication-stream randomness identically.
+  util::Rng& rng = act_rng_[ai];
   const std::vector<double> w = model_.case_weights(ai, marking_);
   if (embedded_mode_ && bias_cases_[ai] != nullptr) {
     const std::vector<double>& bw = *bias_cases_[ai];
-    const std::size_t ci = util::sample_discrete(rng_, bw);
+    const std::size_t ci = util::sample_discrete(rng, bw);
     double tw = 0.0, tb = 0.0;
     for (double x : w) tw += x;
     for (double x : bw) tb += x;
-    AHS_REQUIRE(tw > 0.0, "true case weights sum to zero for '" + act.name +
-                              "'");
+    AHS_REQUIRE(tw > 0.0,
+                "true case weights sum to zero for '" + act.name + "'");
     const double true_p = w[ci] / tw;
     const double bias_p = bw[ci] / tb;
     AHS_REQUIRE(bias_p > 0.0, "biased case with zero weight was sampled");
     lr_ *= true_p / bias_p;
     return ci;
   }
-  return util::sample_discrete(rng_, w);
+  return util::sample_discrete(rng, w);
 }
 
-void Executor::stabilize_instantaneous() {
+void Executor::fire_activity(std::size_t ai) {
+  const std::size_t ci = choose_case(ai);
+  if (opts_.check_dependencies) {
+    access_log_.clear();
+    model_.fire(ai, ci, marking_, &access_log_);
+    verify_access(ai, /*is_fire=*/true);
+  } else {
+    model_.fire(ai, ci, marking_);
+  }
+  if (on_fire) on_fire(ai, ci);
+  if (incremental()) mark_affected_dirty(ai);
+}
+
+void Executor::mark_affected_dirty(std::size_t ai) {
+  for (std::uint32_t k = aff_timed_off_[ai]; k < aff_timed_off_[ai + 1]; ++k) {
+    const std::uint32_t b = aff_timed_[k];
+    if (dirty_mark_[b] != dirty_epoch_) {
+      dirty_mark_[b] = dirty_epoch_;
+      dirty_.push_back(b);
+    }
+  }
+  for (std::uint32_t k = aff_inst_off_[ai]; k < aff_inst_off_[ai + 1]; ++k) {
+    const std::uint32_t p = aff_inst_pos_[k];
+    if (!instant_in_cand_[p]) {
+      instant_in_cand_[p] = 1;
+      instant_cand_.push_back(p);
+      std::push_heap(instant_cand_.begin(), instant_cand_.end(),
+                     std::greater<std::uint32_t>());
+    }
+  }
+}
+
+void Executor::stabilize_instantaneous(std::size_t trigger) {
   if (instant_by_priority_.empty()) return;
   std::uint64_t firings = 0;
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    for (std::size_t ai : instant_by_priority_) {
-      if (!model_.enabled(ai, marking_)) continue;
-      const std::size_t ci = choose_case(ai);
-      model_.fire(ai, ci, marking_);
-      if (on_fire) on_fire(ai, ci);
-      if (++firings > opts_.max_instant_firings)
-        throw util::ModelError(
-            "instantaneous-activity loop detected (more than " +
-            std::to_string(opts_.max_instant_firings) + " firings)");
-      progress = true;
-      break;  // restart the priority scan from the top
+  const auto count_firing = [&] {
+    if (++firings > opts_.max_instant_firings)
+      throw util::ModelError(
+          "instantaneous-activity loop detected (more than " +
+          std::to_string(opts_.max_instant_firings) + " firings)");
+  };
+
+  if (!incremental()) {
+    // Reference: restart the priority scan from the top after every firing.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t ai : instant_by_priority_) {
+        if (!enabled_checked(ai)) continue;
+        fire_activity(ai);
+        count_firing();
+        progress = true;
+        break;
+      }
     }
+    return;
+  }
+
+  // Incremental: only candidates — activities affected by the triggering
+  // completion or by a previous instantaneous firing — can be enabled (after
+  // a stabilization no instantaneous activity is enabled, so a fresh
+  // enablement needs one of its read slots written).  Popping the minimum
+  // position yields exactly the activity the reference scan would pick.
+  if (trigger == SIZE_MAX) {
+    // From reset: no triggering completion, every activity is a candidate.
+    // 0..n-1 ascending already satisfies the min-heap property.
+    instant_cand_.resize(instant_by_priority_.size());
+    for (std::uint32_t p = 0; p < instant_cand_.size(); ++p)
+      instant_cand_[p] = p;
+    std::fill(instant_in_cand_.begin(), instant_in_cand_.end(), 1);
+  }
+  while (!instant_cand_.empty()) {
+    std::pop_heap(instant_cand_.begin(), instant_cand_.end(),
+                  std::greater<std::uint32_t>());
+    const std::uint32_t p = instant_cand_.back();
+    instant_cand_.pop_back();
+    instant_in_cand_[p] = 0;
+    const std::size_t ai = instant_by_priority_[p];
+    if (!enabled_checked(ai)) continue;
+    fire_activity(ai);  // re-queues p itself and everything it affected
+    count_firing();
   }
 }
 
-void Executor::refresh_schedule() {
-  for (std::size_t ai : timed_) {
-    const bool en = model_.enabled(ai, marking_);
-    if (en) {
-      const bool resample = !was_enabled_[ai] || model_.marking_dependent(ai);
-      if (resample || !scheduled(sched_[ai]))
-        sched_[ai] = time_ + model_.sample_delay(ai, marking_, rng_);
-    } else {
+void Executor::reschedule(std::size_t ai) {
+  if (!enabled_checked(ai)) {
+    was_enabled_[ai] = false;
+    if (is_scheduled(sched_[ai])) {
       sched_[ai] = kNotScheduled;
+      if (incremental()) heap_.erase(ai);
     }
-    was_enabled_[ai] = en;
+    return;
   }
+  const bool md = model_.marking_dependent(ai);
+  bool resample = !was_enabled_[ai] || !is_scheduled(sched_[ai]);
+  double rate = 0.0;
+  if (md) {
+    // Resample on a rate-value change: exact for exponential delays
+    // (memorylessness) and identical across engines because an unexamined
+    // activity's rate cannot have changed (its reads were not written).
+    rate = rate_checked(ai);
+    resample = resample || rate != cached_rate_[ai];
+  }
+  if (resample) {
+    cached_rate_[ai] = rate;
+    const double delay = md ? act_rng_[ai].exponential(rate)
+                            : model_.sample_delay(ai, marking_, act_rng_[ai]);
+    sched_[ai] = time_ + delay;
+    if (incremental()) heap_.push_or_update(ai, sched_[ai]);
+  }
+  was_enabled_[ai] = true;
+}
+
+void Executor::refresh_schedule_full() {
+  for (std::size_t ai : timed_) reschedule(ai);
+}
+
+void Executor::refresh_rate_leaf(std::size_t ai) {
+  const double r = enabled_checked(ai) ? rate_checked(ai) : 0.0;
+  tree_rate_.set(ai, r);
+  tree_weight_.set(ai, r * bias_boost_[ai]);
+}
+
+void Executor::refresh_rates_full() {
+  std::fill(scratch_rates_.begin(), scratch_rates_.end(), 0.0);
+  for (std::size_t ai : timed_)
+    if (enabled_checked(ai)) scratch_rates_[ai] = rate_checked(ai);
+  for (std::size_t ai = 0; ai < scratch_rates_.size(); ++ai)
+    scratch_weights_[ai] = scratch_rates_[ai] * bias_boost_[ai];
+  tree_rate_.rebuild(scratch_rates_);
+  tree_weight_.rebuild(scratch_weights_);
 }
 
 std::optional<double> Executor::next_completion_time() {
   if (embedded_mode_) {
-    // In embedded mode delays are drawn at step time; expose the expected
-    // next time only as "now" plus a fresh sample would be wrong, so report
-    // whether any activity is enabled by probing rates.
-    double total = 0.0;
-    for (std::size_t ai : timed_)
-      if (model_.enabled(ai, marking_))
-        total += model_.exponential_rate(ai, marking_);
-    if (total <= 0.0) return std::nullopt;
-    // The caller only uses this to decide whether to keep stepping; the
-    // actual jump time is sampled inside step().  Report current time.
+    // Delays are drawn at step time; this only reports whether the chain
+    // can still move.  The rate tree is kept current by reset()/step().
+    if (tree_rate_.total() <= 0.0) return std::nullopt;
     return time_;
+  }
+  if (incremental()) {
+    if (heap_.empty()) return std::nullopt;
+    return heap_.top().second;
   }
   double best = std::numeric_limits<double>::infinity();
   for (std::size_t ai : timed_)
-    if (scheduled(sched_[ai])) best = std::min(best, sched_[ai]);
+    if (is_scheduled(sched_[ai])) best = std::min(best, sched_[ai]);
   if (!std::isfinite(best)) return std::nullopt;
   return best;
 }
 
 bool Executor::step_scheduled() {
-  double best = std::numeric_limits<double>::infinity();
-  std::size_t best_ai = SIZE_MAX;
-  for (std::size_t ai : timed_) {
-    if (scheduled(sched_[ai]) && sched_[ai] < best) {
-      best = sched_[ai];
-      best_ai = ai;
+  std::size_t ai;
+  if (incremental()) {
+    if (heap_.empty()) return false;
+    const auto [top_ai, top_t] = heap_.top();
+    ai = top_ai;
+    time_ = top_t;
+    heap_.erase(ai);
+  } else {
+    // First strict minimum in activity-index order — the (time, index)
+    // lexicographic rule the heap implements.
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_ai = SIZE_MAX;
+    for (std::size_t a : timed_) {
+      if (is_scheduled(sched_[a]) && sched_[a] < best) {
+        best = sched_[a];
+        best_ai = a;
+      }
     }
+    if (best_ai == SIZE_MAX) return false;
+    ai = best_ai;
+    time_ = best;
   }
-  if (best_ai == SIZE_MAX) return false;
-  time_ = best;
-  const std::size_t ci = choose_case(best_ai);
-  model_.fire(best_ai, ci, marking_);
-  if (on_fire) on_fire(best_ai, ci);
+  sched_[ai] = kNotScheduled;
+  was_enabled_[ai] = false;  // the activation ends with this completion
+  fire_activity(ai);
   ++events_;
-  sched_[best_ai] = kNotScheduled;
-  was_enabled_[best_ai] = false;
-  stabilize_instantaneous();
-  refresh_schedule();
+  stabilize_instantaneous(ai);
+  if (incremental()) {
+    for (std::size_t k = 0; k < dirty_.size(); ++k) reschedule(dirty_[k]);
+    dirty_.clear();
+    ++dirty_epoch_;
+  } else {
+    refresh_schedule_full();
+  }
   return true;
 }
 
-bool Executor::step_embedded() {
+bool Executor::step_embedded(double t_limit) {
   // Embedded-chain step: holding time from the true total rate, transition
   // choice from boosted weights, likelihood ratio updated with the
-  // true/biased selection-probability quotient.
-  double total_rate = 0.0;
-  double total_weight = 0.0;
-  std::vector<std::pair<std::size_t, double>> enabled;  // (ai, rate)
-  enabled.reserve(timed_.size());
-  for (std::size_t ai : timed_) {
-    if (!model_.enabled(ai, marking_)) continue;
-    const double r = model_.exponential_rate(ai, marking_);
-    enabled.emplace_back(ai, r);
-    total_rate += r;
-    total_weight += r * bias_boost_[ai];
-  }
-  if (enabled.empty() || total_rate <= 0.0) return false;
+  // true/biased selection-probability quotient.  A jump sampled past
+  // t_limit is discarded without firing — the marking at t_limit is the
+  // pre-jump marking, and redrawing on the next call is statistically exact
+  // because holding times are exponential (memoryless).
+  const double total_rate = tree_rate_.total();
+  if (total_rate <= 0.0) return false;
+  const double jump = time_ + rng_.exponential(total_rate);
+  if (jump > t_limit) return false;
+  time_ = jump;
 
-  time_ += rng_.exponential(total_rate);
+  const double total_weight = tree_weight_.total();
+  const double u = rng_.uniform01() * total_weight;
+  const std::size_t ai = tree_weight_.find_prefix(u);
+  const double rate = tree_rate_.get(ai);
+  lr_ *= (rate / total_rate) / (rate * bias_boost_[ai] / total_weight);
 
-  double u = rng_.uniform01() * total_weight;
-  std::size_t pick = enabled.size() - 1;
-  for (std::size_t i = 0; i < enabled.size(); ++i) {
-    const double w = enabled[i].second * bias_boost_[enabled[i].first];
-    if (u < w) {
-      pick = i;
-      break;
-    }
-    u -= w;
-  }
-  const auto [ai, rate] = enabled[pick];
-  const double true_p = rate / total_rate;
-  const double bias_p = rate * bias_boost_[ai] / total_weight;
-  lr_ *= true_p / bias_p;
-
-  const std::size_t ci = choose_case(ai);
-  model_.fire(ai, ci, marking_);
-  if (on_fire) on_fire(ai, ci);
+  fire_activity(ai);
   ++events_;
-  stabilize_instantaneous();
+  stabilize_instantaneous(ai);
+  if (incremental()) {
+    for (std::size_t k = 0; k < dirty_.size(); ++k)
+      refresh_rate_leaf(dirty_[k]);
+    dirty_.clear();
+    ++dirty_epoch_;
+  } else {
+    refresh_rates_full();
+  }
   return true;
 }
 
 bool Executor::step() {
-  return embedded_mode_ ? step_embedded() : step_scheduled();
+  return embedded_mode_
+             ? step_embedded(std::numeric_limits<double>::infinity())
+             : step_scheduled();
 }
 
 std::uint64_t Executor::run_until(double t_end,
                                   const std::function<bool()>& stop) {
   std::uint64_t fired = 0;
   if (embedded_mode_) {
-    // Sample the jump first; if it lands beyond t_end we must NOT execute it
-    // — the marking at t_end is the pre-jump marking.  Because holding times
-    // are exponential (memoryless), discarding the overshooting sample and
-    // re-drawing on the next call is statistically exact.
-    while (true) {
-      double total_rate = 0.0;
-      for (std::size_t ai : timed_)
-        if (model_.enabled(ai, marking_))
-          total_rate += model_.exponential_rate(ai, marking_);
-      if (total_rate <= 0.0) break;
-      const double jump = time_ + rng_.exponential(total_rate);
-      if (jump > t_end) break;
-      // Re-do the step with the jump time fixed: choose the transition.
-      // (step_embedded would resample the time; inline the choice here.)
-      double total_weight = 0.0;
-      std::vector<std::pair<std::size_t, double>> enabled;
-      for (std::size_t ai : timed_) {
-        if (!model_.enabled(ai, marking_)) continue;
-        const double r = model_.exponential_rate(ai, marking_);
-        enabled.emplace_back(ai, r);
-        total_weight += r * bias_boost_[ai];
-      }
-      time_ = jump;
-      double u = rng_.uniform01() * total_weight;
-      std::size_t pick = enabled.size() - 1;
-      for (std::size_t i = 0; i < enabled.size(); ++i) {
-        const double w = enabled[i].second * bias_boost_[enabled[i].first];
-        if (u < w) {
-          pick = i;
-          break;
-        }
-        u -= w;
-      }
-      const auto [ai, rate] = enabled[pick];
-      lr_ *= (rate / total_rate) / (rate * bias_boost_[ai] / total_weight);
-      const std::size_t ci = choose_case(ai);
-      model_.fire(ai, ci, marking_);
-      if (on_fire) on_fire(ai, ci);
-      ++events_;
+    while (step_embedded(t_end)) {
       ++fired;
-      stabilize_instantaneous();
       if (stop && stop()) break;
     }
     return fired;
@@ -265,7 +432,7 @@ std::uint64_t Executor::run_until(double t_end,
   while (true) {
     const auto next = next_completion_time();
     if (!next.has_value() || *next > t_end) break;
-    step();
+    step_scheduled();
     ++fired;
     if (stop && stop()) break;
   }

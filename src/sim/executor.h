@@ -4,9 +4,9 @@
 //  * A timed activity samples its firing delay when it becomes enabled and
 //    keeps that sample while it stays enabled ("continue" policy); becoming
 //    disabled aborts the activation.  Activities with marking-dependent
-//    rates are resampled after every completion while enabled — with
-//    exponential delays this is distributionally exact and keeps the rate
-//    current.
+//    rates are resampled when their rate *value* changes while enabled —
+//    with exponential delays this is distributionally exact (memoryless)
+//    and keeps the rate current.
 //  * Instantaneous activities fire as soon as they are enabled, higher
 //    priority first (ties: declaration order), until no instantaneous
 //    activity is enabled.  A stabilization that exceeds
@@ -15,6 +15,25 @@
 //  * Case weights are evaluated on the marking at completion start, then the
 //    completion executes input gates, input arcs, and the chosen case's
 //    output gates/arcs, in that order.
+//
+// Two engines implement these semantics over the same state:
+//  * kIncremental (default) — dependency-tracked O(affected) event
+//    processing.  A static san::DependencyIndex maps each completion to the
+//    superset of activities whose enablement/rate it can touch; only those
+//    are re-examined.  Scheduled mode keeps the future-event list in an
+//    indexed binary heap (sim::EventHeap); embedded mode keeps per-activity
+//    rates in fixed-shape pairwise sum trees (sim::SumTree).
+//  * kFullRescan — the retained reference engine: re-evaluates every
+//    predicate and rate after every completion (linear schedule scans, full
+//    rate rebuilds).  Kept for conformance testing and benchmarking.
+//
+// Every activity draws from its own counter-based RNG stream derived from
+// (replication stream, activity index) — see util::Rng::split(idx, domain)
+// — and global per-event draws (embedded holding times and transition
+// selection) come from the replication stream itself.  RNG consumption
+// therefore never depends on how many activities an engine re-examines, so
+// the two engines produce event-for-event identical trajectories (asserted
+// by the cross-engine conformance tests).
 //
 // Importance sampling: with an all-exponential model the process is a CTMC,
 // so the executor can run the *embedded chain* with biased transition
@@ -27,13 +46,17 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "san/dependency.h"
 #include "san/flat_model.h"
+#include "sim/event_heap.h"
+#include "sim/sum_tree.h"
 #include "util/rng.h"
 
 namespace sim {
@@ -58,11 +81,21 @@ struct BiasPlan {
 
 class Executor {
  public:
+  enum class Engine {
+    kIncremental,  ///< dependency-tracked O(affected) per event
+    kFullRescan,   ///< reference: every activity re-examined per event
+  };
+
   struct Options {
+    Engine engine = Engine::kIncremental;
     /// Non-null enables importance sampling (requires all_exponential()).
     const BiasPlan* bias = nullptr;
     /// Abort threshold for instantaneous-activity stabilization.
     std::uint64_t max_instant_firings = 100000;
+    /// Validates every predicate evaluation and completion against the
+    /// dependency index's declared read/write sets (throws util::ModelError
+    /// on the first access outside them).  Slow; for tests.
+    bool check_dependencies = false;
   };
 
   Executor(const san::FlatModel& model, util::Rng rng, Options opts);
@@ -100,36 +133,92 @@ class Executor {
   /// Total timed completions since the last reset.
   std::uint64_t events() const { return events_; }
 
+  /// The dependency index driving the incremental engine (built once per
+  /// executor; also available under kFullRescan for inspection).
+  const san::DependencyIndex& dependencies() const { return *dep_; }
+
   /// Optional hook invoked after every completion (timed and instantaneous)
   /// with (activity index, case index); used by the trace recorder.
   std::function<void(std::size_t, std::size_t)> on_fire;
 
  private:
-  void stabilize_instantaneous();
-  void refresh_schedule();
-  bool step_scheduled();
-  bool step_embedded();
+  bool incremental() const { return opts_.engine == Engine::kIncremental; }
+
+  // Shared event plumbing.
   std::size_t choose_case(std::size_t ai);
+  void fire_activity(std::size_t ai);  ///< choose case, fire, log, mark dirty
+  void mark_affected_dirty(std::size_t ai);
+  void stabilize_instantaneous(std::size_t trigger);  ///< SIZE_MAX: from reset
+  bool enabled_checked(std::size_t ai);
+  double rate_checked(std::size_t ai);
+
+  // Scheduled mode.
+  void reschedule(std::size_t ai);  ///< re-examine one activity's activation
+  void refresh_schedule_full();
+  bool step_scheduled();
+
+  // Embedded (importance-sampling) mode.
+  void refresh_rate_leaf(std::size_t ai);
+  void refresh_rates_full();
+  bool step_embedded(double t_limit);
 
   const san::FlatModel& model_;
-  util::Rng rng_;
+  util::Rng rng_;  ///< replication stream: embedded holding/selection draws
   Options opts_;
+  std::unique_ptr<san::DependencyIndex> dep_;
 
   std::vector<std::int32_t> marking_;
   double time_ = 0.0;
   double lr_ = 1.0;
   std::uint64_t events_ = 0;
 
-  // Scheduled-event state (standard mode).
-  std::vector<double> sched_;    ///< completion time; NaN = not activated
+  /// Per-activity streams, re-derived from the replication stream on every
+  /// reset: act_rng_[ai] = rng.split(ai, kActivityStreamDomain).
+  std::vector<util::Rng> act_rng_;
+
+  // Scheduled-event state.
+  EventHeap heap_;               ///< incremental future-event list
+  std::vector<double> sched_;    ///< reference: completion time; NaN = idle
   std::vector<bool> was_enabled_;
+  std::vector<double> cached_rate_;  ///< marking-dependent rate at sampling
+
+  // Embedded-chain state: leaf ai holds the enabled exponential rate
+  // (rate tree) and rate x bias boost (weight tree), 0 when disabled.
+  SumTree tree_rate_;
+  SumTree tree_weight_;
+  std::vector<double> scratch_rates_;  ///< full-rescan rebuild buffer
+
+  std::vector<double> scratch_weights_;
+
+  // Dirty tracking (incremental engine).
+  std::vector<std::uint32_t> dirty_;       ///< timed activities to re-check
+  std::vector<std::uint64_t> dirty_mark_;  ///< epoch stamps, one per activity
+  std::uint64_t dirty_epoch_ = 1;
+
+  // Instantaneous candidates (incremental stabilization): a min-heap of
+  // positions in instant_by_priority_, so the lowest position — highest
+  // priority, declaration order among ties — pops first, replicating the
+  // reference engine's restart-from-top scan without rescanning.
+  std::vector<std::uint32_t> instant_cand_;
+  std::vector<std::uint8_t> instant_in_cand_;  ///< by position; dedup flag
 
   // Cached structure.
   std::vector<std::size_t> timed_;
   std::vector<std::size_t> instant_by_priority_;
+  std::vector<std::uint32_t> instant_pos_;  ///< activity -> position or max
+
+  /// dep_->affected_by(ai) split by activity kind (CSR): timed targets as
+  /// activity indices, instantaneous targets as positions in
+  /// instant_by_priority_.  The hot path walks these without branching.
+  std::vector<std::uint32_t> aff_timed_off_, aff_timed_;
+  std::vector<std::uint32_t> aff_inst_off_, aff_inst_pos_;
   std::vector<double> bias_boost_;  ///< per-activity selection multiplier
   std::vector<const std::vector<double>*> bias_cases_;
   bool embedded_mode_ = false;
+
+  // Dependency validation (Options::check_dependencies).
+  san::AccessLog access_log_;
+  void verify_access(std::size_t ai, bool is_fire);
 };
 
 }  // namespace sim

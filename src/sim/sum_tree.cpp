@@ -1,0 +1,58 @@
+#include "sim/sum_tree.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sim {
+
+namespace {
+std::size_t ceil_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+SumTree::SumTree(std::size_t n)
+    : n_(n), base_(ceil_pow2(std::max<std::size_t>(n, 1))) {
+  tree_.assign(2 * base_, 0.0);
+}
+
+void SumTree::set(std::size_t i, double v) {
+  std::size_t k = base_ + i;
+  tree_[k] = v;
+  for (k >>= 1; k >= 1; k >>= 1) tree_[k] = tree_[2 * k] + tree_[2 * k + 1];
+}
+
+void SumTree::rebuild(std::span<const double> values) {
+  AHS_REQUIRE(values.size() == n_, "rebuild size mismatch");
+  std::copy(values.begin(), values.end(), tree_.begin() + base_);
+  std::fill(tree_.begin() + base_ + n_, tree_.end(), 0.0);
+  for (std::size_t k = base_ - 1; k >= 1; --k)
+    tree_[k] = tree_[2 * k] + tree_[2 * k + 1];
+}
+
+void SumTree::clear() { std::fill(tree_.begin(), tree_.end(), 0.0); }
+
+std::size_t SumTree::find_prefix(double u) const {
+  AHS_REQUIRE(total() > 0.0, "find_prefix on an empty tree");
+  std::size_t k = 1;
+  while (k < base_) {
+    k <<= 1;  // left child
+    if (u >= tree_[k]) {
+      u -= tree_[k];
+      ++k;  // right child
+    }
+  }
+  std::size_t i = k - base_;
+  if (i >= n_ || tree_[k] <= 0.0) {
+    // Rounding overshoot landed past the last positive leaf; step back to
+    // the nearest preceding positive one (deterministic in the tree state).
+    if (i >= n_) i = n_ - 1;
+    while (i > 0 && tree_[base_ + i] <= 0.0) --i;
+  }
+  return i;
+}
+
+}  // namespace sim

@@ -1,0 +1,62 @@
+// Fixed-shape pairwise sum tree over per-activity rates/weights — the
+// embedded-chain engine's incremental accumulator.
+//
+// A naive running total updated with += deltas would drift from a fresh
+// full sum (floating-point addition is not associative), so an incremental
+// engine and a full-rescan engine would draw microscopically different
+// holding times and eventually diverge.  This tree fixes the combination
+// order structurally: every internal node always stores `left + right` of
+// its two children, so the root (and every descent decision) is a pure
+// function of the current leaf values — independent of the order in which
+// leaves were written, and therefore *bitwise identical* between an engine
+// that rewrites every leaf per event and one that touches only the
+// affected ones.
+//
+// set() is O(log n); total() is O(1); sample selection descends the tree in
+// O(log n) comparing against stored left-subtree sums, which both engines
+// execute identically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sim {
+
+class SumTree {
+ public:
+  /// Tree over `n` leaves, all initially 0.
+  explicit SumTree(std::size_t n);
+
+  std::size_t num_leaves() const { return n_; }
+
+  /// Writes leaf `i` and refreshes its root path.  O(log n).
+  void set(std::size_t i, double v);
+
+  double get(std::size_t i) const { return tree_[base_ + i]; }
+  double total() const { return tree_[1]; }
+
+  /// Rewrites every leaf from `values` (size == num_leaves()) and rebuilds
+  /// internal nodes bottom-up in O(n).  The resulting tree state is
+  /// identical to applying set() per leaf — each internal node is
+  /// left + right either way.
+  void rebuild(std::span<const double> values);
+
+  /// Resets every leaf to 0.
+  void clear();
+
+  /// Index of the leaf selected by prefix-sum descent for `u` in
+  /// [0, total()): the leaf i with sum(leaves < i) <= u < sum(leaves <= i)
+  /// up to the tree's fixed rounding.  Requires total() > 0.  Never
+  /// returns a zero-valued leaf: the astronomically rare rounding case
+  /// where the descent overshoots into a zero leaf falls back to the
+  /// nearest preceding positive leaf.
+  std::size_t find_prefix(double u) const;
+
+ private:
+  std::size_t n_;     ///< leaf count requested
+  std::size_t base_;  ///< first leaf slot (power of two, >= n_)
+  std::vector<double> tree_;
+};
+
+}  // namespace sim

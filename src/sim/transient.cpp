@@ -62,7 +62,9 @@ TransientResult estimate_transient(const san::FlatModel& model,
   const std::uint32_t workers = options.threads;
 
   Executor::Options exec_opts;
+  exec_opts.engine = options.engine;
   exec_opts.bias = options.bias;
+  exec_opts.check_dependencies = options.check_dependencies;
 
   TransientResult result;
   result.time_points = options.time_points;

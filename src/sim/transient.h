@@ -38,6 +38,13 @@ struct TransientOptions {
   /// Optional importance-sampling plan (see Executor).
   const BiasPlan* bias = nullptr;
 
+  /// Simulation engine (see Executor::Engine).  Both produce identical
+  /// trajectories; kFullRescan exists for conformance checks and benchmarks.
+  Executor::Engine engine = Executor::Engine::kIncremental;
+
+  /// Forwarded to Executor::Options::check_dependencies (slow; for tests).
+  bool check_dependencies = false;
+
   std::uint64_t seed = 42;
 
   /// Worker threads (1 = sequential).  Replication r always uses the RNG

@@ -89,6 +89,17 @@ Rng Rng::split(std::uint64_t idx) const {
   return Rng(child);
 }
 
+Rng Rng::split(std::uint64_t idx, std::uint64_t domain) const {
+  // Fold the domain into the seed through one splitmix64 round first, then
+  // reuse the single-index construction; (idx, domain) pairs map to child
+  // seeds injectively enough for stream independence in practice.
+  std::uint64_t sm = seed_ ^ (0x8BB84B93962EACC9ull * (domain + 1));
+  const std::uint64_t domain_seed = splitmix64(sm);
+  Rng base(*this);
+  base.seed_ = seed_ ^ domain_seed;
+  return base.split(idx);
+}
+
 void Rng::long_jump() {
   static constexpr std::array<std::uint64_t, 4> kJump = {
       0x76E15D3EFEFDCBBFull, 0xC5004E441C522FB3ull, 0x77710069854EE241ull,

@@ -57,6 +57,15 @@ class Rng {
   /// Derives an independent child stream; deterministic in (this seed, idx).
   Rng split(std::uint64_t idx) const;
 
+  /// Domain-separated child stream: deterministic in (this seed, idx,
+  /// domain), and independent of `split(idx)` and of any other domain.
+  /// This is the counter-based construction the simulation executor uses to
+  /// give every activity its own stream — replication streams are derived
+  /// with plain `split(rep)`, per-activity streams with
+  /// `split(activity, kActivityStreamDomain)`, so the two families can never
+  /// collide even at equal indices.
+  Rng split(std::uint64_t idx, std::uint64_t domain) const;
+
   /// The seed this generator was constructed from (for reproducibility logs).
   std::uint64_t seed() const { return seed_; }
 

@@ -1,0 +1,206 @@
+// DependencyIndex derivation tests: exact arc-only sets, the conservative
+// all-instance-places fallback for undeclared callbacks, declared-set
+// resolution through Rep/Join flattening (including extended and shared
+// places), the affected_by composition, and the locality the index proves
+// for the paper's vehicle model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "ahs/system_model.h"
+#include "san/composition.h"
+#include "san/dependency.h"
+
+namespace {
+
+std::vector<std::uint32_t> to_vec(std::span<const std::uint32_t> s) {
+  return {s.begin(), s.end()};
+}
+
+std::size_t activity_index(const san::FlatModel& m, const std::string& name) {
+  const auto& acts = m.activities();
+  for (std::size_t i = 0; i < acts.size(); ++i)
+    if (acts[i].name == name) return i;
+  ADD_FAILURE() << "no activity named " << name;
+  return SIZE_MAX;
+}
+
+TEST(DependencyIndex, ArcOnlyActivityIsExact) {
+  auto m = std::make_shared<san::AtomicModel>("ff");
+  const auto up = m->place("up", 1);
+  const auto down = m->place("down");
+  m->timed_activity("fall")
+      .distribution(util::Distribution::Exponential(2.0))
+      .input_arc(up)
+      .output_arc(down);
+  m->timed_activity("rise")
+      .distribution(util::Distribution::Exponential(1.0))
+      .input_arc(down)
+      .output_arc(up);
+  const auto flat = san::flatten(m);
+  const auto dep = san::DependencyIndex::build(flat);
+
+  const std::size_t fall = activity_index(flat, "ff/fall");
+  const std::size_t rise = activity_index(flat, "ff/rise");
+  const auto up_slot = flat.place_offset(flat.place_index("up"));
+  const auto down_slot = flat.place_offset(flat.place_index("down"));
+
+  EXPECT_TRUE(dep.reads_exact(fall));
+  EXPECT_TRUE(dep.writes_exact(fall));
+  EXPECT_EQ(to_vec(dep.reads(fall)), std::vector<std::uint32_t>{up_slot});
+  // Writes: the input arc decrements `up`, the output arc increments `down`.
+  std::vector<std::uint32_t> w{up_slot, down_slot};
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(to_vec(dep.writes(fall)), w);
+
+  // fall writes both slots, so both activities are affected (and the set
+  // always contains the firing activity itself).
+  std::vector<std::uint32_t> both{static_cast<std::uint32_t>(fall),
+                                  static_cast<std::uint32_t>(rise)};
+  std::sort(both.begin(), both.end());
+  EXPECT_EQ(to_vec(dep.affected_by(fall)), both);
+  EXPECT_EQ(to_vec(dep.affected_by(rise)), both);
+}
+
+TEST(DependencyIndex, UndeclaredPredicateFallsBackToAllInstancePlaces) {
+  auto m = std::make_shared<san::AtomicModel>("fb");
+  const auto a = m->place("a", 1);
+  m->place("b");
+  m->extended_place("c", 3);
+  m->timed_activity("t")
+      .distribution(util::Distribution::Exponential(1.0))
+      .input_arc(a)
+      .input_gate([a](const san::MarkingRef& r) { return r.get(a) < 5; });
+  const auto flat = san::flatten(m);
+  const auto dep = san::DependencyIndex::build(flat);
+
+  const std::size_t t = activity_index(flat, "fb/t");
+  EXPECT_FALSE(dep.reads_exact(t));
+  // 1 (a) + 1 (b) + 3 (c) slots: everything the instance can address.
+  EXPECT_EQ(dep.reads(t).size(), 5u);
+  // No gate functions, so writes stay exact (arcs only).
+  EXPECT_TRUE(dep.writes_exact(t));
+  EXPECT_EQ(dep.writes(t).size(), 1u);
+}
+
+TEST(DependencyIndex, DeclaredSetsTightenCallbacks) {
+  auto m = std::make_shared<san::AtomicModel>("decl");
+  const auto a = m->place("a", 1);
+  const auto b = m->place("b");
+  m->place("unrelated");
+  const auto ext = m->extended_place("ext", 2);
+  m->timed_activity("t")
+      .marking_rate([a](const san::MarkingRef& r) {
+        return 1.0 + r.get(a);
+      })
+      .reads({a})
+      .writes({b, ext})
+      .input_arc(a)
+      .output_gate([b, ext](const san::MarkingRef& r) {
+        r.add(b, 1);
+        r.set(ext, 1, r.get(ext, 0));
+      });
+  const auto flat = san::flatten(m);
+  const auto dep = san::DependencyIndex::build(flat);
+
+  const std::size_t t = activity_index(flat, "decl/t");
+  EXPECT_TRUE(dep.reads_exact(t));
+  EXPECT_TRUE(dep.writes_exact(t));
+  const auto a_slot = flat.place_offset(flat.place_index("a"));
+  const auto b_slot = flat.place_offset(flat.place_index("b"));
+  const auto ext_off = flat.place_offset(flat.place_index("ext"));
+  EXPECT_EQ(to_vec(dep.reads(t)), std::vector<std::uint32_t>{a_slot});
+  // Declared writes cover both slots of the extended place, plus b, plus
+  // the input arc on a.
+  std::vector<std::uint32_t> w{a_slot, b_slot, ext_off, ext_off + 1};
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(to_vec(dep.writes(t)), w);
+}
+
+TEST(DependencyIndex, ReplicaFallbackCoversOwnSlotsAndSharedOnly) {
+  auto child = std::make_shared<san::AtomicModel>("cell");
+  const auto local = child->place("local", 1);
+  const auto shared = child->place("shared", 0);
+  child->timed_activity("t")
+      .distribution(util::Distribution::Exponential(1.0))
+      .input_arc(local)
+      .input_gate([shared](const san::MarkingRef& r) {
+        return r.get(shared) < 3;
+      })
+      .output_arc(shared);
+  const auto flat =
+      san::flatten(san::Rep("grid", san::Leaf(child), 4, {"shared"}));
+  const auto dep = san::DependencyIndex::build(flat);
+
+  // 4 local slots + 1 shared slot.
+  ASSERT_EQ(flat.marking_size(), 5u);
+  const auto shared_slot = flat.place_offset(flat.place_index("shared"));
+  for (std::uint32_t rep = 0; rep < 4; ++rep) {
+    const std::size_t t =
+        activity_index(flat, "grid[" + std::to_string(rep) + "]/cell/t");
+    EXPECT_FALSE(dep.reads_exact(t));
+    // Fallback = the replica's own places + the shared place: 2 slots,
+    // not the 5 of the whole model.
+    const auto reads = to_vec(dep.reads(t));
+    ASSERT_EQ(reads.size(), 2u);
+    EXPECT_TRUE(std::count(reads.begin(), reads.end(), shared_slot));
+    // Every replica writes `shared`, so every replica affects every other.
+    EXPECT_EQ(dep.affected_by(t).size(), 4u);
+  }
+}
+
+TEST(DependencyIndex, VehicleFailureActivityIsLocal) {
+  // The paper's model, two platoons of three: veh[0]'s L1 failure must
+  // depend on exactly its own my_id and CC1 plus the shared KO_total —
+  // independent of every other vehicle.  This is the locality property the
+  // incremental engine's speedup rests on.
+  ahs::Parameters p;
+  p.max_per_platoon = 3;
+  const auto flat = ahs::build_system_model(p);
+  const auto dep = san::DependencyIndex::build(flat);
+
+  const std::size_t l1 = activity_index(flat, "ahs/vehicles[0]/one_vehicle/L1");
+  ASSERT_TRUE(dep.reads_exact(l1));
+  const auto reads = to_vec(dep.reads(l1));
+  std::vector<std::uint32_t> want{
+      flat.place_offset(flat.place_index("ahs/vehicles[0]/one_vehicle/my_id")),
+      flat.place_offset(flat.place_index("ahs/vehicles[0]/one_vehicle/CC1")),
+      flat.place_offset(flat.place_index("KO_total"))};
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(reads, want);
+
+  // The affected set must not drag in other vehicles' failure modes or
+  // maneuvers.  (Their exit_transit legitimately appears: its predicate
+  // consults the shared active_m array, which L1's recovery start writes.)
+  const auto& acts = flat.activities();
+  for (std::uint32_t b : dep.affected_by(l1)) {
+    const std::string& name = acts[b].name;
+    if (name.find("vehicles[") == std::string::npos ||
+        name.find("vehicles[0]/") != std::string::npos)
+      continue;
+    EXPECT_NE(name.find("exit_transit"), std::string::npos)
+        << "L1 of veh[0] must not affect another vehicle's " << name;
+  }
+  // ... and it stays far below "everything": the full-rescan engine would
+  // re-examine every activity.
+  EXPECT_LT(dep.affected_by(l1).size(), flat.activities().size() / 2);
+}
+
+TEST(DependencyIndex, SystemModelSummaryReportsFallbacks) {
+  ahs::Parameters p;
+  p.max_per_platoon = 2;
+  const auto flat = ahs::build_system_model(p);
+  const auto dep = san::DependencyIndex::build(flat);
+  EXPECT_EQ(dep.num_activities(), flat.activities().size());
+  EXPECT_EQ(dep.num_slots(), flat.marking_size());
+  // All AHS activities carry declarations, so nothing falls back.
+  for (std::size_t ai = 0; ai < dep.num_activities(); ++ai) {
+    EXPECT_TRUE(dep.reads_exact(ai)) << flat.activities()[ai].name;
+    EXPECT_TRUE(dep.writes_exact(ai)) << flat.activities()[ai].name;
+  }
+  EXPECT_NE(dep.summary().find("activities"), std::string::npos);
+}
+
+}  // namespace

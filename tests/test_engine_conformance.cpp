@@ -1,0 +1,223 @@
+// Cross-engine conformance: the dependency-tracked incremental engine and
+// the full-rescan reference engine must produce *identical* trajectories —
+// the same activities firing the same cases at bitwise-equal times with
+// bitwise-equal likelihood ratios — because per-activity RNG streams make
+// randomness consumption independent of how many activities an engine
+// re-examines.  Runs with check_dependencies on, so every predicate/rate
+// evaluation and completion is validated against the dependency index
+// (this is what certifies the AHS models' declared read/write sets).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ahs/system_model.h"
+#include "san/composition.h"
+#include "san/rewards.h"
+#include "sim/transient.h"
+#include "util/rng.h"
+
+namespace {
+
+struct Event {
+  std::size_t ai;
+  std::size_t ci;
+  double t;
+  double lr;
+  bool operator==(const Event&) const = default;
+};
+
+std::vector<Event> run_trajectory(const san::FlatModel& flat,
+                                  sim::Executor::Options opts,
+                                  std::uint64_t seed, double t_end) {
+  sim::Executor exec(flat, util::Rng(seed), opts);
+  std::vector<Event> events;
+  exec.on_fire = [&](std::size_t ai, std::size_t ci) {
+    events.push_back({ai, ci, exec.time(), exec.likelihood_ratio()});
+  };
+  // reset() replays the initial stabilization with on_fire attached so the
+  // recorded sequence starts at time zero for both engines.
+  exec.reset(util::Rng(seed));
+  exec.run_until(t_end);
+  return events;
+}
+
+void expect_identical_trajectories(const san::FlatModel& flat,
+                                   const sim::BiasPlan* bias,
+                                   std::uint64_t seed, double t_end) {
+  sim::Executor::Options inc;
+  inc.engine = sim::Executor::Engine::kIncremental;
+  inc.bias = bias;
+  inc.check_dependencies = true;  // certify declared sets along the way
+  sim::Executor::Options ref;
+  ref.engine = sim::Executor::Engine::kFullRescan;
+  ref.bias = bias;
+
+  const auto a = run_trajectory(flat, inc, seed, t_end);
+  const auto b = run_trajectory(flat, ref, seed, t_end);
+  ASSERT_FALSE(a.empty()) << "trajectory exercised nothing";
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ai, b[i].ai) << "event " << i;
+    EXPECT_EQ(a[i].ci, b[i].ci) << "event " << i;
+    EXPECT_EQ(a[i].t, b[i].t) << "event " << i;    // bitwise
+    EXPECT_EQ(a[i].lr, b[i].lr) << "event " << i;  // bitwise
+    if (a[i] != b[i]) break;  // one divergence floods the rest
+  }
+}
+
+/// Random all-exponential SAN with arcs, capped destinations (undeclared
+/// predicates exercise the conservative fallback), probabilistic cases,
+/// a marking-dependent rate, and an instantaneous drain.
+std::shared_ptr<san::AtomicModel> random_model(util::Rng& rng, int places,
+                                               int acts) {
+  auto m = std::make_shared<san::AtomicModel>("rand");
+  std::vector<san::PlaceToken> p;
+  for (int i = 0; i < places; ++i)
+    p.push_back(m->place("p" + std::to_string(i),
+                         1 + static_cast<std::int32_t>(rng.below(2))));
+
+  for (int i = 0; i < acts; ++i) {
+    const auto src = p[rng.below(p.size())];
+    const auto dst = p[rng.below(p.size())];
+    auto act = m->timed_activity("t" + std::to_string(i));
+    if (i == 0) {
+      // One marking-dependent rate with a declared read set.  A declaration
+      // must be COMPLETE (rate function AND predicates), so it lists the
+      // capacity-cap place read by the input gate below too.
+      act.marking_rate([src](const san::MarkingRef& r) {
+            return 0.5 + r.get(src);
+          })
+          .reads({src, dst});
+    } else {
+      act.distribution(
+          util::Distribution::Exponential(0.5 + 4.0 * rng.uniform01()));
+    }
+    act.input_arc(src);
+    act.input_gate(
+        [dst](const san::MarkingRef& r) { return r.get(dst) < 3; });
+    if (rng.bernoulli(0.4)) {
+      const double w = 0.2 + 0.6 * rng.uniform01();
+      act.add_case(w);
+      act.add_case(1.0 - w);
+      act.output_arc(dst, 1, 0);
+      act.output_arc(p[rng.below(p.size())], 1, 1);
+    } else {
+      act.output_arc(dst);
+    }
+  }
+
+  // Instantaneous drain: two tokens collapse into one, so stabilization
+  // always terminates.
+  if (places >= 2) {
+    m->instant_activity("drain")
+        .priority(1)
+        .input_arc(p[0], 2)
+        .output_arc(p[1]);
+  }
+  return m;
+}
+
+TEST(EngineConformance, RandomSansScheduledMode) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int places = 3 + static_cast<int>(rng.below(4));
+    const int acts = 3 + static_cast<int>(rng.below(5));
+    const auto flat = san::flatten(random_model(rng, places, acts));
+    expect_identical_trajectories(flat, nullptr, 1000 + trial, 30.0);
+  }
+}
+
+TEST(EngineConformance, MixedDistributionsWithTies) {
+  // Two deterministic activities with the same delay force repeated
+  // schedule ties; the heap's (time, index) order must match the reference
+  // scan's first-minimum rule.  A Weibull and an Erlang keep the
+  // non-exponential sampling paths honest.
+  auto m = std::make_shared<san::AtomicModel>("mix");
+  const auto a = m->place("a", 1);
+  const auto b = m->place("b", 1);
+  const auto c = m->place("c");
+  m->timed_activity("da")
+      .distribution(util::Distribution::Deterministic(0.5))
+      .input_arc(a)
+      .output_arc(a);
+  m->timed_activity("db")
+      .distribution(util::Distribution::Deterministic(0.5))
+      .input_arc(b)
+      .output_arc(b);
+  m->timed_activity("wb")
+      .distribution(util::Distribution::Weibull(1.5, 2.0))
+      .input_arc(a)
+      .output_arc(c);
+  m->timed_activity("er")
+      .distribution(util::Distribution::Erlang(3, 4.0))
+      .input_arc(c)
+      .output_arc(a);
+  const auto flat = san::flatten(m);
+  expect_identical_trajectories(flat, nullptr, 7, 40.0);
+}
+
+TEST(EngineConformance, AhsSystemScheduledMode) {
+  // Busy parameterization (high failure rate) so failures, maneuvers,
+  // escalations, and platoon churn all appear in a short horizon.
+  ahs::Parameters p;
+  p.max_per_platoon = 4;
+  p.base_failure_rate = 0.5;
+  const auto flat = ahs::build_system_model(p);
+  for (std::uint64_t seed : {11u, 12u, 13u})
+    expect_identical_trajectories(flat, nullptr, seed, 4.0);
+}
+
+TEST(EngineConformance, AhsSystemLargerInstance) {
+  ahs::Parameters p;
+  p.max_per_platoon = 10;
+  p.base_failure_rate = 0.2;
+  const auto flat = ahs::build_system_model(p);
+  expect_identical_trajectories(flat, nullptr, 99, 2.0);
+}
+
+TEST(EngineConformance, AhsEmbeddedImportanceSampling) {
+  ahs::Parameters p;
+  p.max_per_platoon = 3;
+  p.base_failure_rate = 1e-3;
+  const auto flat = ahs::build_system_model(p);
+  sim::BiasPlan bias;
+  bias.boost = 200.0;
+  bias.boosted = {"L1", "L2", "L3", "L4", "L5", "L6"};
+  for (std::size_t k = 0; k < ahs::kNumManeuvers; ++k)
+    bias.case_bias["M" + std::to_string(k + 1)] = {0.5, 0.5};
+  for (std::uint64_t seed : {21u, 22u})
+    expect_identical_trajectories(flat, &bias, seed, 3.0);
+}
+
+TEST(EngineConformance, EstimatesAreBitwiseEqualAcrossEngines) {
+  ahs::Parameters p;
+  p.max_per_platoon = 2;
+  p.base_failure_rate = 0.05;
+  const auto flat = ahs::build_system_model(p);
+  const auto reward = ahs::unsafety_reward(flat);
+
+  sim::TransientOptions opts;
+  opts.time_points = {1.0, 5.0};
+  opts.min_replications = 200;
+  opts.max_replications = 200;
+  opts.seed = 31;
+
+  opts.engine = sim::Executor::Engine::kIncremental;
+  opts.check_dependencies = true;
+  const auto inc = sim::estimate_transient(flat, reward, opts);
+
+  opts.engine = sim::Executor::Engine::kFullRescan;
+  opts.check_dependencies = false;
+  const auto ref = sim::estimate_transient(flat, reward, opts);
+
+  ASSERT_EQ(inc.replications, ref.replications);
+  EXPECT_EQ(inc.total_events, ref.total_events);
+  for (std::size_t i = 0; i < inc.estimates.size(); ++i) {
+    EXPECT_EQ(inc.mean(i), ref.mean(i));  // bitwise
+    EXPECT_EQ(inc.estimates[i].half_width, ref.estimates[i].half_width);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Unit tests for the incremental engine's data structures: the indexed
+// binary event heap (against a naive linear-scan reference) and the
+// fixed-shape pairwise sum tree (bitwise rebuild/set equivalence and
+// prefix-sum selection against a linear scan).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "sim/event_heap.h"
+#include "sim/sum_tree.h"
+#include "util/rng.h"
+
+namespace {
+
+/// Linear-scan model of the heap: NaN = absent, minimum by (time, index).
+struct NaiveSchedule {
+  std::vector<double> t;
+  explicit NaiveSchedule(std::size_t n)
+      : t(n, std::numeric_limits<double>::quiet_NaN()) {}
+  std::pair<std::size_t, double> top() const {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t ai = SIZE_MAX;
+    for (std::size_t i = 0; i < t.size(); ++i)
+      if (!std::isnan(t[i]) && t[i] < best) {
+        best = t[i];
+        ai = i;
+      }
+    return {ai, best};
+  }
+};
+
+TEST(EventHeap, MatchesNaiveScheduleUnderRandomChurn) {
+  const std::size_t n = 24;
+  sim::EventHeap heap(n);
+  NaiveSchedule naive(n);
+  util::Rng rng(123);
+
+  for (int iter = 0; iter < 5000; ++iter) {
+    const std::size_t ai = rng.below(n);
+    switch (rng.below(3)) {
+      case 0: {  // schedule or reschedule
+        const double t = rng.uniform(0.0, 100.0);
+        heap.push_or_update(ai, t);
+        naive.t[ai] = t;
+        break;
+      }
+      case 1:  // cancel
+        heap.erase(ai);
+        naive.t[ai] = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case 2: {  // pop the minimum (if any)
+        const auto [want_ai, want_t] = naive.top();
+        if (want_ai == SIZE_MAX) {
+          EXPECT_TRUE(heap.empty());
+        } else {
+          ASSERT_FALSE(heap.empty());
+          const auto [got_ai, got_t] = heap.top();
+          EXPECT_EQ(got_ai, want_ai);
+          EXPECT_EQ(got_t, want_t);
+          heap.erase(got_ai);
+          naive.t[want_ai] = std::numeric_limits<double>::quiet_NaN();
+        }
+        break;
+      }
+    }
+    // Invariants after every operation.
+    std::size_t present = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(heap.contains(i), !std::isnan(naive.t[i]));
+      if (!std::isnan(naive.t[i])) {
+        ++present;
+        EXPECT_EQ(heap.time_of(i), naive.t[i]);
+      }
+    }
+    EXPECT_EQ(heap.size(), present);
+  }
+}
+
+TEST(EventHeap, TiesResolveToLowestIndex) {
+  sim::EventHeap heap(8);
+  // Insert in descending index order so the tie-break must do real work.
+  for (std::size_t ai : {7u, 5u, 3u, 2u, 6u}) heap.push_or_update(ai, 1.5);
+  heap.push_or_update(4, 2.0);
+  EXPECT_EQ(heap.top().first, 2u);
+  heap.erase(2);
+  EXPECT_EQ(heap.top().first, 3u);
+  heap.erase(3);
+  EXPECT_EQ(heap.top().first, 5u);
+}
+
+TEST(EventHeap, ClearEmptiesAndForgetsPositions) {
+  sim::EventHeap heap(4);
+  heap.push_or_update(1, 3.0);
+  heap.push_or_update(2, 1.0);
+  heap.clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_FALSE(heap.contains(1));
+  heap.push_or_update(3, 7.0);
+  EXPECT_EQ(heap.top().first, 3u);
+  EXPECT_EQ(heap.size(), 1u);
+}
+
+TEST(SumTree, TotalAndGetTrackSets) {
+  sim::SumTree tree(5);
+  EXPECT_EQ(tree.total(), 0.0);
+  tree.set(0, 1.5);
+  tree.set(3, 2.5);
+  EXPECT_EQ(tree.get(0), 1.5);
+  EXPECT_EQ(tree.get(3), 2.5);
+  EXPECT_EQ(tree.total(), 4.0);
+  tree.set(0, 0.0);
+  EXPECT_EQ(tree.total(), 2.5);
+  tree.clear();
+  EXPECT_EQ(tree.total(), 0.0);
+}
+
+TEST(SumTree, RebuildIsBitwiseIdenticalToIncrementalSets) {
+  // The property the cross-engine trajectory identity rests on: writing
+  // every leaf via set() in ANY order produces exactly the tree that
+  // rebuild() produces, so totals and descents cannot diverge between the
+  // incremental and full-rescan engines.
+  util::Rng rng(77);
+  for (std::size_t n : {1u, 2u, 7u, 16u, 33u}) {
+    std::vector<double> values(n);
+    for (auto& v : values) v = rng.uniform01() * 10.0;
+
+    sim::SumTree incremental(n);
+    // Write leaves in a scrambled order, with stale intermediate values.
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = rng.below(n);
+      incremental.set(i, rng.uniform01());
+    }
+    // ... then write every leaf's final value in reverse order (any
+    // complete order must land on the same tree).
+    for (std::size_t k = n; k-- > 0;) incremental.set(k, values[k]);
+
+    sim::SumTree rebuilt(n);
+    rebuilt.rebuild(values);
+
+    ASSERT_EQ(incremental.total(), rebuilt.total());  // bitwise
+    for (int trial = 0; trial < 200; ++trial) {
+      const double u = rng.uniform01() * rebuilt.total();
+      EXPECT_EQ(incremental.find_prefix(u), rebuilt.find_prefix(u));
+    }
+  }
+}
+
+TEST(SumTree, FindPrefixMatchesLinearScanOnExactWeights) {
+  // Small-integer weights are exact in binary floating point, so the tree's
+  // partial sums equal the linear scan's and the selected index must match.
+  const std::vector<double> w = {2.0, 0.0, 1.0, 5.0, 0.0, 4.0};
+  sim::SumTree tree(w.size());
+  tree.rebuild(w);
+  ASSERT_EQ(tree.total(), 12.0);
+  for (double u = 0.0; u < 12.0; u += 0.25) {
+    double acc = 0.0;
+    std::size_t want = w.size() - 1;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      acc += w[i];
+      if (u < acc) {
+        want = i;
+        break;
+      }
+    }
+    EXPECT_EQ(tree.find_prefix(u), want) << "u=" << u;
+  }
+}
+
+TEST(SumTree, FindPrefixNeverReturnsZeroLeaf) {
+  const std::vector<double> w = {0.0, 3.0, 0.0, 0.0, 2.0, 0.0};
+  sim::SumTree tree(w.size());
+  tree.rebuild(w);
+  util::Rng rng(9);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t i = tree.find_prefix(rng.uniform01() * tree.total());
+    EXPECT_GT(w[i], 0.0);
+  }
+  // The boundary u == total() (reachable only through rounding) must also
+  // land on a positive leaf.
+  EXPECT_GT(w[tree.find_prefix(tree.total())], 0.0);
+}
+
+}  // namespace
