@@ -20,7 +20,11 @@ double s6(const ahs::Parameters& p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned threads = 0;  // accepted for CLI uniformity
+  if (!bench::parse_bench_flags(argc, argv, "bench_ablation", threads))
+    return 0;
+  (void)threads;
   using namespace ahs;
   Parameters base;
   base.max_per_platoon = 10;
@@ -92,5 +96,6 @@ int main() {
                  "optimal control as future work)\n"
               << t;
   }
+  bench::finish_telemetry();
   return 0;
 }

@@ -12,7 +12,11 @@
 #include "ahs/study.h"
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned threads = 0;  // accepted for CLI uniformity
+  if (!bench::parse_bench_flags(argc, argv, "bench_adjacency", threads))
+    return 0;
+  (void)threads;
   using namespace ahs;
   std::cout << "==========================================================\n"
                "Extension: adjacency-scoped severity (vs the global scope\n"
@@ -54,5 +58,6 @@ int main() {
                "stronger n-dependence the paper reports (EXPERIMENTS.md).\n";
   bench::write_csv("bench_adjacency.csv",
                    {"radius", "S_6h", "ci", "vs_global"}, csv_rows);
+  bench::finish_telemetry();
   return 0;
 }

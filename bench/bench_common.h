@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,10 +21,74 @@
 #include "ahs/sweep.h"
 #include "util/cli.h"
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 #include "util/table.h"
+#include "util/telemetry.h"
 
 namespace bench {
+
+/// Run-telemetry for a bench driver: the --metrics-out/--progress/--log-json
+/// flags, and the TelemetrySession they activate.  parse_bench_flags()
+/// registers the flags and starts the session; the driver calls
+/// finish_telemetry() once after its workload.  One process-wide instance
+/// (telemetry()) keeps the driver wiring to those two calls.
+class BenchTelemetry {
+ public:
+  void add_flags(util::Cli& cli) {
+    metrics_out_ = cli.add_string(
+        "metrics-out", "",
+        "write run telemetry JSON (schema ahs.telemetry.v1) to this file");
+    progress_ = cli.add_flag(
+        "progress", "print the telemetry summary (span tree, metric tables)");
+    log_json_ = cli.add_flag("log-json",
+                             "emit log lines as JSON objects (one per line)");
+  }
+
+  /// Applies the parsed flags: switches the log format and attaches the
+  /// process-wide metrics registry + span tree when any output was asked
+  /// for.  Must run before the instrumented workload starts.
+  void start() {
+    if (log_json_ && *log_json_) util::set_log_format(util::LogFormat::kJson);
+    if ((metrics_out_ && !metrics_out_->empty()) ||
+        (progress_ && *progress_))
+      session_ = std::make_unique<util::TelemetrySession>();
+  }
+
+  bool active() const { return session_ != nullptr; }
+
+  /// Live {"metrics": ..., "spans": ...} fragment for embedding into a
+  /// bench_timings.json record; empty when telemetry is off.
+  std::string record_fragment() const {
+    return session_ ? session_->report().to_json_fragment() : std::string();
+  }
+
+  /// Emits the requested outputs (summary table and/or JSON file).
+  void finish() {
+    if (!session_) return;
+    const util::TelemetryReport report = session_->report();
+    if (*progress_) report.render_summary(std::cout);
+    if (!metrics_out_->empty()) {
+      report.write_json_file(*metrics_out_);
+      std::cout << "telemetry written to " << *metrics_out_ << "\n";
+    }
+  }
+
+ private:
+  std::shared_ptr<std::string> metrics_out_;
+  std::shared_ptr<bool> progress_;
+  std::shared_ptr<bool> log_json_;
+  std::unique_ptr<util::TelemetrySession> session_;
+};
+
+/// The driver's telemetry instance (one per process).
+inline BenchTelemetry& telemetry() {
+  static BenchTelemetry instance;
+  return instance;
+}
+
+/// Driver epilogue: prints/writes the telemetry outputs if requested.
+inline void finish_telemetry() { telemetry().finish(); }
 
 inline void print_header(const std::string& figure,
                          const std::string& what,
@@ -51,13 +116,16 @@ inline void write_csv(const std::string& name,
   std::cout << "series written to " << path << "\n";
 }
 
-/// Parses the flags shared by every sweep bench (currently --threads).
-/// Returns false when --help was requested — the caller should exit 0.
+/// Parses the flags shared by every bench (--threads plus the telemetry
+/// flags --metrics-out/--progress/--log-json) and starts the telemetry
+/// session when one was requested.  Returns false when --help was requested
+/// — the caller should exit 0.
 inline bool parse_bench_flags(int argc, const char* const* argv,
                               const std::string& program, unsigned& threads) {
   util::Cli cli(program, "Regenerates the figure series (sweep engine).");
   const auto t = cli.add_int(
       "threads", 0, "sweep worker threads (0 = all cores, 1 = sequential)");
+  telemetry().add_flags(cli);
   try {
     if (!cli.parse(argc, argv)) return false;
   } catch (const std::exception& e) {
@@ -65,12 +133,15 @@ inline bool parse_bench_flags(int argc, const char* const* argv,
     std::exit(2);
   }
   threads = *t < 0 ? 0u : static_cast<unsigned>(*t);
+  telemetry().start();
   return true;
 }
 
 /// Merges one single-line JSON record (which must start with
 /// `{"bench": "<name>"`) into results/bench_timings.json, replacing any
 /// previous record of the same bench and keeping every other bench's line.
+/// With an active telemetry session the record gains a live `telemetry`
+/// field (the registry + span snapshot at merge time).
 inline void merge_timing_record(const std::string& bench_name,
                                 const std::string& record) {
   std::filesystem::create_directories("results");
@@ -87,7 +158,13 @@ inline void merge_timing_record(const std::string& bench_name,
       records.push_back(line);
     }
   }
-  records.push_back(record);
+  std::string merged = record;
+  const std::string fragment = telemetry().record_fragment();
+  if (!fragment.empty() && !merged.empty() && merged.back() == '}') {
+    merged.pop_back();
+    merged += ", \"telemetry\": " + fragment + "}";
+  }
+  records.push_back(merged);
   std::ofstream out(path, std::ios::trunc);
   out << "{\"benches\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i)

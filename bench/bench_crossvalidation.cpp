@@ -13,7 +13,11 @@
 #include "ahs/study.h"
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned threads = 0;  // accepted for CLI uniformity
+  if (!bench::parse_bench_flags(argc, argv, "bench_crossvalidation", threads))
+    return 0;
+  (void)threads;
   using namespace ahs;
   std::cout << "==========================================================\n"
                "Cross-validation: simulation vs lumped CTMC vs exact CTMC\n"
@@ -95,5 +99,6 @@ int main() {
          "horizon)^2) relative bias — visible (~25%) at the stress rate\n"
          "1e-2/h of panel (1), shrinking to <10% at 1e-3/h (panels 2-3),\n"
          "and negligible at the paper's 1e-6..1e-4/h (see EXPERIMENTS.md).\n";
+  bench::finish_telemetry();
   return 0;
 }

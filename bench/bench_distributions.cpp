@@ -11,7 +11,11 @@
 #include "ahs/study.h"
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned threads = 0;  // accepted for CLI uniformity
+  if (!bench::parse_bench_flags(argc, argv, "bench_distributions", threads))
+    return 0;
+  (void)threads;
   using namespace ahs;
   std::cout << "==========================================================\n"
                "Extension: maneuver-duration distribution sensitivity\n"
@@ -55,5 +59,6 @@ int main() {
                "  conservative for the unsafety measure.\n";
   bench::write_csv("bench_distributions.csv", {"law", "S_6h", "ci"},
                    csv_rows);
+  bench::finish_telemetry();
   return 0;
 }

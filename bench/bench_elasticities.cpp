@@ -48,5 +48,6 @@ int main(int argc, char** argv) {
          "    order of magnitude').\n";
   bench::write_csv("bench_elasticities.csv",
                    {"parameter", "value", "elasticity"}, csv_rows);
+  bench::finish_telemetry();
   return 0;
 }

@@ -66,5 +66,6 @@ int main(int argc, char** argv) {
                    {"t_hours", "S_lam1e6", "S_lam1e5", "S_lam1e4"},
                    csv_rows);
   bench::log_sweep_timings("bench_fig11", threads, points, sweep);
+  bench::finish_telemetry();
   return 0;
 }

@@ -74,5 +74,6 @@ int main(int argc, char** argv) {
   bench::write_csv("bench_fig12.csv",
                    {"n", "S_lam1e6", "S_lam1e5", "S_lam1e4"}, csv_rows);
   bench::log_sweep_timings("bench_fig12", threads, points, sweep);
+  bench::finish_telemetry();
   return 0;
 }

@@ -82,5 +82,6 @@ int main(int argc, char** argv) {
                     "r2_j24_l12"},
                    csv_rows);
   bench::log_sweep_timings("bench_fig13", threads, points, sweep);
+  bench::finish_telemetry();
   return 0;
 }

@@ -8,7 +8,11 @@
 #include "ahs/lumped.h"
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned threads = 0;  // accepted for CLI uniformity
+  if (!bench::parse_bench_flags(argc, argv, "bench_multiplatoon", threads))
+    return 0;
+  (void)threads;
   using namespace ahs;
   std::cout << "==========================================================\n"
                "Extension: multi-platoon highways (paper §5 future work)\n"
@@ -50,5 +54,6 @@ int main() {
                    {"platoons", "capacity", "states", "S_DD", "S_CC",
                     "S_per_vehicle"},
                    csv_rows);
+  bench::finish_telemetry();
   return 0;
 }

@@ -9,13 +9,16 @@
 //   $ ./platoon_safety --strategy CC --horizon 8 --points 8
 //   $ ./platoon_safety --engine simulation-is --lambda 1e-3 --n 2
 #include <iostream>
+#include <memory>
 
 #include "ahs/lumped.h"
 #include "ahs/study.h"
 #include "util/cli.h"
 #include "util/error.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 #include "util/table.h"
+#include "util/telemetry.h"
 
 int main(int argc, char** argv) {
   util::Cli cli("platoon_safety",
@@ -40,9 +43,22 @@ int main(int argc, char** argv) {
       "maneuver-time", "exponential",
       "exponential|deterministic|uniform|erlang3 (non-exp: simulation only)");
   auto mttf = cli.add_flag("mttf", "also report the mean time to unsafe");
+  auto metrics_out = cli.add_string(
+      "metrics-out", "",
+      "write run telemetry JSON (schema ahs.telemetry.v1) to this file");
+  auto progress = cli.add_flag(
+      "progress", "print the telemetry summary (span tree, metric tables)");
+  auto log_json = cli.add_flag(
+      "log-json", "emit log lines as JSON objects (one per line)");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
+
+    if (*log_json) util::set_log_format(util::LogFormat::kJson);
+    // Created before the engines run, so they resolve its registry/tree.
+    std::unique_ptr<util::TelemetrySession> telemetry;
+    if (!metrics_out->empty() || *progress)
+      telemetry = std::make_unique<util::TelemetrySession>();
 
     ahs::Parameters p;
     p.max_per_platoon = static_cast<int>(*n);
@@ -99,6 +115,15 @@ int main(int argc, char** argv) {
       std::cout << "mean time to a catastrophic situation: "
                 << util::format_sci(lumped.mean_time_to_unsafe(), 4)
                 << " h\n";
+    }
+
+    if (telemetry) {
+      const util::TelemetryReport report = telemetry->report();
+      if (*progress) report.render_summary(std::cout);
+      if (!metrics_out->empty()) {
+        report.write_json_file(*metrics_out);
+        std::cout << "telemetry written to " << *metrics_out << "\n";
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

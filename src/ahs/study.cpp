@@ -9,6 +9,8 @@
 #include "ctmc/uniformization.h"
 #include "sim/transient.h"
 #include "util/error.h"
+#include "util/metrics.h"
+#include "util/spans.h"
 #include "util/string_util.h"
 
 namespace ahs {
@@ -75,12 +77,25 @@ std::uint64_t StudyCache::full_key(const Parameters& params) {
 
 namespace {
 
+/// Records a StudyCache lookup under "ahs.study.structure_cache_{hits,misses}"
+/// when a process-wide registry is attached.
+void count_cache_lookup(bool hit) {
+  if (util::MetricsRegistry* reg = util::MetricsRegistry::global())
+    reg->counter(hit ? "ahs.study.structure_cache_hits"
+                     : "ahs.study.structure_cache_misses")
+        .inc();
+}
+
 UnsafetyCurve run_lumped(const Parameters& params,
                          const std::vector<double>& times,
                          const StudyOptions& options, StudyCache* cache,
                          bool* structure_cache_hit) {
+  AHS_SPAN("study.lumped_ctmc");
   std::shared_ptr<const LumpedStructure> structure;
-  if (cache) structure = cache->find_lumped(params.structural_fingerprint());
+  if (cache) {
+    structure = cache->find_lumped(params.structural_fingerprint());
+    count_cache_lookup(structure != nullptr);
+  }
   if (structure_cache_hit) *structure_cache_hit = structure != nullptr;
 
   LumpedModel model =
@@ -97,12 +112,16 @@ UnsafetyCurve run_full_ctmc(const Parameters& params,
                             const std::vector<double>& times,
                             const StudyOptions& options, StudyCache* cache,
                             bool* structure_cache_hit) {
+  AHS_SPAN("study.full_ctmc");
   const san::FlatModel model = build_system_model(params);
   const std::size_t ko = model.place_index("KO_total");
   const std::uint32_t ko_slot = model.place_offset(ko);
 
   std::shared_ptr<const StudyCache::FullStructure> cached;
-  if (cache) cached = cache->find_full(StudyCache::full_key(params));
+  if (cache) {
+    cached = cache->find_full(StudyCache::full_key(params));
+    count_cache_lookup(cached != nullptr);
+  }
   if (structure_cache_hit) *structure_cache_hit = cached != nullptr;
 
   ctmc::MarkovChain chain;
@@ -152,6 +171,7 @@ UnsafetyCurve run_full_ctmc(const Parameters& params,
 UnsafetyCurve run_simulation(const Parameters& params,
                              const std::vector<double>& times,
                              const StudyOptions& options, bool importance) {
+  AHS_SPAN("study.simulation");
   const san::FlatModel model = build_system_model(params);
   const san::RewardFn reward = unsafety_reward(model);
 

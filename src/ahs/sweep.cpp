@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "util/error.h"
+#include "util/metrics.h"
+#include "util/spans.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -68,7 +70,29 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
   AHS_REQUIRE(options.study.pool == nullptr,
               "SweepOptions::study.pool must be null — the sweep "
               "parallelizes across points (see StudyOptions::pool)");
+  AHS_SPAN("sweep.run");
   const auto sweep_start = std::chrono::steady_clock::now();
+
+  // Sweep telemetry ("ahs.sweep.*"): per-point wall time and the cache
+  // hit/miss split, aggregated under the process-wide registry if attached.
+  util::MetricsRegistry* reg = util::MetricsRegistry::global();
+  util::Counter tm_points, tm_hits, tm_misses;
+  util::HistogramHandle tm_point_seconds;
+  if (reg != nullptr) {
+    tm_points = reg->counter("ahs.sweep.points");
+    tm_hits = reg->counter("ahs.sweep.structure_cache_hits");
+    tm_misses = reg->counter("ahs.sweep.structure_cache_misses");
+    tm_point_seconds = reg->histogram(
+        "ahs.sweep.point_seconds",
+        {0, 0.001, 0.01, 0.1, 0.5, 1, 5, 30, 120});
+    // Pre-register the pool's instruments (normally registered by the
+    // ThreadPool constructor): a sequential sweep creates no pool, and the
+    // telemetry key set must be identical for any --threads value.
+    reg->counter("util.thread_pool.tasks");
+    reg->counter("util.thread_pool.busy_ns");
+    reg->histogram("util.thread_pool.queue_depth",
+                   {0, 1, 2, 4, 8, 16, 32, 64, 128});
+  }
 
   SweepResult result;
   result.curves.resize(points.size());
@@ -98,6 +122,7 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
   // race; stage the hit flags in bytes.
   std::vector<unsigned char> hits(points.size(), 0);
   auto evaluate = [&](std::size_t i) {
+    AHS_SPAN("sweep.point");
     const auto start = std::chrono::steady_clock::now();
     bool hit = false;
     result.curves[i] =
@@ -108,6 +133,11 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    if (reg != nullptr) {
+      tm_points.inc();
+      (hit ? tm_hits : tm_misses).inc();
+      tm_point_seconds.record(result.point_seconds[i]);
+    }
   };
 
   if (options.threads == 1) {

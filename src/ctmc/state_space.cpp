@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "util/error.h"
+#include "util/metrics.h"
+#include "util/spans.h"
 
 namespace ctmc {
 
@@ -49,7 +51,18 @@ class Generator {
   }
 
   StateSpace run() {
+    AHS_SPAN("state_space.build");
     StateSpace out;
+
+    // BFS telemetry ("ctmc.state_space.*"): counted locally during the
+    // exploration, flushed once at the end.  The frontier histogram samples
+    // the queue length at every pop.
+    util::MetricsRegistry* reg = util::MetricsRegistry::global();
+    util::HistogramHandle frontier_hist;
+    if (reg != nullptr)
+      frontier_hist = reg->histogram(
+          "ctmc.state_space.frontier_size",
+          {0, 16, 64, 256, 1024, 4096, 16384, 65536});
 
     std::vector<std::pair<Marking, double>> initial_dist;
     eliminate_vanishing(model_.initial_marking(), 1.0, 0, initial_dist);
@@ -65,6 +78,8 @@ class Generator {
     while (!frontier.empty()) {
       const std::uint32_t s = frontier.front();
       frontier.pop_front();
+      if (reg != nullptr)
+        frontier_hist.record(static_cast<double>(frontier.size()));
       // Copy: fire() mutates, and `states_` may reallocate during intern.
       const Marking m = states_[s];
       if (opts_.absorbing && opts_.absorbing(m)) continue;
@@ -111,6 +126,12 @@ class Generator {
     for (const auto& [s, p] : initial_prob_) out.chain.initial[s] = p;
     out.states = std::move(states_);
     out.chain.validate();
+    if (reg != nullptr) {
+      reg->counter("ctmc.state_space.states").add(out.chain.num_states);
+      reg->counter("ctmc.state_space.arcs").add(out.chain.rates.nonzeros());
+      reg->counter("ctmc.state_space.vanishing_eliminations")
+          .add(vanishing_eliminations_);
+    }
     return out;
   }
 
@@ -140,6 +161,7 @@ class Generator {
           "vanishing-marking chain exceeds max depth — instantaneous loop?");
     for (std::size_t ai : instant_) {
       if (!model_.enabled(ai, m)) continue;
+      ++vanishing_eliminations_;
       std::vector<double> weights = model_.case_weights(ai, m);
       double total_w = 0.0;
       for (double w : weights) total_w += w;
@@ -166,6 +188,7 @@ class Generator {
   std::vector<Marking> states_;
   std::unordered_map<Marking, std::uint32_t, VecHash> index_;
   std::unordered_map<std::uint32_t, double> initial_prob_;
+  std::uint64_t vanishing_eliminations_ = 0;
 };
 
 }  // namespace

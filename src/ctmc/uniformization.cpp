@@ -4,11 +4,42 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/metrics.h"
+#include "util/spans.h"
 #include "util/thread_pool.h"
 
 namespace ctmc {
 
 namespace {
+
+/// Solver telemetry ("ctmc.uniformization.*"), resolved per solve from the
+/// process-wide registry; every site is one predictable branch when no
+/// registry is attached.
+struct UnifTelemetry {
+  bool on = false;
+  util::Counter solves;
+  util::Counter iterations;  ///< DTMC vector-matrix products
+  util::Counter memo_hits;   ///< PoissonMemo served a cached window
+  util::Counter memo_misses;
+  util::Counter steady_cutoffs;  ///< steady-state detection fired
+  util::HistogramHandle window_size;  ///< Poisson window width per miss
+  util::Gauge truncation;  ///< Poisson mass left outside the last window
+
+  UnifTelemetry() {
+    if (util::MetricsRegistry* reg = util::MetricsRegistry::global()) {
+      on = true;
+      solves = reg->counter("ctmc.uniformization.solves");
+      iterations = reg->counter("ctmc.uniformization.iterations");
+      memo_hits = reg->counter("ctmc.uniformization.poisson_memo_hits");
+      memo_misses = reg->counter("ctmc.uniformization.poisson_memo_misses");
+      steady_cutoffs = reg->counter("ctmc.uniformization.steady_cutoffs");
+      window_size = reg->histogram(
+          "ctmc.uniformization.poisson_window_size",
+          {0, 8, 16, 32, 64, 128, 256, 512, 1024, 4096});
+      truncation = reg->gauge("ctmc.uniformization.truncation_remaining");
+    }
+  }
+};
 
 /// Memoizes poisson_window within one solve: incremental time grids almost
 /// always step by a constant Δt, so consecutive intervals ask for the same
@@ -16,19 +47,27 @@ namespace {
 /// recomputed.
 class PoissonMemo {
  public:
-  explicit PoissonMemo(double epsilon) : epsilon_(epsilon) {}
+  PoissonMemo(double epsilon, UnifTelemetry* tm)
+      : epsilon_(epsilon), tm_(tm) {}
 
   const PoissonWindow& get(double lambda) {
     if (!valid_ || lambda != lambda_) {
       window_ = poisson_window(lambda, epsilon_);
       lambda_ = lambda;
       valid_ = true;
+      if (tm_->on) {
+        tm_->memo_misses.inc();
+        tm_->window_size.record(static_cast<double>(window_.weight.size()));
+      }
+    } else if (tm_->on) {
+      tm_->memo_hits.inc();
     }
     return window_;
   }
 
  private:
   double epsilon_;
+  UnifTelemetry* tm_;
   double lambda_ = 0.0;
   bool valid_ = false;
   PoissonWindow window_;
@@ -161,11 +200,15 @@ AccumulatedSolution solve_accumulated(const MarkovChain& chain,
     prev_t = t;
   }
 
+  AHS_SPAN("uniformization.accumulated");
+  UnifTelemetry tm;
+  if (tm.on) tm.solves.inc();
+
   const std::uint32_t n = chain.num_states;
   const double unif_rate =
       std::max(chain.max_exit_rate() * options.rate_factor, 1e-12);
   const DtmcStepper dtmc_step(chain, unif_rate, options.pool);
-  PoissonMemo memo(options.epsilon);
+  PoissonMemo memo(options.epsilon, &tm);
 
   AccumulatedSolution sol;
   sol.time_points.assign(time_points.begin(), time_points.end());
@@ -213,6 +256,7 @@ AccumulatedSolution solve_accumulated(const MarkovChain& chain,
     }
     sol.accumulated.push_back(total);
   }
+  if (tm.on) tm.iterations.add(sol.total_iterations);
   return sol;
 }
 
@@ -230,12 +274,16 @@ TransientSolution solve_transient(const MarkovChain& chain,
     prev_t = t;
   }
 
+  AHS_SPAN("uniformization.transient");
+  UnifTelemetry tm;
+  if (tm.on) tm.solves.inc();
+
   const std::uint32_t n = chain.num_states;
   const double lambda_max = chain.max_exit_rate();
   // Λ must be positive even for an all-absorbing chain.
   const double unif_rate = std::max(lambda_max * options.rate_factor, 1e-12);
   const DtmcStepper dtmc_step(chain, unif_rate, options.pool);
-  PoissonMemo memo(options.epsilon);
+  PoissonMemo memo(options.epsilon, &tm);
 
   TransientSolution sol;
   sol.time_points.assign(time_points.begin(), time_points.end());
@@ -278,6 +326,10 @@ TransientSolution solve_transient(const MarkovChain& chain,
         // the same vector.
         for (std::uint32_t s = 0; s < n; ++s) acc[s] += remaining * v[s];
       }
+      if (tm.on) {
+        if (steady) tm.steady_cutoffs.inc();
+        tm.truncation.set(std::max(0.0, remaining));
+      }
       pi = acc;
       pi_time = t;
       // Guard against accumulated round-off: renormalize gently.
@@ -291,6 +343,7 @@ TransientSolution solve_transient(const MarkovChain& chain,
     sol.expected_reward.push_back(expect);
     sol.distributions.push_back(pi);
   }
+  if (tm.on) tm.iterations.add(sol.total_iterations);
   return sol;
 }
 

@@ -92,7 +92,28 @@ Executor::Executor(const san::FlatModel& model, util::Rng rng, Options opts)
   reset();
 }
 
+void Executor::resolve_telemetry() {
+  util::MetricsRegistry* reg = util::MetricsRegistry::global();
+  if (reg == tm_registry_) return;
+  tm_registry_ = reg;
+  if (reg == nullptr) {
+    tm_ = Telemetry{};
+    return;
+  }
+  tm_.on = true;
+  tm_.events = reg->counter("sim.executor.events");
+  tm_.instant_firings = reg->counter("sim.executor.instant_firings");
+  tm_.heap_ops = reg->counter("sim.executor.heap_ops");
+  tm_.sumtree_ops = reg->counter("sim.executor.sumtree_ops");
+  tm_.rng_draws = reg->counter("sim.executor.rng_draws");
+  tm_.dirty_set = reg->histogram("sim.executor.dirty_set_size",
+                                 {0, 1, 2, 4, 8, 16, 32, 64, 128});
+  tm_.stabilization = reg->histogram("sim.executor.stabilization_depth",
+                                     {0, 1, 2, 4, 8, 16, 32});
+}
+
 void Executor::reset() {
+  resolve_telemetry();
   marking_ = model_.initial_marking();
   time_ = 0.0;
   lr_ = 1.0;
@@ -170,6 +191,7 @@ void Executor::verify_access(std::size_t ai, bool is_fire) {
 std::size_t Executor::choose_case(std::size_t ai) {
   const auto& act = model_.activities()[ai];
   if (act.cases.size() == 1) return 0;
+  if (tm_.on) tm_.rng_draws.inc();
   // Case choices draw from the activity's own stream so both engines
   // consume replication-stream randomness identically.
   util::Rng& rng = act_rng_[ai];
@@ -246,6 +268,10 @@ void Executor::stabilize_instantaneous(std::size_t trigger) {
         break;
       }
     }
+    if (tm_.on) {
+      tm_.instant_firings.add(firings);
+      tm_.stabilization.record(static_cast<double>(firings));
+    }
     return;
   }
 
@@ -273,6 +299,10 @@ void Executor::stabilize_instantaneous(std::size_t trigger) {
     fire_activity(ai);  // re-queues p itself and everything it affected
     count_firing();
   }
+  if (tm_.on) {
+    tm_.instant_firings.add(firings);
+    tm_.stabilization.record(static_cast<double>(firings));
+  }
 }
 
 void Executor::reschedule(std::size_t ai) {
@@ -280,7 +310,10 @@ void Executor::reschedule(std::size_t ai) {
     was_enabled_[ai] = false;
     if (is_scheduled(sched_[ai])) {
       sched_[ai] = kNotScheduled;
-      if (incremental()) heap_.erase(ai);
+      if (incremental()) {
+        heap_.erase(ai);
+        if (tm_.on) tm_.heap_ops.inc();
+      }
     }
     return;
   }
@@ -300,6 +333,10 @@ void Executor::reschedule(std::size_t ai) {
                             : model_.sample_delay(ai, marking_, act_rng_[ai]);
     sched_[ai] = time_ + delay;
     if (incremental()) heap_.push_or_update(ai, sched_[ai]);
+    if (tm_.on) {
+      tm_.rng_draws.inc();
+      if (incremental()) tm_.heap_ops.inc();
+    }
   }
   was_enabled_[ai] = true;
 }
@@ -312,6 +349,7 @@ void Executor::refresh_rate_leaf(std::size_t ai) {
   const double r = enabled_checked(ai) ? rate_checked(ai) : 0.0;
   tree_rate_.set(ai, r);
   tree_weight_.set(ai, r * bias_boost_[ai]);
+  if (tm_.on) tm_.sumtree_ops.add(2);
 }
 
 void Executor::refresh_rates_full() {
@@ -367,9 +405,15 @@ bool Executor::step_scheduled() {
   }
   sched_[ai] = kNotScheduled;
   was_enabled_[ai] = false;  // the activation ends with this completion
+  if (tm_.on && incremental()) tm_.heap_ops.inc();  // the top erase
   fire_activity(ai);
   ++events_;
   stabilize_instantaneous(ai);
+  if (tm_.on) {
+    tm_.events.inc();
+    if (incremental())
+      tm_.dirty_set.record(static_cast<double>(dirty_.size()));
+  }
   if (incremental()) {
     for (std::size_t k = 0; k < dirty_.size(); ++k) reschedule(dirty_[k]);
     dirty_.clear();
@@ -402,6 +446,12 @@ bool Executor::step_embedded(double t_limit) {
   fire_activity(ai);
   ++events_;
   stabilize_instantaneous(ai);
+  if (tm_.on) {
+    tm_.events.inc();
+    tm_.rng_draws.add(2);  // holding time + transition selection
+    if (incremental())
+      tm_.dirty_set.record(static_cast<double>(dirty_.size()));
+  }
   if (incremental()) {
     for (std::size_t k = 0; k < dirty_.size(); ++k)
       refresh_rate_leaf(dirty_[k]);

@@ -57,6 +57,7 @@
 #include "san/flat_model.h"
 #include "sim/event_heap.h"
 #include "sim/sum_tree.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace sim {
@@ -219,6 +220,24 @@ class Executor {
   // Dependency validation (Options::check_dependencies).
   san::AccessLog access_log_;
   void verify_access(std::size_t ai, bool is_fire);
+
+  // Telemetry ("sim.executor.*"), resolved from the process-wide registry
+  // at reset() (re-resolved only when the attached registry changes).  With
+  // no registry attached every site is one predictable branch — the
+  // detached event rate is benchmark-guarded within 2% of the
+  // pre-instrumentation baseline (bench/bench_executor.cpp).
+  struct Telemetry {
+    bool on = false;
+    util::Counter events;
+    util::Counter instant_firings;
+    util::Counter heap_ops;          ///< scheduled: push/update/erase
+    util::Counter sumtree_ops;       ///< embedded: leaf refreshes
+    util::Counter rng_draws;         ///< per-activity stream draws
+    util::HistogramHandle dirty_set;       ///< dirty timed set per event
+    util::HistogramHandle stabilization;   ///< instant firings per event
+  } tm_;
+  util::MetricsRegistry* tm_registry_ = nullptr;  ///< handles resolved from
+  void resolve_telemetry();
 };
 
 }  // namespace sim

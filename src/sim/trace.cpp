@@ -7,21 +7,28 @@ namespace sim {
 TraceRecorder::TraceRecorder(Executor& exec, const san::FlatModel& model)
     : model_(model), exec_(exec) {
   exec_.on_fire = [this](std::size_t ai, std::size_t ci) {
-    const auto& act = model_.activities()[ai];
-    events_.push_back({exec_.time(), act.name, act.source_name, ci});
+    events_.push_back({exec_.time(), ai, ci});
   };
+}
+
+const std::string& TraceRecorder::activity_name(const TraceEvent& e) const {
+  return model_.activities()[e.activity_index].name;
+}
+
+const std::string& TraceRecorder::source_name(const TraceEvent& e) const {
+  return model_.activities()[e.activity_index].source_name;
 }
 
 std::size_t TraceRecorder::count_source(const std::string& source_name) const {
   std::size_t n = 0;
   for (const auto& e : events_)
-    if (e.source == source_name) ++n;
+    if (model_.activities()[e.activity_index].source_name == source_name) ++n;
   return n;
 }
 
 void TraceRecorder::dump(std::ostream& os) const {
   for (const auto& e : events_)
-    os << "t=" << e.time << ' ' << e.activity << " case=" << e.case_index
+    os << "t=" << e.time << ' ' << activity_name(e) << " case=" << e.case_index
        << '\n';
 }
 

@@ -1,5 +1,10 @@
 // Execution tracing: records (time, activity, case) tuples for debugging and
 // for the behavioural assertions in the integration tests.
+//
+// The recorder stays off the allocator on the hot on_fire path: each event
+// stores the interned activity index (the FlatModel's index IS the interned
+// id — names live once in the model), and names are resolved lazily when a
+// reader asks via dump() / TraceRecorder::activity_name().
 #pragma once
 
 #include <iosfwd>
@@ -12,8 +17,7 @@ namespace sim {
 
 struct TraceEvent {
   double time;
-  std::string activity;  ///< hierarchical activity name
-  std::string source;    ///< atomic-model activity name
+  std::size_t activity_index;  ///< index into FlatModel::activities()
   std::size_t case_index;
 };
 
@@ -24,6 +28,11 @@ class TraceRecorder {
 
   const std::vector<TraceEvent>& events() const { return events_; }
   void clear() { events_.clear(); }
+
+  /// Hierarchical activity name of a recorded event (lazy resolution).
+  const std::string& activity_name(const TraceEvent& e) const;
+  /// Atomic-model ("source") activity name of a recorded event.
+  const std::string& source_name(const TraceEvent& e) const;
 
   /// Number of recorded completions of activities with this source name.
   std::size_t count_source(const std::string& source_name) const;

@@ -1,22 +1,27 @@
 #include "sim/transient.h"
 
 #include <memory>
+#include <string>
 #include <thread>
 
 #include "util/error.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/spans.h"
+#include "util/string_util.h"
 
 namespace sim {
 
 namespace {
 
 /// Runs replication `rep` (stream split(rep+1)) and pushes one observation
-/// per time point into `stats`.
+/// per time point into `stats`, plus the path likelihood ratio into
+/// `lr_stat` (IS diagnostics; exactly 1 without biasing).
 void run_one_replication(Executor& exec, const san::RewardFn& reward,
                          const TransientOptions& options, util::Rng& master,
                          std::uint64_t rep,
                          std::vector<util::RunningStat>& stats,
-                         std::uint64_t& events) {
+                         util::RunningStat& lr_stat, std::uint64_t& events) {
   exec.reset(master.split(rep + 1));
   bool absorbed = false;
   double absorbed_lr = 0.0;
@@ -39,6 +44,7 @@ void run_one_replication(Executor& exec, const san::RewardFn& reward,
       stats[i].push(reward(exec.marking()) * exec.likelihood_ratio());
     }
   }
+  lr_stat.push(absorbed ? absorbed_lr : exec.likelihood_ratio());
   events += exec.events();
 }
 
@@ -57,6 +63,7 @@ TransientResult estimate_transient(const san::FlatModel& model,
   AHS_REQUIRE(options.max_replications >= options.min_replications,
               "max_replications < min_replications");
   AHS_REQUIRE(options.threads >= 1, "threads must be >= 1");
+  AHS_SPAN("transient.estimate");
 
   const std::size_t k = options.time_points.size();
   const std::uint32_t workers = options.threads;
@@ -70,6 +77,7 @@ TransientResult estimate_transient(const san::FlatModel& model,
   result.time_points = options.time_points;
 
   std::vector<util::RunningStat> stats(k);
+  util::RunningStat lr_stats;
   util::Rng master(options.seed);
 
   // Per-worker state lives for the whole estimation; per round, worker w
@@ -78,6 +86,7 @@ TransientResult estimate_transient(const san::FlatModel& model,
     std::unique_ptr<Executor> exec;
     util::Rng master;
     std::vector<util::RunningStat> stats;
+    util::RunningStat lr_stat;
     std::uint64_t events = 0;
   };
   std::vector<Worker> pool;
@@ -101,7 +110,7 @@ TransientResult estimate_transient(const san::FlatModel& model,
       Worker& wk = pool[w];
       for (std::uint64_t r = w; r < round; r += workers)
         run_one_replication(*wk.exec, reward, options, wk.master, done + r,
-                            wk.stats, wk.events);
+                            wk.stats, wk.lr_stat, wk.events);
     };
 
     if (workers == 1) {
@@ -121,11 +130,15 @@ TransientResult estimate_transient(const san::FlatModel& model,
         stats[i].merge(wk.stats[i]);
         wk.stats[i].reset();
       }
+      lr_stats.merge(wk.lr_stat);
+      wk.lr_stat.reset();
       result.total_events += wk.events;
       wk.events = 0;
     }
     done += round;
 
+    result.rel_half_width_trajectory.push_back(
+        stats.back().interval(options.confidence).relative_half_width());
     if (done >= options.min_replications) {
       const auto ci = stats.back().interval(options.confidence);
       if (ci.converged(options.rel_half_width)) converged = true;
@@ -137,6 +150,29 @@ TransientResult estimate_transient(const san::FlatModel& model,
   result.estimates.reserve(k);
   for (const auto& s : stats)
     result.estimates.push_back(s.interval(options.confidence));
+
+  // Importance-sampling health.  With degenerate weights (a handful of huge
+  // likelihood ratios dominating the sum) the normal-theory interval is
+  // untrustworthy even if it looks converged — surface that loudly.
+  result.ess = lr_stats.effective_sample_size();
+  result.lr_variance = lr_stats.variance();
+  if (util::MetricsRegistry* reg = util::MetricsRegistry::global()) {
+    reg->gauge("sim.transient.ess").set(result.ess);
+    reg->gauge("sim.transient.lr_variance").set(result.lr_variance);
+    reg->counter("sim.transient.replications").add(done);
+  }
+  const bool biased = options.bias != nullptr && options.bias->active();
+  if (biased && options.ess_warn_floor > 0.0 &&
+      result.ess <
+          options.ess_warn_floor * static_cast<double>(result.replications)) {
+    AHS_LOGM_WARN("sim")
+        << "importance-sampling effective sample size "
+        << util::format_sci(result.ess) << " is below "
+        << util::format_sci(options.ess_warn_floor) << " x "
+        << result.replications
+        << " replications — likelihood ratios are degenerate; reduce the "
+           "biasing strength";
+  }
   return result;
 }
 

@@ -38,6 +38,12 @@ struct TransientOptions {
   /// Optional importance-sampling plan (see Executor).
   const BiasPlan* bias = nullptr;
 
+  /// Importance-sampling health check: warn through the thread-safe logger
+  /// (module "sim") when the Kish effective sample size of the path
+  /// likelihood ratios falls below this fraction of the replication count.
+  /// Only checked when `bias` is active; 0 disables.
+  double ess_warn_floor = 0.05;
+
   /// Simulation engine (see Executor::Engine).  Both produce identical
   /// trajectories; kFullRescan exists for conformance checks and benchmarks.
   Executor::Engine engine = Executor::Engine::kIncremental;
@@ -61,6 +67,17 @@ struct TransientResult {
   std::uint64_t replications = 0;
   std::uint64_t total_events = 0;
   bool converged = false;
+
+  // Importance-sampling diagnostics over the per-replication path
+  // likelihood ratios (all exactly 1 without biasing, so ess ==
+  // replications and lr_variance == 0 then).
+  double ess = 0.0;          ///< Kish effective sample size (Σw)²/Σw²
+  double lr_variance = 0.0;  ///< sample variance of the likelihood ratios
+
+  /// Relative CI half-width at the last time point, recorded at every
+  /// convergence check (one entry per check_every round) — the convergence
+  /// trajectory an analyst reads to judge estimator health.
+  std::vector<double> rel_half_width_trajectory;
 
   /// Point estimate at time_points[i].
   double mean(std::size_t i) const { return estimates.at(i).mean; }

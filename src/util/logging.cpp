@@ -1,14 +1,22 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 #include <mutex>
+#include <utility>
+
+#include "util/string_util.h"
 
 namespace util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::atomic<LogFormat> g_format{LogFormat::kText};
 std::mutex g_mutex;
+std::function<void(const std::string&)> g_sink;  // guarded by g_mutex
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,16 +27,74 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+const char* level_name_lower(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+/// UTC wall-clock with millisecond resolution, ISO-8601.
+std::string timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+/// Builds the one formatted line both formats share the emission path for.
+std::string format_line(LogLevel level, const std::string& module,
+                        const std::string& message) {
+  const std::string ts = timestamp();
+  if (g_format.load(std::memory_order_relaxed) == LogFormat::kJson) {
+    return "{\"ts\": \"" + ts + "\", \"level\": \"" +
+           level_name_lower(level) + "\", \"module\": \"" +
+           json_escape(module) + "\", \"msg\": \"" + json_escape(message) +
+           "\"}";
+  }
+  return ts + " [" + level_name(level) + "] [" + module + "] " + message;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
-void log_message(LogLevel level, const std::string& message) {
+void set_log_format(LogFormat format) { g_format.store(format); }
+
+LogFormat log_format() { return g_format.load(); }
+
+void set_log_sink(std::function<void(const std::string&)> sink) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void log_message(LogLevel level, const std::string& module,
+                 const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+  const std::string line = format_line(level, module, message);
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_sink) {
+    g_sink(line);
+    return;
+  }
+  // One formatted write; the terminating newline rides along so concurrent
+  // emitters cannot interleave within a line.
+  std::cerr << (line + '\n');
 }
 
 }  // namespace util

@@ -1,27 +1,56 @@
-// Leveled logging to stderr.  Intentionally tiny: the libraries in this repo
-// signal errors with exceptions; logging exists for progress reporting from
-// the long-running estimation loops and for optional trace output.
+// Leveled logging.  Intentionally small: the libraries in this repo signal
+// errors with exceptions; logging exists for progress reporting from the
+// long-running estimation loops and for statistical-health warnings (e.g.
+// the IS effective-sample-size floor in sim/transient).
+//
+// Concurrency: each message is formatted into one string and emitted with a
+// single write under a mutex, so lines from parallel sweeps never interleave
+// mid-line.  Format:
+//
+//   text  2026-08-06T12:34:56.789Z [WARN] [sim] message
+//   json  {"ts": "2026-08-06T12:34:56.789Z", "level": "warn",
+//          "module": "sim", "msg": "message"}
+//
+// set_log_format(LogFormat::kJson) switches every emission to one JSON
+// object per line (machine consumption); both formats share the emission
+// path.  set_log_sink() redirects emission (tests capture output with it).
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+enum class LogFormat { kText, kJson };
 
 /// Global threshold; messages below it are discarded.  Default: kInfo.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits a line `[LEVEL] message` to stderr if `level >= threshold`.
-void log_message(LogLevel level, const std::string& message);
+/// Text (default) or one-JSON-object-per-line emission.
+void set_log_format(LogFormat format);
+LogFormat log_format();
+
+/// Redirects emission: the sink receives each fully formatted line (no
+/// trailing newline).  nullptr restores the default (stderr).  The sink is
+/// invoked under the logging mutex — keep it fast and do not log from it.
+void set_log_sink(std::function<void(const std::string& line)> sink);
+
+/// Emits `message` tagged with `module` if `level >= threshold`.
+void log_message(LogLevel level, const std::string& module,
+                 const std::string& message);
+inline void log_message(LogLevel level, const std::string& message) {
+  log_message(level, "ahs", message);
+}
 
 namespace detail {
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(LogLevel level, const char* module)
+      : level_(level), module_(module) {}
+  ~LogLine() { log_message(level_, module_, os_.str()); }
   template <typename T>
   LogLine& operator<<(const T& v) {
     os_ << v;
@@ -30,13 +59,26 @@ class LogLine {
 
  private:
   LogLevel level_;
+  const char* module_;
   std::ostringstream os_;
 };
 }  // namespace detail
 
 }  // namespace util
 
-#define AHS_LOG_DEBUG ::util::detail::LogLine(::util::LogLevel::kDebug)
-#define AHS_LOG_INFO ::util::detail::LogLine(::util::LogLevel::kInfo)
-#define AHS_LOG_WARN ::util::detail::LogLine(::util::LogLevel::kWarn)
-#define AHS_LOG_ERROR ::util::detail::LogLine(::util::LogLevel::kError)
+// Module-tagged forms; the tag shows which subsystem spoke ("sim",
+// "ctmc", "sweep", ...).
+#define AHS_LOGM_DEBUG(module) \
+  ::util::detail::LogLine(::util::LogLevel::kDebug, module)
+#define AHS_LOGM_INFO(module) \
+  ::util::detail::LogLine(::util::LogLevel::kInfo, module)
+#define AHS_LOGM_WARN(module) \
+  ::util::detail::LogLine(::util::LogLevel::kWarn, module)
+#define AHS_LOGM_ERROR(module) \
+  ::util::detail::LogLine(::util::LogLevel::kError, module)
+
+// Untagged forms keep working (module "ahs").
+#define AHS_LOG_DEBUG AHS_LOGM_DEBUG("ahs")
+#define AHS_LOG_INFO AHS_LOGM_INFO("ahs")
+#define AHS_LOG_WARN AHS_LOGM_WARN("ahs")
+#define AHS_LOG_ERROR AHS_LOGM_ERROR("ahs")

@@ -1,0 +1,247 @@
+#include "util/metrics.h"
+
+#include <atomic>
+#include <bit>
+
+#include "util/error.h"
+
+namespace util {
+
+namespace metrics_detail {
+
+// Cells live in fixed-size blocks published through atomic pointers, so a
+// shard can grow (new instruments registered mid-run) without ever moving a
+// cell another thread might be reading: the owning thread allocates a block
+// and publishes it with release; snapshot() loads with acquire.
+constexpr std::uint32_t kBlockSize = 256;
+constexpr std::uint32_t kMaxBlocks = 64;
+
+struct Shard {
+  std::atomic<std::uint64_t*> blocks[kMaxBlocks] = {};
+
+  ~Shard() {
+    for (auto& b : blocks) delete[] b.load(std::memory_order_relaxed);
+  }
+
+  /// Owner-thread only: the cell's storage, allocating its block on first
+  /// touch.  Cells start at 0.
+  std::uint64_t* cell(std::uint32_t index) {
+    const std::uint32_t bi = index / kBlockSize;
+    AHS_ASSERT(bi < kMaxBlocks, "metrics shard block limit exceeded");
+    std::uint64_t* block = blocks[bi].load(std::memory_order_relaxed);
+    if (block == nullptr) {
+      block = new std::uint64_t[kBlockSize]();
+      blocks[bi].store(block, std::memory_order_release);
+    }
+    return block + index % kBlockSize;
+  }
+
+  /// Any thread: reads the cell, 0 if its block was never touched.
+  std::uint64_t read(std::uint32_t index) const {
+    const std::uint64_t* block =
+        blocks[index / kBlockSize].load(std::memory_order_acquire);
+    if (block == nullptr) return 0;
+    return std::atomic_ref<const std::uint64_t>(block[index % kBlockSize])
+        .load(std::memory_order_relaxed);
+  }
+};
+
+namespace {
+
+// Every cell has exactly one writer (the shard's thread), so relaxed
+// load/modify/store through atomic_ref is race-free and avoids RMW lock
+// prefixes entirely.
+inline void cell_add(std::uint64_t* c, std::uint64_t n) {
+  std::atomic_ref<std::uint64_t> ref(*c);
+  ref.store(ref.load(std::memory_order_relaxed) + n,
+            std::memory_order_relaxed);
+}
+
+inline void cell_store(std::uint64_t* c, std::uint64_t v) {
+  std::atomic_ref<std::uint64_t>(*c).store(v, std::memory_order_relaxed);
+}
+
+inline void cell_add_double(std::uint64_t* c, double v) {
+  std::atomic_ref<std::uint64_t> ref(*c);
+  const double cur = std::bit_cast<double>(ref.load(std::memory_order_relaxed));
+  ref.store(std::bit_cast<std::uint64_t>(cur + v), std::memory_order_relaxed);
+}
+
+/// Registries get a process-unique id, so a thread-local cached
+/// (registry id, shard) pair from a destroyed registry can never be
+/// mistaken for a live one even if the allocator reuses the address.
+std::atomic<std::uint64_t> g_registry_ids{1};
+
+/// Orders concurrent Gauge::set calls across threads.
+std::atomic<std::uint64_t> g_gauge_stamp{1};
+
+std::atomic<MetricsRegistry*> g_global{nullptr};
+
+struct TlEntry {
+  std::uint64_t registry_id;
+  Shard* shard;
+};
+
+thread_local std::vector<TlEntry> tl_shards;
+
+}  // namespace
+}  // namespace metrics_detail
+
+using metrics_detail::Shard;
+
+MetricsRegistry::MetricsRegistry()
+    : id_(metrics_detail::g_registry_ids.fetch_add(
+          1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() {
+  if (global() == this) set_global(nullptr);
+}
+
+MetricsRegistry* MetricsRegistry::global() {
+  return metrics_detail::g_global.load(std::memory_order_acquire);
+}
+
+void MetricsRegistry::set_global(MetricsRegistry* registry) {
+  metrics_detail::g_global.store(registry, std::memory_order_release);
+}
+
+Shard* MetricsRegistry::shard() {
+  for (const auto& e : metrics_detail::tl_shards)
+    if (e.registry_id == id_) return e.shard;
+  auto owned = std::make_unique<Shard>();
+  Shard* raw = owned.get();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shards_.push_back(std::move(owned));
+  }
+  metrics_detail::tl_shards.push_back({id_, raw});
+  return raw;
+}
+
+const MetricsRegistry::Instrument& MetricsRegistry::intern(
+    const std::string& name, Kind kind, std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Instrument& ins : instruments_) {
+    if (ins.name == name) {
+      AHS_REQUIRE(ins.kind == kind,
+                  "metric '" + name + "' re-registered as a different kind");
+      return ins;
+    }
+  }
+  std::uint32_t width = 1;
+  if (kind == Kind::kGauge) width = 2;  // value bits + stamp
+  if (kind == Kind::kHistogram) {
+    AHS_REQUIRE(!bounds.empty(), "histogram '" + name + "' needs bounds");
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+      AHS_REQUIRE(bounds[i] > bounds[i - 1],
+                  "histogram '" + name + "' bounds must be increasing");
+    // buckets (incl. overflow) + total count + sum bits
+    width = static_cast<std::uint32_t>(bounds.size()) + 3;
+  }
+  AHS_REQUIRE(
+      cells_ + width <= metrics_detail::kBlockSize * metrics_detail::kMaxBlocks,
+      "metrics registry cell capacity exceeded");
+  Instrument ins;
+  ins.name = name;
+  ins.kind = kind;
+  ins.cell = cells_;
+  ins.bounds = std::move(bounds);
+  cells_ += width;
+  instruments_.push_back(std::move(ins));
+  return instruments_.back();
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  return Counter(this, intern(name, Kind::kCounter, {}).cell);
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  return Gauge(this, intern(name, Kind::kGauge, {}).cell);
+}
+
+HistogramHandle MetricsRegistry::histogram(const std::string& name,
+                                           std::vector<double> bounds) {
+  const Instrument& ins = intern(name, Kind::kHistogram, std::move(bounds));
+  HistogramHandle h;
+  h.registry_ = this;
+  h.cell_ = ins.cell;
+  h.buckets_ = static_cast<std::uint32_t>(ins.bounds.size());
+  // Instruments are never erased or moved (deque), so this pointer stays
+  // valid for the registry's lifetime.
+  h.bounds_ = ins.bounds.data();
+  return h;
+}
+
+void Counter::add(std::uint64_t n) {
+  if (registry_ == nullptr) return;
+  metrics_detail::cell_add(registry_->shard()->cell(cell_), n);
+}
+
+void Gauge::set(double v) {
+  if (registry_ == nullptr) return;
+  Shard* s = registry_->shard();
+  const std::uint64_t stamp =
+      metrics_detail::g_gauge_stamp.fetch_add(1, std::memory_order_relaxed);
+  metrics_detail::cell_store(s->cell(cell_), std::bit_cast<std::uint64_t>(v));
+  metrics_detail::cell_store(s->cell(cell_ + 1), stamp);
+}
+
+void HistogramHandle::record(double v) {
+  if (registry_ == nullptr) return;
+  Shard* s = registry_->shard();
+  std::uint32_t bucket = buckets_;  // overflow unless a bound catches it
+  for (std::uint32_t i = 0; i < buckets_; ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  metrics_detail::cell_add(s->cell(cell_ + bucket), 1);
+  metrics_detail::cell_add(s->cell(cell_ + buckets_ + 1), 1);
+  metrics_detail::cell_add_double(s->cell(cell_ + buckets_ + 2), v);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const Instrument& ins : instruments_) {
+    switch (ins.kind) {
+      case Kind::kCounter: {
+        std::uint64_t total = 0;
+        for (const auto& s : shards_) total += s->read(ins.cell);
+        snap.counters[ins.name] = total;
+        break;
+      }
+      case Kind::kGauge: {
+        double value = 0.0;
+        std::uint64_t best_stamp = 0;
+        for (const auto& s : shards_) {
+          const std::uint64_t stamp = s->read(ins.cell + 1);
+          if (stamp > best_stamp) {
+            best_stamp = stamp;
+            value = std::bit_cast<double>(s->read(ins.cell));
+          }
+        }
+        snap.gauges[ins.name] = value;
+        break;
+      }
+      case Kind::kHistogram: {
+        MetricsSnapshot::HistogramData h;
+        h.bounds = ins.bounds;
+        const auto buckets = static_cast<std::uint32_t>(ins.bounds.size());
+        h.counts.assign(buckets + 1, 0);
+        for (const auto& s : shards_) {
+          for (std::uint32_t b = 0; b <= buckets; ++b)
+            h.counts[b] += s->read(ins.cell + b);
+          h.count += s->read(ins.cell + buckets + 1);
+          h.sum += std::bit_cast<double>(s->read(ins.cell + buckets + 2));
+        }
+        snap.histograms[ins.name] = std::move(h);
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+}  // namespace util

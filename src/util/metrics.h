@@ -1,0 +1,168 @@
+// Run-telemetry metrics: a thread-safe registry of named counters, gauges,
+// and fixed-bucket histograms, cheap enough for the simulation/solver hot
+// paths.
+//
+// Design:
+//  * Handles, not lookups: a call site resolves `registry.counter("name")`
+//    once (at construction/reset time) and keeps the returned handle; the
+//    per-event operation is handle.add(n).
+//  * Per-thread shards: every thread writes its own cells, so increments
+//    never contend.  Cells are plain words accessed through
+//    std::atomic_ref with relaxed ordering — each cell has exactly one
+//    writer (its thread), so no RMW lock prefix is needed, yet a
+//    concurrent snapshot() is race-free.  snapshot() merges all shards;
+//    after the writing threads have joined, the merged sums are exact.
+//  * Detached means free: a default-constructed handle (or one resolved
+//    from a null registry) makes every operation a single predictable
+//    branch.  Instrumented components resolve MetricsRegistry::global(),
+//    which is null unless a telemetry session is attached — see
+//    util/telemetry.h.
+//
+// Naming convention: dot-separated lowercase paths, `<layer>.<component>.
+// <metric>` (e.g. "sim.executor.events", "ctmc.uniformization.iterations");
+// docs/OBSERVABILITY.md holds the catalogue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace util {
+
+class MetricsRegistry;
+
+namespace metrics_detail {
+struct Shard;
+}  // namespace metrics_detail
+
+/// Monotonic event counter.  add() is wait-free and never contends.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t n);
+  void inc() { add(1); }
+  bool attached() const { return registry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* r, std::uint32_t cell) : registry_(r), cell_(cell) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t cell_ = 0;
+};
+
+/// Last-write-wins double value (e.g. "current ESS").  Across threads the
+/// most recent set() wins (a global sequence stamp orders them).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v);
+  bool attached() const { return registry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* r, std::uint32_t cell) : registry_(r), cell_(cell) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t cell_ = 0;
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the first
+/// bounds.size() buckets; one implicit overflow bucket catches the rest.
+/// record() is a linear scan over the (small, fixed) bound array — right for
+/// the ~10-bucket diagnostics this repo needs.
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+  void record(double v);
+  bool attached() const { return registry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t cell_ = 0;
+  std::uint32_t buckets_ = 0;     ///< bound count (overflow bucket excluded)
+  const double* bounds_ = nullptr;
+};
+
+/// Point-in-time merged view of a registry.  Keys iterate in sorted order
+/// (std::map), so the *set and order* of keys is deterministic for a given
+/// instrumented code path — values may differ run to run, keys may not.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;         ///< upper bounds, one per bucket
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;            ///< total samples
+    double sum = 0.0;                   ///< sum of samples
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// The registry.  Instrument registration (counter()/gauge()/histogram())
+/// takes a mutex and may allocate; handle operations never do (beyond a
+/// thread's first touch of a registry, which allocates its shard).
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create by name.  Re-registration with the same name returns a
+  /// handle to the same instrument; a histogram re-registered with
+  /// different bounds keeps the original bounds (first registration wins).
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  HistogramHandle histogram(const std::string& name,
+                            std::vector<double> bounds);
+
+  /// Merges every thread's shard.  Safe to call concurrently with handle
+  /// writes (sums may then lag in-flight increments by a few).
+  MetricsSnapshot snapshot() const;
+
+  /// The process-wide default registry, or null when detached.  Components
+  /// resolve this at construction/reset; TelemetrySession (util/telemetry.h)
+  /// attaches/detaches it.
+  static MetricsRegistry* global();
+  static void set_global(MetricsRegistry* registry);
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class HistogramHandle;
+
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Instrument {
+    std::string name;
+    Kind kind;
+    std::uint32_t cell = 0;      ///< first cell index in a shard
+    std::vector<double> bounds;  ///< histogram only
+  };
+
+  /// Returns the calling thread's shard, creating (and registering) it on
+  /// the thread's first touch of this registry.
+  metrics_detail::Shard* shard();
+  const Instrument& intern(const std::string& name, Kind kind,
+                           std::vector<double> bounds);
+
+  mutable std::mutex mutex_;
+  /// deque: registration must not move existing Instruments — intern()
+  /// hands out references (and histogram bound pointers) that outlive the
+  /// registration lock.
+  std::deque<Instrument> instruments_;
+  std::uint32_t cells_ = 0;  ///< total cells per shard
+  std::vector<std::unique_ptr<metrics_detail::Shard>> shards_;
+  std::uint64_t id_ = 0;  ///< process-unique, guards thread-local caches
+};
+
+}  // namespace util

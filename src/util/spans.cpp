@@ -1,0 +1,124 @@
+#include "util/spans.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+namespace util {
+
+struct SpanTree::Node {
+  std::string name;
+  Node* parent = nullptr;
+  std::vector<Node*> children;  ///< guarded by the tree mutex
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> total_ns{0};
+};
+
+namespace {
+
+std::atomic<SpanTree*> g_global_tree{nullptr};
+
+/// The thread's adopted/open position.  A default token (null tree) means
+/// "fall back to the global tree's root".
+thread_local SpanToken tl_span;
+
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+SpanTree::SpanTree() {
+  auto root = std::make_unique<Node>();
+  root->name = "run";
+  root_ = root.get();
+  nodes_.push_back(std::move(root));
+}
+
+SpanTree::~SpanTree() {
+  if (global() == this) set_global(nullptr);
+}
+
+SpanTree* SpanTree::global() {
+  return g_global_tree.load(std::memory_order_acquire);
+}
+
+void SpanTree::set_global(SpanTree* tree) {
+  g_global_tree.store(tree, std::memory_order_release);
+}
+
+SpanTree::Node* SpanTree::child(Node* parent, const char* name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (Node* c : parent->children)
+    if (c->name == name) return c;
+  auto node = std::make_unique<Node>();
+  node->name = name;
+  node->parent = parent;
+  Node* raw = node.get();
+  parent->children.push_back(raw);
+  nodes_.push_back(std::move(node));
+  return raw;
+}
+
+void SpanTree::record(Node* node, std::uint64_t elapsed_ns) {
+  node->count.fetch_add(1, std::memory_order_relaxed);
+  node->total_ns.fetch_add(elapsed_ns, std::memory_order_relaxed);
+}
+
+SpanTree::Snapshot SpanTree::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  struct Rec {
+    static Snapshot walk(const Node* n) {
+      Snapshot s;
+      s.name = n->name;
+      s.count = n->count.load(std::memory_order_relaxed);
+      s.seconds =
+          static_cast<double>(n->total_ns.load(std::memory_order_relaxed)) *
+          1e-9;
+      std::vector<const Node*> kids(n->children.begin(), n->children.end());
+      std::sort(kids.begin(), kids.end(),
+                [](const Node* a, const Node* b) { return a->name < b->name; });
+      s.children.reserve(kids.size());
+      for (const Node* c : kids) s.children.push_back(walk(c));
+      return s;
+    }
+  };
+  return Rec::walk(root_);
+}
+
+SpanToken current_span_token() {
+  if (tl_span.tree != nullptr) return tl_span;
+  SpanTree* tree = SpanTree::global();
+  if (tree == nullptr) return {};
+  return {tree, tree->root()};
+}
+
+SpanTokenScope::SpanTokenScope(SpanToken token)
+    : saved_(tl_span), active_(token.tree != nullptr) {
+  if (active_) tl_span = token;
+}
+
+SpanTokenScope::~SpanTokenScope() {
+  if (active_) tl_span = saved_;
+}
+
+ScopedSpan::ScopedSpan(const char* name) : tree_(nullptr) {
+  const SpanToken at = current_span_token();
+  if (at.tree == nullptr) return;
+  tree_ = at.tree;
+  parent_ = tl_span.node;  // null when we fell back to the global root
+  node_ = tree_->child(at.node, name);
+  tl_span = {tree_, node_};
+  start_ns_ = now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tree_ == nullptr) return;
+  tree_->record(node_, now_ns() - start_ns_);
+  tl_span = {parent_ == nullptr ? nullptr : tree_, parent_};
+}
+
+}  // namespace util

@@ -1,0 +1,119 @@
+// Hierarchical phase spans: RAII scoped timers that nest, aggregate by
+// path, and survive ThreadPool fan-out.
+//
+//   AHS_SPAN("uniformization.solve");
+//
+// opens a span named "uniformization.solve" under the thread's current
+// span; all invocations with the same path share one node, accumulating
+// (count, total time).  A SpanTree must be attached (process-wide, via
+// util::TelemetrySession or SpanTree::set_global) for spans to record —
+// detached, AHS_SPAN is a null-pointer test.
+//
+// Fan-out: util::ThreadPool captures the submitter's span token at submit()
+// time and re-establishes it inside the task, so work a phase fans out
+// appears *under* that phase in the tree regardless of which worker ran it
+// or how many workers exist.  Span paths (the tree's key structure) are
+// therefore thread-count independent; only the measured durations differ.
+//
+// Spans are for phase-granularity timing (a solve, a sweep point, a
+// replication batch) — per-event costs belong in util/metrics counters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace util {
+
+/// Shared, thread-safe aggregation tree.  Node creation locks; recording a
+/// finished span into an existing node is lock-free.
+class SpanTree {
+ public:
+  struct Node;
+
+  SpanTree();
+  ~SpanTree();
+
+  SpanTree(const SpanTree&) = delete;
+  SpanTree& operator=(const SpanTree&) = delete;
+
+  Node* root() const { return root_; }
+
+  /// Find-or-create the child of `parent` named `name`.
+  Node* child(Node* parent, const char* name);
+
+  /// Accumulates one finished span into `node`.
+  void record(Node* node, std::uint64_t elapsed_ns);
+
+  /// Aggregated view.  Children are sorted by name, so the structure is
+  /// deterministic for a given set of executed span paths.
+  struct Snapshot {
+    std::string name;
+    std::uint64_t count = 0;
+    double seconds = 0.0;
+    std::vector<Snapshot> children;
+  };
+  Snapshot snapshot() const;
+
+  /// Process-wide default tree, or null when detached.
+  static SpanTree* global();
+  static void set_global(SpanTree* tree);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Node>> nodes_;  ///< owns every node
+  Node* root_;
+};
+
+/// A position in a SpanTree — what a thread is "inside" right now.  Null
+/// tree means no telemetry is active for that thread.
+struct SpanToken {
+  SpanTree* tree = nullptr;
+  SpanTree::Node* node = nullptr;
+};
+
+/// The calling thread's current span position: its adopted/open span if it
+/// has one, else the root of the attached global tree, else a null token.
+SpanToken current_span_token();
+
+/// RAII: makes `token` the calling thread's current span position (restores
+/// the previous one on destruction).  ThreadPool wraps every task in one of
+/// these so pool tasks continue the submitter's span path.
+class SpanTokenScope {
+ public:
+  explicit SpanTokenScope(SpanToken token);
+  ~SpanTokenScope();
+
+  SpanTokenScope(const SpanTokenScope&) = delete;
+  SpanTokenScope& operator=(const SpanTokenScope&) = delete;
+
+ private:
+  SpanToken saved_;
+  bool active_;
+};
+
+/// RAII scoped timer — use via AHS_SPAN.  `name` must outlive the scope
+/// (string literals do).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanTree* tree_;
+  SpanTree::Node* node_ = nullptr;
+  SpanTree::Node* parent_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace util
+
+#define AHS_SPAN_CONCAT2(a, b) a##b
+#define AHS_SPAN_CONCAT(a, b) AHS_SPAN_CONCAT2(a, b)
+#define AHS_SPAN(name) \
+  ::util::ScopedSpan AHS_SPAN_CONCAT(ahs_span_scope_, __LINE__)(name)

@@ -92,6 +92,17 @@ double RunningStat::variance() const {
 
 double RunningStat::stddev() const { return std::sqrt(variance()); }
 
+double RunningStat::sum_squares() const {
+  return m2_ + static_cast<double>(n_) * mean_ * mean_;
+}
+
+double RunningStat::effective_sample_size() const {
+  const double ss = sum_squares();
+  if (ss <= 0.0) return 0.0;
+  const double s = sum();
+  return s * s / ss;
+}
+
 double RunningStat::std_error() const {
   if (n_ < 2) return std::numeric_limits<double>::infinity();
   return stddev() / std::sqrt(static_cast<double>(n_));

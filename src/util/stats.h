@@ -57,6 +57,13 @@ class RunningStat {
   double min() const { return min_; }
   double max() const { return max_; }
   double sum() const { return mean_ * static_cast<double>(n_); }
+  /// Σx² of the pushed observations (recovered from the Welford state:
+  /// m2 = Σ(x-mean)², so Σx² = m2 + n·mean²).
+  double sum_squares() const;
+  /// Kish effective sample size (Σx)²/Σx² — for importance-sampling weight
+  /// observations this is the equivalent number of unweighted samples.
+  /// Equals n when all observations are equal; 0 when empty or all zero.
+  double effective_sample_size() const;
 
   /// Normal-theory confidence interval on the mean.
   ConfidenceInterval interval(double confidence = 0.95) const;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "util/error.h"
@@ -69,6 +71,42 @@ std::string format_fixed(double value, int max_decimals) {
     if (!s.empty() && s.back() == '.') s.pop_back();
   }
   return s;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Shortest decimal rendering that round-trips back to the same bits.
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[40];
+    std::snprintf(probe, sizeof probe, "%.*g", prec, v);
+    if (std::strtod(probe, nullptr) == v) return probe;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
 }
 
 double parse_double(std::string_view s) {

@@ -30,6 +30,13 @@ std::string format_sci(double value, int digits = 3);
 /// Formats a double with fixed precision, trimming trailing zeros.
 std::string format_fixed(double value, int max_decimals = 6);
 
+/// Escapes a string for embedding in a JSON document (quotes not included).
+std::string json_escape(std::string_view s);
+
+/// Shortest round-trip decimal rendering of a double for JSON output
+/// ("null" for non-finite values — JSON has no inf/nan).
+std::string json_number(double v);
+
 /// Parses a double, throwing util::PreconditionError on malformed input.
 double parse_double(std::string_view s);
 

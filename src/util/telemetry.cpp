@@ -1,0 +1,153 @@
+#include "util/telemetry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace util {
+
+namespace {
+
+void append_histogram(std::ostringstream& os,
+                      const MetricsSnapshot::HistogramData& h) {
+  os << "{\"bounds\": [";
+  for (std::size_t i = 0; i < h.bounds.size(); ++i)
+    os << (i ? ", " : "") << json_number(h.bounds[i]);
+  os << "], \"counts\": [";
+  for (std::size_t i = 0; i < h.counts.size(); ++i)
+    os << (i ? ", " : "") << h.counts[i];
+  os << "], \"count\": " << h.count << ", \"sum\": " << json_number(h.sum)
+     << "}";
+}
+
+void append_metrics(std::ostringstream& os, const MetricsSnapshot& m) {
+  os << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : m.counters) {
+    os << (first ? "" : ", ") << '"' << json_escape(name) << "\": " << value;
+    first = false;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : m.gauges) {
+    os << (first ? "" : ", ") << '"' << json_escape(name)
+       << "\": " << json_number(value);
+    first = false;
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : m.histograms) {
+    os << (first ? "" : ", ") << '"' << json_escape(name) << "\": ";
+    append_histogram(os, h);
+    first = false;
+  }
+  os << "}}";
+}
+
+void append_span(std::ostringstream& os, const SpanTree::Snapshot& s) {
+  os << "{\"name\": \"" << json_escape(s.name) << "\", \"count\": " << s.count
+     << ", \"seconds\": " << json_number(s.seconds) << ", \"children\": [";
+  for (std::size_t i = 0; i < s.children.size(); ++i) {
+    if (i) os << ", ";
+    append_span(os, s.children[i]);
+  }
+  os << "]}";
+}
+
+void render_span(std::ostream& os, const SpanTree::Snapshot& s, int depth) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << s.name << ": " << format_fixed(s.seconds, 3) << " s";
+  if (s.count != 1) os << " (" << s.count << "x)";
+  os << "\n";
+  for (const auto& c : s.children) render_span(os, c, depth + 1);
+}
+
+}  // namespace
+
+std::string TelemetryReport::to_json_fragment() const {
+  std::ostringstream os;
+  os << "{\"metrics\": ";
+  append_metrics(os, metrics);
+  os << ", \"spans\": ";
+  append_span(os, spans);
+  os << "}";
+  return os.str();
+}
+
+std::string TelemetryReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"schema\": \"ahs.telemetry.v1\", \"metrics\": ";
+  append_metrics(os, metrics);
+  os << ", \"spans\": ";
+  append_span(os, spans);
+  os << "}\n";
+  return os.str();
+}
+
+void TelemetryReport::render_summary(std::ostream& os) const {
+  os << "--- telemetry: phase spans ---\n";
+  render_span(os, spans, 0);
+  if (!metrics.counters.empty() || !metrics.gauges.empty()) {
+    os << "--- telemetry: metrics ---\n";
+    Table table({"metric", "value"});
+    for (const auto& [name, value] : metrics.counters)
+      table.add_row({name, std::to_string(value)});
+    for (const auto& [name, value] : metrics.gauges)
+      table.add_row({name, format_sci(value, 4)});
+    os << table;
+  }
+  if (!metrics.histograms.empty()) {
+    os << "--- telemetry: histograms ---\n";
+    Table table({"histogram", "count", "mean", "buckets (<=bound: n)"});
+    for (const auto& [name, h] : metrics.histograms) {
+      std::ostringstream buckets;
+      for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        if (h.counts[i] == 0) continue;
+        if (buckets.tellp() > 0) buckets << " ";
+        if (i < h.bounds.size())
+          buckets << format_fixed(h.bounds[i], 6) << ":" << h.counts[i];
+        else
+          buckets << ">" << format_fixed(h.bounds.back(), 6) << ":"
+                  << h.counts[i];
+      }
+      table.add_row({name, std::to_string(h.count),
+                     h.count ? format_sci(h.sum / static_cast<double>(h.count),
+                                          3)
+                             : "-",
+                     buckets.str()});
+    }
+    os << table;
+  }
+}
+
+void TelemetryReport::write_json_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  AHS_REQUIRE(out.good(), "cannot open telemetry output file '" + path + "'");
+  out << to_json();
+}
+
+TelemetrySession::TelemetrySession()
+    : prev_registry_(MetricsRegistry::global()), prev_spans_(SpanTree::global()) {
+  MetricsRegistry::set_global(&registry_);
+  SpanTree::set_global(&spans_);
+}
+
+TelemetrySession::~TelemetrySession() {
+  MetricsRegistry::set_global(prev_registry_);
+  SpanTree::set_global(prev_spans_);
+}
+
+TelemetryReport TelemetrySession::report() const {
+  TelemetryReport r;
+  r.metrics = registry_.snapshot();
+  r.spans = spans_.snapshot();
+  return r;
+}
+
+}  // namespace util

@@ -1,0 +1,69 @@
+// Run-telemetry session and report: ties a MetricsRegistry and a SpanTree
+// together, attaches them as the process-wide defaults, and exports one
+// machine-readable JSON document (schema "ahs.telemetry.v1") plus a human
+// summary rendering.
+//
+//   util::TelemetrySession session;          // instrumentation now records
+//   ... run the workload ...
+//   util::TelemetryReport report = session.report();
+//   report.write_json_file("telemetry.json");
+//   report.render_summary(std::cout);
+//
+// The JSON document is deterministic in *structure*: metric keys are sorted,
+// span children are sorted by name, and both depend only on which code paths
+// executed — not on thread count or scheduling.  Values (counts, seconds)
+// naturally differ between runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "util/metrics.h"
+#include "util/spans.h"
+
+namespace util {
+
+struct TelemetryReport {
+  MetricsSnapshot metrics;
+  SpanTree::Snapshot spans;
+
+  /// The full document: {"schema": "ahs.telemetry.v1", "metrics": {...},
+  /// "spans": {...}}.
+  std::string to_json() const;
+
+  /// to_json() for embedding: just the metrics/spans object, no schema
+  /// wrapper (used for the `telemetry` field of bench_timings.json records).
+  std::string to_json_fragment() const;
+
+  /// Human rendering: a span-tree outline plus a table of counters/gauges
+  /// and histogram summaries.
+  void render_summary(std::ostream& os) const;
+
+  void write_json_file(const std::string& path) const;
+};
+
+/// RAII: owns a registry + span tree and attaches them as the process-wide
+/// defaults for its lifetime (restoring whatever was attached before).
+/// Instrumented components resolve the defaults at construction/reset, so
+/// create the session before the instrumented objects.
+class TelemetrySession {
+ public:
+  TelemetrySession();
+  ~TelemetrySession();
+
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+  MetricsRegistry& registry() { return registry_; }
+  SpanTree& spans() { return spans_; }
+
+  TelemetryReport report() const;
+
+ private:
+  MetricsRegistry registry_;
+  SpanTree spans_;
+  MetricsRegistry* prev_registry_;
+  SpanTree* prev_spans_;
+};
+
+}  // namespace util

@@ -1,8 +1,10 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/error.h"
+#include "util/spans.h"
 
 namespace util {
 
@@ -11,6 +13,13 @@ unsigned ThreadPool::hardware_threads() {
 }
 
 ThreadPool::ThreadPool(unsigned workers) {
+  if (MetricsRegistry* reg = MetricsRegistry::global()) {
+    tasks_submitted_ = reg->counter("util.thread_pool.tasks");
+    busy_ns_ = reg->counter("util.thread_pool.busy_ns");
+    queue_depth_ = reg->histogram("util.thread_pool.queue_depth",
+                                  {0, 1, 2, 4, 8, 16, 32, 64, 128});
+    timing_ = true;
+  }
   if (workers == 0) workers = hardware_threads();
   workers_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i)
@@ -41,13 +50,32 @@ void ThreadPool::worker_loop() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
+  // Carry the submitter's span position into the task so fanned-out work
+  // nests under the submitting phase (util/spans.h).  Timing is only worth
+  // a clock read when a registry is attached.
+  const SpanToken token = current_span_token();
+  std::packaged_task<void()> packaged(
+      [task = std::move(task), token, this] {
+        SpanTokenScope scope(token);
+        if (timing_) {
+          const auto start = std::chrono::steady_clock::now();
+          task();
+          busy_ns_.add(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count()));
+        } else {
+          task();
+        }
+      });
   std::future<void> future = packaged.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
     AHS_REQUIRE(!stop_, "submit on a stopping ThreadPool");
     queue_.push(std::move(packaged));
+    queue_depth_.record(static_cast<double>(queue_.size()));
   }
+  tasks_submitted_.inc();
   cv_.notify_one();
   return future;
 }

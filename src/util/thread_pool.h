@@ -17,6 +17,13 @@
 // parallel_for must not be called from inside a pool task (the chunk wait
 // could then deadlock behind the caller's own queue entry); the sweep layer
 // therefore never hands the same pool to the per-point solvers.
+//
+// Telemetry: submit() captures the submitter's phase-span token and
+// re-establishes it inside the task (see util/spans.h), so fanned-out work
+// aggregates under the submitting phase for any worker count.  When a
+// metrics registry is attached at pool construction, the pool also records
+// queue depth at submit, task count, and per-task busy time
+// ("util.thread_pool.*").
 #pragma once
 
 #include <condition_variable>
@@ -27,6 +34,8 @@
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/metrics.h"
 
 namespace util {
 
@@ -68,6 +77,12 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+
+  // Telemetry (no-ops when no registry was attached at construction).
+  Counter tasks_submitted_;
+  Counter busy_ns_;
+  HistogramHandle queue_depth_;
+  bool timing_ = false;  ///< measure per-task busy time
 };
 
 }  // namespace util

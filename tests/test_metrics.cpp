@@ -1,0 +1,142 @@
+// MetricsRegistry tests: exactness of concurrent counter/histogram
+// accumulation across per-thread shards, gauge semantics, detached handles,
+// and snapshot determinism.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace {
+
+TEST(Metrics, CounterAccumulates) {
+  util::MetricsRegistry reg;
+  util::Counter c = reg.counter("a.b.c");
+  c.inc();
+  c.add(41);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.count("a.b.c"), 1u);
+  EXPECT_EQ(snap.counters.at("a.b.c"), 42u);
+}
+
+TEST(Metrics, ReregistrationSharesTheInstrument) {
+  util::MetricsRegistry reg;
+  util::Counter a = reg.counter("shared");
+  util::Counter b = reg.counter("shared");
+  a.add(10);
+  b.add(5);
+  EXPECT_EQ(reg.snapshot().counters.at("shared"), 15u);
+}
+
+TEST(Metrics, ConcurrentCounterSumsExact) {
+  util::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Each thread resolves its own handle — same name, same instrument,
+      // its own shard cell.
+      util::Counter c = reg.counter("hammered");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.snapshot().counters.at("hammered"),
+            kThreads * kPerThread);
+}
+
+TEST(Metrics, ConcurrentHistogramCountsExact) {
+  util::MetricsRegistry reg;
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      util::HistogramHandle h = reg.histogram("h", {1, 2, 4});
+      for (int i = 0; i < kPerThread; ++i)
+        h.record(static_cast<double>((t + i) % 6));  // 0..5: two overflow
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = reg.snapshot();
+  const auto& h = snap.histograms.at("h");
+  ASSERT_EQ(h.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(h.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : h.counts) total += c;
+  EXPECT_EQ(total, h.count);
+  // Values cycle 0..5 uniformly: 0,1 -> bucket0; 2 -> bucket1; 3,4 ->
+  // bucket2; 5 -> overflow.
+  const std::uint64_t per_value = h.count / 6;
+  EXPECT_EQ(h.counts[0], 2 * per_value);
+  EXPECT_EQ(h.counts[1], per_value);
+  EXPECT_EQ(h.counts[2], 2 * per_value);
+  EXPECT_EQ(h.counts[3], per_value);
+  EXPECT_DOUBLE_EQ(h.sum / static_cast<double>(h.count), 2.5);
+}
+
+TEST(Metrics, HistogramFirstRegistrationBoundsWin) {
+  util::MetricsRegistry reg;
+  util::HistogramHandle a = reg.histogram("bounds", {1, 2});
+  util::HistogramHandle b = reg.histogram("bounds", {10, 20, 30});
+  a.record(1.5);
+  b.record(1.5);
+  const auto snap = reg.snapshot();
+  const auto& h = snap.histograms.at("bounds");
+  EXPECT_EQ(h.bounds, (std::vector<double>{1, 2}));
+  EXPECT_EQ(h.counts[1], 2u);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  util::MetricsRegistry reg;
+  util::Gauge g = reg.gauge("level");
+  g.set(1.0);
+  g.set(-3.5);
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauges.at("level"), -3.5);
+}
+
+TEST(Metrics, DetachedHandlesAreNoops) {
+  util::Counter c;
+  util::Gauge g;
+  util::HistogramHandle h;
+  EXPECT_FALSE(c.attached());
+  c.add(7);
+  g.set(1.0);
+  h.record(2.0);  // must not crash
+  SUCCEED();
+}
+
+TEST(Metrics, SnapshotKeysAreSorted) {
+  util::MetricsRegistry reg;
+  reg.counter("z.last").inc();
+  reg.counter("a.first").inc();
+  reg.counter("m.middle").inc();
+  const auto snap = reg.snapshot();
+  std::vector<std::string> keys;
+  for (const auto& [name, value] : snap.counters) keys.push_back(name);
+  EXPECT_EQ(keys, (std::vector<std::string>{"a.first", "m.middle", "z.last"}));
+}
+
+TEST(Metrics, TwoRegistriesAreIndependent) {
+  util::MetricsRegistry a, b;
+  a.counter("x").add(1);
+  b.counter("x").add(2);
+  EXPECT_EQ(a.snapshot().counters.at("x"), 1u);
+  EXPECT_EQ(b.snapshot().counters.at("x"), 2u);
+}
+
+TEST(Metrics, GlobalAttachDetach) {
+  EXPECT_EQ(util::MetricsRegistry::global(), nullptr);
+  {
+    util::MetricsRegistry reg;
+    util::MetricsRegistry::set_global(&reg);
+    EXPECT_EQ(util::MetricsRegistry::global(), &reg);
+    util::MetricsRegistry::set_global(nullptr);
+  }
+  EXPECT_EQ(util::MetricsRegistry::global(), nullptr);
+}
+
+}  // namespace

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/cli.h"
 #include "util/csv.h"
@@ -146,6 +148,72 @@ TEST(Logging, LevelFilter) {
   AHS_LOG_ERROR << "emitted to stderr";
   util::set_log_level(old);
   SUCCEED();
+}
+
+/// Captures formatted lines for a test body and restores the default sink
+/// (stderr), level, and format on exit.
+struct CaptureLog {
+  std::vector<std::string> lines;
+  util::LogLevel old_level = util::log_level();
+  util::LogFormat old_format = util::log_format();
+  CaptureLog() {
+    util::set_log_sink([this](const std::string& line) {
+      lines.push_back(line);
+    });
+  }
+  ~CaptureLog() {
+    util::set_log_sink(nullptr);
+    util::set_log_level(old_level);
+    util::set_log_format(old_format);
+  }
+};
+
+TEST(Logging, SinkReceivesFormattedTextLines) {
+  CaptureLog capture;
+  AHS_LOGM_WARN("sim") << "ess low: " << 12.5;
+  ASSERT_EQ(capture.lines.size(), 1u);
+  const std::string& line = capture.lines[0];
+  EXPECT_NE(line.find("[WARN]"), std::string::npos);
+  EXPECT_NE(line.find("[sim]"), std::string::npos);
+  EXPECT_NE(line.find("ess low: 12.5"), std::string::npos);
+  // Leads with an ISO-8601 UTC timestamp: YYYY-MM-DDTHH:MM:SS.mmmZ.
+  ASSERT_GE(line.size(), 24u);
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[23], 'Z');
+}
+
+TEST(Logging, SuppressedLevelsNeverReachTheSink) {
+  CaptureLog capture;
+  util::set_log_level(util::LogLevel::kWarn);
+  AHS_LOGM_INFO("ctmc") << "below threshold";
+  AHS_LOGM_WARN("ctmc") << "at threshold";
+  ASSERT_EQ(capture.lines.size(), 1u);
+  EXPECT_NE(capture.lines[0].find("at threshold"), std::string::npos);
+}
+
+TEST(Logging, JsonFormatEmitsOneObjectPerLine) {
+  CaptureLog capture;
+  util::set_log_format(util::LogFormat::kJson);
+  AHS_LOGM_ERROR("sweep") << "path \"a\\b\" failed";
+  ASSERT_EQ(capture.lines.size(), 1u);
+  const std::string& line = capture.lines[0];
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(line.find("\"module\": \"sweep\""), std::string::npos);
+  // Quotes and backslashes in the message are escaped.
+  EXPECT_NE(line.find("\"msg\": \"path \\\"a\\\\b\\\" failed\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"ts\": \""), std::string::npos);
+}
+
+TEST(Logging, UntaggedMacroUsesTheDefaultModule) {
+  CaptureLog capture;
+  AHS_LOG_WARN << "plain";
+  ASSERT_EQ(capture.lines.size(), 1u);
+  EXPECT_NE(capture.lines[0].find("[ahs]"), std::string::npos);
 }
 
 }  // namespace
