@@ -1,0 +1,157 @@
+// ahs_lint — static analysis of the AHS SAN models.
+//
+// Runs the san::analyze suite (dependency-soundness verification plus the
+// net-structure checks; see docs/ANALYSIS.md for the diagnostic catalogue)
+// over composed AHS system models.
+//
+//   $ ./ahs_lint                          # lint the default configuration
+//   $ ./ahs_lint --all --json             # every shipped configuration,
+//                                         # ahs.lint.v1 JSON to stdout
+//   $ ./ahs_lint --strategy CC --n 5 --dot model.dot
+//                                         # findings-highlighted Graphviz
+//
+// Exit status: 0 when no error-severity finding was reported, 1 otherwise
+// (warnings and infos do not fail the run).  CI runs `--all --json` and
+// archives the report.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ahs/parameters.h"
+#include "ahs/system_model.h"
+#include "san/analyze/analysis.h"
+#include "san/dependency.h"
+#include "san/dot.h"
+#include "util/cli.h"
+
+namespace {
+
+struct Config {
+  ahs::Parameters params;
+  std::string label;
+};
+
+std::string label_for(const ahs::Parameters& p) {
+  std::ostringstream os;
+  os << "ahs " << ahs::to_string(p.strategy) << " n=" << p.max_per_platoon
+     << " rho=" << p.join_rate / p.leave_rate;
+  if (p.adjacency_radius > 0) os << " r=" << p.adjacency_radius;
+  return os.str();
+}
+
+/// Every shipped configuration: the four Table 3 strategies crossed with
+/// representative platoon sizes and load points ρ = join/leave (Fig 13's
+/// axis).  Matches the grids the study and bench drivers sweep.
+std::vector<Config> all_configs() {
+  std::vector<Config> out;
+  for (const ahs::Strategy s : ahs::kAllStrategies)
+    for (const int n : {2, 5, 10})
+      for (const double join : {6.0, 12.0, 24.0}) {
+        ahs::Parameters p;
+        p.strategy = s;
+        p.max_per_platoon = n;
+        p.join_rate = join;
+        out.push_back({p, label_for(p)});
+      }
+  return out;
+}
+
+std::vector<std::string> split_ids(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string id;
+  while (std::getline(ss, id, ','))
+    if (!id.empty()) out.push_back(id);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("ahs_lint", "static analysis of the AHS SAN models");
+  auto all = cli.add_flag("all", "lint every shipped configuration");
+  auto json = cli.add_flag("json", "emit an ahs.lint.v1 JSON document");
+  auto out_path = cli.add_string("out", "", "write the report here");
+  auto dot_path = cli.add_string(
+      "dot", "", "write a findings-highlighted Graphviz rendering "
+                 "(single configuration only)");
+  auto n = cli.add_int("n", 10, "maximum vehicles per platoon");
+  auto strategy = cli.add_string("strategy", "DD", "DD|DC|CD|CC");
+  auto lambda = cli.add_double("lambda", 1e-5, "base failure rate (/h)");
+  auto platoons = cli.add_int("platoons", 2, "number of platoons");
+  auto radius = cli.add_int("radius", 0, "adjacency radius (0 = global)");
+  auto budget =
+      cli.add_int("probe-budget", 1024, "reachability-probe marking budget");
+  auto disable = cli.add_string(
+      "disable", "", "comma-separated diagnostic IDs to suppress");
+  auto deps_summary = cli.add_flag(
+      "deps-summary", "also print DependencyIndex statistics per "
+                      "configuration (declared-set width drives the "
+                      "incremental engine's per-event cost)");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    san::analyze::LintOptions opts;
+    opts.probe_budget = static_cast<std::size_t>(*budget);
+    opts.disabled_ids = split_ids(*disable);
+
+    std::vector<Config> configs;
+    if (*all) {
+      configs = all_configs();
+    } else {
+      ahs::Parameters p;
+      p.max_per_platoon = static_cast<int>(*n);
+      p.strategy = ahs::parse_strategy(*strategy);
+      p.base_failure_rate = *lambda;
+      p.num_platoons = static_cast<int>(*platoons);
+      p.adjacency_radius = static_cast<int>(*radius);
+      configs.push_back({p, label_for(p)});
+    }
+
+    std::vector<san::analyze::LintReport> reports;
+    reports.reserve(configs.size());
+    for (const Config& cfg : configs) {
+      const san::FlatModel flat = ahs::build_system_model(cfg.params);
+      reports.push_back(san::analyze::run_lint(flat, cfg.label, opts));
+      if (*deps_summary)
+        std::cerr << cfg.label << ": "
+                  << san::DependencyIndex::build(flat).summary() << "\n";
+      if (!dot_path->empty() && !*all) {
+        std::ofstream dot_out(*dot_path);
+        dot_out << san::to_dot(flat, &reports.back());
+        std::cerr << "dot written to " << *dot_path << "\n";
+      }
+    }
+
+    std::string rendered;
+    if (*json) {
+      rendered = san::analyze::lint_json_document(reports);
+      rendered += "\n";
+    } else {
+      for (const auto& r : reports) rendered += r.to_text();
+    }
+    if (out_path->empty()) {
+      std::cout << rendered;
+    } else {
+      std::ofstream out(*out_path);
+      out << rendered;
+      std::cerr << "report written to " << *out_path << "\n";
+    }
+
+    std::size_t errors = 0;
+    for (const auto& r : reports) errors += r.errors();
+    if (errors > 0) {
+      std::cerr << "ahs_lint: " << errors
+                << " error-severity finding(s) across " << reports.size()
+                << " configuration(s)\n";
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

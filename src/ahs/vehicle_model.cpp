@@ -223,20 +223,23 @@ std::shared_ptr<san::AtomicModel> build_vehicle_model(
     const auto fm = static_cast<FailureMode>(i);
     if (!params.enabled(fm)) continue;
     const int k1 = stage(maneuver_for(fm)) + 1;
-    model->timed_activity("L" + std::to_string(i + 1))
-        .distribution(util::Distribution::Exponential(params.failure_rate(fm)))
-        .reads({ctx->my_id, ctx->cc[i], ctx->ko_total})
-        // activate() may preempt whatever stage currently runs, so every
-        // stage place (and every class counter) is potentially written.
-        .writes({ctx->cc[i], ctx->sm[0], ctx->sm[1], ctx->sm[2], ctx->sm[3],
-                 ctx->sm[4], ctx->sm[5], ctx->class_a, ctx->class_b,
-                 ctx->class_c, ctx->active_m})
-        .input_gate(
-            [ctx, i](const san::MarkingRef& m) {
-              return m.get(ctx->my_id) > 0 && m.get(ctx->cc[i]) > 0 &&
-                     m.get(ctx->ko_total) == 0;
-            },
-            [ctx, i](const san::MarkingRef& m) { m.add(ctx->cc[i], -1); })
+    auto act =
+        model->timed_activity("L" + std::to_string(i + 1))
+            .distribution(
+                util::Distribution::Exponential(params.failure_rate(fm)))
+            .reads({ctx->my_id, ctx->cc[i], ctx->ko_total})
+            // activate(k1) preempts at most the stages below k1 before
+            // starting stage k1, so exactly sm[0..k1-1] (and those stages'
+            // class counters) are writable; higher stages never are.
+            .writes({ctx->cc[i], ctx->active_m});
+    for (int j = 0; j < k1; ++j)
+      act.writes({ctx->sm[j], ctx->class_place(static_cast<Maneuver>(j))});
+    act.input_gate(
+           [ctx, i](const san::MarkingRef& m) {
+             return m.get(ctx->my_id) > 0 && m.get(ctx->cc[i]) > 0 &&
+                    m.get(ctx->ko_total) == 0;
+           },
+           [ctx, i](const san::MarkingRef& m) { m.add(ctx->cc[i], -1); })
         .output_gate([ctx, k1](const san::MarkingRef& m) {
           ctx->activate(m, k1);
         });
@@ -252,15 +255,21 @@ std::shared_ptr<san::AtomicModel> build_vehicle_model(
             .reads({ctx->sm[k], ctx->ko_total})
             // Union over the success / escalate / eject cases; the success
             // probability is a case weight and needs no read declaration.
-            .writes({ctx->sm[k], ctx->class_a, ctx->class_b, ctx->class_c,
-                     ctx->active_m, ctx->platoons, ctx->cc[0], ctx->cc[1],
-                     ctx->cc[2], ctx->cc[3], ctx->cc[4], ctx->cc[5],
-                     ctx->my_id, ctx->transiting, ctx->out, ctx->safe_exits,
-                     ctx->ko_exits})
+            // Only the class counters of stage k (deactivated) and stage
+            // k+1 (activated on escalation) can change, and ko_exits only
+            // on the final-stage eject path.
+            .writes({ctx->sm[k], ctx->class_place(m_enum), ctx->active_m,
+                     ctx->platoons, ctx->cc[0], ctx->cc[1], ctx->cc[2],
+                     ctx->cc[3], ctx->cc[4], ctx->cc[5], ctx->my_id,
+                     ctx->transiting, ctx->out, ctx->safe_exits})
             .input_gate([ctx, k](const san::MarkingRef& m) {
               return m.get(ctx->sm[k]) > 0 && m.get(ctx->ko_total) == 0;
             });
-    if (k + 1 < kNumManeuvers) act.writes({ctx->sm[k + 1]});
+    if (k + 1 < kNumManeuvers)
+      act.writes(
+          {ctx->sm[k + 1], ctx->class_place(static_cast<Maneuver>(k + 1))});
+    else
+      act.writes({ctx->ko_exits});
     // Case 0: success — the vehicle exits the highway safely.
     act.add_case([ctx, m_enum](const san::MarkingRef& m) {
       return ctx->success_probability(m, m_enum);

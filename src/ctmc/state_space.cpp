@@ -3,6 +3,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "san/analyze/analysis.h"
 #include "util/error.h"
 #include "util/metrics.h"
 #include "util/spans.h"
@@ -203,6 +204,8 @@ std::vector<double> StateSpace::state_rewards(
 
 StateSpace build_state_space(const san::FlatModel& model,
                              const StateSpaceOptions& options) {
+  if (options.lint)
+    san::analyze::preflight_lint(model, "state-space lint preflight");
   Generator gen(model, options);
   return gen.run();
 }

@@ -46,6 +46,10 @@ struct StateSpaceOptions {
   /// with identical structure but different exponential rates can be
   /// re-evaluated via rebuild_rates without BFS re-exploration.
   bool capture_structure = false;
+  /// Static-analysis preflight (san::analyze::preflight_lint): reject
+  /// models with error-severity lint findings before exploring.  Runs in
+  /// build_state_space only — rebuild_rates reuses the vetted structure.
+  bool lint = true;
 };
 
 struct StateSpace {

@@ -1,0 +1,60 @@
+#include "san/analyze/analysis.h"
+
+#include <algorithm>
+
+#include "san/analyze/analyzer.h"
+#include "util/error.h"
+
+namespace san::analyze {
+
+LintReport run_lint(const FlatModel& model, std::string model_name,
+                    const LintOptions& opts) {
+  for (const std::string& id : opts.disabled_ids)
+    if (find_diagnostic(id) == nullptr)
+      throw util::ModelError("lint: unknown diagnostic ID '" + id +
+                             "' in suppression list");
+
+  const DependencyIndex deps = DependencyIndex::build(model);
+  const StructureInfo structure = build_structure(model);
+  const ProbeResult probes =
+      run_probe(model, ProbeOptions{opts.probe_budget});
+  const AnalysisContext ctx{model, deps, structure, probes};
+
+  LintReport report;
+  report.model_name = std::move(model_name);
+  report.probed_markings = probes.probed_markings;
+  report.probe_complete = probes.complete;
+  for (const auto& analyzer : default_analyzers()) analyzer->run(ctx, report);
+
+  if (!opts.disabled_ids.empty()) {
+    std::erase_if(report.diagnostics, [&](const Diagnostic& d) {
+      return std::find(opts.disabled_ids.begin(), opts.disabled_ids.end(),
+                       d.id) != opts.disabled_ids.end();
+    });
+  }
+  std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.severity > b.severity;
+                   });
+  return report;
+}
+
+void preflight_lint(const FlatModel& model, const std::string& context,
+                    std::size_t probe_budget) {
+  LintOptions opts;
+  opts.probe_budget = probe_budget;
+  const LintReport report = run_lint(model, context, opts);
+  if (report.clean(Severity::kError)) return;
+  std::string msg = context + ": static analysis found " +
+                    std::to_string(report.errors()) +
+                    " error-severity finding(s):";
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.severity != Severity::kError) continue;
+    msg += "\n  [" + d.id + "] " + d.message;
+    if (!d.activity.empty()) msg += " (activity: " + d.activity + ")";
+    if (!d.place.empty()) msg += " (place: " + d.place + ")";
+  }
+  throw util::ModelError(msg);
+}
+
+}  // namespace san::analyze

@@ -1,0 +1,44 @@
+// Entry points of the static-analysis suite.
+//
+// run_lint() derives the shared analysis artifacts (dependency index,
+// arc-structure facts, reachability probe) for one flattened model and runs
+// every default analyzer over them, returning a LintReport.
+//
+// preflight_lint() is the engine hook: sim::Executor (Options::lint) and
+// ctmc::build_state_space (StateSpaceOptions::lint) call it before touching
+// the model and abort with util::ModelError when any error-severity finding
+// remains — a model that would corrupt incremental results or hang
+// stabilization never starts running.  The preflight uses a small probe
+// budget: error findings never depend on completeness, so a shallow probe
+// only costs detection depth, never correctness.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "san/analyze/diagnostics.h"
+#include "san/flat_model.h"
+
+namespace san::analyze {
+
+struct LintOptions {
+  /// Reachability-probe budget (distinct markings to expand).
+  std::size_t probe_budget = 1024;
+
+  /// Diagnostic IDs to suppress, e.g. {"NET005"}.  Unknown IDs are
+  /// rejected with util::ModelError to keep suppression lists honest.
+  std::vector<std::string> disabled_ids;
+};
+
+/// Lints one flattened model; `model_name` labels the report.
+LintReport run_lint(const FlatModel& model, std::string model_name,
+                    const LintOptions& opts = {});
+
+/// Runs a small-budget lint and throws util::ModelError naming every
+/// error-severity finding.  `context` prefixes the exception message
+/// (e.g. "Executor preflight").
+void preflight_lint(const FlatModel& model, const std::string& context,
+                    std::size_t probe_budget = 128);
+
+}  // namespace san::analyze

@@ -1,0 +1,48 @@
+// The Analyzer interface and the default analyzer set.
+//
+// Each check of the static-analysis suite is one Analyzer: it inspects a
+// shared AnalysisContext (the flattened model plus the three derived
+// artifacts — dependency index, arc-structure facts, reachability-probe
+// observations) and appends catalogued Diagnostics to a LintReport.
+// run_lint (analysis.h) builds the context once and runs every analyzer;
+// the set is open for extension — new checks register by joining
+// default_analyzers().
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "san/analyze/diagnostics.h"
+#include "san/analyze/probe.h"
+#include "san/analyze/structure.h"
+#include "san/dependency.h"
+#include "san/flat_model.h"
+
+namespace san::analyze {
+
+/// Everything an analyzer may consult.  All members outlive the run() call.
+struct AnalysisContext {
+  const FlatModel& model;
+  const DependencyIndex& deps;
+  const StructureInfo& structure;
+  const ProbeResult& probes;
+};
+
+class Analyzer {
+ public:
+  virtual ~Analyzer() = default;
+  virtual const char* name() const = 0;
+  virtual void run(const AnalysisContext& ctx, LintReport& report) const = 0;
+};
+
+/// The full default suite, in the order the diagnostics catalogue lists
+/// their IDs: dependency soundness, dead activities, unread places, place
+/// bounds, vanishing loops, shared-write conflicts, callback sanity.
+std::vector<std::unique_ptr<Analyzer>> default_analyzers();
+
+/// Hierarchical display name of the slot: the covering place's name, with
+/// an "[i]" suffix for extended places.
+std::string slot_name(const FlatModel& model, const StructureInfo& structure,
+                      std::uint32_t slot);
+
+}  // namespace san::analyze

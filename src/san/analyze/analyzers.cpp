@@ -1,0 +1,415 @@
+// The default analyzer suite.  Each analyzer emits the diagnostic IDs it
+// owns (see diagnostics.cpp for the catalogue); docs/ANALYSIS.md documents
+// the rationale and suppression story per ID.
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "san/analyze/analyzer.h"
+
+namespace san::analyze {
+
+namespace {
+
+bool contains(std::span<const std::uint32_t> sorted, std::uint32_t v) {
+  return std::binary_search(sorted.begin(), sorted.end(), v);
+}
+
+/// "P1, P2[3], ... (+k more)" — capped list of slot display names.
+std::string name_slots(const AnalysisContext& ctx,
+                       std::span<const std::uint32_t> slots,
+                       std::size_t cap = 4) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < slots.size() && i < cap; ++i) {
+    if (i > 0) os << ", ";
+    os << slot_name(ctx.model, ctx.structure, slots[i]);
+  }
+  if (slots.size() > cap) os << " (+" << slots.size() - cap << " more)";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// DEP001-DEP005: dependency soundness of the declared access sets.
+//
+// The static over-approximation of each activity's touched slots is exactly
+// san::DependencyIndex's read/write sets (arcs exactly, plus declared —
+// or conservatively fallen-back — callback sets resolved through Rep/Join).
+// The probe's observed accesses must be contained in them; any escape means
+// the incremental engine can miss a reschedule.
+// ---------------------------------------------------------------------------
+class DependencySoundnessAnalyzer final : public Analyzer {
+ public:
+  const char* name() const override { return "dependency-soundness"; }
+
+  void run(const AnalysisContext& ctx, LintReport& report) const override {
+    const auto& acts = ctx.model.activities();
+    for (std::size_t ai = 0; ai < acts.size(); ++ai) {
+      const FlatActivity& a = acts[ai];
+      const ActivityProbe& ap = ctx.probes.activities[ai];
+
+      if (!ap.eval_writes.empty())
+        report.add("DEP005", Severity::kError,
+                   "predicate/rate/weight evaluation wrote " +
+                       name_slots(ctx, ap.eval_writes) +
+                       "; these callbacks must be pure",
+                   a.name);
+
+      std::vector<std::uint32_t> bad;
+      for (std::uint32_t s : ap.pred_reads)
+        if (!contains(ctx.deps.reads(ai), s)) bad.push_back(s);
+      if (!bad.empty())
+        report.add("DEP001", Severity::kError,
+                   "predicate/rate read " + name_slots(ctx, bad) +
+                       " outside the declared read set; the incremental "
+                       "engine would miss reschedules",
+                   a.name);
+
+      bad.clear();
+      for (std::uint32_t s : ap.fire_writes)
+        if (!contains(ctx.deps.writes(ai), s)) bad.push_back(s);
+      if (!bad.empty())
+        report.add("DEP002", Severity::kError,
+                   "completion wrote " + name_slots(ctx, bad) +
+                       " outside the declared write set; dependents would "
+                       "not be re-examined",
+                   a.name);
+
+      const bool fb_reads = !ctx.deps.reads_exact(ai);
+      const bool fb_writes = !ctx.deps.writes_exact(ai);
+      if (fb_reads || fb_writes)
+        report.add(
+            "DEP004", Severity::kWarning,
+            std::string("undeclared ") +
+                (fb_reads && fb_writes ? "read and write"
+                 : fb_reads            ? "read"
+                                       : "write") +
+                " callbacks: the dependency index falls back to every slot "
+                "of the owning instance (O(instance) re-checks per event); "
+                "declare with ActivityBuilder::reads()/writes()",
+            a.name);
+
+      // Over-width is only decidable under full coverage: a declared slot
+      // unused on a partially explored space may be used further out.
+      if (!ctx.probes.complete) continue;
+      if (a.reads_declared) {
+        bad.clear();
+        for (std::uint32_t s : a.declared_read_slots)
+          if (!contains(std::span<const std::uint32_t>(ap.pred_reads), s))
+            bad.push_back(s);
+        if (!bad.empty())
+          report.add("DEP003", Severity::kInfo,
+                     "declared read set lists " + name_slots(ctx, bad) +
+                         " never consulted at any reachable marking "
+                         "(enlarges affected_by; consider narrowing)",
+                     a.name);
+      }
+      if (a.writes_declared && ap.seen_enabled) {
+        bad.clear();
+        for (std::uint32_t s : a.declared_write_slots)
+          if (!contains(std::span<const std::uint32_t>(ap.fire_writes), s))
+            bad.push_back(s);
+        if (!bad.empty())
+          report.add("DEP003", Severity::kInfo,
+                     "declared write set lists " + name_slots(ctx, bad) +
+                         " never written by any reachable completion "
+                         "(enlarges affected_by; consider narrowing)",
+                     a.name);
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// NET001: dead activities — an input arc whose place can structurally never
+// hold enough tokens.  Uses the decreasing-bound fixpoint, so the proof is
+// conservative: a reported activity truly can never fire.
+// ---------------------------------------------------------------------------
+class DeadActivityAnalyzer final : public Analyzer {
+ public:
+  const char* name() const override { return "dead-activity"; }
+
+  void run(const AnalysisContext& ctx, LintReport& report) const override {
+    const auto& acts = ctx.model.activities();
+    for (std::size_t ai = 0; ai < acts.size(); ++ai) {
+      if (ctx.structure.fire_bound[ai] != 0) continue;
+      for (const FlatArc& arc : acts[ai].input_arcs) {
+        const std::uint64_t cap = ctx.structure.slot_bound[arc.slot];
+        if (cap != kUnbounded &&
+            cap < static_cast<std::uint64_t>(arc.weight)) {
+          report.add("NET001", Severity::kWarning,
+                     "dead activity: input arc needs " +
+                         std::to_string(arc.weight) + " token(s) but the "
+                         "place can never hold more than " +
+                         std::to_string(cap),
+                     acts[ai].name,
+                     slot_name(ctx.model, ctx.structure, arc.slot));
+          break;  // one proof per activity is enough
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// NET002: write-only places — written by arcs or gates, but no predicate,
+// rate, or case-weight consults them and no completion of *another* place's
+// dynamics reads them (self-updating counters like `ext_id++` do not
+// count).  Such places are pure output statistics: candidates for
+// StateSpaceOptions::ignore_places, which collapses the CTMC state space.
+// ---------------------------------------------------------------------------
+class UnreadPlaceAnalyzer final : public Analyzer {
+ public:
+  const char* name() const override { return "unread-place"; }
+
+  void run(const AnalysisContext& ctx, LintReport& report) const override {
+    const std::size_t num_slots = ctx.model.marking_size();
+    std::vector<std::uint8_t> read(num_slots, 0);
+    for (std::uint32_t s = 0; s < num_slots; ++s)
+      if (!ctx.deps.readers_of_slot(s).empty()) read[s] = 1;
+    const auto& acts = ctx.model.activities();
+    for (std::size_t ai = 0; ai < acts.size(); ++ai) {
+      const ActivityProbe& ap = ctx.probes.activities[ai];
+      for (std::uint32_t s : ap.case_reads) read[s] = 1;
+      for (std::uint32_t s : ap.fire_reads)
+        if (!contains(ctx.deps.writes(ai), s)) read[s] = 1;
+    }
+
+    for (const FlatPlace& p : ctx.model.places()) {
+      bool any_written = false, any_read = false;
+      for (std::uint32_t i = 0; i < p.size; ++i) {
+        const std::uint32_t s = p.offset + i;
+        any_written |= ctx.structure.arc_fed[s] || ctx.structure.gate_written[s];
+        any_read |= read[s] != 0;
+      }
+      if (any_written && !any_read)
+        report.add("NET002", Severity::kInfo,
+                   "write-only place: nothing consults its marking — a "
+                   "pure output statistic and an ignore_places candidate "
+                   "for CTMC generation",
+                   "", p.name);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// NET003: unbounded places — arc inflow with no structural bound, never
+// consumed by an input arc, and untouchable by any gate.  Tokens only ever
+// accumulate; in a CTMC context the place makes the state space infinite.
+// ---------------------------------------------------------------------------
+class BoundsAnalyzer final : public Analyzer {
+ public:
+  const char* name() const override { return "place-bounds"; }
+
+  void run(const AnalysisContext& ctx, LintReport& report) const override {
+    for (const FlatPlace& p : ctx.model.places()) {
+      for (std::uint32_t i = 0; i < p.size; ++i) {
+        const std::uint32_t s = p.offset + i;
+        if (ctx.structure.arc_fed[s] && !ctx.structure.arc_consumed[s] &&
+            !ctx.structure.gate_written[s] &&
+            ctx.structure.slot_bound[s] == kUnbounded) {
+          report.add("NET003", Severity::kWarning,
+                     "unbounded place: arc inflow has no structural bound "
+                     "and nothing ever consumes it (state space cannot be "
+                     "finite while it is tracked)",
+                     "", p.name);
+          break;  // one finding per place
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// NET004: instantaneous arc cycles.  A token circulating through
+// instantaneous activities never lets simulated time advance —
+// stabilization diverges.  Pure arc cycles (no gate anywhere in the loop)
+// are certain divergence (error); gated cycles may be broken by a
+// predicate, so they rate a warning for review.
+// ---------------------------------------------------------------------------
+class VanishingLoopAnalyzer final : public Analyzer {
+ public:
+  const char* name() const override { return "vanishing-loop"; }
+
+  void run(const AnalysisContext& ctx, LintReport& report) const override {
+    const auto& acts = ctx.model.activities();
+    const std::size_t n = acts.size();
+
+    // slot -> instantaneous consumers (via input arcs).
+    std::vector<std::vector<std::uint32_t>> consumers(ctx.model.marking_size());
+    for (std::size_t ai = 0; ai < n; ++ai) {
+      if (acts[ai].timed) continue;
+      for (const FlatArc& arc : acts[ai].input_arcs)
+        consumers[arc.slot].push_back(static_cast<std::uint32_t>(ai));
+    }
+    std::vector<std::vector<std::uint32_t>> adj(n);
+    for (std::size_t ai = 0; ai < n; ++ai) {
+      if (acts[ai].timed) continue;
+      for (const FlatCase& c : acts[ai].cases)
+        for (const FlatArc& arc : c.output_arcs)
+          for (std::uint32_t b : consumers[arc.slot]) adj[ai].push_back(b);
+      std::sort(adj[ai].begin(), adj[ai].end());
+      adj[ai].erase(std::unique(adj[ai].begin(), adj[ai].end()),
+                    adj[ai].end());
+    }
+
+    // Iterative DFS; each back edge closes one reported cycle.
+    std::vector<std::uint8_t> color(n, 0);  // 0 white, 1 on stack, 2 done
+    std::vector<std::uint32_t> path;
+    std::set<std::string> reported;
+    for (std::size_t root = 0; root < n; ++root) {
+      if (acts[root].timed || color[root] != 0) continue;
+      // (node, next-edge-index) explicit stack.
+      std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+      stack.emplace_back(static_cast<std::uint32_t>(root), 0);
+      color[root] = 1;
+      path.push_back(static_cast<std::uint32_t>(root));
+      while (!stack.empty()) {
+        auto& [node, edge] = stack.back();
+        if (edge < adj[node].size()) {
+          const std::uint32_t next = adj[node][edge++];
+          if (color[next] == 1) {
+            report_cycle(ctx, path, next, reported, report);
+          } else if (color[next] == 0) {
+            color[next] = 1;
+            path.push_back(next);
+            stack.emplace_back(next, 0);
+          }
+        } else {
+          color[node] = 2;
+          path.pop_back();
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+ private:
+  static void report_cycle(const AnalysisContext& ctx,
+                           const std::vector<std::uint32_t>& path,
+                           std::uint32_t entry, std::set<std::string>& reported,
+                           LintReport& report) {
+    const auto& acts = ctx.model.activities();
+    const auto it = std::find(path.begin(), path.end(), entry);
+    std::vector<std::uint32_t> cycle(it, path.end());
+    // Canonical key: rotate to the smallest index so each cycle reports once.
+    const auto min_it = std::min_element(cycle.begin(), cycle.end());
+    std::rotate(cycle.begin(), min_it, cycle.end());
+    std::string key;
+    for (std::uint32_t ai : cycle) key += std::to_string(ai) + ",";
+    if (!reported.insert(key).second) return;
+
+    bool gated = false;
+    std::ostringstream os;
+    for (std::uint32_t ai : cycle) {
+      os << acts[ai].name << " -> ";
+      gated |= !acts[ai].predicates.empty() || !acts[ai].input_fns.empty();
+    }
+    os << acts[cycle.front()].name;
+    if (gated)
+      report.add("NET004", Severity::kWarning,
+                 "instantaneous arc cycle " + os.str() +
+                     " (input gates may break it — verify the predicates "
+                     "cannot all stay true)",
+                 acts[cycle.front()].name);
+    else
+      report.add("NET004", Severity::kError,
+                 "ungated instantaneous arc cycle " + os.str() +
+                     ": stabilization cannot terminate once a token enters",
+                 acts[cycle.front()].name);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// NET005: same-priority instantaneous writers of one shared slot across
+// distinct instances.  Both engines resolve the tie deterministically, but
+// the model gives no ordering — the shared marking after stabilization
+// depends on an implementation detail.  Same-source replicas (Rep symmetry)
+// are exempt: firing order among symmetric replicas cannot change the
+// aggregate marking.
+// ---------------------------------------------------------------------------
+class SharedWriteConflictAnalyzer final : public Analyzer {
+ public:
+  const char* name() const override { return "shared-write-conflict"; }
+
+  void run(const AnalysisContext& ctx, LintReport& report) const override {
+    const auto& acts = ctx.model.activities();
+    std::set<std::string> reported;
+    for (std::uint32_t s = 0; s < ctx.model.marking_size(); ++s) {
+      if (!ctx.structure.shared[s]) continue;
+      std::vector<std::uint32_t> writers;
+      for (std::size_t ai = 0; ai < acts.size(); ++ai)
+        if (!acts[ai].timed && contains(ctx.deps.writes(ai), s))
+          writers.push_back(static_cast<std::uint32_t>(ai));
+      for (std::size_t i = 0; i < writers.size(); ++i)
+        for (std::size_t j = i + 1; j < writers.size(); ++j) {
+          const FlatActivity& a = acts[writers[i]];
+          const FlatActivity& b = acts[writers[j]];
+          if (a.priority != b.priority) continue;
+          if (a.imap.get() == b.imap.get()) continue;       // same instance
+          if (a.source_name == b.source_name) continue;     // Rep symmetry
+          const FlatPlace& p = ctx.structure.place_of_slot(ctx.model, s);
+          const std::string key = p.name + "|" + a.source_name + "|" +
+                                  b.source_name + "|" +
+                                  std::to_string(a.priority);
+          if (!reported.insert(key).second) continue;
+          report.add("NET005", Severity::kInfo,
+                     "instantaneous activities '" + a.source_name + "' and '" +
+                         b.source_name + "' of different instances write "
+                         "this shared place at equal priority " +
+                         std::to_string(a.priority) +
+                         "; their firing order is implementation-defined",
+                     a.name, p.name);
+        }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// NET006/NET007/NET008: callback sanity at reachable markings, straight
+// from the probe's recorded defects.
+// ---------------------------------------------------------------------------
+class CallbackSanityAnalyzer final : public Analyzer {
+ public:
+  const char* name() const override { return "callback-sanity"; }
+
+  void run(const AnalysisContext& ctx, LintReport& report) const override {
+    const auto& acts = ctx.model.activities();
+    for (std::size_t ai = 0; ai < acts.size(); ++ai) {
+      const ActivityProbe& ap = ctx.probes.activities[ai];
+      if (!ap.rate_issue.empty())
+        report.add("NET006", Severity::kError,
+                   "rate function returned " + ap.rate_issue, acts[ai].name);
+      if (!ap.weight_issue.empty())
+        report.add("NET007", Severity::kError,
+                   "invalid case weights: " + ap.weight_issue, acts[ai].name);
+      if (!ap.thrown.empty())
+        report.add("NET008", Severity::kError,
+                   "callback threw at a reachable marking: " + ap.thrown,
+                   acts[ai].name);
+    }
+  }
+};
+
+}  // namespace
+
+std::string slot_name(const FlatModel& model, const StructureInfo& structure,
+                      std::uint32_t slot) {
+  const FlatPlace& p = structure.place_of_slot(model, slot);
+  if (p.size == 1) return p.name;
+  return p.name + "[" + std::to_string(slot - p.offset) + "]";
+}
+
+std::vector<std::unique_ptr<Analyzer>> default_analyzers() {
+  std::vector<std::unique_ptr<Analyzer>> out;
+  out.push_back(std::make_unique<DependencySoundnessAnalyzer>());
+  out.push_back(std::make_unique<DeadActivityAnalyzer>());
+  out.push_back(std::make_unique<UnreadPlaceAnalyzer>());
+  out.push_back(std::make_unique<BoundsAnalyzer>());
+  out.push_back(std::make_unique<VanishingLoopAnalyzer>());
+  out.push_back(std::make_unique<SharedWriteConflictAnalyzer>());
+  out.push_back(std::make_unique<CallbackSanityAnalyzer>());
+  return out;
+}
+
+}  // namespace san::analyze

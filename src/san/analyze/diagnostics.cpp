@@ -1,0 +1,134 @@
+#include "san/analyze/diagnostics.h"
+
+#include <array>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace san::analyze {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr std::array<DiagnosticInfo, 13> kCatalog = {{
+    {"DEP001", Severity::kError,
+     "predicate/rate read a marking slot outside the declared read set"},
+    {"DEP002", Severity::kError,
+     "completion wrote a marking slot outside the declared write set"},
+    {"DEP003", Severity::kInfo,
+     "declared access set is wider than any observed access (perf smell)"},
+    {"DEP004", Severity::kWarning,
+     "undeclared callbacks: dependency index falls back to the whole "
+     "instance"},
+    {"DEP005", Severity::kError,
+     "predicate/rate evaluation modified the marking (must be pure)"},
+    {"NET001", Severity::kWarning,
+     "dead activity: an input arc can never be covered"},
+    {"NET002", Severity::kInfo,
+     "write-only place: nothing reads it (ignore_places candidate)"},
+    {"NET003", Severity::kWarning,
+     "unbounded place: arc inflow grows without bound and is never "
+     "consumed"},
+    {"NET004", Severity::kError,
+     "instantaneous-activity arc cycle (vanishing loop)"},
+    {"NET005", Severity::kInfo,
+     "same-priority instantaneous activities of different instances write "
+     "one shared place"},
+    {"NET006", Severity::kError,
+     "non-finite or non-positive rate at a reachable enabled marking"},
+    {"NET007", Severity::kError,
+     "invalid case weights (negative, or zero total) at a reachable "
+     "marking"},
+    {"NET008", Severity::kError,
+     "model callback threw at a reachable marking"},
+}};
+
+}  // namespace
+
+std::span<const DiagnosticInfo> diagnostic_catalog() { return kCatalog; }
+
+const DiagnosticInfo* find_diagnostic(const std::string& id) {
+  for (const DiagnosticInfo& info : kCatalog)
+    if (id == info.id) return &info;
+  return nullptr;
+}
+
+std::size_t LintReport::count(Severity s) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) n += d.severity == s;
+  return n;
+}
+
+bool LintReport::clean(Severity floor) const {
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity >= floor) return false;
+  return true;
+}
+
+void LintReport::add(std::string id, Severity severity, std::string message,
+                     std::string activity, std::string place) {
+  diagnostics.push_back(Diagnostic{std::move(id), severity, std::move(message),
+                                   std::move(activity), std::move(place)});
+}
+
+std::string LintReport::to_text() const {
+  std::ostringstream os;
+  os << model_name << ": " << diagnostics.size() << " finding(s) ["
+     << errors() << " error, " << warnings() << " warning, "
+     << count(Severity::kInfo) << " info] over " << probed_markings
+     << " probed marking(s)"
+     << (probe_complete ? " (complete coverage)" : " (partial coverage)")
+     << "\n";
+  for (const Diagnostic& d : diagnostics) {
+    os << "  [" << d.id << "] " << to_string(d.severity) << ": " << d.message;
+    if (!d.activity.empty()) os << " (activity: " << d.activity << ")";
+    if (!d.place.empty()) os << " (place: " << d.place << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string LintReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"model\": \"" << util::json_escape(model_name)
+     << "\", \"probed_markings\": " << probed_markings
+     << ", \"probe_complete\": " << (probe_complete ? "true" : "false")
+     << ", \"summary\": {\"errors\": " << errors()
+     << ", \"warnings\": " << warnings()
+     << ", \"infos\": " << count(Severity::kInfo) << "}, \"diagnostics\": [";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    if (i > 0) os << ", ";
+    os << "{\"id\": \"" << util::json_escape(d.id) << "\", \"severity\": \""
+       << to_string(d.severity) << "\", \"activity\": ";
+    if (d.activity.empty()) os << "null";
+    else os << '"' << util::json_escape(d.activity) << '"';
+    os << ", \"place\": ";
+    if (d.place.empty()) os << "null";
+    else os << '"' << util::json_escape(d.place) << '"';
+    os << ", \"message\": \"" << util::json_escape(d.message) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string lint_json_document(std::span<const LintReport> reports) {
+  std::ostringstream os;
+  os << "{\"schema\": \"ahs.lint.v1\", \"reports\": [";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << reports[i].to_json();
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace san::analyze

@@ -1,0 +1,92 @@
+// Diagnostics framework for the SAN static-analysis suite.
+//
+// Every analyzer (see analyzer.h) reports findings as Diagnostic records
+// tagged with a stable ID (catalogued in diagnostic_catalog()), a severity,
+// and a source location given in model terms — the flattened activity
+// and/or place name the finding anchors to.  A LintReport collects the
+// findings for one model configuration; lint_json_document() renders one or
+// more reports as a JSON document conforming to the `ahs.lint.v1` schema:
+//
+//   {
+//     "schema": "ahs.lint.v1",
+//     "reports": [
+//       { "model": "<label>",
+//         "probed_markings": 128, "probe_complete": false,
+//         "summary": {"errors": 0, "warnings": 1, "infos": 3},
+//         "diagnostics": [
+//           { "id": "NET002", "severity": "info",
+//             "activity": null, "place": "ahs/configuration/ext_id",
+//             "message": "..." }, ... ] }, ... ]
+//   }
+//
+// The catalogue of IDs, their rationale, and suppression guidance is
+// documented in docs/ANALYSIS.md.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace san::analyze {
+
+enum class Severity { kInfo = 0, kWarning = 1, kError = 2 };
+
+const char* to_string(Severity s);
+
+/// One finding of one analyzer.
+struct Diagnostic {
+  std::string id;        ///< catalogue ID, e.g. "DEP001"
+  Severity severity = Severity::kInfo;
+  std::string message;   ///< human-readable, self-contained
+  std::string activity;  ///< flattened activity name, or "" if place-level
+  std::string place;     ///< flattened place name, or "" if activity-level
+};
+
+/// Catalogue entry for one diagnostic ID (the single source of truth for
+/// IDs and their default severities; docs/ANALYSIS.md mirrors it).
+struct DiagnosticInfo {
+  const char* id;
+  Severity severity;
+  const char* summary;  ///< one-line description of the defect class
+};
+
+/// All diagnostic IDs the suite can emit, in catalogue order.
+std::span<const DiagnosticInfo> diagnostic_catalog();
+
+/// Catalogue entry for `id`; nullptr for unknown IDs.
+const DiagnosticInfo* find_diagnostic(const std::string& id);
+
+/// Findings for one linted model configuration.
+struct LintReport {
+  std::string model_name;  ///< caller-supplied label, e.g. "ahs n=10 DD"
+  std::vector<Diagnostic> diagnostics;
+
+  /// Reachability-probe coverage: how many distinct markings the probe
+  /// visited and whether it exhausted the reachable set within budget
+  /// (completeness gates the over-width check DEP003, which would be
+  /// noise on partially explored models).
+  std::size_t probed_markings = 0;
+  bool probe_complete = false;
+
+  std::size_t count(Severity s) const;
+  std::size_t errors() const { return count(Severity::kError); }
+  std::size_t warnings() const { return count(Severity::kWarning); }
+
+  /// True when no finding is at or above `floor`.
+  bool clean(Severity floor = Severity::kError) const;
+
+  void add(std::string id, Severity severity, std::string message,
+           std::string activity = "", std::string place = "");
+
+  /// Human-readable rendering, one line per finding plus a summary line.
+  std::string to_text() const;
+
+  /// This report as one `reports[]` element of the ahs.lint.v1 schema.
+  std::string to_json() const;
+};
+
+/// Full ahs.lint.v1 document over several reports.
+std::string lint_json_document(std::span<const LintReport> reports);
+
+}  // namespace san::analyze

@@ -1,0 +1,214 @@
+#include "san/analyze/probe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <string>
+#include <unordered_set>
+
+namespace san::analyze {
+
+namespace {
+
+struct MarkingHash {
+  std::size_t operator()(const std::vector<std::int32_t>& m) const {
+    std::size_t h = 1469598103934665603ull;  // FNV-1a
+    for (std::int32_t v : m) {
+      h ^= static_cast<std::uint32_t>(v);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+/// Deduplicating slot accumulator: one bit per (activity, slot) kind so the
+/// observation vectors stay small no matter how many markings are probed.
+class SlotBits {
+ public:
+  SlotBits(std::size_t num_activities, std::size_t num_slots)
+      : num_slots_(num_slots), bits_(num_activities * num_slots, 0) {}
+
+  void note(std::size_t ai, std::uint32_t slot,
+            std::vector<std::uint32_t>& out) {
+    std::uint8_t& b = bits_[ai * num_slots_ + slot];
+    if (b) return;
+    b = 1;
+    out.push_back(slot);
+  }
+
+ private:
+  std::size_t num_slots_;
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace
+
+ProbeResult run_probe(const FlatModel& model, const ProbeOptions& opts) {
+  const auto& acts = model.activities();
+  const std::size_t num_slots = model.marking_size();
+
+  ProbeResult res;
+  res.activities.resize(acts.size());
+  SlotBits pred_bits(acts.size(), num_slots);
+  SlotBits case_bits(acts.size(), num_slots);
+  SlotBits write_bits(acts.size(), num_slots);
+  SlotBits fire_read_bits(acts.size(), num_slots);
+  SlotBits eval_bits(acts.size(), num_slots);
+
+  std::unordered_set<std::vector<std::int32_t>, MarkingHash> seen;
+  std::deque<const std::vector<std::int32_t>*> frontier;
+  auto push = [&](std::vector<std::int32_t>&& m) {
+    auto [it, inserted] = seen.insert(std::move(m));
+    if (inserted) frontier.push_back(&*it);
+  };
+  push(model.initial_marking());
+
+  AccessLog log;
+  auto drain_log = [&](std::size_t ai, SlotBits& read_bits,
+                       std::vector<std::uint32_t>& read_out) {
+    ActivityProbe& ap = res.activities[ai];
+    for (std::uint32_t s : log.reads) read_bits.note(ai, s, read_out);
+    for (std::uint32_t s : log.writes)
+      eval_bits.note(ai, s, ap.eval_writes);
+  };
+
+  // Fires every positive-weight case of enabled activity `ai` from marking
+  // `m`, recording weight reads, completion writes, and weight/throw
+  // defects; pushes each successor marking.
+  auto expand = [&](std::size_t ai, std::vector<std::int32_t>& m) {
+    const FlatActivity& a = acts[ai];
+    ActivityProbe& ap = res.activities[ai];
+    const std::span<std::int32_t> ms(m);
+
+    std::vector<double> w(a.cases.size(), 0.0);
+    double total = 0.0;
+    for (std::size_t ci = 0; ci < a.cases.size(); ++ci) {
+      const FlatCase& c = a.cases[ci];
+      double v = c.weight;
+      if (c.weight_fn) {
+        log.clear();
+        try {
+          v = c.weight_fn(MarkingRef(ms, a.imap.get(), &log));
+        } catch (const std::exception& e) {
+          if (ap.thrown.empty()) ap.thrown = e.what();
+          v = 0.0;
+        }
+        drain_log(ai, case_bits, ap.case_reads);
+      }
+      if ((!std::isfinite(v) || v < 0.0) && ap.weight_issue.empty())
+        ap.weight_issue =
+            "case " + std::to_string(ci) + " weight " + std::to_string(v);
+      if (std::isfinite(v) && v > 0.0) {
+        w[ci] = v;
+        total += v;
+      }
+    }
+    if (total <= 0.0 && ap.weight_issue.empty())
+      ap.weight_issue = "case weights sum to zero at an enabled marking";
+
+    for (std::size_t ci = 0; ci < a.cases.size(); ++ci) {
+      if (w[ci] <= 0.0) continue;  // the engines never select weight-0 cases
+      std::vector<std::int32_t> next = m;
+      log.clear();
+      try {
+        model.fire(ai, ci, std::span<std::int32_t>(next), &log);
+      } catch (const std::exception& e) {
+        if (ap.thrown.empty()) ap.thrown = e.what();
+        continue;
+      }
+      for (std::uint32_t s : log.writes)
+        write_bits.note(ai, s, ap.fire_writes);
+      for (std::uint32_t s : log.reads)
+        fire_read_bits.note(ai, s, ap.fire_reads);
+      push(std::move(next));
+    }
+  };
+
+  bool truncated = false;
+  while (!frontier.empty()) {
+    if (res.probed_markings >= opts.max_markings) {
+      truncated = true;
+      break;
+    }
+    // Probe a copy: an impure callback (the DEP005 defect class) may write
+    // during evaluation, and the stored marking doubles as a hash-set key.
+    std::vector<std::int32_t> m = *frontier.front();
+    frontier.pop_front();
+    ++res.probed_markings;
+    const std::span<std::int32_t> ms(m);
+
+    // Instantaneous predicates are probed on every marking; both engines
+    // scan them during stabilization before any timed evaluation.
+    int best_prio = std::numeric_limits<int>::min();
+    std::vector<std::size_t> enabled_inst;
+    for (std::size_t ai = 0; ai < acts.size(); ++ai) {
+      if (acts[ai].timed) continue;
+      ActivityProbe& ap = res.activities[ai];
+      log.clear();
+      bool en = false;
+      try {
+        en = model.enabled(ai, ms, &log);
+      } catch (const std::exception& e) {
+        if (ap.thrown.empty()) ap.thrown = e.what();
+      }
+      drain_log(ai, pred_bits, ap.pred_reads);
+      if (en) {
+        ap.seen_enabled = true;
+        enabled_inst.push_back(ai);
+        best_prio = std::max(best_prio, acts[ai].priority);
+      }
+    }
+
+    if (!enabled_inst.empty()) {
+      // Vanishing marking: only the highest enabled priority level can
+      // fire, and timed activities are never consulted here.
+      for (std::size_t ai : enabled_inst)
+        if (acts[ai].priority == best_prio) expand(ai, m);
+      continue;
+    }
+
+    // Tangible marking: probe timed enablement, rate sanity, and firings.
+    for (std::size_t ai = 0; ai < acts.size(); ++ai) {
+      if (!acts[ai].timed) continue;
+      const FlatActivity& a = acts[ai];
+      ActivityProbe& ap = res.activities[ai];
+      log.clear();
+      bool en = false;
+      try {
+        en = model.enabled(ai, ms, &log);
+      } catch (const std::exception& e) {
+        if (ap.thrown.empty()) ap.thrown = e.what();
+      }
+      drain_log(ai, pred_bits, ap.pred_reads);
+      if (!en) continue;
+      ap.seen_enabled = true;
+      if (a.rate_fn) {
+        log.clear();
+        try {
+          const double r = a.rate_fn(MarkingRef(ms, a.imap.get(), &log));
+          if ((!std::isfinite(r) || r <= 0.0) && ap.rate_issue.empty())
+            ap.rate_issue = "rate " + std::to_string(r) +
+                            " at a reachable enabled marking";
+        } catch (const std::exception& e) {
+          if (ap.thrown.empty()) ap.thrown = e.what();
+        }
+        drain_log(ai, pred_bits, ap.pred_reads);
+      }
+      expand(ai, m);
+    }
+  }
+
+  res.complete = !truncated && frontier.empty();
+  for (ActivityProbe& ap : res.activities) {
+    std::sort(ap.pred_reads.begin(), ap.pred_reads.end());
+    std::sort(ap.case_reads.begin(), ap.case_reads.end());
+    std::sort(ap.fire_writes.begin(), ap.fire_writes.end());
+    std::sort(ap.fire_reads.begin(), ap.fire_reads.end());
+    std::sort(ap.eval_writes.begin(), ap.eval_writes.end());
+  }
+  return res;
+}
+
+}  // namespace san::analyze

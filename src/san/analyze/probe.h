@@ -1,0 +1,76 @@
+// Budget-bounded reachability probe for the static-analysis suite.
+//
+// Opaque std::function gates make a purely syntactic dependency analysis
+// impossible, so the linter instruments them instead: it explores markings
+// breadth-first from the initial marking — without a simulator, clocks, or
+// RNG — and evaluates every callback through an AccessLog-carrying
+// MarkingRef, recording which global slots each activity's predicates/rate
+// actually read and its completions actually write.
+//
+// The probe mirrors the engines' evaluation sites exactly, which is what
+// keeps the downstream error-severity checks free of false positives:
+//
+//  * instantaneous predicates are probed on every reachable marking;
+//  * from a vanishing marking only the highest enabled instantaneous
+//    priority level expands (lower levels never evaluate their gates or
+//    fire in either engine);
+//  * timed enablement, rates, case weights, and firings are probed only on
+//    tangible markings;
+//  * zero-weight cases are never fired (the engines cannot select them).
+//
+// Coverage is budgeted (ProbeOptions::max_markings).  `complete` is true
+// iff the frontier was exhausted within budget — only then do observed
+// access sets equal the full reachable behavior, which is why the
+// over-width check (DEP003) is gated on it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "san/dependency.h"
+#include "san/flat_model.h"
+
+namespace san::analyze {
+
+struct ProbeOptions {
+  /// Maximum distinct markings to expand before giving up on completeness.
+  std::size_t max_markings = 1024;
+};
+
+/// Per-activity observations accumulated over every probed marking.
+struct ActivityProbe {
+  /// Slots read while evaluating predicates or the rate function.
+  std::vector<std::uint32_t> pred_reads;
+  /// Slots read while evaluating case-weight functions (exempt from read
+  /// declarations by design; kept separate for the unread-place analysis).
+  std::vector<std::uint32_t> case_reads;
+  /// Slots written by completions (input/output gate functions and arcs).
+  std::vector<std::uint32_t> fire_writes;
+  /// Slots read while firing (gate functions consulting the marking to
+  /// compute what to write).  Not subject to read declarations — the
+  /// completion re-reads the live marking — but they tell the unread-place
+  /// analysis that a place's value feeds a completion.
+  std::vector<std::uint32_t> fire_reads;
+  /// Slots written during predicate/rate/case-weight evaluation — always a
+  /// defect (DEP005); empty when all callbacks are pure.
+  std::vector<std::uint32_t> eval_writes;
+
+  /// First defect of each kind observed at a reachable marking ("" = none).
+  std::string rate_issue;    ///< non-finite / non-positive rate (NET006)
+  std::string weight_issue;  ///< negative weight or zero total (NET007)
+  std::string thrown;        ///< what() of a throwing callback (NET008)
+
+  /// True when the activity was enabled at some probed marking.
+  bool seen_enabled = false;
+};
+
+struct ProbeResult {
+  std::vector<ActivityProbe> activities;  ///< one per model activity
+  std::size_t probed_markings = 0;
+  bool complete = false;  ///< frontier exhausted within budget
+};
+
+ProbeResult run_probe(const FlatModel& model, const ProbeOptions& opts = {});
+
+}  // namespace san::analyze

@@ -1,0 +1,140 @@
+#include "san/analyze/structure.h"
+
+#include <algorithm>
+
+namespace san::analyze {
+
+namespace {
+
+/// Finite bounds beyond this are treated as "unbounded" — the fixpoint only
+/// has to certify small structural bounds (dead arcs, bounded buffers), and
+/// capping keeps the saturating arithmetic far from overflow.
+constexpr std::uint64_t kBoundCap = std::uint64_t{1} << 20;
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  if (a == kUnbounded || b == kUnbounded) return kUnbounded;
+  const std::uint64_t s = a + b;
+  return s > kBoundCap ? kUnbounded : s;
+}
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a == kUnbounded || b == kUnbounded) return kUnbounded;
+  const std::uint64_t p = a * b;  // both <= kBoundCap, cannot overflow
+  return p > kBoundCap ? kUnbounded : p;
+}
+
+}  // namespace
+
+StructureInfo build_structure(const FlatModel& model) {
+  const auto& acts = model.activities();
+  const std::size_t num_slots = model.marking_size();
+
+  StructureInfo info;
+  info.slot_place.assign(num_slots, 0);
+  info.gate_written.assign(num_slots, 0);
+  info.arc_fed.assign(num_slots, 0);
+  info.arc_consumed.assign(num_slots, 0);
+  info.shared.assign(num_slots, 0);
+  info.slot_bound.assign(num_slots, kUnbounded);
+  info.fire_bound.assign(acts.size(), kUnbounded);
+
+  for (std::size_t pi = 0; pi < model.places().size(); ++pi) {
+    const FlatPlace& p = model.places()[pi];
+    for (std::uint32_t i = 0; i < p.size; ++i)
+      info.slot_place[p.offset + i] = static_cast<std::uint32_t>(pi);
+  }
+
+  // Slots addressable by more than one leaf instance are the ones Rep/Join
+  // sharing exposes to concurrent writers.  Count distinct InstanceMaps per
+  // slot (capped at 2 — "shared" is all we need).
+  {
+    std::vector<const InstanceMap*> first_map(num_slots, nullptr);
+    std::vector<const InstanceMap*> seen;
+    for (const FlatActivity& a : acts) {
+      const InstanceMap* m = a.imap.get();
+      if (std::find(seen.begin(), seen.end(), m) != seen.end()) continue;
+      seen.push_back(m);
+      for (std::size_t p = 0; p < m->offset.size(); ++p)
+        for (std::uint32_t i = 0; i < m->size[p]; ++i) {
+          const std::uint32_t s = m->offset[p] + i;
+          if (first_map[s] == nullptr) first_map[s] = m;
+          else if (first_map[s] != m) info.shared[s] = 1;
+        }
+    }
+  }
+
+  for (const FlatActivity& a : acts) {
+    for (const FlatArc& arc : a.input_arcs) info.arc_consumed[arc.slot] = 1;
+    for (const FlatCase& c : a.cases)
+      for (const FlatArc& arc : c.output_arcs) info.arc_fed[arc.slot] = 1;
+
+    // Gate writes: the declared write set if present, otherwise everything
+    // the instance map can address (exactly DependencyIndex's fallback).
+    bool has_write_fns = !a.input_fns.empty();
+    for (const FlatCase& c : a.cases)
+      if (!c.output_fns.empty()) has_write_fns = true;
+    if (!has_write_fns) continue;
+    if (a.writes_declared) {
+      for (std::uint32_t s : a.declared_write_slots) info.gate_written[s] = 1;
+    } else {
+      const InstanceMap& m = *a.imap;
+      for (std::size_t p = 0; p < m.offset.size(); ++p)
+        for (std::uint32_t i = 0; i < m.size[p]; ++i)
+          info.gate_written[m.offset[p] + i] = 1;
+    }
+  }
+
+  // Decreasing fixpoint on (slot_bound, fire_bound), both started at ∞.
+  // Invariant (induction over rounds): slot_bound[s] >= total tokens slot s
+  // can ever hold, fire_bound[a] >= total completions of a — so stopping
+  // after any round is sound.  64 rounds covers every chain the AHS models
+  // produce; deeper chains simply keep their ∞.
+  for (int round = 0; round < 64; ++round) {
+    bool changed = false;
+
+    for (std::size_t s = 0; s < num_slots; ++s) {
+      std::uint64_t inflow = 0;
+      if (info.gate_written[s]) inflow = kUnbounded;
+      const std::int32_t initial =
+          model.places()[info.slot_place[s]].initial;
+      std::uint64_t bound = sat_add(
+          initial > 0 ? static_cast<std::uint64_t>(initial) : 0, inflow);
+      if (bound != kUnbounded) {
+        for (std::size_t ai = 0; ai < acts.size() && bound != kUnbounded;
+             ++ai) {
+          for (const FlatCase& c : acts[ai].cases)
+            for (const FlatArc& arc : c.output_arcs)
+              if (arc.slot == s && arc.weight > 0)
+                bound = sat_add(
+                    bound, sat_mul(static_cast<std::uint64_t>(arc.weight),
+                                   info.fire_bound[ai]));
+        }
+      }
+      if (bound < info.slot_bound[s]) {
+        info.slot_bound[s] = bound;
+        changed = true;
+      }
+    }
+
+    for (std::size_t ai = 0; ai < acts.size(); ++ai) {
+      std::uint64_t bound = kUnbounded;
+      for (const FlatArc& arc : acts[ai].input_arcs) {
+        if (arc.weight <= 0) continue;
+        const std::uint64_t cap = info.slot_bound[arc.slot];
+        if (cap == kUnbounded) continue;
+        bound = std::min(bound, cap / static_cast<std::uint64_t>(arc.weight));
+      }
+      if (bound < info.fire_bound[ai]) {
+        info.fire_bound[ai] = bound;
+        changed = true;
+      }
+    }
+
+    if (!changed) break;
+  }
+
+  return info;
+}
+
+}  // namespace san::analyze

@@ -1,0 +1,56 @@
+// Arc-level structural facts about a flattened SAN, shared by the
+// net-structure analyzers.
+//
+// Everything here is derived from arcs, declared access sets, and instance
+// maps alone — no callback is ever invoked.  Opaque gate/rate callbacks are
+// handled conservatively: an activity with gate functions is assumed able
+// to write every slot of its declared write set (or, undeclared, every slot
+// its InstanceMap can address), which makes the "never written" /
+// "never consumed" facts sound for dead-activity and unbounded-place
+// reasoning.
+//
+// The token-flow bounds are a decreasing fixpoint started from +infinity:
+// an activity's firing count is bounded by the total tokens its input-arc
+// places can ever hold (initial marking + total arc inflow), and a slot's
+// total inflow is bounded by its producers' firing counts.  Every iterate
+// over-approximates the true reachable quantities, so the analysis may stop
+// after any number of rounds and stays sound for the claims built on it
+// ("this arc can never be covered", "this slot grows without bound").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "san/flat_model.h"
+
+namespace san::analyze {
+
+/// Sentinel for "no structural bound".
+inline constexpr std::uint64_t kUnbounded = UINT64_MAX;
+
+struct StructureInfo {
+  /// slot -> index of the FlatPlace covering it.
+  std::vector<std::uint32_t> slot_place;
+
+  /// slot facts.
+  std::vector<std::uint8_t> gate_written;  ///< some gate fn may write it
+  std::vector<std::uint8_t> arc_fed;       ///< some output arc feeds it
+  std::vector<std::uint8_t> arc_consumed;  ///< some input arc consumes it
+  std::vector<std::uint8_t> shared;        ///< addressable by >= 2 instances
+
+  /// Upper bound on the tokens slot `s` can ever hold (kUnbounded = none).
+  std::vector<std::uint64_t> slot_bound;
+
+  /// Upper bound on how often activity `a` can ever fire (kUnbounded when
+  /// arcs alone cannot bound it).
+  std::vector<std::uint64_t> fire_bound;
+
+  const FlatPlace& place_of_slot(const FlatModel& model,
+                                 std::uint32_t slot) const {
+    return model.places()[slot_place[slot]];
+  }
+};
+
+StructureInfo build_structure(const FlatModel& model);
+
+}  // namespace san::analyze

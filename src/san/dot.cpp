@@ -1,6 +1,9 @@
 #include "san/dot.h"
 
+#include <set>
 #include <sstream>
+#include <unordered_map>
+#include <vector>
 
 namespace san {
 
@@ -37,6 +40,119 @@ std::string to_dot(const AtomicModel& model) {
     if (gates > 0) {
       os << "  g" << i << " [shape=triangle, label=\"" << gates
          << " gate(s)\"];\n  g" << i << " -> a" << i << " [style=dotted];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+namespace {
+
+/// Lint highlight palette, indexed by severity.
+struct Highlight {
+  const char* fill;
+  const char* border;
+};
+
+Highlight highlight_for(analyze::Severity s) {
+  switch (s) {
+    case analyze::Severity::kError: return {"#ffb3b3", "red"};
+    case analyze::Severity::kWarning: return {"#ffd9a0", "orange"};
+    case analyze::Severity::kInfo: return {"#cfe2ff", "steelblue"};
+  }
+  return {"white", "black"};
+}
+
+/// Name (activity or place) -> worst diagnostic severity naming it.  Place
+/// anchors may carry an extended-place "[i]" suffix; it is stripped so the
+/// whole place node lights up.
+std::unordered_map<std::string, analyze::Severity> finding_marks(
+    const analyze::LintReport* findings) {
+  std::unordered_map<std::string, analyze::Severity> marks;
+  if (findings == nullptr) return marks;
+  auto note = [&](std::string name, analyze::Severity s) {
+    if (name.empty()) return;
+    if (const auto br = name.find('['); br != std::string::npos)
+      name.resize(br);
+    const auto [it, inserted] = marks.emplace(std::move(name), s);
+    if (!inserted && it->second < s) it->second = s;
+  };
+  for (const analyze::Diagnostic& d : findings->diagnostics) {
+    note(d.activity, d.severity);
+    note(d.place, d.severity);
+  }
+  return marks;
+}
+
+}  // namespace
+
+std::string to_dot(const FlatModel& model,
+                   const analyze::LintReport* findings) {
+  const auto marks = finding_marks(findings);
+  auto decoration = [&](const std::string& name) -> std::string {
+    const auto it = marks.find(name);
+    if (it == marks.end()) return "";
+    const Highlight h = highlight_for(it->second);
+    return std::string(", style=filled, fillcolor=\"") + h.fill +
+           "\", color=\"" + h.border + "\", penwidth=2";
+  };
+
+  std::vector<std::size_t> slot_place(model.marking_size(), 0);
+  for (std::size_t pi = 0; pi < model.places().size(); ++pi) {
+    const FlatPlace& p = model.places()[pi];
+    for (std::uint32_t i = 0; i < p.size; ++i) slot_place[p.offset + i] = pi;
+  }
+
+  std::ostringstream os;
+  os << "digraph flat_model {\n";
+  os << "  rankdir=LR;\n  node [fontsize=10];\n";
+  const auto& places = model.places();
+  for (std::size_t i = 0; i < places.size(); ++i) {
+    os << "  p" << i << " [shape=circle, label=\"" << places[i].name;
+    if (places[i].size > 1) os << "[" << places[i].size << "]";
+    if (places[i].initial > 0) os << "\\n(" << places[i].initial << ")";
+    os << "\"" << decoration(places[i].name) << "];\n";
+  }
+  const auto& acts = model.activities();
+  for (std::size_t i = 0; i < acts.size(); ++i) {
+    const FlatActivity& a = acts[i];
+    os << "  a" << i << " [shape=rectangle, "
+       << (a.timed ? "style=filled, fillcolor=gray80, " : "height=0.1, ")
+       << "label=\"" << a.name << "\"" << decoration(a.name) << "];\n";
+    std::set<std::size_t> arc_in, arc_out;
+    for (const FlatArc& arc : a.input_arcs) {
+      arc_in.insert(slot_place[arc.slot]);
+      os << "  p" << slot_place[arc.slot] << " -> a" << i;
+      if (arc.weight > 1) os << " [label=\"" << arc.weight << "\"]";
+      os << ";\n";
+    }
+    for (std::size_t ci = 0; ci < a.cases.size(); ++ci) {
+      for (const FlatArc& arc : a.cases[ci].output_arcs) {
+        arc_out.insert(slot_place[arc.slot]);
+        os << "  a" << i << " -> p" << slot_place[arc.slot];
+        if (a.cases.size() > 1) os << " [label=\"case " << ci << "\"]";
+        os << ";\n";
+      }
+    }
+    // Gate connectivity from the declared dependency sets, deduplicated per
+    // place and suppressed where an arc already draws the edge.
+    if (a.reads_declared) {
+      std::set<std::size_t> seen;
+      for (std::uint32_t s : a.declared_read_slots) {
+        const std::size_t pi = slot_place[s];
+        if (arc_in.count(pi) || !seen.insert(pi).second) continue;
+        os << "  p" << pi << " -> a" << i
+           << " [style=dashed, color=gray50];\n";
+      }
+    }
+    if (a.writes_declared) {
+      std::set<std::size_t> seen;
+      for (std::uint32_t s : a.declared_write_slots) {
+        const std::size_t pi = slot_place[s];
+        if (arc_out.count(pi) || !seen.insert(pi).second) continue;
+        os << "  a" << i << " -> p" << pi
+           << " [style=dashed, color=gray50];\n";
+      }
     }
   }
   os << "}\n";

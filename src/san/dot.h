@@ -1,9 +1,12 @@
-// Graphviz export of atomic models, for documentation and model review.
+// Graphviz export of atomic and flattened models, for documentation and
+// model review.
 #pragma once
 
 #include <string>
 
+#include "san/analyze/diagnostics.h"
 #include "san/atomic_model.h"
+#include "san/flat_model.h"
 
 namespace san {
 
@@ -12,5 +15,14 @@ namespace san {
 /// Graphviz dot syntax.  Gate connectivity cannot be recovered from opaque
 /// callbacks, so gates are shown as attached triangles without place edges.
 std::string to_dot(const AtomicModel& model);
+
+/// Renders the flattened (composed) model.  Unlike the atomic form, gate
+/// connectivity IS shown — as dashed edges derived from the declared
+/// read/write slot sets (place -> activity for reads, activity -> place for
+/// writes).  When `findings` is given (`ahs_lint --dot`), nodes named by a
+/// diagnostic are highlighted: red for error severity, orange for warning,
+/// blue for info — visual triage for model review.
+std::string to_dot(const FlatModel& model,
+                   const analyze::LintReport* findings = nullptr);
 
 }  // namespace san

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "san/analyze/analysis.h"
 #include "util/distributions.h"
 #include "util/error.h"
 
@@ -67,6 +68,9 @@ Executor::Executor(const san::FlatModel& model, util::Rng rng, Options opts)
 
   dep_ = std::make_unique<san::DependencyIndex>(
       san::DependencyIndex::build(model_));
+
+  if (opts_.lint)
+    san::analyze::preflight_lint(model_, "Executor lint preflight");
 
   // Split each affected_by set by activity kind once, so per-event
   // propagation walks plain index lists.

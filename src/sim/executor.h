@@ -97,6 +97,13 @@ class Executor {
     /// dependency index's declared read/write sets (throws util::ModelError
     /// on the first access outside them).  Slow; for tests.
     bool check_dependencies = false;
+    /// Static-analysis preflight (san::analyze::preflight_lint): the
+    /// constructor rejects models with error-severity lint findings —
+    /// unsound dependency declarations, vanishing loops, invalid rates or
+    /// case weights — before anything runs.  Uses a small probe budget and
+    /// no RNG, so trajectories are unaffected.  Disable only for
+    /// deliberately malformed models (tests).
+    bool lint = true;
   };
 
   Executor(const san::FlatModel& model, util::Rng rng, Options opts);

@@ -1,0 +1,648 @@
+// Static-analysis suite tests: one seeded-defect fixture plus one clean
+// fixture per diagnostic ID, engine-preflight wiring, the subsumption
+// guarantee (static access sets ⊇ probed observations; a narrowed
+// declaration is caught without running the simulator), and the shipped
+// AHS configurations linting clean.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "ahs/parameters.h"
+#include "ahs/system_model.h"
+#include "ctmc/state_space.h"
+#include "san/analyze/analysis.h"
+#include "san/analyze/diagnostics.h"
+#include "san/analyze/probe.h"
+#include "san/analyze/structure.h"
+#include "san/composition.h"
+#include "san/dot.h"
+#include "sim/executor.h"
+#include "util/error.h"
+
+namespace {
+
+using san::analyze::LintOptions;
+using san::analyze::LintReport;
+using san::analyze::Severity;
+
+LintReport lint(const san::FlatModel& flat, std::size_t budget = 4096) {
+  LintOptions opts;
+  opts.probe_budget = budget;
+  return san::analyze::run_lint(flat, "fixture", opts);
+}
+
+LintReport lint(const std::shared_ptr<san::AtomicModel>& m) {
+  return lint(san::flatten(m));
+}
+
+bool has_id(const LintReport& r, const std::string& id) {
+  for (const auto& d : r.diagnostics)
+    if (d.id == id) return true;
+  return false;
+}
+
+std::string first_message(const LintReport& r, const std::string& id) {
+  for (const auto& d : r.diagnostics)
+    if (d.id == id) return d.message;
+  return "";
+}
+
+// Shorthand: no declaration list at all.
+constexpr std::initializer_list<san::PlaceToken> kNone = {};
+
+// ---------------------------------------------------------------------------
+// DEP001 — undeclared read
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<san::AtomicModel> dep001_model(bool seeded) {
+  auto m = std::make_shared<san::AtomicModel>("dep001");
+  const auto src = m->place("src", 1);
+  const auto q = m->place("q", 1);
+  auto t = m->timed_activity("t")
+               .distribution(util::Distribution::Exponential(1.0))
+               .input_arc(src)
+               .input_gate([q](const san::MarkingRef& mr) {
+                 return mr.get(q) == 1;
+               });
+  if (seeded) t.reads(kNone);  // claims the predicate reads nothing
+  else t.reads({q});
+  return m;
+}
+
+TEST(AnalyzeDep, UndeclaredReadCaught) {
+  const auto r = lint(dep001_model(true));
+  EXPECT_TRUE(has_id(r, "DEP001")) << r.to_text();
+  EXPECT_GE(r.errors(), 1u);
+}
+
+TEST(AnalyzeDep, DeclaredReadClean) {
+  const auto r = lint(dep001_model(false));
+  EXPECT_FALSE(has_id(r, "DEP001")) << r.to_text();
+  EXPECT_EQ(r.errors(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// DEP002 — undeclared write
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<san::AtomicModel> dep002_model(bool seeded) {
+  auto m = std::make_shared<san::AtomicModel>("dep002");
+  const auto src = m->place("src", 1);
+  const auto q = m->place("q");
+  auto t = m->timed_activity("t")
+               .distribution(util::Distribution::Exponential(1.0))
+               .input_arc(src)
+               .output_gate([q](const san::MarkingRef& mr) {
+                 mr.set(q, 1);
+               });
+  if (seeded) t.writes(kNone);  // claims the gate writes nothing
+  else t.writes({q});
+  return m;
+}
+
+TEST(AnalyzeDep, UndeclaredWriteCaught) {
+  const auto r = lint(dep002_model(true));
+  EXPECT_TRUE(has_id(r, "DEP002")) << r.to_text();
+  EXPECT_GE(r.errors(), 1u);
+}
+
+TEST(AnalyzeDep, DeclaredWriteClean) {
+  const auto r = lint(dep002_model(false));
+  EXPECT_FALSE(has_id(r, "DEP002")) << r.to_text();
+  EXPECT_EQ(r.errors(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// DEP003 — over-wide declaration (needs complete probe coverage)
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<san::AtomicModel> dep003_model(bool seeded) {
+  auto m = std::make_shared<san::AtomicModel>("dep003");
+  const auto src = m->place("src", 1);
+  const auto q = m->place("q", 1);
+  const auto unused = m->place("unused", 1);
+  auto t = m->timed_activity("t")
+               .distribution(util::Distribution::Exponential(1.0))
+               .input_arc(src)
+               .input_gate([q](const san::MarkingRef& mr) {
+                 return mr.get(q) == 1;
+               });
+  if (seeded) t.reads({q, unused});  // `unused` is never consulted
+  else t.reads({q});
+  return m;
+}
+
+TEST(AnalyzeDep, OverWideDeclarationFlagged) {
+  const auto r = lint(dep003_model(true));
+  ASSERT_TRUE(r.probe_complete) << "fixture must be fully explorable";
+  EXPECT_TRUE(has_id(r, "DEP003")) << r.to_text();
+  EXPECT_NE(first_message(r, "DEP003").find("unused"), std::string::npos);
+  EXPECT_EQ(r.errors(), 0u);  // a perf smell, not an error
+}
+
+TEST(AnalyzeDep, TightDeclarationClean) {
+  const auto r = lint(dep003_model(false));
+  EXPECT_FALSE(has_id(r, "DEP003")) << r.to_text();
+}
+
+TEST(AnalyzeDep, OverWidthNotReportedUnderPartialCoverage) {
+  const auto r = lint(san::flatten(dep003_model(true)), /*budget=*/1);
+  ASSERT_FALSE(r.probe_complete);
+  EXPECT_FALSE(has_id(r, "DEP003")) << r.to_text();
+}
+
+// ---------------------------------------------------------------------------
+// DEP004 — conservative fallback
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<san::AtomicModel> dep004_model(bool seeded) {
+  auto m = std::make_shared<san::AtomicModel>("dep004");
+  const auto src = m->place("src", 1);
+  const auto q = m->place("q", 1);
+  auto t = m->timed_activity("t")
+               .distribution(util::Distribution::Exponential(1.0))
+               .input_arc(src)
+               .input_gate([q](const san::MarkingRef& mr) {
+                 return mr.get(q) == 1;
+               });
+  if (!seeded) t.reads({q});  // seeded: no declaration at all
+  return m;
+}
+
+TEST(AnalyzeDep, FallbackDiagnosed) {
+  const auto r = lint(dep004_model(true));
+  EXPECT_TRUE(has_id(r, "DEP004")) << r.to_text();
+  EXPECT_EQ(r.errors(), 0u);  // sound, just slow — a warning
+}
+
+TEST(AnalyzeDep, DeclaredCallbacksNoFallback) {
+  const auto r = lint(dep004_model(false));
+  EXPECT_FALSE(has_id(r, "DEP004")) << r.to_text();
+}
+
+// ---------------------------------------------------------------------------
+// DEP005 — impure predicate
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<san::AtomicModel> dep005_model(bool seeded) {
+  auto m = std::make_shared<san::AtomicModel>("dep005");
+  const auto src = m->place("src", 1);
+  const auto q = m->place("q");
+  auto t = m->timed_activity("t").distribution(
+      util::Distribution::Exponential(1.0));
+  t.input_arc(src);
+  if (seeded) {
+    t.input_gate([q](const san::MarkingRef& mr) {
+      mr.set(q, 1);  // side effect inside a predicate
+      return true;
+    });
+  } else {
+    t.input_gate([q](const san::MarkingRef& mr) { return mr.get(q) == 0; });
+  }
+  t.reads({q}).writes({q});
+  return m;
+}
+
+TEST(AnalyzeDep, ImpurePredicateCaught) {
+  const auto r = lint(dep005_model(true));
+  EXPECT_TRUE(has_id(r, "DEP005")) << r.to_text();
+  EXPECT_GE(r.errors(), 1u);
+}
+
+TEST(AnalyzeDep, PurePredicateClean) {
+  const auto r = lint(dep005_model(false));
+  EXPECT_FALSE(has_id(r, "DEP005")) << r.to_text();
+}
+
+// ---------------------------------------------------------------------------
+// NET001 — dead activity
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<san::AtomicModel> net001_model(bool seeded) {
+  auto m = std::make_shared<san::AtomicModel>("net001");
+  const auto a = m->place("a", 1);  // can never exceed one token
+  const auto b = m->place("b");
+  m->timed_activity("t")
+      .distribution(util::Distribution::Exponential(1.0))
+      .input_arc(a, seeded ? 2 : 1)
+      .output_arc(b);
+  return m;
+}
+
+TEST(AnalyzeNet, DeadActivityFlagged) {
+  const auto r = lint(net001_model(true));
+  EXPECT_TRUE(has_id(r, "NET001")) << r.to_text();
+}
+
+TEST(AnalyzeNet, LiveActivityClean) {
+  const auto r = lint(net001_model(false));
+  EXPECT_FALSE(has_id(r, "NET001")) << r.to_text();
+}
+
+// ---------------------------------------------------------------------------
+// NET002 — write-only place
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<san::AtomicModel> net002_model(bool seeded) {
+  auto m = std::make_shared<san::AtomicModel>("net002");
+  const auto src = m->place("src", 1);
+  const auto w = m->place("w");
+  m->timed_activity("t")
+      .distribution(util::Distribution::Exponential(1.0))
+      .input_arc(src)
+      .output_arc(w);
+  if (!seeded) {
+    // A reader makes `w` load-bearing.
+    m->timed_activity("u")
+        .distribution(util::Distribution::Exponential(1.0))
+        .input_arc(src)
+        .input_gate([w](const san::MarkingRef& mr) { return mr.get(w) > 0; })
+        .reads({w});
+  }
+  return m;
+}
+
+TEST(AnalyzeNet, WriteOnlyPlaceFlagged) {
+  const auto r = lint(net002_model(true));
+  EXPECT_TRUE(has_id(r, "NET002")) << r.to_text();
+  EXPECT_EQ(r.errors(), 0u);
+}
+
+TEST(AnalyzeNet, ReadPlaceClean) {
+  const auto r = lint(net002_model(false));
+  EXPECT_FALSE(has_id(r, "NET002")) << r.to_text();
+}
+
+// ---------------------------------------------------------------------------
+// NET003 — unbounded place
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<san::AtomicModel> net003_model(bool seeded) {
+  auto m = std::make_shared<san::AtomicModel>("net003");
+  const auto src = m->place("src", 1);
+  const auto w = m->place("w");
+  // t recycles its token, so it can fire forever and `w` grows without
+  // bound.  The gate keeps `w` read (suppresses NET002) without consuming.
+  auto t = m->timed_activity("t")
+               .distribution(util::Distribution::Exponential(1.0))
+               .input_arc(src)
+               .output_arc(src)
+               .output_arc(w)
+               .input_gate([w](const san::MarkingRef& mr) {
+                 return mr.get(w) >= 0;
+               });
+  t.reads({w});
+  if (!seeded) {
+    // A consumer bounds nothing structurally, but "never consumed" is the
+    // leak signature NET003 keys on.
+    m->timed_activity("drain")
+        .distribution(util::Distribution::Exponential(1.0))
+        .input_arc(w);
+  }
+  return m;
+}
+
+TEST(AnalyzeNet, UnboundedPlaceFlagged) {
+  const auto r = lint(net003_model(true));
+  EXPECT_TRUE(has_id(r, "NET003")) << r.to_text();
+}
+
+TEST(AnalyzeNet, ConsumedPlaceClean) {
+  const auto r = lint(net003_model(false));
+  EXPECT_FALSE(has_id(r, "NET003")) << r.to_text();
+}
+
+// ---------------------------------------------------------------------------
+// NET004 — instantaneous arc cycle
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<san::AtomicModel> net004_model(bool seeded) {
+  auto m = std::make_shared<san::AtomicModel>("net004");
+  const auto a = m->place("a", 1);
+  const auto b = m->place("b");
+  const auto c = m->place("c");
+  m->instant_activity("ab").input_arc(a).output_arc(b);
+  if (seeded) m->instant_activity("ba").input_arc(b).output_arc(a);
+  else m->instant_activity("bc").input_arc(b).output_arc(c);
+  return m;
+}
+
+TEST(AnalyzeNet, UngatedVanishingLoopIsError) {
+  const auto r = lint(net004_model(true));
+  EXPECT_TRUE(has_id(r, "NET004")) << r.to_text();
+  EXPECT_GE(r.errors(), 1u);
+}
+
+TEST(AnalyzeNet, InstantaneousChainClean) {
+  const auto r = lint(net004_model(false));
+  EXPECT_FALSE(has_id(r, "NET004")) << r.to_text();
+}
+
+TEST(AnalyzeNet, GatedVanishingLoopIsWarning) {
+  auto m = std::make_shared<san::AtomicModel>("net004g");
+  const auto a = m->place("a", 1);
+  const auto b = m->place("b");
+  const auto fuel = m->place("fuel", 3);
+  // Each traversal burns fuel, so the predicate eventually breaks the loop.
+  m->instant_activity("ab").input_arc(a).input_arc(fuel).output_arc(b);
+  m->instant_activity("ba")
+      .input_arc(b)
+      .output_arc(a)
+      .input_gate([fuel](const san::MarkingRef& mr) {
+        return mr.get(fuel) > 0;
+      })
+      .reads({fuel});
+  const auto r = lint(m);
+  EXPECT_TRUE(has_id(r, "NET004")) << r.to_text();
+  EXPECT_EQ(r.errors(), 0u) << r.to_text();  // gated: warning, not error
+}
+
+// ---------------------------------------------------------------------------
+// NET005 — same-priority cross-instance writers of a shared place
+// ---------------------------------------------------------------------------
+
+san::FlatModel net005_model(bool seeded) {
+  auto make_leaf = [&](const std::string& name, const std::string& act,
+                       int priority) {
+    auto m = std::make_shared<san::AtomicModel>(name);
+    const auto trig = m->place("trig_" + name, 1);
+    const auto shared = m->place("s");
+    m->instant_activity(act).priority(priority).input_arc(trig).output_arc(
+        shared);
+    return san::Leaf(m);
+  };
+  return san::flatten(san::Join(
+      "join", {make_leaf("m1", "u", 3), make_leaf("m2", "v", seeded ? 3 : 2)},
+      {"s"}));
+}
+
+TEST(AnalyzeNet, SharedWriteTieFlagged) {
+  const auto r = lint(net005_model(true));
+  EXPECT_TRUE(has_id(r, "NET005")) << r.to_text();
+  EXPECT_EQ(r.errors(), 0u);
+}
+
+TEST(AnalyzeNet, DistinctPrioritiesClean) {
+  const auto r = lint(net005_model(false));
+  EXPECT_FALSE(has_id(r, "NET005")) << r.to_text();
+}
+
+// ---------------------------------------------------------------------------
+// NET006 — invalid rate at a reachable enabled marking
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<san::AtomicModel> net006_model(bool seeded) {
+  auto m = std::make_shared<san::AtomicModel>("net006");
+  const auto src = m->place("src", 1);
+  auto t = m->timed_activity("t").input_arc(src);
+  if (seeded) t.marking_rate([](const san::MarkingRef&) { return 0.0; });
+  else t.marking_rate([](const san::MarkingRef&) { return 2.0; });
+  t.reads(kNone);
+  return m;
+}
+
+TEST(AnalyzeNet, NonPositiveRateCaught) {
+  const auto r = lint(net006_model(true));
+  EXPECT_TRUE(has_id(r, "NET006")) << r.to_text();
+  EXPECT_GE(r.errors(), 1u);
+}
+
+TEST(AnalyzeNet, PositiveRateClean) {
+  const auto r = lint(net006_model(false));
+  EXPECT_FALSE(has_id(r, "NET006")) << r.to_text();
+}
+
+// ---------------------------------------------------------------------------
+// NET007 — invalid case weights
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<san::AtomicModel> net007_model(bool seeded) {
+  auto m = std::make_shared<san::AtomicModel>("net007");
+  const auto src = m->place("src", 1);
+  const auto l = m->place("l");
+  const auto rr = m->place("r");
+  auto t = m->timed_activity("t")
+               .distribution(util::Distribution::Exponential(1.0));
+  t.input_arc(src);
+  const double w = seeded ? 0.0 : 0.5;
+  t.add_case([w](const san::MarkingRef&) { return w; });
+  t.add_case([w](const san::MarkingRef&) { return w; });
+  t.output_arc(l, 1, 0);
+  t.output_arc(rr, 1, 1);
+  return m;
+}
+
+TEST(AnalyzeNet, ZeroTotalWeightCaught) {
+  const auto r = lint(net007_model(true));
+  EXPECT_TRUE(has_id(r, "NET007")) << r.to_text();
+  EXPECT_GE(r.errors(), 1u);
+}
+
+TEST(AnalyzeNet, PositiveWeightsClean) {
+  const auto r = lint(net007_model(false));
+  EXPECT_FALSE(has_id(r, "NET007")) << r.to_text();
+}
+
+// ---------------------------------------------------------------------------
+// NET008 — throwing callback
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<san::AtomicModel> net008_model(bool seeded) {
+  auto m = std::make_shared<san::AtomicModel>("net008");
+  const auto src = m->place("src", 1);
+  auto t = m->timed_activity("t")
+               .distribution(util::Distribution::Exponential(1.0));
+  t.input_arc(src);
+  if (seeded) {
+    t.input_gate([](const san::MarkingRef&) -> bool {
+      throw std::runtime_error("boom at marking");
+    });
+  } else {
+    t.input_gate([](const san::MarkingRef&) { return true; });
+  }
+  t.reads(kNone);
+  return m;
+}
+
+TEST(AnalyzeNet, ThrowingCallbackCaught) {
+  const auto r = lint(net008_model(true));
+  EXPECT_TRUE(has_id(r, "NET008")) << r.to_text();
+  EXPECT_NE(first_message(r, "NET008").find("boom"), std::string::npos);
+}
+
+TEST(AnalyzeNet, HealthyCallbackClean) {
+  const auto r = lint(net008_model(false));
+  EXPECT_FALSE(has_id(r, "NET008")) << r.to_text();
+}
+
+// ---------------------------------------------------------------------------
+// Report plumbing: suppression, JSON schema, catalogue.
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeReport, SuppressionFiltersIds) {
+  LintOptions opts;
+  opts.disabled_ids = {"DEP001"};
+  const auto flat = san::flatten(dep001_model(true));
+  const auto r = san::analyze::run_lint(flat, "fixture", opts);
+  EXPECT_FALSE(has_id(r, "DEP001"));
+}
+
+TEST(AnalyzeReport, UnknownSuppressionIdRejected) {
+  LintOptions opts;
+  opts.disabled_ids = {"NOPE42"};
+  const auto flat = san::flatten(dep001_model(false));
+  EXPECT_THROW(san::analyze::run_lint(flat, "fixture", opts),
+               util::ModelError);
+}
+
+TEST(AnalyzeReport, JsonDocumentHasSchemaAndSummary) {
+  const LintReport r = lint(dep002_model(true));
+  const std::string doc = san::analyze::lint_json_document({&r, 1});
+  EXPECT_NE(doc.find("\"schema\": \"ahs.lint.v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"DEP002\""), std::string::npos);
+  EXPECT_NE(doc.find("\"errors\": 1"), std::string::npos);
+}
+
+TEST(AnalyzeReport, CatalogueCoversAllEmittedIds) {
+  for (const auto& info : san::analyze::diagnostic_catalog()) {
+    EXPECT_NE(san::analyze::find_diagnostic(info.id), nullptr);
+  }
+  EXPECT_EQ(san::analyze::find_diagnostic("XXX999"), nullptr);
+  EXPECT_EQ(san::analyze::diagnostic_catalog().size(), 13u);
+}
+
+TEST(AnalyzeReport, DotHighlightsFindings) {
+  const auto flat = san::flatten(net001_model(true));
+  const LintReport r = lint(flat);
+  const std::string dot = san::to_dot(flat, &r);
+  EXPECT_NE(dot.find("orange"), std::string::npos);  // NET001 is a warning
+}
+
+// ---------------------------------------------------------------------------
+// Engine preflight wiring.
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzePreflight, ExecutorRejectsUnsoundDeclarations) {
+  const auto flat = san::flatten(dep002_model(true));
+  EXPECT_THROW(sim::Executor(flat, util::Rng(1)), util::ModelError);
+  sim::Executor::Options opts;
+  opts.lint = false;  // opting out restores the old behaviour
+  EXPECT_NO_THROW(sim::Executor(flat, util::Rng(1), opts));
+}
+
+TEST(AnalyzePreflight, StateSpaceRejectsUnsoundDeclarations) {
+  const auto flat = san::flatten(dep002_model(true));
+  EXPECT_THROW(ctmc::build_state_space(flat), util::ModelError);
+  ctmc::StateSpaceOptions opts;
+  opts.lint = false;
+  EXPECT_NO_THROW(ctmc::build_state_space(flat, opts));
+}
+
+TEST(AnalyzePreflight, CleanModelPassesBothEngines) {
+  const auto flat = san::flatten(dep002_model(false));
+  EXPECT_NO_THROW(sim::Executor(flat, util::Rng(1)));
+  EXPECT_NO_THROW(ctmc::build_state_space(flat));
+}
+
+// ---------------------------------------------------------------------------
+// Subsumption: the static access sets over-approximate everything the
+// probe (and hence any trajectory) observes, and narrowing a declared set
+// is caught with no simulator in the loop.
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeSubsumption, StaticSetsContainAllObservedAccesses) {
+  ahs::Parameters p;
+  p.max_per_platoon = 3;
+  const auto flat = ahs::build_system_model(p);
+  const auto deps = san::DependencyIndex::build(flat);
+  const auto probes =
+      san::analyze::run_probe(flat, san::analyze::ProbeOptions{2048});
+  ASSERT_GT(probes.probed_markings, 100u);
+  for (std::size_t ai = 0; ai < flat.activities().size(); ++ai) {
+    const auto& ap = probes.activities[ai];
+    const auto reads = deps.reads(ai);
+    const auto writes = deps.writes(ai);
+    for (const std::uint32_t s : ap.pred_reads)
+      EXPECT_TRUE(std::binary_search(reads.begin(), reads.end(), s))
+          << flat.activities()[ai].name << " read slot " << s;
+    for (const std::uint32_t s : ap.fire_writes)
+      EXPECT_TRUE(std::binary_search(writes.begin(), writes.end(), s))
+          << flat.activities()[ai].name << " wrote slot " << s;
+    EXPECT_TRUE(ap.eval_writes.empty()) << flat.activities()[ai].name;
+  }
+}
+
+TEST(AnalyzeSubsumption, NarrowedDeclarationCaughtStatically) {
+  // The clean fixture passes the *runtime* validator on real trajectories…
+  {
+    const auto flat = san::flatten(dep001_model(false));
+    sim::Executor::Options opts;
+    opts.check_dependencies = true;
+    sim::Executor exec(flat, util::Rng(7), opts);
+    EXPECT_NO_THROW(exec.run_until(10.0));
+  }
+  // …and the narrowed variant is rejected by lint alone — no Executor, no
+  // RNG, no trajectory.
+  const auto r = lint(dep001_model(true));
+  EXPECT_GE(r.errors(), 1u);
+  EXPECT_TRUE(has_id(r, "DEP001"));
+}
+
+// ---------------------------------------------------------------------------
+// The shipped AHS configurations lint clean (no errors, no warnings; the
+// NET002 infos are the known write-only statistics counters).
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeAhs, AllStrategiesLintClean) {
+  for (const ahs::Strategy s : ahs::kAllStrategies) {
+    for (const int n : {2, 5}) {
+      ahs::Parameters p;
+      p.strategy = s;
+      p.max_per_platoon = n;
+      const auto flat = ahs::build_system_model(p);
+      const auto r = lint(flat, /*budget=*/512);
+      EXPECT_EQ(r.errors(), 0u)
+          << ahs::to_string(s) << " n=" << n << "\n" << r.to_text();
+      EXPECT_EQ(r.warnings(), 0u)
+          << ahs::to_string(s) << " n=" << n << "\n" << r.to_text();
+      // The write-only statistics counters are exactly the places the CTMC
+      // path projects out via ignore_places.
+      for (const auto& d : r.diagnostics) {
+        if (d.id != "NET002") continue;
+        const bool known = d.place.find("ext_id") != std::string::npos ||
+                           d.place.find("safe_exits") != std::string::npos ||
+                           d.place.find("ko_exits") != std::string::npos;
+        EXPECT_TRUE(known) << d.place;
+      }
+    }
+  }
+}
+
+TEST(AnalyzeAhs, AdjacencyRadiusVariantLintsClean) {
+  ahs::Parameters p;
+  p.max_per_platoon = 4;
+  p.adjacency_radius = 2;
+  const auto flat = ahs::build_system_model(p);
+  const auto r = lint(flat, /*budget=*/512);
+  EXPECT_EQ(r.errors(), 0u) << r.to_text();
+}
+
+// Structural facts sanity: the fixpoint proves small bounds and leaves the
+// recycled fixture unbounded.
+TEST(AnalyzeStructure, BoundsFixpointIsConservative) {
+  const auto flat = san::flatten(net001_model(false));
+  const auto info = san::analyze::build_structure(flat);
+  const auto a_off = flat.place_offset(flat.place_index("a"));
+  const auto b_off = flat.place_offset(flat.place_index("b"));
+  EXPECT_EQ(info.slot_bound[a_off], 1u);
+  EXPECT_EQ(info.slot_bound[b_off], 1u);
+
+  const auto rec = san::flatten(net003_model(true));
+  const auto rec_info = san::analyze::build_structure(rec);
+  const auto w_off = rec.place_offset(rec.place_index("w"));
+  EXPECT_EQ(rec_info.slot_bound[w_off], san::analyze::kUnbounded);
+}
+
+}  // namespace
