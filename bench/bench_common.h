@@ -22,6 +22,8 @@
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/logging.h"
+#include "util/snapshot.h"
+#include "util/stopflag.h"
 #include "util/string_util.h"
 #include "util/table.h"
 #include "util/telemetry.h"
@@ -87,6 +89,56 @@ inline BenchTelemetry& telemetry() {
   return instance;
 }
 
+/// Crash-safety for a bench driver: the --checkpoint-dir/--resume flags
+/// (docs/ROBUSTNESS.md).  parse_bench_flags() registers the flags and
+/// installs the SIGINT/SIGTERM cooperative-stop handlers; each driver
+/// applies the flags to its SweepOptions via apply().
+class BenchRobustness {
+ public:
+  void add_flags(util::Cli& cli) {
+    dir_ = cli.add_string(
+        "checkpoint-dir", "",
+        "directory for durable per-point results and in-flight checkpoints "
+        "(empty = no persistence)");
+    resume_ = cli.add_flag(
+        "resume",
+        "resume from --checkpoint-dir: completed points are restored "
+        "bit-for-bit, in-flight points continue from their checkpoint");
+  }
+
+  /// Wires the sweep to the process stop flag and, when --checkpoint-dir
+  /// was given, to a per-bench checkpoint subdirectory.
+  void apply(ahs::SweepOptions& opts, const std::string& bench_name) const {
+    opts.stop = &util::stop_flag();
+    if (dir_ && !dir_->empty()) {
+      opts.checkpoint_dir = *dir_ + "/" + bench_name;
+      opts.resume = resume_ && *resume_;
+    }
+  }
+
+ private:
+  std::shared_ptr<std::string> dir_;
+  std::shared_ptr<bool> resume_;
+};
+
+/// The driver's robustness flags (one per process).
+inline BenchRobustness& robustness() {
+  static BenchRobustness instance;
+  return instance;
+}
+
+/// Call after run_sweep: when the sweep was interrupted (SIGINT/SIGTERM),
+/// tells the operator how to finish the run and returns true — the driver
+/// should skip its series output and exit 130 (the conventional
+/// interrupted-by-signal status).
+inline bool interrupted(const ahs::SweepResult& result) {
+  if (!result.cancelled) return false;
+  std::cout << "\ninterrupted — completed points and in-flight progress are "
+               "checkpointed;\nrerun with --checkpoint-dir=<dir> --resume "
+               "to finish\n";
+  return true;
+}
+
 /// Driver epilogue: prints/writes the telemetry outputs if requested.
 inline void finish_telemetry() { telemetry().finish(); }
 
@@ -126,6 +178,7 @@ inline bool parse_bench_flags(int argc, const char* const* argv,
   const auto t = cli.add_int(
       "threads", 0, "sweep worker threads (0 = all cores, 1 = sequential)");
   telemetry().add_flags(cli);
+  robustness().add_flags(cli);
   try {
     if (!cli.parse(argc, argv)) return false;
   } catch (const std::exception& e) {
@@ -134,6 +187,7 @@ inline bool parse_bench_flags(int argc, const char* const* argv,
   }
   threads = *t < 0 ? 0u : static_cast<unsigned>(*t);
   telemetry().start();
+  util::install_stop_handlers();
   return true;
 }
 
@@ -146,6 +200,12 @@ inline void merge_timing_record(const std::string& bench_name,
                                 const std::string& record) {
   std::filesystem::create_directories("results");
   const std::string path = "results/bench_timings.json";
+  // The merge is a read-modify-write cycle on a file shared by every bench
+  // binary: the advisory lock serializes concurrent bench runs (so two
+  // processes can't drop each other's records), and the atomic replace
+  // guarantees a reader — or a crash mid-merge — never sees a truncated
+  // document.
+  util::FileLock lock(path + ".lock");
   std::vector<std::string> records;
   {
     std::ifstream in(path);
@@ -165,11 +225,12 @@ inline void merge_timing_record(const std::string& bench_name,
     merged += ", \"telemetry\": " + fragment + "}";
   }
   records.push_back(merged);
-  std::ofstream out(path, std::ios::trunc);
+  std::ostringstream out;
   out << "{\"benches\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i)
     out << records[i] << (i + 1 < records.size() ? "," : "") << "\n";
   out << "]}\n";
+  util::atomic_write_file(path, out.str());
   std::cout << "timings merged into " << path << "\n";
 }
 
@@ -194,13 +255,19 @@ inline void log_sweep_timings(const std::string& bench_name, unsigned threads,
          << ", \"points\": [";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const bool hit = result.structure_cache_hit[i];
+    const ahs::PointOutcome outcome = result.outcome[i];
     std::cout << "  " << points[i].label << ": "
               << secs(result.point_seconds[i]) << " s ("
-              << (hit ? "structure cache hit" : "cold build") << ")\n";
+              << (hit ? "structure cache hit" : "cold build");
+    if (outcome != ahs::PointOutcome::kComputed)
+      std::cout << ", " << ahs::to_string(outcome);
+    std::cout << ")\n";
+    if (outcome == ahs::PointOutcome::kDegraded)
+      std::cout << "    degraded: " << result.degraded_reason[i] << "\n";
     record << (i ? ", " : "") << "{\"label\": \"" << points[i].label
            << "\", \"seconds\": " << secs(result.point_seconds[i])
            << ", \"structure_cache_hit\": " << (hit ? "true" : "false")
-           << "}";
+           << ", \"outcome\": \"" << ahs::to_string(outcome) << "\"}";
   }
   record << "]}";
   merge_timing_record(bench_name, record.str());

@@ -34,7 +34,9 @@ int main(int argc, char** argv) {
 
   ahs::SweepOptions opts;
   opts.threads = threads;
+  bench::robustness().apply(opts, "bench_fig10");
   const ahs::SweepResult sweep = ahs::run_sweep(points, times, opts);
+  if (bench::interrupted(sweep)) return 130;
 
   util::Table table({"t (h)", "S(t) n=8", "S(t) n=10", "S(t) n=12"});
   std::vector<std::vector<std::string>> csv_rows;

@@ -35,7 +35,9 @@ int main(int argc, char** argv) {
 
   ahs::SweepOptions opts;
   opts.threads = threads;
+  bench::robustness().apply(opts, "bench_fig11");
   const ahs::SweepResult sweep = ahs::run_sweep(points, times, opts);
+  if (bench::interrupted(sweep)) return 130;
 
   util::Table table(
       {"t (h)", "S(t) 1e-6/h", "S(t) 1e-5/h", "S(t) 1e-4/h"});

@@ -39,7 +39,9 @@ int main(int argc, char** argv) {
 
   ahs::SweepOptions opts;
   opts.threads = threads;
+  bench::robustness().apply(opts, "bench_fig12");
   const ahs::SweepResult sweep = ahs::run_sweep(points, t6, opts);
+  if (bench::interrupted(sweep)) return 130;
 
   util::Table table({"n", "S(6h) 1e-6/h", "S(6h) 1e-5/h", "S(6h) 1e-4/h"});
   std::vector<std::vector<std::string>> csv_rows;

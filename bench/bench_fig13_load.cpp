@@ -46,7 +46,9 @@ int main(int argc, char** argv) {
   const std::vector<double> times = ahs::trip_duration_grid();
   ahs::SweepOptions opts;
   opts.threads = threads;
+  bench::robustness().apply(opts, "bench_fig13");
   const ahs::SweepResult sweep = ahs::run_sweep(points, times, opts);
+  if (bench::interrupted(sweep)) return 130;
 
   std::vector<std::string> headers = {"t (h)"};
   for (const auto& c : configs) headers.push_back(c.label);

@@ -35,7 +35,9 @@ int main(int argc, char** argv) {
   const std::vector<double> times = ahs::trip_duration_grid();
   ahs::SweepOptions opts;
   opts.threads = threads;
+  bench::robustness().apply(opts, "bench_fig14");
   const ahs::SweepResult sweep = ahs::run_sweep(points, times, opts);
+  if (bench::interrupted(sweep)) return 130;
 
   util::Table table({"t (h)", "DD", "DC", "CD", "CC"});
   std::vector<std::vector<std::string>> csv_rows;

@@ -39,7 +39,9 @@ int main(int argc, char** argv) {
 
   ahs::SweepOptions opts;
   opts.threads = threads;
+  bench::robustness().apply(opts, "bench_fig15");
   const ahs::SweepResult sweep = ahs::run_sweep(points, t6, opts);
+  if (bench::interrupted(sweep)) return 130;
 
   const std::size_t num_strategies = ahs::kAllStrategies.size();
   util::Table table({"n", "DD", "DC", "CD", "CC", "CC/DD"});

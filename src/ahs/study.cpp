@@ -191,10 +191,17 @@ UnsafetyCurve run_simulation(const Parameters& params,
   t_opts.min_replications = options.min_replications;
   t_opts.max_replications = options.max_replications;
   t_opts.rel_half_width = options.rel_half_width;
+  t_opts.abs_half_width = options.abs_half_width;
   t_opts.confidence = options.confidence;
   t_opts.seed = options.seed;
   t_opts.absorbing_indicator = true;
   t_opts.bias = importance ? &bias : nullptr;
+  t_opts.checkpoint_path = options.checkpoint_path;
+  t_opts.checkpoint_every = options.checkpoint_every;
+  t_opts.resume = options.resume;
+  t_opts.model_fingerprint = params.structural_fingerprint();
+  t_opts.stop = options.stop;
+  t_opts.max_seconds = options.max_seconds;
 
   const sim::TransientResult result =
       sim::estimate_transient(model, reward, t_opts);
@@ -207,6 +214,9 @@ UnsafetyCurve run_simulation(const Parameters& params,
   }
   curve.replications = result.replications;
   curve.converged = result.converged;
+  curve.cancelled = result.stop_reason == sim::TransientStop::kCancelled;
+  curve.timed_out = result.stop_reason == sim::TransientStop::kTimedOut;
+  curve.resumed = result.resumed;
   return curve;
 }
 

@@ -12,6 +12,7 @@
 //   kFullCtmc       exact CTMC of the full SAN model (small n only).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -65,6 +66,26 @@ struct StudyOptions {
   /// sweep engine therefore fans points out over its pool *instead of*
   /// passing it down here.
   util::ThreadPool* pool = nullptr;
+
+  // ---- robustness knobs (simulation engines; docs/ROBUSTNESS.md) ------
+  // Forwarded into sim::TransientOptions; the CTMC engines ignore them
+  // (their solves are short and deterministic — rerunning is cheaper than
+  // checkpointing a uniformization).
+
+  /// Absolute CI half-width floor (see TransientOptions::abs_half_width):
+  /// rescues configurations whose estimated S(t) is still exactly 0, where
+  /// the relative criterion can never fire.
+  double abs_half_width = 0.0;
+  /// Transient checkpoint file for this estimate ("" disables).
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every = 50'000;
+  /// Resume from checkpoint_path; a mismatched checkpoint (different
+  /// parameters, seed, or options) throws util::SnapshotError.
+  bool resume = false;
+  /// Cooperative cancellation flag (e.g. &util::stop_flag()).
+  const std::atomic<bool>* stop = nullptr;
+  /// Per-call wall-clock budget in seconds (0 = unlimited).
+  double max_seconds = 0.0;
 };
 
 /// Thread-safe cache of parameter-independent CTMC structure, shared across
@@ -108,6 +129,15 @@ struct UnsafetyCurve {
   std::vector<double> half_width;
   std::uint64_t replications = 0;  ///< simulation engines only
   bool converged = true;
+  /// Simulation engines: the estimate stopped early because the
+  /// cooperative stop flag was set (its progress is in the transient
+  /// checkpoint, if one was configured).
+  bool cancelled = false;
+  /// Simulation engines: the per-call wall-clock budget ran out before
+  /// convergence (progress checkpointed; resume to continue).
+  bool timed_out = false;
+  /// The estimate continued from a checkpoint file.
+  bool resumed = false;
 };
 
 /// Computes S(t) at the given times (hours, strictly increasing).

@@ -1,16 +1,44 @@
 #include "ahs/sweep.h"
 
 #include <chrono>
+#include <filesystem>
 #include <future>
+#include <sstream>
 #include <unordered_set>
 
 #include "util/error.h"
+#include "util/logging.h"
 #include "util/metrics.h"
+#include "util/snapshot.h"
 #include "util/spans.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace ahs {
+
+const char* to_string(PointOutcome o) {
+  switch (o) {
+    case PointOutcome::kComputed: return "computed";
+    case PointOutcome::kRestored: return "restored";
+    case PointOutcome::kDegraded: return "degraded";
+    case PointOutcome::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+std::size_t SweepResult::degraded_count() const {
+  std::size_t n = 0;
+  for (const PointOutcome o : outcome)
+    if (o == PointOutcome::kDegraded) ++n;
+  return n;
+}
+
+bool SweepResult::complete() const {
+  for (const PointOutcome o : outcome)
+    if (o != PointOutcome::kComputed && o != PointOutcome::kRestored)
+      return false;
+  return !outcome.empty() || curves.empty();
+}
 
 namespace {
 
@@ -28,6 +56,91 @@ std::uint64_t group_key(const Parameters& params, Engine engine) {
     case Engine::kSimulationIS: return 0;
   }
   return 0;
+}
+
+/// Folds every *value* field of a Parameters into `h`.  The structural
+/// fingerprint alone is not an identity for a sweep point — points of one
+/// sweep usually share structure and differ only in rate values — so the
+/// durable result files hash the full numeric parameter set.
+std::uint64_t hash_params(std::uint64_t h, const Parameters& p) {
+  h = util::hash_mix(h, static_cast<std::uint64_t>(p.max_per_platoon));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(p.num_platoons));
+  h = util::hash_mix(h, p.base_failure_rate);
+  for (double m : p.rate_multipliers) h = util::hash_mix(h, m);
+  for (bool e : p.failure_mode_enabled)
+    h = util::hash_mix(h, static_cast<std::uint64_t>(e));
+  for (double r : p.maneuver_rates) h = util::hash_mix(h, r);
+  h = util::hash_mix(h, static_cast<std::uint64_t>(p.maneuver_time_model));
+  h = util::hash_mix(h, p.join_rate);
+  h = util::hash_mix(h, p.leave_rate);
+  h = util::hash_mix(h, p.change_rate);
+  h = util::hash_mix(h, p.transit_rate);
+  h = util::hash_mix(h, p.q_intrinsic);
+  h = util::hash_mix(h, static_cast<std::uint64_t>(p.max_transit));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(p.strategy));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(p.adjacency_radius));
+  return h;
+}
+
+/// Identity of a durable point-result file: the point (index, label, full
+/// parameter values), the evaluation grid, and every result-determining
+/// study option.  Any difference rejects the file on resume.
+std::uint64_t point_option_hash(std::size_t index, const SweepPoint& point,
+                                const std::vector<double>& times,
+                                const StudyOptions& study) {
+  std::uint64_t h = 0;
+  h = util::hash_mix(h, static_cast<std::uint64_t>(index));
+  h = util::hash_mix(h, point.label);
+  h = hash_params(h, point.params);
+  for (double t : times) h = util::hash_mix(h, t);
+  h = util::hash_mix(h, static_cast<std::uint64_t>(times.size()));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(study.engine));
+  h = util::hash_mix(h, study.min_replications);
+  h = util::hash_mix(h, study.max_replications);
+  h = util::hash_mix(h, study.rel_half_width);
+  h = util::hash_mix(h, study.abs_half_width);
+  h = util::hash_mix(h, study.confidence);
+  h = util::hash_mix(h, study.failure_boost);
+  h = util::hash_mix(h, study.fail_case_bias);
+  h = util::hash_mix(h, static_cast<std::uint64_t>(study.max_states));
+  return h;
+}
+
+std::string point_path(const std::string& dir, std::size_t index,
+                       const char* suffix) {
+  return dir + "/point_" + std::to_string(index) + suffix;
+}
+
+/// Serializes a completed curve with exact double bit patterns, so a
+/// restored point is bitwise identical to the run that computed it.
+std::string encode_curve(const UnsafetyCurve& curve) {
+  std::ostringstream os;
+  os << curve.times.size() << "\n";
+  for (double t : curve.times) os << util::encode_double(t) << " ";
+  os << "\n";
+  for (double u : curve.unsafety) os << util::encode_double(u) << " ";
+  os << "\n";
+  for (double hw : curve.half_width) os << util::encode_double(hw) << " ";
+  os << "\n"
+     << curve.replications << " " << (curve.converged ? 1 : 0) << "\n";
+  return os.str();
+}
+
+UnsafetyCurve decode_curve(const std::string& payload) {
+  util::TokenReader in(payload);
+  UnsafetyCurve curve;
+  const std::uint64_t k = in.next_u64();
+  curve.times.reserve(k);
+  curve.unsafety.reserve(k);
+  curve.half_width.reserve(k);
+  for (std::uint64_t i = 0; i < k; ++i) curve.times.push_back(in.next_f64());
+  for (std::uint64_t i = 0; i < k; ++i)
+    curve.unsafety.push_back(in.next_f64());
+  for (std::uint64_t i = 0; i < k; ++i)
+    curve.half_width.push_back(in.next_f64());
+  curve.replications = in.next_u64();
+  curve.converged = in.next_u64() != 0;
+  return curve;
 }
 
 }  // namespace
@@ -70,18 +183,28 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
   AHS_REQUIRE(options.study.pool == nullptr,
               "SweepOptions::study.pool must be null — the sweep "
               "parallelizes across points (see StudyOptions::pool)");
+  AHS_REQUIRE(options.max_attempts >= 1, "max_attempts must be >= 1");
   AHS_SPAN("sweep.run");
   const auto sweep_start = std::chrono::steady_clock::now();
 
-  // Sweep telemetry ("ahs.sweep.*"): per-point wall time and the cache
-  // hit/miss split, aggregated under the process-wide registry if attached.
+  const bool persisting = !options.checkpoint_dir.empty();
+  if (persisting)
+    std::filesystem::create_directories(options.checkpoint_dir);
+
+  // Sweep telemetry ("ahs.sweep.*"): per-point wall time, the cache
+  // hit/miss split, and the robustness counters (restored/retried/degraded
+  // points), aggregated under the process-wide registry if attached.
   util::MetricsRegistry* reg = util::MetricsRegistry::global();
-  util::Counter tm_points, tm_hits, tm_misses;
+  util::Counter tm_points, tm_hits, tm_misses, tm_restored, tm_retries,
+      tm_degraded;
   util::HistogramHandle tm_point_seconds;
   if (reg != nullptr) {
     tm_points = reg->counter("ahs.sweep.points");
     tm_hits = reg->counter("ahs.sweep.structure_cache_hits");
     tm_misses = reg->counter("ahs.sweep.structure_cache_misses");
+    tm_restored = reg->counter("ahs.sweep.points_restored");
+    tm_retries = reg->counter("ahs.sweep.point_retries");
+    tm_degraded = reg->counter("ahs.sweep.points_degraded");
     tm_point_seconds = reg->histogram(
         "ahs.sweep.point_seconds",
         {0, 0.001, 0.01, 0.1, 0.5, 1, 5, 30, 120});
@@ -98,6 +221,8 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
   result.curves.resize(points.size());
   result.structure_cache_hit.assign(points.size(), false);
   result.point_seconds.assign(points.size(), 0.0);
+  result.outcome.assign(points.size(), PointOutcome::kSkipped);
+  result.degraded_reason.assign(points.size(), std::string());
   if (points.empty()) return result;
 
   const bool caching =
@@ -121,21 +246,122 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
   // vector<bool> packs bits, so concurrent writes to distinct indices would
   // race; stage the hit flags in bytes.
   std::vector<unsigned char> hits(points.size(), 0);
+  std::atomic<bool> any_cancelled{false};
+
+  const auto stopped = [&] {
+    return options.stop != nullptr &&
+           options.stop->load(std::memory_order_relaxed);
+  };
+
   auto evaluate = [&](std::size_t i) {
     AHS_SPAN("sweep.point");
     const auto start = std::chrono::steady_clock::now();
-    bool hit = false;
-    result.curves[i] =
-        unsafety_curve(points[i].params, times, options.study,
-                       caching ? &cache : nullptr, &hit);
-    hits[i] = hit ? 1 : 0;
-    result.point_seconds[i] =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
+    const auto record_seconds = [&] {
+      result.point_seconds[i] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+    };
+
+    // Cooperative stop: points not yet started are skipped, preserving
+    // whatever checkpoints the started points already flushed.
+    if (stopped()) {
+      any_cancelled.store(true, std::memory_order_relaxed);
+      record_seconds();
+      return;
+    }
+
+    const util::SnapshotHeader header{
+        "sweep-point", points[i].params.structural_fingerprint(),
+        options.study.seed,
+        point_option_hash(i, points[i], times, options.study)};
+    const std::string result_path =
+        persisting ? point_path(options.checkpoint_dir, i, ".result")
+                   : std::string();
+
+    // Resume: a durable result file short-circuits the evaluation with the
+    // bit-identical curve of the interrupted run.
+    if (persisting && options.resume) {
+      std::string payload;
+      if (util::read_snapshot(result_path, header, &payload)) {
+        result.curves[i] = decode_curve(payload);
+        result.outcome[i] = PointOutcome::kRestored;
+        record_seconds();
+        if (reg != nullptr) {
+          tm_points.inc();
+          tm_restored.inc();
+        }
+        return;
+      }
+    }
+
+    StudyOptions study = options.study;
+    study.stop = options.stop;
+    study.max_seconds = options.point_timeout_seconds;
+    if (persisting) {
+      study.checkpoint_path =
+          point_path(options.checkpoint_dir, i, ".transient");
+      study.resume = options.resume;
+    }
+
+    for (int attempt = 1;; ++attempt) {
+      try {
+        bool hit = false;
+        result.curves[i] =
+            unsafety_curve(points[i].params, times, study,
+                           caching ? &cache : nullptr, &hit);
+        hits[i] = hit ? 1 : 0;
+        if (result.curves[i].cancelled) {
+          // Progress is in the transient checkpoint; the point stays
+          // kSkipped so a resume knows to finish it.
+          any_cancelled.store(true, std::memory_order_relaxed);
+        } else if (result.curves[i].timed_out) {
+          result.outcome[i] = PointOutcome::kDegraded;
+          result.degraded_reason[i] =
+              "wall-clock budget of " +
+              util::format_sci(options.point_timeout_seconds) +
+              " s exhausted (progress checkpointed)";
+          if (reg != nullptr) tm_degraded.inc();
+          AHS_LOGM_WARN("sweep")
+              << "point " << i << " (" << points[i].label
+              << ") degraded: " << result.degraded_reason[i];
+        } else {
+          result.outcome[i] = PointOutcome::kComputed;
+          if (persisting)
+            util::write_snapshot(result_path, header,
+                                 encode_curve(result.curves[i]));
+        }
+        break;
+      } catch (const util::SnapshotError&) {
+        // A mismatched or corrupt checkpoint is a configuration error, not
+        // a transient fault: retrying cannot help, and degrading would
+        // silently discard the operator's resume intent.
+        throw;
+      } catch (const std::exception& e) {
+        if (attempt < options.max_attempts && !stopped()) {
+          if (reg != nullptr) tm_retries.inc();
+          AHS_LOGM_WARN("sweep")
+              << "point " << i << " (" << points[i].label
+              << ") attempt " << attempt << "/" << options.max_attempts
+              << " failed: " << e.what() << " — retrying";
+          continue;
+        }
+        result.curves[i] = UnsafetyCurve{};
+        result.outcome[i] = PointOutcome::kDegraded;
+        result.degraded_reason[i] = e.what();
+        if (reg != nullptr) tm_degraded.inc();
+        AHS_LOGM_WARN("sweep")
+            << "point " << i << " (" << points[i].label
+            << ") degraded after " << attempt
+            << " attempt(s): " << e.what();
+        break;
+      }
+    }
+
+    record_seconds();
     if (reg != nullptr) {
       tm_points.inc();
-      (hit ? tm_hits : tm_misses).inc();
+      (hits[i] != 0 ? tm_hits : tm_misses).inc();
       tm_point_seconds.record(result.point_seconds[i]);
     }
   };
@@ -158,6 +384,7 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
 
   for (std::size_t i = 0; i < points.size(); ++i)
     result.structure_cache_hit[i] = hits[i] != 0;
+  result.cancelled = any_cancelled.load(std::memory_order_relaxed);
   result.total_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     sweep_start)

@@ -15,6 +15,8 @@
 // to a sequential loop, for any thread count.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
@@ -66,7 +68,41 @@ struct SweepOptions {
   /// Share explored state-space structure across same-fingerprint points
   /// (CTMC engines).  Off forces a cold BFS per point.
   bool reuse_structure = true;
+
+  // ---- robustness (docs/ROBUSTNESS.md) --------------------------------
+
+  /// Directory for durable per-point result files and in-flight transient
+  /// checkpoints ("" disables persistence).  Created if absent.
+  std::string checkpoint_dir;
+  /// Resume a previous sweep from checkpoint_dir: points whose result file
+  /// is present and matches (parameters, times, options, seed) are
+  /// restored bit-for-bit and skipped; in-flight simulation points resume
+  /// from their transient checkpoint.  A mismatched file throws
+  /// util::SnapshotError — stale state is rejected, never merged.
+  bool resume = false;
+  /// Per-point wall-clock budget in seconds (simulation engines; 0 = off).
+  /// A point that exhausts its budget is recorded as degraded — its
+  /// partial progress stays in the transient checkpoint for a later
+  /// resume — instead of stalling the whole sweep.
+  double point_timeout_seconds = 0.0;
+  /// Evaluation attempts per point before a throwing point is recorded as
+  /// degraded instead of aborting the sweep (>= 1).
+  int max_attempts = 2;
+  /// Cooperative cancellation flag (e.g. &util::stop_flag()), polled
+  /// before each point and inside simulation estimates; a set flag skips
+  /// the remaining points after flushing in-flight checkpoints.
+  const std::atomic<bool>* stop = nullptr;
 };
+
+/// What happened to one sweep point.
+enum class PointOutcome {
+  kComputed,  ///< evaluated in this run (and persisted, if configured)
+  kRestored,  ///< loaded bit-for-bit from its durable result file
+  kDegraded,  ///< kept failing or exhausted its budget; curve is partial
+  kSkipped,   ///< not evaluated (cooperative stop)
+};
+
+const char* to_string(PointOutcome o);
 
 struct SweepResult {
   /// curves[i] is the result for points[i] — same order, any thread count.
@@ -78,6 +114,18 @@ struct SweepResult {
   std::vector<double> point_seconds;
   /// Wall-clock seconds for the whole sweep (includes scheduling).
   double total_seconds = 0.0;
+  /// Per-point outcome; curves[i] is authoritative only for kComputed and
+  /// kRestored points.
+  std::vector<PointOutcome> outcome;
+  /// For kDegraded points: why (exception text or "timeout").
+  std::vector<std::string> degraded_reason;
+  /// The stop flag fired before every point completed; checkpoints hold
+  /// the progress and a --resume rerun finishes the job.
+  bool cancelled = false;
+
+  std::size_t degraded_count() const;
+  /// True when every point carries an authoritative result.
+  bool complete() const;
 };
 
 /// Evaluates S(t) at `times` for every point.  Cold structure builds (one

@@ -1,16 +1,31 @@
 #include "sim/transient.h"
 
+#include <chrono>
 #include <memory>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/snapshot.h"
 #include "util/spans.h"
 #include "util/string_util.h"
 
 namespace sim {
+
+const char* to_string(TransientStop s) {
+  switch (s) {
+    case TransientStop::kRelHalfWidth: return "rel-half-width";
+    case TransientStop::kAbsHalfWidth: return "abs-half-width";
+    case TransientStop::kMaxReplications: return "max-replications";
+    case TransientStop::kCancelled: return "cancelled";
+    case TransientStop::kTimedOut: return "timed-out";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -48,6 +63,53 @@ void run_one_replication(Executor& exec, const san::RewardFn& reward,
   events += exec.events();
 }
 
+/// Hash of every option that determines the estimate's value — the
+/// checkpoint identity.  Wall budgets, the checkpoint knobs themselves, and
+/// the stop flag are deliberately excluded: they shape *when* a run pauses,
+/// not *what* it computes.  `threads` is included because the per-round
+/// merge order (and hence the exact floating-point accumulator state at a
+/// round boundary) depends on the worker partition.
+std::uint64_t option_hash(const TransientOptions& o) {
+  std::uint64_t h = 0;
+  for (double t : o.time_points) h = util::hash_mix(h, t);
+  h = util::hash_mix(h, static_cast<std::uint64_t>(o.time_points.size()));
+  h = util::hash_mix(h, o.min_replications);
+  h = util::hash_mix(h, o.max_replications);
+  h = util::hash_mix(h, o.rel_half_width);
+  h = util::hash_mix(h, o.abs_half_width);
+  h = util::hash_mix(h, o.confidence);
+  h = util::hash_mix(h, o.check_every);
+  h = util::hash_mix(h, static_cast<std::uint64_t>(o.absorbing_indicator));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(o.engine));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(o.threads));
+  if (o.bias != nullptr) {
+    h = util::hash_mix(h, o.bias->boost);
+    for (const auto& name : o.bias->boosted) h = util::hash_mix(h, name);
+    for (const auto& [name, weights] : o.bias->case_bias) {
+      h = util::hash_mix(h, name);
+      for (double w : weights) h = util::hash_mix(h, w);
+    }
+  }
+  return h;
+}
+
+void encode_stat(std::ostringstream& os, const util::RunningStat& s) {
+  const util::RunningStat::State st = s.save();
+  os << st.n << " " << util::encode_double(st.mean) << " "
+     << util::encode_double(st.m2) << " " << util::encode_double(st.min)
+     << " " << util::encode_double(st.max) << "\n";
+}
+
+void decode_stat(util::TokenReader& in, util::RunningStat& s) {
+  util::RunningStat::State st;
+  st.n = in.next_u64();
+  st.mean = in.next_f64();
+  st.m2 = in.next_f64();
+  st.min = in.next_f64();
+  st.max = in.next_f64();
+  s.restore(st);
+}
+
 }  // namespace
 
 TransientResult estimate_transient(const san::FlatModel& model,
@@ -63,10 +125,18 @@ TransientResult estimate_transient(const san::FlatModel& model,
   AHS_REQUIRE(options.max_replications >= options.min_replications,
               "max_replications < min_replications");
   AHS_REQUIRE(options.threads >= 1, "threads must be >= 1");
+  AHS_REQUIRE(options.checkpoint_every >= 1,
+              "checkpoint_every must be >= 1");
   AHS_SPAN("transient.estimate");
 
   const std::size_t k = options.time_points.size();
   const std::uint32_t workers = options.threads;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wall_start)
+        .count();
+  };
 
   Executor::Options exec_opts;
   exec_opts.engine = options.engine;
@@ -79,6 +149,55 @@ TransientResult estimate_transient(const san::FlatModel& model,
   std::vector<util::RunningStat> stats(k);
   util::RunningStat lr_stats;
   util::Rng master(options.seed);
+
+  util::MetricsRegistry* reg = util::MetricsRegistry::global();
+
+  // ---- checkpoint plumbing --------------------------------------------
+  const bool checkpointing = !options.checkpoint_path.empty();
+  const util::SnapshotHeader header{"transient", options.model_fingerprint,
+                                    options.seed, option_hash(options)};
+  std::uint64_t done = 0;
+
+  // Serializes the exact accumulator state at a round boundary.  Restoring
+  // it reproduces every double bit-for-bit, which together with the
+  // (seed, r)-derived replication streams makes resume ≡ uninterrupted.
+  const auto write_checkpoint = [&] {
+    std::ostringstream os;
+    os << done << " " << result.total_events << " " << k << "\n";
+    for (const auto& s : stats) encode_stat(os, s);
+    encode_stat(os, lr_stats);
+    os << result.rel_half_width_trajectory.size();
+    for (double v : result.rel_half_width_trajectory)
+      os << " " << util::encode_double(v);
+    os << "\n";
+    util::write_snapshot(options.checkpoint_path, header, os.str());
+    if (reg != nullptr) reg->counter("sim.transient.checkpoint_writes").inc();
+  };
+
+  if (checkpointing && options.resume) {
+    std::string payload;
+    if (util::read_snapshot(options.checkpoint_path, header, &payload)) {
+      util::TokenReader in(payload);
+      done = in.next_u64();
+      result.total_events = in.next_u64();
+      const std::uint64_t saved_k = in.next_u64();
+      if (saved_k != k)
+        throw util::SnapshotError("transient checkpoint '" +
+                                  options.checkpoint_path +
+                                  "' has a different time-point count");
+      for (auto& s : stats) decode_stat(in, s);
+      decode_stat(in, lr_stats);
+      const std::uint64_t traj = in.next_u64();
+      result.rel_half_width_trajectory.reserve(traj);
+      for (std::uint64_t i = 0; i < traj; ++i)
+        result.rel_half_width_trajectory.push_back(in.next_f64());
+      result.resumed = true;
+      if (reg != nullptr) reg->counter("sim.transient.resumes").inc();
+      AHS_LOGM_INFO("sim") << "resumed transient estimate from '"
+                           << options.checkpoint_path << "' at " << done
+                           << " replications";
+    }
+  }
 
   // Per-worker state lives for the whole estimation; per round, worker w
   // executes the replication indices { base + w, base + w + workers, ... }.
@@ -99,9 +218,44 @@ TransientResult estimate_transient(const san::FlatModel& model,
     pool.push_back(std::move(wk));
   }
 
-  std::uint64_t done = 0;
-  bool converged = false;
-  while (done < options.max_replications && !converged) {
+  // Convergence test, in fixed priority order so an interrupted and an
+  // uninterrupted run always report the same reason: the paper's relative
+  // criterion first, then the absolute floor.
+  const auto criterion_met =
+      [&](const util::ConfidenceInterval& ci) -> std::optional<TransientStop> {
+    if (ci.converged(options.rel_half_width))
+      return TransientStop::kRelHalfWidth;
+    if (options.abs_half_width > 0.0 &&
+        ci.half_width <= options.abs_half_width)
+      return TransientStop::kAbsHalfWidth;
+    return std::nullopt;
+  };
+
+  TransientStop reason = TransientStop::kMaxReplications;
+  bool finished = false;
+
+  // A checkpoint is only ever written at a round boundary, and the check
+  // below mirrors the in-loop one, so a run resumed from a checkpoint that
+  // was already converged does no further work and reports identically.
+  if (done >= options.min_replications) {
+    if (const auto r = criterion_met(stats.back().interval(options.confidence))) {
+      finished = true;
+      reason = *r;
+    }
+  }
+
+  std::uint64_t last_checkpoint = done;
+  while (!finished && done < options.max_replications) {
+    if (options.stop != nullptr &&
+        options.stop->load(std::memory_order_relaxed)) {
+      reason = TransientStop::kCancelled;
+      break;
+    }
+    if (options.max_seconds > 0.0 && elapsed() >= options.max_seconds) {
+      reason = TransientStop::kTimedOut;
+      break;
+    }
+
     const std::uint64_t round = std::min<std::uint64_t>(
         std::max<std::uint64_t>(options.check_every, workers),
         options.max_replications - done);
@@ -140,23 +294,53 @@ TransientResult estimate_transient(const san::FlatModel& model,
     result.rel_half_width_trajectory.push_back(
         stats.back().interval(options.confidence).relative_half_width());
     if (done >= options.min_replications) {
-      const auto ci = stats.back().interval(options.confidence);
-      if (ci.converged(options.rel_half_width)) converged = true;
+      if (const auto r =
+              criterion_met(stats.back().interval(options.confidence))) {
+        finished = true;
+        reason = *r;
+      }
+    }
+
+    if (checkpointing && !finished &&
+        done - last_checkpoint >= options.checkpoint_every) {
+      write_checkpoint();
+      last_checkpoint = done;
     }
   }
 
+  // Final flush: after convergence, cancellation, timeout, or budget
+  // exhaustion the file holds the terminal round-boundary state, so any
+  // later resume continues (or immediately completes) from here.
+  if (checkpointing && done > last_checkpoint) write_checkpoint();
+
   result.replications = done;
-  result.converged = converged;
+  result.stop_reason = reason;
+  result.converged = reason == TransientStop::kRelHalfWidth ||
+                     reason == TransientStop::kAbsHalfWidth;
   result.estimates.reserve(k);
   for (const auto& s : stats)
     result.estimates.push_back(s.interval(options.confidence));
+
+  if (reason == TransientStop::kAbsHalfWidth) {
+    // The relative criterion did not (and with a mean of exactly 0 never
+    // could) fire — say so, with the state that triggered the floor.
+    AHS_LOGM_WARN("sim")
+        << "transient estimate stopped via the absolute half-width floor "
+        << util::format_sci(options.abs_half_width) << " after " << done
+        << " replications (mean " << util::format_sci(stats.back().mean())
+        << ", relative half-width "
+        << util::format_sci(
+               stats.back().interval(options.confidence).relative_half_width())
+        << ") — the relative criterion "
+        << util::format_sci(options.rel_half_width) << " was not reached";
+  }
 
   // Importance-sampling health.  With degenerate weights (a handful of huge
   // likelihood ratios dominating the sum) the normal-theory interval is
   // untrustworthy even if it looks converged — surface that loudly.
   result.ess = lr_stats.effective_sample_size();
   result.lr_variance = lr_stats.variance();
-  if (util::MetricsRegistry* reg = util::MetricsRegistry::global()) {
+  if (reg != nullptr) {
     reg->gauge("sim.transient.ess").set(result.ess);
     reg->gauge("sim.transient.lr_variance").set(result.lr_variance);
     reg->counter("sim.transient.replications").add(done);

@@ -9,7 +9,9 @@
 // replication stops early.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "san/rewards.h"
@@ -17,6 +19,17 @@
 #include "util/stats.h"
 
 namespace sim {
+
+/// Why estimate_transient stopped pushing replications.
+enum class TransientStop {
+  kRelHalfWidth,     ///< relative CI criterion met (the paper's protocol)
+  kAbsHalfWidth,     ///< absolute half-width floor met (see abs_half_width)
+  kMaxReplications,  ///< replication budget exhausted, not converged
+  kCancelled,        ///< cooperative stop flag set (checkpoint flushed)
+  kTimedOut,         ///< wall-clock budget exhausted (checkpoint flushed)
+};
+
+const char* to_string(TransientStop s);
 
 struct TransientOptions {
   /// Strictly increasing evaluation times (> 0).
@@ -27,6 +40,13 @@ struct TransientOptions {
   /// Convergence target: relative CI half-width at the *last* time point
   /// (the paper's 0.1 at 95 %).
   double rel_half_width = 0.1;
+  /// Absolute half-width floor: also converged once the last time point's
+  /// CI half-width is <= this (0 disables).  Guards the mean-zero trap —
+  /// a configuration whose estimate is still exactly 0 has an infinite
+  /// *relative* half-width forever and would otherwise silently burn
+  /// max_replications.  Stopping via this floor is reported as
+  /// TransientStop::kAbsHalfWidth and logged as a warning.
+  double abs_half_width = 0.0;
   double confidence = 0.95;
   /// Convergence is checked every this many replications.
   std::uint64_t check_every = 1000;
@@ -59,6 +79,38 @@ struct TransientOptions {
   /// floating-point merge order (and hence the last few ulps of the
   /// variance estimate) can differ.
   std::uint32_t threads = 1;
+
+  // ---- robustness (docs/ROBUSTNESS.md) --------------------------------
+  // Replication r always draws from the stream derived from (seed, r) and
+  // accumulators merge at fixed round boundaries, so a run resumed from a
+  // checkpoint taken at a round boundary is *bitwise identical* to an
+  // uninterrupted run (asserted by the `robust` ctest label).
+
+  /// Checkpoint file ("" disables).  Written atomically (util/snapshot)
+  /// every `checkpoint_every` completed replications, and flushed once
+  /// more on cancellation, timeout, and completion.
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every = 50'000;
+  /// Resume from checkpoint_path when the file exists.  A checkpoint whose
+  /// header (model fingerprint, seed, option hash) does not match throws
+  /// util::SnapshotError — stale state is rejected, never merged.
+  bool resume = false;
+  /// Model identity recorded in the checkpoint header; callers holding an
+  /// ahs::Parameters pass structural_fingerprint() (0 is a valid "no
+  /// fingerprint" identity — it still must match on resume).
+  std::uint64_t model_fingerprint = 0;
+
+  /// Cooperative cancellation: polled between replication rounds (e.g.
+  /// &util::stop_flag() wired to SIGINT/SIGTERM).  A set flag flushes a
+  /// final checkpoint and returns partial results with
+  /// TransientStop::kCancelled.
+  const std::atomic<bool>* stop = nullptr;
+
+  /// Wall-clock budget in seconds for *this call* (0 disables), checked at
+  /// round boundaries.  Exceeding it flushes a checkpoint and returns
+  /// TransientStop::kTimedOut; a later resume continues the estimate.  Not
+  /// part of the checkpoint identity, so the budget may differ per attempt.
+  double max_seconds = 0.0;
 };
 
 struct TransientResult {
@@ -67,6 +119,11 @@ struct TransientResult {
   std::uint64_t replications = 0;
   std::uint64_t total_events = 0;
   bool converged = false;
+  /// Which criterion ended the run (kRelHalfWidth and kAbsHalfWidth imply
+  /// converged; kCancelled/kTimedOut mean a checkpoint holds the progress).
+  TransientStop stop_reason = TransientStop::kMaxReplications;
+  /// True when this result continued from a checkpoint file.
+  bool resumed = false;
 
   // Importance-sampling diagnostics over the per-replication path
   // likelihood ratios (all exactly 1 without biasing, so ess ==

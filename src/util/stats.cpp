@@ -118,6 +118,14 @@ ConfidenceInterval RunningStat::interval(double confidence) const {
 
 void RunningStat::reset() { *this = RunningStat(); }
 
+void RunningStat::restore(const State& s) {
+  n_ = s.n;
+  mean_ = s.mean;
+  m2_ = s.m2;
+  min_ = s.min;
+  max_ = s.max;
+}
+
 void ProportionStat::push(bool success) {
   ++n_;
   if (success) ++k_;

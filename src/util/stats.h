@@ -32,16 +32,39 @@ struct ConfidenceInterval {
   double lo() const { return mean - half_width; }
   double hi() const { return mean + half_width; }
 
-  /// half_width / |mean|; +inf when mean == 0.
+  /// half_width / |mean|; +inf when mean == 0.  Note the mean-zero trap:
+  /// an estimate that is still exactly 0 can never satisfy a relative
+  /// criterion — sequential-stopping loops should combine this with an
+  /// absolute floor (see the two-argument converged()).
   double relative_half_width() const;
 
   /// True when the interval is tighter than `rel` relative half-width.
   bool converged(double rel) const { return relative_half_width() <= rel; }
+
+  /// Relative criterion with an absolute half-width floor: also converged
+  /// when half_width <= abs (abs <= 0 disables the floor).  This is what
+  /// rescues configurations whose estimate is (still) exactly 0, where the
+  /// relative half-width is +inf forever.
+  bool converged(double rel, double abs) const {
+    return converged(rel) || (abs > 0.0 && half_width <= abs);
+  }
 };
 
 /// Welford online mean/variance accumulator.  Numerically stable; O(1) push.
 class RunningStat {
  public:
+  /// The complete accumulator state, exposed for checkpointing: restoring
+  /// a saved State reproduces the accumulator bit-for-bit, so an estimate
+  /// resumed from a checkpoint is bitwise identical to an uninterrupted
+  /// one (util/snapshot serializes the doubles as exact bit patterns).
+  struct State {
+    std::uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+
   void push(double x);
 
   /// Merges another accumulator (parallel reduction, Chan et al.).
@@ -69,6 +92,9 @@ class RunningStat {
   ConfidenceInterval interval(double confidence = 0.95) const;
 
   void reset();
+
+  State save() const { return {n_, mean_, m2_, min_, max_}; }
+  void restore(const State& s);
 
  private:
   std::uint64_t n_ = 0;

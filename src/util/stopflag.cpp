@@ -1,0 +1,30 @@
+#include "util/stopflag.h"
+
+#include <csignal>
+
+namespace util {
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void stop_signal_handler(int sig) {
+  // First signal: request a cooperative stop.  Second signal: give up on
+  // cooperation — restore the default disposition and re-raise, so the
+  // process dies the way an uninstrumented one would.
+  if (g_stop.exchange(true, std::memory_order_relaxed)) {
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+  }
+}
+
+}  // namespace
+
+std::atomic<bool>& stop_flag() { return g_stop; }
+
+void install_stop_handlers() {
+  std::signal(SIGINT, stop_signal_handler);
+  std::signal(SIGTERM, stop_signal_handler);
+}
+
+}  // namespace util

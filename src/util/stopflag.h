@@ -1,0 +1,37 @@
+// Cooperative cancellation for long-running estimation loops.
+//
+// A single process-wide atomic stop flag, settable from a SIGINT/SIGTERM
+// handler (the store is async-signal-safe) or programmatically.  Estimation
+// loops take `const std::atomic<bool>*` options (sim::TransientOptions::stop,
+// ahs::SweepOptions::stop) and poll at safe boundaries — between
+// replication rounds and between sweep points — so a set flag leads to a
+// final checkpoint flush and a clean return, never a mid-write kill.
+//
+// Second-signal escape hatch: the first SIGINT/SIGTERM requests a
+// cooperative stop; a second one restores the default disposition and
+// re-raises, so a wedged process can still be killed from the keyboard.
+#pragma once
+
+#include <atomic>
+
+namespace util {
+
+/// The process-wide stop flag.  Pass `&stop_flag()` into estimation
+/// options to make them cancellable by install_stop_handlers().
+std::atomic<bool>& stop_flag();
+
+inline bool stop_requested() {
+  return stop_flag().load(std::memory_order_relaxed);
+}
+inline void request_stop() {
+  stop_flag().store(true, std::memory_order_relaxed);
+}
+/// Clears the flag (tests; or a driver starting a fresh phase).
+inline void clear_stop() {
+  stop_flag().store(false, std::memory_order_relaxed);
+}
+
+/// Installs SIGINT/SIGTERM handlers that set stop_flag().  Idempotent.
+void install_stop_handlers();
+
+}  // namespace util

@@ -1,0 +1,473 @@
+// Kill/resume conformance: a run cut by cancellation or a wall-clock budget
+// and resumed from its checkpoint must be *bitwise identical* to the
+// uninterrupted run — for estimate_transient and for run_sweep — and a
+// checkpoint that does not match the resuming run must be rejected.  Also
+// covers the absolute half-width floor (the mean-zero trap) and the sweep's
+// degraded-point path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ahs/sweep.h"
+#include "san/composition.h"
+#include "san/rewards.h"
+#include "sim/transient.h"
+#include "util/logging.h"
+#include "util/snapshot.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+// Pure-death absorption: P(absorbed by t) = 1 − e^{-rt}.
+std::shared_ptr<san::AtomicModel> absorber(double rate) {
+  auto m = std::make_shared<san::AtomicModel>("abs");
+  const auto alive = m->place("alive", 1);
+  const auto dead = m->place("dead");
+  m->timed_activity("die")
+      .distribution(util::Distribution::Exponential(rate))
+      .input_arc(alive)
+      .output_arc(dead);
+  return m;
+}
+
+// Every double in the two results must match bit for bit — the resume
+// guarantee is bitwise identity, not numeric closeness.
+void expect_bitwise_equal(const sim::TransientResult& a,
+                          const sim::TransientResult& b) {
+  EXPECT_EQ(a.replications, b.replications);
+  EXPECT_EQ(a.total_events, b.total_events);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.stop_reason, b.stop_reason);
+  ASSERT_EQ(a.estimates.size(), b.estimates.size());
+  for (std::size_t i = 0; i < a.estimates.size(); ++i) {
+    EXPECT_EQ(bits(a.estimates[i].mean), bits(b.estimates[i].mean)) << i;
+    EXPECT_EQ(bits(a.estimates[i].half_width), bits(b.estimates[i].half_width))
+        << i;
+  }
+  EXPECT_EQ(bits(a.ess), bits(b.ess));
+  EXPECT_EQ(bits(a.lr_variance), bits(b.lr_variance));
+  ASSERT_EQ(a.rel_half_width_trajectory.size(),
+            b.rel_half_width_trajectory.size());
+  for (std::size_t i = 0; i < a.rel_half_width_trajectory.size(); ++i)
+    EXPECT_EQ(bits(a.rel_half_width_trajectory[i]),
+              bits(b.rel_half_width_trajectory[i]))
+        << i;
+}
+
+class ResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ahs_resume_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+sim::TransientOptions base_transient_options() {
+  sim::TransientOptions opts;
+  opts.time_points = {0.5, 1.0};
+  opts.min_replications = 500;
+  opts.max_replications = 6000;
+  opts.rel_half_width = 1e-9;  // never converges: the run always hits max
+  opts.check_every = 500;
+  opts.seed = 7;
+  return opts;
+}
+
+// Wraps `inner` so that the stop flag is raised after `cut` evaluations:
+// a deterministic mid-run cancellation without touching the sampled values.
+san::RewardFn cutting_reward(const san::RewardFn& inner,
+                             std::shared_ptr<std::atomic<std::uint64_t>> calls,
+                             std::uint64_t cut,
+                             std::atomic<bool>* flag) {
+  return [inner, calls, cut, flag](std::span<const std::int32_t> m) {
+    if (calls->fetch_add(1, std::memory_order_relaxed) + 1 == cut)
+      flag->store(true, std::memory_order_relaxed);
+    return inner(m);
+  };
+}
+
+TEST_F(ResumeTest, TransientCancelResumeIsBitwiseIdentical) {
+  const auto flat = san::flatten(absorber(0.5));
+  const auto reward = san::indicator_nonzero(flat, "dead");
+  sim::TransientOptions opts = base_transient_options();
+
+  const sim::TransientResult ref = sim::estimate_transient(flat, reward, opts);
+  ASSERT_EQ(ref.replications, 6000u);
+
+  // Cut: the counting reward raises the stop flag mid-round; the estimator
+  // notices at the next round boundary and flushes a checkpoint.
+  std::atomic<bool> flag{false};
+  auto calls = std::make_shared<std::atomic<std::uint64_t>>(0);
+  opts.checkpoint_path = path("transient.ckpt");
+  opts.checkpoint_every = 1'000'000;  // only the cancel flush writes
+  opts.stop = &flag;
+  const sim::TransientResult cut = sim::estimate_transient(
+      flat, cutting_reward(reward, calls, 1200, &flag), opts);
+  EXPECT_EQ(cut.stop_reason, sim::TransientStop::kCancelled);
+  EXPECT_FALSE(cut.converged);
+  ASSERT_GT(cut.replications, 0u);
+  ASSERT_LT(cut.replications, 6000u);
+  ASSERT_TRUE(fs::exists(opts.checkpoint_path));
+
+  // Resume with the identical estimation options (budgets and the stop
+  // wiring are not part of the checkpoint identity).
+  opts.stop = nullptr;
+  opts.resume = true;
+  const sim::TransientResult resumed =
+      sim::estimate_transient(flat, reward, opts);
+  EXPECT_TRUE(resumed.resumed);
+  expect_bitwise_equal(ref, resumed);
+}
+
+TEST_F(ResumeTest, TransientCancelResumeIsBitwiseIdenticalThreaded) {
+  const auto flat = san::flatten(absorber(0.5));
+  const auto reward = san::indicator_nonzero(flat, "dead");
+  sim::TransientOptions opts = base_transient_options();
+  opts.threads = 3;
+
+  const sim::TransientResult ref = sim::estimate_transient(flat, reward, opts);
+
+  std::atomic<bool> flag{false};
+  auto calls = std::make_shared<std::atomic<std::uint64_t>>(0);
+  opts.checkpoint_path = path("transient.ckpt");
+  opts.checkpoint_every = 1'000'000;
+  opts.stop = &flag;
+  const sim::TransientResult cut = sim::estimate_transient(
+      flat, cutting_reward(reward, calls, 1200, &flag), opts);
+  EXPECT_EQ(cut.stop_reason, sim::TransientStop::kCancelled);
+  ASSERT_LT(cut.replications, 6000u);
+
+  opts.stop = nullptr;
+  opts.resume = true;
+  const sim::TransientResult resumed =
+      sim::estimate_transient(flat, reward, opts);
+  EXPECT_TRUE(resumed.resumed);
+  expect_bitwise_equal(ref, resumed);
+}
+
+TEST_F(ResumeTest, TransientTimeoutLadderConverges) {
+  // Real-world shape: a sequence of budget-limited attempts, each resuming
+  // the previous checkpoint, must land on the exact bits of a single
+  // uninterrupted run no matter where the budgets happened to cut.
+  const auto flat = san::flatten(absorber(0.5));
+  const auto reward = san::indicator_nonzero(flat, "dead");
+  sim::TransientOptions opts = base_transient_options();
+  opts.min_replications = 200'000;
+  opts.max_replications = 200'000;
+  opts.check_every = 5000;
+
+  const auto ref_start = std::chrono::steady_clock::now();
+  const sim::TransientResult ref = sim::estimate_transient(flat, reward, opts);
+  const double ref_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    ref_start)
+          .count();
+
+  opts.checkpoint_path = path("ladder.ckpt");
+  opts.checkpoint_every = 5000;
+  // A budget of a fraction of the measured uninterrupted duration cuts the
+  // run several times on any hardware; each leg still finishes the round
+  // it started, so every leg makes progress.
+  opts.max_seconds = std::max(0.002, ref_seconds / 6.0);
+  int legs = 0;
+  bool saw_timeout = false;
+  sim::TransientResult last;
+  for (;;) {
+    last = sim::estimate_transient(flat, reward, opts);
+    opts.resume = true;
+    ASSERT_LT(++legs, 500) << "ladder is not making progress";
+    if (last.stop_reason != sim::TransientStop::kTimedOut) break;
+    saw_timeout = true;
+  }
+  EXPECT_TRUE(saw_timeout);  // the budget actually cut the run at least once
+  EXPECT_TRUE(last.resumed);
+  expect_bitwise_equal(ref, last);
+}
+
+TEST_F(ResumeTest, TransientResumeOfFinishedRunIsNoOp) {
+  const auto flat = san::flatten(absorber(0.5));
+  const auto reward = san::indicator_nonzero(flat, "dead");
+  sim::TransientOptions opts = base_transient_options();
+  opts.checkpoint_path = path("done.ckpt");
+  const sim::TransientResult first = sim::estimate_transient(flat, reward, opts);
+
+  opts.resume = true;
+  const sim::TransientResult again = sim::estimate_transient(flat, reward, opts);
+  EXPECT_TRUE(again.resumed);
+  // No additional replications ran: everything, events included, is the
+  // restored terminal state.
+  expect_bitwise_equal(first, again);
+}
+
+TEST_F(ResumeTest, TransientRejectsMismatchedCheckpoints) {
+  const auto flat = san::flatten(absorber(0.5));
+  const auto reward = san::indicator_nonzero(flat, "dead");
+  sim::TransientOptions opts = base_transient_options();
+  opts.checkpoint_path = path("id.ckpt");
+  opts.model_fingerprint = 0xfeed;
+  (void)sim::estimate_transient(flat, reward, opts);
+  opts.resume = true;
+
+  // Different model.
+  sim::TransientOptions other = opts;
+  other.model_fingerprint = 0xbeef;
+  EXPECT_THROW(sim::estimate_transient(flat, reward, other),
+               util::SnapshotError);
+  // Different seed.
+  other = opts;
+  other.seed = opts.seed + 1;
+  EXPECT_THROW(sim::estimate_transient(flat, reward, other),
+               util::SnapshotError);
+  // Different result-determining option.
+  other = opts;
+  other.rel_half_width = 0.25;
+  EXPECT_THROW(sim::estimate_transient(flat, reward, other),
+               util::SnapshotError);
+  // Different thread count (merge order differs, so it is part of the
+  // identity).
+  other = opts;
+  other.threads = 2;
+  EXPECT_THROW(sim::estimate_transient(flat, reward, other),
+               util::SnapshotError);
+  // The matching run still resumes fine.
+  const sim::TransientResult ok = sim::estimate_transient(flat, reward, opts);
+  EXPECT_TRUE(ok.resumed);
+}
+
+TEST(TransientAbsFloor, StopsMeanZeroRunAtFloorWithWarning) {
+  // Absorption rate 1e-9 over a horizon of 1: every observation is 0, the
+  // relative half-width is +inf forever, and without the floor the run
+  // would burn max_replications (the satellite bug).
+  const auto flat = san::flatten(absorber(1e-9));
+  const auto reward = san::indicator_nonzero(flat, "dead");
+  sim::TransientOptions opts;
+  opts.time_points = {1.0};
+  opts.min_replications = 1000;
+  opts.max_replications = 50'000;
+  opts.check_every = 500;
+  opts.rel_half_width = 0.1;
+  opts.abs_half_width = 1e-6;
+
+  std::vector<std::string> lines;
+  util::set_log_sink([&lines](const std::string& line) {
+    lines.push_back(line);
+  });
+  const sim::TransientResult res = sim::estimate_transient(flat, reward, opts);
+  util::set_log_sink(nullptr);
+
+  EXPECT_EQ(res.stop_reason, sim::TransientStop::kAbsHalfWidth);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.replications, 1000u);  // stopped at the first eligible check
+  bool warned = false;
+  for (const auto& line : lines)
+    warned = warned ||
+             line.find("absolute half-width floor") != std::string::npos;
+  EXPECT_TRUE(warned);
+}
+
+TEST(TransientAbsFloor, WithoutFloorMeanZeroBurnsTheBudget) {
+  const auto flat = san::flatten(absorber(1e-9));
+  const auto reward = san::indicator_nonzero(flat, "dead");
+  sim::TransientOptions opts;
+  opts.time_points = {1.0};
+  opts.min_replications = 1000;
+  opts.max_replications = 4000;
+  opts.check_every = 500;
+  opts.rel_half_width = 0.1;
+  const sim::TransientResult res = sim::estimate_transient(flat, reward, opts);
+  EXPECT_EQ(res.stop_reason, sim::TransientStop::kMaxReplications);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.replications, 4000u);
+}
+
+// ---- sweep-level resume ------------------------------------------------
+
+ahs::Parameters small_params() {
+  ahs::Parameters p;
+  p.max_per_platoon = 2;
+  p.base_failure_rate = 2e-3;
+  return p;
+}
+
+void expect_curves_bitwise_equal(const ahs::UnsafetyCurve& a,
+                                 const ahs::UnsafetyCurve& b) {
+  ASSERT_EQ(a.times.size(), b.times.size());
+  for (std::size_t j = 0; j < a.times.size(); ++j) {
+    EXPECT_EQ(bits(a.times[j]), bits(b.times[j])) << j;
+    EXPECT_EQ(bits(a.unsafety[j]), bits(b.unsafety[j])) << j;
+    EXPECT_EQ(bits(a.half_width[j]), bits(b.half_width[j])) << j;
+  }
+  EXPECT_EQ(a.replications, b.replications);
+  EXPECT_EQ(a.converged, b.converged);
+}
+
+TEST_F(ResumeTest, SweepRestoresCompletedPointsBitwise) {
+  const ahs::GridAxis lambda{"lambda",
+                             {2e-3, 1e-3, 5e-4},
+                             [](ahs::Parameters& p, double v) {
+                               p.base_failure_rate = v;
+                             }};
+  const auto points = ahs::make_grid(small_params(), lambda);
+  const std::vector<double> times = {1.0, 2.0, 4.0};
+
+  ahs::SweepOptions opts;
+  opts.threads = 1;
+  opts.checkpoint_dir = path("ckpt");
+  const ahs::SweepResult first = ahs::run_sweep(points, times, opts);
+  ASSERT_TRUE(first.complete());
+  for (const auto o : first.outcome)
+    EXPECT_EQ(o, ahs::PointOutcome::kComputed);
+
+  opts.resume = true;
+  const ahs::SweepResult second = ahs::run_sweep(points, times, opts);
+  ASSERT_TRUE(second.complete());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(second.outcome[i], ahs::PointOutcome::kRestored) << i;
+    expect_curves_bitwise_equal(first.curves[i], second.curves[i]);
+  }
+}
+
+TEST_F(ResumeTest, SweepRejectsMismatchedResume) {
+  const auto points =
+      ahs::make_grid(small_params(),
+                     ahs::GridAxis{"lambda",
+                                   {2e-3},
+                                   [](ahs::Parameters& p, double v) {
+                                     p.base_failure_rate = v;
+                                   }});
+  ahs::SweepOptions opts;
+  opts.threads = 1;
+  opts.checkpoint_dir = path("ckpt");
+  (void)ahs::run_sweep(points, {1.0, 2.0}, opts);
+
+  opts.resume = true;
+  // Different evaluation grid: the durable result must be rejected, not
+  // silently served for the wrong times.
+  EXPECT_THROW(ahs::run_sweep(points, {1.0, 3.0}, opts), util::SnapshotError);
+  // And a different seed is a different run.
+  ahs::SweepOptions reseeded = opts;
+  reseeded.study.seed = 777;
+  EXPECT_THROW(ahs::run_sweep(points, {1.0, 2.0}, reseeded),
+               util::SnapshotError);
+}
+
+TEST_F(ResumeTest, SweepResumesInFlightSimulationPoint) {
+  // A simulation point cut by its per-point wall budget is recorded as
+  // degraded with its progress checkpointed; the resume run continues the
+  // estimate and the final curve is bitwise identical to an uninterrupted
+  // sweep.
+  const auto points =
+      ahs::make_grid(small_params(),
+                     ahs::GridAxis{"lambda",
+                                   {2e-3},
+                                   [](ahs::Parameters& p, double v) {
+                                     p.base_failure_rate = v;
+                                   }});
+  const std::vector<double> times = {1.0, 2.0};
+
+  ahs::SweepOptions opts;
+  opts.threads = 1;
+  opts.study.engine = ahs::Engine::kSimulation;
+  opts.study.min_replications = 20'000;
+  opts.study.max_replications = 20'000;
+  opts.study.seed = 9;
+  const ahs::SweepResult ref = ahs::run_sweep(points, times, opts);
+  ASSERT_TRUE(ref.complete());
+
+  ahs::SweepOptions robust = opts;
+  robust.checkpoint_dir = path("ckpt");
+  robust.study.checkpoint_every = 1000;
+  // A fraction of the measured uninterrupted point duration guarantees the
+  // budget fires mid-estimate on any hardware.
+  robust.point_timeout_seconds = std::max(0.002, ref.point_seconds[0] / 6.0);
+  const ahs::SweepResult cut = ahs::run_sweep(points, times, robust);
+  EXPECT_EQ(cut.degraded_count(), 1u);
+  EXPECT_NE(cut.degraded_reason[0].find("wall-clock budget"),
+            std::string::npos);
+
+  robust.resume = true;
+  robust.point_timeout_seconds = 0.0;
+  const ahs::SweepResult resumed = ahs::run_sweep(points, times, robust);
+  ASSERT_TRUE(resumed.complete());
+  EXPECT_EQ(resumed.outcome[0], ahs::PointOutcome::kComputed);
+  EXPECT_TRUE(resumed.curves[0].resumed);
+  expect_curves_bitwise_equal(ref.curves[0], resumed.curves[0]);
+
+  // One more resume restores the now-durable result without recomputing.
+  const ahs::SweepResult restored = ahs::run_sweep(points, times, robust);
+  EXPECT_EQ(restored.outcome[0], ahs::PointOutcome::kRestored);
+  expect_curves_bitwise_equal(ref.curves[0], restored.curves[0]);
+}
+
+TEST(SweepDegraded, FailingPointDoesNotAbortTheSweep) {
+  std::vector<ahs::SweepPoint> points;
+  points.push_back({"good", small_params()});
+  ahs::Parameters bad = small_params();
+  bad.base_failure_rate = -1.0;  // validate() rejects this at evaluation
+  points.push_back({"bad", bad});
+
+  ahs::SweepOptions opts;
+  opts.threads = 1;
+  opts.max_attempts = 2;
+  std::vector<std::string> lines;
+  util::set_log_sink([&lines](const std::string& line) {
+    lines.push_back(line);
+  });
+  const ahs::SweepResult result = ahs::run_sweep(points, {1.0, 2.0}, opts);
+  util::set_log_sink(nullptr);
+
+  EXPECT_EQ(result.outcome[0], ahs::PointOutcome::kComputed);
+  EXPECT_EQ(result.outcome[1], ahs::PointOutcome::kDegraded);
+  EXPECT_NE(result.degraded_reason[1].find("failure rate"),
+            std::string::npos);
+  EXPECT_FALSE(result.complete());
+  EXPECT_EQ(result.degraded_count(), 1u);
+  // The retry policy actually retried before giving up.
+  bool retried = false;
+  for (const auto& line : lines)
+    retried = retried || line.find("retrying") != std::string::npos;
+  EXPECT_TRUE(retried);
+}
+
+TEST(SweepCancel, PreSetStopFlagSkipsEveryPoint) {
+  const auto points =
+      ahs::make_grid(small_params(),
+                     ahs::GridAxis{"lambda",
+                                   {2e-3, 1e-3},
+                                   [](ahs::Parameters& p, double v) {
+                                     p.base_failure_rate = v;
+                                   }});
+  std::atomic<bool> flag{true};
+  ahs::SweepOptions opts;
+  opts.threads = 1;
+  opts.stop = &flag;
+  const ahs::SweepResult result = ahs::run_sweep(points, {1.0}, opts);
+  EXPECT_TRUE(result.cancelled);
+  for (const auto o : result.outcome)
+    EXPECT_EQ(o, ahs::PointOutcome::kSkipped);
+  EXPECT_FALSE(result.complete());
+}
+
+}  // namespace
