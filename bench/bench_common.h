@@ -191,20 +191,38 @@ inline bool parse_bench_flags(int argc, const char* const* argv,
   return true;
 }
 
+/// Short git revision of the tree this binary was launched in, resolved
+/// once per process; "unknown" outside a repository or without git on
+/// PATH.  Recorded in every timing/perf record so throughput numbers are
+/// attributable to the code they measured.
+inline const std::string& git_revision() {
+  static const std::string rev = [] {
+    std::string r = "unknown";
+    if (FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+      char buf[64] = {};
+      if (std::fgets(buf, sizeof buf, p) != nullptr) {
+        std::string s(buf);
+        while (!s.empty() && (s.back() == '\n' || s.back() == '\r'))
+          s.pop_back();
+        if (!s.empty()) r = s;
+      }
+      ::pclose(p);
+    }
+    return r;
+  }();
+  return rev;
+}
+
 /// Merges one single-line JSON record (which must start with
-/// `{"bench": "<name>"`) into results/bench_timings.json, replacing any
-/// previous record of the same bench and keeping every other bench's line.
-/// With an active telemetry session the record gains a live `telemetry`
-/// field (the registry + span snapshot at merge time).
-inline void merge_timing_record(const std::string& bench_name,
-                                const std::string& record) {
-  std::filesystem::create_directories("results");
-  const std::string path = "results/bench_timings.json";
-  // The merge is a read-modify-write cycle on a file shared by every bench
-  // binary: the advisory lock serializes concurrent bench runs (so two
-  // processes can't drop each other's records), and the atomic replace
-  // guarantees a reader — or a crash mid-merge — never sees a truncated
-  // document.
+/// `{"bench": "<name>"`) into `path`, replacing any previous record of the
+/// same bench and keeping every other bench's line.  The merge is a
+/// read-modify-write cycle on a file shared by every bench binary: the
+/// advisory lock serializes concurrent bench runs (so two processes can't
+/// drop each other's records), and the atomic replace guarantees a reader
+/// — or a crash mid-merge — never sees a truncated document.
+inline void merge_record_into(const std::string& path,
+                              const std::string& bench_name,
+                              const std::string& record) {
   util::FileLock lock(path + ".lock");
   std::vector<std::string> records;
   {
@@ -218,20 +236,48 @@ inline void merge_timing_record(const std::string& bench_name,
       records.push_back(line);
     }
   }
-  std::string merged = record;
-  const std::string fragment = telemetry().record_fragment();
-  if (!fragment.empty() && !merged.empty() && merged.back() == '}') {
-    merged.pop_back();
-    merged += ", \"telemetry\": " + fragment + "}";
-  }
-  records.push_back(merged);
+  records.push_back(record);
   std::ostringstream out;
   out << "{\"benches\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i)
     out << records[i] << (i + 1 < records.size() ? "," : "") << "\n";
   out << "]}\n";
   util::atomic_write_file(path, out.str());
+}
+
+/// Merges one bench's record into results/bench_timings.json.  Every
+/// record gains the git revision; with an active telemetry session it also
+/// gains a live `telemetry` field (the registry + span snapshot at merge
+/// time).
+inline void merge_timing_record(const std::string& bench_name,
+                                const std::string& record) {
+  std::filesystem::create_directories("results");
+  const std::string path = "results/bench_timings.json";
+  std::string merged = record;
+  if (!merged.empty() && merged.back() == '}') {
+    merged.pop_back();
+    merged += ", \"git_rev\": \"" + git_revision() + "\"";
+    const std::string fragment = telemetry().record_fragment();
+    if (!fragment.empty()) merged += ", \"telemetry\": " + fragment;
+    merged += "}";
+  }
+  merge_record_into(path, bench_name, merged);
   std::cout << "timings merged into " << path << "\n";
+}
+
+/// Merges one bench's throughput summary into ./BENCH_PERF.json — the
+/// top-level machine-readable performance document.  `fields` is a JSON
+/// fragment of key/value pairs (no braces); the record automatically
+/// carries the bench name and git revision.  The CI perf job asserts the
+/// current run against the committed baseline (repo-root BENCH_PERF.json)
+/// with bench_executor's --assert-floor flag.
+inline void write_bench_perf(const std::string& bench_name,
+                             const std::string& fields) {
+  const std::string record = "{\"bench\": \"" + bench_name +
+                             "\", \"git_rev\": \"" + git_revision() + "\", " +
+                             fields + "}";
+  merge_record_into("BENCH_PERF.json", bench_name, record);
+  std::cout << "perf summary merged into BENCH_PERF.json\n";
 }
 
 /// Prints the per-point wall-clock summary of a sweep and merges it into
@@ -246,12 +292,44 @@ inline void log_sweep_timings(const std::string& bench_name, unsigned threads,
     return std::string(buf);
   };
 
+  std::uint64_t replications = 0;
+  for (const ahs::UnsafetyCurve& c : result.curves)
+    replications += c.replications;
+  const double points_per_sec =
+      result.total_seconds > 0.0
+          ? static_cast<double>(points.size()) / result.total_seconds
+          : 0.0;
+  const double replications_per_sec =
+      result.total_seconds > 0.0
+          ? static_cast<double>(replications) / result.total_seconds
+          : 0.0;
+
   std::cout << "\nsweep timing (threads="
             << (threads == 0 ? "all" : std::to_string(threads))
-            << "): total " << secs(result.total_seconds) << " s\n";
+            << "): total " << secs(result.total_seconds) << " s, "
+            << util::format_sci(points_per_sec, 3) << " points/s";
+  if (replications > 0)
+    std::cout << ", " << util::format_sci(replications_per_sec, 3)
+              << " replications/s";
+  std::cout << "\n";
+  if (result.poisson_cache_hits + result.poisson_cache_misses > 0) {
+    const double rate =
+        static_cast<double>(result.poisson_cache_hits) /
+        static_cast<double>(result.poisson_cache_hits +
+                            result.poisson_cache_misses);
+    std::cout << "poisson window cache: " << result.poisson_cache_hits
+              << " hits / " << result.poisson_cache_misses << " misses ("
+              << util::format_sci(100.0 * rate, 3) << " % hit rate)\n";
+  }
   std::ostringstream record;
   record << "{\"bench\": \"" << bench_name << "\", \"threads\": " << threads
          << ", \"total_seconds\": " << secs(result.total_seconds)
+         << ", \"points_per_sec\": " << util::format_sci(points_per_sec, 6)
+         << ", \"replications\": " << replications
+         << ", \"replications_per_sec\": "
+         << util::format_sci(replications_per_sec, 6)
+         << ", \"poisson_cache\": {\"hits\": " << result.poisson_cache_hits
+         << ", \"misses\": " << result.poisson_cache_misses << "}"
          << ", \"points\": [";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const bool hit = result.structure_cache_hit[i];

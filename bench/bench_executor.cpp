@@ -132,6 +132,23 @@ double baseline_events_per_sec(const std::string& label) {
   return 0.0;
 }
 
+/// Pulls the committed bench_executor events_per_sec floor out of a
+/// BENCH_PERF.json document (plain string scan, same single-line record
+/// format merge_record_into writes).  Returns 0 when the file or the
+/// record is absent — an absent baseline never fails the floor assertion,
+/// so the first run on a fresh checkout records rather than rejects.
+double perf_floor_events_per_sec(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("{\"bench\": \"bench_executor\"", 0) != 0) continue;
+    const auto pos = line.find("\"events_per_sec\": ");
+    if (pos == std::string::npos) return 0.0;
+    return std::atof(line.c_str() + pos + sizeof("\"events_per_sec\": ") - 1);
+  }
+  return 0.0;
+}
+
 /// Instrumented smoke workload for --metrics-out/--progress: a small lumped
 /// sweep (twice, so the structure cache reports both misses and hits), and a
 /// short importance-sampling estimation (executor counters, IS health
@@ -176,6 +193,15 @@ int main(int argc, char** argv) {
       "no-overhead-guard",
       "measure and record, but do not fail on a guard violation (for runs "
       "on hardware other than the baseline's)");
+  const auto floor_path = cli.add_string(
+      "assert-floor", "",
+      "fail if aggregate incremental events/sec drops below "
+      "(1 - floor-tolerance) x the bench_executor record in this "
+      "BENCH_PERF.json (empty = no assertion)");
+  const auto floor_tolerance = cli.add_double(
+      "floor-tolerance", 0.25,
+      "allowed fractional regression of aggregate events/sec vs the "
+      "--assert-floor baseline");
   bench::telemetry().add_flags(cli);
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -216,6 +242,8 @@ int main(int argc, char** argv) {
 
   bool first = true;
   bool guard_ok = true;
+  std::uint64_t agg_events = 0;
+  double agg_seconds = 0.0;
   for (const auto& c : cases) {
     ahs::Parameters p;
     p.max_per_platoon = c.n;
@@ -264,10 +292,13 @@ int main(int argc, char** argv) {
                        ? fixed(100.0 * ratio, 1) + "%" + (pass ? "" : " FAIL")
                        : "n/a"});
 
+    agg_events += inc.events;
+    agg_seconds += inc.seconds;
     record << (first ? "" : ", ") << "{\"label\": \"" << label
            << "\", \"events\": " << inc.events
            << ", \"full_rescan_seconds\": " << fixed(ref.seconds, 6)
            << ", \"incremental_seconds\": " << fixed(inc.seconds, 6)
+           << ", \"events_per_sec\": " << fixed(inc.events_per_sec(), 0)
            << ", \"speedup\": " << fixed(speedup, 3)
            << ", \"overhead_guard\": {\"baseline_events_per_sec\": "
            << fixed(baseline, 0)
@@ -288,12 +319,52 @@ int main(int argc, char** argv) {
   if (bench::telemetry().active()) telemetry_smoke();
 
   bench::merge_timing_record("bench_executor", record.str());
+
+  // Aggregate incremental throughput across every case — the single number
+  // the CI perf floor tracks.  The floor baseline is read *before* this
+  // run's record is merged, so pointing --assert-floor at the merge target
+  // still asserts against the committed value, not the fresh one.
+  const double agg_eps =
+      agg_seconds > 0.0 ? static_cast<double>(agg_events) / agg_seconds : 0.0;
+  const double floor =
+      floor_path->empty() ? 0.0 : perf_floor_events_per_sec(*floor_path);
+  std::cout << "aggregate incremental throughput: " << fixed(agg_eps, 0)
+            << " events/s over " << agg_events << " events\n";
+  {
+    std::ostringstream fields;
+    fields << "\"events\": " << agg_events
+           << ", \"seconds\": " << fixed(agg_seconds, 6)
+           << ", \"events_per_sec\": " << fixed(agg_eps, 0);
+    bench::write_bench_perf("bench_executor", fields.str());
+  }
+
   bench::finish_telemetry();
+
+  bool floor_ok = true;
+  if (!floor_path->empty()) {
+    if (floor > 0.0) {
+      const double bar = floor * (1.0 - *floor_tolerance);
+      floor_ok = agg_eps >= bar;
+      std::cout << "perf floor (vs " << *floor_path
+                << "): baseline " << fixed(floor, 0) << " ev/s, bar "
+                << fixed(bar, 0) << " ev/s, measured " << fixed(agg_eps, 0)
+                << " ev/s: " << (floor_ok ? "PASS" : "FAIL") << "\n";
+    } else {
+      std::cout << "perf floor: no bench_executor baseline in " << *floor_path
+                << " — skipping assertion\n";
+    }
+  }
 
   if (!guard_ok && !*no_guard) {
     std::cerr << "telemetry overhead guard FAILED — detached instrumentation "
                  "cost exceeds tolerance (rerun with --no-overhead-guard on "
                  "non-baseline hardware)\n";
+    return 1;
+  }
+  if (!floor_ok) {
+    std::cerr << "perf floor FAILED — aggregate events/sec regressed more "
+                 "than " << fixed(100.0 * *floor_tolerance, 0)
+              << "% vs the committed BENCH_PERF.json baseline\n";
     return 1;
   }
   return 0;

@@ -76,6 +76,27 @@ int main(int argc, char** argv) {
   bench::write_csv("bench_fig12.csv",
                    {"n", "S_lam1e6", "S_lam1e5", "S_lam1e4"}, csv_rows);
   bench::log_sweep_timings("bench_fig12", threads, points, sweep);
+  {
+    const double pps = sweep.total_seconds > 0.0
+                           ? static_cast<double>(points.size()) /
+                                 sweep.total_seconds
+                           : 0.0;
+    const std::uint64_t lookups =
+        sweep.poisson_cache_hits + sweep.poisson_cache_misses;
+    std::ostringstream fields;
+    fields << "\"threads\": " << threads << ", \"points\": " << points.size()
+           << ", \"total_seconds\": "
+           << util::format_sci(sweep.total_seconds, 6)
+           << ", \"points_per_sec\": " << util::format_sci(pps, 6)
+           << ", \"poisson_cache_hit_rate\": "
+           << util::format_sci(
+                  lookups > 0 ? static_cast<double>(
+                                    sweep.poisson_cache_hits) /
+                                    static_cast<double>(lookups)
+                              : 0.0,
+                  4);
+    bench::write_bench_perf("bench_fig12", fields.str());
+  }
   bench::finish_telemetry();
   return 0;
 }

@@ -385,14 +385,16 @@ const LumpedState& LumpedModel::state(std::uint32_t s) const {
   return structure_->states[s];
 }
 
-std::vector<double> LumpedModel::unsafety(std::span<const double> times,
-                                          util::ThreadPool* pool) const {
+std::vector<double> LumpedModel::unsafety(
+    std::span<const double> times, util::ThreadPool* pool,
+    ctmc::PoissonCache* poisson_cache) const {
   build();
   std::vector<double> reward(chain_.num_states, 0.0);
   reward[structure_->unsafe] = 1.0;
   ctmc::UniformizationOptions opts;
   opts.epsilon = 1e-14;
   opts.pool = pool;
+  opts.poisson_cache = poisson_cache;
   const auto sol = ctmc::solve_transient(chain_, reward, times, opts);
   return sol.expected_reward;
 }

@@ -38,6 +38,10 @@ namespace util {
 class ThreadPool;
 }
 
+namespace ctmc {
+class PoissonCache;
+}
+
 namespace ahs {
 
 /// The lumped state, exposed for tests and diagnostics.
@@ -142,9 +146,14 @@ class LumpedModel {
   /// S(t) — probability the AHS has reached a catastrophic situation by
   /// each time point (hours, strictly increasing).  An optional pool
   /// parallelizes the uniformization products (bitwise thread-count
-  /// independent; see UniformizationOptions::pool).
+  /// independent; see UniformizationOptions::pool).  An optional shared
+  /// Poisson-window cache warm-starts the solve from neighboring points'
+  /// windows (see ctmc::PoissonCache; the sweep engine passes one per
+  /// sweep).
   std::vector<double> unsafety(std::span<const double> times,
-                               util::ThreadPool* pool = nullptr) const;
+                               util::ThreadPool* pool = nullptr,
+                               ctmc::PoissonCache* poisson_cache =
+                                   nullptr) const;
   std::vector<double> unsafety(std::initializer_list<double> times) const {
     return unsafety(std::span<const double>(times.begin(), times.size()));
   }

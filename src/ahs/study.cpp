@@ -102,7 +102,8 @@ UnsafetyCurve run_lumped(const Parameters& params,
       structure ? LumpedModel(params, structure) : LumpedModel(params);
   UnsafetyCurve curve;
   curve.times = times;
-  curve.unsafety = model.unsafety(times, options.pool);
+  curve.unsafety =
+      model.unsafety(times, options.pool, options.poisson_cache);
   curve.half_width.assign(times.size(), 0.0);
   if (cache && !structure) cache->store_lumped(model.structure());
   return curve;
@@ -159,6 +160,7 @@ UnsafetyCurve run_full_ctmc(const Parameters& params,
   ctmc::UniformizationOptions u_opts;
   u_opts.epsilon = 1e-14;
   u_opts.pool = options.pool;
+  u_opts.poisson_cache = options.poisson_cache;
   const auto sol = ctmc::solve_transient(chain, *reward, times, u_opts);
 
   UnsafetyCurve curve;
@@ -194,6 +196,7 @@ UnsafetyCurve run_simulation(const Parameters& params,
   t_opts.abs_half_width = options.abs_half_width;
   t_opts.confidence = options.confidence;
   t_opts.seed = options.seed;
+  t_opts.batch_size = options.batch_size;
   t_opts.absorbing_indicator = true;
   t_opts.bias = importance ? &bias : nullptr;
   t_opts.checkpoint_path = options.checkpoint_path;

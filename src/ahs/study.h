@@ -28,6 +28,10 @@ namespace util {
 class ThreadPool;
 }
 
+namespace ctmc {
+class PoissonCache;
+}
+
 namespace ahs {
 
 struct LumpedStructure;
@@ -46,6 +50,9 @@ struct StudyOptions {
   double rel_half_width = 0.1;   ///< paper §4.1
   double confidence = 0.95;      ///< paper §4.1
   std::uint64_t seed = 42;
+  /// Replications per lockstep batch (sim::TransientOptions::batch_size).
+  /// Results are bitwise identical for every value; purely a locality knob.
+  std::uint32_t batch_size = 16;
   /// Failure-activity boost for kSimulationIS.  Choose it so the *expected
   /// number of boosted failure events per replication* stays O(1–5):
   /// overbiasing (hundreds of boosted failures per path) makes the
@@ -66,6 +73,13 @@ struct StudyOptions {
   /// sweep engine therefore fans points out over its pool *instead of*
   /// passing it down here.
   util::ThreadPool* pool = nullptr;
+
+  /// Optional shared Poisson-window cache (CTMC engines only; thread-safe).
+  /// Warm-starts each solve with the windows and truncation bounds computed
+  /// by neighboring parameter points — see ctmc::PoissonCache for the rate
+  /// quantization this implies.  run_sweep wires one per sweep
+  /// automatically; set it explicitly to share windows across sweeps.
+  ctmc::PoissonCache* poisson_cache = nullptr;
 
   // ---- robustness knobs (simulation engines; docs/ROBUSTNESS.md) ------
   // Forwarded into sim::TransientOptions; the CTMC engines ignore them

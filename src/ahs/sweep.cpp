@@ -6,6 +6,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "ctmc/uniformization.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -230,6 +231,22 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
                                   options.study.engine == Engine::kFullCtmc);
   StudyCache cache;
 
+  // One Poisson-window cache per sweep (unless the caller supplied one):
+  // neighboring points' uniformization solves share their Poisson windows
+  // and truncation bounds — the λ/n axes move the uniformization rate by
+  // less than the cache's quantization step, so most points hit (watch
+  // ctmc.uniformization.poisson_cache_{hits,misses}).  Thread-safe;
+  // window contents depend only on the key, so results stay independent of
+  // the sweep thread count.
+  ctmc::PoissonCache poisson_cache;
+  const bool ctmc_engine = options.study.engine == Engine::kLumpedCtmc ||
+                           options.study.engine == Engine::kFullCtmc;
+  ctmc::PoissonCache* active_poisson_cache =
+      !ctmc_engine ? nullptr
+                   : (options.study.poisson_cache != nullptr
+                          ? options.study.poisson_cache
+                          : &poisson_cache);
+
   // Split the points into cold builds (the first point of each structure
   // group — every point when not caching) and followers.  Running all cold
   // builds to completion first guarantees every follower hits the cache.
@@ -298,6 +315,7 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
     StudyOptions study = options.study;
     study.stop = options.stop;
     study.max_seconds = options.point_timeout_seconds;
+    study.poisson_cache = active_poisson_cache;
     if (persisting) {
       study.checkpoint_path =
           point_path(options.checkpoint_dir, i, ".transient");
@@ -385,6 +403,13 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
   for (std::size_t i = 0; i < points.size(); ++i)
     result.structure_cache_hit[i] = hits[i] != 0;
   result.cancelled = any_cancelled.load(std::memory_order_relaxed);
+  if (active_poisson_cache != nullptr) {
+    result.poisson_cache_hits = active_poisson_cache->hits();
+    result.poisson_cache_misses = active_poisson_cache->misses();
+    if (reg != nullptr)
+      reg->gauge("ahs.sweep.poisson_cache_hit_rate")
+          .set(active_poisson_cache->hit_rate());
+  }
   result.total_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     sweep_start)

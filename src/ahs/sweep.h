@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -122,6 +123,11 @@ struct SweepResult {
   /// The stop flag fired before every point completed; checkpoints hold
   /// the progress and a --resume rerun finishes the job.
   bool cancelled = false;
+  /// Shared Poisson-window cache traffic (CTMC engines; both 0 otherwise).
+  /// A hit means a point reused a neighbor's uniformization window and
+  /// truncation bounds instead of recomputing them — see ctmc::PoissonCache.
+  std::uint64_t poisson_cache_hits = 0;
+  std::uint64_t poisson_cache_misses = 0;
 
   std::size_t degraded_count() const;
   /// True when every point carries an authoritative result.

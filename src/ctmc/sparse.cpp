@@ -163,6 +163,49 @@ void CsrMatrix::right_multiply(std::span<const double> x, std::span<double> y,
   });
 }
 
+BlockedCsr make_blocked(const CsrMatrix& m, std::uint32_t block_cols) {
+  AHS_REQUIRE(block_cols >= 1, "block_cols must be >= 1");
+  BlockedCsr b;
+  b.rows = m.rows();
+  const std::uint32_t cols = std::max<std::uint32_t>(m.cols(), 1);
+  const std::size_t blocks = (cols + block_cols - 1) / block_cols;
+  b.bounds.reserve(blocks + 1);
+  for (std::size_t i = 0; i < blocks; ++i)
+    b.bounds.push_back(static_cast<std::uint32_t>(i * block_cols));
+  b.bounds.push_back(m.cols());
+
+  const std::span<const std::size_t> row_ptr = m.row_ptr();
+  const std::span<const std::uint32_t> col = m.col_index();
+  const std::span<const double> val = m.values();
+  b.row_ptr.assign(blocks * (b.rows + 1), 0);
+  b.col.resize(col.size());
+  b.val.resize(val.size());
+
+  // Entries of a CSR row are column-sorted, so each row splits into one
+  // contiguous segment per block; a single pass with a per-row cursor
+  // copies them out block-major.
+  std::size_t out = 0;
+  std::vector<std::size_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    const std::uint32_t hi = b.bounds[blk + 1];
+    std::size_t* ptr = b.row_ptr.data() + blk * (b.rows + 1);
+    for (std::uint32_t r = 0; r < b.rows; ++r) {
+      ptr[r] = out;
+      std::size_t k = cursor[r];
+      while (k < row_ptr[r + 1] && col[k] < hi) {
+        b.col[out] = col[k];
+        b.val[out] = val[k];
+        ++out;
+        ++k;
+      }
+      cursor[r] = k;
+    }
+    ptr[b.rows] = out;
+  }
+  AHS_ASSERT(out == col.size(), "blocked CSR lost entries");
+  return b;
+}
+
 double CsrMatrix::row_sum(std::uint32_t r) const {
   AHS_REQUIRE(r < rows_, "row out of range");
   double s = 0.0;

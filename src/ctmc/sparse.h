@@ -71,10 +71,19 @@ class CsrMatrix {
   /// Sum of row r's values.
   double row_sum(std::uint32_t r) const;
 
- private:
+  /// Raw CSR views for fused solver kernels that stream the whole structure
+  /// (per-row accessors cost a bounds check per row).  Row r's entries live
+  /// at indices [row_ptr()[r], row_ptr()[r+1]) of col_index()/values().
+  std::span<const std::size_t> row_ptr() const { return row_ptr_; }
+  std::span<const std::uint32_t> col_index() const { return col_; }
+  std::span<const double> values() const { return val_; }
+
   /// Row boundaries of `blocks` contiguous partitions with roughly equal
-  /// nonzero counts (size blocks + 1, first 0, last rows_).
+  /// nonzero counts (size blocks + 1, first 0, last rows()).  Used to
+  /// partition gather products across a pool deterministically.
   std::vector<std::uint32_t> row_blocks(std::size_t blocks) const;
+
+ private:
 
   std::uint32_t rows_ = 0;
   std::uint32_t cols_ = 0;
@@ -82,5 +91,31 @@ class CsrMatrix {
   std::vector<std::uint32_t> col_;
   std::vector<double> val_;
 };
+
+/// Column-blocked copy of a CSR matrix for cache-blocked gather products.
+/// Block b holds exactly the entries whose column lies in
+/// [bounds[b], bounds[b+1]); within a block the layout is CSR over the
+/// original rows with entries in the original per-row order.  A gather
+/// product that processes the blocks in order and accumulates block b's
+/// contribution of row r directly into y[r] (load, add entries one by one,
+/// store) performs each output's additions in exactly the unblocked entry
+/// order — the result is bitwise identical to CsrMatrix::right_multiply
+/// while the gathered slice of x stays cache-resident.
+struct BlockedCsr {
+  std::vector<std::uint32_t> bounds;  ///< column block boundaries (blocks+1)
+  /// Block-major row pointers: block b's row r spans
+  /// [row_ptr[b*(rows+1)+r], row_ptr[b*(rows+1)+r+1]) of col/val.
+  std::vector<std::size_t> row_ptr;
+  std::vector<std::uint32_t> col;
+  std::vector<double> val;
+  std::uint32_t rows = 0;
+
+  std::size_t blocks() const { return bounds.empty() ? 0 : bounds.size() - 1; }
+};
+
+/// Splits `m` into column blocks of at most `block_cols` columns (always at
+/// least one block).  With one block the layout degenerates to a plain copy
+/// of `m`.
+BlockedCsr make_blocked(const CsrMatrix& m, std::uint32_t block_cols);
 
 }  // namespace ctmc

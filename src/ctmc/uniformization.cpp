@@ -1,7 +1,11 @@
 #include "ctmc/uniformization.h"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "util/error.h"
 #include "util/metrics.h"
@@ -9,6 +13,46 @@
 #include "util/thread_pool.h"
 
 namespace ctmc {
+
+std::shared_ptr<const PoissonWindow> PoissonCache::find(
+    double lambda, double epsilon) const {
+  const std::pair<std::uint64_t, std::uint64_t> key{
+      std::bit_cast<std::uint64_t>(lambda),
+      std::bit_cast<std::uint64_t>(epsilon)};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = windows_.find(key);
+  if (it == windows_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void PoissonCache::store(double lambda, double epsilon,
+                         std::shared_ptr<const PoissonWindow> window) {
+  const std::pair<std::uint64_t, std::uint64_t> key{
+      std::bit_cast<std::uint64_t>(lambda),
+      std::bit_cast<std::uint64_t>(epsilon)};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  windows_.emplace(key, std::move(window));
+}
+
+std::uint64_t PoissonCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t PoissonCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+double PoissonCache::hit_rate() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+}
 
 namespace {
 
@@ -21,6 +65,8 @@ struct UnifTelemetry {
   util::Counter iterations;  ///< DTMC vector-matrix products
   util::Counter memo_hits;   ///< PoissonMemo served a cached window
   util::Counter memo_misses;
+  util::Counter cache_hits;    ///< shared PoissonCache served a window
+  util::Counter cache_misses;  ///< shared PoissonCache consulted, computed
   util::Counter steady_cutoffs;  ///< steady-state detection fired
   util::HistogramHandle window_size;  ///< Poisson window width per miss
   util::Gauge truncation;  ///< Poisson mass left outside the last window
@@ -32,6 +78,8 @@ struct UnifTelemetry {
       iterations = reg->counter("ctmc.uniformization.iterations");
       memo_hits = reg->counter("ctmc.uniformization.poisson_memo_hits");
       memo_misses = reg->counter("ctmc.uniformization.poisson_memo_misses");
+      cache_hits = reg->counter("ctmc.uniformization.poisson_cache_hits");
+      cache_misses = reg->counter("ctmc.uniformization.poisson_cache_misses");
       steady_cutoffs = reg->counter("ctmc.uniformization.steady_cutoffs");
       window_size = reg->histogram(
           "ctmc.uniformization.poisson_window_size",
@@ -44,71 +92,174 @@ struct UnifTelemetry {
 /// Memoizes poisson_window within one solve: incremental time grids almost
 /// always step by a constant Δt, so consecutive intervals ask for the same
 /// Λ·Δt and the window (potentially thousands of weights) need not be
-/// recomputed.
+/// recomputed.  With a shared PoissonCache attached, a last-λ miss consults
+/// the cache before computing, and computed windows are published to it —
+/// adjacent sweep points then reuse each other's windows (and truncation
+/// bounds) across solves.
 class PoissonMemo {
  public:
-  PoissonMemo(double epsilon, UnifTelemetry* tm)
-      : epsilon_(epsilon), tm_(tm) {}
+  PoissonMemo(double epsilon, UnifTelemetry* tm, PoissonCache* cache)
+      : epsilon_(epsilon), tm_(tm), cache_(cache) {}
 
   const PoissonWindow& get(double lambda) {
-    if (!valid_ || lambda != lambda_) {
-      window_ = poisson_window(lambda, epsilon_);
-      lambda_ = lambda;
-      valid_ = true;
-      if (tm_->on) {
-        tm_->memo_misses.inc();
-        tm_->window_size.record(static_cast<double>(window_.weight.size()));
-      }
-    } else if (tm_->on) {
-      tm_->memo_hits.inc();
+    if (window_ != nullptr && lambda == lambda_) {
+      if (tm_->on) tm_->memo_hits.inc();
+      return *window_;
     }
-    return window_;
+    if (cache_ != nullptr) {
+      if (std::shared_ptr<const PoissonWindow> cached =
+              cache_->find(lambda, epsilon_)) {
+        window_ = std::move(cached);
+        lambda_ = lambda;
+        if (tm_->on) {
+          tm_->memo_hits.inc();
+          tm_->cache_hits.inc();
+        }
+        return *window_;
+      }
+    }
+    auto computed =
+        std::make_shared<PoissonWindow>(poisson_window(lambda, epsilon_));
+    if (tm_->on) {
+      tm_->memo_misses.inc();
+      if (cache_ != nullptr) tm_->cache_misses.inc();
+      tm_->window_size.record(static_cast<double>(computed->weight.size()));
+    }
+    if (cache_ != nullptr) cache_->store(lambda, epsilon_, computed);
+    window_ = std::move(computed);
+    lambda_ = lambda;
+    return *window_;
   }
 
  private:
   double epsilon_;
   UnifTelemetry* tm_;
+  PoissonCache* cache_;
   double lambda_ = 0.0;
-  bool valid_ = false;
-  PoissonWindow window_;
+  std::shared_ptr<const PoissonWindow> window_;
 };
 
+/// Rounds a uniformization rate up to the next multiple of 2^(e-8) (e the
+/// rate's binary exponent): at most 0.4 % overshoot, and any two rates
+/// within one step of each other quantize to the *same* double — the key
+/// property that lets neighboring sweep points share PoissonCache entries.
+double quantize_rate_up(double rate) {
+  int e = 0;
+  std::frexp(rate, &e);
+  const double step = std::ldexp(1.0, e - 8);
+  return std::ceil(rate / step) * step;
+}
+
+/// Uniformization rate for a chain under `options`: Λ = factor · max exit
+/// rate (positive even for an all-absorbing chain), quantized when a
+/// Poisson cache is attached so adjacent solves land on shared cache keys.
+double uniformization_rate(const MarkovChain& chain,
+                           const UniformizationOptions& options) {
+  const double rate =
+      std::max(chain.max_exit_rate() * options.rate_factor, 1e-12);
+  return options.poisson_cache != nullptr ? quantize_rate_up(rate) : rate;
+}
+
 /// The uniformized DTMC step y := x P, P = I + Q/Λ, shared by both solvers.
-/// With a pool the product runs gather-style over the transposed rate
-/// matrix, row-partitioned; the transpose preserves the sequential
-/// accumulation order, so the result is bitwise identical for any pool
-/// size (including none).
+///
+/// The product runs gather-style over the column-blocked transpose of the
+/// rate matrix (see BlockedCsr): each output accumulates its contributions
+/// in the sequential scatter order, so the result is bitwise identical to
+/// the historical sequential left_multiply — for any block count and any
+/// pool size (a pool partitions each block's output rows; every output is
+/// still written by exactly one thread in the same per-element order).
+///
+/// The final block's pass is fused with the rest of the per-iteration
+/// element work: the /Λ scaling and I·self_prob term, the Poisson
+/// accumulation acc[s] += w·x[s], and the steady-state max-norm diff all
+/// happen while y[s] and x[s] are in registers, replacing what used to be
+/// four extra O(n) passes over the state vectors per iteration.
 class DtmcStepper {
  public:
+  /// Column block width: 192 Ki columns = 1.5 MiB of gathered x per block,
+  /// sized to keep the block's x slice resident in a ≥ 2 MiB L2 alongside
+  /// the streamed CSR entries.  Chains up to ~196 K states get one block.
+  static constexpr std::uint32_t kBlockCols = 192 * 1024;
+
   DtmcStepper(const MarkovChain& chain, double unif_rate,
               util::ThreadPool* pool)
-      : chain_(chain), unif_rate_(unif_rate), pool_(pool) {
+      : unif_rate_(unif_rate), pool_(pool) {
     const std::uint32_t n = chain.num_states;
     self_prob_.resize(n);
     for (std::uint32_t s = 0; s < n; ++s)
       self_prob_[s] = 1.0 - chain.exit_rate[s] / unif_rate;
-    if (pool_ != nullptr) transposed_ = chain.rates.transposed();
+    blocked_ = make_blocked(chain.rates.transposed(), kBlockCols);
   }
 
+  /// Fused step: y := x P; when `acc` is non-null, acc[s] += w·x[s] rides
+  /// along.  Returns ‖y − x‖∞ for the caller's steady-state detection.
+  double step(const std::vector<double>& x, std::vector<double>& y, double w,
+              std::vector<double>* acc) const {
+    return acc != nullptr ? run<true>(x, y, w, acc->data())
+                          : run<false>(x, y, 0.0, nullptr);
+  }
+
+  /// Plain step without accumulation (solve_accumulated's inner loop).
   void operator()(const std::vector<double>& x, std::vector<double>& y) const {
-    if (pool_ != nullptr) {
-      transposed_.right_multiply(x, y, *pool_);
-    } else {
-      chain_.rates.left_multiply(x, y);
-    }
-    const std::uint32_t n = chain_.num_states;
-    for (std::uint32_t s = 0; s < n; ++s) {
-      y[s] /= unif_rate_;
-      y[s] += x[s] * self_prob_[s];
-    }
+    (void)step(x, y, 0.0, nullptr);
   }
 
  private:
-  const MarkovChain& chain_;
+  template <bool kWithAcc>
+  double run(const std::vector<double>& x, std::vector<double>& y, double w,
+             double* acc) const {
+    const std::uint32_t n = static_cast<std::uint32_t>(self_prob_.size());
+    const std::size_t blocks = blocked_.blocks();
+    const std::uint32_t stride = n + 1;
+    double max_diff = 0.0;
+    for (std::size_t blk = 0; blk < blocks; ++blk) {
+      const bool first = blk == 0;
+      const bool last = blk + 1 == blocks;
+      const std::size_t* ptr = blocked_.row_ptr.data() + blk * stride;
+      const std::uint32_t* col = blocked_.col.data();
+      const double* val = blocked_.val.data();
+      const double* xs = x.data();
+      const double* sp = self_prob_.data();
+      double* ys = y.data();
+      const auto kernel = [&](std::uint32_t lo, std::uint32_t hi) {
+        double diff = 0.0;
+        for (std::uint32_t r = lo; r < hi; ++r) {
+          double g = first ? 0.0 : ys[r];
+          for (std::size_t k = ptr[r]; k < ptr[r + 1]; ++k)
+            g += val[k] * xs[col[k]];
+          if (last) {
+            g /= unif_rate_;
+            g += xs[r] * sp[r];
+            diff = std::max(diff, std::abs(g - xs[r]));
+            if constexpr (kWithAcc) acc[r] += w * xs[r];
+          }
+          ys[r] = g;
+        }
+        return diff;
+      };
+      if (pool_ == nullptr) {
+        max_diff = std::max(max_diff, kernel(0, n));
+      } else {
+        // One diff slot per parallel_for chunk; chunk boundaries are fixed
+        // by (n, pool size), and max is exactly associative, so the
+        // reduction is bitwise pool-size independent.
+        std::vector<double> diffs(pool_->size() + 2, 0.0);
+        std::atomic<std::size_t> slot{0};
+        pool_->parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+          const double d = kernel(static_cast<std::uint32_t>(lo),
+                                  static_cast<std::uint32_t>(hi));
+          diffs[slot.fetch_add(1, std::memory_order_relaxed)] = d;
+        });
+        for (double d : diffs) max_diff = std::max(max_diff, d);
+      }
+    }
+    return max_diff;
+  }
+
   double unif_rate_;
   util::ThreadPool* pool_;
   std::vector<double> self_prob_;
-  CsrMatrix transposed_;
+  BlockedCsr blocked_;
 };
 
 }  // namespace
@@ -205,10 +356,9 @@ AccumulatedSolution solve_accumulated(const MarkovChain& chain,
   if (tm.on) tm.solves.inc();
 
   const std::uint32_t n = chain.num_states;
-  const double unif_rate =
-      std::max(chain.max_exit_rate() * options.rate_factor, 1e-12);
+  const double unif_rate = uniformization_rate(chain, options);
   const DtmcStepper dtmc_step(chain, unif_rate, options.pool);
-  PoissonMemo memo(options.epsilon, &tm);
+  PoissonMemo memo(options.epsilon, &tm, options.poisson_cache);
 
   AccumulatedSolution sol;
   sol.time_points.assign(time_points.begin(), time_points.end());
@@ -279,11 +429,9 @@ TransientSolution solve_transient(const MarkovChain& chain,
   if (tm.on) tm.solves.inc();
 
   const std::uint32_t n = chain.num_states;
-  const double lambda_max = chain.max_exit_rate();
-  // Λ must be positive even for an all-absorbing chain.
-  const double unif_rate = std::max(lambda_max * options.rate_factor, 1e-12);
+  const double unif_rate = uniformization_rate(chain, options);
   const DtmcStepper dtmc_step(chain, unif_rate, options.pool);
-  PoissonMemo memo(options.epsilon, &tm);
+  PoissonMemo memo(options.epsilon, &tm, options.poisson_cache);
 
   TransientSolution sol;
   sol.time_points.assign(time_points.begin(), time_points.end());
@@ -301,23 +449,29 @@ TransientSolution solve_transient(const MarkovChain& chain,
       double remaining = 1.0;
       bool steady = false;
       for (std::uint64_t k = 0; k <= win.right; ++k) {
-        if (k >= win.left) {
-          const double w = win.weight[k - win.left];
-          for (std::uint32_t s = 0; s < n; ++s) acc[s] += w * v[s];
-          remaining -= w;
-        }
+        const bool in_window = k >= win.left;
+        const double w = in_window ? win.weight[k - win.left] : 0.0;
         ++sol.total_iterations;
-        if (k == win.right) break;
-        dtmc_step(v, v_next);
-        if (options.steady_state_tol > 0.0) {
-          double diff = 0.0;
-          for (std::uint32_t s = 0; s < n; ++s)
-            diff = std::max(diff, std::abs(v_next[s] - v[s]));
-          if (diff < options.steady_state_tol) {
-            steady = true;
-            v.swap(v_next);
-            break;
+        if (k == win.right) {
+          // Final weight: no step left to fuse its accumulation into.
+          if (in_window) {
+            for (std::uint32_t s = 0; s < n; ++s) acc[s] += w * v[s];
+            remaining -= w;
           }
+          break;
+        }
+        // Fused iteration: the step carries this k's Poisson accumulation
+        // acc[s] += w·v[s] along with the product and returns ‖v' − v‖∞
+        // for steady-state detection — one pass over the vectors instead
+        // of three.
+        const double diff =
+            dtmc_step.step(v, v_next, w, in_window ? &acc : nullptr);
+        if (in_window) remaining -= w;
+        if (options.steady_state_tol > 0.0 &&
+            diff < options.steady_state_tol) {
+          steady = true;
+          v.swap(v_next);
+          break;
         }
         v.swap(v_next);
       }

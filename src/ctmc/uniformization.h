@@ -13,6 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -23,6 +26,45 @@ class ThreadPool;
 }
 
 namespace ctmc {
+
+struct PoissonWindow;
+
+/// Thread-safe cross-solve cache of Poisson windows, keyed on the exact bit
+/// patterns of (λ = Λ·Δt, ε).  One cache shared across the points of a
+/// sweep carries each window — weights plus left/right truncation bounds —
+/// from the first point that computes it to every neighbor that asks for
+/// the same key, instead of re-expanding thousands of weights per point.
+///
+/// Exact keys only match if the uniformization rates match, so setting a
+/// cache also switches the solvers to a *quantized* Λ (rounded up to the
+/// next 2⁻⁸ mantissa step, < 0.4 % overshoot): neighboring sweep points
+/// whose max exit rates differ only in low-order bits then land on the
+/// same key.  A cached window is byte-identical to a fresh computation for
+/// its key, so solves are deterministic and independent of cache history,
+/// pool size, and sweep thread count — but a cache-enabled solve is not
+/// bitwise comparable to a cache-less one (different Λ).
+class PoissonCache {
+ public:
+  /// The cached window for (lambda, epsilon), or nullptr.  Counts the
+  /// lookup toward hits()/misses().
+  std::shared_ptr<const PoissonWindow> find(double lambda,
+                                            double epsilon) const;
+  void store(double lambda, double epsilon,
+             std::shared_ptr<const PoissonWindow> window);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  /// hits / (hits + misses), 0 when never consulted.
+  double hit_rate() const;
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+  std::map<std::pair<std::uint64_t, std::uint64_t>,
+           std::shared_ptr<const PoissonWindow>>
+      windows_;
+};
 
 struct UniformizationOptions {
   /// Truncation mass tolerance: left+right discarded Poisson mass ≤ epsilon.
@@ -36,6 +78,11 @@ struct UniformizationOptions {
   /// every output entry in the sequential order — results are bitwise
   /// independent of the pool size.  nullptr = sequential.
   util::ThreadPool* pool = nullptr;
+  /// Optional shared Poisson-window cache (see PoissonCache).  Setting it
+  /// quantizes the uniformization rate so adjacent solves share windows;
+  /// results stay deterministic but differ in low-order bits from a
+  /// cache-less solve.  The sweep engine wires one per sweep.
+  PoissonCache* poisson_cache = nullptr;
 };
 
 struct TransientSolution {

@@ -105,18 +105,24 @@ bool FlatModel::all_exponential() const {
 
 std::vector<double> FlatModel::case_weights(std::size_t ai,
                                             std::span<std::int32_t> m) const {
-  const FlatActivity& a = activities_[ai];
   std::vector<double> w;
-  w.reserve(a.cases.size());
+  case_weights_into(ai, m, w);
+  return w;
+}
+
+void FlatModel::case_weights_into(std::size_t ai, std::span<std::int32_t> m,
+                                  std::vector<double>& out) const {
+  const FlatActivity& a = activities_[ai];
+  out.resize(a.cases.size());
   const MarkingRef ref(m, a.imap.get());
-  for (const auto& c : a.cases) {
-    double v = c.weight_fn ? c.weight_fn(ref) : c.weight;
+  for (std::size_t i = 0; i < a.cases.size(); ++i) {
+    const FlatCase& c = a.cases[i];
+    const double v = c.weight_fn ? c.weight_fn(ref) : c.weight;
     if (v < 0.0)
       throw util::ModelError("activity '" + a.name +
                              "': negative case weight " + std::to_string(v));
-    w.push_back(v);
+    out[i] = v;
   }
-  return w;
 }
 
 void FlatModel::fire(std::size_t ai, std::size_t ci, std::span<std::int32_t> m,

@@ -113,6 +113,11 @@ class FlatModel {
   std::vector<double> case_weights(std::size_t ai,
                                    std::span<std::int32_t> m) const;
 
+  /// As case_weights, writing into `out` (resized to cases().size()) —
+  /// the executor's per-event path, which must not allocate.
+  void case_weights_into(std::size_t ai, std::span<std::int32_t> m,
+                         std::vector<double>& out) const;
+
   /// Applies the completion of case `ci` of activity `ai` to marking `m`:
   /// input-gate functions, input arcs, then the case's output gates/arcs.
   /// Case weights must have been evaluated beforehand (they see the marking

@@ -3,39 +3,46 @@
 namespace sim {
 
 void EventHeap::sift_up(std::size_t i) {
-  const Entry e = heap_[i];
+  const double t = t_[i];
+  const std::uint32_t a = ai_[i];
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
-    if (!less(e, heap_[parent])) break;
-    place(i, heap_[parent]);
+    if (!less_than(t, a, parent)) break;
+    place(i, t_[parent], ai_[parent]);
     i = parent;
   }
-  place(i, e);
+  place(i, t, a);
 }
 
 void EventHeap::sift_down(std::size_t i) {
-  const Entry e = heap_[i];
-  const std::size_t n = heap_.size();
+  const double t = t_[i];
+  const std::uint32_t a = ai_[i];
+  const std::size_t n = t_.size();
   while (true) {
     std::size_t child = 2 * i + 1;
     if (child >= n) break;
-    if (child + 1 < n && less(heap_[child + 1], heap_[child])) ++child;
-    if (!less(heap_[child], e)) break;
-    place(i, heap_[child]);
+    if (child + 1 < n &&
+        (t_[child + 1] < t_[child] ||
+         (t_[child + 1] == t_[child] && ai_[child + 1] < ai_[child])))
+      ++child;
+    if (!(t_[child] < t || (t_[child] == t && ai_[child] < a))) break;
+    place(i, t_[child], ai_[child]);
     i = child;
   }
-  place(i, e);
+  place(i, t, a);
 }
 
 void EventHeap::push_or_update(std::size_t ai, double t) {
   const std::uint32_t p = pos_[ai];
   if (p == kAbsent) {
-    heap_.push_back({t, static_cast<std::uint32_t>(ai)});
-    sift_up(heap_.size() - 1);
+    t_.push_back(t);
+    ai_.push_back(static_cast<std::uint32_t>(ai));
+    pos_[ai] = static_cast<std::uint32_t>(t_.size() - 1);
+    sift_up(t_.size() - 1);
     return;
   }
-  const double old = heap_[p].t;
-  heap_[p].t = t;
+  const double old = t_[p];
+  t_[p] = t;
   if (t < old) sift_up(p);
   else if (t > old) sift_down(p);
 }
@@ -44,18 +51,21 @@ void EventHeap::erase(std::size_t ai) {
   const std::uint32_t p = pos_[ai];
   if (p == kAbsent) return;
   pos_[ai] = kAbsent;
-  const Entry last = heap_.back();
-  heap_.pop_back();
-  if (p == heap_.size()) return;  // removed the tail entry
-  place(p, last);
+  const double last_t = t_.back();
+  const std::uint32_t last_a = ai_.back();
+  t_.pop_back();
+  ai_.pop_back();
+  if (p == t_.size()) return;  // removed the tail entry
+  place(p, last_t, last_a);
   // The moved entry may need to travel either way.
   sift_down(p);
-  if (heap_[p].ai == last.ai) sift_up(p);
+  if (ai_[p] == last_a) sift_up(p);
 }
 
 void EventHeap::clear() {
-  for (const Entry& e : heap_) pos_[e.ai] = kAbsent;
-  heap_.clear();
+  for (std::uint32_t a : ai_) pos_[a] = kAbsent;
+  t_.clear();
+  ai_.clear();
 }
 
 }  // namespace sim

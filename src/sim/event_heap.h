@@ -7,6 +7,11 @@
 // scan over the schedule array (the full-rescan reference engine's rule).
 // A position table makes update/erase by activity index O(log n), replacing
 // the O(A) minimum scans of `step_scheduled` / `next_completion_time`.
+//
+// Storage is structure-of-arrays: keys (times) and payloads (activity
+// indices) live in separate parallel vectors, so sift comparisons — which
+// read only times — stream one dense double array instead of 16-byte
+// key/payload pairs, and the common sift paths touch half the cache lines.
 #pragma once
 
 #include <cstdint>
@@ -20,17 +25,15 @@ class EventHeap {
   /// Capacity is the activity-index universe [0, n).
   explicit EventHeap(std::size_t n) : pos_(n, kAbsent) {}
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return t_.empty(); }
+  std::size_t size() const { return t_.size(); }
   bool contains(std::size_t ai) const { return pos_[ai] != kAbsent; }
 
   /// Scheduled completion time of `ai`; requires contains(ai).
-  double time_of(std::size_t ai) const { return heap_[pos_[ai]].t; }
+  double time_of(std::size_t ai) const { return t_[pos_[ai]]; }
 
   /// The minimum entry as (activity, time); requires !empty().
-  std::pair<std::size_t, double> top() const {
-    return {heap_.front().ai, heap_.front().t};
-  }
+  std::pair<std::size_t, double> top() const { return {ai_[0], t_[0]}; }
 
   /// Inserts `ai` at time `t`, or reschedules it if already present.
   void push_or_update(std::size_t ai, double t);
@@ -43,21 +46,20 @@ class EventHeap {
 
  private:
   static constexpr std::uint32_t kAbsent = UINT32_MAX;
-  struct Entry {
-    double t;
-    std::uint32_t ai;
-  };
-  static bool less(const Entry& a, const Entry& b) {
-    return a.t < b.t || (a.t == b.t && a.ai < b.ai);
+  /// (time, index) lexicographic: does slot-value (t, a) sort before slot i?
+  bool less_than(double t, std::uint32_t a, std::size_t i) const {
+    return t < t_[i] || (t == t_[i] && a < ai_[i]);
   }
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
-  void place(std::size_t i, Entry e) {
-    heap_[i] = e;
-    pos_[e.ai] = static_cast<std::uint32_t>(i);
+  void place(std::size_t i, double t, std::uint32_t a) {
+    t_[i] = t;
+    ai_[i] = a;
+    pos_[a] = static_cast<std::uint32_t>(i);
   }
 
-  std::vector<Entry> heap_;
+  std::vector<double> t_;           ///< heap-ordered completion times
+  std::vector<std::uint32_t> ai_;   ///< parallel activity indices
   std::vector<std::uint32_t> pos_;  ///< activity -> heap slot, kAbsent if out
 };
 

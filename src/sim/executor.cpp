@@ -1,6 +1,7 @@
 #include "sim/executor.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 
@@ -21,6 +22,13 @@ constexpr std::uint64_t kActivityStreamDomain = 0x414354ull;  // "ACT"
 bool contains_slot(std::span<const std::uint32_t> sorted, std::uint32_t s) {
   return std::binary_search(sorted.begin(), sorted.end(), s);
 }
+
+template <typename T>
+std::span<T> arena_copy(util::Arena& arena, const std::vector<T>& src) {
+  std::span<T> dst = arena.alloc_array<T>(src.size());
+  std::copy(src.begin(), src.end(), dst.begin());
+  return dst;
+}
 }  // namespace
 
 Executor::Executor(const san::FlatModel& model, util::Rng rng, Options opts)
@@ -28,12 +36,12 @@ Executor::Executor(const san::FlatModel& model, util::Rng rng, Options opts)
       rng_(rng),
       opts_(opts),
       heap_(model.activities().size()),
-      tree_rate_(model.activities().size()),
-      tree_weight_(model.activities().size()) {
+      dual_tree_(model.activities().size()) {
   const auto& acts = model_.activities();
   const std::size_t n = acts.size();
-  bias_boost_.assign(n, 1.0);
-  bias_cases_.assign(n, nullptr);
+  bias_boost_ = arena_.alloc_array<double>(n);
+  std::fill(bias_boost_.begin(), bias_boost_.end(), 1.0);
+  bias_cases_ = arena_.alloc_array<const std::vector<double>*>(n);
 
   for (std::size_t i = 0; i < n; ++i) {
     if (acts[i].timed) timed_.push_back(i);
@@ -43,10 +51,12 @@ Executor::Executor(const san::FlatModel& model, util::Rng rng, Options opts)
                    [&](std::size_t a, std::size_t b) {
                      return acts[a].priority > acts[b].priority;
                    });
-  instant_pos_.assign(n, UINT32_MAX);
+  instant_pos_ = arena_.alloc_array<std::uint32_t>(n);
+  std::fill(instant_pos_.begin(), instant_pos_.end(), UINT32_MAX);
   for (std::size_t p = 0; p < instant_by_priority_.size(); ++p)
     instant_pos_[instant_by_priority_[p]] = static_cast<std::uint32_t>(p);
-  instant_in_cand_.assign(instant_by_priority_.size(), 0);
+  instant_cand_bits_ =
+      arena_.alloc_array<std::uint64_t>((instant_by_priority_.size() + 63) / 64);
 
   if (opts_.bias != nullptr && opts_.bias->active()) {
     AHS_REQUIRE(model_.all_exponential(),
@@ -66,34 +76,106 @@ Executor::Executor(const san::FlatModel& model, util::Rng rng, Options opts)
     }
   }
 
-  dep_ = std::make_unique<san::DependencyIndex>(
-      san::DependencyIndex::build(model_));
+  if (opts_.shared_deps != nullptr) {
+    dep_ = opts_.shared_deps;
+  } else {
+    owned_deps_ = std::make_unique<san::DependencyIndex>(
+        san::DependencyIndex::build(model_));
+    dep_ = owned_deps_.get();
+  }
 
   if (opts_.lint)
     san::analyze::preflight_lint(model_, "Executor lint preflight");
 
+  build_view();
+
   // Split each affected_by set by activity kind once, so per-event
   // propagation walks plain index lists.
-  aff_timed_off_.assign(n + 1, 0);
-  aff_inst_off_.assign(n + 1, 0);
-  for (std::size_t ai = 0; ai < n; ++ai) {
-    for (std::uint32_t b : dep_->affected_by(ai)) {
-      if (acts[b].timed) aff_timed_.push_back(b);
-      else aff_inst_pos_.push_back(instant_pos_[b]);
+  {
+    std::vector<std::uint32_t> t_off(n + 1, 0), i_off(n + 1, 0);
+    std::vector<std::uint32_t> t_idx, i_pos;
+    for (std::size_t ai = 0; ai < n; ++ai) {
+      for (std::uint32_t b : dep_->affected_by(ai)) {
+        if (acts[b].timed) t_idx.push_back(b);
+        else i_pos.push_back(instant_pos_[b]);
+      }
+      t_off[ai + 1] = static_cast<std::uint32_t>(t_idx.size());
+      i_off[ai + 1] = static_cast<std::uint32_t>(i_pos.size());
     }
-    aff_timed_off_[ai + 1] = static_cast<std::uint32_t>(aff_timed_.size());
-    aff_inst_off_[ai + 1] = static_cast<std::uint32_t>(aff_inst_pos_.size());
+    aff_timed_off_ = arena_copy(arena_, t_off);
+    aff_timed_ = arena_copy(arena_, t_idx);
+    aff_inst_off_ = arena_copy(arena_, i_off);
+    aff_inst_pos_ = arena_copy(arena_, i_pos);
   }
 
-  sched_.assign(n, kNotScheduled);
-  was_enabled_.assign(n, false);
-  cached_rate_.assign(n, 0.0);
-  dirty_mark_.assign(n, 0);
+  {
+    std::vector<std::uint32_t> roff(n + 1, 0), rslot;
+    for (std::size_t ai = 0; ai < n; ++ai) {
+      const auto reads = dep_->reads(ai);
+      rslot.insert(rslot.end(), reads.begin(), reads.end());
+      roff[ai + 1] = static_cast<std::uint32_t>(rslot.size());
+    }
+    read_off_ = arena_copy(arena_, roff);
+    read_slot_ = arena_copy(arena_, rslot);
+    read_val_ = arena_.alloc_array<std::int32_t>(rslot.size());
+  }
+  sig_state_ = arena_.alloc_array<std::uint8_t>(n);
+  cache_ok_ = incremental() && !opts_.check_dependencies;
+
+  sched_ = arena_.alloc_array<double>(n);
+  was_enabled_ = arena_.alloc_array<std::uint8_t>(n);
+  cached_rate_ = arena_.alloc_array<double>(n);
+  dirty_mark_ = arena_.alloc_array<std::uint64_t>(n);
+  act_rng_ = arena_.alloc_array<util::Rng>(n);
   dirty_.reserve(n);
   scratch_rates_.assign(n, 0.0);
   scratch_weights_.assign(n, 0.0);
-  act_rng_.reserve(n);
+  std::size_t max_cases = 1;
+  for (const auto& a : acts) max_cases = std::max(max_cases, a.cases.size());
+  case_w_.reserve(max_cases);
+  initial_marking_ = model_.initial_marking();
   reset();
+}
+
+void Executor::build_view() {
+  const auto& acts = model_.activities();
+  const std::size_t n = acts.size();
+  std::vector<std::uint32_t> arc_off(n + 1, 0), pred_off(n + 1, 0);
+  std::vector<std::uint32_t> arc_slot;
+  std::vector<std::int32_t> arc_weight;
+  std::vector<const san::Predicate*> pred;
+  for (std::size_t ai = 0; ai < n; ++ai) {
+    for (const auto& arc : acts[ai].input_arcs) {
+      arc_slot.push_back(arc.slot);
+      arc_weight.push_back(arc.weight);
+    }
+    for (const auto& p : acts[ai].predicates) pred.push_back(&p);
+    arc_off[ai + 1] = static_cast<std::uint32_t>(arc_slot.size());
+    pred_off[ai + 1] = static_cast<std::uint32_t>(pred.size());
+  }
+  view_.arc_off = arena_copy(arena_, arc_off);
+  view_.arc_slot = arena_copy(arena_, arc_slot);
+  view_.arc_weight = arena_copy(arena_, arc_weight);
+  view_.pred_off = arena_copy(arena_, pred_off);
+  view_.pred = arena_copy(arena_, pred);
+  view_.imap = arena_.alloc_array<const san::InstanceMap*>(n);
+  view_.rate_fn = arena_.alloc_array<const san::RateFn*>(n);
+  view_.const_rate = arena_.alloc_array<double>(n);
+  view_.flags = arena_.alloc_array<std::uint8_t>(n);
+  for (std::size_t ai = 0; ai < n; ++ai) {
+    const san::FlatActivity& a = acts[ai];
+    view_.imap[ai] = a.imap.get();
+    std::uint8_t f = 0;
+    if (a.rate_fn) {
+      f |= kFlagMarkingDependent;
+      view_.rate_fn[ai] = &a.rate_fn;
+    } else if (a.timed && a.dist.has_value() && a.dist->is_exponential()) {
+      f |= kFlagConstExponential;
+      view_.const_rate[ai] = a.dist->rate();
+    }
+    if (a.cases.size() > 1) f |= kFlagMultiCase;
+    view_.flags[ai] = f;
+  }
 }
 
 void Executor::resolve_telemetry() {
@@ -118,7 +200,7 @@ void Executor::resolve_telemetry() {
 
 void Executor::reset() {
   resolve_telemetry();
-  marking_ = model_.initial_marking();
+  marking_.assign(initial_marking_.begin(), initial_marking_.end());
   time_ = 0.0;
   lr_ = 1.0;
   events_ = 0;
@@ -127,17 +209,16 @@ void Executor::reset() {
   // activity index), so trajectories do not depend on which activities an
   // engine happens to re-examine.
   const std::size_t n = model_.activities().size();
-  act_rng_.clear();
   for (std::size_t ai = 0; ai < n; ++ai)
-    act_rng_.push_back(rng_.split(ai, kActivityStreamDomain));
+    act_rng_[ai] = rng_.split(ai, kActivityStreamDomain);
 
   std::fill(sched_.begin(), sched_.end(), kNotScheduled);
-  std::fill(was_enabled_.begin(), was_enabled_.end(), false);
+  std::fill(was_enabled_.begin(), was_enabled_.end(), 0);
+  std::fill(sig_state_.begin(), sig_state_.end(), 0);
   heap_.clear();
   dirty_.clear();
   ++dirty_epoch_;
-  instant_cand_.clear();
-  std::fill(instant_in_cand_.begin(), instant_in_cand_.end(), 0);
+  std::fill(instant_cand_bits_.begin(), instant_cand_bits_.end(), 0);
 
   stabilize_instantaneous(SIZE_MAX);
   // The stabilization queued affected timed activities; the full (re)build
@@ -153,20 +234,64 @@ void Executor::reset(util::Rng rng) {
   reset();
 }
 
+bool Executor::enabled_fast(std::size_t ai) const {
+  const std::uint32_t a0 = view_.arc_off[ai], a1 = view_.arc_off[ai + 1];
+  for (std::uint32_t k = a0; k < a1; ++k)
+    if (marking_[view_.arc_slot[k]] < view_.arc_weight[k]) return false;
+  const std::uint32_t p0 = view_.pred_off[ai], p1 = view_.pred_off[ai + 1];
+  if (p0 != p1) {
+    const san::MarkingRef ref(
+        std::span<std::int32_t>(const_cast<std::int32_t*>(marking_.data()),
+                                marking_.size()),
+        view_.imap[ai]);
+    for (std::uint32_t k = p0; k < p1; ++k)
+      if (!(*view_.pred[k])(ref)) return false;
+  }
+  return true;
+}
+
 bool Executor::enabled_checked(std::size_t ai) {
-  if (!opts_.check_dependencies) return model_.enabled(ai, marking_);
+  if (!opts_.check_dependencies) return enabled_fast(ai);
   access_log_.clear();
   const bool en = model_.enabled(ai, marking_, &access_log_);
   verify_access(ai, /*is_fire=*/false);
   return en;
 }
 
+double Executor::rate_fast(std::size_t ai) {
+  if (view_.flags[ai] & kFlagConstExponential) return view_.const_rate[ai];
+  if (view_.flags[ai] & kFlagMarkingDependent) {
+    const san::MarkingRef ref(marking_, view_.imap[ai]);
+    const double r = (*view_.rate_fn[ai])(ref);
+    if (!(r > 0.0)) {
+      // Reproduce the reference path's diagnostic exactly.
+      return model_.exponential_rate(ai, marking_);
+    }
+    return r;
+  }
+  return model_.exponential_rate(ai, marking_);  // non-exponential: throws
+}
+
 double Executor::rate_checked(std::size_t ai) {
-  if (!opts_.check_dependencies) return model_.exponential_rate(ai, marking_);
+  if (!opts_.check_dependencies) return rate_fast(ai);
   access_log_.clear();
   const double r = model_.exponential_rate(ai, marking_, &access_log_);
   verify_access(ai, /*is_fire=*/false);
   return r;
+}
+
+bool Executor::sig_match(std::size_t ai) const {
+  const std::uint32_t r0 = read_off_[ai], r1 = read_off_[ai + 1];
+  for (std::uint32_t k = r0; k < r1; ++k)
+    if (marking_[read_slot_[k]] != read_val_[k]) return false;
+  return true;
+}
+
+void Executor::sig_store(std::size_t ai, bool enabled) {
+  const std::uint32_t r0 = read_off_[ai], r1 = read_off_[ai + 1];
+  for (std::uint32_t k = r0; k < r1; ++k)
+    read_val_[k] = marking_[read_slot_[k]];
+  sig_state_[ai] = enabled ? 2 : 1;
 }
 
 void Executor::verify_access(std::size_t ai, bool is_fire) {
@@ -193,28 +318,27 @@ void Executor::verify_access(std::size_t ai, bool is_fire) {
 }
 
 std::size_t Executor::choose_case(std::size_t ai) {
-  const auto& act = model_.activities()[ai];
-  if (act.cases.size() == 1) return 0;
+  if (!(view_.flags[ai] & kFlagMultiCase)) return 0;
   if (tm_.on) tm_.rng_draws.inc();
   // Case choices draw from the activity's own stream so both engines
   // consume replication-stream randomness identically.
   util::Rng& rng = act_rng_[ai];
-  const std::vector<double> w = model_.case_weights(ai, marking_);
+  model_.case_weights_into(ai, marking_, case_w_);
   if (embedded_mode_ && bias_cases_[ai] != nullptr) {
     const std::vector<double>& bw = *bias_cases_[ai];
     const std::size_t ci = util::sample_discrete(rng, bw);
     double tw = 0.0, tb = 0.0;
-    for (double x : w) tw += x;
+    for (double x : case_w_) tw += x;
     for (double x : bw) tb += x;
-    AHS_REQUIRE(tw > 0.0,
-                "true case weights sum to zero for '" + act.name + "'");
-    const double true_p = w[ci] / tw;
+    AHS_REQUIRE(tw > 0.0, "true case weights sum to zero for '" +
+                              model_.activities()[ai].name + "'");
+    const double true_p = case_w_[ci] / tw;
     const double bias_p = bw[ci] / tb;
     AHS_REQUIRE(bias_p > 0.0, "biased case with zero weight was sampled");
     lr_ *= true_p / bias_p;
     return ci;
   }
-  return util::sample_discrete(rng, w);
+  return util::sample_discrete(rng, std::span<const double>(case_w_));
 }
 
 void Executor::fire_activity(std::size_t ai) {
@@ -240,12 +364,7 @@ void Executor::mark_affected_dirty(std::size_t ai) {
   }
   for (std::uint32_t k = aff_inst_off_[ai]; k < aff_inst_off_[ai + 1]; ++k) {
     const std::uint32_t p = aff_inst_pos_[k];
-    if (!instant_in_cand_[p]) {
-      instant_in_cand_[p] = 1;
-      instant_cand_.push_back(p);
-      std::push_heap(instant_cand_.begin(), instant_cand_.end(),
-                     std::greater<std::uint32_t>());
-    }
+    instant_cand_bits_[p >> 6] |= std::uint64_t{1} << (p & 63);
   }
 }
 
@@ -286,22 +405,38 @@ void Executor::stabilize_instantaneous(std::size_t trigger) {
   // position yields exactly the activity the reference scan would pick.
   if (trigger == SIZE_MAX) {
     // From reset: no triggering completion, every activity is a candidate.
-    // 0..n-1 ascending already satisfies the min-heap property.
-    instant_cand_.resize(instant_by_priority_.size());
-    for (std::uint32_t p = 0; p < instant_cand_.size(); ++p)
-      instant_cand_[p] = p;
-    std::fill(instant_in_cand_.begin(), instant_in_cand_.end(), 1);
+    const std::size_t m = instant_by_priority_.size();
+    for (std::size_t w = 0; w < instant_cand_bits_.size(); ++w)
+      instant_cand_bits_[w] = ~std::uint64_t{0};
+    if (m % 64 != 0)
+      instant_cand_bits_.back() = (std::uint64_t{1} << (m % 64)) - 1;
   }
-  while (!instant_cand_.empty()) {
-    std::pop_heap(instant_cand_.begin(), instant_cand_.end(),
-                  std::greater<std::uint32_t>());
-    const std::uint32_t p = instant_cand_.back();
-    instant_cand_.pop_back();
-    instant_in_cand_[p] = 0;
+  for (std::size_t w = 0; w < instant_cand_bits_.size();) {
+    const std::uint64_t word = instant_cand_bits_[w];
+    if (word == 0) {
+      ++w;
+      continue;
+    }
+    const std::uint32_t bit =
+        static_cast<std::uint32_t>(std::countr_zero(word));
+    instant_cand_bits_[w] = word & (word - 1);  // clear lowest set bit
+    const std::uint32_t p = static_cast<std::uint32_t>(w * 64) + bit;
     const std::size_t ai = instant_by_priority_[p];
-    if (!enabled_checked(ai)) continue;
+    if (cache_ok_) {
+      const std::uint8_t s = sig_state_[ai];
+      if (s != 0 && sig_match(ai)) {
+        if (s == 1) continue;
+      } else {
+        const bool en = enabled_fast(ai);
+        sig_store(ai, en);
+        if (!en) continue;
+      }
+    } else {
+      if (!enabled_checked(ai)) continue;
+    }
     fire_activity(ai);  // re-queues p itself and everything it affected
     count_firing();
+    w = 0;  // the firing may have enabled a higher-priority candidate
   }
   if (tm_.on) {
     tm_.instant_firings.add(firings);
@@ -310,8 +445,26 @@ void Executor::stabilize_instantaneous(std::size_t trigger) {
 }
 
 void Executor::reschedule(std::size_t ai) {
-  if (!enabled_checked(ai)) {
-    was_enabled_[ai] = false;
+  bool en;
+  if (cache_ok_) {
+    const std::uint8_t s = sig_state_[ai];
+    if (s != 0 && sig_match(ai)) {
+      // Unchanged reads, unchanged verdict.  Disabled: nothing is held.
+      // Enabled with a live activation: the delay sample survives and a
+      // marking-dependent rate cannot have moved, so the reference
+      // re-examination would be a no-op too.
+      if (s == 1) return;
+      if (was_enabled_[ai] && is_scheduled(sched_[ai])) return;
+      en = true;  // just completed and still enabled: resample below
+    } else {
+      en = enabled_fast(ai);
+      sig_store(ai, en);
+    }
+  } else {
+    en = enabled_checked(ai);
+  }
+  if (!en) {
+    was_enabled_[ai] = 0;
     if (is_scheduled(sched_[ai])) {
       sched_[ai] = kNotScheduled;
       if (incremental()) {
@@ -321,7 +474,7 @@ void Executor::reschedule(std::size_t ai) {
     }
     return;
   }
-  const bool md = model_.marking_dependent(ai);
+  const bool md = (view_.flags[ai] & kFlagMarkingDependent) != 0;
   bool resample = !was_enabled_[ai] || !is_scheduled(sched_[ai]);
   double rate = 0.0;
   if (md) {
@@ -333,8 +486,16 @@ void Executor::reschedule(std::size_t ai) {
   }
   if (resample) {
     cached_rate_[ai] = rate;
-    const double delay = md ? act_rng_[ai].exponential(rate)
-                            : model_.sample_delay(ai, marking_, act_rng_[ai]);
+    double delay;
+    if (md) {
+      delay = act_rng_[ai].exponential(rate);
+    } else if (view_.flags[ai] & kFlagConstExponential) {
+      // Same draw as Distribution::sample on an exponential — one
+      // rng.exponential(rate) — without touching the fat activity struct.
+      delay = act_rng_[ai].exponential(view_.const_rate[ai]);
+    } else {
+      delay = model_.sample_delay(ai, marking_, act_rng_[ai]);
+    }
     sched_[ai] = time_ + delay;
     if (incremental()) heap_.push_or_update(ai, sched_[ai]);
     if (tm_.on) {
@@ -342,7 +503,7 @@ void Executor::reschedule(std::size_t ai) {
       if (incremental()) tm_.heap_ops.inc();
     }
   }
-  was_enabled_[ai] = true;
+  was_enabled_[ai] = 1;
 }
 
 void Executor::refresh_schedule_full() {
@@ -350,9 +511,19 @@ void Executor::refresh_schedule_full() {
 }
 
 void Executor::refresh_rate_leaf(std::size_t ai) {
+  if (cache_ok_) {
+    // The leaf was written at the last evaluation, so unchanged reads mean
+    // it already holds the right value.
+    if (sig_state_[ai] != 0 && sig_match(ai)) return;
+    const bool en = enabled_fast(ai);
+    sig_store(ai, en);
+    const double r = en ? rate_fast(ai) : 0.0;
+    dual_tree_.set(ai, r, r * bias_boost_[ai]);
+    if (tm_.on) tm_.sumtree_ops.add(2);
+    return;
+  }
   const double r = enabled_checked(ai) ? rate_checked(ai) : 0.0;
-  tree_rate_.set(ai, r);
-  tree_weight_.set(ai, r * bias_boost_[ai]);
+  dual_tree_.set(ai, r, r * bias_boost_[ai]);
   if (tm_.on) tm_.sumtree_ops.add(2);
 }
 
@@ -362,15 +533,14 @@ void Executor::refresh_rates_full() {
     if (enabled_checked(ai)) scratch_rates_[ai] = rate_checked(ai);
   for (std::size_t ai = 0; ai < scratch_rates_.size(); ++ai)
     scratch_weights_[ai] = scratch_rates_[ai] * bias_boost_[ai];
-  tree_rate_.rebuild(scratch_rates_);
-  tree_weight_.rebuild(scratch_weights_);
+  dual_tree_.rebuild(scratch_rates_, scratch_weights_);
 }
 
 std::optional<double> Executor::next_completion_time() {
   if (embedded_mode_) {
     // Delays are drawn at step time; this only reports whether the chain
     // can still move.  The rate tree is kept current by reset()/step().
-    if (tree_rate_.total() <= 0.0) return std::nullopt;
+    if (dual_tree_.total_rate() <= 0.0) return std::nullopt;
     return time_;
   }
   if (incremental()) {
@@ -408,7 +578,7 @@ bool Executor::step_scheduled() {
     time_ = best;
   }
   sched_[ai] = kNotScheduled;
-  was_enabled_[ai] = false;  // the activation ends with this completion
+  was_enabled_[ai] = 0;  // the activation ends with this completion
   if (tm_.on && incremental()) tm_.heap_ops.inc();  // the top erase
   fire_activity(ai);
   ++events_;
@@ -435,16 +605,16 @@ bool Executor::step_embedded(double t_limit) {
   // t_limit is discarded without firing — the marking at t_limit is the
   // pre-jump marking, and redrawing on the next call is statistically exact
   // because holding times are exponential (memoryless).
-  const double total_rate = tree_rate_.total();
+  const double total_rate = dual_tree_.total_rate();
   if (total_rate <= 0.0) return false;
   const double jump = time_ + rng_.exponential(total_rate);
   if (jump > t_limit) return false;
   time_ = jump;
 
-  const double total_weight = tree_weight_.total();
+  const double total_weight = dual_tree_.total_weight();
   const double u = rng_.uniform01() * total_weight;
-  const std::size_t ai = tree_weight_.find_prefix(u);
-  const double rate = tree_rate_.get(ai);
+  const std::size_t ai = dual_tree_.find_prefix_weight(u);
+  const double rate = dual_tree_.rate(ai);
   lr_ *= (rate / total_rate) / (rate * bias_boost_[ai] / total_weight);
 
   fire_activity(ai);

@@ -57,6 +57,7 @@
 #include "san/flat_model.h"
 #include "sim/event_heap.h"
 #include "sim/sum_tree.h"
+#include "util/arena.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 
@@ -104,6 +105,12 @@ class Executor {
     /// no RNG, so trajectories are unaffected.  Disable only for
     /// deliberately malformed models (tests).
     bool lint = true;
+    /// Optional externally owned dependency index built from the same
+    /// model, shared across a batch of executors (sim::estimate_transient
+    /// builds one per point instead of one per worker).  Must outlive the
+    /// executor.  Trajectories are unaffected — the index is a pure
+    /// function of the model.
+    const san::DependencyIndex* shared_deps = nullptr;
   };
 
   Executor(const san::FlatModel& model, util::Rng rng, Options opts);
@@ -158,7 +165,15 @@ class Executor {
   void mark_affected_dirty(std::size_t ai);
   void stabilize_instantaneous(std::size_t trigger);  ///< SIZE_MAX: from reset
   bool enabled_checked(std::size_t ai);
+  bool enabled_fast(std::size_t ai) const;  ///< SoA view, no access logging
   double rate_checked(std::size_t ai);
+  double rate_fast(std::size_t ai);  ///< SoA view, no access logging
+  void build_view();  ///< flattens FlatActivity structs into the SoA view
+
+  /// True iff every slot in ai's declared read set still holds the value it
+  /// held when sig_store(ai, ...) last ran.  Precondition: sig_state_[ai]!=0.
+  bool sig_match(std::size_t ai) const;
+  void sig_store(std::size_t ai, bool enabled);
 
   // Scheduled mode.
   void reschedule(std::size_t ai);  ///< re-examine one activity's activation
@@ -173,55 +188,98 @@ class Executor {
   const san::FlatModel& model_;
   util::Rng rng_;  ///< replication stream: embedded holding/selection draws
   Options opts_;
-  std::unique_ptr<san::DependencyIndex> dep_;
+  std::unique_ptr<san::DependencyIndex> owned_deps_;
+  const san::DependencyIndex* dep_ = nullptr;  ///< owned or Options::shared
+
+  /// Backs every fixed-size per-activity array below: one contiguous block,
+  /// so the per-event dirty-set walk and enablement checks stay
+  /// cache-linear instead of hopping between separately heap-allocated
+  /// vectors (and reset() never reallocates).
+  util::Arena arena_;
 
   std::vector<std::int32_t> marking_;
+  std::vector<std::int32_t> initial_marking_;  ///< cached; reset() copies it
   double time_ = 0.0;
   double lr_ = 1.0;
   std::uint64_t events_ = 0;
 
   /// Per-activity streams, re-derived from the replication stream on every
   /// reset: act_rng_[ai] = rng.split(ai, kActivityStreamDomain).
-  std::vector<util::Rng> act_rng_;
+  std::span<util::Rng> act_rng_;
+
+  // SoA model view: the per-event fast paths (enablement, rates, case
+  // weights) read these dense arrays; the fat FlatActivity structs — which
+  // interleave strings and cold metadata with the hot arcs — are consulted
+  // only on slow paths (check_dependencies, non-exponential delays, error
+  // reporting).  Built once per executor; values never change.
+  struct ModelView {
+    std::span<std::uint32_t> arc_off;   ///< n+1: input-arc CSR offsets
+    std::span<std::uint32_t> arc_slot;
+    std::span<std::int32_t> arc_weight;
+    std::span<std::uint32_t> pred_off;  ///< n+1: predicate CSR offsets
+    std::span<const san::Predicate*> pred;
+    std::span<const san::InstanceMap*> imap;
+    std::span<const san::RateFn*> rate_fn;  ///< nullptr if rate is fixed
+    std::span<double> const_rate;       ///< fixed Exp rate; 0 otherwise
+    std::span<std::uint8_t> flags;
+  } view_;
+  static constexpr std::uint8_t kFlagMarkingDependent = 1;  ///< has rate_fn
+  static constexpr std::uint8_t kFlagConstExponential = 2;  ///< fixed Exp
+  static constexpr std::uint8_t kFlagMultiCase = 4;
 
   // Scheduled-event state.
-  EventHeap heap_;               ///< incremental future-event list
-  std::vector<double> sched_;    ///< reference: completion time; NaN = idle
-  std::vector<bool> was_enabled_;
-  std::vector<double> cached_rate_;  ///< marking-dependent rate at sampling
+  EventHeap heap_;                ///< incremental future-event list
+  std::span<double> sched_;       ///< reference: completion time; NaN = idle
+  std::span<std::uint8_t> was_enabled_;
+  std::span<double> cached_rate_;  ///< marking-dependent rate at sampling
 
-  // Embedded-chain state: leaf ai holds the enabled exponential rate
-  // (rate tree) and rate x bias boost (weight tree), 0 when disabled.
-  SumTree tree_rate_;
-  SumTree tree_weight_;
+  // Embedded-chain state: leaf ai holds the enabled exponential rate and
+  // rate x bias boost (weight component), 0 when disabled; one interleaved
+  // tree so a leaf refresh climbs once.
+  DualSumTree dual_tree_;
   std::vector<double> scratch_rates_;  ///< full-rescan rebuild buffer
 
   std::vector<double> scratch_weights_;
+  std::vector<double> case_w_;  ///< choose_case weight buffer (no alloc)
+
+  // Read-signature cache (incremental engine, check_dependencies off): the
+  // dirty set is a static over-approximation, so most re-examinations find
+  // nothing changed.  Before re-running predicates/rate functions, compare
+  // the activity's declared read slots against their values at the last
+  // evaluation — equal values imply an identical result (evaluations are
+  // pure functions of the read set; the dependency contract the incremental
+  // engine already relies on), so the re-evaluation is skipped outright.
+  std::span<std::uint32_t> read_off_;   ///< n+1: read-set CSR offsets
+  std::span<std::uint32_t> read_slot_;  ///< dep_->reads(ai), flattened
+  std::span<std::int32_t> read_val_;    ///< slot values at last evaluation
+  std::span<std::uint8_t> sig_state_;   ///< 0 invalid / 1 disabled / 2 enabled
+  bool cache_ok_ = false;  ///< incremental() && !opts_.check_dependencies
 
   // Dirty tracking (incremental engine).
   std::vector<std::uint32_t> dirty_;       ///< timed activities to re-check
-  std::vector<std::uint64_t> dirty_mark_;  ///< epoch stamps, one per activity
+  std::span<std::uint64_t> dirty_mark_;    ///< epoch stamps, one per activity
   std::uint64_t dirty_epoch_ = 1;
 
-  // Instantaneous candidates (incremental stabilization): a min-heap of
-  // positions in instant_by_priority_, so the lowest position — highest
-  // priority, declaration order among ties — pops first, replicating the
-  // reference engine's restart-from-top scan without rescanning.
-  std::vector<std::uint32_t> instant_cand_;
-  std::vector<std::uint8_t> instant_in_cand_;  ///< by position; dedup flag
+  // Instantaneous candidates (incremental stabilization): a bitset over
+  // positions in instant_by_priority_, so taking the lowest set bit —
+  // highest priority, declaration order among ties — replicates the
+  // reference engine's restart-from-top scan without rescanning.  Setting a
+  // bit is idempotent (no dedup branch) and the scan is a handful of
+  // countr_zero words.
+  std::span<std::uint64_t> instant_cand_bits_;
 
   // Cached structure.
   std::vector<std::size_t> timed_;
   std::vector<std::size_t> instant_by_priority_;
-  std::vector<std::uint32_t> instant_pos_;  ///< activity -> position or max
+  std::span<std::uint32_t> instant_pos_;  ///< activity -> position or max
 
   /// dep_->affected_by(ai) split by activity kind (CSR): timed targets as
   /// activity indices, instantaneous targets as positions in
   /// instant_by_priority_.  The hot path walks these without branching.
-  std::vector<std::uint32_t> aff_timed_off_, aff_timed_;
-  std::vector<std::uint32_t> aff_inst_off_, aff_inst_pos_;
-  std::vector<double> bias_boost_;  ///< per-activity selection multiplier
-  std::vector<const std::vector<double>*> bias_cases_;
+  std::span<std::uint32_t> aff_timed_off_, aff_timed_;
+  std::span<std::uint32_t> aff_inst_off_, aff_inst_pos_;
+  std::span<double> bias_boost_;  ///< per-activity selection multiplier
+  std::span<const std::vector<double>*> bias_cases_;
   bool embedded_mode_ = false;
 
   // Dependency validation (Options::check_dependencies).

@@ -55,4 +55,54 @@ std::size_t SumTree::find_prefix(double u) const {
   return i;
 }
 
+DualSumTree::DualSumTree(std::size_t n)
+    : n_(n), base_(ceil_pow2(std::max<std::size_t>(n, 1))) {
+  tree_.assign(4 * base_, 0.0);
+}
+
+void DualSumTree::set(std::size_t i, double rate, double weight) {
+  std::size_t k = base_ + i;
+  tree_[2 * k] = rate;
+  tree_[2 * k + 1] = weight;
+  for (k >>= 1; k >= 1; k >>= 1) {
+    tree_[2 * k] = tree_[4 * k] + tree_[4 * k + 2];
+    tree_[2 * k + 1] = tree_[4 * k + 1] + tree_[4 * k + 3];
+  }
+}
+
+void DualSumTree::rebuild(std::span<const double> rates,
+                          std::span<const double> weights) {
+  AHS_REQUIRE(rates.size() == n_ && weights.size() == n_,
+              "rebuild size mismatch");
+  for (std::size_t i = 0; i < n_; ++i) {
+    tree_[2 * (base_ + i)] = rates[i];
+    tree_[2 * (base_ + i) + 1] = weights[i];
+  }
+  std::fill(tree_.begin() + 2 * (base_ + n_), tree_.end(), 0.0);
+  for (std::size_t k = base_ - 1; k >= 1; --k) {
+    tree_[2 * k] = tree_[4 * k] + tree_[4 * k + 2];
+    tree_[2 * k + 1] = tree_[4 * k + 1] + tree_[4 * k + 3];
+  }
+}
+
+void DualSumTree::clear() { std::fill(tree_.begin(), tree_.end(), 0.0); }
+
+std::size_t DualSumTree::find_prefix_weight(double u) const {
+  AHS_REQUIRE(total_weight() > 0.0, "find_prefix on an empty tree");
+  std::size_t k = 1;
+  while (k < base_) {
+    k <<= 1;  // left child
+    if (u >= tree_[2 * k + 1]) {
+      u -= tree_[2 * k + 1];
+      ++k;  // right child
+    }
+  }
+  std::size_t i = k - base_;
+  if (i >= n_ || tree_[2 * k + 1] <= 0.0) {
+    if (i >= n_) i = n_ - 1;
+    while (i > 0 && tree_[2 * (base_ + i) + 1] <= 0.0) --i;
+  }
+  return i;
+}
+
 }  // namespace sim

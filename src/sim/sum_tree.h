@@ -59,4 +59,42 @@ class SumTree {
   std::vector<double> tree_;
 };
 
+/// Two SumTrees of the same shape stored interleaved — node k's (rate,
+/// weight) pair sits in adjacent doubles, so the embedded-chain engine's
+/// per-leaf refresh climbs to the root once touching one cache line per
+/// level instead of two disjoint trees.  Each component's node values are
+/// bitwise identical to a standalone SumTree over the same leaves: every
+/// internal node is `left + right` of its children in both layouts.
+class DualSumTree {
+ public:
+  explicit DualSumTree(std::size_t n);
+
+  std::size_t num_leaves() const { return n_; }
+
+  /// Writes leaf `i` of both components and refreshes the shared root path.
+  void set(std::size_t i, double rate, double weight);
+
+  double rate(std::size_t i) const { return tree_[2 * (base_ + i)]; }
+  double weight(std::size_t i) const { return tree_[2 * (base_ + i) + 1]; }
+  double total_rate() const { return tree_[2]; }
+  double total_weight() const { return tree_[3]; }
+
+  /// Rewrites every leaf pair and rebuilds bottom-up in O(n); identical to
+  /// applying set() per leaf (see SumTree::rebuild).
+  void rebuild(std::span<const double> rates, std::span<const double> weights);
+
+  /// Resets every leaf pair to 0.
+  void clear();
+
+  /// Prefix-sum descent over the *weight* component for `u` in
+  /// [0, total_weight()) — same selection rule as SumTree::find_prefix,
+  /// including the zero-leaf fallback.
+  std::size_t find_prefix_weight(double u) const;
+
+ private:
+  std::size_t n_;
+  std::size_t base_;
+  std::vector<double> tree_;  ///< tree_[2k] = rate node, tree_[2k+1] = weight
+};
+
 }  // namespace sim

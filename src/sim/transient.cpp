@@ -7,6 +7,7 @@
 #include <string>
 #include <thread>
 
+#include "san/analyze/analysis.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -29,15 +30,15 @@ const char* to_string(TransientStop s) {
 
 namespace {
 
-/// Runs replication `rep` (stream split(rep+1)) and pushes one observation
-/// per time point into `stats`, plus the path likelihood ratio into
-/// `lr_stat` (IS diagnostics; exactly 1 without biasing).
+/// Runs one replication on the pre-split stream (replication rep's stream
+/// is master.split(rep + 1)) and pushes one observation per time point into
+/// `stats`, plus the path likelihood ratio into `lr_stat` (IS diagnostics;
+/// exactly 1 without biasing).
 void run_one_replication(Executor& exec, const san::RewardFn& reward,
-                         const TransientOptions& options, util::Rng& master,
-                         std::uint64_t rep,
+                         const TransientOptions& options, util::Rng stream,
                          std::vector<util::RunningStat>& stats,
                          util::RunningStat& lr_stat, std::uint64_t& events) {
-  exec.reset(master.split(rep + 1));
+  exec.reset(stream);
   bool absorbed = false;
   double absorbed_lr = 0.0;
   for (std::size_t i = 0; i < options.time_points.size(); ++i) {
@@ -82,6 +83,9 @@ std::uint64_t option_hash(const TransientOptions& o) {
   h = util::hash_mix(h, static_cast<std::uint64_t>(o.absorbing_indicator));
   h = util::hash_mix(h, static_cast<std::uint64_t>(o.engine));
   h = util::hash_mix(h, static_cast<std::uint64_t>(o.threads));
+  // batch_size is deliberately absent: batching only pre-splits RNG streams
+  // a worker would have split anyway, one by one — trajectories and merge
+  // order are identical for every batch size.
   if (o.bias != nullptr) {
     h = util::hash_mix(h, o.bias->boost);
     for (const auto& name : o.bias->boosted) h = util::hash_mix(h, name);
@@ -125,6 +129,7 @@ TransientResult estimate_transient(const san::FlatModel& model,
   AHS_REQUIRE(options.max_replications >= options.min_replications,
               "max_replications < min_replications");
   AHS_REQUIRE(options.threads >= 1, "threads must be >= 1");
+  AHS_REQUIRE(options.batch_size >= 1, "batch_size must be >= 1");
   AHS_REQUIRE(options.checkpoint_every >= 1,
               "checkpoint_every must be >= 1");
   AHS_SPAN("transient.estimate");
@@ -138,10 +143,18 @@ TransientResult estimate_transient(const san::FlatModel& model,
         .count();
   };
 
+  // One dependency index and one lint pass serve every worker and every
+  // replication batch — both are pure functions of the model, so sharing
+  // them cannot affect trajectories.
+  const san::DependencyIndex shared_deps = san::DependencyIndex::build(model);
+  san::analyze::preflight_lint(model, "transient estimate preflight");
+
   Executor::Options exec_opts;
   exec_opts.engine = options.engine;
   exec_opts.bias = options.bias;
   exec_opts.check_dependencies = options.check_dependencies;
+  exec_opts.shared_deps = &shared_deps;
+  exec_opts.lint = false;  // linted once above
 
   TransientResult result;
   result.time_points = options.time_points;
@@ -206,6 +219,7 @@ TransientResult estimate_transient(const san::FlatModel& model,
     util::Rng master;
     std::vector<util::RunningStat> stats;
     util::RunningStat lr_stat;
+    std::vector<util::Rng> streams;  ///< pre-split batch RNG table
     std::uint64_t events = 0;
   };
   std::vector<Worker> pool;
@@ -215,6 +229,7 @@ TransientResult estimate_transient(const san::FlatModel& model,
     wk.exec = std::make_unique<Executor>(model, master.split(0), exec_opts);
     wk.master = util::Rng(options.seed);
     wk.stats.resize(k);
+    wk.streams.reserve(options.batch_size);
     pool.push_back(std::move(wk));
   }
 
@@ -262,9 +277,22 @@ TransientResult estimate_transient(const san::FlatModel& model,
 
     auto run_worker = [&](std::uint32_t w) {
       Worker& wk = pool[w];
-      for (std::uint64_t r = w; r < round; r += workers)
-        run_one_replication(*wk.exec, reward, options, wk.master, done + r,
-                            wk.stats, wk.lr_stat, wk.events);
+      // Lockstep batches: pre-split the streams for the next batch_size of
+      // this worker's replication indices, then run them back-to-back.
+      // Stream r is master.split(r + 1) either way, so the batch layout
+      // changes nothing about the sampled trajectories.
+      for (std::uint64_t r = w; r < round;) {
+        wk.streams.clear();
+        for (std::uint64_t b = r;
+             b < round && wk.streams.size() < options.batch_size;
+             b += workers)
+          wk.streams.push_back(wk.master.split(done + b + 1));
+        for (const util::Rng& stream : wk.streams) {
+          run_one_replication(*wk.exec, reward, options, stream, wk.stats,
+                              wk.lr_stat, wk.events);
+          r += workers;
+        }
+      }
     };
 
     if (workers == 1) {

@@ -80,6 +80,16 @@ struct TransientOptions {
   /// variance estimate) can differ.
   std::uint32_t threads = 1;
 
+  /// Replications per lockstep batch: each worker pre-splits the RNG
+  /// streams for its next `batch_size` replications into a table, then
+  /// runs the batch back-to-back against the shared model structure (one
+  /// DependencyIndex and one lint pass serve every worker and batch).
+  /// Streams stay (seed, r)-derived and the merge order is untouched, so
+  /// the estimate is bitwise identical for every batch size — unlike
+  /// `threads`, batch_size is NOT part of the checkpoint identity
+  /// (docs/ROBUSTNESS.md).
+  std::uint32_t batch_size = 16;
+
   // ---- robustness (docs/ROBUSTNESS.md) --------------------------------
   // Replication r always draws from the stream derived from (seed, r) and
   // accumulators merge at fixed round boundaries, so a run resumed from a

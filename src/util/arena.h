@@ -1,0 +1,116 @@
+// Bump/pool allocator for simulation hot-state.
+//
+// The discrete-event executor keeps a dozen per-activity arrays (schedules,
+// cached rates, dirty stamps, RNG streams, ...) that are allocated once per
+// Executor and walked together on every event.  Individually heap-allocated
+// vectors land wherever malloc puts them; an Arena packs them into one
+// contiguous block so the dirty-set walk touches adjacent cache lines, and
+// makes the whole state trivially reusable across replications (reset
+// rewrites values in place, never reallocates).
+//
+// Allocation is bump-pointer within fixed-size blocks.  When a block is
+// exhausted a new one is chained (geometric growth, so total waste is
+// bounded by the final block); requests larger than the current block size
+// get a dedicated block.  There is no per-object free — `reset()` recycles
+// every block at once, which is exactly the lifetime the executor needs.
+// Not thread-safe; one arena per owner.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <span>
+#include <vector>
+
+namespace util {
+
+class Arena {
+ public:
+  /// Initial block size in bytes (doubled on exhaustion up to kMaxBlock).
+  explicit Arena(std::size_t block_bytes = 1 << 14)
+      : next_block_bytes_(block_bytes < kMinBlock ? kMinBlock : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw allocation of `bytes` aligned to `align` (a power of two).
+  /// Never returns nullptr; zero-byte requests get a valid unique pointer.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    std::size_t p = (cursor_ + (align - 1)) & ~(align - 1);
+    if (current_ == nullptr || p + bytes > current_->size) {
+      grow(bytes + align);
+      p = (cursor_ + (align - 1)) & ~(align - 1);
+    }
+    cursor_ = p + bytes;
+    bytes_served_ += bytes;
+    return current_->data + p;
+  }
+
+  /// Typed array of `n` value-initialized Ts (T must be trivially
+  /// destructible — the arena never runs destructors).
+  template <typename T>
+  std::span<T> alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena memory is reclaimed without running destructors");
+    T* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < n; ++i) new (p + i) T();
+    return {p, n};
+  }
+
+  /// Recycles every block for reuse: previously returned pointers become
+  /// dangling, no memory is released to the system.  All blocks but the
+  /// largest are dropped, so a long-lived arena converges to one block.
+  void reset() {
+    if (blocks_.empty()) return;
+    std::size_t largest = 0;
+    for (std::size_t i = 1; i < blocks_.size(); ++i)
+      if (blocks_[i]->size > blocks_[largest]->size) largest = i;
+    if (largest != 0) std::swap(blocks_[0], blocks_[largest]);
+    blocks_.resize(1);
+    current_ = blocks_[0].get();
+    cursor_ = 0;
+    bytes_served_ = 0;
+  }
+
+  // --- introspection (tests, telemetry) ---------------------------------
+  std::size_t num_blocks() const { return blocks_.size(); }
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const auto& b : blocks_) total += b->size;
+    return total;
+  }
+  std::size_t bytes_served() const { return bytes_served_; }
+
+ private:
+  static constexpr std::size_t kMinBlock = 256;
+  static constexpr std::size_t kMaxBlock = std::size_t{1} << 22;  // 4 MiB
+
+  struct Block {
+    std::size_t size;
+    alignas(std::max_align_t) unsigned char data[1];  // over-allocated
+  };
+  struct BlockDelete {
+    void operator()(Block* b) const { ::operator delete(b); }
+  };
+
+  void grow(std::size_t need) {
+    std::size_t size = next_block_bytes_;
+    while (size < need) size *= 2;
+    if (next_block_bytes_ < kMaxBlock) next_block_bytes_ *= 2;
+    auto* raw = static_cast<Block*>(::operator new(sizeof(Block) + size));
+    raw->size = size;
+    blocks_.emplace_back(raw);
+    current_ = raw;
+    cursor_ = 0;
+  }
+
+  std::vector<std::unique_ptr<Block, BlockDelete>> blocks_;
+  Block* current_ = nullptr;
+  std::size_t cursor_ = 0;
+  std::size_t next_block_bytes_;
+  std::size_t bytes_served_ = 0;
+};
+
+}  // namespace util

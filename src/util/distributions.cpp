@@ -117,7 +117,7 @@ std::string Distribution::describe() const {
   return os.str();
 }
 
-std::size_t sample_discrete(Rng& rng, const std::vector<double>& weights) {
+std::size_t sample_discrete(Rng& rng, std::span<const double> weights) {
   AHS_REQUIRE(!weights.empty(), "sample_discrete needs at least one weight");
   double total = 0.0;
   for (double w : weights) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,10 @@ class Distribution {
 /// Draws an index in [0, weights.size()) with probability proportional to
 /// weights[i].  Requires at least one strictly positive weight and no
 /// negative weights.
-std::size_t sample_discrete(Rng& rng, const std::vector<double>& weights);
+std::size_t sample_discrete(Rng& rng, std::span<const double> weights);
+inline std::size_t sample_discrete(Rng& rng,
+                                   const std::vector<double>& weights) {
+  return sample_discrete(rng, std::span<const double>(weights));
+}
 
 }  // namespace util

@@ -127,10 +127,11 @@ TEST(SampleDiscrete, RespectsWeights) {
 
 TEST(SampleDiscrete, RejectsDegenerateInput) {
   util::Rng rng(1);
-  EXPECT_THROW(util::sample_discrete(rng, {}), util::PreconditionError);
-  EXPECT_THROW(util::sample_discrete(rng, {0.0, 0.0}),
+  EXPECT_THROW(util::sample_discrete(rng, std::vector<double>{}),
                util::PreconditionError);
-  EXPECT_THROW(util::sample_discrete(rng, {1.0, -0.1}),
+  EXPECT_THROW(util::sample_discrete(rng, std::vector<double>{0.0, 0.0}),
+               util::PreconditionError);
+  EXPECT_THROW(util::sample_discrete(rng, std::vector<double>{1.0, -0.1}),
                util::PreconditionError);
 }
 

@@ -3,6 +3,9 @@
 // statistical agreement with closed-form CTMC results.
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "san/composition.h"
 #include "sim/executor.h"
 #include "sim/trace.h"
@@ -185,6 +188,70 @@ TEST(Executor, TraceRecorderCountsSources) {
   EXPECT_EQ(trace.events().size(), 10u);
   EXPECT_EQ(trace.count_source("fall"), 5u);
   EXPECT_EQ(trace.count_source("rise"), 5u);
+}
+
+TEST(Executor, SoAViewMatchesCheckedPathBitwise) {
+  // The per-event fast paths read the flattened SoA model view
+  // (enabled_fast/rate_fast); with check_dependencies on, the executor
+  // takes the access-logged slow paths over the original FlatActivity
+  // structs instead.  Both must produce bitwise-identical trajectories on a
+  // model that exercises every view lane: fixed rates, marking-dependent
+  // rates, input gates, multi-case completions, and instantaneous
+  // stabilization.
+  auto m = std::make_shared<san::AtomicModel>("soa");
+  const auto pool_p = m->place("pool", 4);
+  const auto stage = m->place("stage");
+  const auto left = m->place("left");
+  const auto right = m->place("right");
+  m->timed_activity("feed")
+      .marking_rate([pool_p](const san::MarkingRef& ref) {
+        return 0.5 + static_cast<double>(ref.get(pool_p));
+      })
+      .input_gate([pool_p](const san::MarkingRef& ref) {
+        return ref.get(pool_p) > 0;
+      })
+      .input_arc(pool_p)
+      .output_arc(stage);
+  auto split = m->timed_activity("split").distribution(
+      util::Distribution::Exponential(2.0));
+  split.input_arc(stage);
+  split.add_case(0.3);
+  split.add_case(0.7);
+  split.output_arc(left, 1, 0);
+  split.output_arc(right, 1, 1);
+  m->instant_activity("recycle")
+      .input_gate([left](const san::MarkingRef& ref) {
+        return ref.get(left) >= 2;
+      })
+      .input_arc(left, 2)
+      .output_arc(pool_p);
+  const auto flat = san::flatten(m);
+
+  sim::Executor::Options fast_opts;
+  sim::Executor::Options checked_opts;
+  checked_opts.check_dependencies = true;
+  sim::Executor fast(flat, util::Rng(31), fast_opts);
+  sim::Executor checked(flat, util::Rng(31), checked_opts);
+
+  std::vector<std::pair<std::size_t, std::size_t>> fast_fires, checked_fires;
+  fast.on_fire = [&](std::size_t ai, std::size_t ci) {
+    fast_fires.emplace_back(ai, ci);
+  };
+  checked.on_fire = [&](std::size_t ai, std::size_t ci) {
+    checked_fires.emplace_back(ai, ci);
+  };
+
+  while (fast.step()) {
+    ASSERT_TRUE(checked.step());
+    ASSERT_EQ(fast.time(), checked.time());  // bitwise, not a tolerance
+    const auto fm = fast.marking();
+    const auto cm = checked.marking();
+    ASSERT_EQ(fm.size(), cm.size());
+    for (std::size_t i = 0; i < fm.size(); ++i) ASSERT_EQ(fm[i], cm[i]);
+  }
+  EXPECT_FALSE(checked.step());
+  EXPECT_EQ(fast_fires, checked_fires);
+  EXPECT_GT(fast.events(), 0u);
 }
 
 TEST(Executor, StopPredicateHaltsRun) {

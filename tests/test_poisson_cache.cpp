@@ -1,0 +1,136 @@
+// PoissonCache tests: hit/miss accounting, and the warm-vs-cold identity
+// the sweep engine relies on — a solve that finds its Poisson window in a
+// pre-warmed cache must be bitwise identical to the same solve against a
+// fresh cache, across a grid of nearby rates (the quantized uniformization
+// rate lands neighbors on shared keys).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ctmc/sparse.h"
+#include "ctmc/uniformization.h"
+
+namespace {
+
+using ctmc::CsrMatrix;
+using ctmc::MarkovChain;
+using ctmc::PoissonCache;
+
+// Three-state cycle with one absorbing escape; `rate` perturbs the fastest
+// transition so the max exit rate moves in its low-order bits, the way a
+// sweep's λ axis does.
+MarkovChain chain_for(double rate) {
+  MarkovChain c;
+  c.num_states = 4;
+  c.rates = CsrMatrix::from_triplets(
+      4, 4,
+      {{0, 1, rate}, {1, 0, 2.0}, {1, 2, 3.0}, {2, 0, 1.0}, {2, 3, 0.05}});
+  c.exit_rate = {rate, 5.0, 1.05, 0.0};
+  c.initial = {1.0, 0.0, 0.0, 0.0};
+  return c;
+}
+
+TEST(PoissonCache, CountsHitsAndMisses) {
+  PoissonCache cache;
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.hit_rate(), 0.0);
+  EXPECT_EQ(cache.find(10.0, 1e-12), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  auto w = std::make_shared<ctmc::PoissonWindow>(ctmc::poisson_window(
+      10.0, 1e-12));
+  cache.store(10.0, 1e-12, w);
+  EXPECT_EQ(cache.find(10.0, 1e-12).get(), w.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  // Different epsilon is a different key.
+  EXPECT_EQ(cache.find(10.0, 1e-10), nullptr);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 1.0 / 3.0);
+}
+
+TEST(PoissonCache, WarmAndColdSolvesAreBitwiseIdentical) {
+  const std::vector<double> rates = {4.0,    4.0001, 4.0003,
+                                     4.0007, 4.001,  4.002};
+  const std::vector<double> reward = {0.0, 0.0, 0.0, 1.0};
+  const std::vector<double> times = {1.0, 4.0, 9.0};
+
+  // Cold: every solve gets its own fresh cache (all misses).
+  std::vector<std::vector<double>> cold;
+  for (double r : rates) {
+    PoissonCache cache;
+    ctmc::UniformizationOptions opts;
+    opts.poisson_cache = &cache;
+    cold.push_back(
+        ctmc::solve_transient(chain_for(r), reward, times, opts)
+            .expected_reward);
+    EXPECT_EQ(cache.hits(), 0u);
+  }
+
+  // Warm: one shared cache, pre-warmed by a full pass over the grid, then
+  // re-solved.  The nearby rates quantize onto shared keys, so the second
+  // pass (and most of the first) must hit.
+  PoissonCache shared;
+  for (double r : rates) {
+    ctmc::UniformizationOptions opts;
+    opts.poisson_cache = &shared;
+    ctmc::solve_transient(chain_for(r), reward, times, opts);
+  }
+  const std::uint64_t warmup_misses = shared.misses();
+  EXPECT_GT(shared.hits(), 0u) << "quantization failed to share windows";
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    ctmc::UniformizationOptions opts;
+    opts.poisson_cache = &shared;
+    const auto warm = ctmc::solve_transient(chain_for(rates[i]), reward,
+                                            times, opts)
+                          .expected_reward;
+    ASSERT_EQ(warm.size(), cold[i].size());
+    for (std::size_t k = 0; k < warm.size(); ++k)
+      EXPECT_EQ(warm[k], cold[i][k])
+          << "rate=" << rates[i] << " t=" << times[k];
+  }
+  // The re-solve pass computed nothing new.
+  EXPECT_EQ(shared.misses(), warmup_misses);
+}
+
+TEST(PoissonCache, AccumulatedSolverSharesWindowsToo) {
+  const std::vector<double> reward = {1.0, 0.0, 0.0, 0.0};
+  const std::vector<double> times = {2.0, 5.0};
+  PoissonCache cold_cache;
+  ctmc::UniformizationOptions cold_opts;
+  cold_opts.poisson_cache = &cold_cache;
+  const auto cold = ctmc::solve_accumulated(chain_for(4.0), reward, times,
+                                            cold_opts);
+
+  PoissonCache shared;
+  ctmc::UniformizationOptions opts;
+  opts.poisson_cache = &shared;
+  ctmc::solve_accumulated(chain_for(4.0001), reward, times, opts);
+  const auto warm = ctmc::solve_accumulated(chain_for(4.0), reward, times,
+                                            opts);
+  EXPECT_GT(shared.hits(), 0u);
+  ASSERT_EQ(warm.accumulated.size(), cold.accumulated.size());
+  for (std::size_t k = 0; k < warm.accumulated.size(); ++k)
+    EXPECT_EQ(warm.accumulated[k], cold.accumulated[k]);
+}
+
+TEST(PoissonCache, CachelessSolvesAreUnchangedByTheFeature) {
+  // No cache attached: the solver must use the exact (unquantized) rate —
+  // the documented compatibility guarantee for existing callers.  The
+  // closed form of the two-state absorber pins the numerics.
+  MarkovChain c;
+  c.num_states = 2;
+  c.rates = CsrMatrix::from_triplets(2, 2, {{0, 1, 2.5}});
+  c.exit_rate = {2.5, 0.0};
+  c.initial = {1.0, 0.0};
+  const std::vector<double> reward = {0.0, 1.0};
+  const std::vector<double> times = {0.5, 2.0};
+  const auto sol = ctmc::solve_transient(c, reward, times);
+  for (std::size_t i = 0; i < times.size(); ++i)
+    EXPECT_NEAR(sol.expected_reward[i], 1.0 - std::exp(-2.5 * times[i]),
+                1e-12);
+}
+
+}  // namespace

@@ -208,6 +208,40 @@ TEST(Transient, ThreadCountDoesNotChangeTrajectories) {
   }
 }
 
+TEST(Transient, BatchSizeIsBitwiseIrrelevant) {
+  // batch_size is a pure locality knob: streams stay (seed, r)-derived and
+  // accumulators merge at the same round boundaries, so every batch size —
+  // including degenerate 1 and oversized 64 — produces bitwise identical
+  // estimates.  Also exercised with threads=2 so the shared DependencyIndex
+  // batch path runs under the tsan label.
+  const auto flat = san::flatten(absorber(0.9));
+  const auto reward = san::indicator_nonzero(flat, "dead");
+
+  sim::TransientOptions opts;
+  opts.time_points = {0.5, 1.5};
+  opts.min_replications = 3000;
+  opts.max_replications = 3000;
+  opts.seed = 7;
+
+  for (std::uint32_t threads : {1u, 2u}) {
+    opts.threads = threads;
+    opts.batch_size = 16;
+    const auto base = sim::estimate_transient(flat, reward, opts);
+    for (std::uint32_t batch : {1u, 5u, 64u}) {
+      opts.batch_size = batch;
+      const auto other = sim::estimate_transient(flat, reward, opts);
+      ASSERT_EQ(other.replications, base.replications);
+      EXPECT_EQ(other.total_events, base.total_events);
+      for (std::size_t i = 0; i < opts.time_points.size(); ++i) {
+        EXPECT_EQ(other.mean(i), base.mean(i))
+            << "batch=" << batch << " threads=" << threads << " t=" << i;
+        EXPECT_EQ(other.estimates[i].half_width, base.estimates[i].half_width)
+            << "batch=" << batch << " threads=" << threads << " t=" << i;
+      }
+    }
+  }
+}
+
 TEST(Transient, ThreadsValidated) {
   auto model = std::make_shared<san::AtomicModel>("abs3");
   const auto alive = model->place("alive", 1);
