@@ -127,6 +127,85 @@ inline BenchRobustness& robustness() {
   return instance;
 }
 
+/// Throughput-floor assertion for benches that merge a record into
+/// BENCH_PERF.json (currently bench_fig12; bench_executor carries its own
+/// copy of the same flags).  parse_bench_flags() registers
+/// --assert-floor/--floor-tolerance; a driver reads the committed baseline
+/// with read() *before* merging its fresh record — the flag usually points
+/// at the merge target — and gates its exit status on check().
+class BenchFloor {
+ public:
+  void add_flags(util::Cli& cli) {
+    path_ = cli.add_string(
+        "assert-floor", "",
+        "exit 1 unless this run's throughput is at least "
+        "(1 - floor-tolerance) x this bench's record in the given "
+        "BENCH_PERF.json (benches that record one; absent baselines pass)");
+    tolerance_ = cli.add_double(
+        "floor-tolerance", 0.25,
+        "allowed fractional throughput regression against the "
+        "--assert-floor baseline");
+  }
+
+  bool enabled() const { return path_ && !path_->empty(); }
+
+  /// The committed floor for `field` of `bench_name`'s record (plain string
+  /// scan of the single-line format merge_record_into writes).  Returns 0
+  /// when the flag is off or the file/record/field is absent — an absent
+  /// baseline never fails the assertion, so the first run on a fresh
+  /// checkout records rather than rejects.
+  double read(const std::string& bench_name, const std::string& field) const {
+    if (!enabled()) return 0.0;
+    std::ifstream in(*path_);
+    std::string line;
+    const std::string tag = "{\"bench\": \"" + bench_name + "\"";
+    const std::string key = "\"" + field + "\": ";
+    while (std::getline(in, line)) {
+      if (line.rfind(tag, 0) != 0) continue;
+      const auto pos = line.find(key);
+      if (pos == std::string::npos) return 0.0;
+      return std::atof(line.c_str() + pos + key.size());
+    }
+    return 0.0;
+  }
+
+  /// Prints the PASS/FAIL verdict for `measured` against `floor` (from
+  /// read()); false means the driver should exit non-zero.  No-op (true)
+  /// when the flag is off.
+  bool check(const std::string& bench_name, const std::string& unit,
+             double floor, double measured) const {
+    if (!enabled()) return true;
+    if (floor <= 0.0) {
+      std::cout << "perf floor: no " << bench_name << " baseline in "
+                << *path_ << " — recorded, nothing to assert\n";
+      return true;
+    }
+    const double bar = floor * (1.0 - *tolerance_);
+    const bool ok = measured >= bar;
+    std::cout << "perf floor (vs " << *path_ << "): baseline "
+              << util::format_sci(floor, 4) << " " << unit << ", bar "
+              << util::format_sci(bar, 4) << " " << unit << ", measured "
+              << util::format_sci(measured, 4) << " " << unit << ": "
+              << (ok ? "PASS" : "FAIL") << "\n";
+    if (!ok)
+      std::cerr << "perf floor FAILED — " << bench_name
+                << " regressed more than "
+                << util::format_fixed(100.0 * *tolerance_, 0)
+                << " % below the committed baseline\n";
+    return ok;
+  }
+
+ private:
+  std::shared_ptr<std::string> path_;
+  std::shared_ptr<double> tolerance_;
+};
+
+/// The driver's floor flags (one per process).
+inline BenchFloor& floor_check() {
+  static BenchFloor instance;
+  return instance;
+}
+
 /// Call after run_sweep: when the sweep was interrupted (SIGINT/SIGTERM),
 /// tells the operator how to finish the run and returns true — the driver
 /// should skip its series output and exit 130 (the conventional
@@ -179,6 +258,7 @@ inline bool parse_bench_flags(int argc, const char* const* argv,
       "threads", 0, "sweep worker threads (0 = all cores, 1 = sequential)");
   telemetry().add_flags(cli);
   robustness().add_flags(cli);
+  floor_check().add_flags(cli);
   try {
     if (!cli.parse(argc, argv)) return false;
   } catch (const std::exception& e) {
@@ -321,6 +401,23 @@ inline void log_sweep_timings(const std::string& bench_name, unsigned threads,
               << " hits / " << result.poisson_cache_misses << " misses ("
               << util::format_sci(100.0 * rate, 3) << " % hit rate)\n";
   }
+  if (result.warm_start_hits + result.warm_start_misses > 0) {
+    const double rate =
+        static_cast<double>(result.warm_start_hits) /
+        static_cast<double>(result.warm_start_hits +
+                            result.warm_start_misses);
+    std::cout << "warm-start cache: " << result.warm_start_hits
+              << " hits / " << result.warm_start_misses << " misses ("
+              << util::format_sci(100.0 * rate, 3) << " % hit rate)\n";
+  }
+  if (result.total_solver_iterations > 0)
+    std::cout << "solver iterations (vector-matrix products): "
+              << result.total_solver_iterations << " total, "
+              << util::format_sci(
+                     static_cast<double>(result.total_solver_iterations) /
+                         static_cast<double>(points.size()),
+                     3)
+              << " per point\n";
   std::ostringstream record;
   record << "{\"bench\": \"" << bench_name << "\", \"threads\": " << threads
          << ", \"total_seconds\": " << secs(result.total_seconds)
@@ -330,7 +427,10 @@ inline void log_sweep_timings(const std::string& bench_name, unsigned threads,
          << util::format_sci(replications_per_sec, 6)
          << ", \"poisson_cache\": {\"hits\": " << result.poisson_cache_hits
          << ", \"misses\": " << result.poisson_cache_misses << "}"
-         << ", \"points\": [";
+         << ", \"warm_start\": {\"hits\": " << result.warm_start_hits
+         << ", \"misses\": " << result.warm_start_misses << "}"
+         << ", \"total_solver_iterations\": "
+         << result.total_solver_iterations << ", \"points\": [";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const bool hit = result.structure_cache_hit[i];
     const ahs::PointOutcome outcome = result.outcome[i];

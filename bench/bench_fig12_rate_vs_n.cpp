@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
   bench::write_csv("bench_fig12.csv",
                    {"n", "S_lam1e6", "S_lam1e5", "S_lam1e4"}, csv_rows);
   bench::log_sweep_timings("bench_fig12", threads, points, sweep);
+  bool floor_ok = true;
   {
     const double pps = sweep.total_seconds > 0.0
                            ? static_cast<double>(points.size()) /
@@ -83,20 +84,42 @@ int main(int argc, char** argv) {
                            : 0.0;
     const std::uint64_t lookups =
         sweep.poisson_cache_hits + sweep.poisson_cache_misses;
+    const std::uint64_t warm_lookups =
+        sweep.warm_start_hits + sweep.warm_start_misses;
     std::ostringstream fields;
     fields << "\"threads\": " << threads << ", \"points\": " << points.size()
            << ", \"total_seconds\": "
            << util::format_sci(sweep.total_seconds, 6)
            << ", \"points_per_sec\": " << util::format_sci(pps, 6)
+           << ", \"total_iterations\": " << sweep.total_solver_iterations
+           << ", \"iterations_per_point\": "
+           << util::format_sci(
+                  static_cast<double>(sweep.total_solver_iterations) /
+                      static_cast<double>(points.size()),
+                  6)
            << ", \"poisson_cache_hit_rate\": "
            << util::format_sci(
                   lookups > 0 ? static_cast<double>(
                                     sweep.poisson_cache_hits) /
                                     static_cast<double>(lookups)
                               : 0.0,
+                  4)
+           << ", \"warm_start_hit_rate\": "
+           << util::format_sci(
+                  warm_lookups > 0
+                      ? static_cast<double>(sweep.warm_start_hits) /
+                            static_cast<double>(warm_lookups)
+                      : 0.0,
                   4);
+    // The baseline is read before this run's record is merged, so pointing
+    // --assert-floor at the merge target compares against the *committed*
+    // throughput, not this run's own.
+    const double floor =
+        bench::floor_check().read("bench_fig12", "points_per_sec");
     bench::write_bench_perf("bench_fig12", fields.str());
+    floor_ok = bench::floor_check().check("bench_fig12", "points/s", floor,
+                                          pps);
   }
   bench::finish_telemetry();
-  return 0;
+  return floor_ok ? 0 : 1;
 }

@@ -388,14 +388,22 @@ const LumpedState& LumpedModel::state(std::uint32_t s) const {
 std::vector<double> LumpedModel::unsafety(
     std::span<const double> times, util::ThreadPool* pool,
     ctmc::PoissonCache* poisson_cache) const {
+  ctmc::UniformizationOptions opts;
+  opts.pool = pool;
+  opts.poisson_cache = poisson_cache;
+  return unsafety(times, opts, nullptr);
+}
+
+std::vector<double> LumpedModel::unsafety(
+    std::span<const double> times, const ctmc::UniformizationOptions& base,
+    std::uint64_t* iterations) const {
   build();
   std::vector<double> reward(chain_.num_states, 0.0);
   reward[structure_->unsafe] = 1.0;
-  ctmc::UniformizationOptions opts;
+  ctmc::UniformizationOptions opts = base;
   opts.epsilon = 1e-14;
-  opts.pool = pool;
-  opts.poisson_cache = poisson_cache;
   const auto sol = ctmc::solve_transient(chain_, reward, times, opts);
+  if (iterations != nullptr) *iterations += sol.total_iterations;
   return sol.expected_reward;
 }
 

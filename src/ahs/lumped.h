@@ -33,13 +33,10 @@
 #include "ahs/parameters.h"
 #include "ahs/severity.h"
 #include "ctmc/chain.h"
+#include "ctmc/uniformization.h"
 
 namespace util {
 class ThreadPool;
-}
-
-namespace ctmc {
-class PoissonCache;
 }
 
 namespace ahs {
@@ -157,6 +154,15 @@ class LumpedModel {
   std::vector<double> unsafety(std::initializer_list<double> times) const {
     return unsafety(std::span<const double>(times.begin(), times.size()));
   }
+  /// Full-control overload: solves with `base` (solver engine, caches,
+  /// warm-start wiring — everything except epsilon, which stays pinned at
+  /// this model's 1e-14 so the 1e-13-scale unsafety probabilities keep
+  /// their digits).  When `iterations` is non-null the solve's
+  /// matrix-vector product count is added to it (the sweep layer's
+  /// iterations-per-point telemetry).
+  std::vector<double> unsafety(std::span<const double> times,
+                               const ctmc::UniformizationOptions& base,
+                               std::uint64_t* iterations) const;
 
   /// Mean time to the first catastrophic situation (hours) — the system
   /// MTTF, reported by the extension benches.

@@ -100,10 +100,16 @@ UnsafetyCurve run_lumped(const Parameters& params,
 
   LumpedModel model =
       structure ? LumpedModel(params, structure) : LumpedModel(params);
+  ctmc::UniformizationOptions u_opts;
+  u_opts.pool = options.pool;
+  u_opts.poisson_cache = options.poisson_cache;
+  u_opts.solver = options.solver;
+  u_opts.warm_cache = options.warm_cache;
+  u_opts.warm_key = options.warm_key;
+  u_opts.warm_publish = options.warm_publish;
   UnsafetyCurve curve;
   curve.times = times;
-  curve.unsafety =
-      model.unsafety(times, options.pool, options.poisson_cache);
+  curve.unsafety = model.unsafety(times, u_opts, &curve.solver_iterations);
   curve.half_width.assign(times.size(), 0.0);
   if (cache && !structure) cache->store_lumped(model.structure());
   return curve;
@@ -161,12 +167,17 @@ UnsafetyCurve run_full_ctmc(const Parameters& params,
   u_opts.epsilon = 1e-14;
   u_opts.pool = options.pool;
   u_opts.poisson_cache = options.poisson_cache;
+  u_opts.solver = options.solver;
+  u_opts.warm_cache = options.warm_cache;
+  u_opts.warm_key = options.warm_key;
+  u_opts.warm_publish = options.warm_publish;
   const auto sol = ctmc::solve_transient(chain, *reward, times, u_opts);
 
   UnsafetyCurve curve;
   curve.times = times;
   curve.unsafety = sol.expected_reward;
   curve.half_width.assign(times.size(), 0.0);
+  curve.solver_iterations = sol.total_iterations;
   return curve;
 }
 

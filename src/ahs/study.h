@@ -22,14 +22,11 @@
 
 #include "ahs/parameters.h"
 #include "ctmc/state_space.h"
+#include "ctmc/uniformization.h"
 #include "util/stats.h"
 
 namespace util {
 class ThreadPool;
-}
-
-namespace ctmc {
-class PoissonCache;
 }
 
 namespace ahs {
@@ -80,6 +77,24 @@ struct StudyOptions {
   /// quantization this implies.  run_sweep wires one per sweep
   /// automatically; set it explicitly to share windows across sweeps.
   ctmc::PoissonCache* poisson_cache = nullptr;
+
+  /// Transient solver engine for the CTMC paths.  The study layer defaults
+  /// to kAdaptive — the quasi-stationary plateau closure and rate ramp cut
+  /// iteration counts ~3× on the figure workloads at a documented (and
+  /// cross-checked) sub-tolerance cost; see docs/PERFORMANCE.md
+  /// "Iteration counts".  Set kStandard for bit-compatibility with the
+  /// historical solver, or kKrylov to cross-check with an independent
+  /// numerical method.
+  ctmc::TransientSolver solver = ctmc::TransientSolver::kAdaptive;
+
+  /// Sweep-internal warm-start wiring (kAdaptive only): run_sweep points
+  /// warm_cache at a per-sweep ctmc::WarmStartCache, keys each point by its
+  /// structure group and time grid, and sets warm_publish on each group's
+  /// cold build.  Callers outside the sweep engine can normally leave all
+  /// three alone; see UniformizationOptions for the semantics.
+  ctmc::WarmStartCache* warm_cache = nullptr;
+  std::uint64_t warm_key = 0;
+  bool warm_publish = false;
 
   // ---- robustness knobs (simulation engines; docs/ROBUSTNESS.md) ------
   // Forwarded into sim::TransientOptions; the CTMC engines ignore them
@@ -142,6 +157,10 @@ struct UnsafetyCurve {
   /// CI half-widths (simulation engines only; 0 for CTMC engines).
   std::vector<double> half_width;
   std::uint64_t replications = 0;  ///< simulation engines only
+  /// CTMC engines: matrix-vector products the transient solve performed
+  /// (the unit the iteration-count work of docs/PERFORMANCE.md tracks;
+  /// 0 for simulation engines).
+  std::uint64_t solver_iterations = 0;
   bool converged = true;
   /// Simulation engines: the estimate stopped early because the
   /// cooperative stop flag was set (its progress is in the transient

@@ -96,6 +96,7 @@ std::uint64_t point_option_hash(std::size_t index, const SweepPoint& point,
   for (double t : times) h = util::hash_mix(h, t);
   h = util::hash_mix(h, static_cast<std::uint64_t>(times.size()));
   h = util::hash_mix(h, static_cast<std::uint64_t>(study.engine));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(study.solver));
   h = util::hash_mix(h, study.min_replications);
   h = util::hash_mix(h, study.max_replications);
   h = util::hash_mix(h, study.rel_half_width);
@@ -123,7 +124,8 @@ std::string encode_curve(const UnsafetyCurve& curve) {
   os << "\n";
   for (double hw : curve.half_width) os << util::encode_double(hw) << " ";
   os << "\n"
-     << curve.replications << " " << (curve.converged ? 1 : 0) << "\n";
+     << curve.replications << " " << (curve.converged ? 1 : 0) << " "
+     << curve.solver_iterations << "\n";
   return os.str();
 }
 
@@ -141,6 +143,7 @@ UnsafetyCurve decode_curve(const std::string& payload) {
     curve.half_width.push_back(in.next_f64());
   curve.replications = in.next_u64();
   curve.converged = in.next_u64() != 0;
+  curve.solver_iterations = in.next_u64();
   return curve;
 }
 
@@ -247,17 +250,36 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
                           ? options.study.poisson_cache
                           : &poisson_cache);
 
+  // One warm-start cache per sweep (adaptive solver under structure
+  // caching): each group's cold build publishes the quasi-stationary
+  // plateau shape its solve converged to, and the group's followers use it
+  // to confirm their own plateaus after a short run instead of a cold
+  // lookback window.  The cold-before-followers barrier below orders every
+  // publish before every possible consume, so the curves stay identical for
+  // any thread count.
+  ctmc::WarmStartCache warm_cache;
+  const bool warm_active =
+      caching && options.study.solver == ctmc::TransientSolver::kAdaptive;
+  ctmc::WarmStartCache* active_warm_cache =
+      !warm_active ? nullptr
+                   : (options.study.warm_cache != nullptr
+                          ? options.study.warm_cache
+                          : &warm_cache);
+
   // Split the points into cold builds (the first point of each structure
   // group — every point when not caching) and followers.  Running all cold
   // builds to completion first guarantees every follower hits the cache.
   std::vector<std::size_t> cold, followers;
   std::unordered_set<std::uint64_t> seen;
+  std::vector<unsigned char> is_cold(points.size(), 0);
   for (std::size_t i = 0; i < points.size(); ++i) {
     if (caching && !seen.insert(group_key(points[i].params,
-                                          options.study.engine)).second)
+                                          options.study.engine)).second) {
       followers.push_back(i);
-    else
+    } else {
       cold.push_back(i);
+      is_cold[i] = 1;
+    }
   }
 
   // vector<bool> packs bits, so concurrent writes to distinct indices would
@@ -316,6 +338,19 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
     study.stop = options.stop;
     study.max_seconds = options.point_timeout_seconds;
     study.poisson_cache = active_poisson_cache;
+    if (active_warm_cache != nullptr) {
+      // Key warm entries by structure group and evaluation grid: shapes are
+      // only comparable between solves over the same state space and time
+      // points (rate differences along the sweep axes are what the shape
+      // tolerance absorbs).
+      study.warm_cache = active_warm_cache;
+      std::uint64_t wk = util::hash_mix(
+          util::hash_mix(0, static_cast<std::uint64_t>(options.study.engine)),
+          group_key(points[i].params, options.study.engine));
+      for (double t : times) wk = util::hash_mix(wk, t);
+      study.warm_key = wk;
+      study.warm_publish = is_cold[i] != 0;
+    }
     if (persisting) {
       study.checkpoint_path =
           point_path(options.checkpoint_dir, i, ".transient");
@@ -410,6 +445,15 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
       reg->gauge("ahs.sweep.poisson_cache_hit_rate")
           .set(active_poisson_cache->hit_rate());
   }
+  if (active_warm_cache != nullptr) {
+    result.warm_start_hits = active_warm_cache->hits();
+    result.warm_start_misses = active_warm_cache->misses();
+    if (reg != nullptr)
+      reg->gauge("ahs.sweep.warm_start_hit_rate")
+          .set(active_warm_cache->hit_rate());
+  }
+  for (const UnsafetyCurve& c : result.curves)
+    result.total_solver_iterations += c.solver_iterations;
   result.total_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     sweep_start)

@@ -128,6 +128,23 @@ struct SweepResult {
   /// truncation bounds instead of recomputing them — see ctmc::PoissonCache.
   std::uint64_t poisson_cache_hits = 0;
   std::uint64_t poisson_cache_misses = 0;
+  /// Sweep-internal warm-start traffic (adaptive CTMC solves only; both 0
+  /// otherwise).  A hit means a follower point confirmed its
+  /// quasi-stationary plateau against the shape published by its structure
+  /// group's cold build and extrapolated after a short confirmation run
+  /// instead of a full cold lookback window — see ctmc::WarmStartCache.
+  /// Caveat: in a resumed sweep a group whose cold build was *restored*
+  /// publishes nothing (result files hold no distribution), so recomputed
+  /// followers fall back to the cold criteria; their curves stay within the
+  /// solver tolerance but may differ in low-order bits from the
+  /// uninterrupted run.
+  std::uint64_t warm_start_hits = 0;
+  std::uint64_t warm_start_misses = 0;
+  /// Matrix–vector products summed over every point's transient solves
+  /// (Σ curves[i].solver_iterations; 0 for simulation engines) — the
+  /// iteration count the "Iteration counts" work of docs/PERFORMANCE.md
+  /// tracks, reported per point by the fig-12 bench.
+  std::uint64_t total_solver_iterations = 0;
 
   std::size_t degraded_count() const;
   /// True when every point carries an authoritative result.

@@ -1,0 +1,61 @@
+// Krylov (Arnoldi) matrix-exponential propagation for transient CTMC
+// solution — the kKrylov engine behind ctmc::solve_transient.
+//
+// π(t)ᵀ = exp(Qᵀ t) · π(0)ᵀ is approximated in a Krylov subspace
+// K_m(Qᵀ, v) with adaptive sub-stepping in the style of Expokit's dgexpv:
+// per step, an Arnoldi factorization Qᵀ·V_m = V_{m+1}·H̄_m, a dense
+// exponential of the small augmented matrix (scaling-and-squaring
+// Padé(13)), and an a-posteriori local error estimate from the two extra
+// rows of the augmented exponential that drives the step-size control.
+//
+// This is an *independent numerical method* from uniformization — no
+// Poisson weights, no DTMC powers — which is exactly why it exists here:
+// it is the cross-check oracle the adaptive uniformization engine is
+// certified against (tests/test_solvers.cpp).  The iteration unit reported
+// in TransientSolution::total_iterations is matrix-vector products, the
+// same unit the uniformization engines report.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ctmc/chain.h"
+#include "ctmc/uniformization.h"
+
+namespace util {
+class ThreadPool;
+}
+
+namespace ctmc {
+
+struct ExpmvResult {
+  /// exp(Qᵀ t) · v.
+  std::vector<double> w;
+  /// Matrix-vector products performed (Arnoldi + error-estimate products).
+  std::uint64_t matvecs = 0;
+};
+
+/// w = exp(Qᵀ t) · v with local error ≲ `tol` (absolute, on the vector —
+/// see the tail-probability caveat in docs/PERFORMANCE.md).  The product
+/// kernel runs gather-style over the column-blocked transpose, so results
+/// are bitwise independent of the pool size.
+ExpmvResult expmv(const MarkovChain& chain, std::span<const double> v,
+                  double t, double tol, int krylov_dim,
+                  util::ThreadPool* pool);
+
+/// solve_transient with the Krylov engine; ctmc::solve_transient dispatches
+/// here for UniformizationOptions::solver == kKrylov.  Uses
+/// options.krylov_tol (or options.epsilon when 0) as the per-interval
+/// error budget and options.krylov_dim as the Arnoldi subspace size.
+TransientSolution solve_transient_krylov(const MarkovChain& chain,
+                                         std::span<const double> reward,
+                                         std::span<const double> time_points,
+                                         const UniformizationOptions& options);
+
+/// Dense exp(A) for a row-major m×m matrix by scaling-and-squaring
+/// Padé(13) (Higham 2005).  Exposed for testing; the solver only ever
+/// calls it with (krylov_dim + 2)-sized matrices.
+std::vector<double> dense_expm(const std::vector<double>& a, int m);
+
+}  // namespace ctmc

@@ -1,18 +1,28 @@
 #include "ctmc/uniformization.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <bit>
 #include <cmath>
 #include <memory>
 #include <utility>
 
+#include "ctmc/expmv.h"
 #include "util/error.h"
 #include "util/metrics.h"
+#include "util/snapshot.h"
 #include "util/spans.h"
 #include "util/thread_pool.h"
 
 namespace ctmc {
+
+std::size_t PoissonKeyHash::operator()(
+    const std::pair<std::uint64_t, std::uint64_t>& key) const {
+  return static_cast<std::size_t>(
+      util::hash_mix(util::hash_mix(0x9e3779b97f4a7c15ull, key.first),
+                     key.second));
+}
 
 std::shared_ptr<const PoissonWindow> PoissonCache::find(
     double lambda, double epsilon) const {
@@ -54,6 +64,51 @@ double PoissonCache::hit_rate() const {
   return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
 }
 
+std::shared_ptr<const WarmStart> WarmStartCache::find(std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void WarmStartCache::store(std::uint64_t key,
+                           std::shared_ptr<const WarmStart> entry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.emplace(key, std::move(entry));
+}
+
+std::uint64_t WarmStartCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t WarmStartCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+double WarmStartCache::hit_rate() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+}
+
+const char* to_string(TransientSolver s) {
+  switch (s) {
+    case TransientSolver::kStandard:
+      return "standard";
+    case TransientSolver::kAdaptive:
+      return "adaptive";
+    case TransientSolver::kKrylov:
+      return "krylov";
+  }
+  return "unknown";
+}
+
 namespace {
 
 /// Solver telemetry ("ctmc.uniformization.*"), resolved per solve from the
@@ -68,6 +123,8 @@ struct UnifTelemetry {
   util::Counter cache_hits;    ///< shared PoissonCache served a window
   util::Counter cache_misses;  ///< shared PoissonCache consulted, computed
   util::Counter steady_cutoffs;  ///< steady-state detection fired
+  util::Counter qs_extrapolations;  ///< adaptive plateau closures fired
+  util::Counter ramp_segments;      ///< adaptive reduced-rate segments run
   util::HistogramHandle window_size;  ///< Poisson window width per miss
   util::Gauge truncation;  ///< Poisson mass left outside the last window
 
@@ -81,6 +138,9 @@ struct UnifTelemetry {
       cache_hits = reg->counter("ctmc.uniformization.poisson_cache_hits");
       cache_misses = reg->counter("ctmc.uniformization.poisson_cache_misses");
       steady_cutoffs = reg->counter("ctmc.uniformization.steady_cutoffs");
+      qs_extrapolations =
+          reg->counter("ctmc.uniformization.qs_extrapolations");
+      ramp_segments = reg->counter("ctmc.uniformization.ramp_segments");
       window_size = reg->histogram(
           "ctmc.uniformization.poisson_window_size",
           {0, 8, 16, 32, 64, 128, 256, 512, 1024, 4096});
@@ -160,7 +220,10 @@ double uniformization_rate(const MarkovChain& chain,
   return options.poisson_cache != nullptr ? quantize_rate_up(rate) : rate;
 }
 
-/// The uniformized DTMC step y := x P, P = I + Q/Λ, shared by both solvers.
+/// The uniformized DTMC step y := x P, P = I + Q/Λ, shared by all solvers,
+/// plus the steady-state detector both solve_transient and
+/// solve_accumulated consult (the detection used to live separately in each
+/// loop; the shared flag keeps the cutoff semantics identical).
 ///
 /// The product runs gather-style over the column-blocked transpose of the
 /// rate matrix (see BlockedCsr): each output accumulates its contributions
@@ -182,8 +245,8 @@ class DtmcStepper {
   static constexpr std::uint32_t kBlockCols = 192 * 1024;
 
   DtmcStepper(const MarkovChain& chain, double unif_rate,
-              util::ThreadPool* pool)
-      : unif_rate_(unif_rate), pool_(pool) {
+              util::ThreadPool* pool, double steady_tol)
+      : unif_rate_(unif_rate), steady_tol_(steady_tol), pool_(pool) {
     const std::uint32_t n = chain.num_states;
     self_prob_.resize(n);
     for (std::uint32_t s = 0; s < n; ++s)
@@ -192,17 +255,20 @@ class DtmcStepper {
   }
 
   /// Fused step: y := x P; when `acc` is non-null, acc[s] += w·x[s] rides
-  /// along.  Returns ‖y − x‖∞ for the caller's steady-state detection.
+  /// along.  Returns ‖y − x‖∞ and latches steady() when the diff drops
+  /// below the construction-time tolerance.
   double step(const std::vector<double>& x, std::vector<double>& y, double w,
-              std::vector<double>* acc) const {
-    return acc != nullptr ? run<true>(x, y, w, acc->data())
-                          : run<false>(x, y, 0.0, nullptr);
+              std::vector<double>* acc) {
+    const double diff = acc != nullptr ? run<true>(x, y, w, acc->data())
+                                       : run<false>(x, y, 0.0, nullptr);
+    if (steady_tol_ > 0.0 && diff < steady_tol_) steady_ = true;
+    return diff;
   }
 
-  /// Plain step without accumulation (solve_accumulated's inner loop).
-  void operator()(const std::vector<double>& x, std::vector<double>& y) const {
-    (void)step(x, y, 0.0, nullptr);
-  }
+  /// The DTMC iterate has converged (‖ΔΠ‖∞ below the tolerance).  Latched
+  /// until reset_steady(); callers reset at each interval boundary.
+  bool steady() const { return steady_; }
+  void reset_steady() { steady_ = false; }
 
  private:
   template <bool kWithAcc>
@@ -257,10 +323,231 @@ class DtmcStepper {
   }
 
   double unif_rate_;
+  double steady_tol_;
+  bool steady_ = false;
   util::ThreadPool* pool_;
   std::vector<double> self_prob_;
   BlockedCsr blocked_;
 };
+
+// ---- kAdaptive machinery -------------------------------------------------
+
+/// Length of the diff-history ring buffer backing the plateau lookback
+/// check: a slowly decaying flux passes the consecutive-step flatness test
+/// long before it passes |diff_k − diff_{k−64}| ≤ tol·diff.
+constexpr std::uint64_t kQsLookback = 64;
+
+/// Minimum window tail (in DTMC steps) left for a plateau closure to fire:
+/// below this the exact iterations are cheap and the extrapolation only
+/// adds (tiny, but nonzero) model error.
+constexpr std::uint64_t kQsMinTail = 128;
+
+/// Cap on reduced-rate ramp segments per solve.
+constexpr std::uint64_t kMaxRampSegments = 8;
+
+/// Max exit rate over states within d jumps of the initial support:
+/// profile[d] is nondecreasing and expansion stops once the chain's global
+/// max is reached, so the vector stays short for chains whose support heats
+/// up quickly (the AHS models reach their max within a couple of jumps —
+/// the ramp is then inert, see docs/PERFORMANCE.md).
+std::vector<double> reach_profile(const MarkovChain& chain) {
+  const std::uint32_t n = chain.num_states;
+  const double global_max = chain.max_exit_rate();
+  std::vector<std::uint8_t> seen(n, 0);
+  std::vector<std::uint32_t> frontier, next;
+  double level_max = 0.0;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (chain.initial[s] > 0.0) {
+      seen[s] = 1;
+      frontier.push_back(s);
+      level_max = std::max(level_max, chain.exit_rate[s]);
+    }
+  }
+  std::vector<double> profile{level_max};
+  while (!frontier.empty() && profile.back() < global_max) {
+    next.clear();
+    for (std::uint32_t s : frontier) {
+      for (std::uint32_t c : chain.rates.row_cols(s)) {
+        if (!seen[c]) {
+          seen[c] = 1;
+          next.push_back(c);
+          level_max = std::max(level_max, chain.exit_rate[c]);
+        }
+      }
+    }
+    if (next.empty()) break;
+    profile.push_back(level_max);
+    frontier.swap(next);
+  }
+  return profile;
+}
+
+/// Runs reduced-rate uniformization segments over the head of the first
+/// time interval while the reachable support's exit rates are still below
+/// the global maximum.  Each segment is an exact ε-truncated uniformization
+/// solve at Λ_seg = factor·profile[D]; its Poisson window is sized so the
+/// window right edge fits in the depth budget D − depth the segment rate is
+/// valid for — probability mass cannot outrun the states whose exit rates
+/// Λ_seg dominates, so only the rate (and with it the iteration count)
+/// changes, not the answer beyond the usual ε truncation.  Advances
+/// pi/pi_time; returns the number of segments run.
+std::uint64_t run_rate_ramp(const MarkovChain& chain,
+                            const UniformizationOptions& options,
+                            double global_rate, PoissonMemo& memo,
+                            std::vector<double>& pi, double& pi_time,
+                            double first_t, std::uint64_t& iterations) {
+  const std::vector<double> profile = reach_profile(chain);
+  if (profile.size() < 2) return 0;
+  const std::uint32_t n = chain.num_states;
+  std::uint64_t segments = 0;
+  std::size_t depth = 0;  // support is within `depth` jumps of the initial set
+  std::vector<double> v(n), v_next(n), acc(n);
+  while (segments < kMaxRampSegments) {
+    const double t_left = first_t - pi_time;
+    if (t_left <= 0.0) break;
+    // Pick the depth budget D maximizing saved products: running Δt at
+    // Λ_seg instead of the global rate saves ≈ (Λ − Λ_seg)·Δt products, and
+    // Δt is capped by the Poisson right edge λ + 8√λ + 16 ≲ D − depth.
+    std::size_t best_d = 0;
+    double best_saved = 0.0, best_dt = 0.0, best_rate = 0.0;
+    for (std::size_t d = depth + 1; d < profile.size(); ++d) {
+      const double raw = std::max(profile[d] * options.rate_factor, 1e-12);
+      const double seg_rate =
+          options.poisson_cache != nullptr ? quantize_rate_up(raw) : raw;
+      if (seg_rate >= global_rate) break;
+      const double budget = static_cast<double>(d - depth);
+      if (budget <= 16.0) continue;
+      const double x = (-8.0 + std::sqrt(64.0 + 4.0 * (budget - 16.0))) / 2.0;
+      const double lam = x * x;
+      if (lam <= 0.0) continue;
+      const double dt = std::min(lam / seg_rate, t_left);
+      // The constant amortizes per-segment overhead (BFS already paid, but
+      // each segment rebuilds a blocked stepper and runs window edges).
+      const double saved = (global_rate - seg_rate) * dt - 64.0;
+      if (saved > best_saved) {
+        best_saved = saved;
+        best_d = d;
+        best_dt = dt;
+        best_rate = seg_rate;
+      }
+    }
+    if (best_d == 0) break;
+    // The λ→right-edge inversion above is approximate; verify against the
+    // actual computed window and shrink Δt until the edge honestly fits.
+    const std::uint64_t budget = static_cast<std::uint64_t>(best_d - depth);
+    double dt = best_dt;
+    bool fits = false;
+    for (int shrink = 0; shrink < 8; ++shrink) {
+      if (memo.get(best_rate * dt).right <= budget) {
+        fits = true;
+        break;
+      }
+      dt *= 0.5;
+    }
+    if (!fits) break;
+    const PoissonWindow& win = memo.get(best_rate * dt);  // memo hit
+    DtmcStepper step(chain, best_rate, options.pool, 0.0);
+    v = pi;
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (std::uint64_t k = 0; k <= win.right; ++k) {
+      const bool in_window = k >= win.left;
+      const double w = in_window ? win.weight[k - win.left] : 0.0;
+      ++iterations;
+      if (k == win.right) {
+        if (in_window)
+          for (std::uint32_t s = 0; s < n; ++s) acc[s] += w * v[s];
+        break;
+      }
+      (void)step.step(v, v_next, w, in_window ? &acc : nullptr);
+      v.swap(v_next);
+    }
+    pi = acc;
+    double mass = 0.0;
+    for (double p : pi) mass += p;
+    if (mass > 0.0 && std::abs(mass - 1.0) < 1e-6)
+      for (double& p : pi) p /= mass;
+    pi_time += dt;
+    depth += win.right;  // mass can have spread this many jumps
+    ++segments;
+  }
+  return segments;
+}
+
+/// Normalized transient shape of a distribution: transient entries divided
+/// by their total mass, absorbing entries zero (what WarmStart stores).
+std::vector<double> normalized_shape(const std::vector<double>& exit_rate,
+                                     const std::vector<double>& v) {
+  const std::size_t n = v.size();
+  std::vector<double> shape(n, 0.0);
+  double mass = 0.0;
+  for (std::size_t s = 0; s < n; ++s)
+    if (exit_rate[s] > 0.0) mass += v[s];
+  if (mass <= 0.0) return shape;
+  for (std::size_t s = 0; s < n; ++s)
+    if (exit_rate[s] > 0.0) shape[s] = v[s] / mass;
+  return shape;
+}
+
+/// ∞-norm comparison of v's normalized transient shape against a published
+/// warm-start shape.
+bool shape_matches(const std::vector<double>& exit_rate,
+                   const std::vector<double>& v,
+                   const std::vector<double>& shape, double tol) {
+  if (shape.size() != v.size()) return false;
+  double mass = 0.0;
+  for (std::size_t s = 0; s < v.size(); ++s)
+    if (exit_rate[s] > 0.0) mass += v[s];
+  if (mass <= 0.0) return false;
+  double dev = 0.0;
+  for (std::size_t s = 0; s < v.size(); ++s)
+    if (exit_rate[s] > 0.0)
+      dev = std::max(dev, std::abs(v[s] / mass - shape[s]));
+  return dev <= tol;
+}
+
+/// Closes Poisson window indices [k+1, right] analytically from the plateau
+/// pair (v_k, v_{k+1}).  Post-mixing the distribution sits on its
+/// quasi-stationary mode: transient states scale by ρ = 1 − κ per DTMC step
+/// (κ measured as the pair's one-step transient-mass loss fraction) and
+/// each absorbing state a gains its measured one-step inflow
+/// φ_a = v_{k+1}[a] − v_k[a] scaled by the same geometric decay.  The
+/// scalars go through log1p/expm1 — κ is routinely ~1e-16·Λt, where forming
+/// ρ = 1 − κ directly would round to 1.0 and silently stop the decay.
+void qs_close_window(const std::vector<double>& exit_rate,
+                     const PoissonWindow& win, std::uint64_t k,
+                     const std::vector<double>& v_k,
+                     const std::vector<double>& v_k1, std::vector<double>& acc,
+                     double& remaining) {
+  const std::size_t n = exit_rate.size();
+  double m0 = 0.0, m1 = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (exit_rate[s] > 0.0) {
+      m0 += v_k[s];
+      m1 += v_k1[s];
+    }
+  }
+  const double kappa =
+      m0 > 0.0 ? std::clamp((m0 - m1) / m0, 0.0, 1.0) : 0.0;
+  const double log_rho = kappa < 1.0 ? std::log1p(-kappa) : -1e300;
+  double mass = 0.0, geo = 0.0, tail = 0.0;
+  for (std::uint64_t kp = std::max(k + 1, win.left); kp <= win.right; ++kp) {
+    const double w = win.weight[kp - win.left];
+    const double j = static_cast<double>(kp - (k + 1));
+    const double rho_j = std::exp(j * log_rho);
+    const double tail_j =
+        kappa > 0.0 ? -std::expm1(j * log_rho) / kappa : j;
+    mass += w;
+    geo += w * rho_j;
+    tail += w * tail_j;
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    if (exit_rate[s] > 0.0)
+      acc[s] += geo * v_k1[s];
+    else
+      acc[s] += mass * v_k1[s] + tail * (v_k1[s] - v_k[s]);
+  }
+  remaining = std::max(0.0, remaining - mass);
+}
 
 }  // namespace
 
@@ -357,7 +644,8 @@ AccumulatedSolution solve_accumulated(const MarkovChain& chain,
 
   const std::uint32_t n = chain.num_states;
   const double unif_rate = uniformization_rate(chain, options);
-  const DtmcStepper dtmc_step(chain, unif_rate, options.pool);
+  DtmcStepper dtmc_step(chain, unif_rate, options.pool,
+                        options.steady_state_tol);
   PoissonMemo memo(options.epsilon, &tm, options.poisson_cache);
 
   AccumulatedSolution sol;
@@ -367,7 +655,7 @@ AccumulatedSolution solve_accumulated(const MarkovChain& chain,
   double pi_time = 0.0;
   double total = 0.0;
 
-  std::vector<double> v(n), v_next(n), pi_next(n), pi_acc(n);
+  std::vector<double> v(n), v_next(n), pi_acc(n);
   for (double t : time_points) {
     const double dt = t - pi_time;
     if (dt > 0.0) {
@@ -379,6 +667,8 @@ AccumulatedSolution solve_accumulated(const MarkovChain& chain,
       std::fill(pi_acc.begin(), pi_acc.end(), 0.0);
       double survival = 1.0;
       double interval_acc = 0.0;
+      bool steady = false;
+      dtmc_step.reset_steady();
       for (std::uint64_t k = 0; k <= win.right; ++k) {
         if (k >= win.left) survival -= win.weight[k - win.left];
         const double coeff = std::max(0.0, survival);
@@ -393,9 +683,31 @@ AccumulatedSolution solve_accumulated(const MarkovChain& chain,
             pi_acc[s] += win.weight[k - win.left] * v[s];
         ++sol.total_iterations;
         if (k == win.right) break;
-        dtmc_step(v, v_next);
+        (void)dtmc_step.step(v, v_next, 0.0, nullptr);
         v.swap(v_next);
+        if (dtmc_step.steady()) {
+          // The DTMC iterate has converged (same detector solve_transient
+          // uses): every remaining term sees the same vector, so the rest
+          // of the interval closes in one scalar pass over the survival
+          // weights instead of win.right − k more products.
+          steady = true;
+          double vr = 0.0;
+          for (std::uint32_t s = 0; s < n; ++s) vr += v[s] * reward[s];
+          double wsum = 0.0;
+          for (std::uint64_t k2 = k + 1; k2 <= win.right; ++k2) {
+            if (k2 >= win.left) {
+              const double wk = win.weight[k2 - win.left];
+              survival -= wk;
+              wsum += wk;
+            }
+            const double coeff2 = std::max(0.0, survival);
+            if (coeff2 > 0.0) interval_acc += coeff2 * vr;
+          }
+          for (std::uint32_t s = 0; s < n; ++s) pi_acc[s] += wsum * v[s];
+          break;
+        }
       }
+      if (tm.on && steady) tm.steady_cutoffs.inc();
       total += interval_acc / unif_rate;
       pi = pi_acc;
       double mass = 0.0;
@@ -424,13 +736,16 @@ TransientSolution solve_transient(const MarkovChain& chain,
     prev_t = t;
   }
 
+  if (options.solver == TransientSolver::kKrylov)
+    return solve_transient_krylov(chain, reward, time_points, options);
+
   AHS_SPAN("uniformization.transient");
   UnifTelemetry tm;
   if (tm.on) tm.solves.inc();
 
   const std::uint32_t n = chain.num_states;
   const double unif_rate = uniformization_rate(chain, options);
-  const DtmcStepper dtmc_step(chain, unif_rate, options.pool);
+  const bool adaptive = options.solver == TransientSolver::kAdaptive;
   PoissonMemo memo(options.epsilon, &tm, options.poisson_cache);
 
   TransientSolution sol;
@@ -439,7 +754,18 @@ TransientSolution solve_transient(const MarkovChain& chain,
   std::vector<double> pi = chain.initial;
   double pi_time = 0.0;
 
+  if (adaptive && time_points.front() > 0.0) {
+    sol.ramp_segments =
+        run_rate_ramp(chain, options, unif_rate, memo, pi, pi_time,
+                      time_points.front(), sol.total_iterations);
+    if (tm.on && sol.ramp_segments > 0) tm.ramp_segments.add(sol.ramp_segments);
+  }
+
+  DtmcStepper dtmc_step(chain, unif_rate, options.pool,
+                        options.steady_state_tol);
+
   std::vector<double> v = pi, v_next(n), acc(n);
+  std::uint64_t interval = 0;
   for (double t : time_points) {
     const double dt = t - pi_time;
     if (dt > 0.0) {
@@ -448,6 +774,22 @@ TransientSolution solve_transient(const MarkovChain& chain,
       v = pi;
       double remaining = 1.0;
       bool steady = false;
+      bool qs_fired = false;
+      dtmc_step.reset_steady();
+
+      // Plateau-detection state (kAdaptive only; one cold ring fill per
+      // interval is noise next to a single matrix product).
+      double prev_diff = -1.0;
+      int stable = 0;
+      std::array<double, kQsLookback> ring{};
+      bool warm_ok = false;
+      std::shared_ptr<const WarmStart> warm;
+      std::uint64_t warm_key = 0;
+      if (adaptive && options.warm_cache != nullptr) {
+        warm_key = util::hash_mix(options.warm_key, interval);
+        warm = options.warm_cache->find(warm_key);
+      }
+
       for (std::uint64_t k = 0; k <= win.right; ++k) {
         const bool in_window = k >= win.left;
         const double w = in_window ? win.weight[k - win.left] : 0.0;
@@ -467,11 +809,50 @@ TransientSolution solve_transient(const MarkovChain& chain,
         const double diff =
             dtmc_step.step(v, v_next, w, in_window ? &acc : nullptr);
         if (in_window) remaining -= w;
-        if (options.steady_state_tol > 0.0 &&
-            diff < options.steady_state_tol) {
+        if (dtmc_step.steady()) {
           steady = true;
           v.swap(v_next);
           break;
+        }
+        if (adaptive && win.right - k >= kQsMinTail) {
+          // Quasi-stationary plateau: after mixing, the ∞-norm step diff
+          // equals the constant absorption flux.  Cold evidence is
+          // qs_confirm consecutive flat steps PLUS flatness against the
+          // diff kQsLookback steps back — the lookback rejects fluxes that
+          // are decaying smoothly but slowly, which satisfy the
+          // consecutive test long before the plateau is real.  A validated
+          // warm-start shape replaces the lookback (that is where the
+          // warm savings come from).
+          const bool flat = diff > 0.0 && prev_diff >= 0.0 &&
+                            std::abs(diff - prev_diff) <=
+                                options.qs_rel_tol * diff;
+          stable = flat ? stable + 1 : 0;
+          const bool long_flat =
+              k >= kQsLookback && std::abs(diff - ring[k % kQsLookback]) <=
+                                      options.qs_rel_tol * diff;
+          ring[k % kQsLookback] = diff;
+          prev_diff = diff;
+          if (warm != nullptr && !warm_ok && stable > 0 && (k & 15u) == 0u)
+            warm_ok = shape_matches(chain.exit_rate, v_next, warm->shape,
+                                    options.warm_shape_tol);
+          const bool fire =
+              warm_ok ? stable >= options.qs_confirm_warm
+                      : (stable >= options.qs_confirm && long_flat);
+          if (fire) {
+            qs_close_window(chain.exit_rate, win, k, v, v_next, acc,
+                            remaining);
+            qs_fired = true;
+            ++sol.qs_extrapolations;
+            sol.warm_start_hit = sol.warm_start_hit || warm_ok;
+            if (options.warm_cache != nullptr && options.warm_publish) {
+              auto entry = std::make_shared<WarmStart>();
+              entry->fired_at = k;
+              entry->shape = normalized_shape(chain.exit_rate, v_next);
+              options.warm_cache->store(warm_key, std::move(entry));
+            }
+            v.swap(v_next);
+            break;
+          }
         }
         v.swap(v_next);
       }
@@ -482,6 +863,7 @@ TransientSolution solve_transient(const MarkovChain& chain,
       }
       if (tm.on) {
         if (steady) tm.steady_cutoffs.inc();
+        if (qs_fired) tm.qs_extrapolations.inc();
         tm.truncation.set(std::max(0.0, remaining));
       }
       pi = acc;
@@ -496,6 +878,7 @@ TransientSolution solve_transient(const MarkovChain& chain,
     for (std::uint32_t s = 0; s < n; ++s) expect += pi[s] * reward[s];
     sol.expected_reward.push_back(expect);
     sol.distributions.push_back(pi);
+    ++interval;
   }
   if (tm.on) tm.iterations.add(sol.total_iterations);
   return sol;

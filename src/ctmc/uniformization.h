@@ -7,16 +7,32 @@
 // tolerance), so horizons with Λt in the thousands are fine.  Multiple time
 // points are solved incrementally: π(t_{i+1}) starts from π(t_i).
 //
+// Three solver engines share this interface (UniformizationOptions::solver):
+//
+//   kStandard  the fixed-Λ loop above — the bitwise reference every other
+//              engine is certified against;
+//   kAdaptive  the same loop with two iteration-count reducers: a
+//              support-based rate ramp (early phases whose reachable
+//              support has small exit rates run at a smaller Λ) and a
+//              quasi-stationary flux-plateau extrapolation that closes the
+//              post-mixing tail of the Poisson window analytically (the
+//              docs/PERFORMANCE.md "Iteration counts" section quantifies
+//              both);
+//   kKrylov    an Arnoldi expmv solver (ctmc/expmv.h) — an independent
+//              numerical method used as the cross-check oracle for the
+//              adaptive path.
+//
 // This solver is what replaces Möbius simulation for the paper's smallest
 // probabilities (S(t) ~ 1e-13 for λ = 1e-7/h), which no Monte Carlo scheme
 // reaches at the paper's stated batch counts.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "ctmc/chain.h"
@@ -28,6 +44,13 @@ class ThreadPool;
 namespace ctmc {
 
 struct PoissonWindow;
+
+/// Hashes the exact (λ, ε) bit-pattern pair of a cache key through
+/// util::hash_mix (defined in the .cpp so this header stays light).
+struct PoissonKeyHash {
+  std::size_t operator()(
+      const std::pair<std::uint64_t, std::uint64_t>& key) const;
+};
 
 /// Thread-safe cross-solve cache of Poisson windows, keyed on the exact bit
 /// patterns of (λ = Λ·Δt, ε).  One cache shared across the points of a
@@ -61,10 +84,56 @@ class PoissonCache {
   mutable std::mutex mutex_;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
-  std::map<std::pair<std::uint64_t, std::uint64_t>,
-           std::shared_ptr<const PoissonWindow>>
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>,
+                     std::shared_ptr<const PoissonWindow>, PoissonKeyHash>
       windows_;
 };
+
+/// What a completed adaptive solve publishes for its sweep neighbors: the
+/// evidence that one (structure, time-grid) group's quasi-stationary
+/// plateau has been reached, so a follower can confirm its own plateau
+/// against a converged neighbor instead of accumulating the slow
+/// self-evidence from scratch (see UniformizationOptions::warm_cache).
+struct WarmStart {
+  /// Normalized transient shape at the plateau: transient entries divided
+  /// by the remaining transient mass, absorbing entries zero.
+  std::vector<double> shape;
+  /// DTMC step index at which the publishing solve confirmed its plateau.
+  std::uint64_t fired_at = 0;
+};
+
+/// Thread-safe cross-solve cache of WarmStart entries, keyed on a
+/// caller-chosen 64-bit identity (the sweep engine keys on the structure
+/// group and the time grid).  store() is first-writer-wins, so with the
+/// sweep's cold-builds-before-followers barrier the entry every follower
+/// observes is deterministic for any thread count.
+class WarmStartCache {
+ public:
+  /// The cached entry, or nullptr.  Counts toward hits()/misses().
+  std::shared_ptr<const WarmStart> find(std::uint64_t key) const;
+  /// Publishes an entry; an existing entry for `key` wins and is kept.
+  void store(std::uint64_t key, std::shared_ptr<const WarmStart> entry);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  /// hits / (hits + misses), 0 when never consulted.
+  double hit_rate() const;
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const WarmStart>>
+      entries_;
+};
+
+/// Transient solver engine (see the file comment).  kStandard stays
+/// byte-identical to the historical solver; kAdaptive trades last-ulp
+/// equality for a large iteration-count reduction on absorption-dominated
+/// chains; kKrylov is an independent method for cross-checking.
+enum class TransientSolver : std::uint8_t { kStandard, kAdaptive, kKrylov };
+
+const char* to_string(TransientSolver s);
 
 struct UniformizationOptions {
   /// Truncation mass tolerance: left+right discarded Poisson mass ≤ epsilon.
@@ -83,6 +152,45 @@ struct UniformizationOptions {
   /// results stay deterministic but differ in low-order bits from a
   /// cache-less solve.  The sweep engine wires one per sweep.
   PoissonCache* poisson_cache = nullptr;
+
+  /// Engine selection.  kStandard (default) keeps the historical behavior
+  /// bit-for-bit; callers that can tolerate the documented extrapolation
+  /// error (ahs::StudyOptions does) select kAdaptive.
+  TransientSolver solver = TransientSolver::kStandard;
+
+  // ---- kAdaptive knobs ------------------------------------------------
+
+  /// Relative flatness tolerance for the quasi-stationary flux plateau:
+  /// |diff_k − diff_{k−1}| ≤ qs_rel_tol·diff_k counts as a stable step.
+  double qs_rel_tol = 1e-4;
+  /// Consecutive stable steps (plus a lookback check over 2× this span)
+  /// required before the plateau extrapolation fires on a cold solve.
+  int qs_confirm = 32;
+  /// Consecutive stable steps required once the current shape has been
+  /// validated against a warm-start neighbor (the neighbor's converged
+  /// shape replaces the slow self-evidence).
+  int qs_confirm_warm = 4;
+  /// ∞-norm tolerance for validating the normalized transient shape
+  /// against a warm-start entry.
+  double warm_shape_tol = 1e-3;
+  /// Optional shared warm-start cache; consulted under warm_key.
+  WarmStartCache* warm_cache = nullptr;
+  /// Cache key for warm_cache lookups (the caller encodes the structure
+  /// group and time grid; the solver mixes in the interval index).
+  std::uint64_t warm_key = 0;
+  /// Publish this solve's plateau evidence to warm_cache (the sweep engine
+  /// sets it on each structure group's cold build only, so the published
+  /// entry is deterministic for any thread count).
+  bool warm_publish = false;
+
+  // ---- kKrylov knobs --------------------------------------------------
+
+  /// Arnoldi subspace dimension.
+  int krylov_dim = 30;
+  /// Local error tolerance per unit time (0 = use epsilon).  Note this is
+  /// an *absolute* tolerance on the distribution vector — see
+  /// docs/PERFORMANCE.md for the tail-probability caveat.
+  double krylov_tol = 0.0;
 };
 
 struct TransientSolution {
@@ -91,7 +199,15 @@ struct TransientSolution {
   std::vector<double> expected_reward;
   /// Full distributions at each time point (row per time point).
   std::vector<std::vector<double>> distributions;
+  /// Matrix-vector products performed (the unit every engine shares; the
+  /// adaptive and Krylov engines exist to make this number small).
   std::uint64_t total_iterations = 0;
+  /// kAdaptive: quasi-stationary extrapolations fired (≤ #intervals).
+  std::uint64_t qs_extrapolations = 0;
+  /// kAdaptive: rate-ramp segments run before the final full-rate phase.
+  std::uint64_t ramp_segments = 0;
+  /// kAdaptive: the solve validated its shape against a warm-start entry.
+  bool warm_start_hit = false;
 };
 
 /// Expected reward at each (strictly increasing, non-negative) time point.
@@ -112,7 +228,9 @@ struct AccumulatedSolution {
 /// where N_t is the uniformized Poisson count — the standard accumulated-
 /// reward uniformization.  Time points are handled incrementally:
 /// the distribution is advanced to t_i with solve_transient's machinery
-/// and each interval's accumulation starts from it.
+/// and each interval's accumulation starts from it.  Steady-state cutoff
+/// shares solve_transient's detector: once the DTMC iterate converges the
+/// remaining survival-weighted terms are closed in one scalar pass.
 AccumulatedSolution solve_accumulated(const MarkovChain& chain,
                                       std::span<const double> reward,
                                       std::span<const double> time_points,

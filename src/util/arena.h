@@ -38,10 +38,10 @@ class Arena {
   /// Never returns nullptr; zero-byte requests get a valid unique pointer.
   void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
     if (bytes == 0) bytes = 1;
-    std::size_t p = (cursor_ + (align - 1)) & ~(align - 1);
+    std::size_t p = aligned_cursor(align);
     if (current_ == nullptr || p + bytes > current_->size) {
       grow(bytes + align);
-      p = (cursor_ + (align - 1)) & ~(align - 1);
+      p = aligned_cursor(align);
     }
     cursor_ = p + bytes;
     bytes_served_ += bytes;
@@ -94,6 +94,17 @@ class Arena {
   struct BlockDelete {
     void operator()(Block* b) const { ::operator delete(b); }
   };
+
+  /// Cursor advanced so that data + cursor is `align`-aligned as an
+  /// *address* — Block::data is only max_align_t-aligned, so rounding the
+  /// offset alone would silently miss stricter (e.g. cache-line) requests.
+  std::size_t aligned_cursor(std::size_t align) const {
+    if (current_ == nullptr) return cursor_;
+    const std::uintptr_t base =
+        reinterpret_cast<std::uintptr_t>(current_->data);
+    const std::uintptr_t a = (base + cursor_ + (align - 1)) & ~(align - 1);
+    return static_cast<std::size_t>(a - base);
+  }
 
   void grow(std::size_t need) {
     std::size_t size = next_block_bytes_;

@@ -1,0 +1,276 @@
+// Cross-solver certification for the transient engines (docs/PERFORMANCE.md
+// "Iteration counts"): the standard, adaptive, and Krylov solvers must agree
+// on expected rewards; the adaptive shortcuts (quasi-stationary plateau
+// extrapolation, support-based rate ramp, sweep warm starts) must actually
+// cut iteration counts while staying inside tolerance; and every new engine
+// must stay bitwise independent of the thread-pool size.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "ctmc/chain.h"
+#include "ctmc/expmv.h"
+#include "ctmc/sparse.h"
+#include "ctmc/uniformization.h"
+#include "util/telemetry.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using ctmc::CsrMatrix;
+using ctmc::MarkovChain;
+using ctmc::TransientSolver;
+using ctmc::UniformizationOptions;
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// A random sparse chain: a cycle backbone (so every state is reachable)
+/// plus extra random edges, rates in [0.2, 2.5].
+MarkovChain random_chain(std::mt19937& rng, std::uint32_t n) {
+  std::uniform_real_distribution<double> rate(0.2, 2.5);
+  std::uniform_int_distribution<std::uint32_t> state(0, n - 1);
+  std::vector<ctmc::Triplet> triplets;
+  for (std::uint32_t i = 0; i < n; ++i)
+    triplets.push_back({i, (i + 1) % n, rate(rng)});
+  for (std::uint32_t e = 0; e < 2 * n; ++e) {
+    const std::uint32_t from = state(rng), to = state(rng);
+    if (from != to) triplets.push_back({from, to, rate(rng)});
+  }
+  MarkovChain c;
+  c.num_states = n;
+  c.rates = CsrMatrix::from_triplets(n, n, triplets);
+  c.exit_rate.assign(n, 0.0);
+  for (std::uint32_t i = 0; i < n; ++i) c.exit_rate[i] = c.rates.row_sum(i);
+  c.initial.assign(n, 0.0);
+  c.initial[0] = 1.0;
+  return c;
+}
+
+std::vector<double> random_reward(std::mt19937& rng, std::uint32_t n) {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<double> r(n);
+  for (double& x : r) x = u(rng);
+  return r;
+}
+
+/// Fast 0↔1 churn with a slow leak to an absorbing state 2 — the shape
+/// behind every figure workload: mixing completes early, then thousands of
+/// DTMC steps integrate a constant absorption flux.  This is the regime the
+/// quasi-stationary extrapolation exists for.
+MarkovChain churn_with_leak(double churn, double leak) {
+  MarkovChain c;
+  c.num_states = 3;
+  c.rates = CsrMatrix::from_triplets(
+      3, 3, {{0, 1, churn}, {1, 0, churn}, {0, 2, leak}});
+  c.exit_rate = {churn + leak, churn, 0.0};
+  c.initial = {1.0, 0.0, 0.0};
+  return c;
+}
+
+TEST(CrossSolver, RandomChainsAgreeAcrossAllThreeEngines) {
+  std::mt19937 rng(20260807);
+  const std::vector<double> times = {0.4, 1.1, 2.7};
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::uint32_t n = 6 + 3 * static_cast<std::uint32_t>(trial);
+    const MarkovChain chain = random_chain(rng, n);
+    const std::vector<double> reward = random_reward(rng, n);
+
+    UniformizationOptions std_opts;
+    const auto std_sol = ctmc::solve_transient(chain, reward, times, std_opts);
+
+    UniformizationOptions ad_opts;
+    ad_opts.solver = TransientSolver::kAdaptive;
+    const auto ad_sol = ctmc::solve_transient(chain, reward, times, ad_opts);
+
+    UniformizationOptions kr_opts;
+    kr_opts.solver = TransientSolver::kKrylov;
+    kr_opts.krylov_tol = 1e-12;
+    const auto kr_sol = ctmc::solve_transient(chain, reward, times, kr_opts);
+
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      EXPECT_NEAR(ad_sol.expected_reward[i], std_sol.expected_reward[i],
+                  1e-10)
+          << "trial " << trial << " t=" << times[i];
+      EXPECT_NEAR(kr_sol.expected_reward[i], std_sol.expected_reward[i], 1e-8)
+          << "trial " << trial << " t=" << times[i];
+    }
+  }
+}
+
+TEST(CrossSolver, AdaptiveAndKrylovAreBitwisePoolIndependent) {
+  std::mt19937 rng(7);
+  const MarkovChain chain = random_chain(rng, 24);
+  const std::vector<double> reward = random_reward(rng, 24);
+  const std::vector<double> times = {0.5, 2.0};
+  util::ThreadPool pool(8);
+
+  for (const TransientSolver solver :
+       {TransientSolver::kAdaptive, TransientSolver::kKrylov}) {
+    UniformizationOptions seq;
+    seq.solver = solver;
+    UniformizationOptions par = seq;
+    par.pool = &pool;
+    const auto a = ctmc::solve_transient(chain, reward, times, seq);
+    const auto b = ctmc::solve_transient(chain, reward, times, par);
+    ASSERT_EQ(a.expected_reward.size(), b.expected_reward.size());
+    for (std::size_t i = 0; i < a.expected_reward.size(); ++i)
+      EXPECT_EQ(bits(a.expected_reward[i]), bits(b.expected_reward[i]))
+          << ctmc::to_string(solver) << " t-index " << i;
+    for (std::size_t i = 0; i < a.distributions.size(); ++i)
+      for (std::size_t s = 0; s < a.distributions[i].size(); ++s)
+        EXPECT_EQ(bits(a.distributions[i][s]), bits(b.distributions[i][s]))
+            << ctmc::to_string(solver) << " state " << s;
+  }
+}
+
+TEST(Adaptive, QsExtrapolationMatchesStandardWithFewerIterations) {
+  const MarkovChain chain = churn_with_leak(60.0, 1e-7);
+  const std::vector<double> reward = {0.0, 0.0, 1.0};
+  const std::vector<double> times = {20.0};
+
+  UniformizationOptions std_opts;
+  std_opts.epsilon = 1e-14;
+  std_opts.steady_state_tol = 0.0;  // force the full window
+  const auto std_sol = ctmc::solve_transient(chain, reward, times, std_opts);
+
+  UniformizationOptions ad_opts = std_opts;
+  ad_opts.solver = TransientSolver::kAdaptive;
+  const auto ad_sol = ctmc::solve_transient(chain, reward, times, ad_opts);
+
+  EXPECT_GE(ad_sol.qs_extrapolations, 1u);
+  EXPECT_LT(ad_sol.total_iterations, std_sol.total_iterations / 2)
+      << "extrapolation should cut the plateau tail";
+  // The plateau closure is a geometric-series identity, not an
+  // approximation of a decaying signal; agreement is near machine level.
+  EXPECT_NEAR(ad_sol.expected_reward[0], std_sol.expected_reward[0],
+              1e-12 + 1e-8 * std_sol.expected_reward[0]);
+}
+
+TEST(Adaptive, RateRampFiresOnSlowSupportGrowth) {
+  // Pure-birth chain whose initial support sits in a slow zone (rate 1)
+  // with a fast zone (rate 2000) forty jumps away: the global
+  // uniformization rate is 2000, but probability mass cannot outrun its
+  // jump count, so the support-based ramp runs the head of the interval at
+  // the local rate and saves thousands of products.
+  const int m = 64;
+  std::vector<ctmc::Triplet> triplets;
+  MarkovChain c;
+  c.num_states = m;
+  c.exit_rate.assign(m, 0.0);
+  for (int i = 0; i + 1 < m; ++i) {
+    const double r = i < 40 ? 1.0 : 2000.0;
+    triplets.push_back({static_cast<std::uint32_t>(i),
+                        static_cast<std::uint32_t>(i + 1), r});
+    c.exit_rate[i] = r;
+  }
+  c.rates = CsrMatrix::from_triplets(m, m, triplets);
+  c.initial.assign(m, 0.0);
+  c.initial[0] = 1.0;
+
+  std::vector<double> reward(m);
+  for (int i = 0; i < m; ++i) reward[i] = static_cast<double>(i) / m;
+  const std::vector<double> times = {5.0};
+
+  UniformizationOptions std_opts;
+  std_opts.epsilon = 1e-14;
+  const auto std_sol = ctmc::solve_transient(c, reward, times, std_opts);
+
+  UniformizationOptions ad_opts = std_opts;
+  ad_opts.solver = TransientSolver::kAdaptive;
+  const auto ad_sol = ctmc::solve_transient(c, reward, times, ad_opts);
+
+  EXPECT_GE(ad_sol.ramp_segments, 1u);
+  EXPECT_LT(ad_sol.total_iterations, std_sol.total_iterations);
+  EXPECT_NEAR(ad_sol.expected_reward[0], std_sol.expected_reward[0], 1e-10);
+}
+
+TEST(Adaptive, WarmStartCutsConfirmationAndStaysDeterministic) {
+  const MarkovChain chain = churn_with_leak(60.0, 1e-7);
+  const std::vector<double> reward = {0.0, 0.0, 1.0};
+  const std::vector<double> times = {20.0};
+
+  ctmc::WarmStartCache cache;
+  UniformizationOptions cold;
+  cold.solver = TransientSolver::kAdaptive;
+  cold.epsilon = 1e-14;
+  cold.steady_state_tol = 0.0;
+  cold.warm_cache = &cache;
+  cold.warm_key = 0x5eedull;
+  cold.warm_publish = true;
+  const auto cold_sol = ctmc::solve_transient(chain, reward, times, cold);
+  EXPECT_GE(cold_sol.qs_extrapolations, 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  UniformizationOptions warm = cold;
+  warm.warm_publish = false;
+  const auto warm_sol = ctmc::solve_transient(chain, reward, times, warm);
+  EXPECT_TRUE(warm_sol.warm_start_hit);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_LT(warm_sol.total_iterations, cold_sol.total_iterations)
+      << "warm confirmation must be shorter than the cold lookback";
+  EXPECT_NEAR(warm_sol.expected_reward[0], cold_sol.expected_reward[0],
+              1e-12 + 1e-8 * cold_sol.expected_reward[0]);
+
+  // Same cache state, same options → bitwise repeatable.
+  const auto again = ctmc::solve_transient(chain, reward, times, warm);
+  EXPECT_EQ(bits(again.expected_reward[0]), bits(warm_sol.expected_reward[0]));
+  EXPECT_EQ(again.total_iterations, warm_sol.total_iterations);
+}
+
+TEST(SolverTelemetry, SteadyCutoffCounterFiresInBothSolvers) {
+  // Two-state flip-flop far past its relaxation time: both the transient
+  // and the accumulated stepper must latch the steady state and report it
+  // under ctmc.uniformization.steady_cutoffs.
+  MarkovChain chain;
+  chain.num_states = 2;
+  chain.rates = CsrMatrix::from_triplets(2, 2, {{0, 1, 3.0}, {1, 0, 1.0}});
+  chain.exit_rate = {3.0, 1.0};
+  chain.initial = {1.0, 0.0};
+  const std::vector<double> reward = {0.0, 1.0};
+  const std::vector<double> times = {200.0};
+
+  util::TelemetrySession session;
+  const auto t_sol = ctmc::solve_transient(chain, reward, times);
+  const auto t_snap = session.registry().snapshot();
+  const std::uint64_t after_transient =
+      t_snap.counters.at("ctmc.uniformization.steady_cutoffs");
+  EXPECT_GE(after_transient, 1u);
+  EXPECT_NEAR(t_sol.expected_reward[0], 0.75, 1e-10);
+
+  const auto a_sol = ctmc::solve_accumulated(chain, reward, times);
+  const auto a_snap = session.registry().snapshot();
+  EXPECT_GT(a_snap.counters.at("ctmc.uniformization.steady_cutoffs"),
+            after_transient);
+  // ∫₀²⁰⁰ P(state 1, u) du = 0.75·200 − (0.75/4)(1 − e⁻⁸⁰⁰).
+  EXPECT_NEAR(a_sol.accumulated[0], 150.0 - 0.1875, 1e-6);
+}
+
+TEST(DenseExpm, MatchesClosedForms) {
+  // Nilpotent: exp([[0,1],[0,0]]) = [[1,1],[0,1]].
+  const auto nil = ctmc::dense_expm({0.0, 1.0, 0.0, 0.0}, 2);
+  EXPECT_NEAR(nil[0], 1.0, 1e-14);
+  EXPECT_NEAR(nil[1], 1.0, 1e-14);
+  EXPECT_NEAR(nil[2], 0.0, 1e-14);
+  EXPECT_NEAR(nil[3], 1.0, 1e-14);
+
+  // Diagonal: exp(diag(ln 2, −1)) = diag(2, e⁻¹).
+  const auto diag =
+      ctmc::dense_expm({std::log(2.0), 0.0, 0.0, -1.0}, 2);
+  EXPECT_NEAR(diag[0], 2.0, 1e-13);
+  EXPECT_NEAR(diag[3], std::exp(-1.0), 1e-14);
+
+  // Skew-symmetric: exp(θJ) is a rotation by θ — exercises the squaring
+  // phase (‖A‖ > θ₁₃ for θ = 8).
+  const double theta = 8.0;
+  const auto rot = ctmc::dense_expm({0.0, theta, -theta, 0.0}, 2);
+  EXPECT_NEAR(rot[0], std::cos(theta), 1e-12);
+  EXPECT_NEAR(rot[1], std::sin(theta), 1e-12);
+  EXPECT_NEAR(rot[2], -std::sin(theta), 1e-12);
+  EXPECT_NEAR(rot[3], std::cos(theta), 1e-12);
+}
+
+}  // namespace
