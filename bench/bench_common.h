@@ -31,10 +31,13 @@
 namespace bench {
 
 /// Run-telemetry for a bench driver: the --metrics-out/--progress/--log-json
-/// flags, and the TelemetrySession they activate.  parse_bench_flags()
-/// registers the flags and starts the session; the driver calls
-/// finish_telemetry() once after its workload.  One process-wide instance
-/// (telemetry()) keeps the driver wiring to those two calls.
+/// flags plus the observability taps --trace-out (flight recorder with
+/// Perfetto export, docs/OBSERVABILITY.md "Flight recorder") and
+/// --tap/--tap-interval (live telemetry snapshot file for ahs_top).
+/// parse_bench_flags() registers the flags and starts the session; the
+/// driver calls finish_telemetry() once after its workload.  One
+/// process-wide instance (telemetry()) keeps the driver wiring to those two
+/// calls.
 class BenchTelemetry {
  public:
   void add_flags(util::Cli& cli) {
@@ -45,16 +48,36 @@ class BenchTelemetry {
         "progress", "print the telemetry summary (span tree, metric tables)");
     log_json_ = cli.add_flag("log-json",
                              "emit log lines as JSON objects (one per line)");
+    trace_out_ = cli.add_string(
+        "trace-out", "",
+        "record a flight-recorder event trace and write it as "
+        "Chrome/Perfetto trace-event JSON (schema ahs.trace.v1)");
+    tap_path_ = cli.add_string(
+        "tap", "",
+        "atomically publish a live telemetry snapshot (schema "
+        "ahs.telemetry.live.v1) to this file every --tap-interval seconds "
+        "(tail it with ahs_top)");
+    tap_interval_ = cli.add_double(
+        "tap-interval", 1.0, "seconds between --tap snapshots");
   }
 
   /// Applies the parsed flags: switches the log format and attaches the
-  /// process-wide metrics registry + span tree when any output was asked
-  /// for.  Must run before the instrumented workload starts.
+  /// process-wide metrics registry + span tree (and, with --trace-out, the
+  /// flight recorder; with --tap, the live publisher) when any output was
+  /// asked for.  Must run before the instrumented workload starts.
   void start() {
     if (log_json_ && *log_json_) util::set_log_format(util::LogFormat::kJson);
-    if ((metrics_out_ && !metrics_out_->empty()) ||
-        (progress_ && *progress_))
+    const bool tracing = trace_out_ && !trace_out_->empty();
+    const bool tapping = tap_path_ && !tap_path_->empty();
+    if ((metrics_out_ && !metrics_out_->empty()) || (progress_ && *progress_) ||
+        tracing || tapping)
       session_ = std::make_unique<util::TelemetrySession>();
+    if (tracing) {
+      recorder_ = std::make_unique<util::TraceRecorder>();
+      util::TraceRecorder::set_global(recorder_.get());
+    }
+    if (tapping)
+      tap_ = std::make_unique<util::TelemetryTap>(*tap_path_, *tap_interval_);
   }
 
   bool active() const { return session_ != nullptr; }
@@ -65,14 +88,25 @@ class BenchTelemetry {
     return session_ ? session_->report().to_json_fragment() : std::string();
   }
 
-  /// Emits the requested outputs (summary table and/or JSON file).
+  /// Emits the requested outputs (summary table, JSON file, trace export,
+  /// final tap snapshot).
   void finish() {
     if (!session_) return;
+    tap_.reset();  // publishes the terminal snapshot
     const util::TelemetryReport report = session_->report();
     if (*progress_) report.render_summary(std::cout);
     if (!metrics_out_->empty()) {
       report.write_json_file(*metrics_out_);
       std::cout << "telemetry written to " << *metrics_out_ << "\n";
+    }
+    if (recorder_ != nullptr) {
+      recorder_->write_chrome_trace(*trace_out_);
+      const util::TraceRecorder::Summary s = recorder_->summary();
+      std::cout << "trace written to " << *trace_out_ << " (" << s.retained
+                << " events retained, " << s.dropped << " dropped, "
+                << s.threads << " threads)\n";
+      util::TraceRecorder::set_global(nullptr);
+      recorder_.reset();
     }
   }
 
@@ -80,7 +114,12 @@ class BenchTelemetry {
   std::shared_ptr<std::string> metrics_out_;
   std::shared_ptr<bool> progress_;
   std::shared_ptr<bool> log_json_;
+  std::shared_ptr<std::string> trace_out_;
+  std::shared_ptr<std::string> tap_path_;
+  std::shared_ptr<double> tap_interval_;
   std::unique_ptr<util::TelemetrySession> session_;
+  std::unique_ptr<util::TraceRecorder> recorder_;
+  std::unique_ptr<util::TelemetryTap> tap_;
 };
 
 /// The driver's telemetry instance (one per process).

@@ -16,12 +16,15 @@
 // point degraded.
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "ahs/sweep.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/stopflag.h"
 #include "util/string_util.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -53,6 +56,16 @@ int main(int argc, char** argv) {
   const auto seed = cli.add_int("seed", 42, "master RNG seed");
   const auto timeout = cli.add_double(
       "point-timeout", 0.0, "per-point wall budget in seconds (0 = off)");
+  const auto trace_out = cli.add_string(
+      "trace-out", "",
+      "write a flight-recorder trace (Chrome/Perfetto JSON, schema "
+      "ahs.trace.v1) covering the sweep, incl. checkpoint/resume events");
+  const auto tap_path = cli.add_string(
+      "tap", "",
+      "publish a live telemetry snapshot (ahs.telemetry.live.v1) to this "
+      "file for ahs_top");
+  const auto tap_interval =
+      cli.add_double("tap-interval", 1.0, "seconds between --tap snapshots");
   try {
     if (!cli.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -60,6 +73,21 @@ int main(int argc, char** argv) {
     return 2;
   }
   util::install_stop_handlers();
+
+  // Observability taps (docs/OBSERVABILITY.md): a telemetry session feeds
+  // both the tap publisher and the trace summary; the flight recorder is
+  // attached only when a trace was requested.
+  std::unique_ptr<util::TelemetrySession> session;
+  std::unique_ptr<util::TraceRecorder> recorder;
+  std::unique_ptr<util::TelemetryTap> tap;
+  if (!trace_out->empty() || !tap_path->empty())
+    session = std::make_unique<util::TelemetrySession>();
+  if (!trace_out->empty()) {
+    recorder = std::make_unique<util::TraceRecorder>();
+    util::TraceRecorder::set_global(recorder.get());
+  }
+  if (!tap_path->empty())
+    tap = std::make_unique<util::TelemetryTap>(*tap_path, *tap_interval);
 
   ahs::Parameters base;
   base.max_per_platoon = static_cast<int>(*n);
@@ -88,6 +116,16 @@ int main(int argc, char** argv) {
             << times.size() << " time points (simulation engine, n = " << *n
             << ")\n";
   const ahs::SweepResult sweep = ahs::run_sweep(points, times, opts);
+
+  // Flush the observability outputs before the exit-status branches: an
+  // interrupted run still leaves a valid (partial) trace and a final tap
+  // snapshot behind.
+  tap.reset();
+  if (recorder != nullptr) {
+    recorder->write_chrome_trace(*trace_out);
+    std::cout << "trace written to " << *trace_out << "\n";
+    util::TraceRecorder::set_global(nullptr);
+  }
 
   if (sweep.cancelled) {
     std::cout << "interrupted — progress checkpointed"

@@ -14,6 +14,7 @@
 #include "util/spans.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace ahs {
 
@@ -219,6 +220,26 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
     reg->counter("util.thread_pool.busy_ns");
     reg->histogram("util.thread_pool.queue_depth",
                    {0, 1, 2, 4, 8, 16, 32, 64, 128});
+    // Live-progress denominator for the telemetry tap (util/telemetry.h):
+    // points done / points_total is how ahs_top draws its bar.
+    reg->gauge("ahs.sweep.points_total")
+        .set(static_cast<double>(points.size()));
+  }
+
+  // Flight-recorder lifecycle events (util/trace.h): one instant per point
+  // transition, arg a = point index, so a Perfetto timeline shows when each
+  // point was queued, started (cold build vs follower), and how it ended.
+  util::TraceRecorder* trc = util::TraceRecorder::global();
+  util::TraceName tr_queued, tr_cold, tr_warm, tr_computed, tr_restored,
+      tr_degraded, tr_skipped;
+  if (trc != nullptr) {
+    tr_queued = trc->name("sweep.point.queued");
+    tr_cold = trc->name("sweep.point.cold");
+    tr_warm = trc->name("sweep.point.warm");
+    tr_computed = trc->name("sweep.point.computed");
+    tr_restored = trc->name("sweep.point.restored");
+    tr_degraded = trc->name("sweep.point.degraded");
+    tr_skipped = trc->name("sweep.point.skipped");
   }
 
   SweepResult result;
@@ -281,6 +302,9 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
       is_cold[i] = 1;
     }
   }
+  if (trc != nullptr)
+    for (std::size_t i = 0; i < points.size(); ++i)
+      tr_queued.instant(i, is_cold[i]);
 
   // vector<bool> packs bits, so concurrent writes to distinct indices would
   // race; stage the hit flags in bytes.
@@ -294,6 +318,7 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
 
   auto evaluate = [&](std::size_t i) {
     AHS_SPAN("sweep.point");
+    (is_cold[i] != 0 ? tr_cold : tr_warm).instant(i);
     const auto start = std::chrono::steady_clock::now();
     const auto record_seconds = [&] {
       result.point_seconds[i] =
@@ -307,6 +332,7 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
     if (stopped()) {
       any_cancelled.store(true, std::memory_order_relaxed);
       record_seconds();
+      tr_skipped.instant(i);
       return;
     }
 
@@ -326,6 +352,7 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
         result.curves[i] = decode_curve(payload);
         result.outcome[i] = PointOutcome::kRestored;
         record_seconds();
+        tr_restored.instant(i);
         if (reg != nullptr) {
           tm_points.inc();
           tm_restored.inc();
@@ -412,6 +439,12 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
     }
 
     record_seconds();
+    switch (result.outcome[i]) {
+      case PointOutcome::kComputed: tr_computed.instant(i); break;
+      case PointOutcome::kDegraded: tr_degraded.instant(i); break;
+      case PointOutcome::kRestored: tr_restored.instant(i); break;
+      case PointOutcome::kSkipped: tr_skipped.instant(i); break;
+    }
     if (reg != nullptr) {
       tm_points.inc();
       (hits[i] != 0 ? tm_hits : tm_misses).inc();

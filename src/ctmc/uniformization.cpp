@@ -14,6 +14,7 @@
 #include "util/snapshot.h"
 #include "util/spans.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace ctmc {
 
@@ -128,7 +129,22 @@ struct UnifTelemetry {
   util::HistogramHandle window_size;  ///< Poisson window width per miss
   util::Gauge truncation;  ///< Poisson mass left outside the last window
 
+  // Flight-recorder milestones (util/trace.h) — independent of the metrics
+  // registry; each emit is one branch when no recorder is attached.
+  util::TraceName tr_window;    ///< instant per interval (a=interval, b=right)
+  util::TraceName tr_steady;    ///< steady-state cutoff fired (a=k)
+  util::TraceName tr_qs;        ///< quasi-stationary extrapolation (a=k)
+  util::TraceName tr_warm;      ///< warm-start shape validated (a=k)
+  util::TraceName tr_ramp;      ///< rate-ramp segments run (a=segments)
+
   UnifTelemetry() {
+    if (util::TraceRecorder* trc = util::TraceRecorder::global()) {
+      tr_window = trc->name("unif.window_start");
+      tr_steady = trc->name("unif.steady_cutoff");
+      tr_qs = trc->name("unif.qs_extrapolation");
+      tr_warm = trc->name("unif.warm_start_hit");
+      tr_ramp = trc->name("unif.ramp_segments");
+    }
     if (util::MetricsRegistry* reg = util::MetricsRegistry::global()) {
       on = true;
       solves = reg->counter("ctmc.uniformization.solves");
@@ -660,6 +676,7 @@ AccumulatedSolution solve_accumulated(const MarkovChain& chain,
     const double dt = t - pi_time;
     if (dt > 0.0) {
       const PoissonWindow& win = memo.get(unif_rate * dt);
+      tm.tr_window.instant(sol.accumulated.size(), win.right);
       // Survival function of the Poisson count: P(N ≥ k+1).  Below the
       // window it is ≈ 1; inside it decreases by the pmf weights; above
       // it is ≈ 0.
@@ -691,6 +708,7 @@ AccumulatedSolution solve_accumulated(const MarkovChain& chain,
           // of the interval closes in one scalar pass over the survival
           // weights instead of win.right − k more products.
           steady = true;
+          tm.tr_steady.instant(k);
           double vr = 0.0;
           for (std::uint32_t s = 0; s < n; ++s) vr += v[s] * reward[s];
           double wsum = 0.0;
@@ -759,6 +777,7 @@ TransientSolution solve_transient(const MarkovChain& chain,
         run_rate_ramp(chain, options, unif_rate, memo, pi, pi_time,
                       time_points.front(), sol.total_iterations);
     if (tm.on && sol.ramp_segments > 0) tm.ramp_segments.add(sol.ramp_segments);
+    if (sol.ramp_segments > 0) tm.tr_ramp.instant(sol.ramp_segments);
   }
 
   DtmcStepper dtmc_step(chain, unif_rate, options.pool,
@@ -770,6 +789,7 @@ TransientSolution solve_transient(const MarkovChain& chain,
     const double dt = t - pi_time;
     if (dt > 0.0) {
       const PoissonWindow& win = memo.get(unif_rate * dt);
+      tm.tr_window.instant(interval, win.right);
       std::fill(acc.begin(), acc.end(), 0.0);
       v = pi;
       double remaining = 1.0;
@@ -811,6 +831,7 @@ TransientSolution solve_transient(const MarkovChain& chain,
         if (in_window) remaining -= w;
         if (dtmc_step.steady()) {
           steady = true;
+          tm.tr_steady.instant(k);
           v.swap(v_next);
           break;
         }
@@ -842,6 +863,8 @@ TransientSolution solve_transient(const MarkovChain& chain,
             qs_close_window(chain.exit_rate, win, k, v, v_next, acc,
                             remaining);
             qs_fired = true;
+            tm.tr_qs.instant(k, win.right);
+            if (warm_ok) tm.tr_warm.instant(k);
             ++sol.qs_extrapolations;
             sol.warm_start_hit = sol.warm_start_hit || warm_ok;
             if (options.warm_cache != nullptr && options.warm_publish) {

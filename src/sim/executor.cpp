@@ -179,6 +179,12 @@ void Executor::build_view() {
 }
 
 void Executor::resolve_telemetry() {
+  util::TraceRecorder* trc = util::TraceRecorder::global();
+  if (trc != tr_recorder_) {
+    tr_recorder_ = trc;
+    tr_events_ =
+        trc != nullptr ? trc->name("executor.events") : util::TraceName();
+  }
   util::MetricsRegistry* reg = util::MetricsRegistry::global();
   if (reg == tm_registry_) return;
   tm_registry_ = reg;
@@ -643,6 +649,15 @@ bool Executor::step() {
              : step_scheduled();
 }
 
+// One counter sample per run_until call (not per event): the trace timeline
+// gets an events-processed track without touching the per-event hot path.
+void Executor::note_events_fired(std::uint64_t fired) {
+  if (fired > 0) {
+    tr_events_total_ += fired;
+    tr_events_.counter(tr_events_total_);
+  }
+}
+
 std::uint64_t Executor::run_until(double t_end,
                                   const std::function<bool()>& stop) {
   std::uint64_t fired = 0;
@@ -651,6 +666,7 @@ std::uint64_t Executor::run_until(double t_end,
       ++fired;
       if (stop && stop()) break;
     }
+    note_events_fired(fired);
     return fired;
   }
   while (true) {
@@ -660,6 +676,7 @@ std::uint64_t Executor::run_until(double t_end,
     ++fired;
     if (stop && stop()) break;
   }
+  note_events_fired(fired);
   return fired;
 }
 

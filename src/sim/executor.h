@@ -60,6 +60,7 @@
 #include "util/arena.h"
 #include "util/metrics.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace sim {
 
@@ -303,6 +304,15 @@ class Executor {
   } tm_;
   util::MetricsRegistry* tm_registry_ = nullptr;  ///< handles resolved from
   void resolve_telemetry();
+
+  // Flight-recorder hook (util/trace.h): one counter sample per run_until
+  // return — an events-processed track per thread on the trace timeline —
+  // so the per-event hot path stays untouched (the 2% detached overhead
+  // guard covers the tracing-detached path too).
+  void note_events_fired(std::uint64_t fired);
+  util::TraceName tr_events_;
+  util::TraceRecorder* tr_recorder_ = nullptr;
+  std::uint64_t tr_events_total_ = 0;
 };
 
 }  // namespace sim

@@ -14,6 +14,7 @@
 #include "util/snapshot.h"
 #include "util/spans.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace sim {
 
@@ -165,6 +166,17 @@ TransientResult estimate_transient(const san::FlatModel& model,
 
   util::MetricsRegistry* reg = util::MetricsRegistry::global();
 
+  // Flight-recorder events (util/trace.h): importance-sampling round
+  // boundaries as begin/end pairs (a = replications done, b = round size)
+  // plus checkpoint/resume instants — the timeline a flight recorder needs
+  // to show where a long rare-event estimate spends its rounds.
+  util::TraceName tr_round, tr_ckpt, tr_resume;
+  if (util::TraceRecorder* trc = util::TraceRecorder::global()) {
+    tr_round = trc->name("transient.round");
+    tr_ckpt = trc->name("transient.checkpoint");
+    tr_resume = trc->name("transient.resume");
+  }
+
   // ---- checkpoint plumbing --------------------------------------------
   const bool checkpointing = !options.checkpoint_path.empty();
   const util::SnapshotHeader header{"transient", options.model_fingerprint,
@@ -184,6 +196,7 @@ TransientResult estimate_transient(const san::FlatModel& model,
       os << " " << util::encode_double(v);
     os << "\n";
     util::write_snapshot(options.checkpoint_path, header, os.str());
+    tr_ckpt.instant(done);
     if (reg != nullptr) reg->counter("sim.transient.checkpoint_writes").inc();
   };
 
@@ -205,6 +218,7 @@ TransientResult estimate_transient(const san::FlatModel& model,
       for (std::uint64_t i = 0; i < traj; ++i)
         result.rel_half_width_trajectory.push_back(in.next_f64());
       result.resumed = true;
+      tr_resume.instant(done);
       if (reg != nullptr) reg->counter("sim.transient.resumes").inc();
       AHS_LOGM_INFO("sim") << "resumed transient estimate from '"
                            << options.checkpoint_path << "' at " << done
@@ -274,6 +288,7 @@ TransientResult estimate_transient(const san::FlatModel& model,
     const std::uint64_t round = std::min<std::uint64_t>(
         std::max<std::uint64_t>(options.check_every, workers),
         options.max_replications - done);
+    tr_round.begin(done, round);
 
     auto run_worker = [&](std::uint32_t w) {
       Worker& wk = pool[w];
@@ -318,6 +333,7 @@ TransientResult estimate_transient(const san::FlatModel& model,
       wk.events = 0;
     }
     done += round;
+    tr_round.end();
 
     result.rel_half_width_trajectory.push_back(
         stats.back().interval(options.confidence).relative_half_width());

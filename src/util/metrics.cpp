@@ -1,5 +1,6 @@
 #include "util/metrics.h"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 
@@ -199,6 +200,26 @@ void HistogramHandle::record(double v) {
   metrics_detail::cell_add(s->cell(cell_ + bucket), 1);
   metrics_detail::cell_add(s->cell(cell_ + buckets_ + 1), 1);
   metrics_detail::cell_add_double(s->cell(cell_ + buckets_ + 2), v);
+}
+
+double MetricsSnapshot::HistogramData::percentile(double q) const {
+  if (count == 0 || bounds.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double n = static_cast<double>(counts[b]);
+    if (n == 0.0) continue;
+    if (cum + n >= target) {
+      if (b >= bounds.size()) return bounds.back();  // overflow bucket
+      const double lower = b == 0 ? std::min(0.0, bounds[0]) : bounds[b - 1];
+      const double upper = bounds[b];
+      return lower + (upper - lower) * ((target - cum) / n);
+    }
+    cum += n;
+  }
+  return bounds.back();
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {

@@ -96,6 +96,13 @@ struct MetricsSnapshot {
     std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow last)
     std::uint64_t count = 0;            ///< total samples
     double sum = 0.0;                   ///< sum of samples
+
+    /// Bucket-interpolated quantile estimate for q in [0, 1]: linear within
+    /// the bucket holding the q·count-th sample (first bucket's lower edge
+    /// is min(0, bounds[0])).  Samples in the overflow bucket clamp to the
+    /// last bound — a lower-bound estimate, all the fixed buckets can say.
+    /// Returns 0 for an empty histogram.
+    double percentile(double q) const;
   };
 
   std::map<std::string, std::uint64_t> counters;

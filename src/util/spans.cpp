@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 
+#include "util/trace.h"
+
 namespace util {
 
 struct SpanTree::Node {
@@ -106,6 +108,10 @@ SpanTokenScope::~SpanTokenScope() {
 }
 
 ScopedSpan::ScopedSpan(const char* name) : tree_(nullptr) {
+  if ((trace_ = TraceRecorder::global()) != nullptr) {
+    trace_name_ = trace_->intern(name);
+    trace_->emit(trace_name_, TraceKind::kBegin);
+  }
   const SpanToken at = current_span_token();
   if (at.tree == nullptr) return;
   tree_ = at.tree;
@@ -116,6 +122,7 @@ ScopedSpan::ScopedSpan(const char* name) : tree_(nullptr) {
 }
 
 ScopedSpan::~ScopedSpan() {
+  if (trace_ != nullptr) trace_->emit(trace_name_, TraceKind::kEnd);
   if (tree_ == nullptr) return;
   tree_->record(node_, now_ns() - start_ns_);
   tl_span = {parent_ == nullptr ? nullptr : tree_, parent_};

@@ -94,8 +94,12 @@ class SpanTokenScope {
   bool active_;
 };
 
+class TraceRecorder;
+
 /// RAII scoped timer — use via AHS_SPAN.  `name` must outlive the scope
-/// (string literals do).
+/// (string literals do).  When a util::TraceRecorder is attached (util/
+/// trace.h) the span also emits begin/end events into the flight recorder,
+/// so the span vocabulary doubles as the trace timeline.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name);
@@ -109,6 +113,8 @@ class ScopedSpan {
   SpanTree::Node* node_ = nullptr;
   SpanTree::Node* parent_ = nullptr;
   std::uint64_t start_ns_ = 0;
+  TraceRecorder* trace_ = nullptr;
+  std::uint32_t trace_name_ = 0;
 };
 
 }  // namespace util

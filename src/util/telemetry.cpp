@@ -1,5 +1,7 @@
 #include "util/telemetry.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -7,6 +9,7 @@
 #include <sstream>
 
 #include "util/error.h"
+#include "util/snapshot.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -23,7 +26,9 @@ void append_histogram(std::ostringstream& os,
   for (std::size_t i = 0; i < h.counts.size(); ++i)
     os << (i ? ", " : "") << h.counts[i];
   os << "], \"count\": " << h.count << ", \"sum\": " << json_number(h.sum)
-     << "}";
+     << ", \"p50\": " << json_number(h.percentile(0.50))
+     << ", \"p90\": " << json_number(h.percentile(0.90))
+     << ", \"p99\": " << json_number(h.percentile(0.99)) << "}";
 }
 
 void append_metrics(std::ostringstream& os, const MetricsSnapshot& m) {
@@ -70,12 +75,27 @@ void render_span(std::ostream& os, const SpanTree::Snapshot& s, int depth) {
 
 }  // namespace
 
+namespace {
+
+void append_trace_summary(std::ostringstream& os,
+                          const TraceRecorder::Summary& t) {
+  os << "{\"threads\": " << t.threads << ", \"recorded\": " << t.recorded
+     << ", \"retained\": " << t.retained << ", \"dropped\": " << t.dropped
+     << ", \"capacity_per_thread\": " << t.capacity_per_thread << "}";
+}
+
+}  // namespace
+
 std::string TelemetryReport::to_json_fragment() const {
   std::ostringstream os;
   os << "{\"metrics\": ";
   append_metrics(os, metrics);
   os << ", \"spans\": ";
   append_span(os, spans);
+  if (has_trace) {
+    os << ", \"trace\": ";
+    append_trace_summary(os, trace);
+  }
   os << "}";
   return os.str();
 }
@@ -86,6 +106,10 @@ std::string TelemetryReport::to_json() const {
   append_metrics(os, metrics);
   os << ", \"spans\": ";
   append_span(os, spans);
+  if (has_trace) {
+    os << ", \"trace\": ";
+    append_trace_summary(os, trace);
+  }
   os << "}\n";
   return os.str();
 }
@@ -104,7 +128,8 @@ void TelemetryReport::render_summary(std::ostream& os) const {
   }
   if (!metrics.histograms.empty()) {
     os << "--- telemetry: histograms ---\n";
-    Table table({"histogram", "count", "mean", "buckets (<=bound: n)"});
+    Table table(
+        {"histogram", "count", "mean", "p50/p90/p99", "buckets (<=bound: n)"});
     for (const auto& [name, h] : metrics.histograms) {
       std::ostringstream buckets;
       for (std::size_t i = 0; i < h.counts.size(); ++i) {
@@ -116,13 +141,24 @@ void TelemetryReport::render_summary(std::ostream& os) const {
           buckets << ">" << format_fixed(h.bounds.back(), 6) << ":"
                   << h.counts[i];
       }
+      const std::string pcts =
+          h.count ? format_sci(h.percentile(0.50), 3) + "/" +
+                        format_sci(h.percentile(0.90), 3) + "/" +
+                        format_sci(h.percentile(0.99), 3)
+                  : "-";
       table.add_row({name, std::to_string(h.count),
                      h.count ? format_sci(h.sum / static_cast<double>(h.count),
                                           3)
                              : "-",
-                     buckets.str()});
+                     pcts, buckets.str()});
     }
     os << table;
+  }
+  if (has_trace) {
+    os << "--- telemetry: flight recorder ---\n"
+       << "threads " << trace.threads << ", events recorded " << trace.recorded
+       << ", retained " << trace.retained << ", dropped " << trace.dropped
+       << " (ring capacity " << trace.capacity_per_thread << "/thread)\n";
   }
 }
 
@@ -147,7 +183,157 @@ TelemetryReport TelemetrySession::report() const {
   TelemetryReport r;
   r.metrics = registry_.snapshot();
   r.spans = spans_.snapshot();
+  if (TraceRecorder* rec = TraceRecorder::global()) {
+    r.has_trace = true;
+    r.trace = rec->summary();
+  }
   return r;
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryTap
+
+namespace {
+
+/// Depth-first search for the first span node with `name`; null if absent.
+const SpanTree::Snapshot* find_span(const SpanTree::Snapshot& s,
+                                    const std::string& name) {
+  if (s.name == name) return &s;
+  for (const auto& c : s.children)
+    if (const SpanTree::Snapshot* hit = find_span(c, name)) return hit;
+  return nullptr;
+}
+
+std::uint64_t counter_or_zero(const MetricsSnapshot& m,
+                              const std::string& name) {
+  const auto it = m.counters.find(name);
+  return it == m.counters.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+TelemetryTap::TelemetryTap(std::string path, double interval_seconds)
+    : path_(std::move(path)),
+      interval_seconds_(interval_seconds > 0.0 ? interval_seconds : 1.0),
+      start_(std::chrono::steady_clock::now()) {
+  write_now();  // a reader attaching early sees a valid (empty) document
+  thread_ = std::thread([this] { run(); });
+}
+
+TelemetryTap::~TelemetryTap() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  write_now();  // final state, so a tailer sees 100% when the run ends
+}
+
+void TelemetryTap::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    cv_.wait_for(lock,
+                 std::chrono::duration<double>(interval_seconds_),
+                 [this] { return stop_; });
+    if (stop_) return;
+    lock.unlock();
+    write_now();
+    lock.lock();
+  }
+}
+
+std::string TelemetryTap::build_document() {
+  MetricsSnapshot metrics;
+  if (MetricsRegistry* reg = MetricsRegistry::global())
+    metrics = reg->snapshot();
+  SpanTree::Snapshot spans;
+  if (SpanTree* tree = SpanTree::global()) spans = tree->snapshot();
+
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const std::uint64_t wall_unix = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+
+  // Sweep progress: "ahs.sweep.points" counts every terminal point
+  // (computed, restored, degraded); points_total is a gauge run_sweep sets
+  // up front (0 outside a sweep).
+  const std::uint64_t done = counter_or_zero(metrics, "ahs.sweep.points");
+  std::uint64_t total = 0;
+  if (const auto it = metrics.gauges.find("ahs.sweep.points_total");
+      it != metrics.gauges.end() && it->second > 0.0)
+    total = static_cast<std::uint64_t>(it->second);
+
+  // Per-point ETA from the span tree: mean sweep.point wall time, scaled by
+  // the observed parallelism (summed point-seconds per elapsed second).
+  double eta = -1.0;
+  if (total > done && done > 0) {
+    if (const SpanTree::Snapshot* point = find_span(spans, "sweep.point");
+        point != nullptr && point->count > 0 && elapsed > 0.0) {
+      const double avg =
+          point->seconds / static_cast<double>(point->count);
+      const double parallelism = std::max(1.0, point->seconds / elapsed);
+      eta = static_cast<double>(total - done) * avg / parallelism;
+    }
+  } else if (total != 0 && done >= total) {
+    eta = 0.0;
+  }
+
+  std::ostringstream os;
+  os << "{\"schema\": \"ahs.telemetry.live.v1\", \"seq\": " << seq_
+     << ", \"wall_unix\": " << wall_unix
+     << ", \"elapsed_seconds\": " << json_number(elapsed);
+  os << ", \"progress\": {\"points_done\": " << done
+     << ", \"points_total\": " << total << ", \"percent\": "
+     << json_number(total > 0 ? 100.0 * static_cast<double>(done) /
+                                    static_cast<double>(total)
+                              : 0.0)
+     << ", \"eta_seconds\": ";
+  if (eta >= 0.0)
+    os << json_number(eta);
+  else
+    os << "null";
+  os << "}";
+  os << ", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : metrics.counters) {
+    os << (first ? "" : ", ") << '"' << json_escape(name) << "\": " << value;
+    first = false;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : metrics.gauges) {
+    os << (first ? "" : ", ") << '"' << json_escape(name)
+       << "\": " << json_number(value);
+    first = false;
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : metrics.histograms) {
+    os << (first ? "" : ", ") << '"' << json_escape(name)
+       << "\": {\"count\": " << h.count
+       << ", \"p50\": " << json_number(h.percentile(0.50))
+       << ", \"p90\": " << json_number(h.percentile(0.90))
+       << ", \"p99\": " << json_number(h.percentile(0.99)) << "}";
+    first = false;
+  }
+  os << "}";
+  if (TraceRecorder* rec = TraceRecorder::global()) {
+    os << ", \"trace\": ";
+    append_trace_summary(os, rec->summary());
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void TelemetryTap::write_now() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::string doc = build_document();
+  atomic_write_file(path_, doc);
+  ++seq_;
 }
 
 }  // namespace util

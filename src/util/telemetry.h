@@ -15,17 +15,26 @@
 // naturally differ between runs.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <iosfwd>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "util/metrics.h"
 #include "util/spans.h"
+#include "util/trace.h"
 
 namespace util {
 
 struct TelemetryReport {
   MetricsSnapshot metrics;
   SpanTree::Snapshot spans;
+  /// Flight-recorder aggregate, folded in when a TraceRecorder was attached
+  /// at report() time (additive "trace" field in the JSON document).
+  bool has_trace = false;
+  TraceRecorder::Summary trace;
 
   /// The full document: {"schema": "ahs.telemetry.v1", "metrics": {...},
   /// "spans": {...}}.
@@ -64,6 +73,45 @@ class TelemetrySession {
   SpanTree spans_;
   MetricsRegistry* prev_registry_;
   SpanTree* prev_spans_;
+};
+
+/// Live telemetry publisher: a background thread that periodically snapshots
+/// the process-wide registry/span tree/trace recorder and *atomically*
+/// replaces a small JSON file (schema "ahs.telemetry.live.v1") with the
+/// current state — progress (points done/total, ETA derived from the span
+/// tree), every gauge and counter, and compact histogram percentiles.
+/// The write is util/snapshot's write-temp + fsync + rename, so a concurrent
+/// reader (examples/ahs_top, the future ahs_server) never observes a torn
+/// document.  Destroying the tap publishes one final snapshot.
+///
+/// The tap only *reads* globals; results of the instrumented run are
+/// bitwise identical with or without a tap attached.
+class TelemetryTap {
+ public:
+  TelemetryTap(std::string path, double interval_seconds);
+  ~TelemetryTap();
+
+  TelemetryTap(const TelemetryTap&) = delete;
+  TelemetryTap& operator=(const TelemetryTap&) = delete;
+
+  /// Builds and atomically publishes one snapshot (also what the background
+  /// thread does every interval).  Thread-safe.
+  void write_now();
+
+  /// The document write_now() would publish (exposed for tests).
+  std::string build_document();
+
+ private:
+  void run();
+
+  std::string path_;
+  double interval_seconds_;
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mutex_;  ///< serializes write_now() and guards seq_/stop_
+  std::condition_variable cv_;
+  std::uint64_t seq_ = 0;
+  bool stop_ = false;
+  std::thread thread_;
 };
 
 }  // namespace util

@@ -1,0 +1,282 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace util {
+
+namespace {
+
+// Packed ring layout: 4 words per event — [ts_ns, a, b, name<<8 | kind].
+constexpr std::size_t kWordsPerEvent = 4;
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Recorders get a process-unique id so a thread-local cached ring from a
+/// destroyed recorder can never be mistaken for a live one even if the
+/// allocator reuses the address (same guard as MetricsRegistry shards).
+std::atomic<std::uint64_t> g_recorder_ids{1};
+
+std::atomic<TraceRecorder*> g_global{nullptr};
+
+inline void word_store(std::uint64_t* w, std::uint64_t v) {
+  std::atomic_ref<std::uint64_t>(*w).store(v, std::memory_order_relaxed);
+}
+
+inline std::uint64_t word_load(const std::uint64_t* w) {
+  return std::atomic_ref<const std::uint64_t>(*w).load(
+      std::memory_order_relaxed);
+}
+
+}  // namespace
+
+struct TraceRecorder::Buffer {
+  Buffer(std::uint32_t tid, std::size_t capacity)
+      : tid(tid),
+        capacity(capacity),
+        words(new std::uint64_t[capacity * kWordsPerEvent]()) {}
+
+  const std::uint32_t tid;
+  const std::size_t capacity;
+  const std::unique_ptr<std::uint64_t[]> words;
+  /// Monotonic count of events ever written; slot = index % capacity.
+  /// Published with release after the slot words, loaded with acquire by
+  /// readers.
+  std::atomic<std::uint64_t> head{0};
+};
+
+namespace {
+
+struct TlRing {
+  std::uint64_t recorder_id;
+  TraceRecorder::Buffer* buffer;
+};
+
+thread_local std::vector<TlRing> tl_rings;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity_per_thread)
+    : capacity_(capacity_per_thread == 0 ? 1 : capacity_per_thread),
+      clock_(&steady_now_ns),
+      start_ns_(steady_now_ns()),
+      id_(g_recorder_ids.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceRecorder::~TraceRecorder() {
+  if (global() == this) set_global(nullptr);
+}
+
+TraceRecorder* TraceRecorder::global() {
+  return g_global.load(std::memory_order_acquire);
+}
+
+void TraceRecorder::set_global(TraceRecorder* recorder) {
+  g_global.store(recorder, std::memory_order_release);
+}
+
+void TraceRecorder::set_clock_for_test(ClockFn fn) {
+  clock_.store(fn, std::memory_order_relaxed);
+  start_ns_ = fn();
+}
+
+std::uint64_t TraceRecorder::now() const {
+  return clock_.load(std::memory_order_relaxed)();
+}
+
+TraceName TraceRecorder::name(const std::string& event_name) {
+  return TraceName(this, intern(event_name.c_str()));
+}
+
+std::uint32_t TraceRecorder::intern(const char* event_name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = name_ids_.find(event_name);
+  if (it != name_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(event_name);
+  name_ids_.emplace(event_name, id);
+  return id;
+}
+
+TraceRecorder::Buffer* TraceRecorder::buffer() {
+  for (const TlRing& r : tl_rings)
+    if (r.recorder_id == id_) return r.buffer;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto owned = std::make_unique<Buffer>(
+      static_cast<std::uint32_t>(buffers_.size()) + 1, capacity_);
+  Buffer* raw = owned.get();
+  buffers_.push_back(std::move(owned));
+  tl_rings.push_back({id_, raw});
+  return raw;
+}
+
+void TraceRecorder::emit(std::uint32_t name_id, TraceKind kind,
+                         std::uint64_t a, std::uint64_t b) {
+  Buffer* buf = buffer();
+  const std::uint64_t h = buf->head.load(std::memory_order_relaxed);
+  std::uint64_t* slot =
+      buf->words.get() + (h % buf->capacity) * kWordsPerEvent;
+  word_store(slot + 0, now());
+  word_store(slot + 1, a);
+  word_store(slot + 2, b);
+  word_store(slot + 3, (static_cast<std::uint64_t>(name_id) << 8) |
+                           static_cast<std::uint64_t>(kind));
+  buf->head.store(h + 1, std::memory_order_release);
+}
+
+TraceRecorder::Snapshot TraceRecorder::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.names = names_;
+  snap.capacity_per_thread = capacity_;
+  snap.start_ns = start_ns_;
+  snap.threads.reserve(buffers_.size());
+  for (const auto& buf : buffers_) {
+    ThreadSnapshot ts;
+    ts.tid = buf->tid;
+    const std::uint64_t head = buf->head.load(std::memory_order_acquire);
+    // The writer stores an event's words *before* publishing the advanced
+    // head, so the slot of logical index `head - capacity` may be
+    // mid-overwrite (by the unpublished event `head`) right now.  The safe
+    // window is therefore the most recent capacity-1 events.
+    const std::uint64_t lo =
+        head >= buf->capacity ? head - buf->capacity + 1 : 0;
+    std::vector<TraceEvent> events;
+    events.reserve(static_cast<std::size_t>(head - lo));
+    for (std::uint64_t i = lo; i < head; ++i) {
+      const std::uint64_t* slot =
+          buf->words.get() + (i % buf->capacity) * kWordsPerEvent;
+      TraceEvent ev;
+      ev.ts_ns = word_load(slot + 0);
+      ev.a = word_load(slot + 1);
+      ev.b = word_load(slot + 2);
+      const std::uint64_t packed = word_load(slot + 3);
+      ev.name = static_cast<std::uint32_t>(packed >> 8);
+      ev.kind = static_cast<TraceKind>(packed & 0xff);
+      events.push_back(ev);
+    }
+    // The writer may have lapped part of what we copied: any index its new
+    // head has pushed out of the safe window was (or is being) overwritten,
+    // so drop it — the remainder is a consistent suffix.
+    const std::uint64_t head2 = buf->head.load(std::memory_order_acquire);
+    const std::uint64_t lo2 =
+        head2 >= buf->capacity ? head2 - buf->capacity + 1 : 0;
+    if (lo2 > lo)
+      events.erase(events.begin(),
+                   events.begin() +
+                       static_cast<std::ptrdiff_t>(
+                           std::min<std::uint64_t>(lo2 - lo, events.size())));
+    ts.recorded = head;
+    ts.dropped = head - events.size();
+    ts.events = std::move(events);
+    snap.threads.push_back(std::move(ts));
+  }
+  return snap;
+}
+
+TraceRecorder::Summary TraceRecorder::summary() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Summary s;
+  s.threads = buffers_.size();
+  s.capacity_per_thread = capacity_;
+  for (const auto& buf : buffers_) {
+    const std::uint64_t head = buf->head.load(std::memory_order_acquire);
+    // Mirrors snapshot(): once wrapped, the coherent window is capacity-1.
+    const std::uint64_t retained =
+        head < capacity_ ? head : capacity_ - 1;
+    s.recorded += head;
+    s.retained += retained;
+    s.dropped += head - retained;
+  }
+  return s;
+}
+
+namespace {
+
+void append_ts_us(std::ostringstream& os, std::uint64_t ts_ns,
+                  std::uint64_t epoch_ns) {
+  const std::uint64_t rel = ts_ns >= epoch_ns ? ts_ns - epoch_ns : 0;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f",
+                static_cast<double>(rel) / 1000.0);
+  os << buf;
+}
+
+}  // namespace
+
+std::string TraceRecorder::chrome_trace_json() const {
+  const Snapshot snap = snapshot();
+  std::ostringstream os;
+  os << "{\"schema\": \"ahs.trace.v1\",\n\"displayTimeUnit\": \"ms\",\n";
+  Summary s;
+  for (const ThreadSnapshot& t : snap.threads) {
+    ++s.threads;
+    s.recorded += t.recorded;
+    s.retained += t.events.size();
+    s.dropped += t.dropped;
+  }
+  os << "\"otherData\": {\"threads\": " << s.threads
+     << ", \"recorded\": " << s.recorded << ", \"retained\": " << s.retained
+     << ", \"dropped\": " << s.dropped
+     << ", \"capacity_per_thread\": " << snap.capacity_per_thread << "},\n";
+  os << "\"traceEvents\": [";
+  bool first = true;
+  for (const ThreadSnapshot& t : snap.threads) {
+    // Wraparound can leave unmatched leading "E" events (their "B" was
+    // overwritten); a depth counter drops them so the document stays
+    // well-nested per thread.
+    std::uint64_t depth = 0;
+    for (const TraceEvent& ev : t.events) {
+      const char* ph = nullptr;
+      switch (ev.kind) {
+        case TraceKind::kBegin:
+          ph = "B";
+          ++depth;
+          break;
+        case TraceKind::kEnd:
+          if (depth == 0) continue;
+          --depth;
+          ph = "E";
+          break;
+        case TraceKind::kInstant:
+          ph = "i";
+          break;
+        case TraceKind::kCounter:
+          ph = "C";
+          break;
+      }
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "{\"name\": \"" << json_escape(snap.names[ev.name])
+         << "\", \"cat\": \"ahs\", \"ph\": \"" << ph
+         << "\", \"pid\": 1, \"tid\": " << t.tid << ", \"ts\": ";
+      append_ts_us(os, ev.ts_ns, snap.start_ns);
+      if (ev.kind == TraceKind::kInstant)
+        os << ", \"s\": \"t\", \"args\": {\"a\": " << ev.a
+           << ", \"b\": " << ev.b << "}";
+      else if (ev.kind == TraceKind::kCounter)
+        os << ", \"args\": {\"value\": " << ev.a << "}";
+      os << "}";
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+void TraceRecorder::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  AHS_REQUIRE(out.good(), "cannot open trace output file '" + path + "'");
+  out << chrome_trace_json();
+}
+
+}  // namespace util

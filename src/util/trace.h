@@ -1,0 +1,180 @@
+// Flight recorder: per-thread lock-free binary ring buffers of timestamped
+// trace events, exported as a Chrome trace-event / Perfetto-compatible JSON
+// document (schema "ahs.trace.v1").
+//
+// Design (same discipline as util/metrics and AHS_SPAN):
+//  * Handles, not lookups: a call site resolves `recorder.name("...")` once
+//    and keeps the TraceName; the per-event operation is handle.instant(a, b).
+//  * Detached means free: a default-constructed TraceName (or one resolved
+//    from a null recorder) makes every operation a single predictable
+//    branch.  Components resolve TraceRecorder::global(), which is null
+//    unless a recorder is attached (bench --trace-out, tests).
+//  * One writer per buffer: each thread records into its own ring; event
+//    words are written through std::atomic_ref with relaxed ordering and the
+//    ring head is published with release, so a concurrent snapshot() (the
+//    exporter, the telemetry tap's summary) is race-free without locks on
+//    the hot path.
+//  * Bounded memory: each ring holds `capacity_per_thread` events (32 bytes
+//    apiece).  When full, the writer overwrites the oldest event —
+//    wraparound keeps the *most recent* window, which is what a flight
+//    recorder is for — and the overwritten count is reported as `dropped`.
+//    One slot is reserved for the writer's in-flight overwrite (words are
+//    stored before the head is published), so once wrapped the coherent
+//    retained window is capacity-1 events.
+//
+// What gets recorded: span begin/end (ScopedSpan emits into the attached
+// recorder, so the AHS_SPAN vocabulary appears on the trace timeline for
+// free), sweep-point lifecycle, solver milestones, checkpoint writes and
+// resumes, and importance-sampling round boundaries.  See
+// docs/OBSERVABILITY.md "Flight recorder" for the event catalogue.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace util {
+
+class TraceRecorder;
+
+/// Event phase, mapped to Chrome trace-event `ph` on export.
+enum class TraceKind : std::uint8_t {
+  kBegin = 0,    ///< duration begin ("B") — paired with kEnd on one thread
+  kEnd = 1,      ///< duration end ("E")
+  kInstant = 2,  ///< point event ("i"), args (a, b)
+  kCounter = 3,  ///< sampled value track ("C"), value = a
+};
+
+/// One decoded event (the ring stores a packed 4-word form of this).
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;  ///< recorder clock, ns since an arbitrary epoch
+  std::uint64_t a = 0;      ///< event argument (index, count, ...)
+  std::uint64_t b = 0;      ///< second argument
+  std::uint32_t name = 0;   ///< interned name id (Snapshot::names index)
+  TraceKind kind = TraceKind::kInstant;
+};
+
+/// Resolved event-name handle.  Default-constructed or resolved from a null
+/// recorder, every emit is one branch.
+class TraceName {
+ public:
+  TraceName() = default;
+  bool attached() const { return recorder_ != nullptr; }
+
+  void begin(std::uint64_t a = 0, std::uint64_t b = 0) const;
+  void end() const;
+  void instant(std::uint64_t a = 0, std::uint64_t b = 0) const;
+  void counter(std::uint64_t value) const;
+
+ private:
+  friend class TraceRecorder;
+  TraceName(TraceRecorder* r, std::uint32_t id) : recorder_(r), id_(id) {}
+  TraceRecorder* recorder_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+/// The recorder: owns the per-thread rings and the interned name table.
+class TraceRecorder {
+ public:
+  struct Buffer;  ///< opaque per-thread ring (trace.cpp)
+
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;  ///< events/thread
+
+  explicit TraceRecorder(std::size_t capacity_per_thread = kDefaultCapacity);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Find-or-create the event name; the returned handle emits with one
+  /// branch.  Registration locks — resolve once, not per event.
+  TraceName name(const std::string& event_name);
+
+  /// Find-or-create by C string (ScopedSpan's path: span names are string
+  /// literals).  Same cost class as name().
+  std::uint32_t intern(const char* event_name);
+
+  /// Any thread: record one event into the calling thread's ring.
+  void emit(std::uint32_t name_id, TraceKind kind, std::uint64_t a = 0,
+            std::uint64_t b = 0);
+
+  /// Point-in-time copy of every thread's retained window.  Safe to call
+  /// concurrently with writers: events a writer overwrites mid-copy are
+  /// dropped from the result (never returned torn).
+  struct ThreadSnapshot {
+    std::uint32_t tid = 0;        ///< registration order, 1-based
+    std::uint64_t recorded = 0;   ///< events ever emitted by this thread
+    std::uint64_t dropped = 0;    ///< overwritten by wraparound (not retained)
+    std::vector<TraceEvent> events;  ///< oldest first, ts_ns nondecreasing
+  };
+  struct Snapshot {
+    std::vector<std::string> names;  ///< index = TraceEvent::name
+    std::vector<ThreadSnapshot> threads;  ///< tid order
+    std::uint64_t capacity_per_thread = 0;
+    std::uint64_t start_ns = 0;  ///< recorder epoch (export time base)
+  };
+  Snapshot snapshot() const;
+
+  /// Cheap aggregate for the TelemetryReport / tap documents (no event copy).
+  struct Summary {
+    std::uint64_t threads = 0;
+    std::uint64_t recorded = 0;  ///< sum over threads
+    std::uint64_t retained = 0;  ///< currently held in the rings
+    std::uint64_t dropped = 0;   ///< recorded - retained
+    std::uint64_t capacity_per_thread = 0;
+  };
+  Summary summary() const;
+
+  /// The full Chrome trace-event JSON document (schema tag "ahs.trace.v1",
+  /// `traceEvents` array, ts in microseconds relative to the recorder
+  /// epoch).  Loadable by Perfetto / chrome://tracing.
+  std::string chrome_trace_json() const;
+  void write_chrome_trace(const std::string& path) const;
+
+  /// The process-wide default recorder, or null when detached.
+  static TraceRecorder* global();
+  static void set_global(TraceRecorder* recorder);
+
+  /// Test hook: replace the event clock (steady_clock ns by default) with a
+  /// deterministic source so exports golden-compare.  Resets the epoch.
+  using ClockFn = std::uint64_t (*)();
+  void set_clock_for_test(ClockFn fn);
+
+ private:
+  friend class TraceName;
+
+  Buffer* buffer();  ///< calling thread's ring, created on first emit
+  std::uint64_t now() const;
+
+  std::size_t capacity_;
+  std::atomic<ClockFn> clock_;
+  std::uint64_t start_ns_;
+  mutable std::mutex mutex_;  ///< guards names_/name_ids_/buffers_
+  std::vector<std::string> names_;
+  std::map<std::string, std::uint32_t> name_ids_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::uint64_t id_;  ///< process-unique, guards thread-local ring caches
+};
+
+inline void TraceName::begin(std::uint64_t a, std::uint64_t b) const {
+  if (recorder_ == nullptr) return;
+  recorder_->emit(id_, TraceKind::kBegin, a, b);
+}
+inline void TraceName::end() const {
+  if (recorder_ == nullptr) return;
+  recorder_->emit(id_, TraceKind::kEnd);
+}
+inline void TraceName::instant(std::uint64_t a, std::uint64_t b) const {
+  if (recorder_ == nullptr) return;
+  recorder_->emit(id_, TraceKind::kInstant, a, b);
+}
+inline void TraceName::counter(std::uint64_t value) const {
+  if (recorder_ == nullptr) return;
+  recorder_->emit(id_, TraceKind::kCounter, value);
+}
+
+}  // namespace util

@@ -128,6 +128,36 @@ TEST(Metrics, TwoRegistriesAreIndependent) {
   EXPECT_EQ(b.snapshot().counters.at("x"), 2u);
 }
 
+TEST(Metrics, HistogramPercentilesInterpolateWithinBuckets) {
+  util::MetricsRegistry reg;
+  auto h = reg.histogram("t", {10, 20, 40});
+  // 10 samples in [0,10), 10 in [10,20): median sits at the bucket edge.
+  for (int i = 0; i < 10; ++i) h.record(5);
+  for (int i = 0; i < 10; ++i) h.record(15);
+  const auto data = reg.snapshot().histograms.at("t");
+  EXPECT_DOUBLE_EQ(data.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(data.percentile(0.25), 5.0);   // halfway into bucket 1
+  EXPECT_DOUBLE_EQ(data.percentile(0.5), 10.0);   // exactly the edge
+  EXPECT_DOUBLE_EQ(data.percentile(0.75), 15.0);  // halfway into bucket 2
+  EXPECT_DOUBLE_EQ(data.percentile(1.0), 20.0);
+}
+
+TEST(Metrics, HistogramPercentileEdgeCases) {
+  util::MetricsRegistry reg;
+  auto h = reg.histogram("e", {1, 2});
+  const auto empty = reg.snapshot().histograms.at("e");
+  EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);  // no samples: 0 by contract
+
+  h.record(100);  // overflow bucket: clamps to the last finite bound
+  const auto over = reg.snapshot().histograms.at("e");
+  EXPECT_DOUBLE_EQ(over.percentile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(over.percentile(0.99), 2.0);
+
+  // Out-of-range quantiles clamp instead of reading out of bounds.
+  EXPECT_DOUBLE_EQ(over.percentile(-1.0), over.percentile(0.0));
+  EXPECT_DOUBLE_EQ(over.percentile(2.0), over.percentile(1.0));
+}
+
 TEST(Metrics, GlobalAttachDetach) {
   EXPECT_EQ(util::MetricsRegistry::global(), nullptr);
   {

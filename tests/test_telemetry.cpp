@@ -95,7 +95,8 @@ TEST(Telemetry, JsonDocumentHasTheSchema) {
             std::string::npos);
   EXPECT_NE(json.find("\"histograms\": {\"sim.executor.dirty_set_size\": "
                       "{\"bounds\": [1, 2], \"counts\": [1, 0, 0], "
-                      "\"count\": 1, \"sum\": 1}"),
+                      "\"count\": 1, \"sum\": 1, "
+                      "\"p50\": 0.5, \"p90\": 0.9, \"p99\": 0.99}"),
             std::string::npos);
   EXPECT_NE(json.find("\"spans\": {\"name\": \"run\""), std::string::npos);
 }

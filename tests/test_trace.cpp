@@ -1,0 +1,291 @@
+// Flight-recorder and telemetry-tap tests: ring wraparound and drop
+// accounting, race-free concurrent producers (this file is in the
+// tsan-labeled `sim` binary), the golden Chrome/Perfetto export, ScopedSpan
+// begin/end emission, and tap-file atomicity under a concurrent reader.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+#include "util/metrics.h"
+#include "util/spans.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
+
+namespace {
+
+using util::TraceKind;
+using util::TraceRecorder;
+
+std::uint64_t g_fake_ns = 0;
+std::uint64_t fake_clock() { return g_fake_ns; }
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Attaches a recorder as the process-wide default for one test.
+class GlobalRecorder {
+ public:
+  explicit GlobalRecorder(TraceRecorder& r) { TraceRecorder::set_global(&r); }
+  ~GlobalRecorder() { TraceRecorder::set_global(nullptr); }
+};
+
+TEST(Trace, DetachedHandleIsANoOp) {
+  const util::TraceName name;  // default-constructed: not attached
+  EXPECT_FALSE(name.attached());
+  name.begin(1, 2);
+  name.end();
+  name.instant(3);
+  name.counter(4);  // must not crash; nothing to observe
+}
+
+TEST(Trace, RecordsAndDecodesEvents) {
+  TraceRecorder rec;
+  const util::TraceName solve = rec.name("solve");
+  const util::TraceName point = rec.name("sweep.point.cold");
+  solve.begin();
+  point.instant(7, 2);
+  solve.end();
+
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.threads.size(), 1u);
+  const auto& t = snap.threads[0];
+  EXPECT_EQ(t.tid, 1u);
+  EXPECT_EQ(t.recorded, 3u);
+  EXPECT_EQ(t.dropped, 0u);
+  ASSERT_EQ(t.events.size(), 3u);
+  EXPECT_EQ(snap.names[t.events[0].name], "solve");
+  EXPECT_EQ(t.events[0].kind, TraceKind::kBegin);
+  EXPECT_EQ(snap.names[t.events[1].name], "sweep.point.cold");
+  EXPECT_EQ(t.events[1].kind, TraceKind::kInstant);
+  EXPECT_EQ(t.events[1].a, 7u);
+  EXPECT_EQ(t.events[1].b, 2u);
+  EXPECT_EQ(t.events[2].kind, TraceKind::kEnd);
+  EXPECT_LE(t.events[0].ts_ns, t.events[2].ts_ns);
+}
+
+TEST(Trace, WraparoundKeepsTheMostRecentWindowAndCountsDrops) {
+  TraceRecorder rec(4);
+  const util::TraceName ev = rec.name("ev");
+  for (std::uint64_t i = 0; i < 10; ++i) ev.instant(i);
+
+  // Once wrapped, the coherent window is capacity-1 (one slot is reserved
+  // for the writer's in-flight overwrite): the newest 3 of 10 survive.
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.threads.size(), 1u);
+  const auto& t = snap.threads[0];
+  EXPECT_EQ(t.recorded, 10u);
+  EXPECT_EQ(t.dropped, 7u);
+  ASSERT_EQ(t.events.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(t.events[i].a, 7 + i);
+
+  const auto sum = rec.summary();
+  EXPECT_EQ(sum.threads, 1u);
+  EXPECT_EQ(sum.recorded, 10u);
+  EXPECT_EQ(sum.retained, 3u);
+  EXPECT_EQ(sum.dropped, 7u);
+  EXPECT_EQ(sum.capacity_per_thread, 4u);
+}
+
+/// Concurrent producers on a deliberately tiny ring, with a reader
+/// snapshotting throughout: the tsan build asserts the emit/snapshot
+/// protocol (relaxed word stores + release head publish) is race-free, and
+/// the retained window must always be a contiguous, in-order suffix of what
+/// each thread emitted.
+TEST(Trace, ConcurrentProducersWithConcurrentSnapshots) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kEvents = 20000;
+  TraceRecorder rec(512);
+  std::atomic<bool> done{false};
+
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = rec.snapshot();
+      for (const auto& t : snap.threads) {
+        // Window coherence: values of `a` are the per-thread emit index, so
+        // the retained suffix must count up by exactly one.
+        for (std::size_t i = 1; i < t.events.size(); ++i)
+          ASSERT_EQ(t.events[i].a, t.events[i - 1].a + 1);
+        ASSERT_EQ(t.recorded, t.dropped + t.events.size());
+      }
+      (void)rec.summary();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kThreads; ++w)
+    writers.emplace_back([&rec, w] {
+      const util::TraceName ev = rec.name("w" + std::to_string(w));
+      for (std::uint64_t i = 0; i < kEvents; ++i) ev.instant(i);
+    });
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const auto sum = rec.summary();
+  EXPECT_EQ(sum.threads, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(sum.recorded, kThreads * kEvents);
+  EXPECT_EQ(sum.retained, static_cast<std::uint64_t>(kThreads) * 511);
+}
+
+TEST(Trace, GoldenChromeExport) {
+  TraceRecorder rec;
+  g_fake_ns = 1000;
+  rec.set_clock_for_test(&fake_clock);
+  const util::TraceName solve = rec.name("solve");
+  const util::TraceName point = rec.name("sweep.point.cold");
+  const util::TraceName events = rec.name("executor.events");
+  g_fake_ns = 2000;
+  solve.begin();
+  g_fake_ns = 3500;
+  point.instant(7, 2);
+  g_fake_ns = 4000;
+  solve.end();
+  g_fake_ns = 4500;
+  events.counter(42);
+
+  const std::string expected =
+      "{\"schema\": \"ahs.trace.v1\",\n"
+      "\"displayTimeUnit\": \"ms\",\n"
+      "\"otherData\": {\"threads\": 1, \"recorded\": 4, \"retained\": 4, "
+      "\"dropped\": 0, \"capacity_per_thread\": 65536},\n"
+      "\"traceEvents\": [\n"
+      "{\"name\": \"solve\", \"cat\": \"ahs\", \"ph\": \"B\", \"pid\": 1, "
+      "\"tid\": 1, \"ts\": 1.000},\n"
+      "{\"name\": \"sweep.point.cold\", \"cat\": \"ahs\", \"ph\": \"i\", "
+      "\"pid\": 1, \"tid\": 1, \"ts\": 2.500, \"s\": \"t\", "
+      "\"args\": {\"a\": 7, \"b\": 2}},\n"
+      "{\"name\": \"solve\", \"cat\": \"ahs\", \"ph\": \"E\", \"pid\": 1, "
+      "\"tid\": 1, \"ts\": 3.000},\n"
+      "{\"name\": \"executor.events\", \"cat\": \"ahs\", \"ph\": \"C\", "
+      "\"pid\": 1, \"tid\": 1, \"ts\": 3.500, \"args\": {\"value\": 42}}\n"
+      "]}\n";
+  EXPECT_EQ(rec.chrome_trace_json(), expected);
+
+  // And the document is well-formed JSON with the advertised schema.
+  const util::JsonValue doc = util::parse_json(rec.chrome_trace_json());
+  EXPECT_EQ(doc.string_at("schema"), "ahs.trace.v1");
+  const util::JsonValue* evs = doc.find("traceEvents");
+  ASSERT_NE(evs, nullptr);
+  ASSERT_EQ(evs->array.size(), 4u);
+  EXPECT_EQ(evs->array[1].string_at("ph"), "i");
+  EXPECT_EQ(evs->array[1].find("args")->number_at("a"), 7.0);
+}
+
+TEST(Trace, ExportSkipsUnmatchedEndEvents) {
+  TraceRecorder rec;
+  const util::TraceName s = rec.name("orphan");
+  s.end();  // as if its begin was lost to wraparound
+  s.instant();
+  const std::string json = rec.chrome_trace_json();
+  EXPECT_EQ(json.find("\"ph\": \"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+}
+
+TEST(Trace, ScopedSpanEmitsBeginEndIntoTheAttachedRecorder) {
+  TraceRecorder rec;
+  const GlobalRecorder attach(rec);
+  { AHS_SPAN("traced.phase"); }
+
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.threads.size(), 1u);
+  const auto& evs = snap.threads[0].events;
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(snap.names[evs[0].name], "traced.phase");
+  EXPECT_EQ(evs[0].kind, TraceKind::kBegin);
+  EXPECT_EQ(evs[1].kind, TraceKind::kEnd);
+}
+
+TEST(Trace, ReportFoldsTheRecorderSummary) {
+  util::TelemetrySession session;
+  TraceRecorder rec;
+  const GlobalRecorder attach(rec);
+  rec.name("x").instant();
+  rec.name("x").instant();
+
+  const util::TelemetryReport report = session.report();
+  ASSERT_TRUE(report.has_trace);
+  EXPECT_EQ(report.trace.recorded, 2u);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"trace\": {\"threads\": 1, \"recorded\": 2"),
+            std::string::npos);
+}
+
+TEST(TelemetryTap, PublishesProgressAndBumpsSeq) {
+  const std::string path = "test_tap_progress.json";
+  util::TelemetrySession session;
+  session.registry().gauge("ahs.sweep.points_total").set(4);
+  session.registry().counter("ahs.sweep.points").add(1);
+  session.registry()
+      .histogram("ahs.sweep.point_seconds", {0, 1, 10})
+      .record(0.5);
+  {
+    util::TelemetryTap tap(path, 3600.0);  // interval long: explicit writes
+    const util::JsonValue first = util::parse_json(slurp(path));
+    EXPECT_EQ(first.string_at("schema"), "ahs.telemetry.live.v1");
+    EXPECT_EQ(first.number_at("seq"), 0.0);
+    const util::JsonValue* prog = first.find("progress");
+    ASSERT_NE(prog, nullptr);
+    EXPECT_EQ(prog->number_at("points_done"), 1.0);
+    EXPECT_EQ(prog->number_at("points_total"), 4.0);
+    EXPECT_EQ(prog->number_at("percent"), 25.0);
+    const util::JsonValue* hists = first.find("histograms");
+    ASSERT_NE(hists, nullptr);
+    EXPECT_NE(hists->find("ahs.sweep.point_seconds"), nullptr);
+
+    session.registry().counter("ahs.sweep.points").add(3);
+    tap.write_now();
+    const util::JsonValue second = util::parse_json(slurp(path));
+    EXPECT_GE(second.number_at("seq"), 1.0);
+    EXPECT_EQ(second.find("progress")->number_at("points_done"), 4.0);
+    // Complete: the ETA collapses to an exact zero.
+    EXPECT_EQ(second.find("progress")->number_at("eta_seconds", -1.0), 0.0);
+  }
+  // The destructor published a terminal snapshot.
+  const util::JsonValue last = util::parse_json(slurp(path));
+  EXPECT_EQ(last.find("progress")->number_at("points_done"), 4.0);
+  std::remove(path.c_str());
+}
+
+/// The atomicity contract: a reader polling the tap file never observes a
+/// torn or partial document, because every publish is write-temp + fsync +
+/// rename.  The reader parses every poll; any parse failure is a test
+/// failure.
+TEST(TelemetryTap, AtomicUnderAConcurrentReader) {
+  const std::string path = "test_tap_atomic.json";
+  util::TelemetrySession session;
+  util::Counter points = session.registry().counter("ahs.sweep.points");
+  util::TelemetryTap tap(path, 0.001);
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    std::uint64_t parses = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const std::string text = slurp(path);
+      ASSERT_FALSE(text.empty());
+      const util::JsonValue doc = util::parse_json(text);  // throws if torn
+      ASSERT_EQ(doc.string_at("schema"), "ahs.telemetry.live.v1");
+      ++parses;
+    }
+    EXPECT_GT(parses, 0u);
+  });
+  for (int i = 0; i < 200; ++i) {
+    points.inc();
+    tap.write_now();
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  std::remove(path.c_str());
+}
+
+}  // namespace
