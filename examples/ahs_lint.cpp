@@ -7,8 +7,12 @@
 //   $ ./ahs_lint                          # lint the default configuration
 //   $ ./ahs_lint --all --json             # every shipped configuration,
 //                                         # ahs.lint.v1 JSON to stdout
+//   $ ./ahs_lint --all --invariants       # + structural-facts dump
+//                                         # (semiflows, proved bounds,
+//                                         # absorbing certificates)
 //   $ ./ahs_lint --strategy CC --n 5 --dot model.dot
 //                                         # findings-highlighted Graphviz
+//                                         # with the P-semiflow overlay
 //
 // Exit status: 0 when no error-severity finding was reported, 1 otherwise
 // (warnings and infos do not fail the run).  CI runs `--all --json` and
@@ -22,6 +26,7 @@
 #include "ahs/parameters.h"
 #include "ahs/system_model.h"
 #include "san/analyze/analysis.h"
+#include "san/analyze/invariants.h"
 #include "san/dependency.h"
 #include "san/dot.h"
 #include "util/cli.h"
@@ -73,6 +78,10 @@ int main(int argc, char** argv) {
   util::Cli cli("ahs_lint", "static analysis of the AHS SAN models");
   auto all = cli.add_flag("all", "lint every shipped configuration");
   auto json = cli.add_flag("json", "emit an ahs.lint.v1 JSON document");
+  auto invariants = cli.add_flag(
+      "invariants", "append the structural-facts dump (P/T-semiflows, "
+                    "proved place bounds with provenance, SCC summary, "
+                    "absorbing-class certificates) to the text report");
   auto out_path = cli.add_string("out", "", "write the report here");
   auto dot_path = cli.add_string(
       "dot", "", "write a findings-highlighted Graphviz rendering "
@@ -113,9 +122,18 @@ int main(int argc, char** argv) {
 
     std::vector<san::analyze::LintReport> reports;
     reports.reserve(configs.size());
+    std::string invariant_dumps;
     for (const Config& cfg : configs) {
       const san::FlatModel flat = ahs::build_system_model(cfg.params);
-      reports.push_back(san::analyze::run_lint(flat, cfg.label, opts));
+      // Guarded: a crash in one configuration's analysis becomes a LINT001
+      // finding on a partial report instead of truncating the whole
+      // document (batch mode must always emit well-formed output).
+      reports.push_back(san::analyze::run_lint_guarded(flat, cfg.label, opts));
+      if (*invariants && reports.back().facts != nullptr) {
+        invariant_dumps += "== " + cfg.label + " ==\n";
+        invariant_dumps +=
+            san::analyze::structural_facts_text(flat, *reports.back().facts);
+      }
       if (*deps_summary)
         std::cerr << cfg.label << ": "
                   << san::DependencyIndex::build(flat).summary() << "\n";
@@ -132,6 +150,7 @@ int main(int argc, char** argv) {
       rendered += "\n";
     } else {
       for (const auto& r : reports) rendered += r.to_text();
+      rendered += invariant_dumps;
     }
     if (out_path->empty()) {
       std::cout << rendered;

@@ -18,6 +18,17 @@ std::shared_ptr<san::AtomicModel> build_configuration_model(
   const san::PlaceToken joining = model->place("joining");
   const san::PlaceToken placing = model->place("placing");
 
+  // Checked declarations (see vehicle_model.cpp for the policy): the
+  // cascade budget and IN are bounded by the vehicle-count invariant
+  // init_count + IN + OUT + joining + #active = capacity; ext_id counts
+  // identities handed out and is genuinely unbounded, so it stays
+  // undeclared.  Shared-place values must agree with the other submodels
+  // (composition rejects mismatches).
+  model->capacity(init_count, params.capacity())
+      .capacity(in, params.capacity())
+      .capacity(joining, 1)
+      .capacity(placing, params.capacity());
+
   model->instant_activity("id_trigger")
       .priority(8)
       .reads({joining, placing, init_count, in})

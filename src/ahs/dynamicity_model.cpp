@@ -23,6 +23,16 @@ std::shared_ptr<san::AtomicModel> build_dynamicity_model(
   const san::PlaceToken platoons = model->extended_place("platoons", cap);
   const san::PlaceToken active_m = model->extended_place("active_m", cap);
 
+  // Checked declarations — values must agree with the other submodels that
+  // share these places (see vehicle_model.cpp for the policy).
+  model->capacity(in, cap)
+      .capacity(out, cap)
+      .capacity(placing, cap)
+      .capacity(leaving_direct, cap)
+      .capacity(leaving_transit, cap)
+      .capacity(platoons, cap)
+      .capacity(active_m, static_cast<std::int32_t>(kNumManeuvers));
+
   auto lane_ref = [platoons, n](int l) { return LaneRef{platoons, l, n}; };
 
   // --- JP: place a claimed vehicle into a platoon (Fig 7's instantaneous

@@ -74,6 +74,16 @@ std::shared_ptr<san::AtomicModel> build_severity_model(
   const san::PlaceToken class_c = model->place("class_C");
   const san::PlaceToken ko_total = model->place("KO_total");
 
+  // Checked declarations (see vehicle_model.cpp for the policy).  KO_total
+  // is the paper's absorbing marker: to_KO sets it exactly once and no
+  // activity ever clears it — the absorbing-class analyzer certifies this
+  // structurally and the probe cross-checks it empirically.
+  model->capacity(class_a, params.capacity())
+      .capacity(class_b, params.capacity())
+      .capacity(class_c, params.capacity())
+      .capacity(ko_total, 1)
+      .absorbing(ko_total);
+
   san::Predicate catastrophic;
   auto to_ko = model->instant_activity("to_KO").priority(10).writes({ko_total});
   if (params.adjacency_radius == 0) {

@@ -151,6 +151,32 @@ std::shared_ptr<san::AtomicModel> build_vehicle_model(
   ctx->safe_exits = model->place("safe_exits");
   ctx->ko_exits = model->place("ko_exits");
 
+  // Checked structural declarations.  These are *verified*, not trusted:
+  // the lint probe flags any discovered marking that exceeds a declared
+  // capacity (STRUCT002) and exact state-space generation re-checks every
+  // interned marking, so a wrong value here fails loudly.  my_id, placing,
+  // leaving_* and the platoons slots hold vehicle identities (1..cap);
+  // transiting, joining and the CC/SM stages are 0-1 flags; an active_m
+  // slot holds a maneuver stage (0..kNumManeuvers).  safe_exits, ko_exits
+  // (and Configuration's ext_id) are monotone statistics counters and stay
+  // undeclared — they really are unbounded over infinite horizons.
+  model->capacity(ctx->my_id, cap)
+      .capacity(ctx->transiting, 1)
+      .capacity(ctx->out, cap)
+      .capacity(ctx->joining, 1)
+      .capacity(ctx->placing, cap)
+      .capacity(ctx->leaving_direct, cap)
+      .capacity(ctx->leaving_transit, cap)
+      .capacity(ctx->platoons, cap)
+      .capacity(ctx->active_m, static_cast<std::int32_t>(kNumManeuvers))
+      .capacity(ctx->class_a, cap)
+      .capacity(ctx->class_b, cap)
+      .capacity(ctx->class_c, cap)
+      .capacity(ctx->ko_total, 1)
+      .absorbing(ctx->ko_total);
+  for (auto p : ctx->cc) model->capacity(p, 1);
+  for (auto p : ctx->sm) model->capacity(p, 1);
+
   // --- claim: an idle replica adopts the joining vehicle's identity.
   model->instant_activity("claim")
       .priority(7)

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "san/analyze/analysis.h"
+#include "san/analyze/invariants.h"
 #include "util/error.h"
 #include "util/metrics.h"
 #include "util/spans.h"
@@ -28,8 +29,9 @@ using Marking = std::vector<std::int32_t>;
 
 class Generator {
  public:
-  Generator(const san::FlatModel& model, const StateSpaceOptions& options)
-      : model_(model), opts_(options) {
+  Generator(const san::FlatModel& model, const StateSpaceOptions& options,
+            std::shared_ptr<const san::analyze::StructuralFacts> facts)
+      : model_(model), opts_(options), facts_(std::move(facts)) {
     AHS_REQUIRE(model_.all_exponential(),
                 "CTMC generation requires an all-exponential model");
     for (const std::string& suffix : opts_.ignore_places) {
@@ -40,6 +42,60 @@ class Generator {
         for (std::uint32_t k = 0; k < model_.place_size(pi); ++k)
           ignored_slots_.push_back(model_.place_offset(pi) + k);
     }
+    std::vector<std::uint8_t> ignored(model_.marking_size(), 0);
+    for (std::uint32_t s : ignored_slots_) ignored[s] = 1;
+
+    // Exact validation of declared place capacities: every interned (i.e.
+    // reachable tangible) marking is checked, so a wrong declaration fails
+    // the exploration loudly instead of silently corrupting results that
+    // relied on it (probe validation is only as deep as its budget).
+    for (std::size_t pi = 0; pi < model_.places().size(); ++pi) {
+      const san::FlatPlace& p = model_.places()[pi];
+      if (p.capacity < 0) continue;
+      for (std::uint32_t k = 0; k < p.size; ++k)
+        if (!ignored[p.offset + k])
+          capacity_checks_.push_back({p.offset + k, p.capacity,
+                                      static_cast<std::uint32_t>(pi)});
+    }
+
+    // Reject provably infinite explorations before interning a single
+    // state: a tracked slot with a proved-unbounded witness can only end
+    // in a max_states abort after minutes of futile BFS.  An absorbing
+    // predicate exempts the model — it may truncate the growth, and the
+    // predicate is opaque to the structural layer.
+    if (facts_ != nullptr && !opts_.absorbing)
+      for (std::uint32_t s = 0; s < model_.marking_size(); ++s)
+        if (!ignored[s] &&
+            facts_->provenance[s] ==
+                san::analyze::BoundProvenance::kProvedUnbounded)
+          throw util::ModelError(
+              "state space is provably infinite: tracked place '" +
+              model_.places()[model_.place_of_slot(s)].name +
+              "' has a self-sustaining producer (see NET003); make the "
+              "place ignored or bound it");
+
+    if (facts_ != nullptr) {
+      // Pre-size the interning containers from the proved bounds: the
+      // reachable tangible set is at most prod(bound+1) over tracked slots.
+      double product = 1.0;
+      bool all_bounded = true;
+      for (std::uint32_t s = 0; s < model_.marking_size(); ++s) {
+        if (ignored[s]) continue;
+        if (facts_->slot_bound[s] == san::analyze::kUnbounded) {
+          all_bounded = false;
+          break;
+        }
+        product *= static_cast<double>(facts_->slot_bound[s]) + 1.0;
+        if (product > static_cast<double>(opts_.max_states)) break;
+      }
+      if (all_bounded &&
+          product <= static_cast<double>(opts_.max_states)) {
+        const auto cap = static_cast<std::size_t>(product);
+        states_.reserve(cap);
+        index_.reserve(cap);
+      }
+    }
+
     for (std::size_t i = 0; i < model_.activities().size(); ++i) {
       if (model_.activities()[i].timed) timed_.push_back(i);
       else instant_.push_back(i);
@@ -141,6 +197,14 @@ class Generator {
     for (std::uint32_t slot : ignored_slots_) m[slot] = 0;
     const auto it = index_.find(m);
     if (it != index_.end()) return it->second;
+    for (const CapacityCheck& c : capacity_checks_)
+      if (m[c.slot] > c.capacity)
+        throw util::ModelError(
+            "declared capacity refuted: place '" +
+            model_.places()[c.place].name + "' holds " +
+            std::to_string(m[c.slot]) + " token(s) in a reachable marking "
+            "but declares capacity " + std::to_string(c.capacity) +
+            " — fix the AtomicModel::capacity declaration");
     if (states_.size() >= opts_.max_states)
       throw util::NumericalError(
           "state space exceeds max_states = " +
@@ -181,8 +245,16 @@ class Generator {
     out.emplace_back(std::move(m), prob);  // tangible
   }
 
+  struct CapacityCheck {
+    std::uint32_t slot;
+    std::int32_t capacity;
+    std::uint32_t place;
+  };
+
   const san::FlatModel& model_;
   const StateSpaceOptions& opts_;
+  std::shared_ptr<const san::analyze::StructuralFacts> facts_;
+  std::vector<CapacityCheck> capacity_checks_;
   std::vector<std::uint32_t> ignored_slots_;
   std::vector<std::size_t> timed_;
   std::vector<std::size_t> instant_;
@@ -204,9 +276,17 @@ std::vector<double> StateSpace::state_rewards(
 
 StateSpace build_state_space(const san::FlatModel& model,
                              const StateSpaceOptions& options) {
-  if (options.lint)
-    san::analyze::preflight_lint(model, "state-space lint preflight");
-  Generator gen(model, options);
+  std::shared_ptr<const san::analyze::StructuralFacts> facts;
+  if (options.lint) {
+    // With an absorbing predicate the user has declared that exploration
+    // truncates, so a proved-unbounded place (NET003) is not fatal here.
+    std::vector<std::string> nonfatal;
+    if (options.absorbing) nonfatal.push_back("NET003");
+    const san::analyze::LintReport report = san::analyze::preflight_lint_report(
+        model, "state-space lint preflight", 128, nonfatal);
+    facts = report.facts;
+  }
+  Generator gen(model, options, std::move(facts));
   return gen.run();
 }
 

@@ -1,14 +1,20 @@
 #include "san/analyze/analysis.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "san/analyze/analyzer.h"
+#include "san/analyze/graph.h"
+#include "san/analyze/invariants.h"
 #include "util/error.h"
+#include "util/metrics.h"
+#include "util/spans.h"
 
 namespace san::analyze {
 
 LintReport run_lint(const FlatModel& model, std::string model_name,
                     const LintOptions& opts) {
+  AHS_SPAN("lint.run");
   for (const std::string& id : opts.disabled_ids)
     if (find_diagnostic(id) == nullptr)
       throw util::ModelError("lint: unknown diagnostic ID '" + id +
@@ -16,15 +22,39 @@ LintReport run_lint(const FlatModel& model, std::string model_name,
 
   const DependencyIndex deps = DependencyIndex::build(model);
   const StructureInfo structure = build_structure(model);
-  const ProbeResult probes =
-      run_probe(model, ProbeOptions{opts.probe_budget});
-  const AnalysisContext ctx{model, deps, structure, probes};
+  ProbeResult probes;
+  {
+    AHS_SPAN("lint.probe");
+    probes = run_probe(model, ProbeOptions{opts.probe_budget});
+  }
+  auto facts = std::make_shared<StructuralFacts>();
+  {
+    AHS_SPAN("lint.invariants");
+    *facts = compute_invariants(model, structure);
+  }
+  {
+    AHS_SPAN("lint.graph");
+    analyze_graph(model, structure, probes, *facts);
+  }
+  if (auto* reg = util::MetricsRegistry::global()) {
+    reg->counter("san.analyze.semiflows_found")
+        .add(facts->p_semiflows.size() + facts->t_semiflows.size());
+    reg->counter("san.analyze.invariant_bound_tightenings")
+        .add(facts->bound_tightenings);
+  }
+  const AnalysisContext ctx{model, deps, structure, probes, *facts};
 
   LintReport report;
   report.model_name = std::move(model_name);
   report.probed_markings = probes.probed_markings;
   report.probe_complete = probes.complete;
-  for (const auto& analyzer : default_analyzers()) analyzer->run(ctx, report);
+  report.facts = facts;
+  report.facts_json = structural_facts_json(model, *facts);
+  {
+    AHS_SPAN("lint.analyzers");
+    for (const auto& analyzer : default_analyzers())
+      analyzer->run(ctx, report);
+  }
 
   if (!opts.disabled_ids.empty()) {
     std::erase_if(report.diagnostics, [&](const Diagnostic& d) {
@@ -39,22 +69,51 @@ LintReport run_lint(const FlatModel& model, std::string model_name,
   return report;
 }
 
-void preflight_lint(const FlatModel& model, const std::string& context,
-                    std::size_t probe_budget) {
+LintReport run_lint_guarded(const FlatModel& model, std::string model_name,
+                            const LintOptions& opts) {
+  try {
+    return run_lint(model, model_name, opts);
+  } catch (const std::exception& e) {
+    LintReport report;
+    report.model_name = std::move(model_name);
+    report.add("LINT001", Severity::kError,
+               std::string("analyzer crashed; report is partial: ") +
+                   e.what());
+    return report;
+  }
+}
+
+LintReport preflight_lint_report(const FlatModel& model,
+                                 const std::string& context,
+                                 std::size_t probe_budget,
+                                 const std::vector<std::string>& nonfatal_ids) {
   LintOptions opts;
   opts.probe_budget = probe_budget;
-  const LintReport report = run_lint(model, context, opts);
-  if (report.clean(Severity::kError)) return;
+  LintReport report = run_lint(model, context, opts);
+  auto fatal = [&](const Diagnostic& d) {
+    return d.severity == Severity::kError &&
+           std::find(nonfatal_ids.begin(), nonfatal_ids.end(), d.id) ==
+               nonfatal_ids.end();
+  };
+  std::size_t fatal_count = 0;
+  for (const Diagnostic& d : report.diagnostics) fatal_count += fatal(d);
+  if (fatal_count == 0) return report;
   std::string msg = context + ": static analysis found " +
-                    std::to_string(report.errors()) +
+                    std::to_string(fatal_count) +
                     " error-severity finding(s):";
   for (const Diagnostic& d : report.diagnostics) {
-    if (d.severity != Severity::kError) continue;
+    if (!fatal(d)) continue;
     msg += "\n  [" + d.id + "] " + d.message;
     if (!d.activity.empty()) msg += " (activity: " + d.activity + ")";
     if (!d.place.empty()) msg += " (place: " + d.place + ")";
   }
   throw util::ModelError(msg);
+}
+
+void preflight_lint(const FlatModel& model, const std::string& context,
+                    std::size_t probe_budget,
+                    const std::vector<std::string>& nonfatal_ids) {
+  (void)preflight_lint_report(model, context, probe_budget, nonfatal_ids);
 }
 
 }  // namespace san::analyze

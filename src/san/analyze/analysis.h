@@ -31,14 +31,37 @@ struct LintOptions {
   std::vector<std::string> disabled_ids;
 };
 
-/// Lints one flattened model; `model_name` labels the report.
+/// Lints one flattened model; `model_name` labels the report.  The report
+/// carries the structural facts (invariants + graph analyses) both as a
+/// shared_ptr for programmatic consumers and pre-rendered into its JSON.
 LintReport run_lint(const FlatModel& model, std::string model_name,
                     const LintOptions& opts = {});
 
+/// As run_lint, but an analyzer crash (any std::exception escaping the
+/// pipeline) is captured as a LINT001 error finding on an otherwise valid —
+/// if partial — report instead of propagating.  Batch drivers (ahs_lint
+/// --all) use this so one crashing configuration cannot truncate the JSON
+/// document for every other.
+LintReport run_lint_guarded(const FlatModel& model, std::string model_name,
+                            const LintOptions& opts = {});
+
 /// Runs a small-budget lint and throws util::ModelError naming every
 /// error-severity finding.  `context` prefixes the exception message
-/// (e.g. "Executor preflight").
+/// (e.g. "Executor preflight").  IDs in `nonfatal_ids` stay in the report
+/// but do not trigger the throw — the discrete-event simulator passes
+/// {"NET003"} because simulating an open (provably unbounded) net is
+/// legitimate even though exact state-space generation over it is not.
 void preflight_lint(const FlatModel& model, const std::string& context,
-                    std::size_t probe_budget = 128);
+                    std::size_t probe_budget = 128,
+                    const std::vector<std::string>& nonfatal_ids = {});
+
+/// As preflight_lint, but returns the report (with its structural facts)
+/// on success instead of discarding it — ctmc::build_state_space consumes
+/// the proved bounds to pre-size its containers and reject provably
+/// infinite explorations before interning a single state.
+LintReport preflight_lint_report(const FlatModel& model,
+                                 const std::string& context,
+                                 std::size_t probe_budget = 128,
+                                 const std::vector<std::string>& nonfatal_ids = {});
 
 }  // namespace san::analyze

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "san/analyze/diagnostics.h"
+#include "san/analyze/invariants.h"
 #include "san/analyze/probe.h"
 #include "san/analyze/structure.h"
 #include "san/dependency.h"
@@ -26,6 +27,9 @@ struct AnalysisContext {
   const DependencyIndex& deps;
   const StructureInfo& structure;
   const ProbeResult& probes;
+  /// Invariant/graph facts (invariants.h, graph.h), computed by run_lint
+  /// before any analyzer runs.
+  const StructuralFacts& facts;
 };
 
 class Analyzer {

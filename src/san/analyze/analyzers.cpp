@@ -194,8 +194,11 @@ class UnreadPlaceAnalyzer final : public Analyzer {
 
 // ---------------------------------------------------------------------------
 // NET003: unbounded places — arc inflow with no structural bound, never
-// consumed by an input arc, and untouchable by any gate.  Tokens only ever
-// accumulate; in a CTMC context the place makes the state space infinite.
+// consumed by an input arc, and untouchable by any gate.  The invariants
+// layer settles the question where it can: a place with a proved bound
+// (P-semiflow or checked capacity declaration) is silent, and a place with
+// a self-sustaining exact producer upgrades to a proved-unbounded *error*;
+// only the genuinely undecided cases keep the historical warning.
 // ---------------------------------------------------------------------------
 class BoundsAnalyzer final : public Analyzer {
  public:
@@ -205,9 +208,26 @@ class BoundsAnalyzer final : public Analyzer {
     for (const FlatPlace& p : ctx.model.places()) {
       for (std::uint32_t i = 0; i < p.size; ++i) {
         const std::uint32_t s = p.offset + i;
-        if (ctx.structure.arc_fed[s] && !ctx.structure.arc_consumed[s] &&
-            !ctx.structure.gate_written[s] &&
-            ctx.structure.slot_bound[s] == kUnbounded) {
+        if (!ctx.structure.arc_fed[s] || ctx.structure.arc_consumed[s] ||
+            ctx.structure.gate_written[s])
+          continue;
+        if (ctx.facts.provenance[s] == BoundProvenance::kProvedUnbounded) {
+          std::string witness;
+          for (const auto& [slot, ai] : ctx.facts.unbounded_witnesses)
+            if (slot == s) {
+              witness = ctx.model.activities()[ai].name;
+              break;
+            }
+          report.add("NET003", Severity::kError,
+                     "place proved unbounded: '" + witness +
+                         "' is a self-sustaining producer (exact, "
+                         "predicate-free, net-positive); any tracked state "
+                         "space over it is infinite",
+                     witness, p.name);
+          break;  // one finding per place
+        }
+        if (ctx.facts.slot_bound[s] != kUnbounded) continue;  // proved bound
+        if (ctx.structure.slot_bound[s] == kUnbounded) {
           report.add("NET003", Severity::kWarning,
                      "unbounded place: arc inflow has no structural bound "
                      "and nothing ever consumes it (state space cannot be "
@@ -324,13 +344,36 @@ class VanishingLoopAnalyzer final : public Analyzer {
 // NET005: same-priority instantaneous writers of one shared slot across
 // distinct instances.  Both engines resolve the tie deterministically, but
 // the model gives no ordering — the shared marking after stabilization
-// depends on an implementation detail.  Same-source replicas (Rep symmetry)
-// are exempt: firing order among symmetric replicas cannot change the
-// aggregate marking.
+// depends on an implementation detail.  True Rep symmetry is exempt:
+// firing order among symmetric replicas cannot change the aggregate
+// marking.  Symmetry is decided on the *replica-normalized hierarchical
+// path* (every "[i]" component stripped), not the bare source-activity
+// name — two leaves that happen to reuse an activity name under different
+// Join branches are NOT symmetric, and a Rep nested under a Join resolves
+// through the full instance path.
 // ---------------------------------------------------------------------------
 class SharedWriteConflictAnalyzer final : public Analyzer {
  public:
   const char* name() const override { return "shared-write-conflict"; }
+
+  /// "sys/veh[3]/L1" -> "sys/veh/L1": identical results mean the two
+  /// activities are the same leaf activity in symmetric replica positions.
+  static std::string strip_replica_indices(const std::string& name) {
+    std::string out;
+    out.reserve(name.size());
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      if (name[i] == '[') {
+        std::size_t j = i + 1;
+        while (j < name.size() && name[j] >= '0' && name[j] <= '9') ++j;
+        if (j < name.size() && name[j] == ']' && j > i + 1) {
+          i = j;  // skip the "[digits]" component
+          continue;
+        }
+      }
+      out.push_back(name[i]);
+    }
+    return out;
+  }
 
   void run(const AnalysisContext& ctx, LintReport& report) const override {
     const auto& acts = ctx.model.activities();
@@ -347,7 +390,9 @@ class SharedWriteConflictAnalyzer final : public Analyzer {
           const FlatActivity& b = acts[writers[j]];
           if (a.priority != b.priority) continue;
           if (a.imap.get() == b.imap.get()) continue;       // same instance
-          if (a.source_name == b.source_name) continue;     // Rep symmetry
+          if (a.source_name == b.source_name &&
+              strip_replica_indices(a.name) == strip_replica_indices(b.name))
+            continue;                                       // Rep symmetry
           const FlatPlace& p = ctx.structure.place_of_slot(ctx.model, s);
           const std::string key = p.name + "|" + a.source_name + "|" +
                                   b.source_name + "|" +
@@ -362,6 +407,90 @@ class SharedWriteConflictAnalyzer final : public Analyzer {
                      a.name, p.name);
         }
     }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// STRUCT001-STRUCT006: findings of the structural-verification layer
+// (invariants.h / graph.h).  The facts themselves travel in the report's
+// structural_facts block; the diagnostics surface the actionable subset —
+// refuted declarations are errors (the model's stated safety assumptions
+// are wrong), proved conservation laws are informational.
+// ---------------------------------------------------------------------------
+class StructuralAnalyzer final : public Analyzer {
+ public:
+  const char* name() const override { return "structural-verification"; }
+
+  void run(const AnalysisContext& ctx, LintReport& report) const override {
+    const auto& acts = ctx.model.activities();
+    const StructuralFacts& f = ctx.facts;
+
+    // STRUCT001: one summary per model — how much of the net is opaque to
+    // exact incidence analysis (per-activity findings would drown AHS
+    // reports, where nearly every activity carries gates by design).
+    if (f.incidence.opaque_activities > 0)
+      report.add("STRUCT001", Severity::kInfo,
+                 std::to_string(f.incidence.opaque_activities) + " of " +
+                     std::to_string(acts.size()) +
+                     " activities are gate-opaque; their effects are "
+                     "excluded from exact incidence analysis and bounded "
+                     "via checked capacity declarations instead");
+
+    // STRUCT002: refuted capacity declarations — empirically (probe saw a
+    // bigger marking) or structurally (a proved-unbounded producer feeds a
+    // capacity-declared slot).
+    for (const DeclarationViolation& v : ctx.probes.capacity_violations)
+      report.add("STRUCT002", Severity::kError,
+                 "declared capacity exceeded: probed reachable marking "
+                 "holds " +
+                     std::to_string(v.value) + " token(s)",
+                 "", slot_name(ctx.model, ctx.structure, v.slot));
+    for (const auto& [slot, ai] : f.capacity_refutations)
+      report.add("STRUCT002", Severity::kError,
+                 "declared capacity refuted structurally: '" +
+                     acts[ai].name +
+                     "' is a self-sustaining producer of this place",
+                 acts[ai].name, slot_name(ctx.model, ctx.structure, slot));
+
+    // STRUCT003: places provably never marked (unmarked-siphon fixpoint) —
+    // dead subnet wired to nothing that could ever feed it.
+    {
+      std::set<std::string> seen_places;
+      for (std::uint32_t s : f.never_markable_slots) {
+        const FlatPlace& p = ctx.structure.place_of_slot(ctx.model, s);
+        if (!seen_places.insert(p.name).second) continue;
+        report.add("STRUCT003", Severity::kWarning,
+                   "place can never be marked: initially empty and no "
+                   "coverable activity ever feeds it (dead subnet)",
+                   "", p.name);
+      }
+    }
+
+    // STRUCT004: declared absorbing markers that decreased across a probed
+    // firing — the declaration is wrong.
+    for (const DeclarationViolation& v : ctx.probes.monotone_violations)
+      report.add("STRUCT004", Severity::kError,
+                 "declared absorbing marker decreased when '" +
+                     acts[v.activity].name + "' fired",
+                 acts[v.activity].name,
+                 slot_name(ctx.model, ctx.structure, v.slot));
+
+    // STRUCT005: proved conservation laws, one summary finding.
+    if (!f.p_semiflows.empty() || f.bound_tightenings > 0)
+      report.add("STRUCT005", Severity::kInfo,
+                 std::to_string(f.p_semiflows.size()) +
+                     " P-semiflow(s) and " +
+                     std::to_string(f.t_semiflows.size()) +
+                     " T-semiflow(s) proved; " +
+                     std::to_string(f.bound_tightenings) +
+                     " place bound(s) strengthened beyond the arc fixpoint");
+
+    // STRUCT006: incomplete semiflow basis — sound but weaker.
+    if (f.semiflow_truncated)
+      report.add("STRUCT006", Severity::kWarning,
+                 "semiflow basis truncated (Farkas working-set cap or int64 "
+                 "overflow); proved bounds may be incomplete — raise "
+                 "InvariantOptions::max_rows or simplify the net");
   }
 };
 
@@ -408,6 +537,7 @@ std::vector<std::unique_ptr<Analyzer>> default_analyzers() {
   out.push_back(std::make_unique<BoundsAnalyzer>());
   out.push_back(std::make_unique<VanishingLoopAnalyzer>());
   out.push_back(std::make_unique<SharedWriteConflictAnalyzer>());
+  out.push_back(std::make_unique<StructuralAnalyzer>());
   out.push_back(std::make_unique<CallbackSanityAnalyzer>());
   return out;
 }

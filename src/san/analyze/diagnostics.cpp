@@ -18,7 +18,7 @@ const char* to_string(Severity s) {
 
 namespace {
 
-constexpr std::array<DiagnosticInfo, 13> kCatalog = {{
+constexpr std::array<DiagnosticInfo, 20> kCatalog = {{
     {"DEP001", Severity::kError,
      "predicate/rate read a marking slot outside the declared read set"},
     {"DEP002", Severity::kError,
@@ -49,6 +49,23 @@ constexpr std::array<DiagnosticInfo, 13> kCatalog = {{
      "marking"},
     {"NET008", Severity::kError,
      "model callback threw at a reachable marking"},
+    {"STRUCT001", Severity::kInfo,
+     "gate-opaque activity: excluded from exact incidence analysis"},
+    {"STRUCT002", Severity::kError,
+     "declared place capacity refuted (exceeded at a reachable marking, or "
+     "fed by a proved-unbounded producer)"},
+    {"STRUCT003", Severity::kWarning,
+     "place provably never marked from the initial marking (dead subnet / "
+     "unmarked siphon)"},
+    {"STRUCT004", Severity::kError,
+     "declared absorbing marker decreased across a probed firing"},
+    {"STRUCT005", Severity::kInfo,
+     "P-semiflow conservation law proved (place bounds strengthened)"},
+    {"STRUCT006", Severity::kWarning,
+     "semiflow basis truncated (working-set cap or int64 overflow); proved "
+     "bounds may be incomplete"},
+    {"LINT001", Severity::kError,
+     "analyzer crashed; report for this configuration is partial"},
 }};
 
 }  // namespace
@@ -116,7 +133,9 @@ std::string LintReport::to_json() const {
     else os << '"' << util::json_escape(d.place) << '"';
     os << ", \"message\": \"" << util::json_escape(d.message) << "\"}";
   }
-  os << "]}";
+  os << "]";
+  if (!facts_json.empty()) os << ", \"structural_facts\": " << facts_json;
+  os << "}";
   return os.str();
 }
 

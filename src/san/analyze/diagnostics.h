@@ -24,11 +24,14 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace san::analyze {
+
+struct StructuralFacts;  // invariants.h
 
 enum class Severity { kInfo = 0, kWarning = 1, kError = 2 };
 
@@ -68,6 +71,15 @@ struct LintReport {
   /// noise on partially explored models).
   std::size_t probed_markings = 0;
   bool probe_complete = false;
+
+  /// Structural facts computed for this configuration (invariants.h), for
+  /// programmatic consumers (ctmc::StateSpaceOptions pre-sizing); null when
+  /// the invariants pass did not run (crashed configurations).
+  std::shared_ptr<const StructuralFacts> facts;
+  /// The same facts pre-rendered as the `structural_facts` JSON object
+  /// (rendering needs the FlatModel for names, which the report does not
+  /// hold); spliced verbatim into to_json() when non-empty.
+  std::string facts_json;
 
   std::size_t count(Severity s) const;
   std::size_t errors() const { return count(Severity::kError); }

@@ -1,0 +1,249 @@
+#include "san/analyze/graph.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace san::analyze {
+
+namespace {
+
+/// Conservative set of slots activity `ai`'s callbacks may write: the
+/// declared write set when declared, otherwise every slot the activity's
+/// InstanceMap can address (gates cannot reach beyond their instance).
+/// Empty when the activity has no gate functions at all.
+std::vector<std::uint32_t> conservative_gate_writes(const FlatModel& model,
+                                                    std::size_t ai) {
+  const FlatActivity& a = model.activities()[ai];
+  bool any_gate = !a.input_fns.empty();
+  for (const FlatCase& c : a.cases) any_gate |= !c.output_fns.empty();
+  if (!any_gate) return {};
+  if (a.writes_declared) return a.declared_write_slots;
+  std::vector<std::uint32_t> slots;
+  for (std::size_t pi = 0; pi < a.imap->offset.size(); ++pi)
+    for (std::uint32_t i = 0; i < a.imap->size[pi]; ++i)
+      slots.push_back(a.imap->offset[pi] + i);
+  return slots;
+}
+
+/// As above for reads consulted by predicates / rate / weight functions.
+std::vector<std::uint32_t> conservative_gate_reads(const FlatModel& model,
+                                                   std::size_t ai) {
+  const FlatActivity& a = model.activities()[ai];
+  bool any_read_fn = !a.predicates.empty() || a.rate_fn != nullptr;
+  for (const FlatCase& c : a.cases) any_read_fn |= c.weight_fn != nullptr;
+  if (!any_read_fn) return {};
+  if (a.reads_declared) return a.declared_read_slots;
+  std::vector<std::uint32_t> slots;
+  for (std::size_t pi = 0; pi < a.imap->offset.size(); ++pi)
+    for (std::uint32_t i = 0; i < a.imap->size[pi]; ++i)
+      slots.push_back(a.imap->offset[pi] + i);
+  return slots;
+}
+
+/// Iterative Tarjan over an adjacency list; returns the component id of
+/// every node and the component count (ids are reverse-topological).
+std::size_t tarjan_scc(const std::vector<std::vector<std::uint32_t>>& adj,
+                       std::vector<std::uint32_t>& comp) {
+  const std::size_t n = adj.size();
+  comp.assign(n, 0);
+  std::vector<std::uint32_t> index(n, 0), low(n, 0);
+  std::vector<std::uint8_t> on_stack(n, 0), visited(n, 0);
+  std::vector<std::uint32_t> stack;
+  std::size_t next_index = 1, num_comps = 0;
+
+  struct Frame {
+    std::uint32_t v;
+    std::size_t child;
+  };
+  std::vector<Frame> call;
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    call.push_back({root, 0});
+    while (!call.empty()) {
+      Frame& f = call.back();
+      const std::uint32_t v = f.v;
+      if (f.child == 0) {
+        visited[v] = 1;
+        index[v] = low[v] = static_cast<std::uint32_t>(next_index++);
+        stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      bool descended = false;
+      while (f.child < adj[v].size()) {
+        const std::uint32_t w = adj[v][f.child++];
+        if (!visited[w]) {
+          call.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) low[v] = std::min(low[v], index[w]);
+      }
+      if (descended) continue;
+      if (low[v] == index[v]) {
+        while (true) {
+          const std::uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          comp[w] = static_cast<std::uint32_t>(num_comps);
+          if (w == v) break;
+        }
+        ++num_comps;
+      }
+      call.pop_back();
+      if (!call.empty()) {
+        const std::uint32_t parent = call.back().v;
+        low[parent] = std::min(low[parent], low[v]);
+      }
+    }
+  }
+  return num_comps;
+}
+
+}  // namespace
+
+void analyze_graph(const FlatModel& model, const StructureInfo& structure,
+                   const ProbeResult& probes, StructuralFacts& facts) {
+  const auto& acts = model.activities();
+  const std::size_t num_slots = model.marking_size();
+  const std::size_t n = num_slots + acts.size();
+
+  // --- Bipartite flow graph: slot nodes [0, S), activity nodes [S, S+A).
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (std::size_t ai = 0; ai < acts.size(); ++ai) {
+    const std::uint32_t anode = static_cast<std::uint32_t>(num_slots + ai);
+    const FlatActivity& a = acts[ai];
+    for (const FlatArc& arc : a.input_arcs)
+      adj[arc.slot].push_back(anode);
+    for (std::uint32_t s : conservative_gate_reads(model, ai))
+      adj[s].push_back(anode);
+    for (const FlatCase& c : a.cases)
+      for (const FlatArc& arc : c.output_arcs) adj[anode].push_back(arc.slot);
+    for (std::uint32_t s : conservative_gate_writes(model, ai))
+      adj[anode].push_back(s);
+  }
+  for (auto& edges : adj) {
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
+  std::vector<std::uint32_t> comp;
+  facts.scc_count = tarjan_scc(adj, comp);
+
+  // Condensation sinks: components with no edge into a different component.
+  std::vector<std::uint8_t> has_out(facts.scc_count, 0);
+  for (std::uint32_t v = 0; v < n; ++v)
+    for (std::uint32_t w : adj[v])
+      if (comp[v] != comp[w]) has_out[comp[v]] = 1;
+  facts.condensation_sinks = 0;
+  for (std::uint8_t h : has_out)
+    if (!h) ++facts.condensation_sinks;
+
+  // --- Never-markable fixpoint (forward form of the unmarked-siphon
+  // argument): start from the initially marked slots and saturate through
+  // activities whose input arcs could all be covered; a slot never reached
+  // this way can never hold a token in any engine.  Predicates and gate
+  // guards are ignored (over-approximation keeps the negative claim sound).
+  const std::vector<std::int32_t> m0 = model.initial_marking();
+  std::vector<std::uint8_t> markable(num_slots, 0);
+  for (std::size_t s = 0; s < num_slots; ++s) markable[s] = m0[s] > 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t ai = 0; ai < acts.size(); ++ai) {
+      const FlatActivity& a = acts[ai];
+      bool coverable = true;
+      for (const FlatArc& arc : a.input_arcs)
+        if (arc.weight > 0 && !markable[arc.slot]) {
+          coverable = false;
+          break;
+        }
+      if (!coverable) continue;
+      auto mark = [&](std::uint32_t s) {
+        if (!markable[s]) {
+          markable[s] = 1;
+          changed = true;
+        }
+      };
+      for (const FlatCase& c : a.cases)
+        for (const FlatArc& arc : c.output_arcs)
+          if (arc.weight > 0) mark(arc.slot);
+      for (std::uint32_t s : conservative_gate_writes(model, ai)) mark(s);
+    }
+  }
+  facts.never_markable_slots.clear();
+  for (std::uint32_t s = 0; s < num_slots; ++s)
+    if (!markable[s]) facts.never_markable_slots.push_back(s);
+
+  // --- Absorbing-class certificates for declared absorbing markers.
+  const auto& places = model.places();
+  for (std::size_t pi = 0; pi < places.size(); ++pi) {
+    const FlatPlace& p = places[pi];
+    if (!p.absorbing) continue;
+    AbsorbingFact af;
+    af.place = static_cast<std::uint32_t>(pi);
+
+    auto in_place = [&p](std::uint32_t s) {
+      return s >= p.offset && s < p.offset + p.size;
+    };
+
+    // Exact transitions must not decrease any slot of the marker.
+    std::string refuter;
+    for (const Transition& t : facts.incidence.transitions) {
+      if (!t.exact) continue;
+      for (const auto& [slot, d] : t.effect)
+        if (d < 0 && in_place(slot)) {
+          refuter = "input arc of '" + acts[t.activity].name +
+                    "' consumes the marker";
+          break;
+        }
+      if (!refuter.empty()) break;
+    }
+    // Opaque writers are checked empirically by the probe's monotonicity
+    // watch; a recorded decrease refutes the declaration outright.
+    if (refuter.empty())
+      for (const DeclarationViolation& v : probes.monotone_violations)
+        if (in_place(v.slot)) {
+          refuter = "firing of '" + acts[v.activity].name +
+                    "' decreased the marker at a probed reachable marking";
+          break;
+        }
+
+    std::size_t opaque_writers = 0;
+    for (std::size_t ai = 0; ai < acts.size(); ++ai)
+      for (std::uint32_t s : conservative_gate_writes(model, ai))
+        if (in_place(s)) {
+          ++opaque_writers;
+          break;
+        }
+
+    af.certified = refuter.empty();
+    if (af.certified) {
+      af.detail = "arc-exact transitions nondecreasing; " +
+                  std::to_string(opaque_writers) +
+                  " opaque writer(s) monotone over " +
+                  std::to_string(probes.probed_markings) +
+                  " probed marking(s)" +
+                  (probes.complete ? " (full reachable set)" : "");
+    } else {
+      af.detail = refuter;
+    }
+
+    bool witnessed = false;
+    for (std::uint32_t i = 0; i < p.size && !witnessed; ++i)
+      witnessed = probes.slot_max.size() > p.offset + i &&
+                  probes.slot_max[p.offset + i] > 0;
+    if (witnessed)
+      af.reach = AbsorbingFact::Reach::kWitnessed;
+    else if (probes.complete)
+      af.reach = AbsorbingFact::Reach::kRefuted;
+    else
+      af.reach = AbsorbingFact::Reach::kUnwitnessed;
+
+    facts.absorbing.push_back(std::move(af));
+  }
+
+  (void)structure;
+}
+
+}  // namespace san::analyze

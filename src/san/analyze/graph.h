@@ -1,0 +1,34 @@
+// Graph analyses over the place–activity flow graph of a flattened SAN:
+// strongly connected components and condensation shape, the never-markable
+// slot fixpoint (the classic unmarked-siphon argument run forward), and
+// absorbing-class certificates for declared absorbing markers.
+//
+// The flow graph is bipartite: slot -> activity when an input arc (or a
+// conservatively-resolved gate read) consumes the slot, activity -> slot
+// when an output arc or a gate write may feed it.  Everything here is an
+// over-approximation of real token flow, which makes the negative claims
+// sound: a slot outside every markable set truly can never hold a token,
+// and an SCC count of 1 truly means every place/activity can influence
+// every other.
+//
+// Absorbing certificates combine an exact argument over arc-only
+// transitions (no exact transition decreases the marker) with the probe's
+// empirical monotonicity check over opaque firings; ctmc::build_state_space
+// re-validates the declaration exactly on every interned marking, so a
+// wrong declaration cannot silently corrupt a numerical result.
+#pragma once
+
+#include "san/analyze/invariants.h"
+#include "san/analyze/probe.h"
+#include "san/analyze/structure.h"
+#include "san/flat_model.h"
+
+namespace san::analyze {
+
+/// Fills StructuralFacts::scc_count / condensation_sinks /
+/// never_markable_slots / absorbing from the flow graph, the incidence
+/// matrix already present in `facts`, and the probe's observations.
+void analyze_graph(const FlatModel& model, const StructureInfo& structure,
+                   const ProbeResult& probes, StructuralFacts& facts);
+
+}  // namespace san::analyze

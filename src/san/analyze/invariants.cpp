@@ -1,0 +1,585 @@
+#include "san/analyze/invariants.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace san::analyze {
+
+const char* to_string(BoundProvenance p) {
+  switch (p) {
+    case BoundProvenance::kNone: return "none";
+    case BoundProvenance::kFixpoint: return "fixpoint";
+    case BoundProvenance::kInvariant: return "invariant";
+    case BoundProvenance::kDeclared: return "declared";
+    case BoundProvenance::kProvedUnbounded: return "proved-unbounded";
+  }
+  return "unknown";
+}
+
+namespace {
+
+using I128 = __int128;
+
+constexpr std::int64_t kI64Max = INT64_MAX;
+
+std::string slot_display(const FlatModel& model, std::uint32_t slot) {
+  const FlatPlace& p = model.places()[model.place_of_slot(slot)];
+  if (p.size == 1) return p.name;
+  return p.name + "[" + std::to_string(slot - p.offset) + "]";
+}
+
+/// One Farkas working row: `c` the residual constraint entries of the
+/// columns not yet eliminated, `y` the nonnegative combination
+/// coefficients that become the semiflow when all of `c` reaches zero.
+struct Row {
+  std::vector<std::int64_t> c;
+  std::vector<std::int64_t> y;
+};
+
+/// gcd-reduces a combined row held in int128 and range-checks it back into
+/// int64.  False (drop the row, flag truncation) when an entry cannot fit
+/// even after division by the row gcd.
+bool reduce_row(const std::vector<I128>& c128, const std::vector<I128>& y128,
+                Row& out) {
+  // Manual Euclid over int128 (std::gcd does not take __int128 reliably
+  // across standard libraries).
+  auto gcd128 = [](I128 a, I128 b) {
+    if (a < 0) a = -a;
+    if (b < 0) b = -b;
+    while (b != 0) {
+      const I128 t = a % b;
+      a = b;
+      b = t;
+    }
+    return a;
+  };
+  I128 g = 0;
+  for (I128 x : c128) g = gcd128(g, x);
+  for (I128 x : y128) g = gcd128(g, x);
+  if (g == 0) g = 1;
+  out.c.resize(c128.size());
+  out.y.resize(y128.size());
+  for (std::size_t i = 0; i < c128.size(); ++i) {
+    const I128 v = c128[i] / g;
+    if (v > kI64Max || v < -static_cast<I128>(kI64Max)) return false;
+    out.c[i] = static_cast<std::int64_t>(v);
+  }
+  for (std::size_t i = 0; i < y128.size(); ++i) {
+    const I128 v = y128[i] / g;
+    if (v > kI64Max || v < -static_cast<I128>(kI64Max)) return false;
+    out.y[i] = static_cast<std::int64_t>(v);
+  }
+  return true;
+}
+
+std::vector<std::size_t> y_support(const Row& r) {
+  std::vector<std::size_t> s;
+  for (std::size_t i = 0; i < r.y.size(); ++i)
+    if (r.y[i] != 0) s.push_back(i);
+  return s;
+}
+
+/// Drops duplicate rows and rows whose y-support strictly contains another
+/// row's support (nonnegative combinations of smaller semiflows).
+void prune_minimal(std::vector<Row>& rows) {
+  std::vector<std::vector<std::size_t>> sup(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) sup[i] = y_support(rows[i]);
+  std::vector<char> drop(rows.size(), 0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (drop[i]) continue;
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      if (i == j || drop[j] || drop[i]) continue;
+      if (sup[i].size() == sup[j].size()) {
+        if (j > i && sup[i] == sup[j] && rows[i].y == rows[j].y &&
+            rows[i].c == rows[j].c)
+          drop[j] = 1;
+        continue;
+      }
+      // Strictly larger support that includes the smaller one.
+      if (sup[i].size() > sup[j].size() &&
+          std::includes(sup[i].begin(), sup[i].end(), sup[j].begin(),
+                        sup[j].end()))
+        drop[i] = 1;
+    }
+  }
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (drop[i]) continue;
+    if (w != i) rows[w] = std::move(rows[i]);  // guard against self-move
+    ++w;
+  }
+  rows.resize(w);
+}
+
+/// Farkas / Fourier–Motzkin elimination.  Input rows carry c = (one matrix
+/// row) and y = e_i; output is the y-part of every row whose constraint
+/// part reached zero — the minimal-support nonnegative integer solutions
+/// of yᵀC = 0, up to working-set truncation.
+std::vector<std::vector<std::int64_t>> farkas(std::vector<Row> rows,
+                                              std::size_t num_cols,
+                                              std::size_t max_rows,
+                                              bool& truncated) {
+  const std::size_t c_len = rows.empty() ? 0 : rows.front().c.size();
+  const std::size_t y_len = rows.empty() ? 0 : rows.front().y.size();
+  for (std::size_t j = 0; j < num_cols; ++j) {
+    std::vector<Row> next;
+    std::vector<std::size_t> pos, neg;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i].c[j] == 0) next.push_back(std::move(rows[i]));
+      else if (rows[i].c[j] > 0) pos.push_back(i);
+      else neg.push_back(i);
+    }
+    // Every positive/negative pair combines into one row that cancels
+    // column j; hard-stop the pair loop well past the cap so a blowing-up
+    // column costs bounded work.
+    const std::size_t hard_cap = max_rows * 4;
+    std::vector<I128> c128(c_len);
+    std::vector<I128> y128(y_len);
+    for (std::size_t pi : pos) {
+      for (std::size_t ni : neg) {
+        if (next.size() >= hard_cap) {
+          truncated = true;
+          break;
+        }
+        const Row& p = rows[pi];
+        const Row& n = rows[ni];
+        std::int64_t a = -n.c[j];  // > 0
+        std::int64_t b = p.c[j];   // > 0
+        const std::int64_t g = std::gcd(a, b);
+        a /= g;
+        b /= g;
+        for (std::size_t k = 0; k < p.c.size(); ++k)
+          c128[k] = static_cast<I128>(a) * p.c[k] +
+                    static_cast<I128>(b) * n.c[k];
+        for (std::size_t k = 0; k < p.y.size(); ++k)
+          y128[k] = static_cast<I128>(a) * p.y[k] +
+                    static_cast<I128>(b) * n.y[k];
+        Row combined;
+        if (!reduce_row(c128, y128, combined)) {
+          truncated = true;  // int64 overflow even after gcd reduction
+          continue;
+        }
+        next.push_back(std::move(combined));
+      }
+      if (next.size() >= hard_cap) break;
+    }
+    prune_minimal(next);
+    if (next.size() > max_rows) {
+      // Keep the smallest supports — they are the most useful invariants
+      // (tightest per-place bounds) and the most likely minimal ones.
+      std::stable_sort(next.begin(), next.end(),
+                       [](const Row& x, const Row& y) {
+                         return y_support(x).size() < y_support(y).size();
+                       });
+      next.resize(max_rows);
+      truncated = true;
+    }
+    rows = std::move(next);
+    if (rows.empty()) break;
+  }
+  std::vector<std::vector<std::int64_t>> out;
+  out.reserve(rows.size());
+  for (Row& r : rows) out.push_back(std::move(r.y));
+  return out;
+}
+
+}  // namespace
+
+IncidenceMatrix build_incidence(const FlatModel& model,
+                                const StructureInfo& structure) {
+  IncidenceMatrix inc;
+  const auto& acts = model.activities();
+  inc.slot_exact.resize(model.marking_size());
+  for (std::size_t s = 0; s < model.marking_size(); ++s)
+    inc.slot_exact[s] = structure.gate_written[s] ? 0 : 1;
+
+  for (std::size_t ai = 0; ai < acts.size(); ++ai) {
+    const FlatActivity& a = acts[ai];
+    bool any_gate = !a.input_fns.empty();
+    for (const FlatCase& c : a.cases) any_gate |= !c.output_fns.empty();
+    if (any_gate) ++inc.opaque_activities;
+    for (std::size_t ci = 0; ci < a.cases.size(); ++ci) {
+      Transition t;
+      t.activity = static_cast<std::uint32_t>(ai);
+      t.case_idx = static_cast<std::uint32_t>(ci);
+      t.exact = a.input_fns.empty() && a.cases[ci].output_fns.empty();
+      t.effect = model.case_arc_delta(ai, ci);
+      inc.transitions.push_back(std::move(t));
+    }
+  }
+  return inc;
+}
+
+StructuralFacts compute_invariants(const FlatModel& model,
+                                   const StructureInfo& structure,
+                                   const InvariantOptions& opts) {
+  StructuralFacts facts;
+  facts.incidence = build_incidence(model, structure);
+  const IncidenceMatrix& inc = facts.incidence;
+  const std::size_t num_slots = model.marking_size();
+  const std::vector<std::int32_t> m0 = model.initial_marking();
+
+  facts.slot_bound = structure.slot_bound;
+  facts.provenance.assign(num_slots, BoundProvenance::kNone);
+  for (std::size_t s = 0; s < num_slots; ++s)
+    if (facts.slot_bound[s] != kUnbounded)
+      facts.provenance[s] = BoundProvenance::kFixpoint;
+
+  // --- P-semiflows over the gate-exact slots -----------------------------
+  std::vector<std::uint32_t> cand;
+  std::vector<std::int64_t> cand_index(num_slots, -1);
+  for (std::uint32_t s = 0; s < num_slots; ++s)
+    if (inc.slot_exact[s]) {
+      cand_index[s] = static_cast<std::int64_t>(cand.size());
+      cand.push_back(s);
+    }
+
+  if (!cand.empty()) {
+    // Columns: each transition's effect restricted to the exact slots,
+    // deduplicated (Rep instantiates identical columns per replica).
+    std::map<std::vector<std::int64_t>, std::size_t> col_dedup;
+    std::vector<std::vector<std::int64_t>> cols;
+    for (const Transition& t : inc.transitions) {
+      std::vector<std::int64_t> col(cand.size(), 0);
+      bool any = false;
+      for (const auto& [slot, d] : t.effect)
+        if (cand_index[slot] >= 0) {
+          col[static_cast<std::size_t>(cand_index[slot])] = d;
+          any = true;
+        }
+      if (!any) continue;
+      if (col_dedup.emplace(col, cols.size()).second)
+        cols.push_back(std::move(col));
+    }
+
+    std::vector<Row> rows(cand.size());
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      rows[i].c.resize(cols.size());
+      for (std::size_t j = 0; j < cols.size(); ++j) rows[i].c[j] = cols[j][i];
+      rows[i].y.assign(cand.size(), 0);
+      rows[i].y[i] = 1;
+    }
+    const auto ys =
+        farkas(std::move(rows), cols.size(), opts.max_rows,
+               facts.semiflow_truncated);
+    for (const auto& y : ys) {
+      Semiflow sf;
+      I128 total = 0;
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        if (y[i] == 0) continue;
+        sf.terms.emplace_back(cand[i], y[i]);
+        total += static_cast<I128>(y[i]) * m0[cand[i]];
+      }
+      if (sf.terms.empty()) continue;
+      if (total > kI64Max) {  // conservation holds but the sum is huge
+        facts.semiflow_truncated = true;
+        continue;
+      }
+      sf.weighted_initial = static_cast<std::int64_t>(total);
+      // Conservation law: y·m == y·m0 on every reachable marking, and
+      // every supported slot stays >= 0 (arcs cannot drive exact slots
+      // negative), so m[s] <= (y·m0) / y[s].
+      for (const auto& [slot, coeff] : sf.terms) {
+        const std::uint64_t bound =
+            static_cast<std::uint64_t>(sf.weighted_initial / coeff);
+        if (bound < facts.slot_bound[slot]) {
+          facts.slot_bound[slot] = bound;
+          facts.provenance[slot] = BoundProvenance::kInvariant;
+        }
+      }
+      facts.p_semiflows.push_back(std::move(sf));
+    }
+  }
+
+  // --- T-semiflows over the exact transitions ----------------------------
+  {
+    std::vector<std::size_t> exact_tr;
+    std::map<std::vector<std::pair<std::uint32_t, std::int64_t>>, bool>
+        effect_dedup;
+    for (std::size_t ti = 0; ti < inc.transitions.size(); ++ti) {
+      const Transition& t = inc.transitions[ti];
+      if (!t.exact || t.effect.empty()) continue;
+      if (!effect_dedup.emplace(t.effect, true).second) continue;
+      exact_tr.push_back(ti);
+    }
+    // Columns: the slots any exact transition touches.
+    std::vector<std::uint32_t> touched;
+    std::vector<std::int64_t> touched_index(num_slots, -1);
+    for (std::size_t ti : exact_tr)
+      for (const auto& [slot, d] : inc.transitions[ti].effect) {
+        (void)d;
+        if (touched_index[slot] < 0) {
+          touched_index[slot] = static_cast<std::int64_t>(touched.size());
+          touched.push_back(slot);
+        }
+      }
+    if (!exact_tr.empty()) {
+      std::vector<Row> rows(exact_tr.size());
+      for (std::size_t i = 0; i < exact_tr.size(); ++i) {
+        rows[i].c.assign(touched.size(), 0);
+        for (const auto& [slot, d] : inc.transitions[exact_tr[i]].effect)
+          rows[i].c[static_cast<std::size_t>(touched_index[slot])] = d;
+        rows[i].y.assign(exact_tr.size(), 0);
+        rows[i].y[i] = 1;
+      }
+      const auto xs = farkas(std::move(rows), touched.size(), opts.max_rows,
+                             facts.semiflow_truncated);
+      for (const auto& x : xs) {
+        Semiflow sf;
+        for (std::size_t i = 0; i < x.size(); ++i)
+          if (x[i] != 0)
+            sf.terms.emplace_back(
+                static_cast<std::uint32_t>(exact_tr[i]), x[i]);
+        if (!sf.terms.empty()) facts.t_semiflows.push_back(std::move(sf));
+      }
+    }
+  }
+
+  // --- Checked capacity declarations -------------------------------------
+  for (const FlatPlace& p : model.places()) {
+    if (p.capacity < 0) continue;
+    const auto cap = static_cast<std::uint64_t>(p.capacity);
+    for (std::uint32_t i = 0; i < p.size; ++i) {
+      const std::uint32_t s = p.offset + i;
+      if (cap < facts.slot_bound[s]) {
+        facts.slot_bound[s] = cap;
+        facts.provenance[s] = BoundProvenance::kDeclared;
+      }
+    }
+  }
+
+  // --- Proved-unbounded witnesses ----------------------------------------
+  // A transition t proves slot s unbounded when the pure-t firing sequence
+  // is a valid path that pumps s forever:
+  //  * t is exact (arc-only effect) and its activity has no predicates, so
+  //    enabledness is exactly arc coverage;
+  //  * its case is always selectable (fixed positive weight);
+  //  * t is timed and every instantaneous activity is structurally dead,
+  //    so no vanishing marking can preempt the path;
+  //  * t is self-sustaining at m0: every input arc is covered initially
+  //    and t's net effect on each input slot is >= 0;
+  //  * t's net effect on s is > 0.
+  {
+    const auto& acts = model.activities();
+    bool live_instant = false;
+    for (std::size_t ai = 0; ai < acts.size(); ++ai)
+      if (!acts[ai].timed && structure.fire_bound[ai] != 0)
+        live_instant = true;
+    if (!live_instant) {
+      for (const Transition& t : inc.transitions) {
+        const FlatActivity& a = acts[t.activity];
+        if (!t.exact || !a.timed || !a.predicates.empty()) continue;
+        const FlatCase& c = a.cases[t.case_idx];
+        if (c.weight_fn != nullptr || c.weight <= 0.0) continue;
+        auto net = [&t](std::uint32_t slot) -> std::int64_t {
+          for (const auto& [s, d] : t.effect)
+            if (s == slot) return d;
+          return 0;
+        };
+        bool self_sustaining = true;
+        for (const FlatArc& arc : a.input_arcs)
+          if (m0[arc.slot] < arc.weight || net(arc.slot) < 0) {
+            self_sustaining = false;
+            break;
+          }
+        if (!self_sustaining) continue;
+        for (const auto& [slot, d] : t.effect) {
+          if (d <= 0) continue;
+          const FlatPlace& p = model.places()[model.place_of_slot(slot)];
+          if (p.capacity >= 0) {
+            facts.capacity_refutations.emplace_back(slot, t.activity);
+          } else if (facts.slot_bound[slot] == kUnbounded) {
+            facts.provenance[slot] = BoundProvenance::kProvedUnbounded;
+            facts.unbounded_witnesses.emplace_back(slot, t.activity);
+          }
+        }
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < num_slots; ++s)
+    if (facts.slot_bound[s] < structure.slot_bound[s])
+      ++facts.bound_tightenings;
+  return facts;
+}
+
+namespace {
+
+const char* reach_string(AbsorbingFact::Reach r) {
+  switch (r) {
+    case AbsorbingFact::Reach::kWitnessed: return "witnessed";
+    case AbsorbingFact::Reach::kUnwitnessed: return "unwitnessed";
+    case AbsorbingFact::Reach::kRefuted: return "refuted";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string structural_facts_json(const FlatModel& model,
+                                  const StructuralFacts& facts) {
+  std::ostringstream os;
+  std::size_t exact_slots = 0;
+  for (std::uint8_t e : facts.incidence.slot_exact) exact_slots += e;
+  os << "{\"total_slots\": " << model.marking_size()
+     << ", \"exact_slots\": " << exact_slots
+     << ", \"transitions\": " << facts.incidence.transitions.size()
+     << ", \"opaque_activities\": " << facts.incidence.opaque_activities
+     << ", \"semiflow_truncated\": "
+     << (facts.semiflow_truncated ? "true" : "false")
+     << ", \"bound_tightenings\": " << facts.bound_tightenings;
+
+  os << ", \"p_semiflows\": [";
+  for (std::size_t i = 0; i < facts.p_semiflows.size(); ++i) {
+    const Semiflow& sf = facts.p_semiflows[i];
+    if (i > 0) os << ", ";
+    os << "{\"invariant\": " << sf.weighted_initial << ", \"terms\": [";
+    for (std::size_t k = 0; k < sf.terms.size(); ++k) {
+      if (k > 0) os << ", ";
+      os << "{\"place\": \""
+         << util::json_escape(slot_display(model, sf.terms[k].first))
+         << "\", \"coeff\": " << sf.terms[k].second << "}";
+    }
+    os << "]}";
+  }
+  os << "], \"t_semiflows\": [";
+  for (std::size_t i = 0; i < facts.t_semiflows.size(); ++i) {
+    const Semiflow& sf = facts.t_semiflows[i];
+    if (i > 0) os << ", ";
+    os << "{\"terms\": [";
+    for (std::size_t k = 0; k < sf.terms.size(); ++k) {
+      if (k > 0) os << ", ";
+      const Transition& t = facts.incidence.transitions[sf.terms[k].first];
+      os << "{\"activity\": \""
+         << util::json_escape(model.activities()[t.activity].name)
+         << "\", \"case\": " << t.case_idx
+         << ", \"coeff\": " << sf.terms[k].second << "}";
+    }
+    os << "]}";
+  }
+
+  os << "], \"place_bounds\": [";
+  const auto& places = model.places();
+  for (std::size_t pi = 0; pi < places.size(); ++pi) {
+    const FlatPlace& p = places[pi];
+    std::uint64_t bound = 0;
+    BoundProvenance prov = BoundProvenance::kNone;
+    for (std::uint32_t i = 0; i < p.size; ++i) {
+      const std::uint32_t s = p.offset + i;
+      if (facts.slot_bound[s] == kUnbounded) {
+        bound = kUnbounded;
+        prov = facts.provenance[s];
+        break;
+      }
+      if (facts.slot_bound[s] >= bound) {
+        bound = facts.slot_bound[s];
+        prov = facts.provenance[s];
+      }
+    }
+    if (pi > 0) os << ", ";
+    os << "{\"place\": \"" << util::json_escape(p.name) << "\", \"bound\": ";
+    if (bound == kUnbounded) os << "null";
+    else os << bound;
+    os << ", \"provenance\": \"" << to_string(prov) << "\"}";
+  }
+
+  os << "], \"scc_count\": " << facts.scc_count
+     << ", \"condensation_sinks\": " << facts.condensation_sinks
+     << ", \"never_markable\": [";
+  for (std::size_t i = 0; i < facts.never_markable_slots.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << '"'
+       << util::json_escape(
+              slot_display(model, facts.never_markable_slots[i]))
+       << '"';
+  }
+  os << "], \"absorbing\": [";
+  for (std::size_t i = 0; i < facts.absorbing.size(); ++i) {
+    const AbsorbingFact& af = facts.absorbing[i];
+    if (i > 0) os << ", ";
+    os << "{\"place\": \""
+       << util::json_escape(model.places()[af.place].name)
+       << "\", \"certified\": " << (af.certified ? "true" : "false")
+       << ", \"reachable\": \"" << reach_string(af.reach)
+       << "\", \"detail\": \"" << util::json_escape(af.detail) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string structural_facts_text(const FlatModel& model,
+                                  const StructuralFacts& facts) {
+  std::ostringstream os;
+  std::size_t exact_slots = 0;
+  for (std::uint8_t e : facts.incidence.slot_exact) exact_slots += e;
+  os << "structural facts: " << facts.incidence.transitions.size()
+     << " transitions, " << exact_slots << "/" << model.marking_size()
+     << " gate-exact slots, " << facts.incidence.opaque_activities
+     << " opaque activities"
+     << (facts.semiflow_truncated ? " (semiflow basis TRUNCATED)" : "")
+     << "\n";
+
+  os << "  P-semiflows (" << facts.p_semiflows.size() << "):\n";
+  for (const Semiflow& sf : facts.p_semiflows) {
+    os << "    ";
+    for (std::size_t k = 0; k < sf.terms.size(); ++k) {
+      if (k > 0) os << " + ";
+      if (sf.terms[k].second != 1) os << sf.terms[k].second << "*";
+      os << slot_display(model, sf.terms[k].first);
+    }
+    os << " = " << sf.weighted_initial << "\n";
+  }
+  os << "  T-semiflows (" << facts.t_semiflows.size() << "):\n";
+  for (const Semiflow& sf : facts.t_semiflows) {
+    os << "    ";
+    for (std::size_t k = 0; k < sf.terms.size(); ++k) {
+      if (k > 0) os << " + ";
+      const Transition& t = facts.incidence.transitions[sf.terms[k].first];
+      if (sf.terms[k].second != 1) os << sf.terms[k].second << "*";
+      os << model.activities()[t.activity].name;
+      if (model.activities()[t.activity].cases.size() > 1)
+        os << "#" << t.case_idx;
+    }
+    os << "\n";
+  }
+
+  os << "  place bounds:\n";
+  for (const FlatPlace& p : model.places()) {
+    std::uint64_t bound = 0;
+    BoundProvenance prov = BoundProvenance::kNone;
+    for (std::uint32_t i = 0; i < p.size; ++i) {
+      const std::uint32_t s = p.offset + i;
+      if (facts.slot_bound[s] == kUnbounded) {
+        bound = kUnbounded;
+        prov = facts.provenance[s];
+        break;
+      }
+      if (facts.slot_bound[s] >= bound) {
+        bound = facts.slot_bound[s];
+        prov = facts.provenance[s];
+      }
+    }
+    os << "    " << p.name << ": ";
+    if (bound == kUnbounded)
+      os << (prov == BoundProvenance::kProvedUnbounded ? "UNBOUNDED (proved)"
+                                                       : "unbounded");
+    else
+      os << "<= " << bound;
+    os << " [" << to_string(prov) << "]\n";
+  }
+
+  os << "  graph: " << facts.scc_count << " SCC(s), "
+     << facts.condensation_sinks << " sink(s), "
+     << facts.never_markable_slots.size() << " never-markable slot(s)\n";
+  for (const AbsorbingFact& af : facts.absorbing)
+    os << "  absorbing marker " << model.places()[af.place].name << ": "
+       << (af.certified ? "CERTIFIED" : "not certified") << ", reachability "
+       << reach_string(af.reach) << " — " << af.detail << "\n";
+  return os.str();
+}
+
+}  // namespace san::analyze

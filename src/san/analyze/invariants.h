@@ -1,0 +1,167 @@
+// Exact structural invariants of a flattened SAN: incidence matrix,
+// P/T-semiflows, and invariant-implied place bounds.
+//
+// A SAN with only arcs is an ordinary Petri net, and the classic machinery
+// applies: the incidence matrix C has one column per (activity, case)
+// completion, a P-semiflow is an integer vector y >= 0 with yᵀC = 0 (a
+// conservation law: y·m is constant over every reachable marking m, so
+// every place in y's support is bounded by y·m0 / y[s]), and a T-semiflow
+// is x >= 0 with Cx = 0 (a firing-count vector returning the net to where
+// it started — the skeleton of every recurrent behaviour).
+//
+// SANs add opaque std::function gates, which this layer handles soundly
+// rather than optimistically:
+//
+//  * A slot any gate may write (per StructureInfo::gate_written, which
+//    falls back conservatively for undeclared writes) is *excluded* from
+//    P-semiflow support.  On the remaining slots every activity's effect
+//    is purely arcs, so the conservation law holds for the full model, not
+//    just an arc projection.
+//  * A transition is `exact` iff its activity has no input-gate functions
+//    and its case has no output-gate functions; only exact transitions
+//    enter T-semiflow analysis.
+//  * Gate-dominated models (the AHS vehicle/platoon models keep almost all
+//    behaviour in gates) are diagnosed as such (STRUCT001) and bounded via
+//    *checked declarations* instead: AtomicModel::capacity place bounds
+//    are validated empirically by the lint probe and exactly by
+//    ctmc::build_state_space, then folded into the proved bounds here with
+//    their provenance recorded.
+//
+// Semiflow computation is the Farkas / Fourier–Motzkin elimination over
+// gcd-reduced integer rows with __int128 intermediates; every combination
+// is overflow-checked and the working set is capped, with truncation
+// surfaced as StructuralFacts::semiflow_truncated (STRUCT006) — the
+// analysis degrades to "fewer proved bounds", never to wrong ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "san/analyze/structure.h"
+#include "san/flat_model.h"
+
+namespace san::analyze {
+
+/// How a slot's bound in StructuralFacts::slot_bound was established.
+enum class BoundProvenance : std::uint8_t {
+  kNone = 0,         ///< no bound (kUnbounded, nothing proved either way)
+  kFixpoint,         ///< StructureInfo's decreasing arc fixpoint
+  kInvariant,        ///< P-semiflow conservation law
+  kDeclared,         ///< checked AtomicModel::capacity declaration
+  kProvedUnbounded,  ///< self-sustaining exact producer witness
+};
+
+const char* to_string(BoundProvenance p);
+
+/// One column of the incidence matrix: the completion of one case of one
+/// activity, with its arc-only marking effect.
+struct Transition {
+  std::uint32_t activity = 0;
+  std::uint32_t case_idx = 0;
+  /// True iff the effect is the *whole* effect: the activity has no
+  /// input-gate functions and this case has no output-gate functions.
+  bool exact = true;
+  /// Net arc effect, (slot, delta) sorted by slot, zero deltas dropped.
+  std::vector<std::pair<std::uint32_t, std::int64_t>> effect;
+};
+
+/// The exact integer incidence structure of a flattened model.
+struct IncidenceMatrix {
+  std::vector<Transition> transitions;
+  /// slot -> 1 iff no gate function of any activity may write it; only
+  /// these slots may carry P-semiflow support (see file comment).
+  std::vector<std::uint8_t> slot_exact;
+  /// Activities with at least one opaque gate function (STRUCT001 count).
+  std::size_t opaque_activities = 0;
+};
+
+IncidenceMatrix build_incidence(const FlatModel& model,
+                                const StructureInfo& structure);
+
+/// A P- or T-semiflow.  For P-semiflows `terms` indexes marking slots and
+/// `weighted_initial` is y·m0; for T-semiflows `terms` indexes
+/// IncidenceMatrix::transitions and `weighted_initial` is 0.
+struct Semiflow {
+  std::vector<std::pair<std::uint32_t, std::int64_t>> terms;  ///< coeff > 0
+  std::int64_t weighted_initial = 0;
+};
+
+/// Reachability evidence for one absorbing-marker place (see graph.h).
+struct AbsorbingFact {
+  std::uint32_t place = 0;  ///< FlatPlace index
+  /// True iff no transition — exact (arc analysis) or opaque (probe-checked
+  /// monotonicity) — can decrease the marker: once set, it stays set.
+  bool certified = false;
+  enum class Reach : std::uint8_t {
+    kWitnessed,    ///< a probed reachable marking had the marker set
+    kUnwitnessed,  ///< probe budget exhausted before reaching the marker
+    kRefuted,      ///< probe covered the full space; marker never set
+  };
+  Reach reach = Reach::kUnwitnessed;
+  std::string detail;  ///< human-readable certificate / refutation
+};
+
+/// Machine-readable structural facts about one flattened model — the
+/// additive `structural_facts` block of the ahs.lint.v1 schema, and the
+/// bound source ctmc::StateSpaceOptions consumes to pre-size vectors and
+/// reject provably infinite explorations.
+struct StructuralFacts {
+  IncidenceMatrix incidence;
+  std::vector<Semiflow> p_semiflows;
+  std::vector<Semiflow> t_semiflows;
+
+  /// Per-slot bound, strengthen-or-confirm of StructureInfo::slot_bound
+  /// (never weaker), with the provenance of each entry.
+  std::vector<std::uint64_t> slot_bound;
+  std::vector<BoundProvenance> provenance;
+
+  /// (slot, activity) pairs proving structural unboundedness: the activity
+  /// is an exact, predicate-free, self-sustaining producer of the slot.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> unbounded_witnesses;
+
+  /// Capacity declarations refuted *structurally* (an unbounded-producer
+  /// witness feeds a capacity-declared slot): (slot, activity).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> capacity_refutations;
+
+  /// True when the Farkas working set hit its cap or a combination
+  /// overflowed int64 even after gcd reduction; the semiflow basis (and
+  /// thus the proved bounds) may be incomplete but is still sound.
+  bool semiflow_truncated = false;
+
+  /// Graph analyses (filled by san::analyze::analyze_graph).
+  std::size_t scc_count = 0;
+  std::size_t condensation_sinks = 0;
+  /// Slots provably never marked from m0 (unmarked-siphon fixpoint).
+  std::vector<std::uint32_t> never_markable_slots;
+  std::vector<AbsorbingFact> absorbing;
+
+  /// Count of slots whose bound is strictly tighter than the fixpoint's
+  /// (telemetry: san.analyze.invariant_bound_tightenings).
+  std::size_t bound_tightenings = 0;
+};
+
+struct InvariantOptions {
+  /// Cap on the Farkas working set per elimination step.  Semiflow bases
+  /// can be exponential in pathological nets; exceeding the cap sets
+  /// semiflow_truncated instead of blowing up.
+  std::size_t max_rows = 512;
+};
+
+/// Builds the incidence matrix, computes P/T-semiflows, and derives the
+/// strengthened slot bounds with provenance.  Graph facts are left empty —
+/// run analyze_graph (graph.h) on the result to fill them.
+StructuralFacts compute_invariants(const FlatModel& model,
+                                   const StructureInfo& structure,
+                                   const InvariantOptions& opts = {});
+
+/// Renders `facts` as the ahs.lint.v1 `structural_facts` JSON object.
+std::string structural_facts_json(const FlatModel& model,
+                                  const StructuralFacts& facts);
+
+/// Human-readable dump (ahs_lint --invariants).
+std::string structural_facts_text(const FlatModel& model,
+                                  const StructuralFacts& facts);
+
+}  // namespace san::analyze

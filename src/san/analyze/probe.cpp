@@ -57,11 +57,34 @@ ProbeResult run_probe(const FlatModel& model, const ProbeOptions& opts) {
   SlotBits fire_read_bits(acts.size(), num_slots);
   SlotBits eval_bits(acts.size(), num_slots);
 
+  res.slot_max.assign(num_slots, std::numeric_limits<std::int32_t>::min());
+  res.slot_min.assign(num_slots, std::numeric_limits<std::int32_t>::max());
+  std::vector<std::int32_t> slot_capacity(num_slots, -1);
+  std::vector<std::uint8_t> capacity_flagged(num_slots, 0);
+  std::vector<std::uint32_t> absorbing_slots;
+  std::vector<std::uint8_t> monotone_flagged(num_slots, 0);
+  for (const FlatPlace& p : model.places())
+    for (std::uint32_t i = 0; i < p.size; ++i) {
+      slot_capacity[p.offset + i] = p.capacity;
+      if (p.absorbing) absorbing_slots.push_back(p.offset + i);
+    }
+
   std::unordered_set<std::vector<std::int32_t>, MarkingHash> seen;
   std::deque<const std::vector<std::int32_t>*> frontier;
   auto push = [&](std::vector<std::int32_t>&& m) {
     auto [it, inserted] = seen.insert(std::move(m));
-    if (inserted) frontier.push_back(&*it);
+    if (!inserted) return;
+    for (std::uint32_t s = 0; s < num_slots; ++s) {
+      const std::int32_t v = (*it)[s];
+      res.slot_max[s] = std::max(res.slot_max[s], v);
+      res.slot_min[s] = std::min(res.slot_min[s], v);
+      if (slot_capacity[s] >= 0 && v > slot_capacity[s] &&
+          !capacity_flagged[s]) {
+        capacity_flagged[s] = 1;
+        res.capacity_violations.push_back({s, v, 0});
+      }
+    }
+    frontier.push_back(&*it);
   };
   push(model.initial_marking());
 
@@ -122,6 +145,12 @@ ProbeResult run_probe(const FlatModel& model, const ProbeOptions& opts) {
         write_bits.note(ai, s, ap.fire_writes);
       for (std::uint32_t s : log.reads)
         fire_read_bits.note(ai, s, ap.fire_reads);
+      for (std::uint32_t s : absorbing_slots)
+        if (next[s] < m[s] && !monotone_flagged[s]) {
+          monotone_flagged[s] = 1;
+          res.monotone_violations.push_back(
+              {s, next[s] - m[s], static_cast<std::uint32_t>(ai)});
+        }
       push(std::move(next));
     }
   };

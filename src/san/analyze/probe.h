@@ -65,10 +65,31 @@ struct ActivityProbe {
   bool seen_enabled = false;
 };
 
+/// A checked structural declaration (FlatPlace::capacity / ::absorbing)
+/// refuted at a probed reachable marking.
+struct DeclarationViolation {
+  std::uint32_t slot = 0;      ///< violating marking slot
+  std::int32_t value = 0;      ///< observed value (capacity) or delta sign
+  std::uint32_t activity = 0;  ///< firing that produced it (monotone only)
+};
+
 struct ProbeResult {
   std::vector<ActivityProbe> activities;  ///< one per model activity
   std::size_t probed_markings = 0;
   bool complete = false;  ///< frontier exhausted within budget
+
+  /// Per-slot extrema over every *discovered* marking (initial marking and
+  /// all successors, including ones past the expansion budget).  The
+  /// invariants layer cross-checks proved bounds against slot_max.
+  std::vector<std::int32_t> slot_max;
+  std::vector<std::int32_t> slot_min;
+
+  /// Declared capacities exceeded at a discovered marking (STRUCT002); at
+  /// most one entry per slot.
+  std::vector<DeclarationViolation> capacity_violations;
+  /// Declared absorbing markers observed to *decrease* across a firing
+  /// (STRUCT004); at most one entry per slot.
+  std::vector<DeclarationViolation> monotone_violations;
 };
 
 ProbeResult run_probe(const FlatModel& model, const ProbeOptions& opts = {});

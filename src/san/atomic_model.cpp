@@ -113,6 +113,24 @@ PlaceToken AtomicModel::extended_place(const std::string& name,
   return PlaceToken{static_cast<std::uint32_t>(places_.size() - 1)};
 }
 
+AtomicModel& AtomicModel::capacity(PlaceToken p, std::int32_t max_tokens) {
+  AHS_REQUIRE(p.valid() && p.id < places_.size(),
+              "capacity declaration references an undeclared place");
+  AHS_REQUIRE(max_tokens >= 0, "declared capacity must be >= 0");
+  AHS_REQUIRE(places_[p.id].initial <= max_tokens,
+              "place '" + places_[p.id].name +
+                  "': initial marking exceeds the declared capacity");
+  places_[p.id].capacity = max_tokens;
+  return *this;
+}
+
+AtomicModel& AtomicModel::absorbing(PlaceToken p) {
+  AHS_REQUIRE(p.valid() && p.id < places_.size(),
+              "absorbing declaration references an undeclared place");
+  places_[p.id].absorbing = true;
+  return *this;
+}
+
 PlaceToken AtomicModel::find_place(const std::string& name) const {
   for (std::size_t i = 0; i < places_.size(); ++i)
     if (places_[i].name == name)

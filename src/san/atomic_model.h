@@ -155,6 +155,23 @@ class AtomicModel {
   /// Looks up a declared place by name; throws if absent.
   PlaceToken find_place(const std::string& name) const;
 
+  /// Declares an upper bound on the value any slot of place `p` can hold at
+  /// any reachable marking.  Like reads()/writes() this is *checked, not
+  /// trusted*: the lint reachability probe validates it empirically
+  /// (STRUCT002 on refutation) and ctmc::build_state_space validates it
+  /// exactly on every explored marking.  The structural-analysis layer
+  /// (san/analyze/invariants.h) folds checked capacities into the proved
+  /// place bounds, which is what bounds gate-driven places — arcs alone
+  /// cannot, because gate writes are opaque std::functions.
+  AtomicModel& capacity(PlaceToken p, std::int32_t max_tokens);
+
+  /// Declares place `p` an absorbing marker: its slots are nondecreasing
+  /// along every firing (checked by the probe — STRUCT004 on refutation)
+  /// and a positive marking identifies the model's absorbing/unsafe class
+  /// (the paper's KO_total).  The absorbing-class analyzer certifies that
+  /// markings with the marker set can never leave the class (STRUCT005).
+  AtomicModel& absorbing(PlaceToken p);
+
   /// Declares a timed activity.
   ActivityBuilder timed_activity(const std::string& name);
 
@@ -166,6 +183,8 @@ class AtomicModel {
     std::string name;
     std::uint32_t size = 1;
     std::int32_t initial = 0;
+    std::int32_t capacity = -1;  ///< declared per-slot max; -1 = undeclared
+    bool absorbing = false;      ///< declared nondecreasing absorbing marker
   };
   const std::vector<PlaceDef>& places() const { return places_; }
   const std::vector<ActivityDef>& activities() const { return activities_; }

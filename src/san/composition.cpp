@@ -123,14 +123,16 @@ class Flattener {
     env.emplace(name, std::move(slot));
   }
 
-  std::size_t add_place(const std::string& flat_name, std::uint32_t size,
-                        std::int32_t initial) {
+  std::size_t add_place(const std::string& flat_name,
+                        const AtomicModel::PlaceDef& def) {
     FlatPlace p;
     p.name = flat_name;
     p.offset = next_slot_;
-    p.size = size;
-    p.initial = initial;
-    next_slot_ += size;
+    p.size = def.size;
+    p.initial = def.initial;
+    p.capacity = def.capacity;
+    p.absorbing = def.absorbing;
+    next_slot_ += def.size;
     FlatModelBuilderAccess::places(model_).push_back(std::move(p));
     return FlatModelBuilderAccess::places(model_).size() - 1;
   }
@@ -150,10 +152,11 @@ class Flattener {
       if (it != env.end()) {
         SharedSlot& slot = *it->second;
         if (!slot.bound) {
-          slot.place_index = add_place(slot.flat_name, def.size, def.initial);
+          slot.place_index = add_place(slot.flat_name, def);
           slot.bound = true;
         } else {
-          const FlatPlace& existing = FlatModelBuilderAccess::places(model_)[slot.place_index];
+          FlatPlace& existing =
+              FlatModelBuilderAccess::places(model_)[slot.place_index];
           if (existing.size != def.size)
             throw util::ModelError(
                 "shared place '" + def.name + "': size mismatch (" +
@@ -164,10 +167,22 @@ class Flattener {
                 "shared place '" + def.name + "': initial-marking mismatch (" +
                 std::to_string(existing.initial) + " vs " +
                 std::to_string(def.initial) + ") at " + path);
+          // Structural declarations merge: a later leaf may add what an
+          // earlier one left undeclared, but declared values must agree —
+          // a silent min/max would hide a modelling disagreement.
+          if (def.capacity >= 0) {
+            if (existing.capacity >= 0 && existing.capacity != def.capacity)
+              throw util::ModelError(
+                  "shared place '" + def.name + "': capacity mismatch (" +
+                  std::to_string(existing.capacity) + " vs " +
+                  std::to_string(def.capacity) + ") at " + path);
+            existing.capacity = def.capacity;
+          }
+          existing.absorbing = existing.absorbing || def.absorbing;
         }
         global = slot.place_index;
       } else {
-        global = add_place(child_path(path, def.name), def.size, def.initial);
+        global = add_place(child_path(path, def.name), def);
       }
       imap->offset[pi] = FlatModelBuilderAccess::places(model_)[global].offset;
       imap->size[pi] = FlatModelBuilderAccess::places(model_)[global].size;

@@ -5,6 +5,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "san/analyze/invariants.h"
+#include "san/analyze/structure.h"
+
 namespace san {
 
 std::string to_dot(const AtomicModel& model) {
@@ -103,6 +106,25 @@ std::string to_dot(const FlatModel& model,
     for (std::uint32_t i = 0; i < p.size; ++i) slot_place[p.offset + i] = pi;
   }
 
+  // Semiflow overlay: places carrying P-semiflow support are drawn with a
+  // double border, and every place with a proved bound gets it in its
+  // label.  Fed from the structural facts the lint report carries.
+  std::vector<std::uint8_t> in_semiflow(model.places().size(), 0);
+  std::vector<std::uint64_t> place_bound(model.places().size(),
+                                         analyze::kUnbounded);
+  if (findings != nullptr && findings->facts != nullptr) {
+    const analyze::StructuralFacts& facts = *findings->facts;
+    for (const analyze::Semiflow& y : facts.p_semiflows)
+      for (const auto& [slot, coeff] : y.terms)
+        in_semiflow[slot_place[slot]] = 1;
+    for (std::size_t s = 0; s < facts.slot_bound.size(); ++s) {
+      std::uint64_t& b = place_bound[slot_place[s]];
+      // A place's displayed bound is the loosest over its slots.
+      if (facts.slot_bound[s] > b || b == analyze::kUnbounded)
+        b = facts.slot_bound[s];
+    }
+  }
+
   std::ostringstream os;
   os << "digraph flat_model {\n";
   os << "  rankdir=LR;\n  node [fontsize=10];\n";
@@ -111,7 +133,11 @@ std::string to_dot(const FlatModel& model,
     os << "  p" << i << " [shape=circle, label=\"" << places[i].name;
     if (places[i].size > 1) os << "[" << places[i].size << "]";
     if (places[i].initial > 0) os << "\\n(" << places[i].initial << ")";
-    os << "\"" << decoration(places[i].name) << "];\n";
+    if (place_bound[i] != analyze::kUnbounded)
+      os << "\\n<=" << place_bound[i];
+    os << "\"";
+    if (in_semiflow[i]) os << ", peripheries=2";
+    os << decoration(places[i].name) << "];\n";
   }
   const auto& acts = model.activities();
   for (std::size_t i = 0; i < acts.size(); ++i) {

@@ -1,6 +1,8 @@
 #include "san/flat_model.h"
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "util/error.h"
 #include "util/string_util.h"
@@ -16,6 +18,10 @@ std::vector<std::int32_t> FlatModel::initial_marking() const {
 
 void FlatModel::index_names() {
   by_suffix_.clear();
+  slot_place_.assign(marking_size_, 0);
+  for (std::size_t i = 0; i < places_.size(); ++i)
+    for (std::uint32_t k = 0; k < places_[i].size; ++k)
+      slot_place_[places_[i].offset + k] = static_cast<std::uint32_t>(i);
   for (std::size_t i = 0; i < places_.size(); ++i) {
     // Index every path-component suffix: "a/b/c" -> "c", "b/c", "a/b/c".
     const std::string& name = places_[i].name;
@@ -58,6 +64,34 @@ std::uint32_t FlatModel::place_offset(std::size_t pi) const {
 std::uint32_t FlatModel::place_size(std::size_t pi) const {
   AHS_REQUIRE(pi < places_.size(), "place index out of range");
   return places_[pi].size;
+}
+
+std::uint32_t FlatModel::place_of_slot(std::uint32_t s) const {
+  AHS_REQUIRE(s < slot_place_.size(), "slot out of range");
+  return slot_place_[s];
+}
+
+std::vector<std::pair<std::uint32_t, std::int64_t>> FlatModel::case_arc_delta(
+    std::size_t ai, std::size_t ci) const {
+  AHS_REQUIRE(ai < activities_.size(), "activity index out of range");
+  const FlatActivity& a = activities_[ai];
+  AHS_REQUIRE(ci < a.cases.size(), "case index out of range");
+  std::vector<std::pair<std::uint32_t, std::int64_t>> delta;
+  auto accumulate = [&](std::uint32_t slot, std::int64_t d) {
+    for (auto& [s, v] : delta)
+      if (s == slot) {
+        v += d;
+        return;
+      }
+    delta.emplace_back(slot, d);
+  };
+  for (const FlatArc& arc : a.input_arcs)
+    accumulate(arc.slot, -static_cast<std::int64_t>(arc.weight));
+  for (const FlatArc& arc : a.cases[ci].output_arcs)
+    accumulate(arc.slot, static_cast<std::int64_t>(arc.weight));
+  std::erase_if(delta, [](const auto& e) { return e.second == 0; });
+  std::sort(delta.begin(), delta.end());
+  return delta;
 }
 
 bool FlatModel::enabled(std::size_t ai, std::span<std::int32_t> m,

@@ -26,6 +26,13 @@ struct FlatPlace {
   std::uint32_t offset;   ///< first slot in the marking vector
   std::uint32_t size;     ///< slot count (1 for simple places)
   std::int32_t initial;   ///< initial value of every slot
+
+  /// Declared per-slot capacity (AtomicModel::capacity), -1 when
+  /// undeclared.  Checked, never trusted: the lint probe and the CTMC
+  /// state-space generator both validate it against reachable markings.
+  std::int32_t capacity = -1;
+  /// Declared nondecreasing absorbing marker (AtomicModel::absorbing).
+  bool absorbing = false;
 };
 
 /// An arc resolved to a global slot.
@@ -90,6 +97,20 @@ class FlatModel {
   /// All place indices whose names end with `suffix` (one per replica).
   std::vector<std::size_t> place_indices(const std::string& suffix) const;
 
+  // --- Incidence accessors (san/analyze/invariants.h builds the exact
+  // integer incidence matrix from these) -----------------------------------
+
+  /// Index of the FlatPlace covering marking slot `s`.
+  std::uint32_t place_of_slot(std::uint32_t s) const;
+
+  /// Net arc-only token delta of completing case `ci` of activity `ai`:
+  /// input arcs count negative, the case's output arcs positive, summed per
+  /// slot and sorted by slot.  Gate-function effects are NOT included —
+  /// they are opaque; san::analyze::build_incidence tracks which slots a
+  /// gate may additionally write and treats those conservatively.
+  std::vector<std::pair<std::uint32_t, std::int64_t>> case_arc_delta(
+      std::size_t ai, std::size_t ci) const;
+
   // --- Activity semantics (shared by both engines) ------------------------
 
   /// True iff every input-gate predicate holds and every input arc is
@@ -145,6 +166,7 @@ class FlatModel {
   std::vector<FlatActivity> activities_;
   std::size_t marking_size_ = 0;
   std::unordered_map<std::string, std::vector<std::size_t>> by_suffix_;
+  std::vector<std::uint32_t> slot_place_;  ///< slot -> covering place index
 
   void index_names();
 };

@@ -85,7 +85,9 @@ Executor::Executor(const san::FlatModel& model, util::Rng rng, Options opts)
   }
 
   if (opts_.lint)
-    san::analyze::preflight_lint(model_, "Executor lint preflight");
+    san::analyze::preflight_lint(model_, "Executor lint preflight",
+                                 /*probe_budget=*/128,
+                                 /*nonfatal_ids=*/{"NET003"});
 
   build_view();
 

@@ -148,7 +148,9 @@ TransientResult estimate_transient(const san::FlatModel& model,
   // replication batch — both are pure functions of the model, so sharing
   // them cannot affect trajectories.
   const san::DependencyIndex shared_deps = san::DependencyIndex::build(model);
-  san::analyze::preflight_lint(model, "transient estimate preflight");
+  san::analyze::preflight_lint(model, "transient estimate preflight",
+                               /*probe_budget=*/128,
+                               /*nonfatal_ids=*/{"NET003"});
 
   Executor::Options exec_opts;
   exec_opts.engine = options.engine;

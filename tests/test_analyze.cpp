@@ -510,7 +510,7 @@ TEST(AnalyzeReport, CatalogueCoversAllEmittedIds) {
     EXPECT_NE(san::analyze::find_diagnostic(info.id), nullptr);
   }
   EXPECT_EQ(san::analyze::find_diagnostic("XXX999"), nullptr);
-  EXPECT_EQ(san::analyze::diagnostic_catalog().size(), 13u);
+  EXPECT_EQ(san::analyze::diagnostic_catalog().size(), 20u);
 }
 
 TEST(AnalyzeReport, DotHighlightsFindings) {

@@ -118,13 +118,32 @@ TEST(StateSpace, AbsorbingPredicateTruncates) {
 TEST(StateSpace, MaxStatesGuard) {
   auto m = std::make_shared<san::AtomicModel>("unbounded");
   const auto c = m->place("c", 0);
+  // The (vacuous) input gate keeps the structural layer from *proving*
+  // unboundedness — a bare producer would be rejected before exploration
+  // (see ProvedUnboundedRejectedUpfront) and never reach the guard.
+  m->timed_activity("inc")
+      .distribution(util::Distribution::Exponential(1.0))
+      .input_gate([](const san::MarkingRef&) { return true; })
+      .output_arc(c);
+  const auto flat = san::flatten(m);
+  ctmc::StateSpaceOptions opts;
+  opts.max_states = 100;
+  EXPECT_THROW(ctmc::build_state_space(flat, opts), util::NumericalError);
+}
+
+TEST(StateSpace, ProvedUnboundedRejectedUpfront) {
+  // A bare self-sustaining producer is *proved* unbounded by the
+  // invariants layer; generation must refuse it immediately instead of
+  // exploring max_states states first.
+  auto m = std::make_shared<san::AtomicModel>("unbounded");
+  const auto c = m->place("c", 0);
   m->timed_activity("inc")
       .distribution(util::Distribution::Exponential(1.0))
       .output_arc(c);
   const auto flat = san::flatten(m);
   ctmc::StateSpaceOptions opts;
   opts.max_states = 100;
-  EXPECT_THROW(ctmc::build_state_space(flat, opts), util::NumericalError);
+  EXPECT_THROW(ctmc::build_state_space(flat, opts), util::ModelError);
 }
 
 TEST(StateSpace, RequiresExponential) {
