@@ -9,9 +9,11 @@
 //   ahs_top --tap live.json
 //
 // Exits on its own once the sweep reports completion (done == total) and
-// the publisher has stopped bumping the sequence number.  --once renders a
-// single frame and exits (CI smoke); --no-clear appends frames instead of
-// redrawing in place (logs, dumb terminals).
+// the publisher has stopped bumping the sequence number — or with status 3
+// when the sequence stops advancing *before* completion for longer than
+// --stale-timeout (the producer died without its terminal snapshot).
+// --once renders a single frame and exits (CI smoke); --no-clear appends
+// frames instead of redrawing in place (logs, dumb terminals).
 #include <chrono>
 #include <cmath>
 #include <fstream>
@@ -22,6 +24,7 @@
 
 #include "util/cli.h"
 #include "util/json.h"
+#include "util/telemetry.h"
 
 namespace {
 
@@ -148,6 +151,11 @@ int main(int argc, char** argv) {
       "max-frames", 0, "stop after this many rendered frames (0 = unlimited)");
   const auto no_clear = cli.add_flag(
       "no-clear", "append frames instead of redrawing in place");
+  const auto stale_timeout = cli.add_double(
+      "stale-timeout", 30.0,
+      "exit nonzero when the tap sequence number stops advancing for this "
+      "many seconds before the sweep completes — the producer died without "
+      "its terminal snapshot (0 disables)");
   try {
     if (!cli.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -156,8 +164,8 @@ int main(int argc, char** argv) {
   }
 
   using Clock = std::chrono::steady_clock;
-  double last_seq = -1.0;
-  Clock::time_point last_change = Clock::now();
+  const Clock::time_point t0 = Clock::now();
+  util::TapStaleness staleness(*stale_timeout);
   long long frames = 0;
   bool seen_complete = false;
 
@@ -194,13 +202,8 @@ int main(int argc, char** argv) {
     }
 
     const double seq = doc.number_at("seq");
-    const auto now = Clock::now();
-    if (seq != last_seq) {
-      last_seq = seq;
-      last_change = now;
-    }
-    const double stale =
-        std::chrono::duration<double>(now - last_change).count();
+    const double stale = staleness.observe(
+        seq, std::chrono::duration<double>(Clock::now() - t0).count());
 
     std::ostringstream frame;
     render(doc, *tap, *once ? -1.0 : stale, frame);
@@ -222,6 +225,16 @@ int main(int argc, char** argv) {
     // is complete and no new snapshot has landed for a couple of refresh
     // periods, the run is over.
     if (seen_complete && stale > 2.0 * *interval) return 0;
+    // The inverse case: the sweep is *not* complete and the producer has
+    // gone silent — it died (SIGKILL, OOM) before its terminal snapshot.
+    // Without this gate ahs_top would poll the frozen file forever.
+    if (!seen_complete && staleness.expired()) {
+      std::cerr << "ahs_top: " << *tap << " stopped updating "
+                << fixed(stale, 1) << " s ago with the sweep incomplete — "
+                << "producer appears dead (--stale-timeout "
+                << fixed(*stale_timeout, 1) << ")\n";
+      return 3;
+    }
     std::this_thread::sleep_for(std::chrono::duration<double>(*interval));
   }
 }

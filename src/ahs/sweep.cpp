@@ -3,6 +3,8 @@
 #include <chrono>
 #include <filesystem>
 #include <future>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <unordered_set>
 
@@ -84,16 +86,18 @@ std::uint64_t hash_params(std::uint64_t h, const Parameters& p) {
   return h;
 }
 
-/// Identity of a durable point-result file: the point (index, label, full
-/// parameter values), the evaluation grid, and every result-determining
-/// study option.  Any difference rejects the file on resume.
-std::uint64_t point_option_hash(std::size_t index, const SweepPoint& point,
-                                const std::vector<double>& times,
-                                const StudyOptions& study) {
+std::string point_path(const std::string& dir, std::size_t index,
+                       const char* suffix) {
+  return dir + "/point_" + std::to_string(index) + suffix;
+}
+
+}  // namespace
+
+std::uint64_t point_identity_hash(const Parameters& params,
+                                  const std::vector<double>& times,
+                                  const StudyOptions& study) {
   std::uint64_t h = 0;
-  h = util::hash_mix(h, static_cast<std::uint64_t>(index));
-  h = util::hash_mix(h, point.label);
-  h = hash_params(h, point.params);
+  h = hash_params(h, params);
   for (double t : times) h = util::hash_mix(h, t);
   h = util::hash_mix(h, static_cast<std::uint64_t>(times.size()));
   h = util::hash_mix(h, static_cast<std::uint64_t>(study.engine));
@@ -103,19 +107,32 @@ std::uint64_t point_option_hash(std::size_t index, const SweepPoint& point,
   h = util::hash_mix(h, study.rel_half_width);
   h = util::hash_mix(h, study.abs_half_width);
   h = util::hash_mix(h, study.confidence);
+  h = util::hash_mix(h, study.seed);
   h = util::hash_mix(h, study.failure_boost);
   h = util::hash_mix(h, study.fail_case_bias);
   h = util::hash_mix(h, static_cast<std::uint64_t>(study.max_states));
   return h;
 }
 
-std::string point_path(const std::string& dir, std::size_t index,
-                       const char* suffix) {
-  return dir + "/point_" + std::to_string(index) + suffix;
+std::uint64_t point_option_hash(std::size_t index, const SweepPoint& point,
+                                const std::vector<double>& times,
+                                const StudyOptions& study) {
+  std::uint64_t h = 0;
+  h = util::hash_mix(h, static_cast<std::uint64_t>(index));
+  h = util::hash_mix(h, point.label);
+  h = util::hash_mix(h, point_identity_hash(point.params, times, study));
+  return h;
 }
 
-/// Serializes a completed curve with exact double bit patterns, so a
-/// restored point is bitwise identical to the run that computed it.
+util::SnapshotHeader point_result_header(std::size_t index,
+                                         const SweepPoint& point,
+                                         const std::vector<double>& times,
+                                         const StudyOptions& study) {
+  return util::SnapshotHeader{
+      "sweep-point", point.params.structural_fingerprint(), study.seed,
+      point_option_hash(index, point, times, study)};
+}
+
 std::string encode_curve(const UnsafetyCurve& curve) {
   std::ostringstream os;
   os << curve.times.size() << "\n";
@@ -146,6 +163,41 @@ UnsafetyCurve decode_curve(const std::string& payload) {
   curve.converged = in.next_u64() != 0;
   curve.solver_iterations = in.next_u64();
   return curve;
+}
+
+namespace {
+
+/// Payload of <checkpoint_dir>/warm_starts.cache: every warm-start shape
+/// the sweep's cold builds have published so far, bitwise-exact doubles.
+/// A resumed sweep preloads these so followers of *restored* cold builds
+/// still validate against the exact shape the interrupted run published.
+std::string encode_warm_entries(const ctmc::WarmStartCache& cache) {
+  std::ostringstream os;
+  const auto entries = cache.entries();
+  os << entries.size() << "\n";
+  for (const auto& [key, entry] : entries) {
+    os << key << " " << entry->fired_at << " " << entry->shape.size() << "\n";
+    for (double s : entry->shape) os << util::encode_double(s) << " ";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::size_t decode_warm_entries(const std::string& payload,
+                                ctmc::WarmStartCache* cache) {
+  util::TokenReader in(payload);
+  const std::uint64_t count = in.next_u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t key = in.next_u64();
+    auto entry = std::make_shared<ctmc::WarmStart>();
+    entry->fired_at = in.next_u64();
+    const std::uint64_t n = in.next_u64();
+    entry->shape.reserve(n);
+    for (std::uint64_t s = 0; s < n; ++s)
+      entry->shape.push_back(in.next_f64());
+    cache->store(key, std::move(entry));
+  }
+  return count;
 }
 
 }  // namespace
@@ -287,6 +339,41 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
                           ? options.study.warm_cache
                           : &warm_cache);
 
+  // Warm-start persistence: a point's durable result file holds its curve
+  // but no distribution, so a resumed sweep whose cold builds were all
+  // restored would have nothing to warm its recomputed followers with —
+  // they'd fall back to the cold plateau criteria and diverge (in iteration
+  // count, not values) from the uninterrupted run.  Persisting sweeps
+  // therefore snapshot every published shape after each cold point and
+  // preload the file on resume.  The header identity covers everything that
+  // makes shapes comparable: engine, solver, and the evaluation grid.
+  const bool warm_persisting = warm_active && persisting;
+  const std::string warm_path =
+      warm_persisting ? options.checkpoint_dir + "/warm_starts.cache"
+                      : std::string();
+  util::SnapshotHeader warm_header;
+  std::mutex warm_io_mutex;
+  if (warm_persisting) {
+    std::uint64_t wh = util::hash_mix(0, std::string("warm-shapes-v1"));
+    wh = util::hash_mix(wh, static_cast<std::uint64_t>(options.study.engine));
+    wh = util::hash_mix(wh, static_cast<std::uint64_t>(options.study.solver));
+    for (double t : times) wh = util::hash_mix(wh, t);
+    wh = util::hash_mix(wh, static_cast<std::uint64_t>(times.size()));
+    warm_header = util::SnapshotHeader{"sweep-warm", 0, options.study.seed, wh};
+    if (options.resume) {
+      std::string payload;
+      if (util::read_snapshot(warm_path, warm_header, &payload)) {
+        const std::size_t n =
+            decode_warm_entries(payload, active_warm_cache);
+        if (reg != nullptr)
+          reg->gauge("ahs.sweep.warm_shapes_preloaded")
+              .set(static_cast<double>(n));
+        AHS_LOGM_INFO("sweep")
+            << "preloaded " << n << " warm-start shape(s) from " << warm_path;
+      }
+    }
+  }
+
   // Split the points into cold builds (the first point of each structure
   // group — every point when not caching) and followers.  Running all cold
   // builds to completion first guarantees every follower hits the cache.
@@ -336,10 +423,8 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
       return;
     }
 
-    const util::SnapshotHeader header{
-        "sweep-point", points[i].params.structural_fingerprint(),
-        options.study.seed,
-        point_option_hash(i, points[i], times, options.study)};
+    const util::SnapshotHeader header =
+        point_result_header(i, points[i], times, options.study);
     const std::string result_path =
         persisting ? point_path(options.checkpoint_dir, i, ".result")
                    : std::string();
@@ -410,6 +495,18 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
           if (persisting)
             util::write_snapshot(result_path, header,
                                  encode_curve(result.curves[i]));
+          if (warm_persisting && is_cold[i] != 0) {
+            // Snapshot the shapes after every cold completion (not once at
+            // the end): a crash between cold builds must not lose the
+            // shapes the finished builds already published.  Atomic write,
+            // so readers never see a torn file.
+            std::lock_guard<std::mutex> lock(warm_io_mutex);
+            util::write_snapshot(warm_path, warm_header,
+                                 encode_warm_entries(*active_warm_cache));
+            if (reg != nullptr)
+              reg->gauge("ahs.sweep.warm_shapes_persisted")
+                  .set(static_cast<double>(active_warm_cache->size()));
+          }
         }
         break;
       } catch (const util::SnapshotError&) {

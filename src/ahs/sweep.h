@@ -24,6 +24,7 @@
 
 #include "ahs/parameters.h"
 #include "ahs/study.h"
+#include "util/snapshot.h"
 
 namespace util {
 class ThreadPool;
@@ -133,11 +134,12 @@ struct SweepResult {
   /// quasi-stationary plateau against the shape published by its structure
   /// group's cold build and extrapolated after a short confirmation run
   /// instead of a full cold lookback window — see ctmc::WarmStartCache.
-  /// Caveat: in a resumed sweep a group whose cold build was *restored*
-  /// publishes nothing (result files hold no distribution), so recomputed
-  /// followers fall back to the cold criteria; their curves stay within the
-  /// solver tolerance but may differ in low-order bits from the
-  /// uninterrupted run.
+  /// Persisting sweeps write every published shape to
+  /// `<checkpoint_dir>/warm_starts.cache` (snapshot kind "sweep-warm"), so
+  /// a resumed sweep whose cold builds were *restored* preloads the exact
+  /// shapes the interrupted run published — recomputed followers hit the
+  /// warm criteria and reproduce the uninterrupted run bit-for-bit,
+  /// iteration counts included.
   std::uint64_t warm_start_hits = 0;
   std::uint64_t warm_start_misses = 0;
   /// Matrix–vector products summed over every point's transient solves
@@ -157,5 +159,40 @@ struct SweepResult {
 SweepResult run_sweep(const std::vector<SweepPoint>& points,
                       const std::vector<double>& times,
                       const SweepOptions& options = {});
+
+// ---- durable point-file protocol --------------------------------------
+// The per-point result files a persisting sweep writes (`point_<i>.result`,
+// snapshot kind "sweep-point") double as the `ahs_server` service's
+// job/result wire format: a worker *process* evaluates one point and writes
+// exactly this file; the supervisor reads it back, and a SIGKILLed worker
+// is restartable for free because the file either exists complete (atomic
+// rename) or not at all.  The identity and codec functions are public for
+// that reason — serve/worker.cpp and run_sweep must agree byte-for-byte.
+
+/// Identity of a durable point-result file: the point (index, label, full
+/// parameter values), the evaluation grid, and every result-determining
+/// study option.  Any difference rejects the file on resume.
+std::uint64_t point_option_hash(std::size_t index, const SweepPoint& point,
+                                const std::vector<double>& times,
+                                const StudyOptions& study);
+
+/// Index/label-free identity of a point's *numerical result*: two requests
+/// (possibly from different clients or jobs) with equal identity hashes are
+/// guaranteed the same curve, so the service's cross-request ResultStore
+/// merges on this key and computes shared points exactly once.
+std::uint64_t point_identity_hash(const Parameters& params,
+                                  const std::vector<double>& times,
+                                  const StudyOptions& study);
+
+/// The snapshot header of point_<index>.result under this identity.
+util::SnapshotHeader point_result_header(std::size_t index,
+                                         const SweepPoint& point,
+                                         const std::vector<double>& times,
+                                         const StudyOptions& study);
+
+/// Serializes a completed curve with exact double bit patterns, so a
+/// restored point is bitwise identical to the run that computed it.
+std::string encode_curve(const UnsafetyCurve& curve);
+UnsafetyCurve decode_curve(const std::string& payload);
 
 }  // namespace ahs

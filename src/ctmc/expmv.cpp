@@ -8,6 +8,7 @@
 
 #include "ctmc/sparse.h"
 #include "util/error.h"
+#include "util/logging.h"
 #include "util/metrics.h"
 #include "util/spans.h"
 #include "util/thread_pool.h"
@@ -311,6 +312,16 @@ ExpmvResult expmv(const MarkovChain& chain, std::span<const double> v,
   return run_expmv(op, chain.num_states, anorm, v, t, tol, krylov_dim);
 }
 
+double expmv_tol_floor(double anorm, double t) {
+  // One matvec loses ~ε_mach·‖A‖·‖x‖; over a horizon the losses compound
+  // proportionally to anorm·t (the number of unit-norm sub-steps the
+  // controller needs).  The factor 4 covers the Gram–Schmidt and dense-expm
+  // round-off on top of the products — deliberately a *lower* bound on the
+  // real error, so a flagged solve is certainly degraded.
+  constexpr double kEps = 2.220446049250313e-16;
+  return 4.0 * kEps * std::max(1.0, anorm * t);
+}
+
 TransientSolution solve_transient_krylov(const MarkovChain& chain,
                                          std::span<const double> reward,
                                          std::span<const double> time_points,
@@ -349,6 +360,15 @@ TransientSolution solve_transient_krylov(const MarkovChain& chain,
   for (double t : time_points) {
     const double dt = t - pi_time;
     if (dt > 0.0) {
+      // Tolerance-floor check (per interval — the floor grows with the
+      // horizon): a request below the round-off floor is recorded as a
+      // degraded certification, never silently passed.  The solve itself
+      // still runs at the requested tolerance so results are unchanged.
+      const double floor = expmv_tol_floor(anorm, dt);
+      if (tol < floor) {
+        sol.tol_floor_hit = true;
+        sol.achievable_tol = std::max(sol.achievable_tol, floor);
+      }
       ExpmvResult r = run_expmv(op, n, anorm, pi, dt, tol,
                                 options.krylov_dim);
       pi = std::move(r.w);
@@ -365,6 +385,20 @@ TransientSolution solve_transient_krylov(const MarkovChain& chain,
     sol.distributions.push_back(pi);
   }
   if (on) iterations.add(sol.total_iterations);
+  if (sol.tol_floor_hit) {
+    // The explicit signal the 1e-12 tail certifications need: the
+    // estimator's "error ≤ tol" claim is only good to the round-off floor.
+    if (util::MetricsRegistry* reg = util::MetricsRegistry::global()) {
+      reg->counter("ctmc.expmv.tol_floor_hits").inc();
+      reg->gauge("ctmc.expmv.tol_floor").set(sol.achievable_tol);
+    }
+    AHS_LOGM_WARN("ctmc")
+        << "krylov: requested tolerance " << tol
+        << " is below the round-off floor " << sol.achievable_tol
+        << " for this solve (‖Qᵀ‖·t ≈ " << anorm * time_points.back()
+        << "); the certification is degraded to the floor — use the "
+           "adaptive/standard engine for tails beyond it";
+  }
   return sol;
 }
 

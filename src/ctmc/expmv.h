@@ -36,13 +36,25 @@ struct ExpmvResult {
   std::uint64_t matvecs = 0;
 };
 
-/// w = exp(Qᵀ t) · v with local error ≲ `tol` (absolute, on the vector —
-/// see the tail-probability caveat in docs/PERFORMANCE.md).  The product
-/// kernel runs gather-style over the column-blocked transpose, so results
-/// are bitwise independent of the pool size.
+/// w = exp(Qᵀ t) · v with local error ≲ `tol` (absolute, on the vector).
+/// A `tol` below expmv_tol_floor(anorm, t) cannot be honoured in double
+/// precision — callers certifying 1e-12 tails must check the floor (the
+/// Krylov transient solver does, and flags the solve; see
+/// docs/PERFORMANCE.md).  The product kernel runs gather-style over the
+/// column-blocked transpose, so results are bitwise independent of the
+/// pool size.
 ExpmvResult expmv(const MarkovChain& chain, std::span<const double> v,
                   double t, double tol, int krylov_dim,
                   util::ThreadPool* pool);
+
+/// The absolute-error round-off floor of a Krylov propagation over horizon
+/// `t` with operator norm bound `anorm` (‖Qᵀ‖ estimate): the local-error
+/// estimator measures Krylov *truncation* error only, so a requested
+/// tolerance below ε_mach·max(1, anorm·t) is noise — the solve silently
+/// carries O(floor) round-off no matter what the estimator claims.  The
+/// Krylov transient solver compares its tolerance against this and raises
+/// TransientSolution::tol_floor_hit instead of certifying the impossible.
+double expmv_tol_floor(double anorm, double t);
 
 /// solve_transient with the Krylov engine; ctmc::solve_transient dispatches
 /// here for UniformizationOptions::solver == kKrylov.  Uses

@@ -82,6 +82,21 @@ void WarmStartCache::store(std::uint64_t key,
   entries_.emplace(key, std::move(entry));
 }
 
+std::vector<std::pair<std::uint64_t, std::shared_ptr<const WarmStart>>>
+WarmStartCache::entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const WarmStart>>> out(
+      entries_.begin(), entries_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::size_t WarmStartCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
 std::uint64_t WarmStartCache::hits() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return hits_;

@@ -114,6 +114,16 @@ class WarmStartCache {
   /// Publishes an entry; an existing entry for `key` wins and is kept.
   void store(std::uint64_t key, std::shared_ptr<const WarmStart> entry);
 
+  /// Every entry currently in the cache, sorted by key (deterministic
+  /// order).  The sweep engine persists these into its checkpoint
+  /// directory so a resumed sweep rewarms followers whose structure
+  /// group's cold build was *restored* (a result file holds no
+  /// distribution, so without the persisted shapes those followers would
+  /// fall back to the cold plateau criteria).
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const WarmStart>>>
+  entries() const;
+  std::size_t size() const;
+
   std::uint64_t hits() const;
   std::uint64_t misses() const;
   /// hits / (hits + misses), 0 when never consulted.
@@ -188,8 +198,11 @@ struct UniformizationOptions {
   /// Arnoldi subspace dimension.
   int krylov_dim = 30;
   /// Local error tolerance per unit time (0 = use epsilon).  Note this is
-  /// an *absolute* tolerance on the distribution vector — see
-  /// docs/PERFORMANCE.md for the tail-probability caveat.
+  /// an *absolute* tolerance on the distribution vector; a request below
+  /// the solve's round-off floor (≈ ε_mach·‖Qᵀ‖·t) cannot be honoured —
+  /// the solver detects that, raises TransientSolution::tol_floor_hit,
+  /// logs a warning, and reports the achievable floor instead of silently
+  /// passing a degraded certification (see ctmc::expmv_tol_floor).
   double krylov_tol = 0.0;
 };
 
@@ -208,6 +221,15 @@ struct TransientSolution {
   std::uint64_t ramp_segments = 0;
   /// kAdaptive: the solve validated its shape against a warm-start entry.
   bool warm_start_hit = false;
+  /// kKrylov: the requested tolerance sat below the solver's achievable
+  /// absolute-error floor for this solve's magnitude (ε_mach·‖Qᵀ‖·t); the
+  /// certification is only good to `achievable_tol`, not the request.
+  /// Also surfaced as the ctmc.expmv.tol_floor_hits counter, the
+  /// ctmc.expmv.tol_floor gauge, and a warning log line.
+  bool tol_floor_hit = false;
+  /// kKrylov: the round-off floor of this solve (max over its intervals);
+  /// 0 when the requested tolerance was achievable.
+  double achievable_tol = 0.0;
 };
 
 /// Expected reward at each (strictly increasing, non-negative) time point.

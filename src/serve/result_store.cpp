@@ -1,0 +1,116 @@
+#include "serve/result_store.h"
+
+#include <sstream>
+
+#include "util/snapshot.h"
+
+namespace serve {
+
+namespace {
+
+[[noreturn]] void reject(std::uint64_t key, const ResultIdentity& have,
+                         const ResultIdentity& want) {
+  std::ostringstream os;
+  os << "result-store identity mismatch for key " << key
+     << ": stored (params " << have.params_hash << ", times "
+     << have.times_hash << ", seed " << have.seed << ") vs incoming (params "
+     << want.params_hash << ", times " << want.times_hash << ", seed "
+     << want.seed << ") — rejecting, results are never merged across "
+     << "identities";
+  throw util::SnapshotError(os.str());
+}
+
+}  // namespace
+
+ResultStore::Claim ResultStore::claim(std::uint64_t key,
+                                      const ResultIdentity& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry e;
+    e.identity = id;
+    entries_.emplace(key, std::move(e));
+    ++misses_;
+    return Claim::kCompute;
+  }
+  if (!(it->second.identity == id)) reject(key, it->second.identity, id);
+  if (it->second.state == State::kDone) {
+    ++hits_;
+    return Claim::kReady;
+  }
+  // In flight by another request: sharing the pending computation is the
+  // compute-once win, counted as a hit (no second evaluation happens).
+  ++hits_;
+  return Claim::kWait;
+}
+
+void ResultStore::publish(std::uint64_t key, const ResultIdentity& id,
+                          const ahs::UnsafetyCurve& curve) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      // Publish without a prior claim (e.g. a restored durable file): treat
+      // as claim+publish in one step.
+      Entry e;
+      e.identity = id;
+      it = entries_.emplace(key, std::move(e)).first;
+    }
+    if (!(it->second.identity == id)) reject(key, it->second.identity, id);
+    it->second.curve = curve;
+    it->second.state = State::kDone;
+  }
+  cv_.notify_all();
+}
+
+void ResultStore::abandon(std::uint64_t key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.state == State::kDone) return;
+    entries_.erase(it);
+  }
+  cv_.notify_all();
+}
+
+bool ResultStore::wait_for(std::uint64_t key, ahs::UnsafetyCurve* curve) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return false;  // abandoned — caller re-claims
+    if (it->second.state == State::kDone) {
+      *curve = it->second.curve;
+      return true;
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool ResultStore::find(std::uint64_t key, ahs::UnsafetyCurve* curve) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.state != State::kDone) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  *curve = it->second.curve;
+  return true;
+}
+
+std::uint64_t ResultStore::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ResultStore::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t ResultStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace serve

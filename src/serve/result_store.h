@@ -1,0 +1,87 @@
+// Cross-request result store of the ahs_server daemon: completed curves
+// keyed by ahs::point_identity_hash (index/label-free — two requests with
+// equal identity hashes are guaranteed the same numerical result), so
+// concurrent sweeps sharing points compute each shared point exactly once.
+//
+// Identity discipline is the same reject-don't-merge rule the snapshot
+// layer enforces on disk: every entry carries the full identity tuple
+// (params hash, times, study seed) alongside the 64-bit key, and an insert
+// whose tuple differs from the stored one throws util::SnapshotError — a
+// hash collision or a protocol bug must never silently serve one request's
+// curve to another.
+//
+// Concurrency protocol for compute-once:
+//   claim(id)  → kCompute   this caller must evaluate and later publish()
+//              → kWait      someone else is computing; wait_for(id) blocks
+//              → kReady     finished; take the curve from find()
+// A failed computation calls abandon(id), which wakes the waiters and lets
+// the next claimant retry (the failure is not cached).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "ahs/study.h"
+
+namespace serve {
+
+/// The full identity behind a 64-bit key — what reject-don't-merge
+/// compares.  Cheap to build from the request fields.
+struct ResultIdentity {
+  std::uint64_t params_hash = 0;  ///< ahs::point_identity_hash input side
+  std::uint64_t times_hash = 0;
+  std::uint64_t seed = 0;
+  bool operator==(const ResultIdentity&) const = default;
+};
+
+class ResultStore {
+ public:
+  enum class Claim { kCompute, kWait, kReady };
+
+  /// Resolves who computes identity `key`.  First caller gets kCompute and
+  /// owes a publish() or abandon(); later callers get kWait (in flight) or
+  /// kReady (done).  Throws util::SnapshotError when `id` differs from the
+  /// identity the key was first seen with.
+  Claim claim(std::uint64_t key, const ResultIdentity& id);
+
+  /// Publishes the finished curve for a key this caller claimed; wakes
+  /// every wait_for().  Publishing a key that already holds a result is
+  /// idempotent when the identity matches and throws when it does not.
+  void publish(std::uint64_t key, const ResultIdentity& id,
+               const ahs::UnsafetyCurve& curve);
+
+  /// Gives up a kCompute claim after a failure: wakes waiters (their
+  /// wait_for returns false) so one of them can re-claim and retry.
+  void abandon(std::uint64_t key);
+
+  /// Blocks until `key` is published or abandoned.  True → *curve filled.
+  bool wait_for(std::uint64_t key, ahs::UnsafetyCurve* curve);
+
+  /// Non-blocking lookup of a completed entry.  Counts toward the
+  /// hit/miss telemetry.
+  bool find(std::uint64_t key, ahs::UnsafetyCurve* curve);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t size() const;
+
+ private:
+  enum class State { kRunning, kDone };
+
+  struct Entry {
+    State state = State::kRunning;
+    ResultIdentity identity;
+    ahs::UnsafetyCurve curve;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace serve

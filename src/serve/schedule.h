@@ -1,0 +1,114 @@
+// Priority job queue of the ahs_server daemon, behind a pluggable
+// SchedulePolicy.  The unit of scheduling is one sweep *point* (one worker
+// process evaluates one point), so a policy decision is "which pending
+// point gets the next free worker slot".
+//
+// Three policies ship:
+//   fifo  — strict arrival order; the baseline every queue needs.
+//   sjf   — shortest-expected-point-first: expected seconds come from the
+//           server's PointCostModel (an EWMA of completed point durations
+//           keyed by structural fingerprint — the per-point seconds
+//           telemetry run_sweep already records, reused service-side).
+//           Classic mean-waiting-time optimizer; starves long points under
+//           sustained load, which is why it is a policy and not the
+//           default.
+//   fair  — fair-share across clients: the pending point whose client has
+//           the fewest dispatched points goes first (FIFO within a
+//           client), so one client submitting a 500-point grid cannot
+//           starve another's 3-point probe.
+//
+// The Scheduler wrapper owns the queue and the per-policy accounting the
+// issue asks for: throughput (dispatches per second since the first
+// enqueue) and waiting time (enqueue → dispatch), both exposed via stats()
+// and the ahs.serve.* metrics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace serve {
+
+/// One schedulable unit: job `job_id` needs its point `point_index`
+/// evaluated.  `expected_seconds` <= 0 means "no estimate yet" (policies
+/// must order unknowns stably, not randomly).
+struct PendingPoint {
+  std::uint64_t job_id = 0;
+  std::size_t point_index = 0;
+  std::string client;
+  std::uint64_t task_id = 0;       ///< supervisor task the dispatch will use
+  double expected_seconds = 0.0;
+  std::uint64_t enqueue_order = 0;  ///< global arrival counter
+  double enqueue_seconds = 0.0;     ///< server clock at enqueue
+};
+
+/// Pure pick function: choose an element of `pending` (non-empty).
+/// `dispatched_by_client` is the running dispatch count per client since
+/// server start — the state fair-share needs.  Implementations must be
+/// deterministic given (pending, dispatched_by_client).
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+  virtual const char* name() const = 0;
+  virtual std::size_t pick(
+      const std::vector<PendingPoint>& pending,
+      const std::map<std::string, std::uint64_t>& dispatched_by_client) = 0;
+};
+
+/// Factory for "fifo" | "sjf" | "fair"; throws util::PreconditionError on
+/// anything else.
+std::unique_ptr<SchedulePolicy> make_policy(const std::string& name);
+
+/// Thread-safe queue + accounting around a policy.
+class Scheduler {
+ public:
+  explicit Scheduler(std::unique_ptr<SchedulePolicy> policy);
+
+  /// Enqueues a point; stamps its arrival order.  `now_seconds` is the
+  /// server's monotonic clock (injected for testability).
+  void enqueue(PendingPoint point, double now_seconds);
+
+  /// Applies the policy and removes the pick.  Returns false on an empty
+  /// queue.  Records the point's waiting time against the accounting.
+  bool pop(PendingPoint* out, double now_seconds);
+
+  std::size_t depth() const;
+
+  struct Stats {
+    std::string policy;
+    std::uint64_t enqueued = 0;
+    std::uint64_t dispatched = 0;
+    double total_wait_seconds = 0.0;   ///< Σ (dispatch − enqueue)
+    double max_wait_seconds = 0.0;
+    double first_enqueue_seconds = -1.0;
+    double last_dispatch_seconds = 0.0;
+    /// Mean enqueue→dispatch latency over every dispatched point.
+    double mean_wait_seconds() const {
+      return dispatched != 0
+                 ? total_wait_seconds / static_cast<double>(dispatched)
+                 : 0.0;
+    }
+    /// Dispatch throughput over the busy span (first enqueue → last
+    /// dispatch); 0 before the first dispatch.
+    double dispatch_per_second() const {
+      const double span = last_dispatch_seconds - first_enqueue_seconds;
+      return dispatched != 0 && span > 0.0
+                 ? static_cast<double>(dispatched) / span
+                 : 0.0;
+    }
+  };
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unique_ptr<SchedulePolicy> policy_;
+  std::vector<PendingPoint> pending_;
+  std::map<std::string, std::uint64_t> dispatched_by_client_;
+  std::uint64_t next_order_ = 0;
+  Stats stats_;
+};
+
+}  // namespace serve

@@ -1,0 +1,142 @@
+// The ahs_server evaluation daemon: accepts study/sweep requests as JSON
+// over a local Unix socket (serve/protocol.h), queues their points behind
+// a pluggable SchedulePolicy (serve/schedule.h), fans them out to worker
+// *processes* supervised over the durable point-file protocol
+// (serve/supervisor.h), and merges results across concurrent requests
+// through the ResultStore (serve/result_store.h) so shared points are
+// computed exactly once.
+//
+// Threading model:
+//   * one accept loop (run() itself) spawning a thread per connection —
+//     connections are few (clients, monitors), points are many;
+//   * one dispatch loop thread owning the supervisor: it fills free worker
+//     slots from the scheduler and polls completions.  All process
+//     supervision lives on this single thread, so there are no waitpid
+//     races by construction.
+//
+// Observability: the server owns a TelemetrySession and (optionally) a
+// TelemetryTap publishing the standard `ahs.telemetry.live.v1` file.  It
+// feeds the exact counters/gauges run_sweep feeds ("ahs.sweep.points",
+// "ahs.sweep.points_total", ...), so examples/ahs_top monitors a server
+// exactly as it monitors a local sweep — unmodified.  Service-specific
+// metrics live under "ahs.serve.*" (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/result_store.h"
+#include "serve/schedule.h"
+#include "serve/supervisor.h"
+#include "util/socket.h"
+
+namespace util {
+class TelemetryTap;
+class TelemetrySession;
+}  // namespace util
+
+namespace serve {
+
+struct ServerOptions {
+  std::string socket_path;
+  /// Task/result file directory (created if absent).
+  std::string work_dir;
+  /// Concurrent worker processes (>= 1).
+  int max_workers = 2;
+  /// "fifo" | "sjf" | "fair".
+  std::string policy = "fifo";
+  /// Live telemetry tap file ("" disables); ahs_top-compatible.
+  std::string tap_path;
+  double tap_interval_seconds = 0.5;
+  /// Worker spawn attempts per point.
+  int max_attempts = 3;
+  /// Executable for worker processes ("" = this binary).
+  std::string worker_exe;
+  /// Test knob forwarded into every worker task (see
+  /// WorkerTask::debug_delay_seconds).
+  double debug_worker_delay_seconds = 0.0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serves until shutdown() (from a connection's shutdown op or another
+  /// thread).  Blocks.
+  void run();
+
+  /// Asynchronous stop: closes the listener, drains connections, kills
+  /// live workers.  Idempotent, thread-safe.
+  void shutdown();
+
+  /// The socket path (for tests that construct with an ephemeral dir).
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    std::string client;
+    SubmitRequest request;
+    std::vector<std::uint64_t> identity;       ///< per point
+    std::vector<ahs::UnsafetyCurve> curves;    ///< per point
+    std::vector<std::string> outcome;          ///< "computed"|"cached"|"failed"
+    std::vector<std::string> error;            ///< per point, "" when fine
+    std::size_t unresolved = 0;
+    std::condition_variable done_cv;
+    std::mutex done_mutex;
+  };
+
+  void handle_connection(util::Socket socket);
+  std::string handle_request(const std::string& line);
+  std::string handle_submit(const util::JsonValue& doc);
+  std::string handle_stats();
+  void dispatch_loop();
+  double now_seconds() const;
+  /// EWMA point-cost estimate for SJF, keyed on structural fingerprint.
+  double expected_seconds(const ahs::Parameters& params) const;
+  void record_seconds(const ahs::Parameters& params, double seconds);
+
+  ServerOptions options_;
+  std::unique_ptr<util::TelemetrySession> session_;
+  std::unique_ptr<util::TelemetryTap> tap_;
+  std::unique_ptr<util::UnixListener> listener_;
+  Scheduler scheduler_;
+  ResultStore store_;
+  std::unique_ptr<WorkerSupervisor> supervisor_;
+
+  std::atomic<bool> stopping_{false};
+  std::thread dispatcher_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connections_;
+
+  std::mutex jobs_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::uint64_t next_job_id_ = 1;
+  std::atomic<std::uint64_t> next_task_id_{0};
+  /// task_id → (job, point) of the request that claimed the computation.
+  std::map<std::uint64_t, std::pair<std::shared_ptr<Job>, std::size_t>>
+      task_owner_;
+
+  mutable std::mutex cost_mutex_;
+  std::map<std::uint64_t, double> cost_ewma_;  ///< fingerprint → seconds
+
+  std::chrono::steady_clock::time_point start_;
+  /// Unique identities ever accepted / completed — the ahs_top progress
+  /// denominator and numerator.
+  std::atomic<std::uint64_t> points_total_{0};
+};
+
+}  // namespace serve

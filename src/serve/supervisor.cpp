@@ -1,0 +1,161 @@
+#include "serve/supervisor.h"
+
+#include <utility>
+
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/snapshot.h"
+#include "util/subprocess.h"
+
+namespace serve {
+
+WorkerSupervisor::WorkerSupervisor(Options options)
+    : options_(std::move(options)),
+      start_(std::chrono::steady_clock::now()) {
+  AHS_REQUIRE(!options_.work_dir.empty(), "supervisor needs a work_dir");
+  AHS_REQUIRE(!options_.worker_exe.empty(), "supervisor needs a worker_exe");
+  AHS_REQUIRE(options_.max_attempts >= 1, "max_attempts must be >= 1");
+}
+
+WorkerSupervisor::~WorkerSupervisor() { kill_all(); }
+
+double WorkerSupervisor::now_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void WorkerSupervisor::spawn_locked(Active* a) {
+  a->pid = util::spawn_process({options_.worker_exe, "--worker", "--task",
+                                task_path(options_.work_dir,
+                                          a->task.task_id)});
+  ++spawned_;
+}
+
+void WorkerSupervisor::dispatch(const WorkerTask& task) {
+  // The task file is written atomically so a worker never reads a torn
+  // spec; rewriting an identical file on retry is harmless.
+  util::atomic_write_file(task_path(options_.work_dir, task.task_id),
+                          encode_task(task));
+  std::lock_guard<std::mutex> lock(mutex_);
+  Active a;
+  a.task = task;
+  a.started_seconds = now_seconds();
+  spawn_locked(&a);
+  active_.push_back(std::move(a));
+}
+
+std::vector<WorkerSupervisor::Completion> WorkerSupervisor::poll() {
+  std::vector<Completion> done;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < active_.size();) {
+    Active& a = active_[i];
+    int exit_code = 0;
+    if (!util::try_wait_process(a.pid, &exit_code)) {
+      ++i;
+      continue;
+    }
+
+    // The exit code is advisory; the durable file is the truth.  This is
+    // what makes a SIGKILLed-after-rename worker free to "restart": its
+    // result is simply harvested here.
+    const std::string result_path =
+        task_result_path(options_.work_dir, a.task.task_id);
+    const util::SnapshotHeader header = ahs::point_result_header(
+        a.task.task_id, a.task.point, a.task.times, a.task.study);
+    std::string payload;
+    bool have_result = false;
+    std::string error;
+    try {
+      have_result = util::read_snapshot(result_path, header, &payload);
+    } catch (const util::SnapshotError& e) {
+      // Identity mismatch or corruption: reject-don't-merge.  Surfaced as
+      // a task failure, never as someone else's curve.
+      Completion c;
+      c.task_id = a.task.task_id;
+      c.ok = false;
+      c.error = e.what();
+      c.attempts = a.attempt;
+      c.seconds = now_seconds() - a.started_seconds;
+      done.push_back(std::move(c));
+      active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+
+    if (have_result) {
+      Completion c;
+      c.task_id = a.task.task_id;
+      c.ok = true;
+      c.curve = ahs::decode_curve(payload);
+      c.attempts = a.attempt;
+      c.seconds = now_seconds() - a.started_seconds;
+      done.push_back(std::move(c));
+      active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+
+    if (exit_code == 0) {
+      error = "worker exited 0 without writing its result file";
+    } else if (exit_code < 0) {
+      error = "worker killed by signal " + std::to_string(-exit_code);
+    } else {
+      error = "worker exited " + std::to_string(exit_code);
+    }
+
+    if (a.attempt < options_.max_attempts) {
+      ++a.attempt;
+      ++retries_;
+      AHS_LOGM_WARN("serve")
+          << "task " << a.task.task_id << " (" << a.task.point.label
+          << "): " << error << " — retry " << a.attempt << "/"
+          << options_.max_attempts;
+      spawn_locked(&a);
+      ++i;
+      continue;
+    }
+
+    Completion c;
+    c.task_id = a.task.task_id;
+    c.ok = false;
+    c.error = error + " after " + std::to_string(a.attempt) + " attempt(s)";
+    c.attempts = a.attempt;
+    c.seconds = now_seconds() - a.started_seconds;
+    done.push_back(std::move(c));
+    active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  return done;
+}
+
+std::size_t WorkerSupervisor::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_.size();
+}
+
+std::vector<pid_t> WorkerSupervisor::active_pids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<pid_t> pids;
+  pids.reserve(active_.size());
+  for (const Active& a : active_) pids.push_back(a.pid);
+  return pids;
+}
+
+void WorkerSupervisor::kill_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Active& a : active_) {
+    util::kill_process(a.pid, /*hard=*/true);
+    util::wait_process(a.pid);
+  }
+  active_.clear();
+}
+
+std::uint64_t WorkerSupervisor::spawned() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spawned_;
+}
+
+std::uint64_t WorkerSupervisor::retries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retries_;
+}
+
+}  // namespace serve

@@ -1,0 +1,52 @@
+#include "serve/worker.h"
+
+#include <chrono>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "serve/protocol.h"
+#include "util/json.h"
+#include "util/snapshot.h"
+
+namespace serve {
+
+int run_worker(const std::string& task_file) {
+  try {
+    std::ifstream in(task_file, std::ios::binary);
+    if (!in) {
+      std::cerr << "worker: cannot read task file " << task_file << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const WorkerTask task = decode_task(util::parse_json(buf.str()));
+
+    if (task.debug_delay_seconds > 0.0)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(task.debug_delay_seconds));
+
+    const ahs::UnsafetyCurve curve =
+        ahs::unsafety_curve(task.point.params, task.times, task.study);
+
+    // The directory of the task file is the work dir; the atomic rename in
+    // write_snapshot is the commit point — everything before it is
+    // invisible to the supervisor.
+    const std::size_t slash = task_file.rfind('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : task_file.substr(0, slash);
+    util::write_snapshot(
+        task_result_path(dir, task.task_id),
+        ahs::point_result_header(task.task_id, task.point, task.times,
+                                 task.study),
+        ahs::encode_curve(curve));
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "worker: " << task_file << ": " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace serve

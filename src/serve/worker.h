@@ -1,0 +1,26 @@
+// Worker-process side of the ahs_server service: the hidden
+// `ahs_server --worker --task <file>` mode.  One worker process evaluates
+// exactly one sweep point and writes the durable result file — then exits.
+//
+// The result file IS the wire format (see ahs/sweep.h "durable point-file
+// protocol"): snapshot kind "sweep-point" with header
+// ahs::point_result_header(task_id, point, times, study), payload
+// ahs::encode_curve — byte-for-byte the file run_sweep would persist for
+// this point.  Crash-safety falls out of util/snapshot's atomic write: a
+// worker SIGKILLed mid-solve leaves no file (the supervisor re-runs the
+// task), one killed after the rename leaves a complete, identity-checked
+// result (the supervisor harvests it without re-running).  No pipes, no
+// shared memory, no partial-state protocol.
+#pragma once
+
+#include <string>
+
+namespace serve {
+
+/// Evaluates the WorkerTask serialized in `task_file` (serve/protocol.h)
+/// and writes the durable result next to it.  Returns a process exit code:
+/// 0 on success, 1 on any failure (malformed task, model validation error,
+/// solver failure) with the reason on stderr.
+int run_worker(const std::string& task_file);
+
+}  // namespace serve

@@ -38,6 +38,15 @@ class NumericalError : public std::runtime_error {
   explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown on operating-system I/O failures (sockets, process control) that
+/// the caller cannot handle locally.  Peer-disconnect conditions on a
+/// socket are *returned* (send_line/recv_line → false), not thrown — a
+/// client vanishing is normal service operation, not an error.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_precondition(const char* expr, const char* file,
                                             int line, const std::string& msg) {

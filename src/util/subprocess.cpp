@@ -1,0 +1,80 @@
+#include "util/subprocess.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/error.h"
+
+namespace util {
+
+pid_t spawn_process(const std::vector<std::string>& argv) {
+  AHS_REQUIRE(!argv.empty(), "spawn_process needs at least the executable");
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv)
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0)
+    throw IoError(std::string("fork: ") + ::strerror(errno));
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    // Still here: the exec failed.  _exit (not exit) — running the parent's
+    // atexit handlers from a half-initialized child corrupts shared state.
+    ::_exit(127);
+  }
+  return pid;
+}
+
+namespace {
+
+int decode_status(int status) {
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return -WTERMSIG(status);
+  return -1;
+}
+
+}  // namespace
+
+bool try_wait_process(pid_t pid, int* exit_code) {
+  int status = 0;
+  const pid_t r = ::waitpid(pid, &status, WNOHANG);
+  if (r == 0) return false;
+  if (r < 0) {
+    // ECHILD: already reaped (or not our child) — report it as gone with
+    // an error code so the caller falls through to its file check.
+    *exit_code = -1;
+    return true;
+  }
+  *exit_code = decode_status(status);
+  return true;
+}
+
+int wait_process(pid_t pid) {
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &status, 0);
+    if (r >= 0) return decode_status(status);
+    if (errno != EINTR) return -1;
+  }
+}
+
+void kill_process(pid_t pid, bool hard) {
+  if (pid > 0) ::kill(pid, hard ? SIGKILL : SIGTERM);
+}
+
+std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0)
+    throw IoError(std::string("readlink /proc/self/exe: ") +
+                  ::strerror(errno));
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+}  // namespace util

@@ -1,0 +1,38 @@
+// Worker-process control for the serve/ layer: fork+exec spawning,
+// non-blocking reaping, and signal-based termination.  Deliberately tiny —
+// the crash-safety story of ahs_server does NOT live here.  It lives in
+// the durable point-result files (util/snapshot): a worker either produced
+// a complete, identity-checked result file (atomic rename) or it did not,
+// so the supervisor never needs to know *how* a worker died, only whether
+// its file landed.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace util {
+
+/// fork + execv.  `argv[0]` is the executable path (use self_exe_path()
+/// to re-exec the current binary).  Throws IoError when the fork fails;
+/// an exec failure surfaces as the child exiting 127.
+pid_t spawn_process(const std::vector<std::string>& argv);
+
+/// Non-blocking reap.  Returns true when `pid` has exited and fills
+/// `*exit_code`: the exit status for a normal exit, or -signal when the
+/// child was killed (SIGKILL → -9).  Returns false while still running.
+bool try_wait_process(pid_t pid, int* exit_code);
+
+/// Blocking reap; same exit-code convention.
+int wait_process(pid_t pid);
+
+/// SIGTERM (hard == false) or SIGKILL (hard == true).  Missing processes
+/// are ignored — the race with natural exit is benign.
+void kill_process(pid_t pid, bool hard);
+
+/// Resolves /proc/self/exe — the canonical way a server re-execs itself
+/// in worker mode regardless of argv[0] or cwd.
+std::string self_exe_path();
+
+}  // namespace util

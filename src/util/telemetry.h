@@ -114,4 +114,47 @@ class TelemetryTap {
   std::thread thread_;
 };
 
+/// Dead-publisher detection for tap *readers* (examples/ahs_top, the
+/// ahs_server progress forwarder): tracks how long the tap's sequence
+/// number has failed to advance and trips once the silence exceeds a
+/// timeout.  Without this a reader waiting for the terminal snapshot of a
+/// producer that died (SIGKILL, OOM) would poll forever — the file stays
+/// readable, it just never changes again.
+///
+/// Time is supplied by the caller in seconds on any monotonic clock, which
+/// keeps the gate deterministic under test.
+class TapStaleness {
+ public:
+  /// `timeout_seconds` <= 0 disables the gate (expired() stays false).
+  explicit TapStaleness(double timeout_seconds)
+      : timeout_seconds_(timeout_seconds) {}
+
+  /// Feed the latest observed sequence number.  Returns the seconds since
+  /// the sequence last advanced (0 on an advance or the first call).
+  double observe(double seq, double now_seconds) {
+    if (!seen_ || seq != last_seq_) {
+      seen_ = true;
+      last_seq_ = seq;
+      last_change_ = now_seconds;
+    }
+    stale_seconds_ = now_seconds - last_change_;
+    return stale_seconds_;
+  }
+
+  /// True once the publisher has been silent past the timeout.
+  bool expired() const {
+    return timeout_seconds_ > 0.0 && seen_ &&
+           stale_seconds_ > timeout_seconds_;
+  }
+
+  double stale_seconds() const { return stale_seconds_; }
+
+ private:
+  double timeout_seconds_;
+  bool seen_ = false;
+  double last_seq_ = 0.0;
+  double last_change_ = 0.0;
+  double stale_seconds_ = 0.0;
+};
+
 }  // namespace util

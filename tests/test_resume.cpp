@@ -421,6 +421,63 @@ TEST_F(ResumeTest, SweepResumesInFlightSimulationPoint) {
   expect_curves_bitwise_equal(ref.curves[0], restored.curves[0]);
 }
 
+TEST_F(ResumeTest, WarmStartsSurviveKillAndResume) {
+  // The satellite bug: a point's durable result file holds its curve but no
+  // distribution, so after a kill the resumed sweep's *restored* cold build
+  // published no warm shape and the recomputed followers fell back to the
+  // cold plateau criteria — different iteration counts than the
+  // uninterrupted run.  With the warm_starts.cache snapshot the resumed
+  // followers must hit the warm criteria and match the uninterrupted run
+  // exactly, iteration counts included.
+  ahs::Parameters base;
+  base.max_per_platoon = 6;
+  base.join_rate = 12.0;
+  base.leave_rate = 4.0;
+  const ahs::GridAxis lambda{"lambda",
+                             {1e-6, 1e-5, 1e-4},
+                             [](ahs::Parameters& p, double v) {
+                               p.base_failure_rate = v;
+                             }};
+  const auto points = ahs::make_grid(base, lambda);
+  const std::vector<double> times = {6.0};
+
+  ahs::SweepOptions opts;
+  opts.threads = 1;
+  const ahs::SweepResult ref = ahs::run_sweep(points, times, opts);
+  ASSERT_TRUE(ref.complete());
+  ASSERT_GT(ref.warm_start_hits, 0u)
+      << "fixture must exercise the warm-start path";
+
+  ahs::SweepOptions robust = opts;
+  robust.checkpoint_dir = path("ckpt");
+  const ahs::SweepResult full = ahs::run_sweep(points, times, robust);
+  ASSERT_TRUE(full.complete());
+  ASSERT_TRUE(fs::exists(path("ckpt/warm_starts.cache")));
+
+  // Emulate a SIGKILL right after the cold build completed: the cold
+  // point's result file and the warm snapshot survived; the followers'
+  // results never landed.
+  fs::remove(path("ckpt/point_1.result"));
+  fs::remove(path("ckpt/point_2.result"));
+
+  robust.resume = true;
+  const ahs::SweepResult resumed = ahs::run_sweep(points, times, robust);
+  ASSERT_TRUE(resumed.complete());
+  EXPECT_EQ(resumed.outcome[0], ahs::PointOutcome::kRestored);
+  EXPECT_EQ(resumed.outcome[1], ahs::PointOutcome::kComputed);
+  EXPECT_EQ(resumed.outcome[2], ahs::PointOutcome::kComputed);
+  // The acceptance gauge: recomputed followers actually consumed the
+  // preloaded shapes.
+  EXPECT_GT(resumed.warm_start_hits, 0u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    expect_curves_bitwise_equal(ref.curves[i], resumed.curves[i]);
+    EXPECT_EQ(resumed.curves[i].solver_iterations,
+              ref.curves[i].solver_iterations)
+        << "follower " << i
+        << " must reproduce the uninterrupted iteration count";
+  }
+}
+
 TEST(SweepDegraded, FailingPointDoesNotAbortTheSweep) {
   std::vector<ahs::SweepPoint> points;
   points.push_back({"good", small_params()});

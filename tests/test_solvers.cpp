@@ -16,6 +16,7 @@
 #include "ctmc/expmv.h"
 #include "ctmc/sparse.h"
 #include "ctmc/uniformization.h"
+#include "util/logging.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
 
@@ -219,6 +220,67 @@ TEST(Adaptive, WarmStartCutsConfirmationAndStaysDeterministic) {
   const auto again = ctmc::solve_transient(chain, reward, times, warm);
   EXPECT_EQ(bits(again.expected_reward[0]), bits(warm_sol.expected_reward[0]));
   EXPECT_EQ(again.total_iterations, warm_sol.total_iterations);
+}
+
+TEST(Krylov, TolFloorFlaggedOnImpossibleTail) {
+  // The satellite bug: the Krylov local-error estimator measures subspace
+  // truncation only, so a 1e-12 tail certification on a stiff solve
+  // (‖Qᵀ‖·t ≈ 2e4 here → round-off floor ≈ 1.8e-11) used to pass silently
+  // while carrying O(floor) round-off.  The solver must flag it.
+  const MarkovChain chain = churn_with_leak(1e3, 1e-7);
+  const std::vector<double> reward = {0.0, 0.0, 1.0};
+  const std::vector<double> times = {10.0};
+
+  UniformizationOptions opts;
+  opts.solver = TransientSolver::kKrylov;
+  opts.krylov_tol = 1e-12;
+
+  util::TelemetrySession session;
+  std::vector<std::string> lines;
+  util::set_log_sink([&lines](const std::string& line) {
+    lines.push_back(line);
+  });
+  const auto sol = ctmc::solve_transient(chain, reward, times, opts);
+  util::set_log_sink(nullptr);
+
+  const double anorm = 2.0 * chain.max_exit_rate();
+  const double floor = ctmc::expmv_tol_floor(anorm, times[0]);
+  ASSERT_GT(floor, opts.krylov_tol) << "fixture must sit below the floor";
+  EXPECT_TRUE(sol.tol_floor_hit);
+  EXPECT_EQ(bits(sol.achievable_tol), bits(floor));
+
+  const auto snap = session.registry().snapshot();
+  EXPECT_EQ(snap.counters.at("ctmc.expmv.tol_floor_hits"), 1u);
+  EXPECT_EQ(bits(snap.gauges.at("ctmc.expmv.tol_floor")), bits(floor));
+  bool warned = false;
+  for (const auto& line : lines)
+    warned = warned || line.find("round-off floor") != std::string::npos;
+  EXPECT_TRUE(warned);
+
+  // The detection must not change the numbers: the same solve without the
+  // flag wiring observable (tolerance above the floor) and a reference
+  // uniformization run still agree, and a request *above* the floor is not
+  // flagged.
+  UniformizationOptions honest = opts;
+  honest.krylov_tol = 1e-9;
+  const auto ok = ctmc::solve_transient(chain, reward, times, honest);
+  EXPECT_FALSE(ok.tol_floor_hit);
+  EXPECT_EQ(bits(ok.achievable_tol), bits(0.0));
+
+  const auto ref = ctmc::solve_transient(chain, reward, times);
+  EXPECT_NEAR(sol.expected_reward[0], ref.expected_reward[0], 1e-8);
+}
+
+TEST(Krylov, TolFloorFormula) {
+  constexpr double kEps = 2.220446049250313e-16;
+  // Below anorm·t = 1 the floor bottoms out at 4ε.
+  EXPECT_EQ(bits(ctmc::expmv_tol_floor(0.0, 5.0)), bits(4.0 * kEps));
+  EXPECT_EQ(bits(ctmc::expmv_tol_floor(0.5, 1.0)), bits(4.0 * kEps));
+  // Above it the floor scales with the horizon.
+  EXPECT_EQ(bits(ctmc::expmv_tol_floor(2000.0, 10.0)),
+            bits(4.0 * kEps * 20000.0));
+  EXPECT_GT(ctmc::expmv_tol_floor(2000.0, 20.0),
+            ctmc::expmv_tol_floor(2000.0, 10.0));
 }
 
 TEST(SolverTelemetry, SteadyCutoffCounterFiresInBothSolvers) {

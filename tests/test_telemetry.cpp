@@ -177,6 +177,41 @@ TEST(Telemetry, SweepTelemetryKeysAreThreadCountIndependent) {
   EXPECT_TRUE(has("span/run/sweep.run/sweep.point/study.lumped_ctmc"));
 }
 
+TEST(TapStaleness, TripsOnlyWhenTheSequenceStopsAdvancing) {
+  util::TapStaleness gate(5.0);
+  // Advancing sequence: never stale, never expired.
+  EXPECT_EQ(gate.observe(1.0, 0.0), 0.0);
+  EXPECT_EQ(gate.observe(2.0, 3.0), 0.0);
+  EXPECT_FALSE(gate.expired());
+  // Frozen sequence: staleness accumulates from the last advance.
+  EXPECT_EQ(gate.observe(2.0, 6.0), 3.0);
+  EXPECT_FALSE(gate.expired());
+  EXPECT_EQ(gate.observe(2.0, 8.0), 5.0);
+  EXPECT_FALSE(gate.expired()) << "exactly at the timeout is not expired";
+  EXPECT_EQ(gate.observe(2.0, 8.5), 5.5);
+  EXPECT_TRUE(gate.expired());
+  // An advance resets the clock.
+  EXPECT_EQ(gate.observe(3.0, 9.0), 0.0);
+  EXPECT_FALSE(gate.expired());
+}
+
+TEST(TapStaleness, FirstObservationStartsTheClock) {
+  // The first frame must not count time since process start — a reader
+  // attaching to an old-but-live tap would otherwise trip immediately.
+  util::TapStaleness gate(2.0);
+  EXPECT_EQ(gate.observe(7.0, 100.0), 0.0);
+  EXPECT_FALSE(gate.expired());
+  EXPECT_EQ(gate.observe(7.0, 103.0), 3.0);
+  EXPECT_TRUE(gate.expired());
+}
+
+TEST(TapStaleness, ZeroTimeoutDisablesTheGate) {
+  util::TapStaleness gate(0.0);
+  (void)gate.observe(1.0, 0.0);
+  (void)gate.observe(1.0, 1e9);
+  EXPECT_FALSE(gate.expired());
+}
+
 TEST(Telemetry, FragmentIsSingleLine) {
   util::TelemetrySession session;
   session.registry().counter("x").inc();
